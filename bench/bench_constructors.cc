@@ -1,0 +1,82 @@
+// E8 — element constructor optimizations (paper Section 5.2.1).
+//
+// Claim: "The construction of an XML element requires making a deep copy of
+// its content that leads to essential computational and storage overhead.
+// ... [the] virtual element constructor ... does not perform deep copy of
+// the content of constructed node, but rather stores a pointer to it."
+//
+// The same constructor-heavy queries run with virtual constructors enabled
+// (rewriter marks output-position constructors, executor keeps references,
+// serializer streams them) and disabled (standard deep-copy semantics).
+// deep_copy_nodes counts the nodes copied; virtual_elements counts the
+// constructors answered without any copy.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xquery/statement.h"
+
+namespace sedna {
+namespace {
+
+const char* kQueries[] = {
+    // Wrap every item's full description subtree.
+    "<out>{for $i in doc('bench')/site/regions/europe/item "
+    "return <item>{$i/description}</item>}</out>",
+    // Three levels of nested constructors.
+    "<report>{for $p in doc('bench')/site/people/person "
+    "return <person><contact>{$p/emailaddress}</contact>"
+    "<where>{$p/address}</where></person>}</report>",
+    // Constructor over a large mixed sequence.
+    "<all>{doc('bench')/site/open_auctions/open_auction/bidder}</all>",
+};
+
+bench::EngineFixture& Fixture() {
+  static bench::EngineFixture* fixture = [] {
+    xmlgen::AuctionParams params;
+    params.items = 600;
+    params.people = 400;
+    params.open_auctions = 400;
+    params.closed_auctions = 100;
+    params.description_words = 30;
+    auto doc = xmlgen::Auction(params);
+    return new bench::EngineFixture(
+        bench::EngineFixture::WithDocument("e8", *doc));
+  }();
+  return *fixture;
+}
+
+void RunQuery(benchmark::State& state, bool virtual_ctors) {
+  auto& fixture = Fixture();
+  StatementExecutor executor(fixture.engine.get());
+  RewriteOptions options;
+  options.virtual_constructors = virtual_ctors;
+  const char* query = kQueries[state.range(0)];
+  ExecStats stats;
+  size_t out_bytes = 0;
+  for (auto _ : state) {
+    auto r = executor.Execute(query, fixture.ctx, options);
+    SEDNA_CHECK(r.ok()) << r.status().ToString();
+    stats = r->stats;
+    out_bytes = r->serialized.size();
+    benchmark::DoNotOptimize(r->serialized);
+  }
+  state.counters["deep_copy_nodes"] =
+      static_cast<double>(stats.deep_copy_nodes);
+  state.counters["virtual_elements"] =
+      static_cast<double>(stats.virtual_elements);
+  state.counters["output_bytes"] = static_cast<double>(out_bytes);
+}
+
+void BM_VirtualConstructors(benchmark::State& state) { RunQuery(state, true); }
+void BM_DeepCopyConstructors(benchmark::State& state) {
+  RunQuery(state, false);
+}
+
+BENCHMARK(BM_VirtualConstructors)->DenseRange(0, 2);
+BENCHMARK(BM_DeepCopyConstructors)->DenseRange(0, 2);
+
+}  // namespace
+}  // namespace sedna
+
+BENCHMARK_MAIN();

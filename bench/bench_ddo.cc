@@ -1,0 +1,70 @@
+// E5 — removing unnecessary DDO operations (paper Section 5.1.1).
+//
+// Claim: "DDO operations decrease query execution performance, because they
+// require the whole argument sequence to be evaluated before any result
+// item could be produced ... The idea for optimizing query execution with
+// this respect is to remove unnecessary ordering operations."
+//
+// Each query runs with the DDO-elimination pass enabled and disabled; the
+// counters show how many DDO operations executed and how many items they
+// sorted/deduplicated. (Structural-path extraction is off in both modes so
+// the DDO effect is isolated.)
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xquery/statement.h"
+
+namespace sedna {
+namespace {
+
+const char* kQueries[] = {
+    "count(doc('bench')/site/regions/europe/item/name)",
+    "count(doc('bench')/site/open_auctions/open_auction/bidder/increase)",
+    "count(doc('bench')/site/people/person/address/city)",
+    "count(for $i in doc('bench')/site/regions/europe/item "
+    "return $i/description/parlist/listitem)",
+};
+
+bench::EngineFixture& Fixture() {
+  static bench::EngineFixture* fixture = [] {
+    xmlgen::AuctionParams params;
+    params.items = 1200;
+    params.people = 500;
+    params.open_auctions = 600;
+    params.closed_auctions = 300;
+    auto doc = xmlgen::Auction(params);
+    return new bench::EngineFixture(
+        bench::EngineFixture::WithDocument("e5", *doc));
+  }();
+  return *fixture;
+}
+
+void RunQuery(benchmark::State& state, bool eliminate) {
+  auto& fixture = Fixture();
+  StatementExecutor executor(fixture.engine.get());
+  RewriteOptions options;
+  options.eliminate_ddo = eliminate;
+  options.schema_paths = false;  // isolate the DDO effect
+  const char* query = kQueries[state.range(0)];
+  ExecStats stats;
+  for (auto _ : state) {
+    auto r = executor.Execute(query, fixture.ctx, options);
+    SEDNA_CHECK(r.ok()) << r.status().ToString();
+    stats = r->stats;
+    benchmark::DoNotOptimize(r->serialized);
+  }
+  state.counters["ddo_ops"] = static_cast<double>(stats.ddo_ops);
+  state.counters["ddo_items"] = static_cast<double>(stats.ddo_items);
+}
+
+void BM_WithDdoElimination(benchmark::State& state) { RunQuery(state, true); }
+void BM_NaiveDdoEverywhere(benchmark::State& state) { RunQuery(state, false); }
+
+BENCHMARK(BM_WithDdoElimination)->DenseRange(0, 3);
+BENCHMARK(BM_NaiveDdoEverywhere)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace sedna
+
+BENCHMARK_MAIN();

@@ -1,0 +1,143 @@
+// E4 — constant-work node moves via the indirection table (Section 4.1).
+//
+// Claim: "each update over an XML node involves modifying a constant number
+// of fields in the database. ... If a parent property was implemented as a
+// direct database pointer, then [moving a node] would have required the
+// number of external operations proportional to the number of child nodes."
+//
+// Workload: point insertions that repeatedly split blocks. We report
+//   * insert latency as the document grows (should stay flat),
+//   * nodes moved by splits, and
+//   * the pointer fix-ups a DIRECT-parent design would have paid for the
+//     same moves (one per child of every moved node) vs the constant three
+//     to four fields Sedna touches per moved node.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xml/xml_parser.h"
+#include "xquery/statement.h"
+
+namespace sedna {
+namespace {
+
+void BM_InsertLatencyVsDocumentSize(benchmark::State& state) {
+  const int preload = static_cast<int>(state.range(0));
+  auto seed = ParseXml("<r><item><a/><b/></item></r>");
+  SEDNA_CHECK(seed.ok());
+  auto fixture = bench::EngineFixture::WithDocument(
+      "e4_" + std::to_string(preload), **seed);
+  NodeStore* nodes = fixture.doc->nodes();
+  // Root <r> handle.
+  auto r_sn = fixture.doc->schema()->FindDescendants(
+      fixture.doc->schema()->root(), XmlKind::kElement, "r");
+  auto first = nodes->FirstOfSchema(fixture.ctx, r_sn[0]);
+  auto info = nodes->Info(fixture.ctx, *first);
+  Xptr r_handle = info->handle;
+
+  // Appends pass the previous sibling explicitly (the loader-style API);
+  // passing no siblings would re-derive the last child linearly each time.
+  auto item_sn = fixture.doc->schema()->FindDescendants(
+      fixture.doc->schema()->root(), XmlKind::kElement, "item");
+  auto first_item = nodes->FirstOfSchema(fixture.ctx, item_sn[0]);
+  auto first_info = nodes->Info(fixture.ctx, *first_item);
+  Xptr prev = first_info->handle;
+  for (int i = 0; i < preload; ++i) {
+    auto h = nodes->InsertNode(fixture.ctx, r_handle, prev, kNullXptr,
+                               XmlKind::kElement, "item", "");
+    SEDNA_CHECK(h.ok());
+    prev = *h;
+  }
+  for (auto _ : state) {
+    auto h = nodes->InsertNode(fixture.ctx, r_handle, prev, kNullXptr,
+                               XmlKind::kElement, "item", "");
+    SEDNA_CHECK(h.ok());
+    prev = *h;
+    benchmark::DoNotOptimize(h);
+  }
+  state.counters["block_splits"] =
+      static_cast<double>(nodes->block_splits());
+  state.counters["moved_nodes"] = static_cast<double>(nodes->moved_nodes());
+}
+BENCHMARK(BM_InsertLatencyVsDocumentSize)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(40000);
+
+// Split-heavy workload: middle inserts into one block chain. Afterwards,
+// compute what direct parent pointers would have cost: for every element
+// ever moved, one write per child (here children-per-item = fanout).
+void BM_SplitFixupAccounting(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::string item = "<item>";
+    for (int c = 0; c < fanout; ++c) {
+      item += "<c" + std::to_string(c) + "/>";
+    }
+    item += "</item>";
+    auto seed = ParseXml("<r>" + item + item + "</r>");
+    SEDNA_CHECK(seed.ok());
+    auto fixture = bench::EngineFixture::WithDocument(
+        "e4s_" + std::to_string(fanout), **seed);
+    NodeStore* nodes = fixture.doc->nodes();
+    auto r_sn = fixture.doc->schema()->FindDescendants(
+        fixture.doc->schema()->root(), XmlKind::kElement, "r");
+    auto first = nodes->FirstOfSchema(fixture.ctx, r_sn[0]);
+    auto info = nodes->Info(fixture.ctx, *first);
+    Xptr r_handle = info->handle;
+    // Insert between the two seed items (middle position) repeatedly so
+    // the item block keeps splitting.
+    auto item_sn = fixture.doc->schema()->FindDescendants(
+        fixture.doc->schema()->root(), XmlKind::kElement, "item");
+    auto left_addr = nodes->FirstOfSchema(fixture.ctx, item_sn[0]);
+    auto left_info = nodes->Info(fixture.ctx, *left_addr);
+    Xptr left_handle = left_info->handle;
+    for (int i = 0; i < 1000; ++i) {
+      auto h = nodes->InsertNode(fixture.ctx, r_handle, left_handle,
+                                 kNullXptr, XmlKind::kElement, "item", "");
+      SEDNA_CHECK(h.ok()) << h.status().ToString();
+    }
+    uint64_t moved = nodes->moved_nodes();
+    // Sedna per moved node: 1 indirection entry + <=2 sibling fields +
+    // <=1 parent slot = <=4 field writes.
+    state.counters["sedna_fixup_writes"] = static_cast<double>(moved * 4);
+    // Direct-parent design: every child of a moved element needs its parent
+    // pointer rewritten. Items moved here have `fanout` children each.
+    state.counters["direct_fixup_writes"] =
+        static_cast<double>(moved * (fanout + 4));
+    state.counters["moved_nodes"] = static_cast<double>(moved);
+    benchmark::DoNotOptimize(moved);
+  }
+}
+BENCHMARK(BM_SplitFixupAccounting)->Arg(2)->Arg(8)->Arg(32);
+
+// Text updates never move nodes at all: constant cost regardless of the
+// subtree size hanging off the updated node's parent.
+void BM_TextUpdateConstantCost(benchmark::State& state) {
+  const int siblings = static_cast<int>(state.range(0));
+  std::string xml = "<r><target>v</target>";
+  for (int i = 0; i < siblings; ++i) xml += "<pad><x/><y/></pad>";
+  xml += "</r>";
+  auto seed = ParseXml(xml);
+  SEDNA_CHECK(seed.ok());
+  auto fixture = bench::EngineFixture::WithDocument(
+      "e4t_" + std::to_string(siblings), **seed);
+  NodeStore* nodes = fixture.doc->nodes();
+  auto text_sn = fixture.doc->schema()->FindDescendants(
+      fixture.doc->schema()->root(), XmlKind::kText, "*");
+  auto first = nodes->FirstOfSchema(fixture.ctx, text_sn[0]);
+  auto info = nodes->Info(fixture.ctx, *first);
+  Xptr handle = info->handle;
+  int tick = 0;
+  for (auto _ : state) {
+    Status st = nodes->UpdateText(fixture.ctx, handle,
+                                  "value-" + std::to_string(tick++));
+    SEDNA_CHECK(st.ok());
+  }
+}
+BENCHMARK(BM_TextUpdateConstantCost)->Arg(10)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace sedna
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// E3 — numbering scheme under insertions (paper Section 4.1.1).
+//
+// Claim: "The main drawback of the previously existing numbering schemes
+// for XML (e.g., the one proposed in XISS) is that inserting nodes into an
+// XML document periodically requires reconstruction of labels for the
+// entire XML document. We have developed a novel numbering scheme that does
+// not require such reconstruction."
+//
+// Workload: N insertions always at the same point in the middle of a
+// sibling list — the worst case for gap-based interval schemes. The Sedna
+// labels grow longer but never touch existing labels; XISS periodically
+// relabels everything.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/xiss_numbering.h"
+#include "numbering/nid.h"
+
+namespace sedna {
+namespace {
+
+void BM_SednaLabels_MiddleInserts(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  size_t max_label_bytes = 0;
+  for (auto _ : state) {
+    NidLabel root = NidLabel::Root();
+    std::vector<NidLabel> kids = nid::AllocChildren(root, 2);
+    NidLabel left = kids[0];
+    NidLabel right = kids[1];
+    max_label_bytes = 0;
+    for (int i = 0; i < n; ++i) {
+      NidLabel mid = nid::AllocBetween(root, &left, &right);
+      max_label_bytes = std::max(max_label_bytes, mid.prefix.size());
+      left = mid;  // always split the same gap: adversarial pattern
+    }
+    benchmark::DoNotOptimize(left);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["relabeled_nodes"] = 0;  // by construction: never
+  state.counters["max_label_bytes"] = static_cast<double>(max_label_bytes);
+}
+BENCHMARK(BM_SednaLabels_MiddleInserts)->Arg(1000)->Arg(10000)->Arg(30000);
+
+void BM_XissLabels_MiddleInserts(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  uint64_t relabeled = 0;
+  uint64_t relabels = 0;
+  for (auto _ : state) {
+    baselines::XissTree tree(/*gap=*/64);
+    tree.InsertChild(tree.root(), 0);
+    tree.InsertChild(tree.root(), 1);
+    for (int i = 0; i < n; ++i) {
+      tree.InsertChild(tree.root(), 1);  // same middle position
+    }
+    relabeled = tree.relabeled_nodes();
+    relabels = tree.relabels();
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["relabeled_nodes"] = static_cast<double>(relabeled);
+  state.counters["relabel_events"] = static_cast<double>(relabels);
+}
+BENCHMARK(BM_XissLabels_MiddleInserts)->Arg(1000)->Arg(10000)->Arg(30000);
+
+// Random insertion pattern: friendlier to XISS (gaps spread), still no
+// relabeling ever for Sedna.
+void BM_SednaLabels_RandomInserts(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    NidLabel root = NidLabel::Root();
+    std::vector<NidLabel> kids = nid::AllocChildren(root, 4);
+    uint64_t x = 88172645463325252ull;
+    for (int i = 0; i < n; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      size_t pos = x % (kids.size() + 1);
+      const NidLabel* left = pos > 0 ? &kids[pos - 1] : nullptr;
+      const NidLabel* right = pos < kids.size() ? &kids[pos] : nullptr;
+      kids.insert(kids.begin() + static_cast<long>(pos),
+                  nid::AllocBetween(root, left, right));
+    }
+    benchmark::DoNotOptimize(kids);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["relabeled_nodes"] = 0;
+}
+BENCHMARK(BM_SednaLabels_RandomInserts)->Arg(1000)->Arg(10000);
+
+void BM_XissLabels_RandomInserts(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  uint64_t relabeled = 0;
+  for (auto _ : state) {
+    baselines::XissTree tree(/*gap=*/64);
+    uint64_t x = 88172645463325252ull;
+    for (int i = 0; i < n; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      size_t pos = x % (tree.children(tree.root()).size() + 1);
+      tree.InsertChild(tree.root(), pos);
+    }
+    relabeled = tree.relabeled_nodes();
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["relabeled_nodes"] = static_cast<double>(relabeled);
+}
+BENCHMARK(BM_XissLabels_RandomInserts)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace sedna
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+// E1 — pointer dereferencing cost (paper Sections 2 and 4.2).
+//
+// Claim: "Overhead for dereferencing a database pointer is comparable to
+// the one for conventional pointers, since a database layer is mapped to
+// PVAS addresses on equality basis", and "costly pointer swizzling is
+// avoided by using the same pointer representation in main and secondary
+// memory".
+//
+// Three pointer-chase workloads over the same N-node linked chain:
+//   raw        — native pointers (lower bound)
+//   sas        — Sedna Xptrs through the buffer manager's layer tables
+//   swizzling  — ObjectStore-style (page,slot) refs through a resident table
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/swizzling_store.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+
+namespace sedna {
+namespace {
+
+constexpr int kChainLength = 1 << 16;
+
+struct RawNode {
+  RawNode* next;
+  uint64_t payload;
+};
+
+void BM_RawPointerChase(benchmark::State& state) {
+  // Allocate nodes and link them in shuffled order (defeats prefetching the
+  // same way the paged variants do).
+  std::vector<RawNode> nodes(kChainLength);
+  std::vector<size_t> order(kChainLength);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Random rng(1);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Uniform(i)]);
+  }
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    nodes[order[i]].next = &nodes[order[i + 1]];
+    nodes[order[i]].payload = i;
+  }
+  nodes[order.back()].next = nullptr;
+  nodes[order.back()].payload = order.size() - 1;
+
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (RawNode* cur = &nodes[order[0]]; cur != nullptr; cur = cur->next) {
+      sum += cur->payload;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kChainLength);
+}
+BENCHMARK(BM_RawPointerChase);
+
+// SAS chain record: an Xptr plus payload inside data pages.
+struct SasNode {
+  Xptr next;
+  uint64_t payload;
+};
+
+void BM_SasDerefChase(benchmark::State& state) {
+  StorageOptions options;
+  options.path = bench::TempPath("deref") + ".sedna";
+  options.buffer_frames = 8192;  // fully resident: measures deref, not I/O
+  std::remove(options.path.c_str());
+  auto engine = StorageEngine::Create(options);
+  SEDNA_CHECK(engine.ok());
+  StorageEngine& eng = **engine;
+  OpCtx ctx;
+
+  constexpr size_t kPerPage = kPageSize / sizeof(SasNode);
+  size_t page_count = (kChainLength + kPerPage - 1) / kPerPage;
+  std::vector<Xptr> pages;
+  for (size_t i = 0; i < page_count; ++i) {
+    auto page = eng.directory()->AllocLogicalPage();
+    SEDNA_CHECK(page.ok());
+    pages.push_back(*page);
+  }
+  // Node i lives at pages[i / kPerPage] + slot; link in shuffled order.
+  auto addr_of = [&](size_t i) {
+    return pages[i / kPerPage] +
+           static_cast<uint32_t>((i % kPerPage) * sizeof(SasNode));
+  };
+  std::vector<size_t> order(kChainLength);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Random rng(1);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Uniform(i)]);
+  }
+  BufferManager* buffers = eng.buffers();
+  for (size_t i = 0; i < order.size(); ++i) {
+    SasNode* node =
+        static_cast<SasNode*>(buffers->DerefFast(addr_of(order[i])));
+    node->next = i + 1 < order.size() ? addr_of(order[i + 1]) : kNullXptr;
+    node->payload = i;
+  }
+
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    Xptr cur = addr_of(order[0]);
+    while (cur) {
+      SasNode* node = static_cast<SasNode*>(buffers->DerefFast(cur));
+      sum += node->payload;
+      cur = node->next;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kChainLength);
+  state.counters["faults"] = static_cast<double>(buffers->stats().faults);
+}
+BENCHMARK(BM_SasDerefChase);
+
+void BM_SwizzlingChase(benchmark::State& state) {
+  baselines::SwizzlingStore store;
+  std::vector<baselines::PersistentRef> refs(kChainLength);
+  for (auto& ref : refs) ref = store.Allocate();
+  std::vector<size_t> order(kChainLength);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Random rng(1);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Uniform(i)]);
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    auto* obj = store.Deref(refs[order[i]]);
+    obj->next = i + 1 < order.size() ? refs[order[i + 1]]
+                                     : baselines::PersistentRef{};
+    obj->payload = i;
+  }
+
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    baselines::PersistentRef cur = refs[order[0]];
+    while (!cur.is_null()) {
+      auto* obj = store.Deref(cur);
+      sum += obj->payload;
+      cur = obj->next;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kChainLength);
+}
+BENCHMARK(BM_SwizzlingChase);
+
+}  // namespace
+}  // namespace sedna
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// E7 — structural location paths over the descriptive schema (Section
+// 5.1.4).
+//
+// Claim: "We call a location path a structural one if it starts from a
+// document node and contains only descending axes and no predicates. ...
+// These are automatically mapped to Sedna access operations over
+// descriptive schema and can thus be executed very quickly, since they are
+// executed in main memory."
+//
+// Each query runs with structural-path extraction on (schema scan: resolve
+// the path over the in-memory schema, then enumerate the matching block
+// chains) and off (navigational evaluation from the root).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xquery/statement.h"
+
+namespace sedna {
+namespace {
+
+const char* kQueries[] = {
+    "count(doc('bench')/site/regions/europe/item)",
+    "count(doc('bench')/site/people/person/address/city)",
+    "count(doc('bench')//increase)",
+    "count(doc('bench')/site/closed_auctions/closed_auction/price)",
+};
+
+bench::EngineFixture& Fixture() {
+  static bench::EngineFixture* fixture = [] {
+    xmlgen::AuctionParams params;
+    params.items = 1200;
+    params.people = 500;
+    params.open_auctions = 600;
+    params.closed_auctions = 300;
+    auto doc = xmlgen::Auction(params);
+    return new bench::EngineFixture(
+        bench::EngineFixture::WithDocument("e7", *doc));
+  }();
+  return *fixture;
+}
+
+void RunQuery(benchmark::State& state, bool schema_paths) {
+  auto& fixture = Fixture();
+  StatementExecutor executor(fixture.engine.get());
+  RewriteOptions options;
+  options.schema_paths = schema_paths;
+  const char* query = kQueries[state.range(0)];
+  ExecStats stats;
+  for (auto _ : state) {
+    auto r = executor.Execute(query, fixture.ctx, options);
+    SEDNA_CHECK(r.ok()) << r.status().ToString();
+    stats = r->stats;
+    benchmark::DoNotOptimize(r->serialized);
+  }
+  state.counters["schema_scans"] = static_cast<double>(stats.schema_scans);
+  state.counters["axis_nodes"] = static_cast<double>(stats.axis_nodes);
+}
+
+void BM_SchemaResolvedPath(benchmark::State& state) { RunQuery(state, true); }
+void BM_NavigationalPath(benchmark::State& state) { RunQuery(state, false); }
+
+BENCHMARK(BM_SchemaResolvedPath)->DenseRange(0, 3);
+BENCHMARK(BM_NavigationalPath)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace sedna
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Shared helpers for the benchmark harness (one binary per experiment in
+// DESIGN.md §1).
+
+#ifndef SEDNA_BENCH_BENCH_UTIL_H_
+#define SEDNA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+#include "db/database.h"
+#include "storage/storage_engine.h"
+#include "xmlgen/generators.h"
+
+namespace sedna::bench {
+
+inline std::string TempPath(const std::string& tag) {
+  return "/tmp/sedna_bench_" + tag;
+}
+
+/// Fresh storage engine (no MVCC/WAL) with a loaded document.
+struct EngineFixture {
+  std::unique_ptr<StorageEngine> engine;
+  DocumentStore* doc = nullptr;
+  OpCtx ctx;
+
+  static EngineFixture WithDocument(const std::string& tag,
+                                    const XmlNode& tree,
+                                    size_t buffer_frames = 4096) {
+    EngineFixture f;
+    StorageOptions options;
+    options.path = TempPath(tag) + ".sedna";
+    options.buffer_frames = buffer_frames;
+    std::remove(options.path.c_str());
+    auto engine = StorageEngine::Create(options);
+    SEDNA_CHECK(engine.ok()) << engine.status().ToString();
+    f.engine = std::move(engine).value();
+    auto doc = f.engine->CreateDocument(f.ctx, "bench");
+    SEDNA_CHECK(doc.ok()) << doc.status().ToString();
+    f.doc = *doc;
+    Status st = f.doc->Load(f.ctx, tree);
+    SEDNA_CHECK(st.ok()) << st.ToString();
+    return f;
+  }
+};
+
+/// Fresh full database (MVCC + WAL).
+inline std::unique_ptr<Database> MakeDatabase(const std::string& tag,
+                                              bool enable_mvcc = true,
+                                              bool enable_wal = true) {
+  DatabaseOptions options;
+  options.path = TempPath(tag) + ".sedna";
+  options.wal_path = TempPath(tag) + ".wal";
+  options.enable_mvcc = enable_mvcc;
+  options.enable_wal = enable_wal;
+  std::remove(options.path.c_str());
+  std::remove(options.wal_path.c_str());
+  auto db = Database::Create(options);
+  SEDNA_CHECK(db.ok()) << db.status().ToString();
+  return std::move(db).value();
+}
+
+}  // namespace sedna::bench
+
+#endif  // SEDNA_BENCH_BENCH_UTIL_H_

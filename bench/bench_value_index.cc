@@ -1,0 +1,108 @@
+// Ablation — value indexes over node handles (paper Sections 4.1.2, 6.4).
+//
+// "Node handle is used to refer to an XML node from index structures": the
+// index maps string values to handles, so entries survive block splits.
+// This ablation compares an equality selection answered by the index with
+// the same selection as a predicate scan, and measures the lazy rebuild
+// cost that each update statement amortizes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xquery/statement.h"
+#include "xquery/value_index.h"
+
+namespace sedna {
+namespace {
+
+struct IndexFixture {
+  std::unique_ptr<StorageEngine> engine;
+  std::unique_ptr<ValueIndexManager> indexes;
+  std::unique_ptr<StatementExecutor> executor;
+  OpCtx ctx;
+};
+
+IndexFixture& Fixture() {
+  static IndexFixture* fixture = [] {
+    auto f = new IndexFixture();
+    xmlgen::AuctionParams params;
+    params.items = 2000;
+    params.people = 500;
+    auto doc = xmlgen::Auction(params);
+    StorageOptions options;
+    options.path = bench::TempPath("idx") + ".sedna";
+    options.buffer_frames = 4096;
+    std::remove(options.path.c_str());
+    auto engine = StorageEngine::Create(options);
+    SEDNA_CHECK(engine.ok());
+    f->engine = std::move(engine).value();
+    OpCtx ctx;
+    auto store = f->engine->CreateDocument(ctx, "bench");
+    SEDNA_CHECK(store.ok());
+    SEDNA_CHECK((*store)->Load(ctx, *doc).ok());
+    f->indexes = std::make_unique<ValueIndexManager>(f->engine.get());
+    f->executor = std::make_unique<StatementExecutor>(f->engine.get());
+    f->executor->set_index_manager(f->indexes.get());
+    auto created = f->executor->Execute(
+        "CREATE INDEX 'by-name' ON doc('bench')//item/name", ctx);
+    SEDNA_CHECK(created.ok()) << created.status().ToString();
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_IndexLookup(benchmark::State& state) {
+  auto& f = Fixture();
+  // Key of a real item somewhere in the middle.
+  auto key = f.executor->Execute(
+      "string(doc('bench')//item[777]/name)", f.ctx);
+  SEDNA_CHECK(key.ok());
+  const std::string query =
+      "count(index-lookup('by-name', '" + key->serialized + "'))";
+  for (auto _ : state) {
+    auto r = f.executor->Execute(query, f.ctx);
+    SEDNA_CHECK(r.ok()) << r.status().ToString();
+    benchmark::DoNotOptimize(r->serialized);
+  }
+}
+BENCHMARK(BM_IndexLookup);
+
+void BM_PredicateScanEquivalent(benchmark::State& state) {
+  auto& f = Fixture();
+  auto key = f.executor->Execute(
+      "string(doc('bench')//item[777]/name)", f.ctx);
+  SEDNA_CHECK(key.ok());
+  const std::string query =
+      "count(doc('bench')//item/name[. = '" + key->serialized + "'])";
+  for (auto _ : state) {
+    auto r = f.executor->Execute(query, f.ctx);
+    SEDNA_CHECK(r.ok()) << r.status().ToString();
+    benchmark::DoNotOptimize(r->serialized);
+  }
+}
+BENCHMARK(BM_PredicateScanEquivalent);
+
+void BM_IndexRebuildAfterUpdate(benchmark::State& state) {
+  auto& f = Fixture();
+  // Each iteration: one invalidating update, then a lookup that pays the
+  // lazy rebuild (the amortized maintenance model).
+  int tick = 0;
+  for (auto _ : state) {
+    auto upd = f.executor->Execute(
+        "UPDATE replace $q in doc('bench')//item[1]/quantity "
+        "with <quantity>" + std::to_string(1 + tick++ % 9) + "</quantity>",
+        f.ctx);
+    SEDNA_CHECK(upd.ok()) << upd.status().ToString();
+    auto r = f.executor->Execute(
+        "count(index-lookup('by-name', 'no-such-key'))", f.ctx);
+    SEDNA_CHECK(r.ok());
+    benchmark::DoNotOptimize(r->serialized);
+  }
+  state.counters["rebuilds"] = static_cast<double>(f.indexes->rebuilds());
+}
+BENCHMARK(BM_IndexRebuildAfterUpdate);
+
+}  // namespace
+}  // namespace sedna
+
+BENCHMARK_MAIN();

@@ -1,0 +1,112 @@
+// E11 — end-to-end query suite on an XMark-like auction document.
+//
+// The paper's general performance goal: "High performance for both query
+// evaluation and updates execution." This suite runs an XMark-flavoured
+// query mix (selections, aggregations, a value join, ordered report
+// construction) plus an update mix, all through the full pipeline
+// (parser -> analyzer -> rewriter -> executor) with every optimization on.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xquery/statement.h"
+
+namespace sedna {
+namespace {
+
+struct NamedQuery {
+  const char* name;
+  const char* text;
+};
+
+const NamedQuery kQueries[] = {
+    {"Q1-region-count", "count(doc('bench')/site/regions/europe/item)"},
+    {"Q2-descendant", "count(doc('bench')//increase)"},
+    {"Q3-predicate",
+     "count(doc('bench')//open_auction[number(current) > 200])"},
+    {"Q4-aggregate", "avg(doc('bench')//closed_auction/price)"},
+    {"Q5-positional",
+     "string(doc('bench')/site/people/person[10]/name)"},
+    {"Q6-quantified",
+     "count(doc('bench')//person[some $c in creditcard satisfies "
+     "string-length($c) > 0])"},
+    {"Q7-construction",
+     "<prices>{for $a in doc('bench')//closed_auction "
+     "return <p>{$a/price/text()}</p>}</prices>"},
+    {"Q8-orderby",
+     "for $p in subsequence(doc('bench')/site/people/person, 1, 25) "
+     "order by string($p/name) return string($p/name)"},
+    {"Q9-join",
+     "count(for $a in doc('bench')//closed_auction, "
+     "$i in doc('bench')/site/regions/europe/item "
+     "where string($a/itemref/@item) = string($i/@id) return $a)"},
+};
+
+bench::EngineFixture& Fixture() {
+  static bench::EngineFixture* fixture = [] {
+    xmlgen::AuctionParams params;
+    params.items = 1000;
+    params.people = 400;
+    params.open_auctions = 500;
+    params.closed_auctions = 250;
+    auto doc = xmlgen::Auction(params);
+    return new bench::EngineFixture(
+        bench::EngineFixture::WithDocument("e11", *doc));
+  }();
+  return *fixture;
+}
+
+void BM_XmarkQuery(benchmark::State& state) {
+  auto& fixture = Fixture();
+  StatementExecutor executor(fixture.engine.get());
+  const NamedQuery& q = kQueries[state.range(0)];
+  state.SetLabel(q.name);
+  for (auto _ : state) {
+    auto r = executor.Execute(q.text, fixture.ctx);
+    SEDNA_CHECK(r.ok()) << q.name << ": " << r.status().ToString();
+    benchmark::DoNotOptimize(r->serialized);
+  }
+}
+BENCHMARK(BM_XmarkQuery)->DenseRange(0, 8);
+
+void BM_XmarkUpdateMix(benchmark::State& state) {
+  auto& fixture = Fixture();
+  StatementExecutor executor(fixture.engine.get());
+  int tick = 0;
+  for (auto _ : state) {
+    std::string price = std::to_string(50 + (tick % 100)) + ".00";
+    auto ins = executor.Execute(
+        "UPDATE insert <bidder><personref person=\"person1\"/>"
+        "<increase>" + price + "</increase></bidder> "
+        "into doc('bench')/site/open_auctions/open_auction[" +
+            std::to_string(1 + tick % 50) + "]",
+        fixture.ctx);
+    SEDNA_CHECK(ins.ok()) << ins.status().ToString();
+    tick++;
+  }
+  state.SetLabel("insert-bid");
+}
+BENCHMARK(BM_XmarkUpdateMix);
+
+void BM_XmarkReplaceMix(benchmark::State& state) {
+  auto& fixture = Fixture();
+  StatementExecutor executor(fixture.engine.get());
+  int tick = 0;
+  for (auto _ : state) {
+    auto rep = executor.Execute(
+        "UPDATE replace $q in doc('bench')/site/regions/europe/item[" +
+            std::to_string(1 + tick % 20) +
+            "]/quantity with <quantity>" + std::to_string(1 + tick % 9) +
+            "</quantity>",
+        fixture.ctx);
+    SEDNA_CHECK(rep.ok()) << rep.status().ToString();
+    tick++;
+  }
+  state.SetLabel("replace-quantity");
+}
+BENCHMARK(BM_XmarkReplaceMix);
+
+}  // namespace
+}  // namespace sedna
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Auction analytics: XMark-style workload over the public API.
+//
+// Generates an auction-site document (the synthetic stand-in for the XMark
+// data the original system was evaluated with — DESIGN.md §2), then runs a
+// mix of analytical queries: joins expressed as nested FLWORs, aggregation,
+// ordering, element construction, and the descendant-axis queries the
+// paper's optimizer rewrites (Section 5.1).
+
+#include <chrono>
+#include <cstdio>
+
+#include "db/database.h"
+#include "xml/xml_serializer.h"
+#include "xmlgen/generators.h"
+
+using namespace sedna;
+
+namespace {
+
+void Timed(Session* session, const char* label, const std::string& query) {
+  auto start = std::chrono::steady_clock::now();
+  auto result = session->Execute(query);
+  auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  if (!result.ok()) {
+    std::printf("!! %-28s %s\n", label, result.status().ToString().c_str());
+    return;
+  }
+  std::string out = result->serialized;
+  if (out.size() > 110) out = out.substr(0, 110) + "...";
+  std::printf("   %-28s %6lld us   %s\n", label, static_cast<long long>(us),
+              out.c_str());
+}
+
+}  // namespace
+
+int main() {
+  DatabaseOptions options;
+  options.path = "/tmp/sedna_auction.sedna";
+  options.wal_path = "/tmp/sedna_auction.wal";
+  auto db = Database::Create(options);
+  if (!db.ok()) {
+    std::printf("create failed: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  xmlgen::AuctionParams params;
+  params.items = 400;
+  params.people = 150;
+  params.open_auctions = 200;
+  params.closed_auctions = 120;
+  auto doc = xmlgen::Auction(params);
+
+  OpCtx system;
+  auto store = (*db)->storage()->CreateDocument(system, "auction");
+  if (!store.ok() || !(*store)->Load(system, *doc).ok()) {
+    std::printf("load failed\n");
+    return 1;
+  }
+  std::printf("--- auction site loaded: %llu nodes\n",
+              static_cast<unsigned long long>((*store)->node_count()));
+
+  auto session = (*db)->Connect();
+
+  std::printf("\n--- XMark-style analytics\n");
+  Timed(session.get(), "Q1 items total",
+        "count(doc('auction')//item)");
+  Timed(session.get(), "Q2 items in europe",
+        "count(doc('auction')/site/regions/europe/item)");
+  Timed(session.get(), "Q3 pricey closings",
+        "count(doc('auction')//closed_auction[number(price) > 100])");
+  Timed(session.get(), "Q4 avg closing price",
+        "avg(doc('auction')//closed_auction/price)");
+  Timed(session.get(), "Q5 most active bidders",
+        "count(doc('auction')//open_auction[count(bidder) >= 3])");
+  Timed(session.get(), "Q6 cash-only items",
+        "count(doc('auction')//item[payment = 'Cash'])");
+  Timed(session.get(), "Q7 persons w/ creditcard",
+        "count(doc('auction')//person[creditcard])");
+  Timed(session.get(), "Q8 us addresses",
+        "count(doc('auction')//address[country = 'United States'])");
+  Timed(session.get(), "Q9 top sellers report",
+        "<sellers>{for $p in doc('auction')//person[creditcard] "
+        "order by string($p/name) return "
+        "<seller>{$p/name/text()}</seller>}</sellers>");
+  Timed(session.get(), "Q10 item-auction join",
+        "count(for $a in doc('auction')//closed_auction, "
+        "$i in doc('auction')//item "
+        "where string($a/itemref/@item) = string($i/@id) return $a)");
+
+  std::printf("\n--- marketplace activity (updates)\n");
+  auto update = session->Execute(
+      "UPDATE insert <bidder><personref person=\"person1\"/>"
+      "<increase>5.00</increase></bidder> "
+      "into doc('auction')//open_auction[1]");
+  std::printf("   place a bid: %s\n",
+              update.ok() ? "ok" : update.status().ToString().c_str());
+  Timed(session.get(), "bids on auction 1",
+        "count(doc('auction')//open_auction[1]/bidder)");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Versioned store: the transaction features of Section 6 in action.
+//
+// Demonstrates: (1) snapshot-isolated read-only transactions running
+// concurrently with an updater (Sections 6.1-6.3), (2) durability via WAL
+// and the two-step recovery after a simulated crash (Section 6.4), and
+// (3) hot backup + restore (Section 6.5).
+
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "db/database.h"
+
+using namespace sedna;
+
+namespace {
+
+std::string MustExec(Session* session, const std::string& stmt) {
+  auto r = session->Execute(stmt);
+  if (!r.ok()) return "<error: " + r.status().ToString() + ">";
+  return r->kind == StatementKind::kQuery
+             ? r->serialized
+             : "(" + std::to_string(r->affected) + " affected)";
+}
+
+}  // namespace
+
+int main() {
+  DatabaseOptions options;
+  options.path = "/tmp/sedna_versioned.sedna";
+  options.wal_path = "/tmp/sedna_versioned.wal";
+
+  auto created = Database::Create(options);
+  if (!created.ok()) {
+    std::printf("create failed: %s\n", created.status().ToString().c_str());
+    return 1;
+  }
+  auto db = std::move(created).value();
+  auto session = db->Connect();
+  MustExec(session.get(), "CREATE DOCUMENT 'inventory'");
+  MustExec(session.get(),
+           "UPDATE insert <inventory><stock sku=\"widget\">100</stock>"
+           "</inventory> into doc('inventory')");
+
+  // --- 1. snapshot isolation -------------------------------------------------
+  std::printf("--- snapshot-isolated readers vs a concurrent updater\n");
+  auto reader = db->Connect();
+  (void)reader->Begin(/*read_only=*/true);
+  std::printf("   reader snapshot sees stock = %s\n",
+              MustExec(reader.get(),
+                       "doc('inventory')//stock/text()").c_str());
+
+  std::thread updater([&] {
+    auto writer = db->Connect();
+    (void)writer->Begin();
+    MustExec(writer.get(),
+             "UPDATE replace $s in doc('inventory')//stock "
+             "with <stock sku=\"widget\">42</stock>");
+    (void)writer->Commit();
+  });
+  updater.join();
+
+  std::printf("   after concurrent commit, reader still sees  %s\n",
+              MustExec(reader.get(),
+                       "doc('inventory')//stock/text()").c_str());
+  (void)reader->Commit();
+  std::printf("   a fresh reader sees                         %s\n",
+              MustExec(session.get(),
+                       "doc('inventory')//stock/text()").c_str());
+  std::printf("   versions created: %llu, purged: %llu\n",
+              static_cast<unsigned long long>(
+                  db->versions()->stats().versions_created),
+              static_cast<unsigned long long>(
+                  db->versions()->stats().versions_purged));
+
+  // --- 2. crash + two-step recovery -------------------------------------------
+  std::printf("\n--- crash and two-step recovery\n");
+  (void)db->Checkpoint();
+  MustExec(session.get(),
+           "UPDATE insert <stock sku=\"gizmo\">7</stock> "
+           "into doc('inventory')/inventory");
+  // Simulate a crash: keep the data file as of the checkpoint plus the
+  // current WAL, then drop the live database without a clean shutdown.
+  std::string crash_copy = options.path + ".crash";
+  {
+    std::ifstream in(options.path, std::ios::binary);
+    std::ofstream out(crash_copy, std::ios::binary);
+    out << in.rdbuf();
+  }
+  session.reset();
+  reader.reset();
+  db.reset();
+  std::remove(options.path.c_str());
+  std::rename(crash_copy.c_str(), options.path.c_str());
+
+  auto reopened = Database::Open(options);
+  if (!reopened.ok()) {
+    std::printf("recovery failed: %s\n",
+                reopened.status().ToString().c_str());
+    return 1;
+  }
+  db = std::move(reopened).value();
+  session = db->Connect();
+  std::printf("   replayed %llu committed statement(s) from the WAL\n",
+              static_cast<unsigned long long>(db->recovered_statements()));
+  std::printf("   stock rows after recovery: %s (gizmo present: %s)\n",
+              MustExec(session.get(),
+                       "count(doc('inventory')//stock)").c_str(),
+              MustExec(session.get(),
+                       "exists(doc('inventory')//stock[@sku = 'gizmo'])")
+                  .c_str());
+
+  // --- 3. hot backup -----------------------------------------------------------
+  std::printf("\n--- hot backup, post-backup update, incremental, restore\n");
+  std::string backup_dir = "/tmp/sedna_versioned_backup";
+  (void)db->FullBackup(backup_dir);
+  MustExec(session.get(),
+           "UPDATE insert <stock sku=\"doodad\">3</stock> "
+           "into doc('inventory')/inventory");
+  (void)db->IncrementalBackup(backup_dir);
+
+  DatabaseOptions restored_options;
+  restored_options.path = "/tmp/sedna_versioned_restored.sedna";
+  restored_options.wal_path = "/tmp/sedna_versioned_restored.wal";
+  (void)Database::Restore(backup_dir, restored_options);
+  auto restored = Database::Open(restored_options);
+  if (!restored.ok()) {
+    std::printf("restore failed: %s\n", restored.status().ToString().c_str());
+    return 1;
+  }
+  auto restored_session = (*restored)->Connect();
+  std::printf("   restored copy has %s stock rows (doodad present: %s)\n",
+              MustExec(restored_session.get(),
+                       "count(doc('inventory')//stock)").c_str(),
+              MustExec(restored_session.get(),
+                       "exists(doc('inventory')//stock[@sku = 'doodad'])")
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,180 @@
+#include "baselines/subtree_storage.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sedna::baselines {
+
+namespace {
+
+struct RecordView {
+  XmlKind kind;
+  uint32_t subtree_end;
+  std::string_view name;
+  std::string_view text;
+  size_t bytes;  // full record length
+};
+
+RecordView ParseRecord(const uint8_t* p) {
+  RecordView r;
+  r.kind = static_cast<XmlKind>(p[0]);
+  std::memcpy(&r.subtree_end, p + 1, 4);
+  uint16_t name_len, text_len;
+  std::memcpy(&name_len, p + 5, 2);
+  std::memcpy(&text_len, p + 7, 2);
+  r.name = std::string_view(reinterpret_cast<const char*>(p + 9), name_len);
+  r.text = std::string_view(reinterpret_cast<const char*>(p + 9 + name_len),
+                            text_len);
+  r.bytes = 9 + name_len + text_len;
+  return r;
+}
+
+}  // namespace
+
+void SubtreeStore::EnsureRoom(size_t bytes) {
+  if (tail_used_ + bytes > kPageBytes) {
+    pages_.push_back(std::make_unique<uint8_t[]>(kPageBytes));
+    tail_used_ = 0;
+  }
+}
+
+void SubtreeStore::AppendNode(const XmlNode& node) {
+  size_t index = count_;
+  std::string_view text =
+      node.kind == XmlKind::kElement || node.kind == XmlKind::kDocument
+          ? std::string_view()
+          : std::string_view(node.value);
+  // Long text is clamped into one record for this baseline; enough for the
+  // generated workloads, which keep values below a page.
+  uint16_t name_len = static_cast<uint16_t>(std::min<size_t>(
+      node.name.size(), 4096));
+  uint16_t text_len =
+      static_cast<uint16_t>(std::min<size_t>(text.size(), 8192));
+  size_t bytes = 9 + name_len + text_len;
+  SEDNA_CHECK(bytes <= kPageBytes) << "record larger than a page";
+  EnsureRoom(bytes);
+  uint8_t* p = pages_.back().get() + tail_used_;
+  p[0] = static_cast<uint8_t>(node.kind);
+  uint32_t end_placeholder = 0;
+  std::memcpy(p + 1, &end_placeholder, 4);
+  std::memcpy(p + 5, &name_len, 2);
+  std::memcpy(p + 7, &text_len, 2);
+  std::memcpy(p + 9, node.name.data(), name_len);
+  std::memcpy(p + 9 + name_len, text.data(), text_len);
+  index_.push_back(Cursor{pages_.size() - 1, tail_used_});
+  subtree_end_.push_back(0);
+  tail_used_ += bytes;
+  count_++;
+
+  for (const auto& child : node.children) AppendNode(*child);
+
+  uint32_t end = static_cast<uint32_t>(count_);
+  subtree_end_[index] = end;
+  uint8_t* rec = pages_[index_[index].page].get() + index_[index].offset;
+  std::memcpy(rec + 1, &end, 4);
+}
+
+Status SubtreeStore::Load(const XmlNode& doc) {
+  if (doc.kind != XmlKind::kDocument) {
+    return Status::InvalidArgument("Load expects a document node");
+  }
+  pages_.clear();
+  index_.clear();
+  subtree_end_.clear();
+  count_ = 0;
+  tail_used_ = kPageBytes;
+  AppendNode(doc);
+  return Status::OK();
+}
+
+SubtreeStore::ScanResult SubtreeStore::ScanByName(
+    std::string_view name) const {
+  ScanResult result;
+  size_t last_page = static_cast<size_t>(-1);
+  for (size_t i = 0; i < count_; ++i) {
+    const Cursor& c = index_[i];
+    if (c.page != last_page) {
+      result.pages_touched++;
+      last_page = c.page;
+    }
+    RecordView r = ParseRecord(pages_[c.page].get() + c.offset);
+    result.nodes_visited++;
+    if (r.kind == XmlKind::kElement && r.name == name) result.matches++;
+  }
+  return result;
+}
+
+SubtreeStore::ScanResult SubtreeStore::PredicateScan(std::string_view name,
+                                                     double value) const {
+  ScanResult result;
+  size_t last_page = static_cast<size_t>(-1);
+  for (size_t i = 0; i < count_; ++i) {
+    const Cursor& c = index_[i];
+    if (c.page != last_page) {
+      result.pages_touched++;
+      last_page = c.page;
+    }
+    RecordView r = ParseRecord(pages_[c.page].get() + c.offset);
+    result.nodes_visited++;
+    if (r.kind != XmlKind::kElement || r.name != name) continue;
+    // Concatenate the direct text children (they follow immediately in DFS
+    // order until the first non-text child).
+    std::string text;
+    for (size_t j = i + 1; j < subtree_end_[i]; ++j) {
+      const Cursor& cj = index_[j];
+      if (cj.page != last_page) {
+        result.pages_touched++;
+        last_page = cj.page;
+      }
+      RecordView rj = ParseRecord(pages_[cj.page].get() + cj.offset);
+      result.nodes_visited++;
+      if (rj.kind == XmlKind::kText) text.append(rj.text);
+    }
+    double v;
+    if (ParseDouble(text, &v) && v > value) result.matches++;
+  }
+  return result;
+}
+
+StatusOr<SubtreeStore::SubtreeResult> SubtreeStore::ReadSubtree(
+    std::string_view name, size_t target_index) const {
+  size_t seen = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    const Cursor& c = index_[i];
+    RecordView r = ParseRecord(pages_[c.page].get() + c.offset);
+    if (r.kind != XmlKind::kElement || r.name != name) continue;
+    if (seen++ != target_index) continue;
+    // Materialize records [i, subtree_end) back into a tree.
+    SubtreeResult result;
+    size_t last_page = static_cast<size_t>(-1);
+    std::vector<std::pair<XmlNode*, uint32_t>> stack;  // node, subtree end
+    std::unique_ptr<XmlNode> root;
+    for (size_t j = i; j < subtree_end_[i]; ++j) {
+      const Cursor& cj = index_[j];
+      if (cj.page != last_page) {
+        result.pages_touched++;
+        last_page = cj.page;
+      }
+      RecordView rj = ParseRecord(pages_[cj.page].get() + cj.offset);
+      while (!stack.empty() && j >= stack.back().second) stack.pop_back();
+      auto node = std::make_unique<XmlNode>(rj.kind, std::string(rj.name),
+                                            std::string(rj.text));
+      XmlNode* raw = node.get();
+      if (stack.empty()) {
+        root = std::move(node);
+      } else {
+        stack.back().first->Add(std::move(node));
+      }
+      if (rj.kind == XmlKind::kElement || rj.kind == XmlKind::kDocument) {
+        stack.emplace_back(raw, subtree_end_[j]);
+      }
+    }
+    result.tree = std::move(root);
+    return result;
+  }
+  return Status::NotFound("no such element");
+}
+
+}  // namespace sedna::baselines

@@ -1,0 +1,87 @@
+// Baseline storage strategy: subtree-based clustering (paper Section 2,
+// citing Natix/Timber): "an XML element is frequently queried together with
+// its sub-elements, so these should be clustered together", i.e. the
+// document tree is laid out in depth-first order across pages.
+//
+// The paper's claim (E2): schema-driven clustering is "efficient for
+// retrieving only subelements of particular types" and "more
+// computationally efficient for selecting nodes with respect to a
+// predicate, because unnecessary nodes are not fetched from disk". This
+// store makes the comparison concrete: selecting all elements of one name
+// must sweep every page, and the benchmark counts the pages each strategy
+// touches.
+
+#ifndef SEDNA_BASELINES_SUBTREE_STORAGE_H_
+#define SEDNA_BASELINES_SUBTREE_STORAGE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/xml_tree.h"
+
+namespace sedna::baselines {
+
+/// Paged depth-first storage of one document. Node records are
+/// variable-length and packed into fixed-size pages in document order.
+class SubtreeStore {
+ public:
+  /// Page size matches the Sedna engine for a fair comparison.
+  static constexpr size_t kPageBytes = 16384;
+
+  /// Bulk-loads the document in depth-first order.
+  Status Load(const XmlNode& doc);
+
+  size_t node_count() const { return count_; }
+  size_t page_count() const { return pages_.size(); }
+
+  struct ScanResult {
+    uint64_t matches = 0;
+    uint64_t pages_touched = 0;
+    uint64_t nodes_visited = 0;
+  };
+
+  /// All elements with the given name (full sweep: subtree clustering has
+  /// no name index).
+  ScanResult ScanByName(std::string_view name) const;
+
+  /// Elements with the given name whose concatenated child text compares
+  /// greater than `value` numerically (a simple predicate scan).
+  ScanResult PredicateScan(std::string_view name, double value) const;
+
+  /// Reconstructs the subtree rooted at the `index`-th element named
+  /// `name` — the access pattern subtree clustering is good at: the whole
+  /// subtree sits on one or few adjacent pages.
+  struct SubtreeResult {
+    std::unique_ptr<XmlNode> tree;
+    uint64_t pages_touched = 0;
+  };
+  StatusOr<SubtreeResult> ReadSubtree(std::string_view name,
+                                      size_t index) const;
+
+ private:
+  // Record layout (packed, little-endian):
+  //   uint8 kind | uint32 subtree_end (node index after this subtree)
+  //   | uint16 name_len | uint16 text_len | name | text
+  struct Cursor {
+    size_t page;
+    size_t offset;
+  };
+
+  void AppendNode(const XmlNode& node);
+  void EnsureRoom(size_t bytes);
+
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+  size_t tail_used_ = kPageBytes;  // bytes used in the last page
+  // Node index -> (page, offset); kept in memory like a clustered index.
+  std::vector<Cursor> index_;
+  std::vector<uint32_t> subtree_end_;  // node index one past the subtree
+  size_t count_ = 0;
+};
+
+}  // namespace sedna::baselines
+
+#endif  // SEDNA_BASELINES_SUBTREE_STORAGE_H_

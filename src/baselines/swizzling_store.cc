@@ -1,0 +1,16 @@
+#include "baselines/swizzling_store.h"
+
+namespace sedna::baselines {
+
+PersistentRef SwizzlingStore::Allocate() {
+  if (tail_used_ >= kObjectsPerPage) {
+    pages_.push_back(std::make_unique<SwizzleObject[]>(kObjectsPerPage));
+    tail_used_ = 0;
+  }
+  PersistentRef ref;
+  ref.page = static_cast<uint32_t>(pages_.size());  // 1-based
+  ref.slot = static_cast<uint32_t>(++tail_used_);   // 1-based
+  return ref;
+}
+
+}  // namespace sedna::baselines

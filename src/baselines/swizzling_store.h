@@ -1,0 +1,78 @@
+// Baseline memory management: pointer swizzling in the style of ObjectStore
+// / QuickStore (paper Section 2): persistent pointers are (page, slot)
+// object identifiers whose representation differs from virtual addresses,
+// so every dereference pays a translation through a resident-object table
+// — "the pointer representations in DAS and VAS are different that makes
+// the conversion expensive".
+//
+// The Sedna side of benchmark E1 dereferences an Xptr through the SAS
+// layer-table (two array loads); this baseline dereferences through a hash
+// lookup per pointer, modeling the swizzle/unswizzle conversion.
+
+#ifndef SEDNA_BASELINES_SWIZZLING_STORE_H_
+#define SEDNA_BASELINES_SWIZZLING_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sedna::baselines {
+
+/// Persistent object reference: different representation from a VAS pointer.
+struct PersistentRef {
+  uint32_t page = 0;
+  uint32_t slot = 0;
+  bool is_null() const { return page == 0 && slot == 0; }
+};
+
+/// Fixed-size objects holding one persistent "next" reference plus payload,
+/// enough for the pointer-chasing benchmark.
+struct SwizzleObject {
+  PersistentRef next;
+  uint64_t payload = 0;
+};
+
+class SwizzlingStore {
+ public:
+  static constexpr size_t kObjectsPerPage = 512;
+
+  SwizzlingStore() = default;
+
+  /// Allocates a new object; returns its persistent reference.
+  PersistentRef Allocate();
+
+  /// Dereferences through the swizzle table (hash lookup per call — the
+  /// conversion cost the paper's design avoids).
+  SwizzleObject* Deref(PersistentRef ref) {
+    derefs_++;
+    auto it = resident_.find(Key(ref.page));
+    if (it == resident_.end()) {
+      faults_++;
+      it = resident_.emplace(Key(ref.page), LoadPage(ref.page)).first;
+    }
+    return it->second + (ref.slot - 1);
+  }
+
+  uint64_t derefs() const { return derefs_; }
+  uint64_t faults() const { return faults_; }
+  size_t page_count() const { return pages_.size(); }
+
+ private:
+  static uint64_t Key(uint32_t page) { return page; }
+  SwizzleObject* LoadPage(uint32_t page) {
+    return pages_[page - 1].get();
+  }
+
+  std::vector<std::unique_ptr<SwizzleObject[]>> pages_;
+  size_t tail_used_ = kObjectsPerPage;
+  std::unordered_map<uint64_t, SwizzleObject*> resident_;
+  uint64_t derefs_ = 0;
+  uint64_t faults_ = 0;
+};
+
+}  // namespace sedna::baselines
+
+#endif  // SEDNA_BASELINES_SWIZZLING_STORE_H_

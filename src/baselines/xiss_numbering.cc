@@ -1,0 +1,64 @@
+#include "baselines/xiss_numbering.h"
+
+#include "common/logging.h"
+
+namespace sedna::baselines {
+
+bool XissTree::TryPlace(NodeId parent, size_t pos, XissLabel* out) const {
+  const Node& p = nodes_[parent];
+  // Integer range available between the left neighbour's interval end and
+  // the right neighbour's interval start, inside the parent interval.
+  uint64_t prev_end = pos > 0 ? nodes_[p.children[pos - 1]].label.order +
+                                    nodes_[p.children[pos - 1]].label.size
+                              : p.label.order;
+  uint64_t next_start = pos < p.children.size()
+                            ? nodes_[p.children[pos]].label.order
+                            : p.label.order + p.label.size + 1;
+  if (next_start <= prev_end + 1) return false;  // gap exhausted
+  uint64_t avail = next_start - prev_end - 1;
+  // Leave roughly a quarter of the gap on the left, keep up to half the gap
+  // as the new node's own descendant space.
+  uint64_t order = prev_end + 1 + avail / 4;
+  uint64_t size = avail / 2;
+  if (order + size >= next_start) {
+    size = next_start - 1 - order;
+  }
+  out->order = order;
+  out->size = size;
+  return true;
+}
+
+XissTree::NodeId XissTree::InsertChild(NodeId parent, size_t pos) {
+  SEDNA_CHECK(pos <= nodes_[parent].children.size());
+  XissLabel label;
+  if (!TryPlace(parent, pos, &label)) {
+    // The paper's drawback in action: reconstruct every label.
+    RelabelAll();
+    bool ok = TryPlace(parent, pos, &label);
+    SEDNA_CHECK(ok) << "fresh gaps must admit the insertion";
+  }
+  NodeId id = nodes_.size();
+  nodes_.push_back(Node{id, parent, {}, label});
+  Node& p = nodes_[parent];
+  p.children.insert(p.children.begin() + static_cast<long>(pos), id);
+  return id;
+}
+
+void XissTree::RelabelAll() {
+  relabels_++;
+  relabeled_nodes_ += nodes_.size();
+  RelabelSubtree(0, 1);
+}
+
+uint64_t XissTree::RelabelSubtree(NodeId id, uint64_t order) {
+  Node& node = nodes_[id];
+  node.label.order = order;
+  uint64_t cur = order;
+  for (NodeId child : node.children) {
+    cur = RelabelSubtree(child, cur + gap_);
+  }
+  node.label.size = cur + gap_ - order;
+  return node.label.order + node.label.size;
+}
+
+}  // namespace sedna::baselines

@@ -1,0 +1,100 @@
+// Baseline numbering scheme in the style of XISS (Li & Moon, VLDB'01),
+// which the paper singles out (Section 4.1.1): interval-based (order, size)
+// labels whose "main drawback ... is that inserting nodes into an XML
+// document periodically requires reconstruction of labels for the entire
+// XML document".
+//
+// Each node carries an integer pair (order, size): descendants of x satisfy
+// order_x < order_y <= order_x + size_x. Intervals are allocated with gaps;
+// when an insertion finds no free integer, the WHOLE document is relabeled
+// (and the relabel counters that benchmark E3 reports are incremented).
+
+#ifndef SEDNA_BASELINES_XISS_NUMBERING_H_
+#define SEDNA_BASELINES_XISS_NUMBERING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sedna::baselines {
+
+struct XissLabel {
+  uint64_t order = 0;
+  uint64_t size = 0;
+
+  /// Interval containment test (XISS ancestor check).
+  bool IsAncestorOf(const XissLabel& other) const {
+    return order < other.order && other.order <= order + size;
+  }
+  bool PrecedesInDocOrder(const XissLabel& other) const {
+    return order < other.order;
+  }
+};
+
+/// A tree of XISS-labeled nodes supporting point insertion. Node identity is
+/// a stable integer id; labels change under relabeling (that is the point).
+class XissTree {
+ public:
+  /// Creates a tree with a root. `gap` controls initial spacing between
+  /// sibling intervals (larger gap = fewer relabels, bigger ids).
+  explicit XissTree(uint64_t gap = 16) : gap_(gap) {
+    nodes_.push_back(Node{0, kNoNode, {}, XissLabel{}});
+    RelabelAll();
+    relabels_ = 0;  // the initial labeling does not count
+    relabeled_nodes_ = 0;
+  }
+
+  using NodeId = size_t;
+  static constexpr NodeId kNoNode = static_cast<NodeId>(-1);
+
+  NodeId root() const { return 0; }
+  size_t size() const { return nodes_.size(); }
+
+  const XissLabel& label(NodeId id) const { return nodes_[id].label; }
+  NodeId parent(NodeId id) const { return nodes_[id].parent; }
+  const std::vector<NodeId>& children(NodeId id) const {
+    return nodes_[id].children;
+  }
+
+  /// Inserts a child of `parent` at `pos` (0..children). If no free integer
+  /// remains between the neighbours, the entire document is relabeled first.
+  NodeId InsertChild(NodeId parent, size_t pos);
+
+  /// True if a is an ancestor of b per the labels.
+  bool IsAncestor(NodeId a, NodeId b) const {
+    return nodes_[a].label.IsAncestorOf(nodes_[b].label);
+  }
+
+  /// Benchmark counters: full-document relabel events and total node labels
+  /// rewritten by them.
+  uint64_t relabels() const { return relabels_; }
+  uint64_t relabeled_nodes() const { return relabeled_nodes_; }
+
+ private:
+  struct Node {
+    NodeId id;
+    NodeId parent;
+    std::vector<NodeId> children;
+    XissLabel label;
+  };
+
+  /// Attempts to pick (order,size) for a new node between its neighbours
+  /// inside the parent's interval; false if the gap is exhausted.
+  bool TryPlace(NodeId parent, size_t pos, XissLabel* out) const;
+
+  /// Reassigns every label with fresh gaps (the reconstruction the paper
+  /// criticizes).
+  void RelabelAll();
+  uint64_t RelabelSubtree(NodeId id, uint64_t order);
+
+  std::vector<Node> nodes_;
+  uint64_t gap_;
+  uint64_t relabels_ = 0;
+  uint64_t relabeled_nodes_ = 0;
+};
+
+}  // namespace sedna::baselines
+
+#endif  // SEDNA_BASELINES_XISS_NUMBERING_H_

@@ -1,0 +1,137 @@
+#include "common/coding.h"
+
+namespace sedna {
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+const char* GetVarint32(const char* p, const char* limit, uint32_t* value) {
+  uint32_t result = 0;
+  for (int shift = 0; shift <= 28 && p < limit; shift += 7) {
+    uint32_t byte = static_cast<uint8_t>(*p++);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+const char* GetVarint64(const char* p, const char* limit, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<uint8_t>(*p++);
+    if (byte & 0x80) {
+      result |= (byte & 0x7f) << shift;
+    } else {
+      result |= byte << shift;
+      *value = result;
+      return p;
+    }
+  }
+  return nullptr;
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+const char* GetLengthPrefixed(const char* p, const char* limit,
+                              std::string_view* result) {
+  uint64_t len = 0;
+  p = GetVarint64(p, limit, &len);
+  if (p == nullptr || static_cast<uint64_t>(limit - p) < len) return nullptr;
+  *result = std::string_view(p, len);
+  return p + len;
+}
+
+namespace {
+struct Crc32Table {
+  uint32_t table[256];
+  Crc32Table() {
+    // Castagnoli polynomial (reflected).
+    const uint32_t poly = 0x82f63b78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc >> 1) ^ ((crc & 1) ? poly : 0);
+      }
+      table[i] = crc;
+    }
+  }
+};
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  static const Crc32Table* t = new Crc32Table;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = t->table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+bool Decoder::GetFixed32(uint32_t* v) {
+  if (!ok_ || remaining() < 4) return Fail();
+  *v = DecodeFixed32(p_);
+  p_ += 4;
+  return true;
+}
+
+bool Decoder::GetFixed64(uint64_t* v) {
+  if (!ok_ || remaining() < 8) return Fail();
+  *v = DecodeFixed64(p_);
+  p_ += 8;
+  return true;
+}
+
+bool Decoder::GetVarint32(uint32_t* v) {
+  if (!ok_) return false;
+  const char* next = sedna::GetVarint32(p_, limit_, v);
+  if (next == nullptr) return Fail();
+  p_ = next;
+  return true;
+}
+
+bool Decoder::GetVarint64(uint64_t* v) {
+  if (!ok_) return false;
+  const char* next = sedna::GetVarint64(p_, limit_, v);
+  if (next == nullptr) return Fail();
+  p_ = next;
+  return true;
+}
+
+bool Decoder::GetLengthPrefixed(std::string_view* v) {
+  if (!ok_) return false;
+  const char* next = sedna::GetLengthPrefixed(p_, limit_, v);
+  if (next == nullptr) return Fail();
+  p_ = next;
+  return true;
+}
+
+bool Decoder::GetRaw(void* dst, size_t n) {
+  if (!ok_ || remaining() < n) return Fail();
+  std::memcpy(dst, p_, n);
+  p_ += n;
+  return true;
+}
+
+}  // namespace sedna

@@ -1,0 +1,94 @@
+// Binary encoding helpers for the WAL, catalog and backup file formats:
+// little-endian fixed-width integers, LEB128 varints, length-prefixed
+// strings, and a CRC32 used to validate on-disk records.
+
+#ifndef SEDNA_COMMON_CODING_H_
+#define SEDNA_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace sedna {
+
+// --- fixed-width little-endian ---------------------------------------------
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  dst->append(buf, 8);
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+// --- varints (LEB128) -------------------------------------------------------
+
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Decodes a varint from [p, limit). Returns the position after the varint,
+/// or nullptr on malformed/truncated input.
+const char* GetVarint32(const char* p, const char* limit, uint32_t* value);
+const char* GetVarint64(const char* p, const char* limit, uint64_t* value);
+
+// --- length-prefixed strings ------------------------------------------------
+
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+const char* GetLengthPrefixed(const char* p, const char* limit,
+                              std::string_view* result);
+
+// --- checksums ---------------------------------------------------------------
+
+/// CRC32 (Castagnoli polynomial, table-driven software implementation).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+// --- cursor-style decoder ----------------------------------------------------
+
+/// Sequential decoder over a byte buffer; each Get* returns false once the
+/// input is exhausted or malformed, after which the decoder stays failed.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data)
+      : p_(data.data()), limit_(data.data() + data.size()) {}
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return static_cast<size_t>(limit_ - p_); }
+
+  bool GetFixed32(uint32_t* v);
+  bool GetFixed64(uint64_t* v);
+  bool GetVarint32(uint32_t* v);
+  bool GetVarint64(uint64_t* v);
+  bool GetLengthPrefixed(std::string_view* v);
+  bool GetRaw(void* dst, size_t n);
+
+ private:
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+
+  const char* p_;
+  const char* limit_;
+  bool ok_ = true;
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_COMMON_CODING_H_

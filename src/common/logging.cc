@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace sedna {
+namespace internal_logging {
+
+std::atomic<int>& MinLevel() {
+  static std::atomic<int> level{static_cast<int>(LogLevel::kWarning)};
+  return level;
+}
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+std::mutex& EmitMutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+}  // namespace
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg) {
+  if (static_cast<int>(level) < MinLevel().load(std::memory_order_relaxed)) {
+    return;
+  }
+  // Strip directories for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelName(level), base, line,
+               msg.c_str());
+}
+
+}  // namespace internal_logging
+
+LogLevel SetLogLevel(LogLevel level) {
+  int prev = internal_logging::MinLevel().exchange(static_cast<int>(level));
+  return static_cast<LogLevel>(prev);
+}
+
+}  // namespace sedna

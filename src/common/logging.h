@@ -1,0 +1,97 @@
+// Minimal leveled logging and assertion macros.
+//
+// The logger writes to stderr; tests can raise the threshold to silence it.
+// SEDNA_CHECK is an always-on invariant check (storage code must not corrupt
+// data silently even in release builds).
+
+#ifndef SEDNA_COMMON_LOGGING_H_
+#define SEDNA_COMMON_LOGGING_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sedna {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+namespace internal_logging {
+
+/// Process-wide minimum level that is actually emitted.
+std::atomic<int>& MinLevel();
+
+/// Emits one formatted line to stderr (thread-safe at the line level).
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// Accumulates a message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Emit(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Emits the message and aborts the process. Used by SEDNA_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line) : file_(file), line_(line) {}
+  [[noreturn]] ~FatalLogMessage() {
+    Emit(LogLevel::kError, file_, line_, stream_.str());
+    std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the global minimum emitted level; returns the previous level.
+LogLevel SetLogLevel(LogLevel level);
+
+}  // namespace sedna
+
+#define SEDNA_LOG_ENABLED(level)                                   \
+  (static_cast<int>(level) >=                                      \
+   ::sedna::internal_logging::MinLevel().load(std::memory_order_relaxed))
+
+#define SEDNA_LOG(level)                                           \
+  if (!SEDNA_LOG_ENABLED(::sedna::LogLevel::level)) {              \
+  } else                                                           \
+    ::sedna::internal_logging::LogMessage(::sedna::LogLevel::level,\
+                                          __FILE__, __LINE__)      \
+        .stream()
+
+#define SEDNA_CHECK(cond)                                                 \
+  if (cond) {                                                             \
+  } else                                                                  \
+    ::sedna::internal_logging::FatalLogMessage(__FILE__, __LINE__)        \
+            .stream()                                                     \
+        << "Check failed: " #cond " "
+
+#define SEDNA_DCHECK(cond) assert(cond)
+
+#endif  // SEDNA_COMMON_LOGGING_H_

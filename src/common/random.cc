@@ -1,0 +1,79 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace sedna {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: used only to expand the seed into the xoshiro state.
+inline uint64_t SplitMix64(uint64_t& x) {
+  uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void Random::Seed(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : state_) s = SplitMix64(x);
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  SEDNA_DCHECK(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Random::UniformRange(int64_t lo, int64_t hi) {
+  SEDNA_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Random::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Random::Bernoulli(double p) { return NextDouble() < p; }
+
+uint64_t Random::Zipf(uint64_t n, double theta) {
+  SEDNA_DCHECK(n > 0);
+  // Approximate skewed sampling: with probability `theta` draw log-uniform
+  // (heavily favouring small values), otherwise uniform. Matches the shape
+  // benchmarks need without the cost of exact Zipf inversion.
+  if (NextDouble() < theta) {
+    double x = std::pow(static_cast<double>(n), NextDouble());
+    uint64_t v = static_cast<uint64_t>(x) - (x >= 1.0 ? 1 : 0);
+    return v >= n ? n - 1 : v;
+  }
+  return Uniform(n);
+}
+
+std::string Random::NextString(size_t len) {
+  std::string s(len, 'a');
+  for (auto& c : s) c = static_cast<char>('a' + Uniform(26));
+  return s;
+}
+
+}  // namespace sedna

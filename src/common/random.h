@@ -1,0 +1,50 @@
+// Deterministic pseudo-random generator for workload generation and tests.
+//
+// xoshiro256** — fast, high quality, and reproducible across platforms
+// (std::mt19937 distributions are not guaranteed bit-stable across library
+// implementations, which matters for regenerating benchmark workloads).
+
+#ifndef SEDNA_COMMON_RANDOM_H_
+#define SEDNA_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sedna {
+
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x5eda2010ULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from `seed`.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Zipfian-distributed value in [0, n) with skew `theta` in (0,1).
+  /// Used by benchmark workload generators for skewed access patterns.
+  uint64_t Zipf(uint64_t n, double theta);
+
+  /// Random lowercase ASCII string of length `len`.
+  std::string NextString(size_t len);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_COMMON_RANDOM_H_

@@ -1,0 +1,155 @@
+// Error-handling primitives used throughout the Sedna reproduction.
+//
+// Following the convention of production database codebases, fallible
+// operations return a `Status` (or `StatusOr<T>` when they produce a value)
+// rather than throwing: exceptions are disabled-by-convention in the storage
+// and transaction layers, where failure is a normal control path (page miss,
+// lock timeout, parse error).
+
+#ifndef SEDNA_COMMON_STATUS_H_
+#define SEDNA_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sedna {
+
+// Broad error taxonomy. Codes are stable; messages are free-form detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller error: bad query text, bad config, bad xptr
+  kNotFound,          // document/node/key absent
+  kAlreadyExists,     // create-document collision etc.
+  kCorruption,        // on-disk structure failed validation
+  kIOError,           // underlying file operation failed
+  kResourceExhausted, // out of pages/frames/label space
+  kFailedPrecondition,// call sequencing error (e.g. commit without begin)
+  kAborted,           // transaction aborted (deadlock victim, conflict)
+  kTimedOut,          // lock wait exceeded its budget
+  kUnimplemented,     // feature outside the reproduced subset
+  kInternal,          // invariant violation; indicates a bug
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "NotFound").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus an optional detail message.
+/// `Status::OK()` is cheap (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status IOError(std::string m) {
+    return Status(StatusCode::kIOError, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Aborted(std::string m) {
+    return Status(StatusCode::kAborted, std::move(m));
+  }
+  static Status TimedOut(std::string m) {
+    return Status(StatusCode::kTimedOut, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A `Status` or a value of type `T`. Access to `value()` requires `ok()`.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit: allows `return Status::NotFound(...)` and
+  // `return value` from functions declared `StatusOr<T>`.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sedna
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define SEDNA_RETURN_IF_ERROR(expr)          \
+  do {                                       \
+    ::sedna::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluates a StatusOr expression; on error propagates the Status,
+/// otherwise moves the value into `lhs`.
+#define SEDNA_ASSIGN_OR_RETURN(lhs, expr)            \
+  SEDNA_ASSIGN_OR_RETURN_IMPL_(                      \
+      SEDNA_STATUS_CONCAT_(_status_or_, __LINE__), lhs, expr)
+#define SEDNA_STATUS_CONCAT_INNER_(a, b) a##b
+#define SEDNA_STATUS_CONCAT_(a, b) SEDNA_STATUS_CONCAT_INNER_(a, b)
+#define SEDNA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // SEDNA_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+// Small string helpers shared by the XML and XQuery front ends.
+
+#ifndef SEDNA_COMMON_STRING_UTIL_H_
+#define SEDNA_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sedna {
+
+/// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing XML whitespace (space, tab, CR, LF).
+std::string_view Trim(std::string_view s);
+
+/// True if `s` consists only of XML whitespace (or is empty).
+bool IsXmlWhitespace(std::string_view s);
+
+/// Parses a decimal integer; returns false on any non-numeric content.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// Parses a floating-point number; returns false on any non-numeric content.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double the way XQuery serialization does: integral values
+/// without a trailing ".0", otherwise shortest round-trip form.
+std::string FormatDouble(double v);
+
+/// Escapes '&', '<', '>', '"' for inclusion in serialized XML.
+std::string XmlEscape(std::string_view s, bool escape_quotes = false);
+
+}  // namespace sedna
+
+#endif  // SEDNA_COMMON_STRING_UTIL_H_

@@ -1,0 +1,247 @@
+#include "db/database.h"
+
+#include "common/logging.h"
+
+namespace sedna {
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<Database>> Database::Create(
+    const DatabaseOptions& options) {
+  std::unique_ptr<Database> db(new Database());
+  SEDNA_RETURN_IF_ERROR(db->Init(options, /*create=*/true));
+  return db;
+}
+
+StatusOr<std::unique_ptr<Database>> Database::Open(
+    const DatabaseOptions& options) {
+  std::unique_ptr<Database> db(new Database());
+  SEDNA_RETURN_IF_ERROR(db->Init(options, /*create=*/false));
+  return db;
+}
+
+Database::~Database() {
+  Governor::Instance().UnregisterDatabase(this);
+}
+
+Status Database::Init(const DatabaseOptions& options, bool create) {
+  options_ = options;
+
+  StorageHooks hooks;
+  if (options.enable_mvcc) {
+    hooks.resolver_factory = [this](FileManager* file,
+                                    SimplePageDirectory* directory)
+        -> std::unique_ptr<PageResolver> {
+      auto vm = std::make_unique<VersionManager>(file, directory);
+      versions_ = vm.get();
+      return vm;
+    };
+    hooks.allocator_factory =
+        [this](SimplePageDirectory* directory) -> std::unique_ptr<PageAllocator> {
+      return std::make_unique<TrackingAllocator>(directory, versions_);
+    };
+  }
+
+  StorageOptions storage_options;
+  storage_options.path = options.path;
+  storage_options.buffer_frames = options.buffer_frames;
+  if (create) {
+    SEDNA_ASSIGN_OR_RETURN(storage_,
+                           StorageEngine::Create(storage_options, hooks));
+    if (options.enable_wal) {
+      std::remove(options.EffectiveWalPath().c_str());
+    }
+  } else {
+    SEDNA_ASSIGN_OR_RETURN(storage_,
+                           StorageEngine::Open(storage_options, hooks));
+  }
+  if (versions_ != nullptr) {
+    versions_->BindBuffers(storage_->buffers());
+  }
+
+  if (options.enable_wal) {
+    wal_ = std::make_unique<WalWriter>();
+    SEDNA_RETURN_IF_ERROR(wal_->Open(options.EffectiveWalPath()));
+  }
+  txns_ = std::make_unique<TransactionManager>(storage_.get(), versions_,
+                                               wal_.get());
+  backup_ = std::make_unique<BackupManager>(storage_.get(), txns_.get());
+  indexes_ = std::make_unique<ValueIndexManager>(storage_.get());
+
+  if (!create && options.enable_wal) {
+    // Two-step recovery, step 2: replay committed statements on top of the
+    // persistent snapshot the storage engine just restored.
+    uint64_t checkpoint_lsn = storage_->file()->master().checkpoint_lsn;
+    StatementExecutor replayer(storage_.get());
+    replayer.set_index_manager(indexes_.get());
+    SEDNA_RETURN_IF_ERROR(RecoverFromWal(
+        options.EffectiveWalPath(), checkpoint_lsn,
+        [&](const std::string& stmt) -> Status {
+          OpCtx system;
+          StatusOr<StatementResult> r = replayer.Execute(stmt, system);
+          return r.status();
+        },
+        &recovered_statements_));
+    if (recovered_statements_ > 0) {
+      // Fold the replayed state into a fresh persistent snapshot.
+      SEDNA_RETURN_IF_ERROR(txns_->Checkpoint());
+    }
+  }
+
+  Governor::Instance().RegisterDatabase(this, options.path);
+  return Status::OK();
+}
+
+std::unique_ptr<Session> Database::Connect() {
+  return std::make_unique<Session>(this);
+}
+
+Status Database::Checkpoint() { return txns_->Checkpoint(); }
+
+Status Database::FullBackup(const std::string& dir) {
+  return backup_->FullBackup(dir);
+}
+
+Status Database::IncrementalBackup(const std::string& dir) {
+  return backup_->IncrementalBackup(dir);
+}
+
+Status Database::Restore(const std::string& dir,
+                         const DatabaseOptions& options) {
+  return BackupManager::Restore(dir, options.path,
+                                options.EffectiveWalPath());
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::Session(Database* db)
+    : db_(db),
+      executor_(db->storage()),
+      session_id_(Governor::Instance().RegisterSession()) {}
+
+Session::~Session() {
+  if (txn_ != nullptr) {
+    Status st = db_->txns()->Abort(txn_.get());
+    if (!st.ok()) {
+      SEDNA_LOG(kError) << "session abort failed: " << st.ToString();
+    }
+    txn_.reset();
+  }
+  Governor::Instance().UnregisterSession(session_id_);
+}
+
+Status Session::Begin(bool read_only) {
+  if (txn_ != nullptr) {
+    return Status::FailedPrecondition("transaction already open");
+  }
+  SEDNA_ASSIGN_OR_RETURN(txn_, db_->txns()->Begin(read_only));
+  return Status::OK();
+}
+
+Status Session::Commit() {
+  if (txn_ == nullptr) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  Status st = db_->txns()->Commit(txn_.get());
+  txn_.reset();
+  return st;
+}
+
+Status Session::Abort() {
+  if (txn_ == nullptr) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  Status st = db_->txns()->Abort(txn_.get());
+  txn_.reset();
+  return st;
+}
+
+StatusOr<QueryResult> Session::Execute(const std::string& statement,
+                                       const RewriteOptions& options) {
+  if (txn_ != nullptr) {
+    return ExecuteIn(txn_.get(), statement, options);
+  }
+  // Autocommit: one transaction per statement.
+  SEDNA_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
+                         db_->txns()->Begin(/*read_only=*/false));
+  StatusOr<QueryResult> result = ExecuteIn(txn.get(), statement, options);
+  if (result.ok()) {
+    SEDNA_RETURN_IF_ERROR(db_->txns()->Commit(txn.get()));
+  } else {
+    Status abort_st = db_->txns()->Abort(txn.get());
+    if (!abort_st.ok()) {
+      SEDNA_LOG(kError) << "autocommit abort failed: " << abort_st.ToString();
+    }
+  }
+  return result;
+}
+
+StatusOr<QueryResult> Session::ExecuteIn(Transaction* txn,
+                                         const std::string& statement,
+                                         const RewriteOptions& options) {
+  executor_.set_index_manager(db_->indexes());
+  executor_.set_doc_access_hook(
+      [txn](const std::string& name, bool exclusive) {
+        return txn->LockDocument(
+            name, exclusive ? LockMode::kExclusive : LockMode::kShared);
+      });
+  executor_.set_update_listener(
+      [txn](const std::string& text) { return txn->LogUpdate(text); });
+  SEDNA_ASSIGN_OR_RETURN(StatementResult r,
+                         executor_.Execute(statement, txn->ctx(), options));
+  QueryResult out;
+  out.kind = r.kind;
+  out.serialized = std::move(r.serialized);
+  out.affected = r.affected;
+  out.stats = r.stats;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Governor
+// ---------------------------------------------------------------------------
+
+Governor& Governor::Instance() {
+  static Governor* governor = new Governor();
+  return *governor;
+}
+
+uint64_t Governor::RegisterSession() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_session_id_++;
+  sessions_[id] = true;
+  return id;
+}
+
+void Governor::UnregisterSession(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(id);
+}
+
+void Governor::RegisterDatabase(Database* db, const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  databases_[db] = path;
+}
+
+void Governor::UnregisterDatabase(Database* db) {
+  std::lock_guard<std::mutex> lock(mu_);
+  databases_.erase(db);
+}
+
+std::vector<Governor::ComponentInfo> Governor::Components() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ComponentInfo> out;
+  for (const auto& [db, path] : databases_) {
+    out.push_back({"database", path});
+  }
+  for (const auto& [id, _] : sessions_) {
+    out.push_back({"session", "session-" + std::to_string(id)});
+  }
+  return out;
+}
+
+}  // namespace sedna

@@ -1,0 +1,158 @@
+// Public Sedna-repro API (paper Figure 1).
+//
+// The Governor is the "control center": it keeps a registry of databases
+// and sessions. A Database bundles the storage engine (buffer manager +
+// page directory), the transaction manager (locks + versions + WAL) and
+// recovery/backup. A Session is the per-client connection: it creates a
+// transaction per statement (autocommit) or spans several statements
+// (Begin/Commit/Abort), acquires document locks through the executor's
+// access hook, and logs update statements to the WAL.
+
+#ifndef SEDNA_DB_DATABASE_H_
+#define SEDNA_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/storage_engine.h"
+#include "txn/backup.h"
+#include "txn/transaction.h"
+#include "txn/version_manager.h"
+#include "xquery/statement.h"
+#include "xquery/value_index.h"
+
+namespace sedna {
+
+struct DatabaseOptions {
+  std::string path;       // data file
+  std::string wal_path;   // write-ahead log ("" = derive from path)
+  size_t buffer_frames = 1024;
+  bool enable_mvcc = true;   // page-level multiversioning (Section 6.1)
+  bool enable_wal = true;    // durability (Section 6.4)
+
+  std::string EffectiveWalPath() const {
+    return wal_path.empty() ? path + ".wal" : wal_path;
+  }
+};
+
+/// Result of one statement, as returned to a client.
+struct QueryResult {
+  StatementKind kind = StatementKind::kQuery;
+  std::string serialized;  // query output
+  uint64_t affected = 0;   // update/DDL counts
+  ExecStats stats;
+};
+
+class Session;
+
+class Database {
+ public:
+  /// Creates a fresh database (truncating existing files).
+  static StatusOr<std::unique_ptr<Database>> Create(
+      const DatabaseOptions& options);
+
+  /// Opens an existing database, running the two-step recovery: the
+  /// storage engine restores the persistent snapshot, then committed update
+  /// statements from the WAL are replayed (Section 6.4).
+  static StatusOr<std::unique_ptr<Database>> Open(
+      const DatabaseOptions& options);
+
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Opens a client session.
+  std::unique_ptr<Session> Connect();
+
+  /// Persistent snapshot (checkpoint).
+  Status Checkpoint();
+
+  /// Hot backups (Section 6.5).
+  Status FullBackup(const std::string& dir);
+  Status IncrementalBackup(const std::string& dir);
+  static Status Restore(const std::string& dir,
+                        const DatabaseOptions& options);
+
+  StorageEngine* storage() { return storage_.get(); }
+  TransactionManager* txns() { return txns_.get(); }
+  VersionManager* versions() { return versions_; }
+  ValueIndexManager* indexes() { return indexes_.get(); }
+  const DatabaseOptions& options() const { return options_; }
+  uint64_t recovered_statements() const { return recovered_statements_; }
+
+ private:
+  Database() = default;
+  Status Init(const DatabaseOptions& options, bool create);
+
+  DatabaseOptions options_;
+  std::unique_ptr<StorageEngine> storage_;
+  VersionManager* versions_ = nullptr;  // owned by storage_ hooks
+  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<TransactionManager> txns_;
+  std::unique_ptr<BackupManager> backup_;
+  std::unique_ptr<ValueIndexManager> indexes_;
+  uint64_t recovered_statements_ = 0;
+};
+
+/// A client session (Figure 1's connection + transaction components).
+class Session {
+ public:
+  explicit Session(Database* db);
+  ~Session();
+
+  /// Executes one statement. Outside an explicit transaction the statement
+  /// runs in its own autocommit transaction.
+  StatusOr<QueryResult> Execute(const std::string& statement,
+                                const RewriteOptions& options = {});
+
+  /// Explicit transaction control. `read_only` transactions read a
+  /// snapshot and never block on (or take) document locks.
+  Status Begin(bool read_only = false);
+  Status Commit();
+  Status Abort();
+  bool in_transaction() const { return txn_ != nullptr; }
+
+  uint64_t session_id() const { return session_id_; }
+
+ private:
+  StatusOr<QueryResult> ExecuteIn(Transaction* txn,
+                                  const std::string& statement,
+                                  const RewriteOptions& options);
+
+  Database* db_;
+  StatementExecutor executor_;
+  std::unique_ptr<Transaction> txn_;  // explicit transaction, if open
+  uint64_t session_id_;
+};
+
+/// Process-wide component registry (Figure 1's governor).
+class Governor {
+ public:
+  static Governor& Instance();
+
+  uint64_t RegisterSession();
+  void UnregisterSession(uint64_t id);
+  void RegisterDatabase(Database* db, const std::string& path);
+  void UnregisterDatabase(Database* db);
+
+  struct ComponentInfo {
+    std::string kind;  // "database" | "session"
+    std::string detail;
+  };
+  std::vector<ComponentInfo> Components() const;
+
+ private:
+  Governor() = default;
+  mutable std::mutex mu_;
+  uint64_t next_session_id_ = 1;
+  std::map<uint64_t, bool> sessions_;
+  std::map<Database*, std::string> databases_;
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_DB_DATABASE_H_

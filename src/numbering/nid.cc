@@ -1,0 +1,152 @@
+#include "numbering/nid.h"
+
+#include "common/logging.h"
+
+namespace sedna {
+
+bool NidLabel::IsAncestorOf(const NidLabel& other) const {
+  // id_x < id_y < id_x + d_x  <=>  id_x is a proper prefix of id_y and the
+  // byte following the prefix is < d_x.
+  if (other.prefix.size() <= prefix.size()) return false;
+  if (other.prefix.compare(0, prefix.size(), prefix) != 0) return false;
+  return static_cast<uint8_t>(other.prefix[prefix.size()]) < delimiter;
+}
+
+std::string NidLabel::ToString() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out = "(";
+  for (unsigned char c : prefix) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xf]);
+  }
+  out += ", ";
+  out.push_back(kHex[delimiter >> 4]);
+  out.push_back(kHex[delimiter & 0xf]);
+  out += ")";
+  return out;
+}
+
+namespace nid {
+
+std::string Between(std::string_view low, std::string_view high) {
+  SEDNA_CHECK(low < high) << "Between requires low < high";
+  std::string s;
+  size_t i = 0;
+  for (;;) {
+    // Virtual digits: 0 below the alphabet once `low` is exhausted, 256
+    // above it once `high` is exhausted.
+    int x = i < low.size() ? static_cast<uint8_t>(low[i]) : 0;
+    int y = i < high.size() ? static_cast<uint8_t>(high[i]) : 256;
+    if (x == y) {
+      s.push_back(static_cast<char>(x));
+      ++i;
+      continue;
+    }
+    SEDNA_DCHECK(x < y);
+    if (y - x >= 2) {
+      int mid = x + (y - x) / 2;
+      s.push_back(static_cast<char>(mid));
+      // Keep the ends-with->=2 invariant; the appended byte cannot push the
+      // result past `high` because the digit `mid` < y already decides.
+      if (mid == 0x01) s.push_back(static_cast<char>(0x80));
+      return s;
+    }
+    // y == x + 1: no digit fits strictly between at this position.
+    if (x == 0) {
+      // `low` is exhausted and high[i] == 0x01: match that 0x01 and keep
+      // descending into `high`. Allocated labels end with a byte >= 2, so
+      // `high` cannot be an all-0x01 tail and the loop terminates.
+      SEDNA_CHECK(i + 1 < high.size())
+          << "no label exists strictly below the given upper bound";
+      s.push_back(static_cast<char>(0x01));
+      ++i;
+      continue;
+    }
+    // Copy low's digit (which is < high's digit, so the result is < high no
+    // matter what follows), then exceed `low` by appending the rest of it
+    // plus one extra byte. The extra byte is the LOWEST valid terminator
+    // (0x03) so that the append fast path in AllocBetween gets the full
+    // 0x03..0xFD increment range before the next length growth.
+    s.push_back(static_cast<char>(x));
+    if (i + 1 < low.size()) s.append(low.substr(i + 1));
+    s.push_back(static_cast<char>(0x03));
+    return s;
+  }
+}
+
+NidLabel AllocBetween(const NidLabel& parent, const NidLabel* left,
+                      const NidLabel* right) {
+  // Append fast path: new rightmost child. Incrementing the last byte of
+  // the left sibling's prefix jumps past its whole descendant range in one
+  // step, so repeated appends keep labels short (Between would converge
+  // against the parent's range end and grow ~2 bytes per append).
+  if (left != nullptr && right == nullptr && !left->prefix.empty()) {
+    uint8_t last = static_cast<uint8_t>(left->prefix.back());
+    if (last < 0xfd) {
+      NidLabel label;
+      label.prefix = left->prefix;
+      label.prefix.back() = static_cast<char>(last + 1);
+      label.delimiter = 0xFF;
+      if (label.prefix < parent.RangeEnd()) return label;
+    }
+  }
+  // Prepend fast path, symmetric.
+  if (right != nullptr && left == nullptr && !right->prefix.empty()) {
+    uint8_t last = static_cast<uint8_t>(right->prefix.back());
+    if (last > 0x03) {
+      NidLabel label;
+      label.prefix = right->prefix;
+      label.prefix.back() = static_cast<char>(last - 1);
+      label.delimiter = 0xFF;
+      if (label.prefix > parent.prefix) return label;
+    }
+  }
+
+  // Lower bound: everything at or below the left sibling (its whole
+  // descendant range), else the parent's own prefix.
+  std::string low = left != nullptr ? left->RangeEnd() : parent.prefix;
+  // Upper bound: the right sibling's prefix, else the end of the parent's
+  // descendant range.
+  std::string high = right != nullptr ? right->prefix : parent.RangeEnd();
+  NidLabel label;
+  label.prefix = Between(low, high);
+  // `Between` never returns a prefix of `high`, so the full range
+  // (prefix, prefix+0xFF) stays below `high`; 0xFF maximizes headroom for
+  // this node's future descendants.
+  label.delimiter = 0xFF;
+  return label;
+}
+
+std::vector<NidLabel> AllocChildren(const NidLabel& parent, size_t n) {
+  std::vector<NidLabel> out;
+  out.reserve(n);
+  if (n == 0) return out;
+  // Fixed-width base-250 counters over bytes 0x02..0xFB, evenly spread
+  // across the available space so later point-inserts have room.
+  size_t width = 1;
+  uint64_t space = 250;
+  while (space < n + 2) {
+    width++;
+    space *= 250;
+    SEDNA_CHECK(width <= 8) << "implausible fan-out";
+  }
+  // step >= 1 because space >= n + 2.
+  uint64_t step = space / (n + 1);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t v = step * (i + 1);
+    std::string ext(width, '\0');
+    for (size_t k = width; k-- > 0;) {
+      ext[k] = static_cast<char>(0x02 + (v % 250));
+      v /= 250;
+    }
+    NidLabel label;
+    label.prefix = parent.prefix + ext;
+    label.delimiter = 0xFF;
+    out.push_back(std::move(label));
+  }
+  return out;
+}
+
+}  // namespace nid
+
+}  // namespace sedna

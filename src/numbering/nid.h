@@ -1,0 +1,87 @@
+// The Sedna numbering scheme (paper Section 4.1.1).
+//
+// A label is a pair (id, d): a byte-string *prefix* and a one-byte
+// *delimiter*. Writing `+` for concatenation, the open string interval
+// (id, id+d) is the range of labels of all descendants of the node. The two
+// mechanisms the paper requires:
+//
+//   1. x is an ancestor of y        iff  id_x < id_y < id_x + d_x
+//   2. x precedes y in doc order    iff  id_x < id_y
+//
+// (comparisons are plain lexicographic byte comparisons). Because for any
+// two strings S1 < S2 there is a string strictly between them, inserting a
+// node anywhere allocates a fresh label without ever relabeling existing
+// nodes — the property the paper contrasts with XISS-style interval schemes
+// (see baselines/xiss_numbering.h and bench_numbering).
+//
+// Alphabet discipline: prefixes use bytes 0x01..0xFF only (0x00 is reserved
+// so serialized labels can be treated as C strings if needed), and every
+// allocated prefix ends with a byte >= 0x02. `Between` never returns a
+// prefix of its upper bound. Together these invariants guarantee that
+// allocation always succeeds.
+
+#ifndef SEDNA_NUMBERING_NID_H_
+#define SEDNA_NUMBERING_NID_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sedna {
+
+/// A numbering-scheme label ("nid" in Sedna terminology).
+struct NidLabel {
+  std::string prefix;
+  uint8_t delimiter = 0xFF;
+
+  /// Label of a document root.
+  static NidLabel Root() { return NidLabel{std::string("\x80", 1), 0xFF}; }
+
+  /// Paper condition 1: is `this` a proper ancestor of `other`?
+  bool IsAncestorOf(const NidLabel& other) const;
+
+  /// Paper condition 2: negative/zero/positive like strcmp on prefixes.
+  /// Zero means "same node" (labels are unique identities).
+  int CompareDocOrder(const NidLabel& other) const {
+    return prefix.compare(other.prefix);
+  }
+
+  bool SameNode(const NidLabel& other) const { return prefix == other.prefix; }
+
+  /// Exclusive upper bound of this node's descendant range: prefix + d.
+  std::string RangeEnd() const {
+    std::string s = prefix;
+    s.push_back(static_cast<char>(delimiter));
+    return s;
+  }
+
+  std::string ToString() const;  // hex dump for debugging
+};
+
+namespace nid {
+
+/// Returns a string strictly between `low` and `high` (lexicographically).
+/// Requires low < high and that both are valid label bounds (see header
+/// comment); the result never is a prefix of `high` and ends with a byte
+/// >= 0x02. CHECK-fails if low >= high.
+std::string Between(std::string_view low, std::string_view high);
+
+/// Allocates a label for a node inserted under `parent` between siblings
+/// `left` and `right` (either may be null for "no sibling on that side").
+/// Never modifies existing labels.
+NidLabel AllocBetween(const NidLabel& parent, const NidLabel* left,
+                      const NidLabel* right);
+
+/// Bulk allocation for document loading: `n` evenly spread child labels
+/// under `parent`, in document order. Even spreading keeps labels short and
+/// leaves room for future inserts (mirrors Sedna's loader behaviour).
+std::vector<NidLabel> AllocChildren(const NidLabel& parent, size_t n);
+
+}  // namespace nid
+
+}  // namespace sedna
+
+#endif  // SEDNA_NUMBERING_NID_H_

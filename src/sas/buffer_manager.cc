@@ -1,0 +1,285 @@
+#include "sas/buffer_manager.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace sedna {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    bm_ = other.bm_;
+    frame_ = other.frame_;
+    other.bm_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  return *this;
+}
+
+PageGuard::~PageGuard() { Release(); }
+
+void PageGuard::MarkDirty() {
+  SEDNA_DCHECK(frame_ != nullptr);
+  bm_->MarkDirty(frame_);
+}
+
+void PageGuard::Release() {
+  if (frame_ != nullptr) {
+    bm_->Unpin(frame_);
+    frame_ = nullptr;
+    bm_ = nullptr;
+  }
+}
+
+BufferManager::BufferManager(FileManager* file, PageResolver* resolver,
+                             size_t frame_count)
+    : file_(file),
+      resolver_(resolver),
+      pages_per_layer_slots_(1u << 12) {
+  SEDNA_CHECK(frame_count >= 4) << "buffer pool too small";
+  pool_ = std::make_unique<uint8_t[]>(frame_count * kPageSize);
+  frames_.resize(frame_count);
+  for (size_t i = 0; i < frame_count; ++i) {
+    frames_[i].data = pool_.get() + i * kPageSize;
+  }
+}
+
+BufferManager::~BufferManager() {
+  Status st = FlushAll();
+  if (!st.ok()) {
+    SEDNA_LOG(kError) << "FlushAll on shutdown failed: " << st.ToString();
+  }
+}
+
+StatusOr<PageGuard> BufferManager::Pin(Xptr addr, const ResolveContext& ctx,
+                                       bool for_write) {
+  Xptr base = addr.PageBase();
+  bool shared_ctx =
+      !for_write && ctx.txn_id == 0 && ctx.snapshot_ts == 0;
+  // Resolve OUTSIDE the pool lock: the resolver (version manager) takes its
+  // own lock and may call back into the buffer manager on other paths.
+  PhysPageId target_ppn;
+  PhysPageId copied_from = kInvalidPhysPage;
+  if (for_write) {
+    SEDNA_ASSIGN_OR_RETURN(PageResolver::WriteTarget wt,
+                           resolver_->ResolveForWrite(base.raw, ctx));
+    target_ppn = wt.ppn;
+    copied_from = wt.copied_from;
+  } else {
+    SEDNA_ASSIGN_OR_RETURN(target_ppn, resolver_->Resolve(base.raw, ctx));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  SEDNA_ASSIGN_OR_RETURN(Frame * f,
+                         FetchLocked(base, ctx, for_write, shared_ctx,
+                                     target_ppn, copied_from));
+  f->pin_count++;
+  return PageGuard(this, f);
+}
+
+StatusOr<void*> BufferManager::Deref(Xptr addr) {
+  Xptr base = addr.PageBase();
+  SEDNA_ASSIGN_OR_RETURN(PhysPageId ppn,
+                         resolver_->Resolve(base.raw, ResolveContext{}));
+  std::lock_guard<std::mutex> lock(mu_);
+  SEDNA_ASSIGN_OR_RETURN(
+      Frame * f, FetchLocked(base, ResolveContext{}, /*for_write=*/false,
+                             /*install_shared=*/true, ppn,
+                             kInvalidPhysPage));
+  return static_cast<void*>(f->data + addr.PageOffset());
+}
+
+void* BufferManager::DerefSlow(Xptr addr) {
+  StatusOr<void*> p = Deref(addr);
+  SEDNA_CHECK(p.ok()) << "deref of " << addr.ToString()
+                      << " failed: " << p.status().ToString();
+  return *p;
+}
+
+StatusOr<Frame*> BufferManager::FetchLocked(Xptr page_base,
+                                            const ResolveContext& ctx,
+                                            bool for_write,
+                                            bool install_shared,
+                                            PhysPageId target_ppn,
+                                            PhysPageId copied_from) {
+  auto it = by_ppn_.find(target_ppn);
+  if (it != by_ppn_.end()) {
+    Frame* f = it->second;
+    f->referenced = true;
+    stats_.hits++;
+    if (install_shared && f->owner_txn == 0) InstallSharedLocked(f);
+    return f;
+  }
+
+  stats_.faults++;
+  SEDNA_ASSIGN_OR_RETURN(Frame * f, VictimLocked());
+
+  if (copied_from != kInvalidPhysPage) {
+    // Fresh copy-on-write version: seed it from the previous version.
+    auto src_it = by_ppn_.find(copied_from);
+    if (src_it != by_ppn_.end()) {
+      std::memcpy(f->data, src_it->second->data, kPageSize);
+    } else {
+      SEDNA_RETURN_IF_ERROR(file_->ReadPage(copied_from, f->data));
+    }
+    f->dirty = true;
+  } else {
+    SEDNA_RETURN_IF_ERROR(file_->ReadPage(target_ppn, f->data));
+    f->dirty = false;
+  }
+
+  f->lpid = page_base.raw;
+  f->ppn = target_ppn;
+  f->owner_txn =
+      (for_write && copied_from != kInvalidPhysPage) ? ctx.txn_id : 0;
+  // A page reached through a private write target stays private to its
+  // transaction even on re-fetch after eviction.
+  if (for_write && ctx.txn_id != 0 && copied_from == kInvalidPhysPage) {
+    // Could be either an in-place write (non-MVCC) or a re-fetch of the
+    // txn's existing version; both are safe to keep shared=0 owner only if
+    // no other txn resolves to this ppn. The resolver guarantees private
+    // versions are returned only to their owner, so mark ownership.
+    f->owner_txn = ctx.txn_id;
+  }
+  f->referenced = true;
+  by_ppn_[target_ppn] = f;
+  if (install_shared && f->owner_txn == 0) InstallSharedLocked(f);
+  return f;
+}
+
+StatusOr<Frame*> BufferManager::VictimLocked() {
+  // Clock replacement: second chance on the referenced bit; pinned frames
+  // are skipped. Two sweeps guarantee progress if any frame is unpinned.
+  const size_t n = frames_.size();
+  for (size_t step = 0; step < 2 * n; ++step) {
+    Frame* f = &frames_[clock_hand_];
+    clock_hand_ = (clock_hand_ + 1) % n;
+    if (f->pin_count > 0) continue;
+    if (f->referenced) {
+      f->referenced = false;
+      continue;
+    }
+    if (f->lpid != 0) {
+      stats_.evictions++;
+      if (f->dirty) {
+        SEDNA_RETURN_IF_ERROR(WriteBackLocked(f));
+      }
+      RemoveSharedLocked(f);
+      by_ppn_.erase(f->ppn);
+      f->lpid = 0;
+      f->ppn = kInvalidPhysPage;
+      f->owner_txn = 0;
+    }
+    return f;
+  }
+  return Status::ResourceExhausted("all buffer frames pinned");
+}
+
+Status BufferManager::WriteBackLocked(Frame* f) {
+  stats_.writebacks++;
+  SEDNA_RETURN_IF_ERROR(file_->WritePage(f->ppn, f->data));
+  f->dirty = false;
+  return Status::OK();
+}
+
+void BufferManager::InstallSharedLocked(Frame* f) {
+  Xptr base(f->lpid);
+  uint32_t layer = base.layer();
+  uint32_t idx = base.PageIndex();
+  if (idx >= pages_per_layer_slots_) return;  // outside fast-map coverage
+  if (layer >= layer_tables_.size()) {
+    layer_tables_.resize(layer + 1);
+  }
+  if (layer_tables_[layer].empty()) {
+    layer_tables_[layer].assign(pages_per_layer_slots_, nullptr);
+  }
+  layer_tables_[layer][idx] = f;
+}
+
+void BufferManager::RemoveSharedLocked(Frame* f) {
+  if (f->lpid == 0) return;
+  Xptr base(f->lpid);
+  uint32_t layer = base.layer();
+  uint32_t idx = base.PageIndex();
+  if (layer < layer_tables_.size() && !layer_tables_[layer].empty() &&
+      idx < pages_per_layer_slots_ && layer_tables_[layer][idx] == f) {
+    layer_tables_[layer][idx] = nullptr;
+  }
+}
+
+void BufferManager::InvalidateShared(LogicalPageId lpid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Xptr base(lpid);
+  uint32_t layer = base.layer();
+  uint32_t idx = base.PageIndex();
+  if (layer < layer_tables_.size() && !layer_tables_[layer].empty() &&
+      idx < pages_per_layer_slots_) {
+    layer_tables_[layer][idx] = nullptr;
+  }
+}
+
+void BufferManager::PublishTxnFrames(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& f : frames_) {
+    if (f.lpid != 0 && f.owner_txn == txn_id) {
+      f.owner_txn = 0;
+    }
+  }
+}
+
+void BufferManager::DiscardPhysical(PhysPageId ppn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_ppn_.find(ppn);
+  if (it == by_ppn_.end()) return;
+  Frame* f = it->second;
+  SEDNA_CHECK(f->pin_count == 0) << "discarding pinned page";
+  RemoveSharedLocked(f);
+  by_ppn_.erase(it);
+  f->lpid = 0;
+  f->ppn = kInvalidPhysPage;
+  f->owner_txn = 0;
+  f->dirty = false;
+}
+
+Status BufferManager::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& f : frames_) {
+    if (f.lpid != 0 && f.dirty) {
+      SEDNA_RETURN_IF_ERROR(WriteBackLocked(&f));
+    }
+  }
+  return file_->Sync();
+}
+
+Status BufferManager::FlushTxn(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Frame& f : frames_) {
+    if (f.lpid != 0 && f.dirty && f.owner_txn == txn_id) {
+      SEDNA_RETURN_IF_ERROR(WriteBackLocked(&f));
+    }
+  }
+  return Status::OK();
+}
+
+BufferStats BufferManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferManager::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = BufferStats{};
+}
+
+void BufferManager::Unpin(Frame* f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SEDNA_DCHECK(f->pin_count > 0);
+  f->pin_count--;
+}
+
+void BufferManager::MarkDirty(Frame* f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  f->dirty = true;
+}
+
+}  // namespace sedna

@@ -1,0 +1,330 @@
+#include "sas/file_manager.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace sedna {
+
+namespace {
+
+constexpr uint32_t kMasterMagic = 0x5ed0a010;
+
+// Serialized master record layout inside a master page:
+//   magic, crc, payload_len, payload
+std::string EncodeMaster(const MasterRecord& m) {
+  std::string payload;
+  PutFixed64(&payload, m.sequence);
+  PutFixed32(&payload, m.page_count);
+  PutFixed32(&payload, m.free_list_head);
+  PutFixed32(&payload, m.directory_blob);
+  PutFixed32(&payload, m.catalog_blob);
+  PutFixed64(&payload, m.checkpoint_lsn);
+  PutFixed64(&payload, m.next_timestamp);
+
+  std::string page;
+  PutFixed32(&page, kMasterMagic);
+  PutFixed32(&page, Crc32(payload.data(), payload.size()));
+  PutFixed32(&page, static_cast<uint32_t>(payload.size()));
+  page += payload;
+  page.resize(kPageSize, '\0');
+  return page;
+}
+
+bool DecodeMaster(const char* page, MasterRecord* m) {
+  Decoder header(std::string_view(page, kPageSize));
+  uint32_t magic = 0, crc = 0, len = 0;
+  if (!header.GetFixed32(&magic) || magic != kMasterMagic) return false;
+  if (!header.GetFixed32(&crc) || !header.GetFixed32(&len)) return false;
+  if (len > kPageSize - 12) return false;
+  const char* payload = page + 12;
+  if (Crc32(payload, len) != crc) return false;
+  Decoder d(std::string_view(payload, len));
+  uint32_t flh = 0, dirb = 0, catb = 0;
+  bool ok = d.GetFixed64(&m->sequence) && d.GetFixed32(&m->page_count) &&
+            d.GetFixed32(&flh) && d.GetFixed32(&dirb) && d.GetFixed32(&catb) &&
+            d.GetFixed64(&m->checkpoint_lsn) &&
+            d.GetFixed64(&m->next_timestamp);
+  if (!ok) return false;
+  m->free_list_head = flh;
+  m->directory_blob = dirb;
+  m->catalog_blob = catb;
+  return true;
+}
+
+}  // namespace
+
+FileManager::~FileManager() {
+  if (file_ != nullptr) Close();
+}
+
+Status FileManager::Create(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("file manager already open");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) {
+    return Status::IOError("cannot create database file " + path);
+  }
+  file_ = f;
+  path_ = path;
+  master_ = MasterRecord{};
+  // Write both master slots so Open never sees garbage.
+  Status st = WriteMasterLocked();
+  if (!st.ok()) return st;
+  master_.sequence++;
+  return WriteMasterLocked();
+}
+
+Status FileManager::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    return Status::FailedPrecondition("file manager already open");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::IOError("cannot open database file " + path);
+  }
+  file_ = f;
+  path_ = path;
+
+  char buf[kPageSize];
+  MasterRecord best;
+  bool found = false;
+  for (PhysPageId slot = 0; slot < 2; ++slot) {
+    if (!ReadPageLocked(slot, buf).ok()) continue;
+    MasterRecord m;
+    if (DecodeMaster(buf, &m) && (!found || m.sequence > best.sequence)) {
+      best = m;
+      found = true;
+    }
+  }
+  if (!found) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return Status::Corruption("no valid master record in " + path);
+  }
+  master_ = best;
+  return Status::OK();
+}
+
+Status FileManager::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::OK();
+  // Persist allocation state (page count, free list) so a clean close is
+  // reopenable even without a checkpoint.
+  Status st = WriteMasterLocked();
+  if (!st.ok()) {
+    std::fclose(file_);
+    file_ = nullptr;
+    return st;
+  }
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("fclose failed for " + path_);
+  return Status::OK();
+}
+
+Status FileManager::ReadPage(PhysPageId ppn, void* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReadPageLocked(ppn, buf);
+}
+
+Status FileManager::ReadPageLocked(PhysPageId ppn, void* buf) {
+  if (file_ == nullptr) return Status::FailedPrecondition("file not open");
+  if (ppn >= master_.page_count) {
+    return Status::InvalidArgument("read of unallocated page " +
+                                   std::to_string(ppn));
+  }
+  if (std::fseek(file_, static_cast<long>(ppn) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fread(buf, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short read of page " + std::to_string(ppn));
+  }
+  return Status::OK();
+}
+
+Status FileManager::WritePage(PhysPageId ppn, const void* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WritePageLocked(ppn, buf);
+}
+
+Status FileManager::WritePageLocked(PhysPageId ppn, const void* buf) {
+  if (file_ == nullptr) return Status::FailedPrecondition("file not open");
+  if (ppn >= master_.page_count) {
+    return Status::InvalidArgument("write of unallocated page " +
+                                   std::to_string(ppn));
+  }
+  if (std::fseek(file_, static_cast<long>(ppn) * kPageSize, SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  if (std::fwrite(buf, 1, kPageSize, file_) != kPageSize) {
+    return Status::IOError("short write of page " + std::to_string(ppn));
+  }
+  return Status::OK();
+}
+
+StatusOr<PhysPageId> FileManager::AllocPage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return AllocPageLocked();
+}
+
+StatusOr<PhysPageId> FileManager::AllocPageLocked() {
+  if (file_ == nullptr) return Status::FailedPrecondition("file not open");
+  if (master_.free_list_head != kInvalidPhysPage) {
+    // Pop from the on-disk free list: each free page stores the next free
+    // page number in its first 4 bytes.
+    PhysPageId ppn = master_.free_list_head;
+    char buf[kPageSize];
+    SEDNA_RETURN_IF_ERROR(ReadPageLocked(ppn, buf));
+    master_.free_list_head = DecodeFixed32(buf);
+    return ppn;
+  }
+  PhysPageId ppn = master_.page_count;
+  master_.page_count++;
+  // Extend the file with a zero page so later reads are well-defined.
+  char zero[kPageSize];
+  std::memset(zero, 0, sizeof(zero));
+  Status st = WritePageLocked(ppn, zero);
+  if (!st.ok()) {
+    master_.page_count--;
+    return st;
+  }
+  return ppn;
+}
+
+Status FileManager::FreePage(PhysPageId ppn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FreePageLocked(ppn);
+}
+
+Status FileManager::FreePageLocked(PhysPageId ppn) {
+  if (ppn < 2 || ppn >= master_.page_count) {
+    return Status::InvalidArgument("free of invalid page " +
+                                   std::to_string(ppn));
+  }
+  char buf[kPageSize];
+  std::memset(buf, 0, sizeof(buf));
+  // Store the next-free link in the first 4 bytes.
+  buf[0] = static_cast<char>(master_.free_list_head);
+  buf[1] = static_cast<char>(master_.free_list_head >> 8);
+  buf[2] = static_cast<char>(master_.free_list_head >> 16);
+  buf[3] = static_cast<char>(master_.free_list_head >> 24);
+  SEDNA_RETURN_IF_ERROR(WritePageLocked(ppn, buf));
+  master_.free_list_head = ppn;
+  return Status::OK();
+}
+
+uint32_t FileManager::page_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return master_.page_count;
+}
+
+MasterRecord FileManager::master() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return master_;
+}
+
+void FileManager::set_master(const MasterRecord& m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t seq = master_.sequence;
+  master_ = m;
+  master_.sequence = seq;
+}
+
+Status FileManager::WriteMaster() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WriteMasterLocked();
+}
+
+Status FileManager::WriteMasterLocked() {
+  master_.sequence++;
+  std::string page = EncodeMaster(master_);
+  PhysPageId slot = master_.sequence % 2;
+  SEDNA_RETURN_IF_ERROR(WritePageLocked(slot, page.data()));
+  std::fflush(file_);
+  return Status::OK();
+}
+
+StatusOr<PhysPageId> FileManager::WriteMetaBlob(const std::string& blob,
+                                                PhysPageId old_head) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Free the previous chain.
+  PhysPageId cur = old_head;
+  char buf[kPageSize];
+  while (cur != kInvalidPhysPage) {
+    SEDNA_RETURN_IF_ERROR(ReadPageLocked(cur, buf));
+    PhysPageId next = DecodeFixed32(buf);
+    SEDNA_RETURN_IF_ERROR(FreePageLocked(cur));
+    cur = next;
+  }
+  // Each chain page: next(4) total_len(8, head only meaningful) payload.
+  constexpr size_t kHeaderSize = 12;
+  constexpr size_t kPayloadPerPage = kPageSize - kHeaderSize;
+  size_t offset = 0;
+  PhysPageId head = kInvalidPhysPage;
+  PhysPageId prev = kInvalidPhysPage;
+  char prev_buf[kPageSize];
+  do {
+    SEDNA_ASSIGN_OR_RETURN(PhysPageId ppn, AllocPageLocked());
+    size_t chunk = std::min(kPayloadPerPage, blob.size() - offset);
+    std::memset(buf, 0, sizeof(buf));
+    // next link filled in when the following page is allocated
+    std::string header;
+    PutFixed32(&header, kInvalidPhysPage);
+    PutFixed64(&header, blob.size());
+    std::memcpy(buf, header.data(), kHeaderSize);
+    std::memcpy(buf + kHeaderSize, blob.data() + offset, chunk);
+    if (prev != kInvalidPhysPage) {
+      // Patch previous page's next pointer.
+      std::string link;
+      PutFixed32(&link, ppn);
+      std::memcpy(prev_buf, link.data(), 4);
+      SEDNA_RETURN_IF_ERROR(WritePageLocked(prev, prev_buf));
+    } else {
+      head = ppn;
+    }
+    std::memcpy(prev_buf, buf, kPageSize);
+    SEDNA_RETURN_IF_ERROR(WritePageLocked(ppn, buf));
+    prev = ppn;
+    offset += chunk;
+  } while (offset < blob.size());
+  return head;
+}
+
+StatusOr<std::string> FileManager::ReadMetaBlob(PhysPageId head) {
+  std::lock_guard<std::mutex> lock(mu_);
+  constexpr size_t kHeaderSize = 12;
+  constexpr size_t kPayloadPerPage = kPageSize - kHeaderSize;
+  if (head == kInvalidPhysPage) return std::string();
+  char buf[kPageSize];
+  SEDNA_RETURN_IF_ERROR(ReadPageLocked(head, buf));
+  uint64_t total = DecodeFixed64(buf + 4);
+  std::string blob;
+  blob.reserve(total);
+  PhysPageId cur = head;
+  while (blob.size() < total) {
+    if (cur != head) {
+      SEDNA_RETURN_IF_ERROR(ReadPageLocked(cur, buf));
+    }
+    size_t chunk = std::min(kPayloadPerPage, total - blob.size());
+    blob.append(buf + kHeaderSize, chunk);
+    cur = DecodeFixed32(buf);
+    if (cur == kInvalidPhysPage && blob.size() < total) {
+      return Status::Corruption("meta blob chain truncated");
+    }
+  }
+  return blob;
+}
+
+Status FileManager::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::OK();
+  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+  return Status::OK();
+}
+
+}  // namespace sedna

@@ -1,0 +1,108 @@
+// Physical storage: a single database file of fixed-size pages.
+//
+// Page 0 and page 1 hold two copies of the master record (double-slot,
+// sequence-numbered, CRC-protected) so that master updates are atomic: the
+// newest valid slot wins. All other pages are allocated/freed through a
+// free list. The file manager also provides a "meta blob" facility used to
+// persist the page directory and catalog across restarts: a blob is written
+// into a chain of freshly allocated pages and the chain head is recorded in
+// the master record.
+
+#ifndef SEDNA_SAS_FILE_MANAGER_H_
+#define SEDNA_SAS_FILE_MANAGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sas/xptr.h"
+
+namespace sedna {
+
+/// Mutable database-wide metadata persisted in the master record.
+struct MasterRecord {
+  uint64_t sequence = 0;          // bumped on every master write
+  uint32_t page_count = 2;        // physical pages in the file (incl. masters)
+  PhysPageId free_list_head = kInvalidPhysPage;
+  PhysPageId directory_blob = kInvalidPhysPage;  // page-directory snapshot
+  PhysPageId catalog_blob = kInvalidPhysPage;    // storage catalog snapshot
+  uint64_t checkpoint_lsn = 0;    // WAL position of the persistent snapshot
+  uint64_t next_timestamp = 1;    // transaction timestamp high-water mark
+};
+
+/// Owns the database file. Thread-safe; all methods may be called
+/// concurrently (a single mutex serializes file access — the buffer manager
+/// above batches I/O, so this is not the bottleneck in the benchmarks).
+class FileManager {
+ public:
+  FileManager() = default;
+  ~FileManager();
+
+  FileManager(const FileManager&) = delete;
+  FileManager& operator=(const FileManager&) = delete;
+
+  /// Creates a new database file (truncating any existing one) and writes an
+  /// initial master record.
+  Status Create(const std::string& path);
+
+  /// Opens an existing database file and loads the newest valid master.
+  Status Open(const std::string& path);
+
+  Status Close();
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Reads physical page `ppn` into `buf` (kPageSize bytes).
+  Status ReadPage(PhysPageId ppn, void* buf);
+
+  /// Writes `buf` (kPageSize bytes) to physical page `ppn`.
+  Status WritePage(PhysPageId ppn, const void* buf);
+
+  /// Allocates a physical page (reusing the free list, else growing the
+  /// file). The page contents are undefined until written.
+  StatusOr<PhysPageId> AllocPage();
+
+  /// Returns `ppn` to the free list.
+  Status FreePage(PhysPageId ppn);
+
+  /// Number of physical pages currently in the file.
+  uint32_t page_count() const;
+
+  /// Current in-memory master record (mutable fields are updated by the
+  /// caller before WriteMaster).
+  MasterRecord master() const;
+  void set_master(const MasterRecord& m);
+
+  /// Persists the master record atomically (alternating slot).
+  Status WriteMaster();
+
+  /// Writes `blob` into a chain of freshly allocated pages; returns the head
+  /// page. The previous chain at `*head` (if any) is freed first.
+  StatusOr<PhysPageId> WriteMetaBlob(const std::string& blob,
+                                     PhysPageId old_head);
+
+  /// Reads back a blob chain written by WriteMetaBlob.
+  StatusOr<std::string> ReadMetaBlob(PhysPageId head);
+
+  /// Flushes OS buffers to disk.
+  Status Sync();
+
+ private:
+  Status ReadPageLocked(PhysPageId ppn, void* buf);
+  Status WritePageLocked(PhysPageId ppn, const void* buf);
+  StatusOr<PhysPageId> AllocPageLocked();
+  Status FreePageLocked(PhysPageId ppn);
+  Status WriteMasterLocked();
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  MasterRecord master_;
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_SAS_FILE_MANAGER_H_

@@ -1,0 +1,10 @@
+#include "sas/xptr.h"
+
+namespace sedna {
+
+std::string Xptr::ToString() const {
+  if (is_null()) return "null";
+  return "L" + std::to_string(layer()) + ":" + std::to_string(offset());
+}
+
+}  // namespace sedna

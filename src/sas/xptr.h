@@ -1,0 +1,88 @@
+// Sedna Address Space (SAS) pointers.
+//
+// The paper (Section 4.2) represents a database pointer as a 64-bit address:
+// the upper 32 bits select a *layer*, the lower 32 bits are the byte address
+// inside that layer. A layer is mapped onto the process virtual address
+// space "on equality basis" — the in-layer offset IS the in-VAS offset — so
+// the same pointer representation is used in main and secondary memory and
+// no pointer swizzling is ever needed.
+//
+// Layers are divided into equal-size pages; pages are the unit of disk I/O
+// and buffering. The page an Xptr falls into is identified by clearing the
+// low `kPageSizeBits` bits of the offset.
+
+#ifndef SEDNA_SAS_XPTR_H_
+#define SEDNA_SAS_XPTR_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sedna {
+
+/// Pages are 16 KiB. Fixed at compile time so that offset arithmetic in the
+/// dereference fast path is shift/mask on constants.
+inline constexpr int kPageSizeBits = 14;
+inline constexpr uint32_t kPageSize = 1u << kPageSizeBits;
+inline constexpr uint32_t kPageOffsetMask = kPageSize - 1;
+
+/// Layer 0 is reserved so that the all-zero Xptr is unambiguously null.
+inline constexpr uint32_t kFirstLayer = 1;
+
+/// A pointer into the Sedna Address Space: (layer, offset-within-layer).
+struct Xptr {
+  uint64_t raw = 0;
+
+  constexpr Xptr() = default;
+  constexpr explicit Xptr(uint64_t r) : raw(r) {}
+  constexpr Xptr(uint32_t layer, uint32_t offset)
+      : raw((static_cast<uint64_t>(layer) << 32) | offset) {}
+
+  constexpr uint32_t layer() const { return static_cast<uint32_t>(raw >> 32); }
+  constexpr uint32_t offset() const { return static_cast<uint32_t>(raw); }
+
+  constexpr bool is_null() const { return raw == 0; }
+  constexpr explicit operator bool() const { return raw != 0; }
+
+  /// Xptr of the first byte of the page containing this address.
+  constexpr Xptr PageBase() const {
+    return Xptr(raw & ~static_cast<uint64_t>(kPageOffsetMask));
+  }
+
+  /// Byte offset of this address within its page.
+  constexpr uint32_t PageOffset() const { return offset() & kPageOffsetMask; }
+
+  /// Index of the page within its layer.
+  constexpr uint32_t PageIndex() const { return offset() >> kPageSizeBits; }
+
+  constexpr Xptr operator+(uint32_t delta) const { return Xptr(raw + delta); }
+
+  friend constexpr bool operator==(Xptr a, Xptr b) { return a.raw == b.raw; }
+  friend constexpr bool operator!=(Xptr a, Xptr b) { return a.raw != b.raw; }
+  friend constexpr bool operator<(Xptr a, Xptr b) { return a.raw < b.raw; }
+
+  /// Debug form "L<layer>:<offset>" or "null".
+  std::string ToString() const;
+};
+
+inline constexpr Xptr kNullXptr{};
+
+/// Identifier of a logical page: the page-base Xptr's raw value.
+using LogicalPageId = uint64_t;
+
+inline constexpr LogicalPageId PageIdOf(Xptr p) { return p.PageBase().raw; }
+
+/// Physical page number within the database file.
+using PhysPageId = uint32_t;
+inline constexpr PhysPageId kInvalidPhysPage = 0xffffffffu;
+
+}  // namespace sedna
+
+template <>
+struct std::hash<sedna::Xptr> {
+  size_t operator()(const sedna::Xptr& p) const noexcept {
+    return std::hash<uint64_t>()(p.raw);
+  }
+};
+
+#endif  // SEDNA_SAS_XPTR_H_

@@ -1,0 +1,169 @@
+#include "storage/document_store.h"
+
+#include <unordered_map>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace sedna {
+
+DocumentStore::DocumentStore(StorageEnv* env, uint32_t doc_id,
+                             std::string name)
+    : env_(env),
+      doc_id_(doc_id),
+      name_(std::move(name)),
+      text_(env, doc_id),
+      indirection_(env, doc_id),
+      nodes_(env, &schema_, &text_, &indirection_, doc_id) {}
+
+Status DocumentStore::Create(const OpCtx& ctx) {
+  SEDNA_ASSIGN_OR_RETURN(root_handle_, nodes_.CreateRoot(ctx));
+  return Status::OK();
+}
+
+void DocumentStore::RegisterSchema(const XmlNode& node, SchemaNode* sn) {
+  for (const auto& child : node.children) {
+    SchemaNode* csn = schema_.GetOrAddChild(sn, child->kind, child->name);
+    if (child->kind == XmlKind::kElement) {
+      RegisterSchema(*child, csn);
+    }
+  }
+}
+
+Status DocumentStore::Load(const OpCtx& ctx, const XmlNode& doc) {
+  if (doc.kind != XmlKind::kDocument) {
+    return Status::InvalidArgument("Load expects a document node");
+  }
+  if (!root_handle_) {
+    return Status::FailedPrecondition("document not created");
+  }
+  RegisterSchema(doc, schema_.root());
+  return LoadChildren(ctx, doc, schema_.root(), root_handle_,
+                      NidLabel::Root());
+}
+
+Status DocumentStore::LoadChildren(const OpCtx& ctx, const XmlNode& elem,
+                                   SchemaNode* esn, Xptr elem_handle,
+                                   const NidLabel& elem_label) {
+  if (elem.children.empty()) return Status::OK();
+  std::vector<NidLabel> labels =
+      nid::AllocChildren(elem_label, elem.children.size());
+  Xptr prev_addr;
+  std::unordered_map<SchemaNode*, Xptr> first_of_kind;
+  for (size_t i = 0; i < elem.children.size(); ++i) {
+    const XmlNode& child = *elem.children[i];
+    SchemaNode* csn = esn->FindChild(child.kind, child.name);
+    SEDNA_CHECK(csn != nullptr) << "schema pre-scan missed a child";
+    std::string_view text =
+        child.kind == XmlKind::kElement ? std::string_view() : child.value;
+    SEDNA_ASSIGN_OR_RETURN(
+        NodeStore::NewNodeResult r,
+        nodes_.AppendNode(ctx, csn, labels[i], elem_handle, prev_addr, text));
+    first_of_kind.emplace(csn, r.addr);
+    if (child.kind == XmlKind::kElement) {
+      SEDNA_RETURN_IF_ERROR(
+          LoadChildren(ctx, child, csn, r.handle, labels[i]));
+    }
+    prev_addr = r.addr;
+  }
+  for (const auto& [csn, first_addr] : first_of_kind) {
+    SEDNA_RETURN_IF_ERROR(nodes_.SetChildSlot(ctx, elem_handle,
+                                              csn->slot_in_parent,
+                                              first_addr));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<XmlNode>> DocumentStore::MaterializeAt(
+    const OpCtx& ctx, Xptr addr) const {
+  SEDNA_ASSIGN_OR_RETURN(NodeInfo info, nodes_.Info(ctx, addr));
+  const SchemaNode* sn = schema_.node(info.schema_id);
+  auto out = std::make_unique<XmlNode>(sn->kind, sn->name);
+  if (sn->kind == XmlKind::kElement || sn->kind == XmlKind::kDocument) {
+    SEDNA_ASSIGN_OR_RETURN(Xptr child, nodes_.FirstChild(ctx, addr));
+    while (child) {
+      SEDNA_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> c,
+                             MaterializeAt(ctx, child));
+      out->Add(std::move(c));
+      SEDNA_ASSIGN_OR_RETURN(NodeInfo ci, nodes_.Info(ctx, child));
+      child = ci.right_sibling;
+    }
+  } else {
+    SEDNA_ASSIGN_OR_RETURN(out->value, nodes_.Text(ctx, addr));
+  }
+  return out;
+}
+
+StatusOr<std::unique_ptr<XmlNode>> DocumentStore::Materialize(
+    const OpCtx& ctx, Xptr handle) const {
+  SEDNA_ASSIGN_OR_RETURN(Xptr addr, indirection_.Get(ctx, handle));
+  return MaterializeAt(ctx, addr);
+}
+
+StatusOr<std::unique_ptr<XmlNode>> DocumentStore::MaterializeDocument(
+    const OpCtx& ctx) const {
+  return Materialize(ctx, root_handle_);
+}
+
+uint64_t DocumentStore::node_count() const {
+  uint64_t total = 0;
+  for (size_t i = 1; i < schema_.size(); ++i) {
+    total += schema_.node(static_cast<uint32_t>(i))->node_count;
+  }
+  return total;
+}
+
+Status DocumentStore::Drop(const OpCtx& ctx) {
+  // Free all node blocks of every schema node.
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    const SchemaNode* sn = schema_.node(static_cast<uint32_t>(i));
+    Xptr block = sn->first_block;
+    while (block) {
+      Xptr next;
+      {
+        SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Read(block, ctx));
+        next = reinterpret_cast<const BlockHeader*>(guard.data())->next_block;
+      }
+      SEDNA_RETURN_IF_ERROR(env_->allocator->FreePage(block, ctx));
+      block = next;
+    }
+  }
+  SEDNA_RETURN_IF_ERROR(text_.FreeAll(ctx));
+  SEDNA_RETURN_IF_ERROR(indirection_.FreeAll(ctx));
+  root_handle_ = kNullXptr;
+  return Status::OK();
+}
+
+std::string DocumentStore::SerializeMeta() const {
+  std::string blob;
+  PutLengthPrefixed(&blob, name_);
+  PutFixed32(&blob, doc_id_);
+  PutFixed64(&blob, root_handle_.raw);
+  PutFixed64(&blob, text_.head().raw);
+  PutFixed64(&blob, text_.fill_page().raw);
+  PutFixed64(&blob, indirection_.head().raw);
+  PutFixed64(&blob, indirection_.free_head().raw);
+  PutLengthPrefixed(&blob, schema_.Serialize());
+  return blob;
+}
+
+Status DocumentStore::RestoreMeta(const std::string& blob) {
+  Decoder d(blob);
+  std::string_view name;
+  uint64_t root = 0, text_head = 0, text_fill = 0, ind_head = 0,
+           ind_free = 0;
+  std::string_view schema_blob;
+  if (!d.GetLengthPrefixed(&name) || !d.GetFixed32(&doc_id_) ||
+      !d.GetFixed64(&root) || !d.GetFixed64(&text_head) ||
+      !d.GetFixed64(&text_fill) || !d.GetFixed64(&ind_head) ||
+      !d.GetFixed64(&ind_free) || !d.GetLengthPrefixed(&schema_blob)) {
+    return Status::Corruption("bad document meta blob");
+  }
+  name_ = std::string(name);
+  root_handle_ = Xptr(root);
+  text_.Restore(Xptr(text_head), Xptr(text_fill));
+  indirection_.Restore(Xptr(ind_head), Xptr(ind_free));
+  return schema_.Deserialize(std::string(schema_blob));
+}
+
+}  // namespace sedna

@@ -1,0 +1,81 @@
+// Per-document storage facade: wires the descriptive schema, node blocks,
+// text store and indirection table of one XML document, and provides bulk
+// load (XML tree -> storage) and materialization (storage -> XML tree).
+
+#ifndef SEDNA_STORAGE_DOCUMENT_STORE_H_
+#define SEDNA_STORAGE_DOCUMENT_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "storage/indirection.h"
+#include "storage/node_store.h"
+#include "storage/schema.h"
+#include "storage/storage_env.h"
+#include "storage/text_store.h"
+#include "xml/xml_tree.h"
+
+namespace sedna {
+
+class DocumentStore {
+ public:
+  DocumentStore(StorageEnv* env, uint32_t doc_id, std::string name);
+
+  const std::string& name() const { return name_; }
+  uint32_t doc_id() const { return doc_id_; }
+  Xptr root_handle() const { return root_handle_; }
+
+  NodeStore* nodes() { return &nodes_; }
+  const NodeStore* nodes() const { return &nodes_; }
+  DescriptiveSchema* schema() { return &schema_; }
+  const DescriptiveSchema* schema() const { return &schema_; }
+  TextStore* text() { return &text_; }
+  IndirectionTable* indirection() { return &indirection_; }
+
+  /// Creates the (empty) document: just the root descriptor.
+  Status Create(const OpCtx& ctx);
+
+  /// Bulk-loads the children of `doc` (an XmlKind::kDocument tree) under the
+  /// root. Pre-scans the tree to register the full descriptive schema so
+  /// that block arities are final and loading never relocates nodes.
+  Status Load(const OpCtx& ctx, const XmlNode& doc);
+
+  /// Materializes the subtree rooted at the node behind `handle`.
+  StatusOr<std::unique_ptr<XmlNode>> Materialize(const OpCtx& ctx,
+                                                 Xptr handle) const;
+
+  /// Materializes the whole document.
+  StatusOr<std::unique_ptr<XmlNode>> MaterializeDocument(
+      const OpCtx& ctx) const;
+
+  /// Total stored nodes (excluding the document node itself).
+  uint64_t node_count() const;
+
+  /// Frees every page owned by this document.
+  Status Drop(const OpCtx& ctx);
+
+  /// Catalog (de)serialization.
+  std::string SerializeMeta() const;
+  Status RestoreMeta(const std::string& blob);
+
+ private:
+  Status LoadChildren(const OpCtx& ctx, const XmlNode& elem, SchemaNode* esn,
+                      Xptr elem_handle, const NidLabel& elem_label);
+  void RegisterSchema(const XmlNode& node, SchemaNode* sn);
+  StatusOr<std::unique_ptr<XmlNode>> MaterializeAt(const OpCtx& ctx,
+                                                   Xptr addr) const;
+
+  StorageEnv* env_;
+  uint32_t doc_id_;
+  std::string name_;
+  DescriptiveSchema schema_;
+  TextStore text_;
+  IndirectionTable indirection_;
+  NodeStore nodes_;
+  Xptr root_handle_;
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_STORAGE_DOCUMENT_STORE_H_

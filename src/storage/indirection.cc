@@ -1,0 +1,108 @@
+#include "storage/indirection.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace sedna {
+
+StatusOr<Xptr> IndirectionTable::Alloc(const OpCtx& ctx, Xptr target) {
+  if (!free_head_) {
+    // Grow: allocate a page and thread all its entries onto the free list.
+    SEDNA_ASSIGN_OR_RETURN(Xptr page_base, env_->allocator->AllocPage(ctx));
+    SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Write(page_base, ctx));
+    uint8_t* page = guard.data();
+    std::memset(page, 0, kPageSize);
+    IndirPageHeader* h = reinterpret_cast<IndirPageHeader*>(page);
+    *h = IndirPageHeader{};
+    h->doc_id = doc_id_;
+    h->self = page_base;
+    h->next_page = head_;
+    h->entry_count = kIndirEntriesPerPage;
+    uint64_t* entries =
+        reinterpret_cast<uint64_t*>(page + sizeof(IndirPageHeader));
+    // Entry i links to entry i+1; the last links to the previous free head.
+    for (uint32_t i = 0; i < kIndirEntriesPerPage; ++i) {
+      Xptr next_entry =
+          (i + 1 < kIndirEntriesPerPage)
+              ? page_base + static_cast<uint32_t>(sizeof(IndirPageHeader) +
+                                                  (i + 1) * sizeof(uint64_t))
+              : free_head_;
+      entries[i] = kIndirFreeTag | next_entry.raw;
+    }
+    guard.MarkDirty();
+    head_ = page_base;
+    free_head_ = page_base + static_cast<uint32_t>(sizeof(IndirPageHeader));
+  }
+
+  Xptr handle = free_head_;
+  SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Write(handle.PageBase(), ctx));
+  uint64_t* entry =
+      reinterpret_cast<uint64_t*>(guard.data() + handle.PageOffset());
+  if ((*entry & kIndirFreeTag) == 0) {
+    return Status::Corruption("indirection free list points at a live entry");
+  }
+  free_head_ = Xptr(*entry & ~kIndirFreeTag);
+  *entry = target.raw;
+  guard.MarkDirty();
+  return handle;
+}
+
+StatusOr<Xptr> IndirectionTable::Get(const OpCtx& ctx, Xptr handle) const {
+  SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Read(handle.PageBase(), ctx));
+  const uint8_t* page = guard.data();
+  if (reinterpret_cast<const IndirPageHeader*>(page)->magic !=
+      kIndirPageMagic) {
+    return Status::Corruption("handle does not point into indirection page");
+  }
+  uint64_t entry;
+  std::memcpy(&entry, page + handle.PageOffset(), sizeof(entry));
+  if (entry & kIndirFreeTag) {
+    return Status::NotFound("handle refers to a deleted node");
+  }
+  return Xptr(entry);
+}
+
+Status IndirectionTable::Set(const OpCtx& ctx, Xptr handle, Xptr target) {
+  SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Write(handle.PageBase(), ctx));
+  uint64_t* entry =
+      reinterpret_cast<uint64_t*>(guard.data() + handle.PageOffset());
+  if (*entry & kIndirFreeTag) {
+    return Status::NotFound("handle refers to a deleted node");
+  }
+  *entry = target.raw;
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status IndirectionTable::Free(const OpCtx& ctx, Xptr handle) {
+  SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Write(handle.PageBase(), ctx));
+  uint64_t* entry =
+      reinterpret_cast<uint64_t*>(guard.data() + handle.PageOffset());
+  if (*entry & kIndirFreeTag) {
+    return Status::Corruption("double free of node handle");
+  }
+  *entry = kIndirFreeTag | free_head_.raw;
+  free_head_ = handle;
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status IndirectionTable::FreeAll(const OpCtx& ctx) {
+  Xptr cur = head_;
+  while (cur) {
+    Xptr next;
+    {
+      SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Read(cur, ctx));
+      next =
+          reinterpret_cast<const IndirPageHeader*>(guard.data())->next_page;
+    }
+    SEDNA_RETURN_IF_ERROR(env_->allocator->FreePage(cur, ctx));
+    cur = next;
+  }
+  head_ = kNullXptr;
+  free_head_ = kNullXptr;
+  return Status::OK();
+}
+
+}  // namespace sedna

@@ -1,0 +1,59 @@
+// Indirection table (paper Sections 4.1 and 4.1.2).
+//
+// An entry holds the current direct Xptr of one node descriptor; the Xptr
+// *of the entry itself* is the node's handle: (i) unique in the database,
+// (ii) one dereference from the node, (iii) immutable for the node's whole
+// lifetime even as block splits move the descriptor. Parent pointers in
+// node descriptors are handles, so moving a node updates exactly one entry
+// instead of one field per child — the paper's constant-work guarantee for
+// updates.
+
+#ifndef SEDNA_STORAGE_INDIRECTION_H_
+#define SEDNA_STORAGE_INDIRECTION_H_
+
+#include "common/status.h"
+#include "storage/layout.h"
+#include "storage/storage_env.h"
+
+namespace sedna {
+
+class IndirectionTable {
+ public:
+  IndirectionTable(StorageEnv* env, uint32_t doc_id)
+      : env_(env), doc_id_(doc_id) {}
+
+  /// Persisted state (catalog).
+  Xptr head() const { return head_; }
+  Xptr free_head() const { return free_head_; }
+  void Restore(Xptr head, Xptr free_head) {
+    head_ = head;
+    free_head_ = free_head;
+  }
+
+  /// Allocates an entry pointing at `target`; returns the handle.
+  StatusOr<Xptr> Alloc(const OpCtx& ctx, Xptr target);
+
+  /// Current direct pointer behind `handle`.
+  StatusOr<Xptr> Get(const OpCtx& ctx, Xptr handle) const;
+
+  /// Redirects `handle` to a new location (node moved).
+  Status Set(const OpCtx& ctx, Xptr handle, Xptr target);
+
+  /// Releases the entry. The paper garbage-collects handles at commit; here
+  /// deletion returns entries to a free list immediately, which is
+  /// equivalent for a single-version handle space.
+  Status Free(const OpCtx& ctx, Xptr handle);
+
+  /// Frees all indirection pages of the document (document drop).
+  Status FreeAll(const OpCtx& ctx);
+
+ private:
+  StorageEnv* env_;
+  uint32_t doc_id_;
+  Xptr head_;       // chain of indirection pages
+  Xptr free_head_;  // head of the free-entry list (tagged entries)
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_STORAGE_INDIRECTION_H_

@@ -1,0 +1,211 @@
+// On-page data structures of the schema-driven storage (paper Section 4.1,
+// Figure 3).
+//
+// Three page types live in the SAS:
+//
+//  * Node blocks — hold fixed-size node descriptors for ONE schema node.
+//    Blocks of a schema node form a bidirectional list; descriptors are
+//    partly ordered across the list (every descriptor in block i precedes
+//    every descriptor in block j in document order iff i < j) and unordered
+//    within a block, where an in-block slot chain reconstructs the order.
+//    The descriptor size is fixed *per block*: the number of child-pointer
+//    slots is a block-header field, so expanding the descriptive schema
+//    never rewrites existing blocks (the paper's delayed per-block
+//    expansion).
+//
+//  * Text pages — classic slotted pages holding variable-length strings
+//    (text-node content, attribute values, long numbering labels). A string
+//    is addressed by the Xptr of its 4-byte slot entry; compaction moves
+//    cells but never slots, so references stay valid.
+//
+//  * Indirection pages — arrays of 8-byte entries holding the current
+//    direct Xptr of a node. The entry's own Xptr is the node handle
+//    (Section 4.1.2): immutable for the node's lifetime and used for parent
+//    pointers so that moving a node updates one entry instead of one field
+//    per child.
+
+#ifndef SEDNA_STORAGE_LAYOUT_H_
+#define SEDNA_STORAGE_LAYOUT_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "sas/xptr.h"
+#include "xml/xml_tree.h"
+
+namespace sedna {
+
+inline constexpr uint32_t kNodeBlockMagic = 0x5eb10c01;
+inline constexpr uint32_t kTextPageMagic = 0x5e7e0702;
+inline constexpr uint32_t kIndirPageMagic = 0x5e1d1203;
+
+inline constexpr uint16_t kNoSlot = 0xffff;
+
+/// Node-descriptor labels up to this many bytes are stored inline; longer
+/// prefixes overflow into text storage.
+inline constexpr uint16_t kInlineLabelBytes = 14;
+
+// ---------------------------------------------------------------------------
+// Node blocks
+// ---------------------------------------------------------------------------
+
+/// Header of a node block (lives at offset 0 of the page).
+struct BlockHeader {
+  uint32_t magic = kNodeBlockMagic;
+  uint32_t schema_id = 0;     // owning schema node
+  Xptr self;                  // page base (integrity checking)
+  Xptr next_block;            // block list, document order
+  Xptr prev_block;
+  uint16_t desc_size = 0;     // descriptor size in bytes (fixed per block)
+  uint16_t child_slots = 0;   // child-pointer slots per descriptor
+  uint16_t capacity = 0;      // descriptor slots in this block
+  uint16_t count = 0;         // live descriptors
+  uint16_t first_slot = kNoSlot;  // in-block doc-order chain head
+  uint16_t last_slot = kNoSlot;   // in-block doc-order chain tail
+  uint16_t free_head = kNoSlot;   // free-slot chain head
+  uint16_t high_water = 0;        // slots ever used (next fresh slot index)
+};
+static_assert(sizeof(BlockHeader) == 48);
+
+/// Fixed part of every node descriptor (Figure 3). Kind-specific payload
+/// follows: element descriptors carry `child_slots` direct child pointers
+/// (one per schema child — pointers to the *first* child of that schema
+/// node); text/attribute/comment/PI descriptors carry one text reference.
+struct NodeDescriptor {
+  // In-block doc-order chain (next-in-block / prev-in-block in the paper).
+  uint16_t next_in_block = kNoSlot;
+  uint16_t prev_in_block = kNoSlot;
+  // Numbering-scheme label: length, delimiter and either an inline prefix
+  // or an overflow reference into text storage.
+  uint16_t label_len = 0;
+  uint8_t delimiter = 0xff;
+  uint8_t flags = 0;  // kLabelOverflow
+  uint8_t label_inline[kInlineLabelBytes] = {};
+  // Node handle: the indirection-table entry that points back at this
+  // descriptor (immutable identity, Section 4.1.2).
+  Xptr handle;
+  // Parent pointer, indirect: the parent's node handle.
+  Xptr parent_handle;
+  // Direct sibling pointers (support document order across schema nodes).
+  Xptr left_sibling;
+  Xptr right_sibling;
+
+  static constexpr uint8_t kLabelOverflow = 0x01;
+
+  bool has_overflow_label() const { return flags & kLabelOverflow; }
+};
+static_assert(sizeof(NodeDescriptor) == 56);
+
+/// Payload of element descriptors: child pointers, indexed by the schema
+/// child position. Slot i points at the FIRST child whose schema node is
+/// the i-th child of this node's schema node (or null).
+inline Xptr* ElementChildSlots(NodeDescriptor* d) {
+  return reinterpret_cast<Xptr*>(reinterpret_cast<char*>(d) +
+                                 sizeof(NodeDescriptor));
+}
+inline const Xptr* ElementChildSlots(const NodeDescriptor* d) {
+  return reinterpret_cast<const Xptr*>(reinterpret_cast<const char*>(d) +
+                                       sizeof(NodeDescriptor));
+}
+
+/// Payload of text-carrying descriptors (text, attribute, comment, PI):
+/// reference into text storage (null for an empty string).
+struct TextPayload {
+  Xptr text_ref;
+};
+
+inline TextPayload* TextPayloadOf(NodeDescriptor* d) {
+  return reinterpret_cast<TextPayload*>(reinterpret_cast<char*>(d) +
+                                        sizeof(NodeDescriptor));
+}
+inline const TextPayload* TextPayloadOf(const NodeDescriptor* d) {
+  return reinterpret_cast<const TextPayload*>(
+      reinterpret_cast<const char*>(d) + sizeof(NodeDescriptor));
+}
+
+/// Descriptor size for a node of `kind` in a block with `child_slots`.
+inline uint16_t DescriptorSize(XmlKind kind, uint16_t child_slots) {
+  if (kind == XmlKind::kElement || kind == XmlKind::kDocument) {
+    return static_cast<uint16_t>(sizeof(NodeDescriptor) +
+                                 child_slots * sizeof(Xptr));
+  }
+  return static_cast<uint16_t>(sizeof(NodeDescriptor) + sizeof(TextPayload));
+}
+
+/// Accessors for descriptors within a page whose bytes start at `page`.
+inline NodeDescriptor* DescriptorAt(uint8_t* page, uint16_t slot) {
+  BlockHeader* h = reinterpret_cast<BlockHeader*>(page);
+  return reinterpret_cast<NodeDescriptor*>(page + sizeof(BlockHeader) +
+                                           static_cast<size_t>(slot) *
+                                               h->desc_size);
+}
+
+/// Xptr of the descriptor in `block_base`'s page at `slot`.
+inline Xptr DescriptorXptr(Xptr block_base, uint16_t slot,
+                           uint16_t desc_size) {
+  return block_base + (sizeof(BlockHeader) +
+                       static_cast<uint32_t>(slot) * desc_size);
+}
+
+/// Slot index of a descriptor Xptr within its block.
+inline uint16_t SlotOf(Xptr desc, uint16_t desc_size) {
+  return static_cast<uint16_t>((desc.PageOffset() - sizeof(BlockHeader)) /
+                               desc_size);
+}
+
+// ---------------------------------------------------------------------------
+// Text pages (slotted)
+// ---------------------------------------------------------------------------
+
+struct TextPageHeader {
+  uint32_t magic = kTextPageMagic;
+  uint32_t doc_id = 0;        // owning document (for bulk free)
+  Xptr self;
+  Xptr next_page;             // all text pages of a document, chained
+  uint16_t slot_count = 0;    // entries in the slot directory
+  uint16_t free_slot_head = kNoSlot;  // reusable slot entries
+  uint16_t cell_start = 0;    // lowest used byte of the cell area
+  uint16_t free_bytes = 0;    // reclaimable bytes (deleted cells)
+};
+static_assert(sizeof(TextPageHeader) == 32);
+
+/// Slot directory entry: cell offset within page and cell length. A free
+/// slot has offset == 0 and length holding the next free slot index.
+struct TextSlot {
+  uint16_t offset = 0;
+  uint16_t length = 0;
+};
+
+/// Per-cell header for strings that continue on another page.
+struct TextCellHeader {
+  uint32_t total_len = 0;  // full string length (this cell holds a prefix)
+  uint32_t this_len = 0;
+  Xptr next;               // slot of the continuation cell
+};
+
+inline constexpr uint8_t kTextCellChainedFlag = 0x80;
+
+// ---------------------------------------------------------------------------
+// Indirection pages
+// ---------------------------------------------------------------------------
+
+struct IndirPageHeader {
+  uint32_t magic = kIndirPageMagic;
+  uint32_t doc_id = 0;
+  Xptr self;
+  Xptr next_page;
+  uint32_t entry_count = 0;
+  uint32_t reserved = 0;
+};
+static_assert(sizeof(IndirPageHeader) == 32);
+
+/// An indirection entry is a raw Xptr (8 bytes). Free entries are tagged by
+/// bit 63 (real layers never reach 2^31) and link to the next free entry.
+inline constexpr uint64_t kIndirFreeTag = 1ull << 63;
+
+inline constexpr uint32_t kIndirEntriesPerPage =
+    (kPageSize - sizeof(IndirPageHeader)) / sizeof(Xptr);
+
+}  // namespace sedna
+
+#endif  // SEDNA_STORAGE_LAYOUT_H_

@@ -1,0 +1,143 @@
+#include "storage/schema.h"
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace sedna {
+
+SchemaNode* SchemaNode::FindChild(XmlKind k, std::string_view n) const {
+  for (SchemaNode* c : children) {
+    if (c->kind == k && c->name == n) return c;
+  }
+  return nullptr;
+}
+
+int SchemaNode::Depth() const {
+  int d = 0;
+  for (const SchemaNode* p = parent; p != nullptr; p = p->parent) ++d;
+  return d;
+}
+
+std::string SchemaNode::Path() const {
+  if (parent == nullptr) return "/";
+  std::string p = parent->Path();
+  if (p.back() != '/') p += '/';
+  switch (kind) {
+    case XmlKind::kAttribute:
+      return p + "@" + name;
+    case XmlKind::kText:
+      return p + "text()";
+    case XmlKind::kComment:
+      return p + "comment()";
+    case XmlKind::kPi:
+      return p + "processing-instruction(" + name + ")";
+    default:
+      return p + name;
+  }
+}
+
+DescriptiveSchema::DescriptiveSchema() {
+  auto root = std::make_unique<SchemaNode>();
+  root->id = 0;
+  root->kind = XmlKind::kDocument;
+  root_ = root.get();
+  nodes_.push_back(std::move(root));
+}
+
+SchemaNode* DescriptiveSchema::GetOrAddChild(SchemaNode* parent, XmlKind kind,
+                                             std::string_view name) {
+  SchemaNode* existing = parent->FindChild(kind, name);
+  if (existing != nullptr) return existing;
+  auto child = std::make_unique<SchemaNode>();
+  child->id = static_cast<uint32_t>(nodes_.size());
+  child->kind = kind;
+  child->name = std::string(name);
+  child->parent = parent;
+  child->slot_in_parent = static_cast<int>(parent->children.size());
+  SchemaNode* raw = child.get();
+  parent->children.push_back(raw);
+  nodes_.push_back(std::move(child));
+  return raw;
+}
+
+namespace {
+void CollectDescendants(const SchemaNode* n, XmlKind kind,
+                        std::string_view name,
+                        std::vector<SchemaNode*>* out) {
+  for (SchemaNode* c : n->children) {
+    if (c->kind == kind && (name == "*" || c->name == name)) {
+      out->push_back(c);
+    }
+    CollectDescendants(c, kind, name, out);
+  }
+}
+}  // namespace
+
+std::vector<SchemaNode*> DescriptiveSchema::FindDescendants(
+    const SchemaNode* under, XmlKind kind, std::string_view name) const {
+  std::vector<SchemaNode*> out;
+  CollectDescendants(under, kind, name, &out);
+  return out;
+}
+
+std::string DescriptiveSchema::Serialize() const {
+  std::string blob;
+  PutVarint64(&blob, nodes_.size());
+  for (const auto& n : nodes_) {
+    PutVarint32(&blob, n->id);
+    blob.push_back(static_cast<char>(n->kind));
+    PutLengthPrefixed(&blob, n->name);
+    PutVarint32(&blob, n->parent != nullptr ? n->parent->id + 1 : 0);
+    PutFixed64(&blob, n->first_block.raw);
+    PutFixed64(&blob, n->last_block.raw);
+    PutVarint64(&blob, n->node_count);
+  }
+  return blob;
+}
+
+Status DescriptiveSchema::Deserialize(const std::string& blob) {
+  Decoder d(blob);
+  uint64_t count = 0;
+  if (!d.GetVarint64(&count) || count == 0) {
+    return Status::Corruption("bad schema blob");
+  }
+  nodes_.clear();
+  nodes_.reserve(count);
+  std::vector<uint32_t> parent_ids(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    auto n = std::make_unique<SchemaNode>();
+    uint32_t id = 0;
+    uint8_t kind = 0;
+    std::string_view name;
+    uint32_t parent_plus1 = 0;
+    uint64_t first = 0, last = 0, node_count = 0;
+    if (!d.GetVarint32(&id) || !d.GetRaw(&kind, 1) ||
+        !d.GetLengthPrefixed(&name) || !d.GetVarint32(&parent_plus1) ||
+        !d.GetFixed64(&first) || !d.GetFixed64(&last) ||
+        !d.GetVarint64(&node_count)) {
+      return Status::Corruption("truncated schema blob");
+    }
+    if (id != i) return Status::Corruption("non-dense schema ids");
+    n->id = id;
+    n->kind = static_cast<XmlKind>(kind);
+    n->name = std::string(name);
+    n->first_block = Xptr(first);
+    n->last_block = Xptr(last);
+    n->node_count = node_count;
+    parent_ids[i] = parent_plus1;
+    nodes_.push_back(std::move(n));
+  }
+  root_ = nodes_[0].get();
+  for (uint64_t i = 0; i < count; ++i) {
+    if (parent_ids[i] == 0) continue;
+    uint32_t pid = parent_ids[i] - 1;
+    if (pid >= count) return Status::Corruption("bad schema parent id");
+    SchemaNode* parent = nodes_[pid].get();
+    nodes_[i]->parent = parent;
+    nodes_[i]->slot_in_parent = static_cast<int>(parent->children.size());
+    parent->children.push_back(nodes_[i].get());
+  }
+  return Status::OK();
+}
+
+}  // namespace sedna

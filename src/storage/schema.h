@@ -1,0 +1,95 @@
+// Descriptive schema (paper Section 4.1): a relaxed DataGuide.
+//
+// Every path in the document has exactly one path in the schema, so the
+// schema is a tree, generated from the data and maintained incrementally —
+// no prescriptive DTD/XML Schema is needed. Each schema node carries
+// pointers to the block list that clusters the document nodes with that
+// path, making the schema "a naturally built index for evaluating XPath
+// expressions".
+//
+// The schema is kept in memory (it is a concise structure summary — tiny
+// compared to the data) and serialized into the catalog blob at checkpoint.
+
+#ifndef SEDNA_STORAGE_SCHEMA_H_
+#define SEDNA_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sas/xptr.h"
+#include "xml/xml_tree.h"
+
+namespace sedna {
+
+/// One node of the descriptive schema.
+struct SchemaNode {
+  uint32_t id = 0;            // dense id within the document's schema
+  XmlKind kind = XmlKind::kElement;
+  std::string name;           // element/attribute/PI name ("" otherwise)
+  SchemaNode* parent = nullptr;
+  std::vector<SchemaNode*> children;  // order of first appearance; this
+                                      // order defines the child-pointer
+                                      // slot index in node descriptors
+  int slot_in_parent = -1;    // index in parent->children
+
+  // Block list of this schema node (document nodes clustered here).
+  Xptr first_block;
+  Xptr last_block;
+
+  // Statistics maintained incrementally (used by the optimizer and by the
+  // structural-path fast path).
+  uint64_t node_count = 0;
+
+  /// Finds the child with the given kind and name, or nullptr.
+  SchemaNode* FindChild(XmlKind k, std::string_view n) const;
+
+  /// Depth of this node (document root = 0).
+  int Depth() const;
+
+  /// Absolute path for diagnostics, e.g. "/library/book/title".
+  std::string Path() const;
+};
+
+/// The descriptive schema of one document: an arena of schema nodes rooted
+/// at a document node.
+class DescriptiveSchema {
+ public:
+  DescriptiveSchema();
+
+  DescriptiveSchema(const DescriptiveSchema&) = delete;
+  DescriptiveSchema& operator=(const DescriptiveSchema&) = delete;
+
+  SchemaNode* root() { return root_; }
+  const SchemaNode* root() const { return root_; }
+
+  SchemaNode* node(uint32_t id) { return nodes_[id].get(); }
+  const SchemaNode* node(uint32_t id) const { return nodes_[id].get(); }
+  size_t size() const { return nodes_.size(); }
+
+  /// Returns the child of `parent` for (kind, name), creating it (and thus
+  /// growing the schema) if it does not exist yet. This is the incremental
+  /// maintenance path taken by loads and updates.
+  SchemaNode* GetOrAddChild(SchemaNode* parent, XmlKind kind,
+                            std::string_view name);
+
+  /// All schema nodes matching (kind, name) anywhere in the schema — the
+  /// entry point for /descendant::name resolution over the schema.
+  std::vector<SchemaNode*> FindDescendants(const SchemaNode* under,
+                                           XmlKind kind,
+                                           std::string_view name) const;
+
+  /// Serialization for the catalog.
+  std::string Serialize() const;
+  Status Deserialize(const std::string& blob);
+
+ private:
+  std::vector<std::unique_ptr<SchemaNode>> nodes_;
+  SchemaNode* root_ = nullptr;
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_STORAGE_SCHEMA_H_

@@ -1,0 +1,227 @@
+#include "storage/text_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sedna {
+
+namespace {
+
+constexpr size_t kSlotDirStart = sizeof(TextPageHeader);
+
+inline TextSlot* SlotArray(uint8_t* page) {
+  return reinterpret_cast<TextSlot*>(page + kSlotDirStart);
+}
+inline const TextSlot* SlotArray(const uint8_t* page) {
+  return reinterpret_cast<const TextSlot*>(page + kSlotDirStart);
+}
+
+/// Largest payload we place in a single cell; longer strings chain.
+constexpr size_t kMaxCellPayload =
+    kPageSize - sizeof(TextPageHeader) - sizeof(TextSlot) -
+    sizeof(TextCellHeader) - 64;
+
+}  // namespace
+
+uint16_t TextStore::ContiguousFree(const uint8_t* page) {
+  const TextPageHeader* h = reinterpret_cast<const TextPageHeader*>(page);
+  size_t dir_end = kSlotDirStart + h->slot_count * sizeof(TextSlot);
+  size_t cell_start = h->cell_start == 0 ? kPageSize : h->cell_start;
+  if (cell_start <= dir_end) return 0;
+  return static_cast<uint16_t>(cell_start - dir_end);
+}
+
+void TextStore::CompactPage(uint8_t* page) {
+  TextPageHeader* h = reinterpret_cast<TextPageHeader*>(page);
+  TextSlot* slots = SlotArray(page);
+  // Collect live cells, sorted by offset descending, then re-pack from the
+  // top of the page.
+  std::vector<uint16_t> live;
+  for (uint16_t i = 0; i < h->slot_count; ++i) {
+    if (slots[i].offset != 0) live.push_back(i);
+  }
+  std::sort(live.begin(), live.end(), [&](uint16_t a, uint16_t b) {
+    return (slots[a].offset & ~kChainedBit) >
+           (slots[b].offset & ~kChainedBit);
+  });
+  uint16_t top = static_cast<uint16_t>(kPageSize);
+  // Work on a scratch copy of the cell area to avoid overlap hazards.
+  std::vector<uint8_t> scratch(page, page + kPageSize);
+  for (uint16_t i : live) {
+    uint16_t flag = slots[i].offset & kChainedBit;
+    uint16_t off = slots[i].offset & ~kChainedBit;
+    uint16_t len = slots[i].length;
+    top = static_cast<uint16_t>(top - len);
+    std::memcpy(page + top, scratch.data() + off, len);
+    slots[i].offset = static_cast<uint16_t>(top | flag);
+  }
+  h->cell_start = top;
+  h->free_bytes = 0;
+}
+
+StatusOr<Xptr> TextStore::Insert(const OpCtx& ctx, std::string_view s) {
+  if (s.empty()) return kNullXptr;
+  if (s.size() > kMaxCellPayload) return InsertChunked(ctx, s);
+  return InsertCell(ctx, s, /*chained=*/false);
+}
+
+StatusOr<Xptr> TextStore::InsertChunked(const OpCtx& ctx,
+                                        std::string_view s) {
+  // Build the chain back to front so each cell knows its successor.
+  size_t chunks = (s.size() + kMaxCellPayload - 1) / kMaxCellPayload;
+  Xptr next;
+  for (size_t i = chunks; i-- > 0;) {
+    size_t begin = i * kMaxCellPayload;
+    size_t len = std::min(kMaxCellPayload, s.size() - begin);
+    std::string cell(sizeof(TextCellHeader), '\0');
+    TextCellHeader hdr;
+    hdr.total_len = static_cast<uint32_t>(s.size());
+    hdr.this_len = static_cast<uint32_t>(len);
+    hdr.next = next;
+    std::memcpy(cell.data(), &hdr, sizeof(hdr));
+    cell.append(s.substr(begin, len));
+    SEDNA_ASSIGN_OR_RETURN(next, InsertCell(ctx, cell, /*chained=*/true));
+  }
+  return next;
+}
+
+StatusOr<Xptr> TextStore::InsertCell(const OpCtx& ctx, std::string_view bytes,
+                                     bool chained) {
+  size_t need = bytes.size() + sizeof(TextSlot);
+  // Try the current fill page.
+  if (fill_page_) {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Write(fill_page_, ctx));
+    uint8_t* page = guard.data();
+    TextPageHeader* h = reinterpret_cast<TextPageHeader*>(page);
+    bool has_free_slot = h->free_slot_head != kNoSlot;
+    size_t slot_need = has_free_slot ? bytes.size() : need;
+    if (ContiguousFree(page) < slot_need &&
+        h->free_bytes >= bytes.size()) {
+      CompactPage(page);
+    }
+    if (ContiguousFree(page) >= slot_need) {
+      TextSlot* slots = SlotArray(page);
+      uint16_t slot;
+      if (has_free_slot) {
+        slot = h->free_slot_head;
+        h->free_slot_head = slots[slot].length;
+      } else {
+        slot = h->slot_count++;
+      }
+      uint16_t cell_start = h->cell_start == 0
+                                ? static_cast<uint16_t>(kPageSize)
+                                : h->cell_start;
+      uint16_t off = static_cast<uint16_t>(cell_start - bytes.size());
+      std::memcpy(page + off, bytes.data(), bytes.size());
+      h->cell_start = off;
+      slots[slot].offset =
+          static_cast<uint16_t>(off | (chained ? kChainedBit : 0));
+      slots[slot].length = static_cast<uint16_t>(bytes.size());
+      guard.MarkDirty();
+      return fill_page_ + static_cast<uint32_t>(kSlotDirStart +
+                                                slot * sizeof(TextSlot));
+    }
+  }
+  // Allocate a fresh page and retry there.
+  SEDNA_ASSIGN_OR_RETURN(Xptr page_base, env_->allocator->AllocPage(ctx));
+  {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Write(page_base, ctx));
+    uint8_t* page = guard.data();
+    std::memset(page, 0, kPageSize);
+    TextPageHeader* h = reinterpret_cast<TextPageHeader*>(page);
+    *h = TextPageHeader{};
+    h->doc_id = doc_id_;
+    h->self = page_base;
+    h->next_page = head_;
+    h->cell_start = static_cast<uint16_t>(kPageSize);
+    guard.MarkDirty();
+  }
+  head_ = page_base;
+  fill_page_ = page_base;
+  return InsertCell(ctx, bytes, chained);
+}
+
+StatusOr<std::string> TextStore::Read(const OpCtx& ctx, Xptr ref) const {
+  std::string out;
+  Xptr cur = ref;
+  while (cur) {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Read(cur.PageBase(), ctx));
+    const uint8_t* page = guard.data();
+    const TextPageHeader* h = reinterpret_cast<const TextPageHeader*>(page);
+    if (h->magic != kTextPageMagic) {
+      return Status::Corruption("text ref does not point into a text page");
+    }
+    const TextSlot* slot =
+        reinterpret_cast<const TextSlot*>(page + cur.PageOffset());
+    uint16_t off = slot->offset & ~kChainedBit;
+    if (off == 0) return Status::Corruption("dangling text reference");
+    if (slot->offset & kChainedBit) {
+      TextCellHeader hdr;
+      std::memcpy(&hdr, page + off, sizeof(hdr));
+      out.append(reinterpret_cast<const char*>(page + off + sizeof(hdr)),
+                 hdr.this_len);
+      cur = hdr.next;
+    } else {
+      out.append(reinterpret_cast<const char*>(page + off), slot->length);
+      cur = kNullXptr;
+    }
+  }
+  return out;
+}
+
+Status TextStore::Delete(const OpCtx& ctx, Xptr ref) {
+  Xptr cur = ref;
+  while (cur) {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Write(cur.PageBase(), ctx));
+    uint8_t* page = guard.data();
+    TextPageHeader* h = reinterpret_cast<TextPageHeader*>(page);
+    if (h->magic != kTextPageMagic) {
+      return Status::Corruption("text ref does not point into a text page");
+    }
+    TextSlot* slot = reinterpret_cast<TextSlot*>(page + cur.PageOffset());
+    uint16_t off = slot->offset & ~kChainedBit;
+    if (off == 0) return Status::Corruption("double free of text reference");
+    Xptr next;
+    if (slot->offset & kChainedBit) {
+      TextCellHeader hdr;
+      std::memcpy(&hdr, page + off, sizeof(hdr));
+      next = hdr.next;
+    }
+    h->free_bytes = static_cast<uint16_t>(h->free_bytes + slot->length);
+    uint16_t slot_index = static_cast<uint16_t>(
+        (cur.PageOffset() - kSlotDirStart) / sizeof(TextSlot));
+    slot->offset = 0;
+    slot->length = h->free_slot_head;
+    h->free_slot_head = slot_index;
+    guard.MarkDirty();
+    cur = next;
+  }
+  return Status::OK();
+}
+
+StatusOr<Xptr> TextStore::Update(const OpCtx& ctx, Xptr ref,
+                                 std::string_view s) {
+  SEDNA_RETURN_IF_ERROR(Delete(ctx, ref));
+  return Insert(ctx, s);
+}
+
+Status TextStore::FreeAll(const OpCtx& ctx) {
+  Xptr cur = head_;
+  while (cur) {
+    Xptr next;
+    {
+      SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Read(cur, ctx));
+      next = reinterpret_cast<const TextPageHeader*>(guard.data())->next_page;
+    }
+    SEDNA_RETURN_IF_ERROR(env_->allocator->FreePage(cur, ctx));
+    cur = next;
+  }
+  head_ = kNullXptr;
+  fill_page_ = kNullXptr;
+  return Status::OK();
+}
+
+}  // namespace sedna

@@ -1,0 +1,68 @@
+// Slotted-page storage for variable-length strings (paper Section 4.1:
+// "text values ... are stored in blocks according to the well-known
+// slotted-page structure method").
+//
+// A stored string is addressed by the Xptr of its slot-directory entry;
+// in-page compaction moves cells but never slots, so references stay valid.
+// Strings larger than a page are chained across pages transparently.
+
+#ifndef SEDNA_STORAGE_TEXT_STORE_H_
+#define SEDNA_STORAGE_TEXT_STORE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/layout.h"
+#include "storage/storage_env.h"
+
+namespace sedna {
+
+class TextStore {
+ public:
+  TextStore(StorageEnv* env, uint32_t doc_id) : env_(env), doc_id_(doc_id) {}
+
+  /// Head of this document's text-page chain (persisted in the catalog).
+  Xptr head() const { return head_; }
+  Xptr fill_page() const { return fill_page_; }
+  void Restore(Xptr head, Xptr fill) {
+    head_ = head;
+    fill_page_ = fill;
+  }
+
+  /// Stores `s`; returns the reference to hand to a node descriptor.
+  /// Returns a null Xptr for the empty string.
+  StatusOr<Xptr> Insert(const OpCtx& ctx, std::string_view s);
+
+  /// Reads the full string behind `ref` (empty for null ref).
+  StatusOr<std::string> Read(const OpCtx& ctx, Xptr ref) const;
+
+  /// Releases the string's storage. Null ref is a no-op.
+  Status Delete(const OpCtx& ctx, Xptr ref);
+
+  /// Replace: delete + insert; returns the new reference.
+  StatusOr<Xptr> Update(const OpCtx& ctx, Xptr ref, std::string_view s);
+
+  /// Frees every text page of this document (document drop).
+  Status FreeAll(const OpCtx& ctx);
+
+ private:
+  // Chained cells carry a TextCellHeader; the flag lives in the slot's
+  // offset high bit (page offsets fit in 14 bits).
+  static constexpr uint16_t kChainedBit = 0x8000;
+
+  StatusOr<Xptr> InsertChunked(const OpCtx& ctx, std::string_view s);
+  StatusOr<Xptr> InsertCell(const OpCtx& ctx, std::string_view bytes,
+                            bool chained);
+  static void CompactPage(uint8_t* page);
+  static uint16_t ContiguousFree(const uint8_t* page);
+
+  StorageEnv* env_;
+  uint32_t doc_id_;
+  Xptr head_;
+  Xptr fill_page_;
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_STORAGE_TEXT_STORE_H_

@@ -1,0 +1,84 @@
+#include "txn/lock_manager.h"
+
+namespace sedna {
+
+bool LockManager::CanGrantLocked(const LockState& state, uint64_t txn_id,
+                                 LockMode mode) const {
+  for (const auto& [holder, held] : state.holders) {
+    if (holder == txn_id) continue;  // own lock never conflicts
+    if (mode == LockMode::kExclusive || held == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
+                            LockMode mode) {
+  return Acquire(txn_id, resource, mode, default_timeout_);
+}
+
+Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
+                            LockMode mode,
+                            std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  LockState& state = locks_[resource];
+
+  auto held = state.holders.find(txn_id);
+  if (held != state.holders.end()) {
+    if (held->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Status::OK();  // already strong enough
+    }
+    // Upgrade S -> X below (falls through to the wait loop).
+  }
+
+  if (!CanGrantLocked(state, txn_id, mode)) {
+    stats_.waits++;
+    state.waiters++;
+    bool granted = cv_.wait_for(lock, timeout, [&] {
+      return CanGrantLocked(state, txn_id, mode);
+    });
+    state.waiters--;
+    if (!granted) {
+      stats_.timeouts++;
+      return Status::TimedOut("lock wait on '" + resource +
+                              "' timed out (possible deadlock); abort the "
+                              "transaction and retry");
+    }
+  }
+  state.holders[txn_id] = mode;
+  stats_.acquired++;
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bool released = false;
+  for (auto it = locks_.begin(); it != locks_.end();) {
+    released |= it->second.holders.erase(txn_id) > 0;
+    if (it->second.holders.empty() && it->second.waiters == 0) {
+      it = locks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (released) cv_.notify_all();
+}
+
+bool LockManager::Holds(uint64_t txn_id, const std::string& resource,
+                        LockMode* mode) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = locks_.find(resource);
+  if (it == locks_.end()) return false;
+  auto held = it->second.holders.find(txn_id);
+  if (held == it->second.holders.end()) return false;
+  if (mode != nullptr) *mode = held->second;
+  return true;
+}
+
+LockStats LockManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sedna

@@ -1,0 +1,190 @@
+#include "txn/transaction.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace sedna {
+
+Transaction::~Transaction() {
+  if (active_) {
+    Status st = mgr_->Abort(this);
+    if (!st.ok()) {
+      SEDNA_LOG(kError) << "abort in destructor failed: " << st.ToString();
+    }
+  }
+}
+
+OpCtx Transaction::ctx() const {
+  OpCtx op;
+  op.resolve.txn_id = id_;
+  op.resolve.read_only = read_only_;
+  op.resolve.snapshot_ts = read_only_ ? snapshot_ts_ : 0;
+  return op;
+}
+
+Status Transaction::LockDocument(const std::string& name, LockMode mode) {
+  if (read_only_) return Status::OK();  // snapshot isolation, non-blocking
+  SEDNA_RETURN_IF_ERROR(mgr_->locks()->Acquire(id_, name, mode));
+  if (mode == LockMode::kExclusive && meta_snapshots_.count(name) == 0) {
+    // First exclusive access: remember the document's in-memory metadata so
+    // an abort can restore it (pages are rolled back by the versions).
+    StatusOr<std::string> meta = mgr_->storage_->SnapshotDocumentMeta(name);
+    if (meta.ok()) {
+      meta_snapshots_[name] = std::move(meta).value();
+    } else if (meta.status().code() == StatusCode::kNotFound) {
+      meta_snapshots_[name] = std::nullopt;  // created inside this txn
+    } else {
+      return meta.status();
+    }
+  }
+  return Status::OK();
+}
+
+Status Transaction::LogUpdate(const std::string& statement_text) {
+  if (read_only_) {
+    return Status::FailedPrecondition(
+        "update statement in a read-only transaction");
+  }
+  if (mgr_->wal() == nullptr) return Status::OK();
+  if (!logged_any_update_) {
+    SEDNA_RETURN_IF_ERROR(
+        mgr_->wal()->Append(WalRecordType::kBegin, id_, "").status());
+    logged_any_update_ = true;
+  }
+  return mgr_->wal()
+      ->Append(WalRecordType::kUpdateStatement, id_, statement_text)
+      .status();
+}
+
+TransactionManager::TransactionManager(StorageEngine* storage,
+                                       VersionManager* versions,
+                                       WalWriter* wal)
+    : storage_(storage), versions_(versions), wal_(wal) {
+  uint64_t start_ts = storage_->file()->master().next_timestamp;
+  clock_.store(start_ts);
+  last_commit_ts_.store(start_ts);
+  if (versions_ != nullptr) {
+    // The on-disk state at open time is the persistent snapshot.
+    Status st = versions_->SetPersistentSnapshot(start_ts);
+    SEDNA_CHECK(st.ok()) << st.ToString();
+  }
+}
+
+StatusOr<std::unique_ptr<Transaction>> TransactionManager::Begin(
+    bool read_only) {
+  uint64_t id = next_txn_id_.fetch_add(1);
+  uint64_t snapshot = last_commit_ts_.load();
+  if (versions_ != nullptr) {
+    versions_->BeginTxn(id, read_only, snapshot);
+  }
+  return std::unique_ptr<Transaction>(
+      new Transaction(this, id, read_only, snapshot));
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  if (!txn->active_) return Status::FailedPrecondition("transaction ended");
+  txn->active_ = false;
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  if (!txn->read_only_) {
+    if (wal_ != nullptr && txn->logged_any_update_) {
+      SEDNA_RETURN_IF_ERROR(
+          wal_->Append(WalRecordType::kCommit, txn->id_, "").status());
+      SEDNA_RETURN_IF_ERROR(wal_->Sync());
+    }
+    uint64_t commit_ts = clock_.fetch_add(1) + 1;
+    if (versions_ != nullptr) {
+      SEDNA_RETURN_IF_ERROR(versions_->CommitTxn(txn->id_, commit_ts));
+    }
+    last_commit_ts_.store(commit_ts);
+  } else if (versions_ != nullptr) {
+    SEDNA_RETURN_IF_ERROR(versions_->CommitTxn(txn->id_, 0));
+  }
+  locks_.ReleaseAll(txn->id_);
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(Transaction* txn) {
+  if (!txn->active_) return Status::FailedPrecondition("transaction ended");
+  txn->active_ = false;
+  // Restore in-memory document metadata changed by this transaction.
+  for (const auto& [name, meta] : txn->meta_snapshots_) {
+    if (meta.has_value()) {
+      SEDNA_RETURN_IF_ERROR(storage_->RestoreDocumentMeta(name, *meta));
+    } else {
+      SEDNA_RETURN_IF_ERROR(storage_->RemoveDocumentEntry(name));
+    }
+  }
+  if (!txn->read_only_ && wal_ != nullptr && txn->logged_any_update_) {
+    SEDNA_RETURN_IF_ERROR(
+        wal_->Append(WalRecordType::kAbort, txn->id_, "").status());
+  }
+  if (versions_ != nullptr) {
+    SEDNA_RETURN_IF_ERROR(versions_->AbortTxn(txn->id_));
+  }
+  locks_.ReleaseAll(txn->id_);
+  return Status::OK();
+}
+
+Status TransactionManager::Checkpoint() {
+  // Block commits so the flushed state is transaction-consistent: exactly
+  // the "persistent snapshot" of Section 6.4.
+  std::lock_guard<std::mutex> commit_lock(commit_mu_);
+  MasterRecord master = storage_->file()->master();
+  master.next_timestamp = clock_.load() + 1;
+  master.checkpoint_lsn = wal_ != nullptr ? wal_->end_lsn() : 0;
+  storage_->file()->set_master(master);
+  SEDNA_RETURN_IF_ERROR(storage_->Checkpoint());
+  if (versions_ != nullptr) {
+    // The freshly flushed state becomes the new persistent snapshot; pages
+    // pinned by the previous one become reclaimable.
+    SEDNA_RETURN_IF_ERROR(versions_->SetPersistentSnapshot(clock_.load()));
+  }
+  if (wal_ != nullptr) {
+    SEDNA_RETURN_IF_ERROR(
+        wal_->Append(WalRecordType::kCheckpoint, 0, "").status());
+    SEDNA_RETURN_IF_ERROR(wal_->Sync());
+  }
+  return Status::OK();
+}
+
+Status RecoverFromWal(
+    const std::string& wal_path, uint64_t checkpoint_lsn,
+    const std::function<Status(const std::string& statement)>& replay,
+    uint64_t* replayed_statements) {
+  SEDNA_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
+                         ReadWal(wal_path, checkpoint_lsn));
+  // Collect statements per transaction; replay only committed ones, in
+  // commit order.
+  std::map<uint64_t, std::vector<std::string>> pending;
+  uint64_t replayed = 0;
+  for (const WalRecord& record : records) {
+    switch (record.type) {
+      case WalRecordType::kBegin:
+        pending[record.txn_id].clear();
+        break;
+      case WalRecordType::kUpdateStatement:
+        pending[record.txn_id].push_back(record.payload);
+        break;
+      case WalRecordType::kAbort:
+        pending.erase(record.txn_id);
+        break;
+      case WalRecordType::kCommit: {
+        auto it = pending.find(record.txn_id);
+        if (it == pending.end()) break;
+        for (const std::string& stmt : it->second) {
+          SEDNA_RETURN_IF_ERROR(replay(stmt));
+          replayed++;
+        }
+        pending.erase(it);
+        break;
+      }
+      case WalRecordType::kCheckpoint:
+        break;
+    }
+  }
+  if (replayed_statements != nullptr) *replayed_statements = replayed;
+  return Status::OK();
+}
+
+}  // namespace sedna

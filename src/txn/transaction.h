@@ -1,0 +1,121 @@
+// Transaction manager (paper Section 6): ties S2PL locking, page-level
+// multiversioning, WAL and checkpointing together.
+//
+//  * Every statement executes within a transaction (autocommit wraps one).
+//  * Updaters hold exclusive document locks to commit; read-only
+//    transactions read a snapshot and take no locks (Section 6.3).
+//  * Durability: update statements are WAL-logged before their mutations
+//    apply; commit forces the log (Section 6.4).
+//  * Checkpoint creates the paper's "persistent snapshot": all committed
+//    state flushed, catalog + directory serialized, checkpoint LSN in the
+//    master record.
+
+#ifndef SEDNA_TXN_TRANSACTION_H_
+#define SEDNA_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "storage/storage_engine.h"
+#include "txn/lock_manager.h"
+#include "txn/version_manager.h"
+#include "txn/wal.h"
+
+namespace sedna {
+
+class TransactionManager;
+
+/// A running transaction. Obtained from TransactionManager::Begin; must be
+/// finished with Commit or Abort (the destructor aborts a live one).
+class Transaction {
+ public:
+  ~Transaction();
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  uint64_t id() const { return id_; }
+  bool read_only() const { return read_only_; }
+  bool active() const { return active_; }
+  uint64_t snapshot_ts() const { return snapshot_ts_; }
+
+  /// Storage context carrying this transaction's identity/snapshot.
+  OpCtx ctx() const;
+
+  /// Acquires a document lock (no-op for read-only transactions, which are
+  /// isolated by the snapshot instead).
+  Status LockDocument(const std::string& name, LockMode mode);
+
+  /// Appends an update-statement record to the WAL (called by the statement
+  /// executor's update listener before mutations are applied).
+  Status LogUpdate(const std::string& statement_text);
+
+ private:
+  friend class TransactionManager;
+  Transaction(TransactionManager* mgr, uint64_t id, bool read_only,
+              uint64_t snapshot_ts)
+      : mgr_(mgr), id_(id), read_only_(read_only), snapshot_ts_(snapshot_ts) {}
+
+  TransactionManager* mgr_;
+  uint64_t id_;
+  bool read_only_;
+  uint64_t snapshot_ts_;
+  bool active_ = true;
+  bool logged_any_update_ = false;
+  // Documents locked exclusively: name -> metadata at first lock (nullopt
+  // if the document did not exist yet). Restored on abort.
+  std::map<std::string, std::optional<std::string>> meta_snapshots_;
+};
+
+class TransactionManager {
+ public:
+  /// `wal` may be null (no durability — used by some benchmarks).
+  TransactionManager(StorageEngine* storage, VersionManager* versions,
+                     WalWriter* wal);
+
+  StatusOr<std::unique_ptr<Transaction>> Begin(bool read_only = false);
+  Status Commit(Transaction* txn);
+  Status Abort(Transaction* txn);
+
+  /// Persistent snapshot: flush + catalog/directory + checkpoint LSN.
+  /// Briefly blocks commits so the on-disk state is transaction-consistent.
+  Status Checkpoint();
+
+  LockManager* locks() { return &locks_; }
+  VersionManager* versions() { return versions_; }
+  WalWriter* wal() { return wal_; }
+  uint64_t last_commit_ts() const { return last_commit_ts_.load(); }
+
+  /// Serializes commits/checkpoints; exposed for hot backup (Section 6.5),
+  /// which must copy the data file without a commit splitting pages.
+  std::mutex& commit_mutex() { return commit_mu_; }
+
+ private:
+  friend class Transaction;
+
+  StorageEngine* storage_;
+  VersionManager* versions_;
+  WalWriter* wal_;
+  LockManager locks_;
+
+  std::atomic<uint64_t> next_txn_id_{1};
+  std::atomic<uint64_t> clock_;
+  std::atomic<uint64_t> last_commit_ts_;
+  std::mutex commit_mu_;
+};
+
+/// Two-step recovery (paper Section 6.4): the caller has already restored
+/// the persistent snapshot by opening the storage engine; this replays the
+/// update statements of transactions that committed after the checkpoint.
+/// `replay` executes one statement against the restored engine.
+Status RecoverFromWal(
+    const std::string& wal_path, uint64_t checkpoint_lsn,
+    const std::function<Status(const std::string& statement)>& replay,
+    uint64_t* replayed_statements = nullptr);
+
+}  // namespace sedna
+
+#endif  // SEDNA_TXN_TRANSACTION_H_

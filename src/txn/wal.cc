@@ -1,0 +1,104 @@
+#include "txn/wal.h"
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace sedna {
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) {
+    Status st = Close();
+    if (!st.ok()) {
+      SEDNA_LOG(kError) << "WAL close failed: " << st.ToString();
+    }
+  }
+}
+
+Status WalWriter::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) return Status::FailedPrecondition("WAL already open");
+  // Append mode creates the file if needed and positions at the end.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return Status::IOError("cannot open WAL " + path);
+  file_ = f;
+  path_ = path;
+  long pos = std::ftell(file_);
+  end_lsn_ = pos < 0 ? 0 : static_cast<uint64_t>(pos);
+  return Status::OK();
+}
+
+Status WalWriter::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::OK();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("WAL fclose failed");
+  return Status::OK();
+}
+
+StatusOr<uint64_t> WalWriter::Append(WalRecordType type, uint64_t txn_id,
+                                     std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::FailedPrecondition("WAL not open");
+  std::string body;
+  body.push_back(static_cast<char>(type));
+  PutFixed64(&body, txn_id);
+  body.append(payload.data(), payload.size());
+
+  std::string record;
+  PutFixed32(&record, static_cast<uint32_t>(body.size()));
+  PutFixed32(&record, Crc32(body.data(), body.size()));
+  record += body;
+
+  uint64_t lsn = end_lsn_;
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::IOError("WAL append failed");
+  }
+  end_lsn_ += record.size();
+  return lsn;
+}
+
+uint64_t WalWriter::end_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return end_lsn_;
+}
+
+Status WalWriter::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return Status::OK();
+  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
+  return Status::OK();
+}
+
+StatusOr<std::vector<WalRecord>> ReadWal(const std::string& path,
+                                         uint64_t from_lsn) {
+  std::vector<WalRecord> out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;  // no log = nothing to replay
+  std::fseek(f, 0, SEEK_END);
+  long size_l = std::ftell(f);
+  uint64_t size = size_l < 0 ? 0 : static_cast<uint64_t>(size_l);
+  uint64_t pos = from_lsn;
+  while (pos + 8 <= size) {
+    std::fseek(f, static_cast<long>(pos), SEEK_SET);
+    char header[8];
+    if (std::fread(header, 1, 8, f) != 8) break;
+    uint32_t len = DecodeFixed32(header);
+    uint32_t crc = DecodeFixed32(header + 4);
+    if (len == 0 || pos + 8 + len > size) break;  // torn tail
+    std::string body(len, '\0');
+    if (std::fread(body.data(), 1, len, f) != len) break;
+    if (Crc32(body.data(), body.size()) != crc) break;  // corrupt tail
+    WalRecord record;
+    record.type = static_cast<WalRecordType>(body[0]);
+    record.txn_id = DecodeFixed64(body.data() + 1);
+    record.lsn = pos;
+    record.payload = body.substr(9);
+    out.push_back(std::move(record));
+    pos += 8 + len;
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace sedna

@@ -1,0 +1,73 @@
+// Write-ahead log (paper Section 6.4: "All the main operations ... are
+// logged using the WAL protocol").
+//
+// This reproduction logs updates at the statement level: each committed
+// update transaction's statements are replayed in commit order on top of
+// the persistent snapshot during the two-step recovery. Statement replay is
+// deterministic for the supported language (see DESIGN.md §2). Record
+// format: [len][crc][type][txn][lsn-check][payload], append-only; torn
+// tails are detected by the CRC and cut off.
+
+#ifndef SEDNA_TXN_WAL_H_
+#define SEDNA_TXN_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sedna {
+
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kUpdateStatement = 2,  // payload: statement text
+  kCommit = 3,
+  kAbort = 4,
+  kCheckpoint = 5,       // payload: empty; marks a persistent snapshot
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kBegin;
+  uint64_t txn_id = 0;
+  uint64_t lsn = 0;  // byte offset of the record in the log
+  std::string payload;
+};
+
+class WalWriter {
+ public:
+  ~WalWriter();
+
+  /// Opens (creating if absent) the log for appending.
+  Status Open(const std::string& path);
+  Status Close();
+
+  /// Appends one record; returns its LSN. Thread-safe.
+  StatusOr<uint64_t> Append(WalRecordType type, uint64_t txn_id,
+                            std::string_view payload);
+
+  /// Next LSN to be written (== current log size).
+  uint64_t end_lsn() const;
+
+  /// Flushes to the OS (commit durability point).
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t end_lsn_ = 0;
+};
+
+/// Reads all valid records from `path` starting at `from_lsn`. Stops
+/// cleanly at the first corrupt/torn record.
+StatusOr<std::vector<WalRecord>> ReadWal(const std::string& path,
+                                         uint64_t from_lsn = 0);
+
+}  // namespace sedna
+
+#endif  // SEDNA_TXN_WAL_H_

@@ -1,0 +1,322 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace sedna {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view input, const XmlParseOptions& options)
+      : input_(input), options_(options) {}
+
+  StatusOr<std::unique_ptr<XmlNode>> Parse() {
+    auto doc = XmlNode::Document();
+    SkipProlog();
+    SEDNA_RETURN_IF_ERROR(ParseContent(doc.get(), /*top_level=*/true));
+    SkipMisc();
+    if (!AtEnd()) return Error("content after document element");
+    bool has_element = false;
+    for (const auto& c : doc->children) {
+      if (c->kind == XmlKind::kElement) has_element = true;
+    }
+    if (!has_element) return Error("document has no root element");
+    return doc;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return pos_ < input_.size() ? input_[pos_] : '\0'; }
+  char PeekAt(size_t k) const {
+    return pos_ + k < input_.size() ? input_[pos_ + k] : '\0';
+  }
+
+  char Advance() {
+    char c = input_[pos_++];
+    if (c == '\n') {
+      line_++;
+      col_ = 1;
+    } else {
+      col_++;
+    }
+    return c;
+  }
+
+  bool Consume(std::string_view s) {
+    if (input_.substr(pos_).substr(0, s.size()) != s) return false;
+    for (size_t i = 0; i < s.size(); ++i) Advance();
+    return true;
+  }
+
+  void SkipWs() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("XML parse error at line " +
+                                   std::to_string(line_) + ", column " +
+                                   std::to_string(col_) + ": " + msg);
+  }
+
+  void SkipProlog() {
+    SkipWs();
+    if (Consume("<?xml")) {
+      while (!AtEnd() && !Consume("?>")) Advance();
+    }
+    SkipMisc();
+    // DOCTYPE: skipped without interpretation (internal subsets with nested
+    // brackets are handled by bracket counting).
+    if (Consume("<!DOCTYPE")) {
+      int depth = 1;
+      while (!AtEnd() && depth > 0) {
+        char c = Advance();
+        if (c == '<') depth++;
+        if (c == '>') depth--;
+        if (c == '[') {
+          while (!AtEnd() && Peek() != ']') Advance();
+        }
+      }
+    }
+    SkipMisc();
+  }
+
+  void SkipMisc() {
+    for (;;) {
+      SkipWs();
+      if (Consume("<!--")) {
+        while (!AtEnd() && !Consume("-->")) Advance();
+        continue;
+      }
+      if (Peek() == '<' && PeekAt(1) == '?') {
+        while (!AtEnd() && !Consume("?>")) Advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || static_cast<unsigned char>(c) >= 0x80;
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  StatusOr<std::string> ParseName() {
+    if (AtEnd() || !IsNameStart(Peek())) return Error("expected a name");
+    std::string name;
+    while (!AtEnd() && IsNameChar(Peek())) name.push_back(Advance());
+    return name;
+  }
+
+  Status AppendReference(std::string* out) {
+    // Called after '&' has been consumed.
+    if (Consume("amp;")) {
+      *out += '&';
+    } else if (Consume("lt;")) {
+      *out += '<';
+    } else if (Consume("gt;")) {
+      *out += '>';
+    } else if (Consume("quot;")) {
+      *out += '"';
+    } else if (Consume("apos;")) {
+      *out += '\'';
+    } else if (Peek() == '#') {
+      Advance();
+      int base = 10;
+      if (Peek() == 'x' || Peek() == 'X') {
+        Advance();
+        base = 16;
+      }
+      uint32_t cp = 0;
+      bool any = false;
+      while (!AtEnd() && Peek() != ';') {
+        char c = Advance();
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (base == 16 && c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else if (base == 16 && c >= 'A' && c <= 'F') {
+          digit = c - 'A' + 10;
+        } else {
+          return Error("bad character reference");
+        }
+        cp = cp * base + static_cast<uint32_t>(digit);
+        any = true;
+      }
+      if (!any || !Consume(";")) return Error("bad character reference");
+      AppendUtf8(cp, out);
+    } else {
+      return Error("unknown entity reference");
+    }
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  StatusOr<std::string> ParseAttributeValue() {
+    char quote = Peek();
+    if (quote != '"' && quote != '\'') {
+      return Error("attribute value must be quoted");
+    }
+    Advance();
+    std::string value;
+    while (!AtEnd() && Peek() != quote) {
+      char c = Advance();
+      if (c == '&') {
+        SEDNA_RETURN_IF_ERROR(AppendReference(&value));
+      } else if (c == '<') {
+        return Error("'<' in attribute value");
+      } else {
+        value.push_back(c);
+      }
+    }
+    if (AtEnd()) return Error("unterminated attribute value");
+    Advance();  // closing quote
+    return value;
+  }
+
+  /// Parses an element, assuming '<' and the name-start are next.
+  Status ParseElement(XmlNode* parent) {
+    Advance();  // '<'
+    SEDNA_ASSIGN_OR_RETURN(std::string name, ParseName());
+    XmlNode* elem = parent->AddElement(std::move(name));
+    // Attributes.
+    for (;;) {
+      SkipWs();
+      if (AtEnd()) return Error("unterminated start tag");
+      if (Peek() == '>' || Peek() == '/') break;
+      SEDNA_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipWs();
+      if (!Consume("=")) return Error("expected '=' after attribute name");
+      SkipWs();
+      SEDNA_ASSIGN_OR_RETURN(std::string attr_value, ParseAttributeValue());
+      for (const auto& c : elem->children) {
+        if (c->kind == XmlKind::kAttribute && c->name == attr_name) {
+          return Error("duplicate attribute '" + attr_name + "'");
+        }
+      }
+      elem->AddAttribute(std::move(attr_name), std::move(attr_value));
+    }
+    if (Consume("/>")) return Status::OK();
+    if (!Consume(">")) return Error("expected '>'");
+    SEDNA_RETURN_IF_ERROR(ParseContent(elem, /*top_level=*/false));
+    // End tag.
+    if (!Consume("</")) return Error("expected end tag for '" + elem->name + "'");
+    SEDNA_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+    if (end_name != elem->name) {
+      return Error("mismatched end tag '" + end_name + "', expected '" +
+                   elem->name + "'");
+    }
+    SkipWs();
+    if (!Consume(">")) return Error("expected '>' in end tag");
+    return Status::OK();
+  }
+
+  Status ParseContent(XmlNode* parent, bool top_level) {
+    std::string text;
+    auto flush_text = [&]() {
+      if (text.empty()) return;
+      if (options_.strip_boundary_whitespace && IsXmlWhitespace(text)) {
+        text.clear();
+        return;
+      }
+      if (!top_level) parent->AddText(std::move(text));
+      text.clear();
+    };
+    while (!AtEnd()) {
+      if (Peek() == '<') {
+        if (PeekAt(1) == '/') {
+          flush_text();
+          return Status::OK();  // caller consumes the end tag
+        }
+        if (Consume("<!--")) {
+          std::string comment;
+          while (!AtEnd() && !Consume("-->")) comment.push_back(Advance());
+          if (options_.keep_comments_and_pis) {
+            flush_text();
+            parent->Add(std::make_unique<XmlNode>(XmlKind::kComment, "",
+                                                  std::move(comment)));
+          }
+          continue;
+        }
+        if (Consume("<![CDATA[")) {
+          while (!AtEnd() && !Consume("]]>")) text.push_back(Advance());
+          continue;
+        }
+        if (PeekAt(1) == '?') {
+          Advance();
+          Advance();
+          SEDNA_ASSIGN_OR_RETURN(std::string pi_name, ParseName());
+          std::string pi_value;
+          while (!AtEnd() && !Consume("?>")) pi_value.push_back(Advance());
+          if (options_.keep_comments_and_pis) {
+            flush_text();
+            parent->Add(std::make_unique<XmlNode>(
+                XmlKind::kPi, std::move(pi_name),
+                std::string(Trim(pi_value))));
+          }
+          continue;
+        }
+        flush_text();
+        SEDNA_RETURN_IF_ERROR(ParseElement(parent));
+        if (top_level) {
+          // Only one document element allowed; trailing misc handled by
+          // the caller.
+          return Status::OK();
+        }
+        continue;
+      }
+      char c = Advance();
+      if (c == '&') {
+        SEDNA_RETURN_IF_ERROR(AppendReference(&text));
+      } else {
+        text.push_back(c);
+      }
+    }
+    flush_text();
+    if (!top_level) return Error("unexpected end of input inside element");
+    return Status::OK();
+  }
+
+  std::string_view input_;
+  XmlParseOptions options_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<XmlNode>> ParseXml(std::string_view input,
+                                            const XmlParseOptions& options) {
+  Parser parser(input, options);
+  return parser.Parse();
+}
+
+}  // namespace sedna

@@ -1,0 +1,36 @@
+// From-scratch non-validating XML parser.
+//
+// Supports the constructs the storage engine persists: elements, attributes,
+// text, CDATA sections, comments, processing instructions, the XML
+// declaration, and the five predefined entities plus numeric character
+// references. Namespace prefixes are kept as part of names (Sedna-style
+// "namespaces-lite"; full namespace resolution is out of the reproduced
+// subset). DTDs are not supported.
+
+#ifndef SEDNA_XML_XML_PARSER_H_
+#define SEDNA_XML_XML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/xml_tree.h"
+
+namespace sedna {
+
+struct XmlParseOptions {
+  /// Drop text nodes that consist only of whitespace between elements
+  /// (standard "boundary whitespace stripping" for data-centric documents).
+  bool strip_boundary_whitespace = true;
+  /// Keep comments and processing instructions in the tree.
+  bool keep_comments_and_pis = false;
+};
+
+/// Parses `input` into a document tree. On error returns InvalidArgument
+/// with a message containing the 1-based line and column.
+StatusOr<std::unique_ptr<XmlNode>> ParseXml(
+    std::string_view input, const XmlParseOptions& options = {});
+
+}  // namespace sedna
+
+#endif  // SEDNA_XML_XML_PARSER_H_

@@ -1,0 +1,83 @@
+#include "xml/xml_serializer.h"
+
+#include "common/string_util.h"
+
+namespace sedna {
+
+namespace {
+
+void Indent(std::string* out, int depth) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+void Serialize(const XmlNode& node, const XmlSerializeOptions& options,
+               int depth, std::string* out) {
+  switch (node.kind) {
+    case XmlKind::kDocument:
+      for (const auto& c : node.children) {
+        Serialize(*c, options, depth, out);
+        if (options.indent) out->push_back('\n');
+      }
+      if (options.indent && !out->empty() && out->back() == '\n') {
+        out->pop_back();
+      }
+      return;
+    case XmlKind::kText:
+      *out += XmlEscape(node.value);
+      return;
+    case XmlKind::kComment:
+      *out += "<!--" + node.value + "-->";
+      return;
+    case XmlKind::kPi:
+      *out += "<?" + node.name;
+      if (!node.value.empty()) *out += " " + node.value;
+      *out += "?>";
+      return;
+    case XmlKind::kAttribute:
+      // A free-standing attribute (query result item).
+      *out += node.name + "=\"" + XmlEscape(node.value, true) + "\"";
+      return;
+    case XmlKind::kElement:
+      break;
+  }
+
+  *out += "<" + node.name;
+  bool has_content = false;
+  bool element_only = true;
+  for (const auto& c : node.children) {
+    if (c->kind == XmlKind::kAttribute) {
+      *out += " " + c->name + "=\"" + XmlEscape(c->value, true) + "\"";
+    } else {
+      has_content = true;
+      if (c->kind != XmlKind::kElement && c->kind != XmlKind::kComment &&
+          c->kind != XmlKind::kPi) {
+        element_only = false;
+      }
+    }
+  }
+  if (!has_content) {
+    *out += "/>";
+    return;
+  }
+  *out += ">";
+  bool pretty = options.indent && element_only;
+  for (const auto& c : node.children) {
+    if (c->kind == XmlKind::kAttribute) continue;
+    if (pretty) Indent(out, depth + 1);
+    Serialize(*c, options, depth + 1, out);
+  }
+  if (pretty) Indent(out, depth);
+  *out += "</" + node.name + ">";
+}
+
+}  // namespace
+
+std::string SerializeXml(const XmlNode& node,
+                         const XmlSerializeOptions& options) {
+  std::string out;
+  Serialize(node, options, 0, &out);
+  return out;
+}
+
+}  // namespace sedna

@@ -1,0 +1,23 @@
+// Serialization of transient XML trees back to markup.
+
+#ifndef SEDNA_XML_XML_SERIALIZER_H_
+#define SEDNA_XML_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/xml_tree.h"
+
+namespace sedna {
+
+struct XmlSerializeOptions {
+  /// Pretty-print with 2-space indentation; otherwise compact single line.
+  bool indent = false;
+};
+
+/// Serializes `node` (document nodes emit their children).
+std::string SerializeXml(const XmlNode& node,
+                         const XmlSerializeOptions& options = {});
+
+}  // namespace sedna
+
+#endif  // SEDNA_XML_XML_SERIALIZER_H_

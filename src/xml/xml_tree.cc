@@ -1,0 +1,80 @@
+#include "xml/xml_tree.h"
+
+namespace sedna {
+
+const char* XmlKindName(XmlKind kind) {
+  switch (kind) {
+    case XmlKind::kDocument:
+      return "document";
+    case XmlKind::kElement:
+      return "element";
+    case XmlKind::kAttribute:
+      return "attribute";
+    case XmlKind::kText:
+      return "text";
+    case XmlKind::kComment:
+      return "comment";
+    case XmlKind::kPi:
+      return "processing-instruction";
+  }
+  return "unknown";
+}
+
+namespace {
+void AppendStringValue(const XmlNode& node, std::string* out) {
+  switch (node.kind) {
+    case XmlKind::kText:
+      *out += node.value;
+      return;
+    case XmlKind::kAttribute:
+    case XmlKind::kComment:
+    case XmlKind::kPi:
+      return;  // not part of an element's string-value
+    case XmlKind::kDocument:
+    case XmlKind::kElement:
+      for (const auto& c : node.children) AppendStringValue(*c, out);
+      return;
+  }
+}
+}  // namespace
+
+std::string XmlNode::StringValue() const {
+  switch (kind) {
+    case XmlKind::kAttribute:
+    case XmlKind::kText:
+    case XmlKind::kComment:
+    case XmlKind::kPi:
+      return value;
+    default: {
+      std::string out;
+      AppendStringValue(*this, &out);
+      return out;
+    }
+  }
+}
+
+size_t XmlNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& c : children) n += c->SubtreeSize();
+  return n;
+}
+
+bool XmlNode::DeepEquals(const XmlNode& other) const {
+  if (kind != other.kind || name != other.name || value != other.value ||
+      children.size() != other.children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!children[i]->DeepEquals(*other.children[i])) return false;
+  }
+  return true;
+}
+
+std::unique_ptr<XmlNode> XmlNode::Clone() const {
+  auto copy = std::make_unique<XmlNode>(kind, name, value);
+  copy->children.reserve(children.size());
+  for (const auto& c : children) copy->children.push_back(c->Clone());
+  return copy;
+}
+
+}  // namespace sedna

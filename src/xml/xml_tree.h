@@ -1,0 +1,84 @@
+// Transient in-memory XML tree.
+//
+// This is NOT the database storage format (see src/storage/). The tree is
+// used (a) as the XML parser's output handed to the bulk loader, (b) as the
+// representation of elements built by XQuery constructors before they are
+// materialized, and (c) by tests as an easy-to-inspect value type.
+
+#ifndef SEDNA_XML_XML_TREE_H_
+#define SEDNA_XML_XML_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sedna {
+
+/// XML node kinds per the XQuery Data Model (XDM), restricted to the kinds
+/// the storage engine persists.
+enum class XmlKind : uint8_t {
+  kDocument = 0,
+  kElement = 1,
+  kAttribute = 2,
+  kText = 3,
+  kComment = 4,
+  kPi = 5,  // processing instruction
+};
+
+const char* XmlKindName(XmlKind kind);
+
+/// A node in a transient XML tree. Children own their subtrees.
+struct XmlNode {
+  XmlKind kind = XmlKind::kElement;
+  std::string name;   // element/attribute/PI name; empty otherwise
+  std::string value;  // text/attribute/comment/PI content
+  std::vector<std::unique_ptr<XmlNode>> children;  // incl. attribute nodes
+
+  XmlNode() = default;
+  XmlNode(XmlKind k, std::string n, std::string v = "")
+      : kind(k), name(std::move(n)), value(std::move(v)) {}
+
+  static std::unique_ptr<XmlNode> Document() {
+    return std::make_unique<XmlNode>(XmlKind::kDocument, "");
+  }
+  static std::unique_ptr<XmlNode> Element(std::string name) {
+    return std::make_unique<XmlNode>(XmlKind::kElement, std::move(name));
+  }
+  static std::unique_ptr<XmlNode> Attribute(std::string name,
+                                            std::string value) {
+    return std::make_unique<XmlNode>(XmlKind::kAttribute, std::move(name),
+                                     std::move(value));
+  }
+  static std::unique_ptr<XmlNode> Text(std::string value) {
+    return std::make_unique<XmlNode>(XmlKind::kText, "", std::move(value));
+  }
+
+  /// Appends a child and returns a borrowed pointer to it.
+  XmlNode* Add(std::unique_ptr<XmlNode> child) {
+    children.push_back(std::move(child));
+    return children.back().get();
+  }
+
+  /// Convenience builders used heavily by generators and tests.
+  XmlNode* AddElement(std::string n) { return Add(Element(std::move(n))); }
+  XmlNode* AddText(std::string v) { return Add(Text(std::move(v))); }
+  XmlNode* AddAttribute(std::string n, std::string v) {
+    return Add(Attribute(std::move(n), std::move(v)));
+  }
+
+  /// XDM string-value: concatenation of descendant text (for elements and
+  /// documents), or the node's own value otherwise.
+  std::string StringValue() const;
+
+  /// Number of nodes in this subtree including this node.
+  size_t SubtreeSize() const;
+
+  /// Deep structural equality (kind, name, value, children).
+  bool DeepEquals(const XmlNode& other) const;
+
+  std::unique_ptr<XmlNode> Clone() const;
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_XML_XML_TREE_H_

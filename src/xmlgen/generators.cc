@@ -1,0 +1,195 @@
+#include "xmlgen/generators.h"
+
+#include <string>
+#include <vector>
+
+namespace sedna::xmlgen {
+
+namespace {
+
+const char* kFirstNames[] = {"Ada",   "Edgar", "Michael", "Jim",
+                             "Grace", "Alan",  "Barbara", "Donald"};
+const char* kLastNames[] = {"Codd",   "Dijkstra", "Stonebraker", "Gray",
+                            "Hopper", "Turing",   "Liskov",      "Knuth"};
+const char* kWords[] = {"fast",   "native", "storage", "query",  "index",
+                        "page",   "buffer", "schema",  "commit", "version",
+                        "xml",    "tree",   "label",   "block",  "pointer"};
+
+std::string RandomSentence(Random& rng, size_t words) {
+  std::string s;
+  for (size_t i = 0; i < words; ++i) {
+    if (i > 0) s += ' ';
+    s += kWords[rng.Uniform(std::size(kWords))];
+  }
+  return s;
+}
+
+std::string PersonName(Random& rng) {
+  return std::string(kFirstNames[rng.Uniform(std::size(kFirstNames))]) + " " +
+         kLastNames[rng.Uniform(std::size(kLastNames))];
+}
+
+std::string FormatPrice(Random& rng) {
+  return std::to_string(1 + rng.Uniform(500)) + "." +
+         std::to_string(10 + rng.Uniform(90));
+}
+
+}  // namespace
+
+std::unique_ptr<XmlNode> Library(size_t books, size_t papers, uint64_t seed) {
+  Random rng(seed);
+  auto doc = XmlNode::Document();
+  XmlNode* library = doc->AddElement("library");
+  for (size_t i = 0; i < books; ++i) {
+    XmlNode* book = library->AddElement("book");
+    book->AddElement("title")->AddText("Book " + std::to_string(i) + ": " +
+                                       RandomSentence(rng, 3));
+    size_t authors = 1 + rng.Uniform(4);
+    for (size_t a = 0; a < authors; ++a) {
+      book->AddElement("author")->AddText(PersonName(rng));
+    }
+    if (rng.Bernoulli(0.5)) {
+      XmlNode* issue = book->AddElement("issue");
+      issue->AddElement("publisher")->AddText(
+          rng.Bernoulli(0.5) ? "Addison-Wesley" : "Morgan Kaufmann");
+      issue->AddElement("year")->AddText(
+          std::to_string(1970 + rng.Uniform(40)));
+    }
+  }
+  for (size_t i = 0; i < papers; ++i) {
+    XmlNode* paper = library->AddElement("paper");
+    paper->AddElement("title")->AddText("Paper " + std::to_string(i) + ": " +
+                                        RandomSentence(rng, 4));
+    paper->AddElement("author")->AddText(PersonName(rng));
+  }
+  return doc;
+}
+
+std::unique_ptr<XmlNode> Auction(const AuctionParams& params) {
+  Random rng(params.seed);
+  const char* kRegions[] = {"africa", "asia",          "australia",
+                            "europe", "namerica",      "samerica"};
+  auto doc = XmlNode::Document();
+  XmlNode* site = doc->AddElement("site");
+
+  XmlNode* regions = site->AddElement("regions");
+  std::vector<XmlNode*> region_nodes;
+  for (const char* r : kRegions) region_nodes.push_back(regions->AddElement(r));
+  for (size_t i = 0; i < params.items; ++i) {
+    XmlNode* region = region_nodes[rng.Uniform(region_nodes.size())];
+    XmlNode* item = region->AddElement("item");
+    item->AddAttribute("id", "item" + std::to_string(i));
+    item->AddElement("name")->AddText("item-" + rng.NextString(8));
+    item->AddElement("quantity")->AddText(std::to_string(1 + rng.Uniform(5)));
+    XmlNode* desc = item->AddElement("description");
+    XmlNode* parlist = desc->AddElement("parlist");
+    size_t paras = 1 + rng.Uniform(3);
+    for (size_t p = 0; p < paras; ++p) {
+      parlist->AddElement("listitem")->AddText(
+          RandomSentence(rng, params.description_words));
+    }
+    XmlNode* payment = item->AddElement("payment");
+    payment->AddText(rng.Bernoulli(0.5) ? "Creditcard" : "Cash");
+  }
+
+  XmlNode* people = site->AddElement("people");
+  for (size_t i = 0; i < params.people; ++i) {
+    XmlNode* person = people->AddElement("person");
+    person->AddAttribute("id", "person" + std::to_string(i));
+    person->AddElement("name")->AddText(PersonName(rng));
+    person->AddElement("emailaddress")
+        ->AddText("mailto:" + rng.NextString(6) + "@example.com");
+    if (rng.Bernoulli(0.6)) {
+      XmlNode* address = person->AddElement("address");
+      address->AddElement("street")->AddText(std::to_string(rng.Uniform(99) + 1) +
+                                             " " + rng.NextString(7) + " St");
+      address->AddElement("city")->AddText(rng.NextString(6));
+      address->AddElement("country")->AddText("United States");
+    }
+    if (rng.Bernoulli(0.4)) {
+      person->AddElement("creditcard")
+          ->AddText(std::to_string(1000 + rng.Uniform(9000)) + " " +
+                    std::to_string(1000 + rng.Uniform(9000)));
+    }
+  }
+
+  XmlNode* open_auctions = site->AddElement("open_auctions");
+  for (size_t i = 0; i < params.open_auctions; ++i) {
+    XmlNode* auction = open_auctions->AddElement("open_auction");
+    auction->AddAttribute("id", "open" + std::to_string(i));
+    auction->AddElement("initial")
+        ->AddText(FormatPrice(rng));
+    size_t bids = rng.Uniform(5);
+    for (size_t b = 0; b < bids; ++b) {
+      XmlNode* bidder = auction->AddElement("bidder");
+      bidder->AddElement("personref")->AddAttribute(
+          "person", "person" + std::to_string(rng.Uniform(
+                                   params.people > 0 ? params.people : 1)));
+      bidder->AddElement("increase")->AddText(FormatPrice(rng));
+    }
+    auction->AddElement("current")->AddText(FormatPrice(rng));
+    auction->AddElement("itemref")->AddAttribute(
+        "item",
+        "item" + std::to_string(rng.Uniform(params.items > 0 ? params.items
+                                                             : 1)));
+  }
+
+  XmlNode* closed_auctions = site->AddElement("closed_auctions");
+  for (size_t i = 0; i < params.closed_auctions; ++i) {
+    XmlNode* auction = closed_auctions->AddElement("closed_auction");
+    auction->AddElement("seller")->AddAttribute(
+        "person", "person" + std::to_string(rng.Uniform(
+                                 params.people > 0 ? params.people : 1)));
+    auction->AddElement("buyer")->AddAttribute(
+        "person", "person" + std::to_string(rng.Uniform(
+                                 params.people > 0 ? params.people : 1)));
+    auction->AddElement("price")->AddText(FormatPrice(rng));
+    auction->AddElement("itemref")->AddAttribute(
+        "item",
+        "item" + std::to_string(rng.Uniform(params.items > 0 ? params.items
+                                                             : 1)));
+  }
+  return doc;
+}
+
+std::unique_ptr<XmlNode> DeepChain(size_t depth) {
+  auto doc = XmlNode::Document();
+  XmlNode* cur = doc->AddElement("d0");
+  for (size_t i = 1; i < depth; ++i) {
+    cur = cur->AddElement("d" + std::to_string(i));
+  }
+  cur->AddText("leaf");
+  return doc;
+}
+
+std::unique_ptr<XmlNode> WideFan(size_t width, size_t distinct_names) {
+  auto doc = XmlNode::Document();
+  XmlNode* root = doc->AddElement("root");
+  for (size_t i = 0; i < width; ++i) {
+    XmlNode* child =
+        root->AddElement("c" + std::to_string(i % distinct_names));
+    child->AddText(std::to_string(i));
+  }
+  return doc;
+}
+
+std::unique_ptr<XmlNode> RandomTree(size_t nodes, uint64_t seed) {
+  Random rng(seed);
+  const char* kNames[] = {"a", "b", "c", "d", "e"};
+  auto doc = XmlNode::Document();
+  XmlNode* root = doc->AddElement("root");
+  std::vector<XmlNode*> pool{root};
+  for (size_t i = 1; i < nodes; ++i) {
+    XmlNode* parent = pool[rng.Uniform(pool.size())];
+    XmlNode* child = parent->AddElement(kNames[rng.Uniform(std::size(kNames))]);
+    if (rng.Bernoulli(0.3)) {
+      child->AddText(std::to_string(rng.Uniform(1000)));
+    }
+    // Bias toward recent nodes for depth; cap pool growth for width.
+    pool.push_back(child);
+    if (pool.size() > 64) pool.erase(pool.begin());
+  }
+  return doc;
+}
+
+}  // namespace sedna::xmlgen

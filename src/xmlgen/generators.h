@@ -1,0 +1,56 @@
+// Synthetic XML document generators for tests, examples and benchmarks.
+//
+// Three families:
+//   * Library documents — the paper's Figure 2 shape (library/book/paper
+//     with title, authors, optional issue), scaled by entry count.
+//   * Auction documents — an XMark-like schema (regions/items, people,
+//     open and closed auctions) exercising deep trees, mixed fan-out and
+//     text-heavy nodes. Substitutes for the XMark data the original system
+//     was evaluated with (see DESIGN.md §2).
+//   * Stress shapes — parameterized deep chains and wide fans used by
+//     property tests and the numbering/storage benchmarks.
+
+#ifndef SEDNA_XMLGEN_GENERATORS_H_
+#define SEDNA_XMLGEN_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "xml/xml_tree.h"
+
+namespace sedna::xmlgen {
+
+/// Figure-2-style library: `books` book elements (title + 1..4 authors +
+/// optional issue/publisher/year) and `papers` paper elements.
+std::unique_ptr<XmlNode> Library(size_t books, size_t papers,
+                                 uint64_t seed = 42);
+
+/// Parameters for the XMark-like auction document.
+struct AuctionParams {
+  size_t items = 100;          // items spread over 6 regions
+  size_t people = 50;
+  size_t open_auctions = 50;
+  size_t closed_auctions = 25;
+  size_t description_words = 20;  // text volume per item description
+  uint64_t seed = 42;
+};
+
+/// XMark-like auction site document.
+std::unique_ptr<XmlNode> Auction(const AuctionParams& params);
+
+/// A chain <d0><d1>...<dN>leaf text</dN>...</d0> of the given depth.
+std::unique_ptr<XmlNode> DeepChain(size_t depth);
+
+/// <root> with `width` children named cycling over `distinct_names` names,
+/// each child holding one short text node.
+std::unique_ptr<XmlNode> WideFan(size_t width, size_t distinct_names = 4);
+
+/// Uniform random tree with `nodes` elements, bounded depth/fan-out, and a
+/// small name alphabet; text leaves carry random numeric strings. Used by
+/// property tests.
+std::unique_ptr<XmlNode> RandomTree(size_t nodes, uint64_t seed);
+
+}  // namespace sedna::xmlgen
+
+#endif  // SEDNA_XMLGEN_GENERATORS_H_

@@ -1,0 +1,153 @@
+#include "xquery/analyzer.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "xquery/functions.h"
+
+namespace sedna {
+
+namespace {
+
+class Analyzer {
+ public:
+  explicit Analyzer(const Prolog* prolog) : prolog_(prolog) {}
+
+  Status Check(const Expr& expr, std::vector<std::string>* scope) {
+    switch (expr.kind) {
+      case ExprKind::kVarRef:
+        for (const auto& name : *scope) {
+          if (name == expr.str_val) return Status::OK();
+        }
+        return Status::InvalidArgument("static error: unbound variable $" +
+                                       expr.str_val);
+      case ExprKind::kFunctionCall: {
+        SEDNA_RETURN_IF_ERROR(CheckChildren(expr, scope));
+        if (IsBuiltinFunction(expr.str_val)) return Status::OK();
+        if (prolog_ != nullptr) {
+          bool name_match = false;
+          for (const FunctionDecl& f : prolog_->functions) {
+            if (f.name != expr.str_val) continue;
+            name_match = true;
+            if (f.params.size() == expr.children.size()) return Status::OK();
+          }
+          if (name_match) {
+            return Status::InvalidArgument(
+                "static error: wrong number of arguments to " + expr.str_val +
+                "()");
+          }
+        }
+        return Status::InvalidArgument("static error: unknown function " +
+                                       expr.str_val + "()");
+      }
+      case ExprKind::kFlwor: {
+        size_t pushed = 0;
+        Status st = Status::OK();
+        for (const FlworClause& c : expr.clauses) {
+          st = Check(*c.expr, scope);
+          if (!st.ok()) break;
+          scope->push_back(c.var);
+          pushed++;
+          if (!c.pos_var.empty()) {
+            scope->push_back(c.pos_var);
+            pushed++;
+          }
+        }
+        if (st.ok() && expr.where != nullptr) st = Check(*expr.where, scope);
+        for (const OrderSpec& o : expr.order_specs) {
+          if (!st.ok()) break;
+          st = Check(*o.expr, scope);
+        }
+        if (st.ok()) st = Check(*expr.children[0], scope);
+        scope->resize(scope->size() - pushed);
+        return st;
+      }
+      case ExprKind::kQuantified: {
+        SEDNA_RETURN_IF_ERROR(Check(*expr.children[0], scope));
+        scope->push_back(expr.var);
+        Status st = Check(*expr.children[1], scope);
+        scope->pop_back();
+        return st;
+      }
+      case ExprKind::kPath: {
+        SEDNA_RETURN_IF_ERROR(CheckChildren(expr, scope));
+        for (const Step& step : expr.steps) {
+          for (const auto& pred : step.predicates) {
+            SEDNA_RETURN_IF_ERROR(Check(*pred, scope));
+          }
+        }
+        return Status::OK();
+      }
+      case ExprKind::kElementCtor: {
+        for (const auto& attr : expr.ctor_attrs) {
+          SEDNA_RETURN_IF_ERROR(Check(*attr, scope));
+        }
+        if (expr.name_expr != nullptr) {
+          SEDNA_RETURN_IF_ERROR(Check(*expr.name_expr, scope));
+        }
+        return CheckChildren(expr, scope);
+      }
+      default:
+        return CheckChildren(expr, scope);
+    }
+  }
+
+ private:
+  Status CheckChildren(const Expr& expr, std::vector<std::string>* scope) {
+    for (const auto& c : expr.children) {
+      SEDNA_RETURN_IF_ERROR(Check(*c, scope));
+    }
+    return Status::OK();
+  }
+
+  const Prolog* prolog_;
+};
+
+}  // namespace
+
+Status AnalyzeExpr(const Expr& expr, const Prolog* prolog,
+                   const std::vector<std::string>& bound_vars) {
+  Analyzer analyzer(prolog);
+  std::vector<std::string> scope = bound_vars;
+  return analyzer.Check(expr, &scope);
+}
+
+Status Analyze(const Statement& stmt) {
+  // Duplicate function declarations are a static error.
+  std::set<std::pair<std::string, size_t>> seen;
+  for (const FunctionDecl& f : stmt.prolog.functions) {
+    if (!seen.insert({f.name, f.params.size()}).second) {
+      return Status::InvalidArgument(
+          "static error: duplicate declaration of function " + f.name + "()");
+    }
+  }
+
+  std::vector<std::string> globals;
+  Analyzer analyzer(&stmt.prolog);
+  for (const auto& [name, expr] : stmt.prolog.variables) {
+    std::vector<std::string> scope = globals;
+    SEDNA_RETURN_IF_ERROR(analyzer.Check(*expr, &scope));
+    globals.push_back(name);
+  }
+  for (const FunctionDecl& f : stmt.prolog.functions) {
+    std::vector<std::string> scope = globals;
+    for (const auto& p : f.params) scope.push_back(p);
+    SEDNA_RETURN_IF_ERROR(analyzer.Check(*f.body, &scope));
+  }
+
+  auto check_root = [&](const Expr* e) -> Status {
+    if (e == nullptr) return Status::OK();
+    std::vector<std::string> scope = globals;
+    if (stmt.kind == StatementKind::kUpdateReplace) {
+      scope.push_back(stmt.var);
+    }
+    return analyzer.Check(*e, &scope);
+  };
+  SEDNA_RETURN_IF_ERROR(check_root(stmt.target.get()));
+  // The replace-with expression sees $var; targets do not need it, but
+  // including it there is harmless and keeps this simple.
+  return check_root(stmt.expr.get());
+}
+
+}  // namespace sedna

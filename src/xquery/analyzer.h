@@ -1,0 +1,23 @@
+// Static analysis phase (paper Section 5: name/arity resolution and static
+// error detection before optimization).
+
+#ifndef SEDNA_XQUERY_ANALYZER_H_
+#define SEDNA_XQUERY_ANALYZER_H_
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace sedna {
+
+/// Checks the statement for static errors: unbound variables, unknown
+/// functions, wrong arity, duplicate function declarations.
+Status Analyze(const Statement& stmt);
+
+/// Expression-level entry point (used by tests). `bound_vars` lists
+/// externally bound variable names.
+Status AnalyzeExpr(const Expr& expr, const Prolog* prolog,
+                   const std::vector<std::string>& bound_vars);
+
+}  // namespace sedna
+
+#endif  // SEDNA_XQUERY_ANALYZER_H_

@@ -1,0 +1,194 @@
+#include "xquery/ast.h"
+
+#include "common/string_util.h"
+
+namespace sedna {
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAttribute:
+      return "attribute";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string TestToString(const NodeTest& test) {
+  switch (test.kind) {
+    case NodeTest::Kind::kName:
+      return test.name;
+    case NodeTest::Kind::kAnyName:
+      return "*";
+    case NodeTest::Kind::kAnyNode:
+      return "node()";
+    case NodeTest::Kind::kText:
+      return "text()";
+    case NodeTest::Kind::kComment:
+      return "comment()";
+    case NodeTest::Kind::kPi:
+      return "processing-instruction()";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteralInt:
+      return std::to_string(int_val);
+    case ExprKind::kLiteralDouble:
+      return FormatDouble(dbl_val);
+    case ExprKind::kLiteralString:
+      return "\"" + str_val + "\"";
+    case ExprKind::kEmptySequence:
+      return "()";
+    case ExprKind::kSequence: {
+      std::string s = "(seq";
+      for (const auto& c : children) s += " " + c->ToString();
+      return s + ")";
+    }
+    case ExprKind::kRange:
+      return "(to " + children[0]->ToString() + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kArith:
+      return "(" + str_val + " " + children[0]->ToString() + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kUnaryMinus:
+      return "(neg " + children[0]->ToString() + ")";
+    case ExprKind::kComparison:
+      return "(" + str_val + " " + children[0]->ToString() + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kAnd:
+      return "(and " + children[0]->ToString() + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kOr:
+      return "(or " + children[0]->ToString() + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kIf:
+      return "(if " + children[0]->ToString() + " " +
+             children[1]->ToString() + " " + children[2]->ToString() + ")";
+    case ExprKind::kQuantified:
+      return std::string("(") + (every ? "every" : "some") + " $" + var +
+             " in " + children[0]->ToString() + " satisfies " +
+             children[1]->ToString() + ")";
+    case ExprKind::kFlwor: {
+      std::string s = "(flwor";
+      for (const auto& c : clauses) {
+        s += c.kind == FlworClause::Kind::kFor ? " (for $" : " (let $";
+        s += c.var;
+        if (!c.pos_var.empty()) s += " at $" + c.pos_var;
+        if (c.lazy) s += " lazy";
+        s += " := " + c.expr->ToString() + ")";
+      }
+      if (where) s += " (where " + where->ToString() + ")";
+      for (const auto& o : order_specs) {
+        s += " (orderby " + o.expr->ToString() +
+             (o.descending ? " desc)" : ")");
+      }
+      s += " (return " + children[0]->ToString() + ")";
+      return s + ")";
+    }
+    case ExprKind::kPath: {
+      std::string s = "(path " + children[0]->ToString();
+      for (const Step& step : steps) {
+        s += " ";
+        s += AxisName(step.axis);
+        s += "::" + TestToString(step.test);
+        if (step.schema_resolved) s += "#schema";
+        if (!step.needs_ddo) s += "#noddo";
+        for (const auto& p : step.predicates) {
+          s += "[" + p->ToString() + "]";
+        }
+      }
+      return s + ")";
+    }
+    case ExprKind::kContextRoot:
+      return "(root)";
+    case ExprKind::kFunctionCall: {
+      std::string s = "(" + str_val;
+      for (const auto& c : children) s += " " + c->ToString();
+      return s + ")";
+    }
+    case ExprKind::kVarRef:
+      return "$" + str_val;
+    case ExprKind::kContextItem:
+      return ".";
+    case ExprKind::kElementCtor: {
+      std::string s = "(elem ";
+      s += name_expr ? "{" + name_expr->ToString() + "}" : str_val;
+      if (virtual_ok) s += "#virtual";
+      for (const auto& a : ctor_attrs) s += " " + a->ToString();
+      for (const auto& c : children) s += " " + c->ToString();
+      return s + ")";
+    }
+    case ExprKind::kAttributeCtor: {
+      std::string s = "(attr " + str_val;
+      for (const auto& c : children) s += " " + c->ToString();
+      return s + ")";
+    }
+    case ExprKind::kTextCtor:
+      return "(text " + children[0]->ToString() + ")";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto copy = std::make_unique<Expr>(kind);
+  copy->int_val = int_val;
+  copy->dbl_val = dbl_val;
+  copy->str_val = str_val;
+  copy->every = every;
+  copy->var = var;
+  copy->virtual_ok = virtual_ok;
+  for (const auto& c : children) copy->children.push_back(c->Clone());
+  for (const Step& s : steps) {
+    Step cs;
+    cs.axis = s.axis;
+    cs.test = s.test;
+    cs.needs_ddo = s.needs_ddo;
+    cs.schema_resolved = s.schema_resolved;
+    for (const auto& p : s.predicates) cs.predicates.push_back(p->Clone());
+    copy->steps.push_back(std::move(cs));
+  }
+  for (const FlworClause& c : clauses) {
+    FlworClause cc;
+    cc.kind = c.kind;
+    cc.var = c.var;
+    cc.pos_var = c.pos_var;
+    cc.lazy = c.lazy;
+    cc.expr = c.expr->Clone();
+    copy->clauses.push_back(std::move(cc));
+  }
+  if (where) copy->where = where->Clone();
+  for (const OrderSpec& o : order_specs) {
+    OrderSpec co;
+    co.expr = o.expr->Clone();
+    co.descending = o.descending;
+    copy->order_specs.push_back(std::move(co));
+  }
+  for (const auto& a : ctor_attrs) copy->ctor_attrs.push_back(a->Clone());
+  if (name_expr) copy->name_expr = name_expr->Clone();
+  return copy;
+}
+
+}  // namespace sedna

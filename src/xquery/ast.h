@@ -1,0 +1,181 @@
+// Abstract syntax / logical operation tree for the XQuery subset and the
+// XUpdate-style statements (paper Section 3: "a tree of operations inspired
+// by the XQuery core"). A single Expr node type with a kind tag keeps the
+// optimizing rewriter simple.
+
+#ifndef SEDNA_XQUERY_AST_H_
+#define SEDNA_XQUERY_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sedna {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteralInt,
+  kLiteralDouble,
+  kLiteralString,
+  kEmptySequence,   // ()
+  kSequence,        // e1, e2, ...
+  kRange,           // e1 to e2
+  kArith,           // op() in {+,-,*,div,idiv,mod}
+  kUnaryMinus,
+  kComparison,      // general (=,!=,<,<=,>,>=), value (eq..ge), node (is)
+  kAnd,
+  kOr,
+  kIf,              // children: cond, then, else
+  kQuantified,      // some/every $var in children[0] satisfies children[1]
+  kFlwor,
+  kPath,            // children[0] = input expr; steps applied left to right
+  kContextRoot,     // leading "/" — root of the context node's tree
+  kFunctionCall,    // str_val = function name
+  kVarRef,          // str_val = variable name
+  kContextItem,     // .
+  kElementCtor,     // str_val = name (or name_expr for computed)
+  kAttributeCtor,   // str_val = name; children = value parts
+  kTextCtor,        // children[0] = content
+};
+
+/// XPath axes supported by the executor.
+enum class Axis {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kSelf,
+  kParent,
+  kAttribute,
+  kAncestor,
+  kAncestorOrSelf,
+  kFollowingSibling,
+  kPrecedingSibling,
+};
+
+const char* AxisName(Axis axis);
+
+struct NodeTest {
+  enum class Kind {
+    kName,     // element/attribute name
+    kAnyName,  // *
+    kAnyNode,  // node()
+    kText,     // text()
+    kComment,  // comment()
+    kPi,       // processing-instruction()
+  };
+  Kind kind = Kind::kAnyNode;
+  std::string name;
+};
+
+/// One location step. `needs_ddo` is set by the rewriter: when false, the
+/// executor skips the distinct-document-order operation after the step
+/// (Section 5.1.1). `schema_resolved` marks steps covered by a structural
+/// path fragment executable directly over the descriptive schema
+/// (Section 5.1.4).
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  std::vector<ExprPtr> predicates;
+  bool needs_ddo = true;
+  bool schema_resolved = false;
+};
+
+struct FlworClause {
+  enum class Kind { kFor, kLet };
+  Kind kind = Kind::kFor;
+  std::string var;
+  std::string pos_var;  // "at $p" (for-clauses only)
+  ExprPtr expr;
+  bool lazy = false;  // Section 5.1.3: independent of outer for-variables
+};
+
+struct OrderSpec {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kEmptySequence;
+
+  int64_t int_val = 0;
+  double dbl_val = 0;
+  std::string str_val;  // operator, name, or string literal
+
+  std::vector<ExprPtr> children;
+
+  // kPath
+  std::vector<Step> steps;
+
+  // kFlwor: clauses, optional where (may be null), order specs;
+  // children[0] = return expression.
+  std::vector<FlworClause> clauses;
+  ExprPtr where;
+  std::vector<OrderSpec> order_specs;
+
+  // kQuantified
+  bool every = false;
+  std::string var;
+
+  // kElementCtor
+  std::vector<ExprPtr> ctor_attrs;  // kAttributeCtor children
+  ExprPtr name_expr;                // computed constructors
+  bool virtual_ok = false;          // Section 5.2.1 (set by the rewriter)
+
+  Expr() = default;
+  explicit Expr(ExprKind k) : kind(k) {}
+
+  /// Compact s-expression dump used by rewriter tests.
+  std::string ToString() const;
+
+  ExprPtr Clone() const;
+};
+
+inline ExprPtr MakeExpr(ExprKind kind) { return std::make_unique<Expr>(kind); }
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;
+  ExprPtr body;
+};
+
+/// Query prolog: user-defined functions and global variable declarations.
+struct Prolog {
+  std::vector<FunctionDecl> functions;
+  std::vector<std::pair<std::string, ExprPtr>> variables;
+};
+
+enum class StatementKind {
+  kQuery,
+  kUpdateInsert,   // UPDATE insert <src> (into|following|preceding) <target>
+  kUpdateDelete,   // UPDATE delete <target>
+  kUpdateReplace,  // UPDATE replace $v in <target> with <expr>
+  kCreateDocument, // CREATE DOCUMENT 'name'
+  kDropDocument,   // DROP DOCUMENT 'name'
+  kCreateIndex,    // CREATE INDEX 'name' ON <structural path>
+  kDropIndex,      // DROP INDEX 'name'
+};
+
+enum class InsertMode { kInto, kFollowing, kPreceding };
+
+struct Statement {
+  StatementKind kind = StatementKind::kQuery;
+  Prolog prolog;
+  ExprPtr expr;    // query body / insert source / replace-with expression
+  ExprPtr target;  // update target path
+  InsertMode insert_mode = InsertMode::kInto;
+  std::string var;       // replace variable
+  std::string doc_name;  // DDL document name
+  std::string index_name;  // index DDL
+  std::string path_text;   // raw text of an index's defining path
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_XQUERY_AST_H_

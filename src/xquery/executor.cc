@@ -1,0 +1,1060 @@
+#include "xquery/executor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "xml/xml_serializer.h"
+#include "xquery/functions.h"
+
+namespace sedna {
+
+namespace {
+
+constexpr int kMaxUdfDepth = 256;
+
+// ---------------------------------------------------------------------------
+// Axis evaluation
+// ---------------------------------------------------------------------------
+
+bool KindMatchesTest(XmlKind kind, const NodeTest& test, Axis axis) {
+  switch (test.kind) {
+    case NodeTest::Kind::kName:
+    case NodeTest::Kind::kAnyName:
+      // Name tests select the principal node kind of the axis.
+      return axis == Axis::kAttribute ? kind == XmlKind::kAttribute
+                                      : kind == XmlKind::kElement;
+    case NodeTest::Kind::kAnyNode:
+      return true;
+    case NodeTest::Kind::kText:
+      return kind == XmlKind::kText;
+    case NodeTest::Kind::kComment:
+      return kind == XmlKind::kComment;
+    case NodeTest::Kind::kPi:
+      return kind == XmlKind::kPi;
+  }
+  return false;
+}
+
+StatusOr<bool> MatchesTest(ExecContext& ctx, const Item& node,
+                           const NodeTest& test, Axis axis) {
+  SEDNA_ASSIGN_OR_RETURN(XmlKind kind, NodeKind(ctx.op, node));
+  if (!KindMatchesTest(kind, test, axis)) return false;
+  if (test.kind == NodeTest::Kind::kName ||
+      (test.kind == NodeTest::Kind::kPi && !test.name.empty())) {
+    SEDNA_ASSIGN_OR_RETURN(std::string name, NodeName(ctx.op, node));
+    return name == test.name;
+  }
+  return true;
+}
+
+Status CollectDescendants(ExecContext& ctx, const Item& node, Sequence* out) {
+  SEDNA_ASSIGN_OR_RETURN(Sequence children, NodeChildren(ctx.op, node));
+  for (const Item& c : children) {
+    ctx.Count(&ExecStats::axis_nodes);
+    out->push_back(c);
+    SEDNA_RETURN_IF_ERROR(CollectDescendants(ctx, c, out));
+  }
+  return Status::OK();
+}
+
+/// Siblings after/before `node` in document order (attributes excluded).
+StatusOr<Sequence> SiblingNodes(ExecContext& ctx, const Item& node,
+                                bool following) {
+  Sequence out;
+  if (node.is_stored_node()) {
+    const StoredNode& n = node.stored();
+    SEDNA_ASSIGN_OR_RETURN(NodeInfo info, n.doc->nodes()->Info(ctx.op, n.addr));
+    if (info.kind == XmlKind::kAttribute) return out;
+    Xptr cur = following ? info.right_sibling : info.left_sibling;
+    while (cur) {
+      SEDNA_ASSIGN_OR_RETURN(NodeInfo ci, n.doc->nodes()->Info(ctx.op, cur));
+      if (ci.kind != XmlKind::kAttribute) {
+        out.push_back(Item(StoredNode{n.doc, cur}));
+      }
+      cur = following ? ci.right_sibling : ci.left_sibling;
+    }
+    if (!following) std::reverse(out.begin(), out.end());
+    return out;
+  }
+  // Constructed / virtual nodes: go through the parent.
+  SEDNA_ASSIGN_OR_RETURN(Sequence parent, NodeParent(ctx.op, node));
+  if (parent.empty()) return out;
+  SEDNA_ASSIGN_OR_RETURN(Sequence kids, NodeChildren(ctx.op, parent[0]));
+  bool after = false;
+  for (const Item& k : kids) {
+    SEDNA_ASSIGN_OR_RETURN(bool same, SameNode(ctx.op, k, node));
+    if (same) {
+      after = true;
+      continue;
+    }
+    if (after == following) out.push_back(k);
+  }
+  return out;
+}
+
+StatusOr<Sequence> AxisNodes(ExecContext& ctx, const Item& node, Axis axis) {
+  Sequence out;
+  switch (axis) {
+    case Axis::kSelf:
+      out.push_back(node);
+      return out;
+    case Axis::kChild:
+      return NodeChildren(ctx.op, node);
+    case Axis::kAttribute:
+      return NodeAttributes(ctx.op, node);
+    case Axis::kParent:
+      return NodeParent(ctx.op, node);
+    case Axis::kDescendant:
+      SEDNA_RETURN_IF_ERROR(CollectDescendants(ctx, node, &out));
+      return out;
+    case Axis::kDescendantOrSelf:
+      out.push_back(node);
+      SEDNA_RETURN_IF_ERROR(CollectDescendants(ctx, node, &out));
+      return out;
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      if (axis == Axis::kAncestorOrSelf) out.push_back(node);
+      Item cur = node;
+      for (;;) {
+        SEDNA_ASSIGN_OR_RETURN(Sequence parent, NodeParent(ctx.op, cur));
+        if (parent.empty()) break;
+        out.push_back(parent[0]);
+        cur = parent[0];
+      }
+      std::reverse(out.begin(), out.end());  // document order
+      return out;
+    }
+    case Axis::kFollowingSibling:
+      return SiblingNodes(ctx, node, true);
+    case Axis::kPrecedingSibling:
+      return SiblingNodes(ctx, node, false);
+  }
+  return Status::Internal("unknown axis");
+}
+
+// ---------------------------------------------------------------------------
+// Predicates
+// ---------------------------------------------------------------------------
+
+StatusOr<Sequence> ApplyPredicate(const Expr& pred, Sequence in,
+                                  ExecContext& ctx) {
+  Sequence out;
+  const Item* saved_item = ctx.context_item;
+  int64_t saved_pos = ctx.context_pos;
+  int64_t saved_size = ctx.context_size;
+  int64_t size = static_cast<int64_t>(in.size());
+  for (int64_t i = 0; i < size; ++i) {
+    ctx.context_item = &in[i];
+    ctx.context_pos = i + 1;
+    ctx.context_size = size;
+    StatusOr<Sequence> value = Eval(pred, ctx);
+    if (!value.ok()) {
+      ctx.context_item = saved_item;
+      ctx.context_pos = saved_pos;
+      ctx.context_size = saved_size;
+      return value.status();
+    }
+    bool keep;
+    if (value->size() == 1 && (*value)[0].is_numeric()) {
+      keep = (*value)[0].as_double() == static_cast<double>(i + 1);
+    } else {
+      StatusOr<bool> ebv = EffectiveBooleanValue(ctx.op, *value);
+      if (!ebv.ok()) {
+        ctx.context_item = saved_item;
+        ctx.context_pos = saved_pos;
+        ctx.context_size = saved_size;
+        return ebv.status();
+      }
+      keep = *ebv;
+    }
+    if (keep) out.push_back(in[i]);
+  }
+  ctx.context_item = saved_item;
+  ctx.context_pos = saved_pos;
+  ctx.context_size = saved_size;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Structural paths over the descriptive schema (Section 5.1.4)
+// ---------------------------------------------------------------------------
+
+NodeTest::Kind TestKind(const Step& s) { return s.test.kind; }
+
+XmlKind SchemaKindFor(const Step& s) {
+  switch (s.test.kind) {
+    case NodeTest::Kind::kText:
+      return XmlKind::kText;
+    case NodeTest::Kind::kComment:
+      return XmlKind::kComment;
+    case NodeTest::Kind::kPi:
+      return XmlKind::kPi;
+    default:
+      return s.axis == Axis::kAttribute ? XmlKind::kAttribute
+                                        : XmlKind::kElement;
+  }
+}
+
+/// Resolves a run of schema-resolved steps to the set of matching schema
+/// nodes, starting from the document's schema root.
+std::vector<SchemaNode*> ResolveSchemaSteps(DocumentStore* doc,
+                                            const std::vector<Step>& steps,
+                                            size_t begin, size_t end) {
+  std::vector<SchemaNode*> frontier{doc->schema()->root()};
+  for (size_t i = begin; i < end; ++i) {
+    const Step& step = steps[i];
+    std::vector<SchemaNode*> next;
+    XmlKind want = SchemaKindFor(step);
+    // NOTE: both arms must already be string_views — a mixed ternary would
+    // materialize a temporary std::string and leave `name` dangling.
+    std::string_view name = TestKind(step) == NodeTest::Kind::kAnyName ||
+                                    TestKind(step) == NodeTest::Kind::kAnyNode
+                                ? std::string_view("*")
+                                : std::string_view(step.test.name);
+    for (SchemaNode* sn : frontier) {
+      if (step.axis == Axis::kChild || step.axis == Axis::kAttribute) {
+        for (SchemaNode* c : sn->children) {
+          bool kind_ok = TestKind(step) == NodeTest::Kind::kAnyNode
+                             ? c->kind != XmlKind::kAttribute
+                             : c->kind == want;
+          if (step.axis == Axis::kAttribute) {
+            kind_ok = c->kind == XmlKind::kAttribute;
+          }
+          if (kind_ok && (name == "*" || c->name == name)) next.push_back(c);
+        }
+      } else if (step.axis == Axis::kDescendant) {
+        for (SchemaNode* c : doc->schema()->FindDescendants(sn, want, name)) {
+          next.push_back(c);
+        }
+      }
+    }
+    // Dedup (descendant steps from nested frontier nodes can repeat).
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+StatusOr<Sequence> EnumerateSchemaNodes(ExecContext& ctx, DocumentStore* doc,
+                                        const std::vector<SchemaNode*>& sns) {
+  Sequence out;
+  for (SchemaNode* sn : sns) {
+    SEDNA_ASSIGN_OR_RETURN(Xptr cur, doc->nodes()->FirstOfSchema(ctx.op, sn));
+    while (cur) {
+      out.push_back(Item(StoredNode{doc, cur}));
+      SEDNA_ASSIGN_OR_RETURN(cur, doc->nodes()->NextSameSchema(ctx.op, cur));
+    }
+  }
+  if (sns.size() > 1) {
+    SEDNA_RETURN_IF_ERROR(DistinctDocOrder(ctx.op, &out));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Path expressions
+// ---------------------------------------------------------------------------
+
+StatusOr<Sequence> EvalPath(const Expr& path, ExecContext& ctx) {
+  SEDNA_ASSIGN_OR_RETURN(Sequence in, Eval(*path.children[0], ctx));
+
+  // Filter expression: predicates over the whole input sequence.
+  if (path.str_val == "filter") {
+    for (const auto& pred : path.steps[0].predicates) {
+      SEDNA_ASSIGN_OR_RETURN(in, ApplyPredicate(*pred, std::move(in), ctx));
+    }
+    return in;
+  }
+
+  size_t step_idx = 0;
+
+  // Structural fragment served from the descriptive schema.
+  if (ctx.enable_schema_paths && !path.steps.empty() &&
+      path.steps[0].schema_resolved && in.size() == 1 &&
+      in[0].is_stored_node()) {
+    SEDNA_ASSIGN_OR_RETURN(XmlKind kind, NodeKind(ctx.op, in[0]));
+    if (kind == XmlKind::kDocument) {
+      DocumentStore* doc = in[0].stored().doc;
+      size_t end = 0;
+      while (end < path.steps.size() && path.steps[end].schema_resolved) {
+        end++;
+      }
+      std::vector<SchemaNode*> sns =
+          ResolveSchemaSteps(doc, path.steps, 0, end);
+      SEDNA_ASSIGN_OR_RETURN(in, EnumerateSchemaNodes(ctx, doc, sns));
+      ctx.Count(&ExecStats::schema_scans);
+      step_idx = end;
+    }
+  }
+
+  for (; step_idx < path.steps.size(); ++step_idx) {
+    const Step& step = path.steps[step_idx];
+    Sequence out;
+    for (const Item& node : in) {
+      if (!node.is_node()) {
+        return Status::InvalidArgument(
+            "path step applied to an atomic value");
+      }
+      SEDNA_ASSIGN_OR_RETURN(Sequence axis_seq,
+                             AxisNodes(ctx, node, step.axis));
+      ctx.Count(&ExecStats::axis_nodes, axis_seq.size());
+      Sequence tested;
+      for (Item& cand : axis_seq) {
+        SEDNA_ASSIGN_OR_RETURN(bool match,
+                               MatchesTest(ctx, cand, step.test, step.axis));
+        if (match) tested.push_back(std::move(cand));
+      }
+      for (const auto& pred : step.predicates) {
+        SEDNA_ASSIGN_OR_RETURN(tested,
+                               ApplyPredicate(*pred, std::move(tested), ctx));
+      }
+      out.insert(out.end(), std::make_move_iterator(tested.begin()),
+                 std::make_move_iterator(tested.end()));
+    }
+    if (step.needs_ddo) {
+      ctx.Count(&ExecStats::ddo_ops);
+      ctx.Count(&ExecStats::ddo_items, out.size());
+      SEDNA_RETURN_IF_ERROR(DistinctDocOrder(ctx.op, &out));
+    }
+    in = std::move(out);
+  }
+  return in;
+}
+
+// ---------------------------------------------------------------------------
+// Atomization, EBV, comparisons, arithmetic
+// ---------------------------------------------------------------------------
+
+StatusOr<Item> AtomizeItem(const OpCtx& ctx, const Item& item) {
+  if (item.is_atomic()) return item;
+  SEDNA_ASSIGN_OR_RETURN(std::string s, NodeStringValue(ctx, item));
+  return Item(std::move(s));
+}
+
+StatusOr<bool> ComparePair(const Item& a, const Item& b,
+                           const std::string& op) {
+  // Numeric comparison when either side is numeric (untyped data coerces).
+  auto as_number = [](const Item& v, double* out) {
+    if (v.is_numeric()) {
+      *out = v.as_double();
+      return true;
+    }
+    if (v.is_string()) return ParseDouble(v.str(), out);
+    if (v.is_boolean()) {
+      *out = v.boolean() ? 1 : 0;
+      return true;
+    }
+    return false;
+  };
+  int cmp;
+  if (a.is_numeric() || b.is_numeric()) {
+    double da, db;
+    if (!as_number(a, &da) || !as_number(b, &db)) {
+      return Status::InvalidArgument("cannot compare value to a number");
+    }
+    cmp = da < db ? -1 : (da > db ? 1 : 0);
+    if (std::isnan(da) || std::isnan(db)) {
+      return op == "!=" || op == "ne";
+    }
+  } else if (a.is_boolean() || b.is_boolean()) {
+    bool ba = a.is_boolean() ? a.boolean() : !a.str().empty();
+    bool bb = b.is_boolean() ? b.boolean() : !b.str().empty();
+    cmp = ba == bb ? 0 : (ba ? 1 : -1);
+  } else {
+    cmp = a.str().compare(b.str());
+    cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  }
+  if (op == "=" || op == "eq") return cmp == 0;
+  if (op == "!=" || op == "ne") return cmp != 0;
+  if (op == "<" || op == "lt") return cmp < 0;
+  if (op == "<=" || op == "le") return cmp <= 0;
+  if (op == ">" || op == "gt") return cmp > 0;
+  if (op == ">=" || op == "ge") return cmp >= 0;
+  return Status::Internal("unknown comparison operator " + op);
+}
+
+StatusOr<Sequence> EvalComparison(const Expr& expr, ExecContext& ctx) {
+  SEDNA_ASSIGN_OR_RETURN(Sequence left, Eval(*expr.children[0], ctx));
+  SEDNA_ASSIGN_OR_RETURN(Sequence right, Eval(*expr.children[1], ctx));
+  const std::string& op = expr.str_val;
+
+  if (op == "is") {
+    if (left.empty() || right.empty()) return Sequence{};
+    if (left.size() != 1 || right.size() != 1 || !left[0].is_node() ||
+        !right[0].is_node()) {
+      return Status::InvalidArgument("'is' requires single nodes");
+    }
+    SEDNA_ASSIGN_OR_RETURN(bool same, SameNode(ctx.op, left[0], right[0]));
+    return Sequence{Item(same)};
+  }
+
+  bool value_comp = op == "eq" || op == "ne" || op == "lt" || op == "le" ||
+                    op == "gt" || op == "ge";
+  SEDNA_ASSIGN_OR_RETURN(Sequence la, Atomize(ctx.op, left));
+  SEDNA_ASSIGN_OR_RETURN(Sequence ra, Atomize(ctx.op, right));
+  if (value_comp) {
+    if (la.empty() || ra.empty()) return Sequence{};
+    if (la.size() != 1 || ra.size() != 1) {
+      return Status::InvalidArgument(
+          "value comparison requires single items");
+    }
+    SEDNA_ASSIGN_OR_RETURN(bool r, ComparePair(la[0], ra[0], op));
+    return Sequence{Item(r)};
+  }
+  // General comparison: existential.
+  for (const Item& a : la) {
+    for (const Item& b : ra) {
+      SEDNA_ASSIGN_OR_RETURN(bool r, ComparePair(a, b, op));
+      if (r) return Sequence{Item(true)};
+    }
+  }
+  return Sequence{Item(false)};
+}
+
+StatusOr<Sequence> EvalArith(const Expr& expr, ExecContext& ctx) {
+  SEDNA_ASSIGN_OR_RETURN(Sequence left, Eval(*expr.children[0], ctx));
+  SEDNA_ASSIGN_OR_RETURN(Sequence right, Eval(*expr.children[1], ctx));
+  SEDNA_ASSIGN_OR_RETURN(Sequence la, Atomize(ctx.op, left));
+  SEDNA_ASSIGN_OR_RETURN(Sequence ra, Atomize(ctx.op, right));
+  if (la.empty() || ra.empty()) return Sequence{};
+  if (la.size() != 1 || ra.size() != 1) {
+    return Status::InvalidArgument("arithmetic requires single values");
+  }
+  auto numeric = [](const Item& v, double* out) -> bool {
+    if (v.is_numeric()) {
+      *out = v.as_double();
+      return true;
+    }
+    if (v.is_string()) return ParseDouble(v.str(), out);
+    return false;
+  };
+  double a, b;
+  if (!numeric(la[0], &a) || !numeric(ra[0], &b)) {
+    return Status::InvalidArgument("non-numeric operand in arithmetic");
+  }
+  const std::string& op = expr.str_val;
+  bool both_int = la[0].is_integer() && ra[0].is_integer();
+  if (op == "+") {
+    return Sequence{both_int ? Item(la[0].integer() + ra[0].integer())
+                             : Item(a + b)};
+  }
+  if (op == "-") {
+    return Sequence{both_int ? Item(la[0].integer() - ra[0].integer())
+                             : Item(a - b)};
+  }
+  if (op == "*") {
+    return Sequence{both_int ? Item(la[0].integer() * ra[0].integer())
+                             : Item(a * b)};
+  }
+  if (op == "div") {
+    if (b == 0) return Status::InvalidArgument("division by zero");
+    return Sequence{Item(a / b)};
+  }
+  if (op == "idiv") {
+    if (b == 0) return Status::InvalidArgument("division by zero");
+    return Sequence{Item(static_cast<int64_t>(a / b))};
+  }
+  if (op == "mod") {
+    if (b == 0) return Status::InvalidArgument("division by zero");
+    if (both_int) {
+      return Sequence{Item(la[0].integer() % ra[0].integer())};
+    }
+    return Sequence{Item(std::fmod(a, b))};
+  }
+  return Status::Internal("unknown arithmetic operator " + op);
+}
+
+// ---------------------------------------------------------------------------
+// FLWOR
+// ---------------------------------------------------------------------------
+
+struct FlworTuple {
+  std::vector<std::pair<std::string, Sequence>> bindings;
+  std::vector<Item> keys;  // order-by keys (empty item = ())
+  bool key_empty_flags[8] = {};
+  size_t key_count = 0;
+};
+
+Status FlworCollect(const Expr& flwor, size_t ci, ExecContext& ctx,
+                    const std::vector<const Sequence*>& lazy_values,
+                    Sequence* out, std::vector<FlworTuple>* tuples) {
+  if (ci == flwor.clauses.size()) {
+    if (flwor.where != nullptr) {
+      SEDNA_ASSIGN_OR_RETURN(Sequence cond, Eval(*flwor.where, ctx));
+      SEDNA_ASSIGN_OR_RETURN(bool pass, EffectiveBooleanValue(ctx.op, cond));
+      if (!pass) return Status::OK();
+    }
+    if (tuples != nullptr) {
+      FlworTuple tuple;
+      for (const FlworClause& c : flwor.clauses) {
+        tuple.bindings.emplace_back(c.var, ctx.vars[c.var]);
+        if (!c.pos_var.empty()) {
+          tuple.bindings.emplace_back(c.pos_var, ctx.vars[c.pos_var]);
+        }
+      }
+      for (const OrderSpec& spec : flwor.order_specs) {
+        SEDNA_ASSIGN_OR_RETURN(Sequence key_seq, Eval(*spec.expr, ctx));
+        SEDNA_ASSIGN_OR_RETURN(Sequence key, Atomize(ctx.op, key_seq));
+        if (key.size() > 1) {
+          return Status::InvalidArgument("order key must be a single item");
+        }
+        tuple.key_empty_flags[tuple.key_count] = key.empty();
+        tuple.keys.push_back(key.empty() ? Item() : key[0]);
+        tuple.key_count++;
+      }
+      tuples->push_back(std::move(tuple));
+      return Status::OK();
+    }
+    SEDNA_ASSIGN_OR_RETURN(Sequence result, Eval(*flwor.children[0], ctx));
+    out->insert(out->end(), std::make_move_iterator(result.begin()),
+                std::make_move_iterator(result.end()));
+    return Status::OK();
+  }
+
+  const FlworClause& clause = flwor.clauses[ci];
+  if (clause.kind == FlworClause::Kind::kLet) {
+    SEDNA_ASSIGN_OR_RETURN(Sequence value, Eval(*clause.expr, ctx));
+    Sequence saved = std::move(ctx.vars[clause.var]);
+    ctx.vars[clause.var] = std::move(value);
+    Status st = FlworCollect(flwor, ci + 1, ctx, lazy_values, out, tuples);
+    ctx.vars[clause.var] = std::move(saved);
+    return st;
+  }
+
+  Sequence domain_storage;
+  const Sequence* domain;
+  if (lazy_values[ci] != nullptr) {
+    domain = lazy_values[ci];  // Section 5.1.3: evaluated once
+  } else {
+    SEDNA_ASSIGN_OR_RETURN(domain_storage, Eval(*clause.expr, ctx));
+    domain = &domain_storage;
+  }
+  Sequence saved = std::move(ctx.vars[clause.var]);
+  Sequence saved_pos;
+  if (!clause.pos_var.empty()) {
+    saved_pos = std::move(ctx.vars[clause.pos_var]);
+  }
+  Status st = Status::OK();
+  for (size_t i = 0; i < domain->size(); ++i) {
+    ctx.vars[clause.var] = Sequence{(*domain)[i]};
+    if (!clause.pos_var.empty()) {
+      ctx.vars[clause.pos_var] =
+          Sequence{Item(static_cast<int64_t>(i + 1))};
+    }
+    st = FlworCollect(flwor, ci + 1, ctx, lazy_values, out, tuples);
+    if (!st.ok()) break;
+  }
+  ctx.vars[clause.var] = std::move(saved);
+  if (!clause.pos_var.empty()) ctx.vars[clause.pos_var] = std::move(saved_pos);
+  return st;
+}
+
+StatusOr<Sequence> EvalFlwor(const Expr& flwor, ExecContext& ctx) {
+  // Pre-evaluate lazy for-clauses (marked by the rewriter as independent of
+  // outer for-variables) exactly once.
+  std::vector<Sequence> lazy_storage(flwor.clauses.size());
+  std::vector<const Sequence*> lazy_values(flwor.clauses.size(), nullptr);
+  for (size_t i = 0; i < flwor.clauses.size(); ++i) {
+    const FlworClause& c = flwor.clauses[i];
+    if (c.kind == FlworClause::Kind::kFor && c.lazy) {
+      SEDNA_ASSIGN_OR_RETURN(lazy_storage[i], Eval(*c.expr, ctx));
+      lazy_values[i] = &lazy_storage[i];
+    }
+  }
+
+  Sequence out;
+  if (flwor.order_specs.empty()) {
+    SEDNA_RETURN_IF_ERROR(
+        FlworCollect(flwor, 0, ctx, lazy_values, &out, nullptr));
+    return out;
+  }
+
+  std::vector<FlworTuple> tuples;
+  SEDNA_RETURN_IF_ERROR(
+      FlworCollect(flwor, 0, ctx, lazy_values, nullptr, &tuples));
+
+  // Sort by order keys.
+  Status sort_status = Status::OK();
+  std::stable_sort(
+      tuples.begin(), tuples.end(),
+      [&](const FlworTuple& a, const FlworTuple& b) {
+        for (size_t k = 0; k < flwor.order_specs.size(); ++k) {
+          bool ae = a.key_empty_flags[k];
+          bool be = b.key_empty_flags[k];
+          if (ae || be) {
+            if (ae == be) continue;
+            return flwor.order_specs[k].descending ? be : ae;  // empty least
+          }
+          StatusOr<bool> lt = ComparePair(a.keys[k], b.keys[k], "<");
+          StatusOr<bool> gt = ComparePair(a.keys[k], b.keys[k], ">");
+          if (!lt.ok() || !gt.ok()) {
+            if (sort_status.ok()) {
+              sort_status = lt.ok() ? gt.status() : lt.status();
+            }
+            return false;
+          }
+          if (*lt) return !flwor.order_specs[k].descending;
+          if (*gt) return flwor.order_specs[k].descending;
+        }
+        return false;
+      });
+  SEDNA_RETURN_IF_ERROR(sort_status);
+
+  for (const FlworTuple& tuple : tuples) {
+    std::vector<std::pair<std::string, Sequence>> saved;
+    for (const auto& [name, value] : tuple.bindings) {
+      saved.emplace_back(name, std::move(ctx.vars[name]));
+      ctx.vars[name] = value;
+    }
+    StatusOr<Sequence> result = Eval(*flwor.children[0], ctx);
+    for (auto& [name, value] : saved) {
+      ctx.vars[name] = std::move(value);
+    }
+    if (!result.ok()) return result.status();
+    out.insert(out.end(), std::make_move_iterator(result->begin()),
+               std::make_move_iterator(result->end()));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Constructors (Section 5.2.1)
+// ---------------------------------------------------------------------------
+
+StatusOr<std::string> SequenceToContentString(const OpCtx& ctx,
+                                              const Sequence& seq) {
+  SEDNA_ASSIGN_OR_RETURN(Sequence atoms, Atomize(ctx, seq));
+  std::string out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += AtomicLexical(atoms[i]);
+  }
+  return out;
+}
+
+StatusOr<Item> BuildAttributeNode(const Expr& ctor, ExecContext& ctx) {
+  std::string name = ctor.str_val;
+  if (ctor.name_expr != nullptr) {
+    SEDNA_ASSIGN_OR_RETURN(Sequence n, Eval(*ctor.name_expr, ctx));
+    SEDNA_ASSIGN_OR_RETURN(name, SequenceToContentString(ctx.op, n));
+  }
+  std::string value;
+  for (const auto& part : ctor.children) {
+    if (part->kind == ExprKind::kLiteralString) {
+      value += part->str_val;
+      continue;
+    }
+    SEDNA_ASSIGN_OR_RETURN(Sequence v, Eval(*part, ctx));
+    SEDNA_ASSIGN_OR_RETURN(std::string s, SequenceToContentString(ctx.op, v));
+    value += s;
+  }
+  auto node = XmlNode::Attribute(std::move(name), std::move(value));
+  const XmlNode* ptr = node.get();
+  std::shared_ptr<XmlNode> root(std::move(node));
+  return Item(ConstructedNode{std::move(root), ptr, NextConstructionId()});
+}
+
+StatusOr<Item> BuildElement(const Expr& ctor, ExecContext& ctx) {
+  std::string name = ctor.str_val;
+  if (ctor.name_expr != nullptr) {
+    SEDNA_ASSIGN_OR_RETURN(Sequence n, Eval(*ctor.name_expr, ctx));
+    SEDNA_ASSIGN_OR_RETURN(name, SequenceToContentString(ctx.op, n));
+  }
+
+  Sequence attrs;
+  for (const auto& attr_expr : ctor.ctor_attrs) {
+    SEDNA_ASSIGN_OR_RETURN(Item attr, BuildAttributeNode(*attr_expr, ctx));
+    attrs.push_back(std::move(attr));
+  }
+  Sequence content;
+  for (const auto& child : ctor.children) {
+    SEDNA_ASSIGN_OR_RETURN(Sequence part, Eval(*child, ctx));
+    // Attribute items produced by content expressions become attributes.
+    for (Item& item : part) {
+      bool is_attr = false;
+      if (item.is_node()) {
+        SEDNA_ASSIGN_OR_RETURN(XmlKind kind, NodeKind(ctx.op, item));
+        is_attr = kind == XmlKind::kAttribute;
+      }
+      if (is_attr && content.empty()) {
+        attrs.push_back(std::move(item));
+      } else {
+        content.push_back(std::move(item));
+      }
+    }
+  }
+
+  if (ctor.virtual_ok && ctx.enable_virtual_constructors) {
+    // Virtual element constructor: no deep copy of the content.
+    ctx.Count(&ExecStats::virtual_elements);
+    auto v = std::make_shared<VirtualElement>();
+    v->name = std::move(name);
+    v->attributes = std::move(attrs);
+    v->content = std::move(content);
+    v->order_id = NextConstructionId();
+    return Item(std::move(v));
+  }
+
+  // Standard semantics: deep copy the content into a fresh tree.
+  auto elem = std::make_unique<XmlNode>(XmlKind::kElement, std::move(name));
+  for (const Item& attr : attrs) {
+    SEDNA_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> a, NodeToXml(ctx.op, attr));
+    ctx.Count(&ExecStats::deep_copy_nodes, a->SubtreeSize());
+    elem->Add(std::move(a));
+  }
+  std::string pending_text;
+  bool prev_atomic = false;
+  auto flush = [&]() {
+    if (!pending_text.empty()) {
+      elem->AddText(std::move(pending_text));
+      pending_text.clear();
+    }
+  };
+  for (const Item& item : content) {
+    if (item.is_node()) {
+      SEDNA_ASSIGN_OR_RETURN(XmlKind kind, NodeKind(ctx.op, item));
+      if (kind == XmlKind::kText) {
+        SEDNA_ASSIGN_OR_RETURN(std::string t, NodeStringValue(ctx.op, item));
+        pending_text += t;
+        prev_atomic = false;
+        continue;
+      }
+      flush();
+      SEDNA_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> n,
+                             NodeToXml(ctx.op, item));
+      // Copying a document node splices in its children.
+      if (n->kind == XmlKind::kDocument) {
+        for (auto& c : n->children) {
+          ctx.Count(&ExecStats::deep_copy_nodes, c->SubtreeSize());
+          elem->Add(std::move(c));
+        }
+      } else {
+        ctx.Count(&ExecStats::deep_copy_nodes, n->SubtreeSize());
+        elem->Add(std::move(n));
+      }
+      prev_atomic = false;
+    } else {
+      if (prev_atomic) pending_text += ' ';
+      pending_text += AtomicLexical(item);
+      prev_atomic = true;
+    }
+  }
+  flush();
+  const XmlNode* ptr = elem.get();
+  std::shared_ptr<XmlNode> root(std::move(elem));
+  return Item(ConstructedNode{std::move(root), ptr, NextConstructionId()});
+}
+
+// ---------------------------------------------------------------------------
+// Function calls
+// ---------------------------------------------------------------------------
+
+StatusOr<Sequence> EvalFunctionCall(const Expr& expr, ExecContext& ctx) {
+  std::vector<Sequence> args;
+  args.reserve(expr.children.size());
+  for (const auto& arg : expr.children) {
+    SEDNA_ASSIGN_OR_RETURN(Sequence value, Eval(*arg, ctx));
+    args.push_back(std::move(value));
+  }
+  bool found = false;
+  StatusOr<Sequence> builtin = CallBuiltin(expr.str_val, args, ctx, &found);
+  if (found) return builtin;
+
+  // User-defined function.
+  if (ctx.prolog != nullptr) {
+    for (const FunctionDecl& decl : ctx.prolog->functions) {
+      if (decl.name == expr.str_val && decl.params.size() == args.size()) {
+        if (ctx.udf_depth >= kMaxUdfDepth) {
+          return Status::ResourceExhausted("function recursion too deep");
+        }
+        // Fresh variable scope: parameters only (plus globals, which live
+        // in vars and are shadowed correctly by the save/restore).
+        std::vector<std::pair<std::string, Sequence>> saved;
+        for (size_t i = 0; i < args.size(); ++i) {
+          saved.emplace_back(decl.params[i],
+                             std::move(ctx.vars[decl.params[i]]));
+          ctx.vars[decl.params[i]] = std::move(args[i]);
+        }
+        ctx.udf_depth++;
+        StatusOr<Sequence> result = Eval(*decl.body, ctx);
+        ctx.udf_depth--;
+        for (auto& [name, value] : saved) {
+          ctx.vars[name] = std::move(value);
+        }
+        return result;
+      }
+    }
+  }
+  return Status::InvalidArgument("unknown function: " + expr.str_val + "/" +
+                                 std::to_string(args.size()));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+StatusOr<Sequence> Atomize(const OpCtx& ctx, const Sequence& seq) {
+  Sequence out;
+  out.reserve(seq.size());
+  for (const Item& item : seq) {
+    SEDNA_ASSIGN_OR_RETURN(Item atom, AtomizeItem(ctx, item));
+    out.push_back(std::move(atom));
+  }
+  return out;
+}
+
+StatusOr<bool> EffectiveBooleanValue(const OpCtx&, const Sequence& seq) {
+  if (seq.empty()) return false;
+  if (seq[0].is_node()) return true;
+  if (seq.size() > 1) {
+    return Status::InvalidArgument(
+        "effective boolean value of a multi-item atomic sequence");
+  }
+  const Item& v = seq[0];
+  if (v.is_boolean()) return v.boolean();
+  if (v.is_string()) return !v.str().empty();
+  if (v.is_integer()) return v.integer() != 0;
+  if (v.is_double()) return v.dbl() != 0 && !std::isnan(v.dbl());
+  return false;
+}
+
+StatusOr<Sequence> Eval(const Expr& expr, ExecContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kLiteralInt:
+      return Sequence{Item(expr.int_val)};
+    case ExprKind::kLiteralDouble:
+      return Sequence{Item(expr.dbl_val)};
+    case ExprKind::kLiteralString:
+      return Sequence{Item(expr.str_val)};
+    case ExprKind::kEmptySequence:
+      return Sequence{};
+    case ExprKind::kSequence: {
+      Sequence out;
+      for (const auto& c : expr.children) {
+        SEDNA_ASSIGN_OR_RETURN(Sequence part, Eval(*c, ctx));
+        out.insert(out.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+      }
+      return out;
+    }
+    case ExprKind::kRange: {
+      SEDNA_ASSIGN_OR_RETURN(Sequence lo_seq, Eval(*expr.children[0], ctx));
+      SEDNA_ASSIGN_OR_RETURN(Sequence hi_seq, Eval(*expr.children[1], ctx));
+      SEDNA_ASSIGN_OR_RETURN(Sequence lo, Atomize(ctx.op, lo_seq));
+      SEDNA_ASSIGN_OR_RETURN(Sequence hi, Atomize(ctx.op, hi_seq));
+      if (lo.empty() || hi.empty()) return Sequence{};
+      if (!lo[0].is_numeric() || !hi[0].is_numeric()) {
+        return Status::InvalidArgument("range bounds must be numeric");
+      }
+      int64_t a = static_cast<int64_t>(lo[0].as_double());
+      int64_t b = static_cast<int64_t>(hi[0].as_double());
+      Sequence out;
+      for (int64_t i = a; i <= b; ++i) out.push_back(Item(i));
+      return out;
+    }
+    case ExprKind::kArith:
+      return EvalArith(expr, ctx);
+    case ExprKind::kUnaryMinus: {
+      SEDNA_ASSIGN_OR_RETURN(Sequence v, Eval(*expr.children[0], ctx));
+      SEDNA_ASSIGN_OR_RETURN(Sequence a, Atomize(ctx.op, v));
+      if (a.empty()) return Sequence{};
+      if (a[0].is_integer()) return Sequence{Item(-a[0].integer())};
+      double d;
+      if (a[0].is_double()) {
+        d = a[0].dbl();
+      } else if (!a[0].is_string() || !ParseDouble(a[0].str(), &d)) {
+        return Status::InvalidArgument("unary minus on non-numeric value");
+      }
+      return Sequence{Item(-d)};
+    }
+    case ExprKind::kComparison:
+      return EvalComparison(expr, ctx);
+    case ExprKind::kAnd: {
+      SEDNA_ASSIGN_OR_RETURN(Sequence l, Eval(*expr.children[0], ctx));
+      SEDNA_ASSIGN_OR_RETURN(bool lv, EffectiveBooleanValue(ctx.op, l));
+      if (!lv) return Sequence{Item(false)};
+      SEDNA_ASSIGN_OR_RETURN(Sequence r, Eval(*expr.children[1], ctx));
+      SEDNA_ASSIGN_OR_RETURN(bool rv, EffectiveBooleanValue(ctx.op, r));
+      return Sequence{Item(rv)};
+    }
+    case ExprKind::kOr: {
+      SEDNA_ASSIGN_OR_RETURN(Sequence l, Eval(*expr.children[0], ctx));
+      SEDNA_ASSIGN_OR_RETURN(bool lv, EffectiveBooleanValue(ctx.op, l));
+      if (lv) return Sequence{Item(true)};
+      SEDNA_ASSIGN_OR_RETURN(Sequence r, Eval(*expr.children[1], ctx));
+      SEDNA_ASSIGN_OR_RETURN(bool rv, EffectiveBooleanValue(ctx.op, r));
+      return Sequence{Item(rv)};
+    }
+    case ExprKind::kIf: {
+      SEDNA_ASSIGN_OR_RETURN(Sequence cond, Eval(*expr.children[0], ctx));
+      SEDNA_ASSIGN_OR_RETURN(bool pass, EffectiveBooleanValue(ctx.op, cond));
+      return Eval(*expr.children[pass ? 1 : 2], ctx);
+    }
+    case ExprKind::kQuantified: {
+      SEDNA_ASSIGN_OR_RETURN(Sequence domain, Eval(*expr.children[0], ctx));
+      Sequence saved = std::move(ctx.vars[expr.var]);
+      bool result = expr.every;
+      Status st = Status::OK();
+      for (const Item& item : domain) {
+        ctx.vars[expr.var] = Sequence{item};
+        StatusOr<Sequence> v = Eval(*expr.children[1], ctx);
+        if (!v.ok()) {
+          st = v.status();
+          break;
+        }
+        StatusOr<bool> ebv = EffectiveBooleanValue(ctx.op, *v);
+        if (!ebv.ok()) {
+          st = ebv.status();
+          break;
+        }
+        if (expr.every && !*ebv) {
+          result = false;
+          break;
+        }
+        if (!expr.every && *ebv) {
+          result = true;
+          break;
+        }
+      }
+      ctx.vars[expr.var] = std::move(saved);
+      SEDNA_RETURN_IF_ERROR(st);
+      return Sequence{Item(result)};
+    }
+    case ExprKind::kFlwor:
+      return EvalFlwor(expr, ctx);
+    case ExprKind::kPath:
+      return EvalPath(expr, ctx);
+    case ExprKind::kContextRoot: {
+      if (ctx.context_item == nullptr) {
+        return Status::InvalidArgument("no context item for '/'");
+      }
+      // Root of the context node's tree.
+      Item cur = *ctx.context_item;
+      for (;;) {
+        SEDNA_ASSIGN_OR_RETURN(Sequence parent, NodeParent(ctx.op, cur));
+        if (parent.empty()) break;
+        cur = parent[0];
+      }
+      return Sequence{cur};
+    }
+    case ExprKind::kFunctionCall:
+      return EvalFunctionCall(expr, ctx);
+    case ExprKind::kVarRef: {
+      auto it = ctx.vars.find(expr.str_val);
+      if (it == ctx.vars.end()) {
+        return Status::InvalidArgument("unbound variable $" + expr.str_val);
+      }
+      return it->second;
+    }
+    case ExprKind::kContextItem: {
+      if (ctx.context_item == nullptr) {
+        return Status::InvalidArgument("no context item");
+      }
+      return Sequence{*ctx.context_item};
+    }
+    case ExprKind::kElementCtor: {
+      SEDNA_ASSIGN_OR_RETURN(Item elem, BuildElement(expr, ctx));
+      return Sequence{std::move(elem)};
+    }
+    case ExprKind::kAttributeCtor: {
+      SEDNA_ASSIGN_OR_RETURN(Item attr, BuildAttributeNode(expr, ctx));
+      return Sequence{std::move(attr)};
+    }
+    case ExprKind::kTextCtor: {
+      SEDNA_ASSIGN_OR_RETURN(Sequence content, Eval(*expr.children[0], ctx));
+      SEDNA_ASSIGN_OR_RETURN(std::string value,
+                             SequenceToContentString(ctx.op, content));
+      auto node = XmlNode::Text(std::move(value));
+      const XmlNode* ptr = node.get();
+      std::shared_ptr<XmlNode> root(std::move(node));
+      return Sequence{
+          Item(ConstructedNode{std::move(root), ptr, NextConstructionId()})};
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Status SerializeVirtual(const OpCtx& ctx, const VirtualElement& v,
+                        std::string* out);
+
+Status SerializeNodeItem(const OpCtx& ctx, const Item& item,
+                         std::string* out) {
+  if (item.is_virtual_element()) {
+    // The payoff of virtual constructors: serialize straight from the
+    // references, no deep copy ever happens.
+    return SerializeVirtual(ctx, *item.virtual_element(), out);
+  }
+  SEDNA_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> node, NodeToXml(ctx, item));
+  *out += SerializeXml(*node);
+  return Status::OK();
+}
+
+Status SerializeVirtual(const OpCtx& ctx, const VirtualElement& v,
+                        std::string* out) {
+  *out += "<" + v.name;
+  for (const Item& attr : v.attributes) {
+    SEDNA_ASSIGN_OR_RETURN(std::string name, NodeName(ctx, attr));
+    SEDNA_ASSIGN_OR_RETURN(std::string value, NodeStringValue(ctx, attr));
+    *out += " " + name + "=\"" + XmlEscape(value, true) + "\"";
+  }
+  if (v.content.empty()) {
+    *out += "/>";
+    return Status::OK();
+  }
+  *out += ">";
+  bool prev_atomic = false;
+  for (const Item& c : v.content) {
+    if (c.is_node()) {
+      SEDNA_RETURN_IF_ERROR(SerializeNodeItem(ctx, c, out));
+      prev_atomic = false;
+    } else {
+      if (prev_atomic) *out += ' ';
+      *out += XmlEscape(AtomicLexical(c));
+      prev_atomic = true;
+    }
+  }
+  *out += "</" + v.name + ">";
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::string> SerializeItem(const OpCtx& ctx, const Item& item) {
+  std::string out;
+  if (item.is_node()) {
+    SEDNA_RETURN_IF_ERROR(SerializeNodeItem(ctx, item, &out));
+  } else {
+    out = AtomicLexical(item);
+  }
+  return out;
+}
+
+StatusOr<std::string> SerializeSequence(const OpCtx& ctx,
+                                        const Sequence& seq) {
+  std::string out;
+  bool prev_atomic = false;
+  for (const Item& item : seq) {
+    if (item.is_node()) {
+      SEDNA_RETURN_IF_ERROR(SerializeNodeItem(ctx, item, &out));
+      prev_atomic = false;
+    } else {
+      if (prev_atomic) out += ' ';
+      out += AtomicLexical(item);
+      prev_atomic = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace sedna

@@ -1,0 +1,91 @@
+// XQuery evaluation engine over the storage system (paper Section 5.2).
+//
+// Intermediate results are sequences of items; node items reference stored
+// nodes by direct pointer. Path steps are evaluated axis-by-axis with an
+// explicit distinct-document-order (DDO) operation after each step — unless
+// the optimizing rewriter proved it redundant (Section 5.1.1). Structural
+// path fragments marked by the rewriter are executed directly over the
+// in-memory descriptive schema (Section 5.1.4). Element constructors avoid
+// deep copies when marked virtual (Section 5.2.1).
+
+#ifndef SEDNA_XQUERY_EXECUTOR_H_
+#define SEDNA_XQUERY_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "storage/storage_engine.h"
+#include "xquery/ast.h"
+#include "xquery/item.h"
+#include "xquery/node_ops.h"
+
+namespace sedna {
+
+class ValueIndexManager;
+
+/// Execution counters consumed by tests and the benchmark harness.
+struct ExecStats {
+  uint64_t ddo_ops = 0;          // DDO operations executed
+  uint64_t ddo_items = 0;        // items passed through DDO sorting
+  uint64_t axis_nodes = 0;       // nodes enumerated by axis evaluation
+  uint64_t deep_copy_nodes = 0;  // nodes deep-copied by constructors
+  uint64_t virtual_elements = 0; // constructors answered virtually
+  uint64_t schema_scans = 0;     // structural paths served from the schema
+};
+
+/// Dynamic evaluation context.
+struct ExecContext {
+  StorageEngine* storage = nullptr;
+  OpCtx op;
+  const Prolog* prolog = nullptr;  // user-defined functions / variables
+
+  /// Invoked whenever the query touches a named document (doc(), DDL); the
+  /// session layer acquires the S2PL document lock here. `exclusive` is
+  /// true when the enclosing statement is an update.
+  std::function<Status(const std::string& name, bool exclusive)>
+      on_doc_access;
+  bool doc_access_exclusive = false;
+
+  /// Value indexes (may be null when the host has none configured).
+  ValueIndexManager* indexes = nullptr;
+
+  std::map<std::string, Sequence> vars;
+
+  // Focus (context item, position, size).
+  const Item* context_item = nullptr;
+  int64_t context_pos = 0;
+  int64_t context_size = 0;
+
+  // Feature toggles used by benchmarks to compare optimizations on/off.
+  bool enable_virtual_constructors = true;
+  bool enable_schema_paths = true;
+
+  ExecStats* stats = nullptr;
+  int udf_depth = 0;  // recursion guard
+
+  void Count(uint64_t ExecStats::*field, uint64_t delta = 1) {
+    if (stats != nullptr) (stats->*field) += delta;
+  }
+};
+
+/// Evaluates an expression to a sequence.
+StatusOr<Sequence> Eval(const Expr& expr, ExecContext& ctx);
+
+/// Effective boolean value of a sequence.
+StatusOr<bool> EffectiveBooleanValue(const OpCtx& ctx, const Sequence& seq);
+
+/// Atomizes a sequence (nodes -> their untyped string values).
+StatusOr<Sequence> Atomize(const OpCtx& ctx, const Sequence& seq);
+
+/// Serializes a result sequence the way a query shell would print it.
+/// Handles virtual elements without materializing them.
+StatusOr<std::string> SerializeSequence(const OpCtx& ctx,
+                                        const Sequence& seq);
+
+/// Item -> serialized form (markup for nodes, lexical form for atomics).
+StatusOr<std::string> SerializeItem(const OpCtx& ctx, const Item& item);
+
+}  // namespace sedna
+
+#endif  // SEDNA_XQUERY_EXECUTOR_H_

@@ -1,0 +1,27 @@
+// Built-in function library (a practical subset of XQuery 1.0 Functions
+// and Operators).
+
+#ifndef SEDNA_XQUERY_FUNCTIONS_H_
+#define SEDNA_XQUERY_FUNCTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "xquery/executor.h"
+
+namespace sedna {
+
+/// Invokes builtin `name` with evaluated arguments. Sets `*found` to false
+/// (and returns an empty sequence) if no builtin with that name/arity
+/// exists, so the caller can try user-defined functions.
+StatusOr<Sequence> CallBuiltin(const std::string& name,
+                               std::vector<Sequence>& args, ExecContext& ctx,
+                               bool* found);
+
+/// True if a builtin with this name exists (any arity) — used by the static
+/// analyzer.
+bool IsBuiltinFunction(const std::string& name);
+
+}  // namespace sedna
+
+#endif  // SEDNA_XQUERY_FUNCTIONS_H_

@@ -1,0 +1,121 @@
+// XQuery Data Model items and sequences.
+//
+// An item is either an atomic value (integer, double, boolean, string) or a
+// node. Nodes come in three flavours:
+//   * stored nodes — direct Xptrs into the storage engine (the paper's
+//     "intermediate result of any query expression are represented by
+//     direct pointers");
+//   * constructed nodes — transient XmlNode trees built by element
+//     constructors (after the deep copy the paper describes);
+//   * virtual elements — the paper's virtual-constructor optimization
+//     (Section 5.2.1): no deep copy, just the name plus the content
+//     sequence; forced into a constructed tree only if an operation needs
+//     to traverse the result.
+
+#ifndef SEDNA_XQUERY_ITEM_H_
+#define SEDNA_XQUERY_ITEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/document_store.h"
+#include "xml/xml_tree.h"
+
+namespace sedna {
+
+class Item;
+using Sequence = std::vector<Item>;
+
+/// A node persisted in a document store, referenced by direct pointer.
+struct StoredNode {
+  DocumentStore* doc = nullptr;
+  Xptr addr;
+
+  bool operator==(const StoredNode&) const = default;
+};
+
+/// A node in a constructor-built transient tree. `root` keeps the tree
+/// alive; `node` points into it. `order_id` gives constructed trees a
+/// stable document order (construction order, then DFS position).
+struct ConstructedNode {
+  std::shared_ptr<XmlNode> root;
+  const XmlNode* node = nullptr;
+  uint64_t order_id = 0;
+};
+
+struct VirtualElement;  // defined below (contains a Sequence)
+
+class Item {
+ public:
+  Item() = default;
+  explicit Item(int64_t v) : value_(v) {}
+  explicit Item(double v) : value_(v) {}
+  explicit Item(bool v) : value_(v) {}
+  explicit Item(std::string v) : value_(std::move(v)) {}
+  explicit Item(StoredNode n) : value_(n) {}
+  explicit Item(ConstructedNode n) : value_(std::move(n)) {}
+  explicit Item(std::shared_ptr<VirtualElement> v) : value_(std::move(v)) {}
+
+  bool is_integer() const { return std::holds_alternative<int64_t>(value_); }
+  bool is_double() const { return std::holds_alternative<double>(value_); }
+  bool is_boolean() const { return std::holds_alternative<bool>(value_); }
+  bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  bool is_numeric() const { return is_integer() || is_double(); }
+  bool is_stored_node() const {
+    return std::holds_alternative<StoredNode>(value_);
+  }
+  bool is_constructed_node() const {
+    return std::holds_alternative<ConstructedNode>(value_);
+  }
+  bool is_virtual_element() const {
+    return std::holds_alternative<std::shared_ptr<VirtualElement>>(value_);
+  }
+  bool is_node() const {
+    return is_stored_node() || is_constructed_node() || is_virtual_element();
+  }
+  bool is_atomic() const { return !is_node(); }
+
+  int64_t integer() const { return std::get<int64_t>(value_); }
+  double dbl() const { return std::get<double>(value_); }
+  bool boolean() const { return std::get<bool>(value_); }
+  const std::string& str() const { return std::get<std::string>(value_); }
+  const StoredNode& stored() const { return std::get<StoredNode>(value_); }
+  const ConstructedNode& constructed() const {
+    return std::get<ConstructedNode>(value_);
+  }
+  const std::shared_ptr<VirtualElement>& virtual_element() const {
+    return std::get<std::shared_ptr<VirtualElement>>(value_);
+  }
+
+  /// Numeric value with integer->double promotion.
+  double as_double() const { return is_integer() ? integer() : dbl(); }
+
+  std::string DebugString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, bool, std::string, StoredNode,
+               ConstructedNode, std::shared_ptr<VirtualElement>>
+      value_;
+};
+
+/// A virtual element constructor result (paper Section 5.2.1): name,
+/// attribute items and content items kept by reference — no deep copy.
+struct VirtualElement {
+  std::string name;
+  Sequence attributes;  // attribute nodes
+  Sequence content;     // child content items
+  uint64_t order_id = 0;
+};
+
+/// Monotonic id source for constructed/virtual node document order.
+uint64_t NextConstructionId();
+
+}  // namespace sedna
+
+#endif  // SEDNA_XQUERY_ITEM_H_

@@ -1,0 +1,355 @@
+#include "xquery/node_ops.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace sedna {
+
+std::string AtomicLexical(const Item& atom) {
+  if (atom.is_integer()) return std::to_string(atom.integer());
+  if (atom.is_double()) return FormatDouble(atom.dbl());
+  if (atom.is_boolean()) return atom.boolean() ? "true" : "false";
+  if (atom.is_string()) return atom.str();
+  return "";
+}
+
+uint64_t NextConstructionId() {
+  static uint64_t counter = 0;
+  return ++counter;
+}
+
+std::string Item::DebugString() const {
+  if (is_integer()) return std::to_string(integer());
+  if (is_double()) return std::to_string(dbl());
+  if (is_boolean()) return boolean() ? "true" : "false";
+  if (is_string()) return "\"" + str() + "\"";
+  if (is_stored_node()) return "node@" + stored().addr.ToString();
+  if (is_constructed_node()) return "constructed<" + constructed().node->name + ">";
+  if (is_virtual_element()) return "virtual<" + virtual_element()->name + ">";
+  return "()";
+}
+
+namespace {
+
+StatusOr<NodeInfo> StoredInfo(const OpCtx& ctx, const StoredNode& n) {
+  return n.doc->nodes()->Info(ctx, n.addr);
+}
+
+Item MakeConstructed(const ConstructedNode& base, const XmlNode* node) {
+  return Item(ConstructedNode{base.root, node, base.order_id});
+}
+
+// DFS index of `target` within `root` (0 = root itself).
+bool DfsIndexOf(const XmlNode* root, const XmlNode* target, uint64_t* index) {
+  if (root == target) return true;
+  for (const auto& c : root->children) {
+    ++*index;
+    if (DfsIndexOf(c.get(), target, index)) return true;
+  }
+  return false;
+}
+
+Status CollectStoredStringValue(const OpCtx& ctx, const StoredNode& n,
+                                std::string* out) {
+  SEDNA_ASSIGN_OR_RETURN(NodeInfo info, StoredInfo(ctx, n));
+  XmlKind kind = info.kind;
+  if (kind == XmlKind::kText) {
+    SEDNA_ASSIGN_OR_RETURN(std::string t, n.doc->nodes()->Text(ctx, n.addr));
+    *out += t;
+    return Status::OK();
+  }
+  if (kind == XmlKind::kElement || kind == XmlKind::kDocument) {
+    SEDNA_ASSIGN_OR_RETURN(Xptr child, n.doc->nodes()->FirstChild(ctx, n.addr));
+    while (child) {
+      SEDNA_ASSIGN_OR_RETURN(NodeInfo ci, n.doc->nodes()->Info(ctx, child));
+      if (ci.kind != XmlKind::kAttribute) {
+        SEDNA_RETURN_IF_ERROR(
+            CollectStoredStringValue(ctx, StoredNode{n.doc, child}, out));
+      }
+      child = ci.right_sibling;
+    }
+    return Status::OK();
+  }
+  return Status::OK();  // attribute/comment/PI handled by caller
+}
+
+}  // namespace
+
+StatusOr<XmlKind> NodeKind(const OpCtx& ctx, const Item& node) {
+  if (node.is_stored_node()) {
+    SEDNA_ASSIGN_OR_RETURN(NodeInfo info, StoredInfo(ctx, node.stored()));
+    return info.kind;
+  }
+  if (node.is_constructed_node()) return node.constructed().node->kind;
+  if (node.is_virtual_element()) return XmlKind::kElement;
+  return Status::InvalidArgument("item is not a node");
+}
+
+StatusOr<std::string> NodeName(const OpCtx& ctx, const Item& node) {
+  if (node.is_stored_node()) {
+    SEDNA_ASSIGN_OR_RETURN(NodeInfo info, StoredInfo(ctx, node.stored()));
+    return std::string(node.stored().doc->schema()->node(info.schema_id)->name);
+  }
+  if (node.is_constructed_node()) return node.constructed().node->name;
+  if (node.is_virtual_element()) return node.virtual_element()->name;
+  return Status::InvalidArgument("item is not a node");
+}
+
+StatusOr<std::string> NodeStringValue(const OpCtx& ctx, const Item& node) {
+  if (node.is_stored_node()) {
+    const StoredNode& n = node.stored();
+    SEDNA_ASSIGN_OR_RETURN(NodeInfo info, StoredInfo(ctx, n));
+    switch (info.kind) {
+      case XmlKind::kAttribute:
+      case XmlKind::kText:
+      case XmlKind::kComment:
+      case XmlKind::kPi:
+        return n.doc->nodes()->Text(ctx, n.addr);
+      default: {
+        std::string out;
+        SEDNA_RETURN_IF_ERROR(CollectStoredStringValue(ctx, n, &out));
+        return out;
+      }
+    }
+  }
+  if (node.is_constructed_node()) {
+    return node.constructed().node->StringValue();
+  }
+  if (node.is_virtual_element()) {
+    // String value of a virtual element: concatenation of its content's
+    // node string-values / atomic lexical forms.
+    std::string out;
+    for (const Item& c : node.virtual_element()->content) {
+      if (c.is_node()) {
+        SEDNA_ASSIGN_OR_RETURN(std::string s, NodeStringValue(ctx, c));
+        out += s;
+      } else {
+        out += AtomicLexical(c);
+      }
+    }
+    return out;
+  }
+  return Status::InvalidArgument("item is not a node");
+}
+
+StatusOr<Sequence> NodeChildren(const OpCtx& ctx, const Item& node) {
+  Sequence out;
+  if (node.is_stored_node()) {
+    const StoredNode& n = node.stored();
+    SEDNA_ASSIGN_OR_RETURN(NodeInfo info, StoredInfo(ctx, n));
+    if (info.kind != XmlKind::kElement && info.kind != XmlKind::kDocument) {
+      return out;
+    }
+    SEDNA_ASSIGN_OR_RETURN(Xptr child, n.doc->nodes()->FirstChild(ctx, n.addr));
+    while (child) {
+      SEDNA_ASSIGN_OR_RETURN(NodeInfo ci, n.doc->nodes()->Info(ctx, child));
+      if (ci.kind != XmlKind::kAttribute) {
+        out.push_back(Item(StoredNode{n.doc, child}));
+      }
+      child = ci.right_sibling;
+    }
+    return out;
+  }
+  if (node.is_constructed_node()) {
+    const ConstructedNode& n = node.constructed();
+    for (const auto& c : n.node->children) {
+      if (c->kind != XmlKind::kAttribute) {
+        out.push_back(MakeConstructed(n, c.get()));
+      }
+    }
+    return out;
+  }
+  if (node.is_virtual_element()) {
+    // Traversal into a virtual element forces materialization.
+    SEDNA_ASSIGN_OR_RETURN(Item materialized, MaterializeVirtual(ctx, node));
+    return NodeChildren(ctx, materialized);
+  }
+  return Status::InvalidArgument("item is not a node");
+}
+
+StatusOr<Sequence> NodeAttributes(const OpCtx& ctx, const Item& node) {
+  Sequence out;
+  if (node.is_stored_node()) {
+    const StoredNode& n = node.stored();
+    SEDNA_ASSIGN_OR_RETURN(NodeInfo info, StoredInfo(ctx, n));
+    if (info.kind != XmlKind::kElement) return out;
+    SEDNA_ASSIGN_OR_RETURN(Xptr child, n.doc->nodes()->FirstChild(ctx, n.addr));
+    while (child) {
+      SEDNA_ASSIGN_OR_RETURN(NodeInfo ci, n.doc->nodes()->Info(ctx, child));
+      if (ci.kind == XmlKind::kAttribute) {
+        out.push_back(Item(StoredNode{n.doc, child}));
+      }
+      child = ci.right_sibling;
+    }
+    return out;
+  }
+  if (node.is_constructed_node()) {
+    const ConstructedNode& n = node.constructed();
+    for (const auto& c : n.node->children) {
+      if (c->kind == XmlKind::kAttribute) {
+        out.push_back(MakeConstructed(n, c.get()));
+      }
+    }
+    return out;
+  }
+  if (node.is_virtual_element()) {
+    return node.virtual_element()->attributes;
+  }
+  return Status::InvalidArgument("item is not a node");
+}
+
+StatusOr<Sequence> NodeParent(const OpCtx& ctx, const Item& node) {
+  Sequence out;
+  if (node.is_stored_node()) {
+    const StoredNode& n = node.stored();
+    SEDNA_ASSIGN_OR_RETURN(NodeInfo info, StoredInfo(ctx, n));
+    if (!info.parent_handle) return out;
+    SEDNA_ASSIGN_OR_RETURN(Xptr parent,
+                           n.doc->indirection()->Get(ctx, info.parent_handle));
+    out.push_back(Item(StoredNode{n.doc, parent}));
+    return out;
+  }
+  if (node.is_constructed_node()) {
+    const ConstructedNode& n = node.constructed();
+    // Linear search for the parent within the tree (constructed trees are
+    // small; parents are rarely requested on them).
+    std::function<const XmlNode*(const XmlNode*)> find =
+        [&](const XmlNode* cur) -> const XmlNode* {
+      for (const auto& c : cur->children) {
+        if (c.get() == n.node) return cur;
+        if (const XmlNode* f = find(c.get())) return f;
+      }
+      return nullptr;
+    };
+    const XmlNode* parent = find(n.root.get());
+    if (parent != nullptr) out.push_back(MakeConstructed(n, parent));
+    return out;
+  }
+  if (node.is_virtual_element()) return out;  // constructor results are roots
+  return Status::InvalidArgument("item is not a node");
+}
+
+StatusOr<OrderKey> NodeOrderKey(const OpCtx& ctx, const Item& node) {
+  OrderKey key;
+  if (node.is_stored_node()) {
+    const StoredNode& n = node.stored();
+    SEDNA_ASSIGN_OR_RETURN(NodeInfo info, StoredInfo(ctx, n));
+    key.cls = 0;
+    key.doc_id = n.doc->doc_id();
+    key.label = info.label.prefix;
+    return key;
+  }
+  if (node.is_constructed_node()) {
+    const ConstructedNode& n = node.constructed();
+    key.cls = 1;
+    key.order_id = n.order_id;
+    uint64_t dfs = 0;
+    if (!DfsIndexOf(n.root.get(), n.node, &dfs)) {
+      return Status::Internal("constructed node not in its tree");
+    }
+    key.dfs = dfs;
+    return key;
+  }
+  if (node.is_virtual_element()) {
+    key.cls = 1;
+    key.order_id = node.virtual_element()->order_id;
+    return key;
+  }
+  return Status::InvalidArgument("item is not a node");
+}
+
+StatusOr<bool> SameNode(const OpCtx& ctx, const Item& a, const Item& b) {
+  SEDNA_ASSIGN_OR_RETURN(OrderKey ka, NodeOrderKey(ctx, a));
+  SEDNA_ASSIGN_OR_RETURN(OrderKey kb, NodeOrderKey(ctx, b));
+  return ka == kb;
+}
+
+Status DistinctDocOrder(const OpCtx& ctx, Sequence* seq) {
+  std::vector<std::pair<OrderKey, Item>> keyed;
+  keyed.reserve(seq->size());
+  for (Item& item : *seq) {
+    if (!item.is_node()) {
+      return Status::InvalidArgument(
+          "document-order operation on an atomic value");
+    }
+    SEDNA_ASSIGN_OR_RETURN(OrderKey key, NodeOrderKey(ctx, item));
+    keyed.emplace_back(std::move(key), std::move(item));
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  seq->clear();
+  for (size_t i = 0; i < keyed.size(); ++i) {
+    if (i > 0 && keyed[i].first == keyed[i - 1].first) continue;
+    seq->push_back(std::move(keyed[i].second));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<XmlNode>> NodeToXml(const OpCtx& ctx,
+                                             const Item& node) {
+  if (node.is_stored_node()) {
+    const StoredNode& n = node.stored();
+    SEDNA_ASSIGN_OR_RETURN(NodeInfo info, StoredInfo(ctx, n));
+    return n.doc->Materialize(ctx, info.handle);
+  }
+  if (node.is_constructed_node()) {
+    return node.constructed().node->Clone();
+  }
+  if (node.is_virtual_element()) {
+    SEDNA_ASSIGN_OR_RETURN(Item m, MaterializeVirtual(ctx, node));
+    return m.constructed().node->Clone();
+  }
+  return Status::InvalidArgument("item is not a node");
+}
+
+StatusOr<Item> MaterializeVirtual(const OpCtx& ctx, const Item& node) {
+  if (!node.is_virtual_element()) return node;
+  const VirtualElement& v = *node.virtual_element();
+  auto elem = std::make_unique<XmlNode>(XmlKind::kElement, v.name);
+  for (const Item& attr : v.attributes) {
+    SEDNA_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> a, NodeToXml(ctx, attr));
+    elem->Add(std::move(a));
+  }
+  std::string pending_text;
+  bool first = true;
+  bool prev_atomic = false;
+  auto flush_text = [&]() {
+    if (!pending_text.empty()) {
+      elem->AddText(std::move(pending_text));
+      pending_text.clear();
+    }
+  };
+  for (const Item& c : v.content) {
+    if (c.is_node()) {
+      SEDNA_ASSIGN_OR_RETURN(XmlKind kind, NodeKind(ctx, c));
+      if (kind == XmlKind::kText) {
+        SEDNA_ASSIGN_OR_RETURN(std::string t, NodeStringValue(ctx, c));
+        pending_text += t;
+        prev_atomic = false;
+        first = false;
+        continue;
+      }
+      flush_text();
+      SEDNA_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> n, NodeToXml(ctx, c));
+      elem->Add(std::move(n));
+      prev_atomic = false;
+    } else {
+      // Adjacent atomics are separated by a space (XQuery content rules).
+      if (!first && prev_atomic) pending_text += ' ';
+      pending_text += AtomicLexical(c);
+      prev_atomic = true;
+    }
+    first = false;
+  }
+  flush_text();
+  std::shared_ptr<XmlNode> root(std::move(elem));
+  const XmlNode* ptr = root.get();
+  return Item(ConstructedNode{std::move(root), ptr, v.order_id});
+}
+
+}  // namespace sedna

@@ -1,0 +1,82 @@
+// Uniform node operations over the three node representations (stored,
+// constructed, virtual). These implement the XDM accessors the executor
+// needs: kind, name, string-value, children, attributes, parent, plus
+// document-order keys, node identity and materialization.
+
+#ifndef SEDNA_XQUERY_NODE_OPS_H_
+#define SEDNA_XQUERY_NODE_OPS_H_
+
+#include <string>
+
+#include "storage/storage_env.h"
+#include "xquery/item.h"
+
+namespace sedna {
+
+/// Lexical form of an atomic item (XQuery casting to xs:string).
+std::string AtomicLexical(const Item& atom);
+
+/// Kind of a node item.
+StatusOr<XmlKind> NodeKind(const OpCtx& ctx, const Item& node);
+
+/// Element/attribute/PI name; "" for other kinds.
+StatusOr<std::string> NodeName(const OpCtx& ctx, const Item& node);
+
+/// XDM string-value (concatenated descendant text for elements).
+StatusOr<std::string> NodeStringValue(const OpCtx& ctx, const Item& node);
+
+/// Child nodes in document order, EXCLUDING attribute nodes.
+StatusOr<Sequence> NodeChildren(const OpCtx& ctx, const Item& node);
+
+/// Attribute nodes of an element.
+StatusOr<Sequence> NodeAttributes(const OpCtx& ctx, const Item& node);
+
+/// Parent node, or an empty sequence item slot (returns ok=false via bool).
+StatusOr<Sequence> NodeParent(const OpCtx& ctx, const Item& node);
+
+/// Total order over nodes: stored nodes by (document id, numbering label) —
+/// the paper's condition 2 — then constructed/virtual trees by construction
+/// order and DFS position.
+struct OrderKey {
+  int cls = 0;           // 0 = stored, 1 = constructed/virtual
+  uint32_t doc_id = 0;
+  std::string label;     // stored: numbering prefix
+  uint64_t order_id = 0; // constructed: construction order
+  uint64_t dfs = 0;      // constructed: position within the tree
+
+  friend bool operator<(const OrderKey& a, const OrderKey& b) {
+    if (a.cls != b.cls) return a.cls < b.cls;
+    if (a.cls == 0) {
+      if (a.doc_id != b.doc_id) return a.doc_id < b.doc_id;
+      return a.label < b.label;
+    }
+    if (a.order_id != b.order_id) return a.order_id < b.order_id;
+    return a.dfs < b.dfs;
+  }
+  friend bool operator==(const OrderKey& a, const OrderKey& b) {
+    return a.cls == b.cls && a.doc_id == b.doc_id && a.label == b.label &&
+           a.order_id == b.order_id && a.dfs == b.dfs;
+  }
+};
+
+StatusOr<OrderKey> NodeOrderKey(const OpCtx& ctx, const Item& node);
+
+/// True if the two node items are the same node (XQuery `is`).
+StatusOr<bool> SameNode(const OpCtx& ctx, const Item& a, const Item& b);
+
+/// Sorts node items into document order and removes duplicates — the DDO
+/// operation of Section 5.1.1. Atomic items are an error.
+Status DistinctDocOrder(const OpCtx& ctx, Sequence* seq);
+
+/// Deep-copies a node into a transient XmlNode tree (the deep copy element
+/// constructors perform on their content).
+StatusOr<std::unique_ptr<XmlNode>> NodeToXml(const OpCtx& ctx,
+                                             const Item& node);
+
+/// Forces a virtual element into a constructed tree (used when an operation
+/// must traverse the constructor result).
+StatusOr<Item> MaterializeVirtual(const OpCtx& ctx, const Item& node);
+
+}  // namespace sedna
+
+#endif  // SEDNA_XQUERY_NODE_OPS_H_

@@ -1,0 +1,1306 @@
+#include "xquery/parser.h"
+
+#include <cctype>
+#include <optional>
+
+#include "common/string_util.h"
+
+namespace sedna {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class Tok {
+  kEof,
+  kName,     // NCName or QName (prefix:local)
+  kInt,
+  kDouble,
+  kString,
+  kDollar,   // $
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kAt,
+  kDot,
+  kDotDot,
+  kSlash,
+  kSlashSlash,
+  kColonColon,
+  kStar,
+  kPlus,
+  kMinus,
+  kEq,       // =
+  kNe,       // !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAssign,   // :=
+  kBar,      // |
+  kLtTagOpen,  // '<' followed by a name-start char: direct constructor
+};
+
+struct Token {
+  Tok tok = Tok::kEof;
+  std::string text;     // name or string value
+  int64_t int_val = 0;
+  double dbl_val = 0;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) { Advance(); }
+
+  const Token& Peek() const { return current_; }
+  Token Take() {
+    Token t = current_;
+    Advance();
+    return t;
+  }
+
+  bool Is(Tok t) const { return current_.tok == t; }
+  bool IsKeyword(std::string_view kw) const {
+    return current_.tok == Tok::kName && current_.text == kw;
+  }
+  bool TakeIf(Tok t) {
+    if (!Is(t)) return false;
+    Advance();
+    return true;
+  }
+  bool TakeKeyword(std::string_view kw) {
+    if (!IsKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+
+  size_t pos() const { return current_.pos; }
+
+  /// Raw character access for direct-constructor parsing. The lexer's
+  /// current token is abandoned; call Resync(at) to resume token scanning.
+  std::string_view raw() const { return input_; }
+  size_t raw_pos() const { return current_.pos; }
+  void Resync(size_t at) {
+    next_ = at;
+    Advance();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("XQuery parse error at offset " +
+                                   std::to_string(current_.pos) + ": " + msg);
+  }
+
+ private:
+  void SkipSpaceAndComments() {
+    for (;;) {
+      while (next_ < input_.size() &&
+             std::isspace(static_cast<unsigned char>(input_[next_]))) {
+        next_++;
+      }
+      // Nested (: ... :) comments.
+      if (next_ + 1 < input_.size() && input_[next_] == '(' &&
+          input_[next_ + 1] == ':') {
+        int depth = 0;
+        while (next_ < input_.size()) {
+          if (next_ + 1 < input_.size() && input_[next_] == '(' &&
+              input_[next_ + 1] == ':') {
+            depth++;
+            next_ += 2;
+          } else if (next_ + 1 < input_.size() && input_[next_] == ':' &&
+                     input_[next_ + 1] == ')') {
+            depth--;
+            next_ += 2;
+            if (depth == 0) break;
+          } else {
+            next_++;
+          }
+        }
+        continue;
+      }
+      return;
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool IsNameChar(char c) {
+    return IsNameStart(c) || std::isdigit(static_cast<unsigned char>(c)) ||
+           c == '-' || c == '.';
+  }
+
+  void Advance() {
+    SkipSpaceAndComments();
+    current_ = Token{};
+    current_.pos = next_;
+    if (next_ >= input_.size()) {
+      current_.tok = Tok::kEof;
+      return;
+    }
+    char c = input_[next_];
+    if (IsNameStart(c)) {
+      size_t start = next_;
+      while (next_ < input_.size() && IsNameChar(input_[next_])) next_++;
+      // QName: name ':' name (but not '::').
+      if (next_ + 1 < input_.size() && input_[next_] == ':' &&
+          input_[next_ + 1] != ':' && IsNameStart(input_[next_ + 1])) {
+        next_++;
+        while (next_ < input_.size() && IsNameChar(input_[next_])) next_++;
+      }
+      current_.tok = Tok::kName;
+      current_.text = std::string(input_.substr(start, next_ - start));
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && next_ + 1 < input_.size() &&
+         std::isdigit(static_cast<unsigned char>(input_[next_ + 1])))) {
+      size_t start = next_;
+      bool is_double = false;
+      while (next_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[next_]))) {
+        next_++;
+      }
+      if (next_ < input_.size() && input_[next_] == '.' &&
+          !(next_ + 1 < input_.size() && input_[next_ + 1] == '.')) {
+        is_double = true;
+        next_++;
+        while (next_ < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[next_]))) {
+          next_++;
+        }
+      }
+      if (next_ < input_.size() &&
+          (input_[next_] == 'e' || input_[next_] == 'E')) {
+        is_double = true;
+        next_++;
+        if (next_ < input_.size() &&
+            (input_[next_] == '+' || input_[next_] == '-')) {
+          next_++;
+        }
+        while (next_ < input_.size() &&
+               std::isdigit(static_cast<unsigned char>(input_[next_]))) {
+          next_++;
+        }
+      }
+      std::string text(input_.substr(start, next_ - start));
+      if (is_double) {
+        current_.tok = Tok::kDouble;
+        ParseDouble(text, &current_.dbl_val);
+      } else {
+        current_.tok = Tok::kInt;
+        ParseInt64(text, &current_.int_val);
+      }
+      return;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      next_++;
+      std::string value;
+      while (next_ < input_.size()) {
+        if (input_[next_] == quote) {
+          // Doubled quote = escaped quote.
+          if (next_ + 1 < input_.size() && input_[next_ + 1] == quote) {
+            value.push_back(quote);
+            next_ += 2;
+            continue;
+          }
+          break;
+        }
+        value.push_back(input_[next_++]);
+      }
+      next_++;  // closing quote (or past end; caught by Eof checks)
+      current_.tok = Tok::kString;
+      current_.text = std::move(value);
+      return;
+    }
+    auto two = [&](char a, char b) {
+      return c == a && next_ + 1 < input_.size() && input_[next_ + 1] == b;
+    };
+    if (two('/', '/')) {
+      current_.tok = Tok::kSlashSlash;
+      next_ += 2;
+      return;
+    }
+    if (two(':', ':')) {
+      current_.tok = Tok::kColonColon;
+      next_ += 2;
+      return;
+    }
+    if (two(':', '=')) {
+      current_.tok = Tok::kAssign;
+      next_ += 2;
+      return;
+    }
+    if (two('!', '=')) {
+      current_.tok = Tok::kNe;
+      next_ += 2;
+      return;
+    }
+    if (two('<', '=')) {
+      current_.tok = Tok::kLe;
+      next_ += 2;
+      return;
+    }
+    if (two('>', '=')) {
+      current_.tok = Tok::kGe;
+      next_ += 2;
+      return;
+    }
+    if (two('.', '.')) {
+      current_.tok = Tok::kDotDot;
+      next_ += 2;
+      return;
+    }
+    if (c == '<' && next_ + 1 < input_.size() &&
+        (IsNameStart(input_[next_ + 1]))) {
+      current_.tok = Tok::kLtTagOpen;
+      next_++;  // consume '<'; constructor parser takes over from here
+      return;
+    }
+    next_++;
+    switch (c) {
+      case '$': current_.tok = Tok::kDollar; return;
+      case '(': current_.tok = Tok::kLParen; return;
+      case ')': current_.tok = Tok::kRParen; return;
+      case '[': current_.tok = Tok::kLBracket; return;
+      case ']': current_.tok = Tok::kRBracket; return;
+      case '{': current_.tok = Tok::kLBrace; return;
+      case '}': current_.tok = Tok::kRBrace; return;
+      case ',': current_.tok = Tok::kComma; return;
+      case ';': current_.tok = Tok::kSemicolon; return;
+      case '@': current_.tok = Tok::kAt; return;
+      case '.': current_.tok = Tok::kDot; return;
+      case '/': current_.tok = Tok::kSlash; return;
+      case '*': current_.tok = Tok::kStar; return;
+      case '+': current_.tok = Tok::kPlus; return;
+      case '-': current_.tok = Tok::kMinus; return;
+      case '=': current_.tok = Tok::kEq; return;
+      case '<': current_.tok = Tok::kLt; return;
+      case '>': current_.tok = Tok::kGt; return;
+      case '|': current_.tok = Tok::kBar; return;
+      default:
+        current_.tok = Tok::kEof;
+        current_.text = std::string(1, c);
+        return;
+    }
+  }
+
+  std::string_view input_;
+  size_t next_ = 0;
+  Token current_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : lex_(input) {}
+
+  StatusOr<std::unique_ptr<Statement>> ParseStatementTop() {
+    auto stmt = std::make_unique<Statement>();
+    SEDNA_RETURN_IF_ERROR(ParseProlog(&stmt->prolog));
+
+    if (lex_.IsKeyword("UPDATE") || lex_.IsKeyword("update")) {
+      lex_.Take();
+      return ParseUpdate(std::move(stmt));
+    }
+    if (lex_.IsKeyword("CREATE") || lex_.IsKeyword("create")) {
+      lex_.Take();
+      if (lex_.TakeKeyword("INDEX") || lex_.TakeKeyword("index")) {
+        if (!lex_.Is(Tok::kString)) return lex_.Error("expected index name");
+        stmt->kind = StatementKind::kCreateIndex;
+        stmt->index_name = lex_.Take().text;
+        if (!lex_.TakeKeyword("ON") && !lex_.TakeKeyword("on")) {
+          return lex_.Error("expected ON after the index name");
+        }
+        size_t start = lex_.pos();
+        SEDNA_ASSIGN_OR_RETURN(stmt->target, ParseExprSingle());
+        size_t end = lex_.pos();
+        stmt->path_text =
+            std::string(lex_.raw().substr(start, end - start));
+        return FinishStatement(std::move(stmt));
+      }
+      if (!lex_.TakeKeyword("DOCUMENT") && !lex_.TakeKeyword("document")) {
+        return lex_.Error("expected DOCUMENT or INDEX after CREATE");
+      }
+      if (!lex_.Is(Tok::kString)) return lex_.Error("expected document name");
+      stmt->kind = StatementKind::kCreateDocument;
+      stmt->doc_name = lex_.Take().text;
+      return FinishStatement(std::move(stmt));
+    }
+    if (lex_.IsKeyword("DROP") || lex_.IsKeyword("drop")) {
+      lex_.Take();
+      if (lex_.TakeKeyword("INDEX") || lex_.TakeKeyword("index")) {
+        if (!lex_.Is(Tok::kString)) return lex_.Error("expected index name");
+        stmt->kind = StatementKind::kDropIndex;
+        stmt->index_name = lex_.Take().text;
+        return FinishStatement(std::move(stmt));
+      }
+      if (!lex_.TakeKeyword("DOCUMENT") && !lex_.TakeKeyword("document")) {
+        return lex_.Error("expected DOCUMENT or INDEX after DROP");
+      }
+      if (!lex_.Is(Tok::kString)) return lex_.Error("expected document name");
+      stmt->kind = StatementKind::kDropDocument;
+      stmt->doc_name = lex_.Take().text;
+      return FinishStatement(std::move(stmt));
+    }
+
+    stmt->kind = StatementKind::kQuery;
+    SEDNA_ASSIGN_OR_RETURN(stmt->expr, ParseExpr());
+    return FinishStatement(std::move(stmt));
+  }
+
+  StatusOr<ExprPtr> ParseExprTop() {
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!lex_.Is(Tok::kEof)) return lex_.Error("trailing input");
+    return e;
+  }
+
+ private:
+  StatusOr<std::unique_ptr<Statement>> FinishStatement(
+      std::unique_ptr<Statement> stmt) {
+    lex_.TakeIf(Tok::kSemicolon);
+    if (!lex_.Is(Tok::kEof)) return lex_.Error("trailing input");
+    return stmt;
+  }
+
+  Status ParseProlog(Prolog* prolog) {
+    while (lex_.IsKeyword("declare")) {
+      lex_.Take();
+      if (lex_.TakeKeyword("function")) {
+        FunctionDecl decl;
+        if (!lex_.Is(Tok::kName)) return lex_.Error("expected function name");
+        decl.name = lex_.Take().text;
+        // Strip the conventional local: prefix.
+        if (decl.name.rfind("local:", 0) == 0) {
+          decl.name = decl.name.substr(6);
+        }
+        if (!lex_.TakeIf(Tok::kLParen)) return lex_.Error("expected (");
+        if (!lex_.Is(Tok::kRParen)) {
+          do {
+            if (!lex_.TakeIf(Tok::kDollar)) return lex_.Error("expected $");
+            if (!lex_.Is(Tok::kName)) return lex_.Error("expected parameter");
+            decl.params.push_back(lex_.Take().text);
+            // Optional "as type" — types are parsed and ignored.
+            SkipTypeAnnotation();
+          } while (lex_.TakeIf(Tok::kComma));
+        }
+        if (!lex_.TakeIf(Tok::kRParen)) return lex_.Error("expected )");
+        SkipTypeAnnotation();
+        if (!lex_.TakeIf(Tok::kLBrace)) return lex_.Error("expected {");
+        SEDNA_ASSIGN_OR_RETURN(decl.body, ParseExpr());
+        if (!lex_.TakeIf(Tok::kRBrace)) return lex_.Error("expected }");
+        if (!lex_.TakeIf(Tok::kSemicolon)) return lex_.Error("expected ;");
+        prolog->functions.push_back(std::move(decl));
+        continue;
+      }
+      if (lex_.TakeKeyword("variable")) {
+        if (!lex_.TakeIf(Tok::kDollar)) return lex_.Error("expected $");
+        if (!lex_.Is(Tok::kName)) return lex_.Error("expected variable name");
+        std::string name = lex_.Take().text;
+        SkipTypeAnnotation();
+        if (!lex_.TakeIf(Tok::kAssign)) return lex_.Error("expected :=");
+        SEDNA_ASSIGN_OR_RETURN(ExprPtr value, ParseExprSingle());
+        if (!lex_.TakeIf(Tok::kSemicolon)) return lex_.Error("expected ;");
+        prolog->variables.emplace_back(std::move(name), std::move(value));
+        continue;
+      }
+      return lex_.Error("unsupported prolog declaration");
+    }
+    return Status::OK();
+  }
+
+  void SkipTypeAnnotation() {
+    if (!lex_.TakeKeyword("as")) return;
+    // Consume a simple type: QName with optional ()? * + ? suffixes.
+    if (lex_.Is(Tok::kName)) lex_.Take();
+    if (lex_.TakeIf(Tok::kLParen)) lex_.TakeIf(Tok::kRParen);
+    if (lex_.Is(Tok::kStar) || lex_.Is(Tok::kPlus)) lex_.Take();
+    if (lex_.Peek().tok == Tok::kEof && lex_.Peek().text == "?") lex_.Take();
+  }
+
+  StatusOr<std::unique_ptr<Statement>> ParseUpdate(
+      std::unique_ptr<Statement> stmt) {
+    if (lex_.TakeKeyword("insert")) {
+      stmt->kind = StatementKind::kUpdateInsert;
+      SEDNA_ASSIGN_OR_RETURN(stmt->expr, ParseExprSingle());
+      if (lex_.TakeKeyword("into")) {
+        stmt->insert_mode = InsertMode::kInto;
+      } else if (lex_.TakeKeyword("following")) {
+        stmt->insert_mode = InsertMode::kFollowing;
+      } else if (lex_.TakeKeyword("preceding")) {
+        stmt->insert_mode = InsertMode::kPreceding;
+      } else {
+        return lex_.Error("expected into/following/preceding");
+      }
+      SEDNA_ASSIGN_OR_RETURN(stmt->target, ParseExprSingle());
+      return FinishStatement(std::move(stmt));
+    }
+    if (lex_.TakeKeyword("delete")) {
+      stmt->kind = StatementKind::kUpdateDelete;
+      SEDNA_ASSIGN_OR_RETURN(stmt->target, ParseExprSingle());
+      return FinishStatement(std::move(stmt));
+    }
+    if (lex_.TakeKeyword("replace")) {
+      stmt->kind = StatementKind::kUpdateReplace;
+      if (!lex_.TakeIf(Tok::kDollar)) return lex_.Error("expected $var");
+      if (!lex_.Is(Tok::kName)) return lex_.Error("expected variable name");
+      stmt->var = lex_.Take().text;
+      if (!lex_.TakeKeyword("in")) return lex_.Error("expected in");
+      SEDNA_ASSIGN_OR_RETURN(stmt->target, ParseExprSingle());
+      if (!lex_.TakeKeyword("with")) return lex_.Error("expected with");
+      SEDNA_ASSIGN_OR_RETURN(stmt->expr, ParseExprSingle());
+      return FinishStatement(std::move(stmt));
+    }
+    return lex_.Error("expected insert/delete/replace after UPDATE");
+  }
+
+  // Expr := ExprSingle ("," ExprSingle)*
+  StatusOr<ExprPtr> ParseExpr() {
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr first, ParseExprSingle());
+    if (!lex_.Is(Tok::kComma)) return first;
+    auto seq = MakeExpr(ExprKind::kSequence);
+    seq->children.push_back(std::move(first));
+    while (lex_.TakeIf(Tok::kComma)) {
+      SEDNA_ASSIGN_OR_RETURN(ExprPtr next, ParseExprSingle());
+      seq->children.push_back(std::move(next));
+    }
+    return seq;
+  }
+
+  StatusOr<ExprPtr> ParseExprSingle() {
+    if (lex_.IsKeyword("for") || lex_.IsKeyword("let")) return ParseFlwor();
+    if (lex_.IsKeyword("some") || lex_.IsKeyword("every")) {
+      return ParseQuantified();
+    }
+    if (lex_.IsKeyword("if")) return ParseIf();
+    return ParseOr();
+  }
+
+  StatusOr<ExprPtr> ParseFlwor() {
+    auto flwor = MakeExpr(ExprKind::kFlwor);
+    while (lex_.IsKeyword("for") || lex_.IsKeyword("let")) {
+      bool is_for = lex_.Take().text == "for";
+      do {
+        FlworClause clause;
+        clause.kind =
+            is_for ? FlworClause::Kind::kFor : FlworClause::Kind::kLet;
+        if (!lex_.TakeIf(Tok::kDollar)) return lex_.Error("expected $var");
+        if (!lex_.Is(Tok::kName)) return lex_.Error("expected variable name");
+        clause.var = lex_.Take().text;
+        SkipTypeAnnotation();
+        if (is_for && lex_.TakeKeyword("at")) {
+          if (!lex_.TakeIf(Tok::kDollar)) return lex_.Error("expected $");
+          if (!lex_.Is(Tok::kName)) return lex_.Error("expected pos var");
+          clause.pos_var = lex_.Take().text;
+        }
+        if (is_for) {
+          if (!lex_.TakeKeyword("in")) return lex_.Error("expected in");
+        } else {
+          if (!lex_.TakeIf(Tok::kAssign)) return lex_.Error("expected :=");
+        }
+        SEDNA_ASSIGN_OR_RETURN(clause.expr, ParseExprSingle());
+        flwor->clauses.push_back(std::move(clause));
+      } while (lex_.TakeIf(Tok::kComma));
+    }
+    if (lex_.TakeKeyword("where")) {
+      SEDNA_ASSIGN_OR_RETURN(flwor->where, ParseExprSingle());
+    }
+    if (lex_.IsKeyword("order") || lex_.IsKeyword("stable")) {
+      lex_.TakeKeyword("stable");
+      lex_.TakeKeyword("order");
+      if (!lex_.TakeKeyword("by")) return lex_.Error("expected by");
+      do {
+        OrderSpec spec;
+        SEDNA_ASSIGN_OR_RETURN(spec.expr, ParseExprSingle());
+        if (lex_.TakeKeyword("descending")) {
+          spec.descending = true;
+        } else {
+          lex_.TakeKeyword("ascending");
+        }
+        // "empty least/greatest" accepted and ignored.
+        if (lex_.TakeKeyword("empty")) {
+          lex_.TakeKeyword("least");
+          lex_.TakeKeyword("greatest");
+        }
+        flwor->order_specs.push_back(std::move(spec));
+      } while (lex_.TakeIf(Tok::kComma));
+    }
+    if (!lex_.TakeKeyword("return")) return lex_.Error("expected return");
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr ret, ParseExprSingle());
+    flwor->children.push_back(std::move(ret));
+    return flwor;
+  }
+
+  StatusOr<ExprPtr> ParseQuantified() {
+    auto q = MakeExpr(ExprKind::kQuantified);
+    q->every = lex_.Take().text == "every";
+    if (!lex_.TakeIf(Tok::kDollar)) return lex_.Error("expected $var");
+    if (!lex_.Is(Tok::kName)) return lex_.Error("expected variable name");
+    q->var = lex_.Take().text;
+    if (!lex_.TakeKeyword("in")) return lex_.Error("expected in");
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr domain, ParseExprSingle());
+    if (!lex_.TakeKeyword("satisfies")) return lex_.Error("expected satisfies");
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr pred, ParseExprSingle());
+    q->children.push_back(std::move(domain));
+    q->children.push_back(std::move(pred));
+    return q;
+  }
+
+  StatusOr<ExprPtr> ParseIf() {
+    lex_.Take();  // if
+    if (!lex_.TakeIf(Tok::kLParen)) return lex_.Error("expected (");
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
+    if (!lex_.TakeIf(Tok::kRParen)) return lex_.Error("expected )");
+    if (!lex_.TakeKeyword("then")) return lex_.Error("expected then");
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr then_e, ParseExprSingle());
+    if (!lex_.TakeKeyword("else")) return lex_.Error("expected else");
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr else_e, ParseExprSingle());
+    auto e = MakeExpr(ExprKind::kIf);
+    e->children.push_back(std::move(cond));
+    e->children.push_back(std::move(then_e));
+    e->children.push_back(std::move(else_e));
+    return e;
+  }
+
+  StatusOr<ExprPtr> ParseOr() {
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (lex_.TakeKeyword("or")) {
+      SEDNA_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      auto e = MakeExpr(ExprKind::kOr);
+      e->children.push_back(std::move(left));
+      e->children.push_back(std::move(right));
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseAnd() {
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr left, ParseComparison());
+    while (lex_.TakeKeyword("and")) {
+      SEDNA_ASSIGN_OR_RETURN(ExprPtr right, ParseComparison());
+      auto e = MakeExpr(ExprKind::kAnd);
+      e->children.push_back(std::move(left));
+      e->children.push_back(std::move(right));
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseComparison() {
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr left, ParseRange());
+    std::string op;
+    switch (lex_.Peek().tok) {
+      case Tok::kEq: op = "="; break;
+      case Tok::kNe: op = "!="; break;
+      case Tok::kLt: op = "<"; break;
+      case Tok::kLe: op = "<="; break;
+      case Tok::kGt: op = ">"; break;
+      case Tok::kGe: op = ">="; break;
+      case Tok::kName: {
+        const std::string& t = lex_.Peek().text;
+        if (t == "eq" || t == "ne" || t == "lt" || t == "le" || t == "gt" ||
+            t == "ge" || t == "is") {
+          op = t;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    if (op.empty()) return left;
+    lex_.Take();
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr right, ParseRange());
+    auto e = MakeExpr(ExprKind::kComparison);
+    e->str_val = op;
+    e->children.push_back(std::move(left));
+    e->children.push_back(std::move(right));
+    return e;
+  }
+
+  StatusOr<ExprPtr> ParseRange() {
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    if (!lex_.TakeKeyword("to")) return left;
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+    auto e = MakeExpr(ExprKind::kRange);
+    e->children.push_back(std::move(left));
+    e->children.push_back(std::move(right));
+    return e;
+  }
+
+  StatusOr<ExprPtr> ParseAdditive() {
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    for (;;) {
+      std::string op;
+      if (lex_.Is(Tok::kPlus)) op = "+";
+      else if (lex_.Is(Tok::kMinus)) op = "-";
+      else break;
+      lex_.Take();
+      SEDNA_ASSIGN_OR_RETURN(ExprPtr right, ParseMultiplicative());
+      auto e = MakeExpr(ExprKind::kArith);
+      e->str_val = op;
+      e->children.push_back(std::move(left));
+      e->children.push_back(std::move(right));
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseMultiplicative() {
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr left, ParseUnion());
+    for (;;) {
+      std::string op;
+      if (lex_.Is(Tok::kStar)) op = "*";
+      else if (lex_.IsKeyword("div")) op = "div";
+      else if (lex_.IsKeyword("idiv")) op = "idiv";
+      else if (lex_.IsKeyword("mod")) op = "mod";
+      else break;
+      lex_.Take();
+      SEDNA_ASSIGN_OR_RETURN(ExprPtr right, ParseUnion());
+      auto e = MakeExpr(ExprKind::kArith);
+      e->str_val = op;
+      e->children.push_back(std::move(left));
+      e->children.push_back(std::move(right));
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseUnion() {
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    while (lex_.TakeIf(Tok::kBar) || lex_.TakeKeyword("union")) {
+      SEDNA_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+      // Union is a function in our runtime: op:union applies DDO.
+      auto e = MakeExpr(ExprKind::kFunctionCall);
+      e->str_val = "op:union";
+      e->children.push_back(std::move(left));
+      e->children.push_back(std::move(right));
+      left = std::move(e);
+    }
+    return left;
+  }
+
+  StatusOr<ExprPtr> ParseUnary() {
+    int minuses = 0;
+    while (lex_.Is(Tok::kMinus) || lex_.Is(Tok::kPlus)) {
+      if (lex_.Take().tok == Tok::kMinus) minuses++;
+    }
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr e, ParsePath());
+    if (minuses % 2 == 1) {
+      auto neg = MakeExpr(ExprKind::kUnaryMinus);
+      neg->children.push_back(std::move(e));
+      e = std::move(neg);
+    }
+    return e;
+  }
+
+  // PathExpr := ("/" RelativePath?) | ("//" RelativePath) | RelativePath
+  StatusOr<ExprPtr> ParsePath() {
+    ExprPtr input;
+    bool leading_descendant = false;
+    if (lex_.TakeIf(Tok::kSlash)) {
+      input = MakeExpr(ExprKind::kContextRoot);
+      if (!StartsStep()) return input;  // bare "/"
+    } else if (lex_.TakeIf(Tok::kSlashSlash)) {
+      input = MakeExpr(ExprKind::kContextRoot);
+      leading_descendant = true;
+    }
+
+    auto path = MakeExpr(ExprKind::kPath);
+    if (leading_descendant) {
+      Step dos;
+      dos.axis = Axis::kDescendantOrSelf;
+      dos.test.kind = NodeTest::Kind::kAnyNode;
+      path->steps.push_back(std::move(dos));
+    }
+
+    if (input == nullptr) {
+      // Relative path: first step may be a primary expression.
+      if (StartsStep()) {
+        SEDNA_ASSIGN_OR_RETURN(Step first, ParseStep());
+        input = MakeExpr(ExprKind::kContextItem);
+        path->steps.push_back(std::move(first));
+      } else {
+        SEDNA_ASSIGN_OR_RETURN(input, ParsePostfix());
+        if (!lex_.Is(Tok::kSlash) && !lex_.Is(Tok::kSlashSlash)) {
+          return input;  // plain primary, not a path
+        }
+      }
+    } else if (StartsStep()) {
+      SEDNA_ASSIGN_OR_RETURN(Step first, ParseStep());
+      path->steps.push_back(std::move(first));
+    }
+
+    while (lex_.Is(Tok::kSlash) || lex_.Is(Tok::kSlashSlash)) {
+      bool dbl = lex_.Take().tok == Tok::kSlashSlash;
+      if (dbl) {
+        Step dos;
+        dos.axis = Axis::kDescendantOrSelf;
+        dos.test.kind = NodeTest::Kind::kAnyNode;
+        path->steps.push_back(std::move(dos));
+      }
+      SEDNA_ASSIGN_OR_RETURN(Step step, ParseStep());
+      path->steps.push_back(std::move(step));
+    }
+    path->children.push_back(std::move(input));
+    return path;
+  }
+
+  bool StartsStep() {
+    switch (lex_.Peek().tok) {
+      case Tok::kAt:
+      case Tok::kDotDot:
+      case Tok::kStar:
+        return true;
+      case Tok::kDot:
+        return false;  // context item is a primary
+      case Tok::kName: {
+        const std::string& t = lex_.Peek().text;
+        // Keywords that begin other expression kinds are not steps; names
+        // followed by '(' are function calls (except kind tests), and
+        // text/element/attribute followed by '{' are computed constructors.
+        if (IsStepKindTest(t)) return !NameFollowedByLBrace();
+        if (IsReservedHere(t)) return false;
+        return !NameIsFunctionCall();
+      }
+      default:
+        return false;
+    }
+  }
+
+  bool NameIsFunctionCall() {
+    // Peek one char after the current name token: '(' means function call.
+    // Axis specifiers name::... are steps.
+    size_t after = SkipNameAhead();
+    std::string_view raw = lex_.raw();
+    while (after < raw.size() &&
+           std::isspace(static_cast<unsigned char>(raw[after]))) {
+      after++;
+    }
+    if (after < raw.size() && raw[after] == '(') return true;
+    return false;
+  }
+
+  bool NameFollowedByLBrace() {
+    size_t after = SkipNameAhead();
+    std::string_view raw = lex_.raw();
+    while (after < raw.size() &&
+           std::isspace(static_cast<unsigned char>(raw[after]))) {
+      after++;
+    }
+    return after < raw.size() && raw[after] == '{';
+  }
+
+  size_t SkipNameAhead() {
+    size_t p = lex_.pos();
+    std::string_view raw = lex_.raw();
+    while (p < raw.size() &&
+           (std::isalnum(static_cast<unsigned char>(raw[p])) ||
+            raw[p] == '_' || raw[p] == '-' || raw[p] == '.' ||
+            raw[p] == ':')) {
+      // Stop before '::' (axis) — treat as name end.
+      if (raw[p] == ':' && p + 1 < raw.size() && raw[p + 1] == ':') break;
+      p++;
+    }
+    return p;
+  }
+
+  static bool IsStepKindTest(const std::string& name) {
+    return name == "node" || name == "text" || name == "comment" ||
+           name == "processing-instruction";
+  }
+
+  static bool IsReservedHere(const std::string& name) {
+    return name == "return" || name == "where" || name == "order" ||
+           name == "for" || name == "let" || name == "if" || name == "then" ||
+           name == "else" || name == "and" || name == "or" ||
+           name == "satisfies" || name == "in" || name == "to" ||
+           name == "div" || name == "idiv" || name == "mod" ||
+           name == "some" || name == "every" || name == "stable" ||
+           name == "ascending" || name == "descending" || name == "by" ||
+           name == "at" || name == "eq" || name == "ne" || name == "lt" ||
+           name == "le" || name == "gt" || name == "ge" || name == "is" ||
+           name == "union" || name == "into" || name == "with" ||
+           name == "following" || name == "preceding" || name == "empty" ||
+           name == "least" || name == "greatest" || name == "element" ||
+           name == "attribute" || name == "satisfies";
+  }
+
+  StatusOr<Step> ParseStep() {
+    Step step;
+    if (lex_.TakeIf(Tok::kDotDot)) {
+      step.axis = Axis::kParent;
+      step.test.kind = NodeTest::Kind::kAnyNode;
+      SEDNA_RETURN_IF_ERROR(ParsePredicates(&step));
+      return step;
+    }
+    if (lex_.TakeIf(Tok::kAt)) {
+      step.axis = Axis::kAttribute;
+      SEDNA_RETURN_IF_ERROR(ParseNodeTest(&step, /*attribute_axis=*/true));
+      SEDNA_RETURN_IF_ERROR(ParsePredicates(&step));
+      return step;
+    }
+    // Explicit axis?
+    if (lex_.Is(Tok::kName)) {
+      // Look ahead for '::'.
+      const std::string name = lex_.Peek().text;
+      std::optional<Axis> axis;
+      if (name == "child") axis = Axis::kChild;
+      else if (name == "descendant") axis = Axis::kDescendant;
+      else if (name == "descendant-or-self") axis = Axis::kDescendantOrSelf;
+      else if (name == "self") axis = Axis::kSelf;
+      else if (name == "parent") axis = Axis::kParent;
+      else if (name == "attribute") axis = Axis::kAttribute;
+      else if (name == "ancestor") axis = Axis::kAncestor;
+      else if (name == "ancestor-or-self") axis = Axis::kAncestorOrSelf;
+      else if (name == "following-sibling") axis = Axis::kFollowingSibling;
+      else if (name == "preceding-sibling") axis = Axis::kPrecedingSibling;
+      if (axis.has_value()) {
+        // Only an axis if followed by '::'.
+        size_t after = SkipNameAhead();
+        std::string_view raw = lex_.raw();
+        if (after + 1 < raw.size() && raw[after] == ':' &&
+            raw[after + 1] == ':') {
+          lex_.Take();
+          lex_.TakeIf(Tok::kColonColon);
+          step.axis = *axis;
+          SEDNA_RETURN_IF_ERROR(ParseNodeTest(
+              &step, step.axis == Axis::kAttribute));
+          SEDNA_RETURN_IF_ERROR(ParsePredicates(&step));
+          return step;
+        }
+      }
+    }
+    step.axis = Axis::kChild;
+    SEDNA_RETURN_IF_ERROR(ParseNodeTest(&step, /*attribute_axis=*/false));
+    SEDNA_RETURN_IF_ERROR(ParsePredicates(&step));
+    return step;
+  }
+
+  Status ParseNodeTest(Step* step, bool attribute_axis) {
+    (void)attribute_axis;
+    if (lex_.TakeIf(Tok::kStar)) {
+      step->test.kind = NodeTest::Kind::kAnyName;
+      return Status::OK();
+    }
+    if (!lex_.Is(Tok::kName)) return lex_.Error("expected a node test");
+    std::string name = lex_.Take().text;
+    if (lex_.Is(Tok::kLParen) && IsStepKindTest(name)) {
+      lex_.Take();
+      std::string pi_target;
+      if (lex_.Is(Tok::kName) || lex_.Is(Tok::kString)) {
+        pi_target = lex_.Take().text;
+      }
+      if (!lex_.TakeIf(Tok::kRParen)) return lex_.Error("expected )");
+      if (name == "node") step->test.kind = NodeTest::Kind::kAnyNode;
+      else if (name == "text") step->test.kind = NodeTest::Kind::kText;
+      else if (name == "comment") step->test.kind = NodeTest::Kind::kComment;
+      else {
+        step->test.kind = NodeTest::Kind::kPi;
+        step->test.name = pi_target;
+      }
+      return Status::OK();
+    }
+    step->test.kind = NodeTest::Kind::kName;
+    step->test.name = std::move(name);
+    return Status::OK();
+  }
+
+  Status ParsePredicates(Step* step) {
+    while (lex_.TakeIf(Tok::kLBracket)) {
+      SEDNA_ASSIGN_OR_RETURN(ExprPtr pred, ParseExpr());
+      if (!lex_.TakeIf(Tok::kRBracket)) return lex_.Error("expected ]");
+      step->predicates.push_back(std::move(pred));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<ExprPtr> ParsePostfix() {
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+    // Filter predicates on a primary become a self step with predicates.
+    if (lex_.Is(Tok::kLBracket)) {
+      auto path = MakeExpr(ExprKind::kPath);
+      Step self;
+      self.axis = Axis::kSelf;
+      self.test.kind = NodeTest::Kind::kAnyNode;
+      SEDNA_RETURN_IF_ERROR(ParsePredicates(&self));
+      // A filter over possibly-atomic items is marked by an empty axis
+      // semantic: the executor treats self::node() filters specially.
+      path->steps.push_back(std::move(self));
+      path->children.push_back(std::move(e));
+      path->str_val = "filter";
+      return path;
+    }
+    return e;
+  }
+
+  StatusOr<ExprPtr> ParsePrimary() {
+    switch (lex_.Peek().tok) {
+      case Tok::kInt: {
+        auto e = MakeExpr(ExprKind::kLiteralInt);
+        e->int_val = lex_.Take().int_val;
+        return e;
+      }
+      case Tok::kDouble: {
+        auto e = MakeExpr(ExprKind::kLiteralDouble);
+        e->dbl_val = lex_.Take().dbl_val;
+        return e;
+      }
+      case Tok::kString: {
+        auto e = MakeExpr(ExprKind::kLiteralString);
+        e->str_val = lex_.Take().text;
+        return e;
+      }
+      case Tok::kDollar: {
+        lex_.Take();
+        if (!lex_.Is(Tok::kName)) return lex_.Error("expected variable name");
+        auto e = MakeExpr(ExprKind::kVarRef);
+        e->str_val = lex_.Take().text;
+        return e;
+      }
+      case Tok::kDot: {
+        lex_.Take();
+        return MakeExpr(ExprKind::kContextItem);
+      }
+      case Tok::kLParen: {
+        lex_.Take();
+        if (lex_.TakeIf(Tok::kRParen)) {
+          return MakeExpr(ExprKind::kEmptySequence);
+        }
+        SEDNA_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        if (!lex_.TakeIf(Tok::kRParen)) return lex_.Error("expected )");
+        return e;
+      }
+      case Tok::kLtTagOpen:
+        return ParseDirectConstructor();
+      case Tok::kName: {
+        const std::string& name = lex_.Peek().text;
+        if (name == "element" || name == "attribute" || name == "text") {
+          // Possibly a computed constructor: "element qname { expr }".
+          return ParseComputedConstructorOrCall();
+        }
+        // Function call.
+        Token tok = lex_.Take();
+        if (!lex_.TakeIf(Tok::kLParen)) {
+          return lex_.Error("unexpected name '" + tok.text + "'");
+        }
+        auto e = MakeExpr(ExprKind::kFunctionCall);
+        e->str_val = tok.text;
+        // Strip fn: prefix.
+        if (e->str_val.rfind("fn:", 0) == 0) e->str_val = e->str_val.substr(3);
+        if (e->str_val.rfind("local:", 0) == 0) {
+          e->str_val = e->str_val.substr(6);
+        }
+        if (!lex_.Is(Tok::kRParen)) {
+          do {
+            SEDNA_ASSIGN_OR_RETURN(ExprPtr arg, ParseExprSingle());
+            e->children.push_back(std::move(arg));
+          } while (lex_.TakeIf(Tok::kComma));
+        }
+        if (!lex_.TakeIf(Tok::kRParen)) return lex_.Error("expected )");
+        return e;
+      }
+      default:
+        return lex_.Error("unexpected token in expression");
+    }
+  }
+
+  StatusOr<ExprPtr> ParseComputedConstructorOrCall() {
+    std::string kw = lex_.Peek().text;
+    // Look ahead: "element NAME {" or "element {" means computed ctor.
+    size_t after = SkipNameAhead();
+    std::string_view raw = lex_.raw();
+    size_t p = after;
+    while (p < raw.size() && std::isspace(static_cast<unsigned char>(raw[p]))) {
+      p++;
+    }
+    bool is_ctor = false;
+    if (p < raw.size() && raw[p] == '{') {
+      is_ctor = true;  // computed name
+    } else if (p < raw.size() &&
+               (std::isalpha(static_cast<unsigned char>(raw[p])) ||
+                raw[p] == '_')) {
+      // "element name {" — scan the name and check for '{'.
+      while (p < raw.size() &&
+             (std::isalnum(static_cast<unsigned char>(raw[p])) ||
+              raw[p] == '_' || raw[p] == '-' || raw[p] == ':')) {
+        p++;
+      }
+      while (p < raw.size() &&
+             std::isspace(static_cast<unsigned char>(raw[p]))) {
+        p++;
+      }
+      is_ctor = p < raw.size() && raw[p] == '{';
+    }
+    if (!is_ctor) {
+      // It is a function call named element/attribute/text (e.g. text()).
+      Token tok = lex_.Take();
+      if (!lex_.TakeIf(Tok::kLParen)) {
+        return lex_.Error("unexpected name '" + tok.text + "'");
+      }
+      auto e = MakeExpr(ExprKind::kFunctionCall);
+      e->str_val = tok.text;
+      if (!lex_.Is(Tok::kRParen)) {
+        do {
+          SEDNA_ASSIGN_OR_RETURN(ExprPtr arg, ParseExprSingle());
+          e->children.push_back(std::move(arg));
+        } while (lex_.TakeIf(Tok::kComma));
+      }
+      if (!lex_.TakeIf(Tok::kRParen)) return lex_.Error("expected )");
+      return e;
+    }
+
+    lex_.Take();  // element / attribute / text
+    ExprPtr result;
+    if (kw == "text") {
+      if (!lex_.TakeIf(Tok::kLBrace)) return lex_.Error("expected {");
+      SEDNA_ASSIGN_OR_RETURN(ExprPtr content, ParseExpr());
+      if (!lex_.TakeIf(Tok::kRBrace)) return lex_.Error("expected }");
+      result = MakeExpr(ExprKind::kTextCtor);
+      result->children.push_back(std::move(content));
+      return result;
+    }
+    ExprPtr name_expr;
+    std::string static_name;
+    if (lex_.TakeIf(Tok::kLBrace)) {
+      SEDNA_ASSIGN_OR_RETURN(name_expr, ParseExpr());
+      if (!lex_.TakeIf(Tok::kRBrace)) return lex_.Error("expected }");
+    } else {
+      if (!lex_.Is(Tok::kName)) return lex_.Error("expected name");
+      static_name = lex_.Take().text;
+    }
+    if (!lex_.TakeIf(Tok::kLBrace)) return lex_.Error("expected {");
+    ExprPtr content;
+    if (lex_.Is(Tok::kRBrace)) {
+      content = MakeExpr(ExprKind::kEmptySequence);
+    } else {
+      SEDNA_ASSIGN_OR_RETURN(content, ParseExpr());
+    }
+    if (!lex_.TakeIf(Tok::kRBrace)) return lex_.Error("expected }");
+    result = MakeExpr(kw == "element" ? ExprKind::kElementCtor
+                                      : ExprKind::kAttributeCtor);
+    result->str_val = std::move(static_name);
+    result->name_expr = std::move(name_expr);
+    result->children.push_back(std::move(content));
+    return result;
+  }
+
+  // --- direct XML constructors, parsed at character level ------------------
+
+  StatusOr<ExprPtr> ParseDirectConstructor() {
+    // The lexer consumed '<'; its token position is the '<' itself, so the
+    // element name starts one character later.
+    size_t p = lex_.raw_pos() + 1;
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr ctor, ParseDirectElement(&p));
+    lex_.Resync(p);
+    return ctor;
+  }
+
+  Status CharError(size_t p, const std::string& msg) const {
+    return Status::InvalidArgument("XQuery constructor error at offset " +
+                                   std::to_string(p) + ": " + msg);
+  }
+
+  StatusOr<ExprPtr> ParseDirectElement(size_t* p) {
+    std::string_view raw = lex_.raw();
+    auto at_end = [&]() { return *p >= raw.size(); };
+    auto skip_ws = [&]() {
+      while (!at_end() && std::isspace(static_cast<unsigned char>(raw[*p]))) {
+        (*p)++;
+      }
+    };
+    auto read_name = [&]() {
+      std::string name;
+      while (!at_end() && (std::isalnum(static_cast<unsigned char>(raw[*p])) ||
+                           raw[*p] == '_' || raw[*p] == '-' ||
+                           raw[*p] == '.' || raw[*p] == ':')) {
+        name.push_back(raw[(*p)++]);
+      }
+      return name;
+    };
+
+    auto elem = MakeExpr(ExprKind::kElementCtor);
+    elem->str_val = read_name();
+    if (elem->str_val.empty()) return CharError(*p, "expected element name");
+
+    // Attributes.
+    for (;;) {
+      skip_ws();
+      if (at_end()) return CharError(*p, "unterminated start tag");
+      if (raw[*p] == '>' || raw[*p] == '/') break;
+      auto attr = MakeExpr(ExprKind::kAttributeCtor);
+      attr->str_val = read_name();
+      if (attr->str_val.empty()) return CharError(*p, "expected attribute");
+      skip_ws();
+      if (at_end() || raw[*p] != '=') return CharError(*p, "expected =");
+      (*p)++;
+      skip_ws();
+      if (at_end() || (raw[*p] != '"' && raw[*p] != '\'')) {
+        return CharError(*p, "expected quoted attribute value");
+      }
+      char quote = raw[(*p)++];
+      // Attribute value template: literal runs and {expr} parts.
+      std::string literal;
+      auto flush = [&]() {
+        if (!literal.empty()) {
+          auto lit = MakeExpr(ExprKind::kLiteralString);
+          lit->str_val = std::move(literal);
+          literal.clear();
+          attr->children.push_back(std::move(lit));
+        }
+      };
+      while (!at_end() && raw[*p] != quote) {
+        char c = raw[(*p)++];
+        if (c == '{') {
+          if (!at_end() && raw[*p] == '{') {
+            literal.push_back('{');
+            (*p)++;
+            continue;
+          }
+          flush();
+          SEDNA_ASSIGN_OR_RETURN(ExprPtr inner, ParseEnclosed(p));
+          attr->children.push_back(std::move(inner));
+          continue;
+        }
+        if (c == '}' && !at_end() && raw[*p] == '}') {
+          literal.push_back('}');
+          (*p)++;
+          continue;
+        }
+        if (c == '&') {
+          SEDNA_RETURN_IF_ERROR(AppendEntity(p, &literal));
+          continue;
+        }
+        literal.push_back(c);
+      }
+      if (at_end()) return CharError(*p, "unterminated attribute value");
+      (*p)++;  // closing quote
+      flush();
+      elem->ctor_attrs.push_back(std::move(attr));
+    }
+
+    if (raw[*p] == '/') {
+      (*p)++;
+      if (at_end() || raw[*p] != '>') return CharError(*p, "expected />");
+      (*p)++;
+      return elem;
+    }
+    (*p)++;  // '>'
+
+    // Content.
+    std::string literal;
+    auto flush_text = [&](bool force_keep) {
+      if (literal.empty()) return;
+      if (!force_keep && IsXmlWhitespace(literal)) {
+        literal.clear();
+        return;
+      }
+      auto text = MakeExpr(ExprKind::kTextCtor);
+      auto lit = MakeExpr(ExprKind::kLiteralString);
+      lit->str_val = std::move(literal);
+      literal.clear();
+      text->children.push_back(std::move(lit));
+      elem->children.push_back(std::move(text));
+    };
+    for (;;) {
+      if (at_end()) return CharError(*p, "unterminated element content");
+      char c = raw[*p];
+      if (c == '<') {
+        if (*p + 1 < raw.size() && raw[*p + 1] == '/') {
+          flush_text(false);
+          *p += 2;
+          std::string end_name = read_name();
+          if (end_name != elem->str_val) {
+            return CharError(*p, "mismatched end tag '" + end_name + "'");
+          }
+          skip_ws();
+          if (at_end() || raw[*p] != '>') return CharError(*p, "expected >");
+          (*p)++;
+          return elem;
+        }
+        flush_text(false);
+        (*p)++;
+        SEDNA_ASSIGN_OR_RETURN(ExprPtr child, ParseDirectElement(p));
+        elem->children.push_back(std::move(child));
+        continue;
+      }
+      if (c == '{') {
+        if (*p + 1 < raw.size() && raw[*p + 1] == '{') {
+          literal.push_back('{');
+          *p += 2;
+          continue;
+        }
+        flush_text(false);
+        (*p)++;
+        SEDNA_ASSIGN_OR_RETURN(ExprPtr inner, ParseEnclosed(p));
+        elem->children.push_back(std::move(inner));
+        continue;
+      }
+      if (c == '}' && *p + 1 < raw.size() && raw[*p + 1] == '}') {
+        literal.push_back('}');
+        *p += 2;
+        continue;
+      }
+      if (c == '&') {
+        (*p)++;
+        SEDNA_RETURN_IF_ERROR(AppendEntity(p, &literal));
+        continue;
+      }
+      literal.push_back(c);
+      (*p)++;
+    }
+  }
+
+  Status AppendEntity(size_t* p, std::string* out) {
+    std::string_view raw = lex_.raw();
+    auto match = [&](std::string_view s, char c) {
+      if (raw.substr(*p, s.size()) == s) {
+        *p += s.size();
+        out->push_back(c);
+        return true;
+      }
+      return false;
+    };
+    if (match("lt;", '<') || match("gt;", '>') || match("amp;", '&') ||
+        match("quot;", '"') || match("apos;", '\'')) {
+      return Status::OK();
+    }
+    return CharError(*p, "unknown entity in constructor");
+  }
+
+  /// Parses "{ Expr }" content starting after '{'. Consumes the '}'.
+  StatusOr<ExprPtr> ParseEnclosed(size_t* p) {
+    // Re-enter the token parser for the enclosed expression.
+    lex_.Resync(*p);
+    SEDNA_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!lex_.Is(Tok::kRBrace)) return lex_.Error("expected } in constructor");
+    *p = lex_.pos() + 1;  // skip '}'
+    return e;
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Statement>> ParseStatement(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseStatementTop();
+}
+
+StatusOr<ExprPtr> ParseExpression(std::string_view input) {
+  Parser parser(input);
+  return parser.ParseExprTop();
+}
+
+}  // namespace sedna

@@ -1,0 +1,27 @@
+// Recursive-descent parser for the XQuery subset plus XUpdate-style update
+// statements and DDL (paper Section 5: "the parser supports the following
+// three types of queries and statements: XQuery queries, XML update
+// statements, and Data Definition Language statements" — producing a
+// uniform operation tree for all three).
+
+#ifndef SEDNA_XQUERY_PARSER_H_
+#define SEDNA_XQUERY_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace sedna {
+
+/// Parses one statement (query, update or DDL). Errors are
+/// InvalidArgument with position information.
+StatusOr<std::unique_ptr<Statement>> ParseStatement(std::string_view input);
+
+/// Parses a plain XQuery expression (used by tests and the rewriter).
+StatusOr<ExprPtr> ParseExpression(std::string_view input);
+
+}  // namespace sedna
+
+#endif  // SEDNA_XQUERY_PARSER_H_

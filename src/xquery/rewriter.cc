@@ -1,0 +1,498 @@
+#include "xquery/rewriter.h"
+#include <functional>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/logging.h"
+
+namespace sedna {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Collects free variable names of an expression.
+void FreeVars(const Expr& expr, std::set<std::string> bound,
+              std::set<std::string>* out) {
+  switch (expr.kind) {
+    case ExprKind::kVarRef:
+      if (bound.count(expr.str_val) == 0) out->insert(expr.str_val);
+      return;
+    case ExprKind::kFlwor: {
+      for (const FlworClause& c : expr.clauses) {
+        FreeVars(*c.expr, bound, out);
+        bound.insert(c.var);
+        if (!c.pos_var.empty()) bound.insert(c.pos_var);
+      }
+      if (expr.where) FreeVars(*expr.where, bound, out);
+      for (const OrderSpec& o : expr.order_specs) {
+        FreeVars(*o.expr, bound, out);
+      }
+      FreeVars(*expr.children[0], bound, out);
+      return;
+    }
+    case ExprKind::kQuantified: {
+      FreeVars(*expr.children[0], bound, out);
+      bound.insert(expr.var);
+      FreeVars(*expr.children[1], bound, out);
+      return;
+    }
+    default:
+      break;
+  }
+  for (const auto& c : expr.children) FreeVars(*c, bound, out);
+  for (const Step& s : expr.steps) {
+    for (const auto& p : s.predicates) FreeVars(*p, bound, out);
+  }
+  for (const auto& a : expr.ctor_attrs) FreeVars(*a, bound, out);
+  if (expr.name_expr) FreeVars(*expr.name_expr, bound, out);
+  if (expr.where) FreeVars(*expr.where, bound, out);
+  for (const OrderSpec& o : expr.order_specs) FreeVars(*o.expr, bound, out);
+}
+
+/// True if the expression anywhere calls position() or last().
+bool UsesPositionOrLast(const Expr& expr) {
+  if (expr.kind == ExprKind::kFunctionCall &&
+      (expr.str_val == "position" || expr.str_val == "last")) {
+    return true;
+  }
+  for (const auto& c : expr.children) {
+    if (UsesPositionOrLast(*c)) return true;
+  }
+  for (const Step& s : expr.steps) {
+    for (const auto& p : s.predicates) {
+      if (UsesPositionOrLast(*p)) return true;
+    }
+  }
+  for (const auto& a : expr.ctor_attrs) {
+    if (UsesPositionOrLast(*a)) return true;
+  }
+  if (expr.name_expr && UsesPositionOrLast(*expr.name_expr)) return true;
+  if (expr.where && UsesPositionOrLast(*expr.where)) return true;
+  for (const OrderSpec& o : expr.order_specs) {
+    if (UsesPositionOrLast(*o.expr)) return true;
+  }
+  return false;
+}
+
+/// A predicate is position-independent when it cannot evaluate to a number
+/// (numeric predicates select by position) and never consults the context
+/// position or size. This is the condition of Section 5.1.2 for combining
+/// the abbreviated descendant-or-self step with the next step.
+bool IsPositionFreePredicate(const Expr& pred) {
+  if (UsesPositionOrLast(pred)) return false;
+  switch (pred.kind) {
+    case ExprKind::kComparison:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kQuantified:
+    case ExprKind::kPath:
+    case ExprKind::kLiteralString:
+      return true;
+    case ExprKind::kFunctionCall:
+      // Boolean-valued builtins.
+      return pred.str_val == "not" || pred.str_val == "exists" ||
+             pred.str_val == "empty" || pred.str_val == "boolean" ||
+             pred.str_val == "contains" || pred.str_val == "starts-with" ||
+             pred.str_val == "ends-with" || pred.str_val == "true" ||
+             pred.str_val == "false" || pred.str_val == "deep-equal";
+    default:
+      return false;  // could be numeric: keep the step split
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass: user-defined function inlining
+// ---------------------------------------------------------------------------
+
+/// Functions that (transitively) call themselves are not inlinable.
+std::set<std::string> RecursiveFunctions(const Prolog& prolog) {
+  std::map<std::string, std::set<std::string>> calls;
+  std::function<void(const Expr&, std::set<std::string>*)> collect =
+      [&](const Expr& e, std::set<std::string>* out) {
+        if (e.kind == ExprKind::kFunctionCall) out->insert(e.str_val);
+        for (const auto& c : e.children) collect(*c, out);
+        for (const Step& s : e.steps) {
+          for (const auto& p : s.predicates) collect(*p, out);
+        }
+        for (const auto& a : e.ctor_attrs) collect(*a, out);
+        if (e.name_expr) collect(*e.name_expr, out);
+        if (e.where) collect(*e.where, out);
+        for (const OrderSpec& o : e.order_specs) collect(*o.expr, out);
+        for (const FlworClause& c : e.clauses) collect(*c.expr, out);
+      };
+  for (const FunctionDecl& f : prolog.functions) {
+    collect(*f.body, &calls[f.name]);
+  }
+  // Transitive closure.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [name, callees] : calls) {
+      std::set<std::string> extra;
+      for (const std::string& callee : callees) {
+        auto it = calls.find(callee);
+        if (it == calls.end()) continue;
+        for (const std::string& c2 : it->second) {
+          if (callees.count(c2) == 0) extra.insert(c2);
+        }
+      }
+      if (!extra.empty()) {
+        callees.insert(extra.begin(), extra.end());
+        changed = true;
+      }
+    }
+  }
+  std::set<std::string> recursive;
+  for (const auto& [name, callees] : calls) {
+    if (callees.count(name) > 0) recursive.insert(name);
+  }
+  return recursive;
+}
+
+class Rewriter {
+ public:
+  Rewriter(const Prolog* prolog, const RewriteOptions& options)
+      : prolog_(prolog), options_(options) {
+    if (prolog_ != nullptr) recursive_ = RecursiveFunctions(*prolog_);
+  }
+
+  Status Run(Expr* expr, bool output_position) {
+    if (options_.inline_functions && prolog_ != nullptr) {
+      for (int round = 0; round < 8; ++round) {
+        bool changed = false;
+        InlineFunctions(expr, &changed);
+        if (!changed) break;
+      }
+    }
+    std::map<std::string, Props> scope;
+    RewritePass(expr, &scope, output_position);
+    return Status::OK();
+  }
+
+ private:
+  /// Static sequence properties of Section 5.1.1: already in distinct
+  /// document order, at most one item, all nodes on one tree level.
+  struct Props {
+    bool ddo = false;
+    bool max1 = false;
+    bool same_level = false;
+  };
+
+  // --- inlining -------------------------------------------------------------
+
+  void InlineFunctions(Expr* expr, bool* changed) {
+    ForEachChild(expr, [&](Expr* c) { InlineFunctions(c, changed); });
+    if (expr->kind != ExprKind::kFunctionCall) return;
+    if (recursive_.count(expr->str_val) > 0) return;
+    const FunctionDecl* decl = nullptr;
+    for (const FunctionDecl& f : prolog_->functions) {
+      if (f.name == expr->str_val &&
+          f.params.size() == expr->children.size()) {
+        decl = &f;
+        break;
+      }
+    }
+    if (decl == nullptr) return;
+    // f($a1..$an) => (flwor (let $p1 := a1) ... (return body))
+    auto flwor = MakeExpr(ExprKind::kFlwor);
+    for (size_t i = 0; i < decl->params.size(); ++i) {
+      FlworClause clause;
+      clause.kind = FlworClause::Kind::kLet;
+      clause.var = decl->params[i];
+      clause.expr = std::move(expr->children[i]);
+      flwor->clauses.push_back(std::move(clause));
+    }
+    flwor->children.push_back(decl->body->Clone());
+    *expr = std::move(*flwor);
+    *changed = true;
+  }
+
+  // --- main pass -------------------------------------------------------------
+
+  Props RewritePass(Expr* expr, std::map<std::string, Props>* scope,
+                    bool output_position) {
+    switch (expr->kind) {
+      case ExprKind::kLiteralInt:
+      case ExprKind::kLiteralDouble:
+      case ExprKind::kLiteralString:
+        return Props{true, true, true};
+      case ExprKind::kVarRef: {
+        auto it = scope->find(expr->str_val);
+        if (it != scope->end()) return it->second;
+        return Props{};
+      }
+      case ExprKind::kContextItem:
+        // The context item is a single item by definition.
+        return Props{true, true, true};
+      case ExprKind::kContextRoot:
+        return Props{true, true, true};
+      case ExprKind::kFunctionCall: {
+        for (auto& c : expr->children) {
+          RewritePass(c.get(), scope, false);
+        }
+        if (expr->str_val == "doc") {
+          return Props{true, true, true};
+        }
+        if (expr->str_val == "op:union") {
+          return Props{true, false, false};  // union output is DDO
+        }
+        return Props{};
+      }
+      case ExprKind::kPath:
+        return RewritePath(expr, scope, output_position);
+      case ExprKind::kFlwor:
+        return RewriteFlwor(expr, scope, output_position);
+      case ExprKind::kQuantified: {
+        RewritePass(expr->children[0].get(), scope, false);
+        std::map<std::string, Props> inner = *scope;
+        inner[expr->var] = Props{true, true, true};
+        RewritePass(expr->children[1].get(), &inner, false);
+        return Props{true, true, true};  // boolean single
+      }
+      case ExprKind::kIf: {
+        RewritePass(expr->children[0].get(), scope, false);
+        Props a = RewritePass(expr->children[1].get(), scope, output_position);
+        Props b = RewritePass(expr->children[2].get(), scope, output_position);
+        return Props{a.ddo && b.ddo, a.max1 && b.max1,
+                     a.same_level && b.same_level};
+      }
+      case ExprKind::kElementCtor: {
+        if (options_.virtual_constructors && output_position) {
+          // Section 5.2.1: result is only serialized, never traversed.
+          expr->virtual_ok = true;
+        }
+        for (auto& a : expr->ctor_attrs) RewritePass(a.get(), scope, false);
+        if (expr->name_expr) RewritePass(expr->name_expr.get(), scope, false);
+        for (auto& c : expr->children) {
+          // Content of a virtual constructor is itself only serialized.
+          RewritePass(c.get(), scope, expr->virtual_ok);
+        }
+        return Props{true, true, true};
+      }
+      case ExprKind::kComparison:
+      case ExprKind::kAnd:
+      case ExprKind::kOr: {
+        for (auto& c : expr->children) RewritePass(c.get(), scope, false);
+        return Props{true, true, true};  // single boolean
+      }
+      case ExprKind::kArith:
+      case ExprKind::kUnaryMinus: {
+        for (auto& c : expr->children) RewritePass(c.get(), scope, false);
+        return Props{true, true, true};
+      }
+      case ExprKind::kSequence: {
+        Props all{true, false, true};
+        for (auto& c : expr->children) {
+          Props p = RewritePass(c.get(), scope, output_position);
+          all.ddo = false;  // concatenation rarely stays ordered
+          all.same_level = all.same_level && p.same_level;
+        }
+        return all;
+      }
+      default: {
+        ForEachChild(expr, [&](Expr* c) { RewritePass(c, scope, false); });
+        return Props{};
+      }
+    }
+  }
+
+  Props RewriteFlwor(Expr* flwor, std::map<std::string, Props>* scope,
+                     bool output_position) {
+    std::map<std::string, Props> inner = *scope;
+    std::set<std::string> loop_vars;  // for/let vars bound so far
+    bool any_outer_for = false;
+    for (FlworClause& clause : flwor->clauses) {
+      Props p = RewritePass(clause.expr.get(), &inner, false);
+      if (clause.kind == FlworClause::Kind::kFor) {
+        // Section 5.1.3: an inner for-clause whose binding sequence does not
+        // depend on any previously bound clause variable is evaluated once.
+        if (options_.lazy_for_clauses && any_outer_for) {
+          std::set<std::string> free;
+          FreeVars(*clause.expr, {}, &free);
+          bool independent = true;
+          for (const std::string& v : loop_vars) {
+            if (free.count(v) > 0) independent = false;
+          }
+          clause.lazy = independent;
+        }
+        any_outer_for = true;
+        inner[clause.var] = Props{true, true, true};
+        if (!clause.pos_var.empty()) {
+          inner[clause.pos_var] = Props{true, true, true};
+        }
+      } else {
+        inner[clause.var] = p;
+      }
+      loop_vars.insert(clause.var);
+      if (!clause.pos_var.empty()) loop_vars.insert(clause.pos_var);
+    }
+    if (flwor->where) RewritePass(flwor->where.get(), &inner, false);
+    for (OrderSpec& o : flwor->order_specs) {
+      RewritePass(o.expr.get(), &inner, false);
+    }
+    RewritePass(flwor->children[0].get(), &inner, output_position);
+    return Props{};
+  }
+
+  Props RewritePath(Expr* path, std::map<std::string, Props>* scope,
+                    bool output_position) {
+    Props props = RewritePass(path->children[0].get(), scope, false);
+
+    if (path->str_val == "filter") {
+      for (auto& p : path->steps[0].predicates) {
+        RewritePass(p.get(), scope, false);
+      }
+      return Props{props.ddo, false, props.same_level};
+    }
+
+    // --- Section 5.1.2: combine descendant-or-self::node()/child::X ------
+    if (options_.combine_descendant) {
+      for (size_t i = 0; i + 1 < path->steps.size();) {
+        Step& dos = path->steps[i];
+        Step& next = path->steps[i + 1];
+        bool combinable =
+            dos.axis == Axis::kDescendantOrSelf &&
+            dos.test.kind == NodeTest::Kind::kAnyNode &&
+            dos.predicates.empty() && next.axis == Axis::kChild;
+        if (combinable) {
+          for (const auto& pred : next.predicates) {
+            if (!IsPositionFreePredicate(*pred)) {
+              combinable = false;
+              break;
+            }
+          }
+        }
+        if (combinable) {
+          next.axis = Axis::kDescendant;
+          path->steps.erase(path->steps.begin() + static_cast<long>(i));
+          continue;  // re-check at the same index
+        }
+        ++i;
+      }
+    }
+
+    // --- Section 5.1.4: structural fragment over the schema ---------------
+    bool doc_input =
+        path->children[0]->kind == ExprKind::kFunctionCall &&
+        path->children[0]->str_val == "doc" &&
+        path->children[0]->children.size() == 1 &&
+        path->children[0]->children[0]->kind == ExprKind::kLiteralString;
+    if (options_.schema_paths && doc_input) {
+      for (Step& step : path->steps) {
+        bool structural = step.predicates.empty() &&
+                          (step.axis == Axis::kChild ||
+                           step.axis == Axis::kDescendant ||
+                           step.axis == Axis::kAttribute);
+        if (!structural) break;
+        step.schema_resolved = true;
+        step.needs_ddo = false;  // schema enumeration is already DDO
+      }
+    }
+
+    // --- Section 5.1.1: remove unnecessary DDO operations ------------------
+    for (Step& step : path->steps) {
+      // Predicates are rewritten with a single-item context in scope.
+      for (auto& pred : step.predicates) {
+        RewritePass(pred.get(), scope, false);
+      }
+      if (step.schema_resolved) {
+        props = Props{true, false,
+                      props.same_level && step.axis != Axis::kDescendant};
+        continue;
+      }
+      Props out;
+      switch (step.axis) {
+        case Axis::kSelf:
+          out = props;
+          break;
+        case Axis::kChild:
+        case Axis::kAttribute:
+          // Children of distinct same-level nodes in document order are in
+          // document order; distinct parents give disjoint child sets.
+          out.ddo = props.ddo && props.same_level;
+          out.same_level = props.same_level;
+          out.max1 = false;
+          break;
+        case Axis::kDescendant:
+        case Axis::kDescendantOrSelf:
+          // Subtrees of distinct same-level nodes are disjoint and ordered,
+          // but the results always span multiple levels.
+          out.ddo = props.ddo && props.same_level;
+          out.same_level = false;
+          out.max1 = false;
+          break;
+        case Axis::kParent:
+          out.ddo = props.max1;
+          out.max1 = props.max1;
+          out.same_level = props.same_level;
+          break;
+        case Axis::kAncestor:
+        case Axis::kAncestorOrSelf:
+          out.ddo = props.max1;
+          out.max1 = false;
+          out.same_level = false;
+          break;
+        case Axis::kFollowingSibling:
+        case Axis::kPrecedingSibling:
+          out.ddo = props.max1;
+          out.max1 = false;
+          out.same_level = props.same_level || props.max1;
+          break;
+      }
+      if (options_.eliminate_ddo && out.ddo) {
+        step.needs_ddo = false;  // result provably in DDO already
+      } else {
+        step.needs_ddo = true;
+        out.ddo = true;  // the executed DDO op establishes the property
+      }
+      props = out;
+    }
+    (void)output_position;
+    return props;
+  }
+
+  template <typename F>
+  void ForEachChild(Expr* expr, F f) {
+    for (auto& c : expr->children) f(c.get());
+    for (Step& s : expr->steps) {
+      for (auto& p : s.predicates) f(p.get());
+    }
+    for (auto& a : expr->ctor_attrs) f(a.get());
+    if (expr->name_expr) f(expr->name_expr.get());
+    if (expr->where) f(expr->where.get());
+    for (OrderSpec& o : expr->order_specs) f(o.expr.get());
+    for (FlworClause& c : expr->clauses) f(c.expr.get());
+  }
+
+  const Prolog* prolog_;
+  RewriteOptions options_;
+  std::set<std::string> recursive_;
+};
+
+}  // namespace
+
+Status RewriteExpr(Expr* expr, const Prolog* prolog,
+                   const RewriteOptions& options) {
+  Rewriter rewriter(prolog, options);
+  return rewriter.Run(expr, /*output_position=*/true);
+}
+
+Status Rewrite(Statement* stmt, const RewriteOptions& options) {
+  Rewriter rewriter(&stmt->prolog, options);
+  if (stmt->expr != nullptr) {
+    bool output =
+        stmt->kind == StatementKind::kQuery;  // updates traverse results
+    SEDNA_RETURN_IF_ERROR(rewriter.Run(stmt->expr.get(), output));
+  }
+  if (stmt->target != nullptr) {
+    SEDNA_RETURN_IF_ERROR(rewriter.Run(stmt->target.get(), false));
+  }
+  return Status::OK();
+}
+
+}  // namespace sedna

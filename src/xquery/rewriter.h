@@ -1,0 +1,50 @@
+// Optimizing rewriter (paper Section 5.1): rule-based AST-to-AST passes.
+//
+//   1. Removing unnecessary ordering (DDO) operations    — Section 5.1.1
+//   2. Combining abbreviated descendant-or-self steps    — Section 5.1.2
+//   3. Marking nested for-clauses lazy                   — Section 5.1.3
+//   4. Extracting structural location path fragments     — Section 5.1.4
+//   5. Virtual element constructors                      — Section 5.2.1
+//   6. User-defined function inlining                    — Grinev/Lizorkin
+//
+// Each pass can be toggled independently so benchmarks can measure its
+// individual effect.
+
+#ifndef SEDNA_XQUERY_REWRITER_H_
+#define SEDNA_XQUERY_REWRITER_H_
+
+#include "common/status.h"
+#include "xquery/ast.h"
+
+namespace sedna {
+
+struct RewriteOptions {
+  bool inline_functions = true;
+  bool combine_descendant = true;
+  bool eliminate_ddo = true;
+  bool lazy_for_clauses = true;
+  bool schema_paths = true;
+  bool virtual_constructors = true;
+
+  static RewriteOptions AllOff() {
+    RewriteOptions o;
+    o.inline_functions = false;
+    o.combine_descendant = false;
+    o.eliminate_ddo = false;
+    o.lazy_for_clauses = false;
+    o.schema_paths = false;
+    o.virtual_constructors = false;
+    return o;
+  }
+};
+
+/// Rewrites the statement's expressions in place.
+Status Rewrite(Statement* stmt, const RewriteOptions& options = {});
+
+/// Expression-level entry point (used by tests and benchmarks).
+Status RewriteExpr(Expr* expr, const Prolog* prolog,
+                   const RewriteOptions& options = {});
+
+}  // namespace sedna
+
+#endif  // SEDNA_XQUERY_REWRITER_H_

@@ -1,0 +1,311 @@
+#include "xquery/statement.h"
+
+#include "common/logging.h"
+#include "xquery/analyzer.h"
+#include "xquery/node_ops.h"
+#include "xquery/parser.h"
+
+namespace sedna {
+
+namespace {
+
+/// Part one of an update plan: evaluate the target path and collect the
+/// handles of the selected stored nodes.
+struct UpdateTarget {
+  DocumentStore* doc;
+  Xptr handle;
+};
+
+StatusOr<std::vector<UpdateTarget>> SelectTargets(const Expr& target,
+                                                  ExecContext& ctx) {
+  SEDNA_ASSIGN_OR_RETURN(Sequence nodes, Eval(target, ctx));
+  std::vector<UpdateTarget> out;
+  out.reserve(nodes.size());
+  for (const Item& item : nodes) {
+    if (!item.is_stored_node()) {
+      return Status::InvalidArgument(
+          "update target must select stored nodes");
+    }
+    const StoredNode& n = item.stored();
+    SEDNA_ASSIGN_OR_RETURN(NodeInfo info,
+                           n.doc->nodes()->Info(ctx.op, n.addr));
+    out.push_back(UpdateTarget{n.doc, info.handle});
+  }
+  return out;
+}
+
+/// Materializes the items a source expression produced into XML trees.
+StatusOr<std::vector<std::unique_ptr<XmlNode>>> MaterializeSource(
+    const Sequence& source, ExecContext& ctx) {
+  std::vector<std::unique_ptr<XmlNode>> out;
+  for (const Item& item : source) {
+    if (item.is_node()) {
+      SEDNA_ASSIGN_OR_RETURN(std::unique_ptr<XmlNode> node,
+                             NodeToXml(ctx.op, item));
+      out.push_back(std::move(node));
+    } else {
+      out.push_back(XmlNode::Text(AtomicLexical(item)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Xptr> InsertXmlTree(DocumentStore* doc, const OpCtx& op,
+                             Xptr parent_handle, Xptr left, Xptr right,
+                             const XmlNode& node, uint64_t* inserted) {
+  std::string_view text =
+      node.kind == XmlKind::kElement || node.kind == XmlKind::kDocument
+          ? std::string_view()
+          : node.value;
+  SEDNA_ASSIGN_OR_RETURN(
+      Xptr handle, doc->nodes()->InsertNode(op, parent_handle, left, right,
+                                            node.kind, node.name, text));
+  if (inserted != nullptr) (*inserted)++;
+  if (node.kind == XmlKind::kElement) {
+    Xptr prev;
+    for (const auto& child : node.children) {
+      SEDNA_ASSIGN_OR_RETURN(
+          prev, InsertXmlTree(doc, op, handle, prev, kNullXptr, *child,
+                              inserted));
+    }
+  }
+  return handle;
+}
+
+Status StatementExecutor::NotifyUpdate(const std::string& text) {
+  // Any update statement may change indexed values: invalidate lazily
+  // rebuilt value indexes (cheap flag flip; rebuilds happen on next use).
+  if (indexes_ != nullptr) indexes_->InvalidateAll();
+  if (update_listener_) return update_listener_(text);
+  return Status::OK();
+}
+
+StatusOr<StatementResult> StatementExecutor::Execute(
+    const std::string& text, const OpCtx& op, const RewriteOptions& options) {
+  SEDNA_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                         ParseStatement(text));
+  SEDNA_RETURN_IF_ERROR(Analyze(*stmt));
+  SEDNA_RETURN_IF_ERROR(Rewrite(stmt.get(), options));
+  return ExecuteParsed(stmt.get(), op, text);
+}
+
+StatusOr<StatementResult> StatementExecutor::ExecuteParsed(
+    Statement* stmt, const OpCtx& op, const std::string& text) {
+  ExecContext ctx;
+  ctx.storage = storage_;
+  ctx.op = op;
+  ctx.prolog = &stmt->prolog;
+  ctx.on_doc_access = doc_access_hook_;
+  ctx.doc_access_exclusive = stmt->kind != StatementKind::kQuery;
+  ctx.indexes = indexes_;
+  StatementResult result;
+  result.kind = stmt->kind;
+  ctx.stats = &result.stats;
+
+  // Evaluate prolog global variables in declaration order.
+  for (const auto& [name, expr] : stmt->prolog.variables) {
+    SEDNA_ASSIGN_OR_RETURN(Sequence value, Eval(*expr, ctx));
+    ctx.vars[name] = std::move(value);
+  }
+
+  switch (stmt->kind) {
+    case StatementKind::kQuery:
+      return RunQuery(*stmt, ctx);
+    case StatementKind::kUpdateInsert:
+      return RunInsert(*stmt, ctx, text);
+    case StatementKind::kUpdateDelete:
+      return RunDelete(*stmt, ctx, text);
+    case StatementKind::kUpdateReplace:
+      return RunReplace(*stmt, ctx, text);
+    case StatementKind::kCreateDocument: {
+      if (ctx.on_doc_access) {
+        SEDNA_RETURN_IF_ERROR(ctx.on_doc_access(stmt->doc_name, true));
+      }
+      SEDNA_RETURN_IF_ERROR(NotifyUpdate(text));
+      SEDNA_ASSIGN_OR_RETURN(DocumentStore * doc,
+                             storage_->CreateDocument(op, stmt->doc_name));
+      (void)doc;
+      result.affected = 1;
+      return result;
+    }
+    case StatementKind::kDropDocument:
+      if (ctx.on_doc_access) {
+        SEDNA_RETURN_IF_ERROR(ctx.on_doc_access(stmt->doc_name, true));
+      }
+      SEDNA_RETURN_IF_ERROR(NotifyUpdate(text));
+      SEDNA_RETURN_IF_ERROR(storage_->DropDocument(op, stmt->doc_name));
+      if (indexes_ != nullptr) indexes_->InvalidateAll();
+      result.affected = 1;
+      return result;
+    case StatementKind::kCreateIndex: {
+      if (indexes_ == nullptr) {
+        return Status::FailedPrecondition("no index manager configured");
+      }
+      // The defining path must start with doc('name').
+      const Expr* input = stmt->target->kind == ExprKind::kPath
+                              ? stmt->target->children[0].get()
+                              : stmt->target.get();
+      if (input->kind != ExprKind::kFunctionCall || input->str_val != "doc" ||
+          input->children.size() != 1 ||
+          input->children[0]->kind != ExprKind::kLiteralString) {
+        return Status::InvalidArgument(
+            "an index path must start with doc('name')");
+      }
+      std::string doc = input->children[0]->str_val;
+      if (ctx.on_doc_access) {
+        SEDNA_RETURN_IF_ERROR(ctx.on_doc_access(doc, true));
+      }
+      SEDNA_RETURN_IF_ERROR(NotifyUpdate(text));
+      SEDNA_RETURN_IF_ERROR(
+          indexes_->Create(op, stmt->index_name, doc, stmt->path_text));
+      result.affected = 1;
+      return result;
+    }
+    case StatementKind::kDropIndex:
+      if (indexes_ == nullptr) {
+        return Status::FailedPrecondition("no index manager configured");
+      }
+      SEDNA_RETURN_IF_ERROR(NotifyUpdate(text));
+      SEDNA_RETURN_IF_ERROR(indexes_->Drop(stmt->index_name));
+      result.affected = 1;
+      return result;
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+StatusOr<StatementResult> StatementExecutor::RunQuery(const Statement& stmt,
+                                                      ExecContext& ctx) {
+  StatementResult result;
+  result.kind = StatementKind::kQuery;
+  ctx.stats = &result.stats;
+  SEDNA_ASSIGN_OR_RETURN(result.items, Eval(*stmt.expr, ctx));
+  SEDNA_ASSIGN_OR_RETURN(result.serialized,
+                         SerializeSequence(ctx.op, result.items));
+  return result;
+}
+
+StatusOr<StatementResult> StatementExecutor::RunInsert(
+    const Statement& stmt, ExecContext& ctx, const std::string& text) {
+  StatementResult result;
+  result.kind = stmt.kind;
+  ctx.stats = &result.stats;
+
+  SEDNA_ASSIGN_OR_RETURN(std::vector<UpdateTarget> targets,
+                         SelectTargets(*stmt.target, ctx));
+  SEDNA_ASSIGN_OR_RETURN(Sequence source, Eval(*stmt.expr, ctx));
+  SEDNA_ASSIGN_OR_RETURN(std::vector<std::unique_ptr<XmlNode>> trees,
+                         MaterializeSource(source, ctx));
+  SEDNA_RETURN_IF_ERROR(NotifyUpdate(text));
+
+  for (const UpdateTarget& target : targets) {
+    switch (stmt.insert_mode) {
+      case InsertMode::kInto: {
+        // Append each tree as the new last child, in sequence order.
+        for (const auto& tree : trees) {
+          SEDNA_ASSIGN_OR_RETURN(
+              Xptr inserted,
+              InsertXmlTree(target.doc, ctx.op, target.handle, kNullXptr,
+                            kNullXptr, *tree, &result.affected));
+          (void)inserted;
+        }
+        break;
+      }
+      case InsertMode::kFollowing:
+      case InsertMode::kPreceding: {
+        SEDNA_ASSIGN_OR_RETURN(
+            NodeInfo info,
+            target.doc->nodes()->InfoByHandle(ctx.op, target.handle));
+        if (!info.parent_handle) {
+          return Status::InvalidArgument(
+              "cannot insert a sibling of the document node");
+        }
+        if (stmt.insert_mode == InsertMode::kFollowing) {
+          Xptr left = target.handle;
+          for (const auto& tree : trees) {
+            SEDNA_ASSIGN_OR_RETURN(
+                left, InsertXmlTree(target.doc, ctx.op, info.parent_handle,
+                                    left, kNullXptr, *tree,
+                                    &result.affected));
+          }
+        } else {
+          Xptr right = target.handle;
+          // Insert in order, each immediately before the target.
+          Xptr left;
+          for (const auto& tree : trees) {
+            SEDNA_ASSIGN_OR_RETURN(
+                left, InsertXmlTree(target.doc, ctx.op, info.parent_handle,
+                                    left, right, *tree, &result.affected));
+          }
+        }
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+StatusOr<StatementResult> StatementExecutor::RunDelete(
+    const Statement& stmt, ExecContext& ctx, const std::string& text) {
+  StatementResult result;
+  result.kind = stmt.kind;
+  ctx.stats = &result.stats;
+  SEDNA_ASSIGN_OR_RETURN(std::vector<UpdateTarget> targets,
+                         SelectTargets(*stmt.target, ctx));
+  SEDNA_RETURN_IF_ERROR(NotifyUpdate(text));
+  for (const UpdateTarget& target : targets) {
+    StatusOr<NodeInfo> info =
+        target.doc->nodes()->InfoByHandle(ctx.op, target.handle);
+    if (info.status().code() == StatusCode::kNotFound) {
+      continue;  // an ancestor in the target list already removed it
+    }
+    SEDNA_RETURN_IF_ERROR(info.status());
+    if (info->kind == XmlKind::kDocument) {
+      return Status::InvalidArgument(
+          "cannot delete the document node; use DROP DOCUMENT");
+    }
+    SEDNA_RETURN_IF_ERROR(
+        target.doc->nodes()->DeleteSubtree(ctx.op, target.handle));
+    result.affected++;
+  }
+  return result;
+}
+
+StatusOr<StatementResult> StatementExecutor::RunReplace(
+    const Statement& stmt, ExecContext& ctx, const std::string& text) {
+  StatementResult result;
+  result.kind = stmt.kind;
+  ctx.stats = &result.stats;
+  SEDNA_ASSIGN_OR_RETURN(std::vector<UpdateTarget> targets,
+                         SelectTargets(*stmt.target, ctx));
+  SEDNA_RETURN_IF_ERROR(NotifyUpdate(text));
+  for (const UpdateTarget& target : targets) {
+    SEDNA_ASSIGN_OR_RETURN(
+        NodeInfo info,
+        target.doc->nodes()->InfoByHandle(ctx.op, target.handle));
+    if (!info.parent_handle) {
+      return Status::InvalidArgument("cannot replace the document node");
+    }
+    // Bind $var to the node being replaced and evaluate the replacement.
+    Sequence saved = std::move(ctx.vars[stmt.var]);
+    ctx.vars[stmt.var] = Sequence{Item(StoredNode{target.doc, info.addr})};
+    StatusOr<Sequence> with = Eval(*stmt.expr, ctx);
+    ctx.vars[stmt.var] = std::move(saved);
+    if (!with.ok()) return with.status();
+    SEDNA_ASSIGN_OR_RETURN(std::vector<std::unique_ptr<XmlNode>> trees,
+                           MaterializeSource(*with, ctx));
+    Xptr left = target.handle;
+    for (const auto& tree : trees) {
+      SEDNA_ASSIGN_OR_RETURN(
+          left, InsertXmlTree(target.doc, ctx.op, info.parent_handle, left,
+                              kNullXptr, *tree, &result.affected));
+    }
+    SEDNA_RETURN_IF_ERROR(
+        target.doc->nodes()->DeleteSubtree(ctx.op, target.handle));
+    result.affected++;
+  }
+  return result;
+}
+
+}  // namespace sedna

@@ -1,0 +1,84 @@
+// Statement execution: ties together parser -> static analyzer ->
+// optimizing rewriter -> executor (paper Section 5), and implements the
+// XUpdate-style statements as two-part plans: part one selects the target
+// nodes (direct pointers), part two mutates them through node handles
+// (Section 5.2: "the updated nodes are referred to by node handles").
+
+#ifndef SEDNA_XQUERY_STATEMENT_H_
+#define SEDNA_XQUERY_STATEMENT_H_
+
+#include <functional>
+#include <string>
+
+#include "storage/storage_engine.h"
+#include "xquery/executor.h"
+#include "xquery/rewriter.h"
+#include "xquery/value_index.h"
+
+namespace sedna {
+
+struct StatementResult {
+  StatementKind kind = StatementKind::kQuery;
+  Sequence items;          // query results
+  std::string serialized;  // serialized query results
+  uint64_t affected = 0;   // nodes inserted/deleted/replaced, docs created
+  ExecStats stats;
+  bool is_update() const { return kind != StatementKind::kQuery; }
+};
+
+class StatementExecutor {
+ public:
+  explicit StatementExecutor(StorageEngine* storage) : storage_(storage) {}
+
+  /// Called with the statement text just before an update statement's
+  /// mutations are applied — the transaction layer logs it to the WAL.
+  void set_update_listener(std::function<Status(const std::string&)> fn) {
+    update_listener_ = std::move(fn);
+  }
+
+  /// Called for every named document the statement touches; the session
+  /// layer acquires the document lock here.
+  void set_doc_access_hook(
+      std::function<Status(const std::string&, bool exclusive)> fn) {
+    doc_access_hook_ = std::move(fn);
+  }
+
+  /// Wires the value-index manager (index DDL and index-lookup()).
+  void set_index_manager(ValueIndexManager* indexes) { indexes_ = indexes; }
+
+  /// Parses, analyzes, rewrites and executes one statement.
+  StatusOr<StatementResult> Execute(const std::string& text, const OpCtx& op,
+                                    const RewriteOptions& options = {});
+
+  /// Executes an already-parsed statement (used by recovery replay and by
+  /// benchmarks that pre-parse).
+  StatusOr<StatementResult> ExecuteParsed(Statement* stmt, const OpCtx& op,
+                                          const std::string& original_text);
+
+ private:
+  StatusOr<StatementResult> RunQuery(const Statement& stmt, ExecContext& ctx);
+  StatusOr<StatementResult> RunInsert(const Statement& stmt, ExecContext& ctx,
+                                      const std::string& text);
+  StatusOr<StatementResult> RunDelete(const Statement& stmt, ExecContext& ctx,
+                                      const std::string& text);
+  StatusOr<StatementResult> RunReplace(const Statement& stmt,
+                                       ExecContext& ctx,
+                                       const std::string& text);
+  Status NotifyUpdate(const std::string& text);
+
+  StorageEngine* storage_;
+  std::function<Status(const std::string&)> update_listener_;
+  std::function<Status(const std::string&, bool)> doc_access_hook_;
+  ValueIndexManager* indexes_ = nullptr;
+};
+
+/// Recursively inserts a transient XML tree as a node under
+/// `parent_handle`, between `left` and `right` (handles, may be null).
+/// Returns the handle of the inserted root and counts inserted nodes.
+StatusOr<Xptr> InsertXmlTree(DocumentStore* doc, const OpCtx& op,
+                             Xptr parent_handle, Xptr left, Xptr right,
+                             const XmlNode& node, uint64_t* inserted);
+
+}  // namespace sedna
+
+#endif  // SEDNA_XQUERY_STATEMENT_H_

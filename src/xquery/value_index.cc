@@ -1,0 +1,113 @@
+#include "xquery/value_index.h"
+
+#include "xquery/analyzer.h"
+#include "xquery/parser.h"
+#include "xquery/rewriter.h"
+
+namespace sedna {
+
+Status ValueIndexManager::Create(const OpCtx& op, const std::string& name,
+                                 const std::string& doc,
+                                 const std::string& path_text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (indexes_.count(name) > 0) {
+    return Status::AlreadyExists("index '" + name + "' already exists");
+  }
+  // Validate the path now so CREATE INDEX fails fast on bad definitions.
+  SEDNA_ASSIGN_OR_RETURN(ExprPtr parsed, ParseExpression(path_text));
+  SEDNA_RETURN_IF_ERROR(AnalyzeExpr(*parsed, nullptr, {}));
+  SEDNA_RETURN_IF_ERROR(storage_->GetDocument(doc).status());
+
+  Index index;
+  index.name = name;
+  index.doc = doc;
+  index.path = path_text;
+  index.dirty = true;
+  SEDNA_RETURN_IF_ERROR(RebuildLocked(op, &index));
+  indexes_[name] = std::move(index);
+  storage_->SetIndexDefinition(name, doc, path_text);
+  return Status::OK();
+}
+
+Status ValueIndexManager::Drop(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (indexes_.erase(name) == 0) {
+    return Status::NotFound("index '" + name + "' does not exist");
+  }
+  storage_->RemoveIndexDefinition(name);
+  return Status::OK();
+}
+
+Status ValueIndexManager::RebuildLocked(const OpCtx& op, Index* index) {
+  SEDNA_ASSIGN_OR_RETURN(ExprPtr path, ParseExpression(index->path));
+  SEDNA_RETURN_IF_ERROR(RewriteExpr(path.get(), nullptr));
+  ExecContext ctx;
+  ctx.storage = storage_;
+  ctx.op = op;
+  SEDNA_ASSIGN_OR_RETURN(Sequence nodes, Eval(*path, ctx));
+  index->entries.clear();
+  for (const Item& item : nodes) {
+    if (!item.is_stored_node()) {
+      return Status::InvalidArgument(
+          "index path must select stored nodes");
+    }
+    const StoredNode& n = item.stored();
+    SEDNA_ASSIGN_OR_RETURN(NodeInfo info, n.doc->nodes()->Info(op, n.addr));
+    SEDNA_ASSIGN_OR_RETURN(std::string key, NodeStringValue(op, item));
+    index->entries.emplace(std::move(key), info.handle);
+  }
+  index->dirty = false;
+  rebuilds_++;
+  return Status::OK();
+}
+
+StatusOr<Sequence> ValueIndexManager::Lookup(const OpCtx& op,
+                                             const std::string& name,
+                                             const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) {
+    return Status::NotFound("index '" + name + "' does not exist");
+  }
+  Index& index = it->second;
+  if (index.dirty) {
+    SEDNA_RETURN_IF_ERROR(RebuildLocked(op, &index));
+  }
+  SEDNA_ASSIGN_OR_RETURN(DocumentStore * doc,
+                         storage_->GetDocument(index.doc));
+  Sequence out;
+  auto [begin, end] = index.entries.equal_range(key);
+  for (auto e = begin; e != end; ++e) {
+    // Handles survive node moves; resolve to the current direct pointer.
+    SEDNA_ASSIGN_OR_RETURN(Xptr addr, doc->indirection()->Get(op, e->second));
+    out.push_back(Item(StoredNode{doc, addr}));
+  }
+  return out;
+}
+
+StatusOr<uint64_t> ValueIndexManager::EntryCount(const OpCtx& op,
+                                                 const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) {
+    return Status::NotFound("index '" + name + "' does not exist");
+  }
+  if (it->second.dirty) {
+    SEDNA_RETURN_IF_ERROR(RebuildLocked(op, &it->second));
+  }
+  return static_cast<uint64_t>(it->second.entries.size());
+}
+
+void ValueIndexManager::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, index] : indexes_) index.dirty = true;
+}
+
+std::vector<std::string> ValueIndexManager::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, _] : indexes_) out.push_back(name);
+  return out;
+}
+
+}  // namespace sedna

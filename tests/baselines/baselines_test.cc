@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "baselines/subtree_storage.h"
+#include "baselines/swizzling_store.h"
+#include "baselines/xiss_numbering.h"
+#include "common/random.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_serializer.h"
+#include "xmlgen/generators.h"
+
+namespace sedna::baselines {
+namespace {
+
+// --- XISS ---------------------------------------------------------------
+
+TEST(XissTest, AncestorTestMatchesTree) {
+  XissTree tree(16);
+  auto a = tree.InsertChild(tree.root(), 0);
+  auto b = tree.InsertChild(a, 0);
+  auto c = tree.InsertChild(a, 1);
+  auto d = tree.InsertChild(b, 0);
+  EXPECT_TRUE(tree.IsAncestor(tree.root(), a));
+  EXPECT_TRUE(tree.IsAncestor(a, b));
+  EXPECT_TRUE(tree.IsAncestor(a, d));
+  EXPECT_TRUE(tree.IsAncestor(b, d));
+  EXPECT_FALSE(tree.IsAncestor(b, c));
+  EXPECT_FALSE(tree.IsAncestor(c, d));
+  EXPECT_FALSE(tree.IsAncestor(b, a));
+}
+
+TEST(XissTest, SiblingOrderMatchesLabels) {
+  XissTree tree(64);
+  auto a = tree.InsertChild(tree.root(), 0);
+  auto b = tree.InsertChild(tree.root(), 1);
+  auto mid = tree.InsertChild(tree.root(), 1);
+  EXPECT_TRUE(tree.label(a).PrecedesInDocOrder(tree.label(mid)));
+  EXPECT_TRUE(tree.label(mid).PrecedesInDocOrder(tree.label(b)));
+}
+
+TEST(XissTest, MiddleInsertsEventuallyForceRelabel) {
+  XissTree tree(16);
+  auto left = tree.InsertChild(tree.root(), 0);
+  (void)left;
+  tree.InsertChild(tree.root(), 1);
+  for (int i = 0; i < 200; ++i) {
+    tree.InsertChild(tree.root(), 1);  // always squeeze into the middle
+  }
+  EXPECT_GT(tree.relabels(), 0u);
+  EXPECT_GT(tree.relabeled_nodes(), 200u);
+  // Labels remain consistent after relabeling.
+  for (size_t i = 1; i < tree.size(); ++i) {
+    EXPECT_TRUE(tree.IsAncestor(tree.root(), i));
+  }
+}
+
+TEST(XissTest, RandomTreeStaysConsistentUnderRelabels) {
+  Random rng(5);
+  XissTree tree(8);  // small gap: frequent relabels
+  std::vector<XissTree::NodeId> nodes{tree.root()};
+  for (int i = 0; i < 500; ++i) {
+    auto parent = nodes[rng.Uniform(nodes.size())];
+    size_t pos = rng.Uniform(tree.children(parent).size() + 1);
+    nodes.push_back(tree.InsertChild(parent, pos));
+  }
+  EXPECT_GT(tree.relabels(), 0u);
+  // Verify the interval invariant against true tree ancestry for a sample.
+  for (size_t i = 0; i < nodes.size(); i += 7) {
+    for (size_t j = 0; j < nodes.size(); j += 11) {
+      if (i == j) continue;
+      bool truth = false;
+      for (auto p = tree.parent(nodes[j]); p != XissTree::kNoNode;
+           p = tree.parent(p)) {
+        if (p == nodes[i]) {
+          truth = true;
+          break;
+        }
+      }
+      EXPECT_EQ(tree.IsAncestor(nodes[i], nodes[j]), truth)
+          << i << " vs " << j;
+    }
+  }
+}
+
+// --- subtree storage -------------------------------------------------------
+
+TEST(SubtreeStoreTest, ScanFindsAllElements) {
+  auto doc = xmlgen::Library(50, 10);
+  SubtreeStore store;
+  ASSERT_TRUE(store.Load(*doc).ok());
+  EXPECT_EQ(store.node_count(), doc->SubtreeSize());
+  EXPECT_EQ(store.ScanByName("book").matches, 50u);
+  EXPECT_EQ(store.ScanByName("paper").matches, 10u);
+  EXPECT_EQ(store.ScanByName("nosuch").matches, 0u);
+}
+
+TEST(SubtreeStoreTest, ScanTouchesEveryPage) {
+  auto doc = xmlgen::Library(300, 50);
+  SubtreeStore store;
+  ASSERT_TRUE(store.Load(*doc).ok());
+  ASSERT_GT(store.page_count(), 3u);
+  EXPECT_EQ(store.ScanByName("title").pages_touched, store.page_count());
+}
+
+TEST(SubtreeStoreTest, PredicateScanCounts) {
+  auto doc = ParseXml(
+      "<r><p><v>5</v></p><p><v>15</v></p><p><v>25</v></p></r>");
+  ASSERT_TRUE(doc.ok());
+  SubtreeStore store;
+  ASSERT_TRUE(store.Load(**doc).ok());
+  EXPECT_EQ(store.PredicateScan("v", 10.0).matches, 2u);
+  EXPECT_EQ(store.PredicateScan("v", 30.0).matches, 0u);
+}
+
+TEST(SubtreeStoreTest, ReadSubtreeReconstructsExactly) {
+  auto doc = xmlgen::Library(20, 5);
+  SubtreeStore store;
+  ASSERT_TRUE(store.Load(*doc).ok());
+  auto subtree = store.ReadSubtree("book", 3);
+  ASSERT_TRUE(subtree.ok()) << subtree.status().ToString();
+  const XmlNode* expected = nullptr;
+  size_t seen = 0;
+  for (const auto& child : doc->children[0]->children) {
+    if (child->name == "book" && seen++ == 3) expected = child.get();
+  }
+  ASSERT_NE(expected, nullptr);
+  EXPECT_TRUE(subtree->tree->DeepEquals(*expected))
+      << SerializeXml(*subtree->tree);
+  // The subtree is clustered: it fits in very few pages.
+  EXPECT_LE(subtree->pages_touched, 2u);
+}
+
+TEST(SubtreeStoreTest, ReadSubtreeOutOfRange) {
+  auto doc = xmlgen::Library(3, 0);
+  SubtreeStore store;
+  ASSERT_TRUE(store.Load(*doc).ok());
+  EXPECT_EQ(store.ReadSubtree("book", 99).status().code(),
+            StatusCode::kNotFound);
+}
+
+// --- swizzling store ---------------------------------------------------------
+
+TEST(SwizzlingStoreTest, AllocateAndChase) {
+  SwizzlingStore store;
+  PersistentRef head;
+  PersistentRef prev;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    PersistentRef ref = store.Allocate();
+    SwizzleObject* obj = store.Deref(ref);
+    obj->payload = static_cast<uint64_t>(i);
+    obj->next = PersistentRef{};
+    if (i == 0) {
+      head = ref;
+    } else {
+      store.Deref(prev)->next = ref;
+    }
+    prev = ref;
+  }
+  // Chase the chain and sum payloads.
+  uint64_t sum = 0;
+  for (PersistentRef cur = head; !cur.is_null();
+       cur = store.Deref(cur)->next) {
+    sum += store.Deref(cur)->payload;
+  }
+  EXPECT_EQ(sum, static_cast<uint64_t>(n) * (n - 1) / 2);
+  EXPECT_GT(store.derefs(), static_cast<uint64_t>(n));
+  EXPECT_EQ(store.page_count(),
+            (n + SwizzlingStore::kObjectsPerPage - 1) /
+                SwizzlingStore::kObjectsPerPage);
+}
+
+}  // namespace
+}  // namespace sedna::baselines

@@ -1,0 +1,142 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace sedna {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0);
+  PutFixed32(&buf, 1);
+  PutFixed32(&buf, 0xdeadbeef);
+  PutFixed32(&buf, 0xffffffff);
+  ASSERT_EQ(buf.size(), 16u);
+  EXPECT_EQ(DecodeFixed32(buf.data()), 0u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 4), 1u);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 8), 0xdeadbeefu);
+  EXPECT_EQ(DecodeFixed32(buf.data() + 12), 0xffffffffu);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string buf;
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(DecodeFixed64(buf.data()), 0x0123456789abcdefULL);
+}
+
+TEST(CodingTest, Fixed32IsLittleEndian) {
+  std::string buf;
+  PutFixed32(&buf, 0x04030201);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[1], 2);
+  EXPECT_EQ(buf[2], 3);
+  EXPECT_EQ(buf[3], 4);
+}
+
+TEST(CodingTest, VarintRoundTripBoundaries) {
+  for (uint64_t v : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                     (1ull << 32) - 1, 1ull << 32, ~0ull}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    uint64_t decoded = 0;
+    const char* end = GetVarint64(buf.data(), buf.data() + buf.size(),
+                                  &decoded);
+    ASSERT_NE(end, nullptr) << v;
+    EXPECT_EQ(end, buf.data() + buf.size());
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(CodingTest, VarintTruncatedReturnsNull) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  uint64_t decoded;
+  EXPECT_EQ(GetVarint64(buf.data(), buf.data() + buf.size() - 1, &decoded),
+            nullptr);
+}
+
+TEST(CodingTest, LengthPrefixedRoundTrip) {
+  std::string buf;
+  PutLengthPrefixed(&buf, "hello");
+  PutLengthPrefixed(&buf, "");
+  PutLengthPrefixed(&buf, std::string(300, 'x'));
+  std::string_view a, b, c;
+  const char* p = buf.data();
+  const char* limit = buf.data() + buf.size();
+  p = GetLengthPrefixed(p, limit, &a);
+  ASSERT_NE(p, nullptr);
+  p = GetLengthPrefixed(p, limit, &b);
+  ASSERT_NE(p, nullptr);
+  p = GetLengthPrefixed(p, limit, &c);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c, std::string(300, 'x'));
+  EXPECT_EQ(p, limit);
+}
+
+TEST(CodingTest, Crc32KnownVector) {
+  // CRC-32C of "123456789" is 0xE3069283.
+  EXPECT_EQ(Crc32("123456789", 9), 0xE3069283u);
+}
+
+TEST(CodingTest, Crc32DetectsChanges) {
+  std::string data(1024, 'a');
+  uint32_t crc = Crc32(data.data(), data.size());
+  data[512] = 'b';
+  EXPECT_NE(Crc32(data.data(), data.size()), crc);
+}
+
+TEST(DecoderTest, SequentialDecode) {
+  std::string buf;
+  PutFixed32(&buf, 7);
+  PutVarint64(&buf, 1234567);
+  PutLengthPrefixed(&buf, "abc");
+  Decoder d(buf);
+  uint32_t a = 0;
+  uint64_t b = 0;
+  std::string_view c;
+  EXPECT_TRUE(d.GetFixed32(&a));
+  EXPECT_TRUE(d.GetVarint64(&b));
+  EXPECT_TRUE(d.GetLengthPrefixed(&c));
+  EXPECT_EQ(a, 7u);
+  EXPECT_EQ(b, 1234567u);
+  EXPECT_EQ(c, "abc");
+  EXPECT_EQ(d.remaining(), 0u);
+}
+
+TEST(DecoderTest, StaysFailedAfterError) {
+  std::string buf = "x";
+  Decoder d(buf);
+  uint32_t v;
+  EXPECT_FALSE(d.GetFixed32(&v));
+  EXPECT_FALSE(d.ok());
+  // Even a 1-byte read fails after the decoder failed.
+  char c;
+  EXPECT_FALSE(d.GetRaw(&c, 1));
+}
+
+TEST(DecoderTest, RandomizedRoundTrip) {
+  Random rng(7);
+  for (int iter = 0; iter < 100; ++iter) {
+    std::string buf;
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 50; ++i) {
+      uint64_t v = rng.Next() >> rng.Uniform(64);
+      values.push_back(v);
+      PutVarint64(&buf, v);
+    }
+    Decoder d(buf);
+    for (uint64_t expected : values) {
+      uint64_t v = 0;
+      ASSERT_TRUE(d.GetVarint64(&v));
+      EXPECT_EQ(v, expected);
+    }
+    EXPECT_EQ(d.remaining(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sedna

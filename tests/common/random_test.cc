@@ -1,0 +1,89 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace sedna {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+  }
+}
+
+TEST(RandomTest, UniformCoversRange) {
+  Random rng(9);
+  bool seen[7] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.Uniform(7)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(5);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) lo = true;
+    if (v == 3) hi = true;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliRoughlyCalibrated) {
+  Random rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) hits++;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RandomTest, ZipfSkewsTowardSmallValues) {
+  Random rng(17);
+  int small = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Zipf(1000, 0.9) < 100) small++;
+  }
+  // With theta=0.9 far more than 10% of the mass is in the first 10%.
+  EXPECT_GT(small, 3000);
+}
+
+TEST(RandomTest, NextStringIsLowercaseAscii) {
+  Random rng(19);
+  std::string s = rng.NextString(64);
+  ASSERT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+}  // namespace
+}  // namespace sedna

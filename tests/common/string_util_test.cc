@@ -1,0 +1,82 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace sedna {
+namespace {
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, TrimStripsXmlWhitespace) {
+  EXPECT_EQ(Trim(" \t\r\n x y \n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringUtilTest, IsXmlWhitespace) {
+  EXPECT_TRUE(IsXmlWhitespace(""));
+  EXPECT_TRUE(IsXmlWhitespace(" \t\r\n"));
+  EXPECT_FALSE(IsXmlWhitespace(" x "));
+}
+
+TEST(StringUtilTest, ParseInt64) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(ParseInt64("  13 ", &v));
+  EXPECT_EQ(v, 13);
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("4x", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+}
+
+TEST(StringUtilTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+}
+
+TEST(StringUtilTest, FormatDoubleIntegralValues) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(-14.0), "-14");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+}
+
+TEST(StringUtilTest, FormatDoubleRoundTrips) {
+  for (double v : {0.1, 3.14159, -2.5, 1e-9, 12345.6789}) {
+    std::string s = FormatDouble(v);
+    double back = 0;
+    ASSERT_TRUE(ParseDouble(s, &back)) << s;
+    EXPECT_DOUBLE_EQ(back, v);
+  }
+}
+
+TEST(StringUtilTest, FormatDoubleSpecials) {
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::quiet_NaN()), "NaN");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "INF");
+  EXPECT_EQ(FormatDouble(-std::numeric_limits<double>::infinity()), "-INF");
+}
+
+TEST(StringUtilTest, XmlEscape) {
+  EXPECT_EQ(XmlEscape("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+  EXPECT_EQ(XmlEscape("say \"hi\""), "say \"hi\"");
+  EXPECT_EQ(XmlEscape("say \"hi\"", true), "say &quot;hi&quot;");
+}
+
+}  // namespace
+}  // namespace sedna

@@ -1,0 +1,398 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <thread>
+
+namespace sedna {
+namespace {
+
+using namespace std::chrono_literals;
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "db_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    options_.path = base_ + ".sedna";
+    options_.wal_path = base_ + ".wal";
+    std::remove(options_.path.c_str());
+    std::remove(options_.wal_path.c_str());
+    auto db = Database::Create(options_);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+  }
+
+  void Reopen() {
+    db_.reset();
+    auto db = Database::Open(options_);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+  }
+
+  std::string Exec(Session* s, const std::string& stmt) {
+    auto r = s->Execute(stmt);
+    EXPECT_TRUE(r.ok()) << stmt << "\n -> " << r.status().ToString();
+    return r.ok() ? r->serialized : "<error: " + r.status().ToString() + ">";
+  }
+
+  std::string base_;
+  DatabaseOptions options_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DatabaseTest, AutocommitRoundTrip) {
+  auto session = db_->Connect();
+  Exec(session.get(), "CREATE DOCUMENT 'd'");
+  Exec(session.get(), "UPDATE insert <r><v>1</v></r> into doc('d')");
+  EXPECT_EQ(Exec(session.get(), "doc('d')/r/v/text()"), "1");
+}
+
+TEST_F(DatabaseTest, ExplicitCommitPersistsAcrossSessions) {
+  auto s1 = db_->Connect();
+  ASSERT_TRUE(s1->Begin().ok());
+  Exec(s1.get(), "CREATE DOCUMENT 'd'");
+  Exec(s1.get(), "UPDATE insert <r><v>42</v></r> into doc('d')");
+  ASSERT_TRUE(s1->Commit().ok());
+
+  auto s2 = db_->Connect();
+  EXPECT_EQ(Exec(s2.get(), "doc('d')/r/v/text()"), "42");
+}
+
+TEST_F(DatabaseTest, AbortRollsBackContentChanges) {
+  auto setup = db_->Connect();
+  Exec(setup.get(), "CREATE DOCUMENT 'd'");
+  Exec(setup.get(), "UPDATE insert <r><v>old</v></r> into doc('d')");
+
+  auto s = db_->Connect();
+  ASSERT_TRUE(s->Begin().ok());
+  Exec(s.get(), "UPDATE replace $x in doc('d')/r/v with <v>new</v>");
+  EXPECT_EQ(Exec(s.get(), "doc('d')/r/v/text()"), "new");  // own writes
+  ASSERT_TRUE(s->Abort().ok());
+
+  EXPECT_EQ(Exec(setup.get(), "doc('d')/r/v/text()"), "old");
+}
+
+TEST_F(DatabaseTest, AbortRollsBackInsertsAndStructure) {
+  auto setup = db_->Connect();
+  Exec(setup.get(), "CREATE DOCUMENT 'd'");
+  Exec(setup.get(), "UPDATE insert <r><a/></r> into doc('d')");
+
+  auto s = db_->Connect();
+  ASSERT_TRUE(s->Begin().ok());
+  // Inserting a brand-new element kind grows the descriptive schema and
+  // forces an arity rewrite — all of it must roll back.
+  for (int i = 0; i < 50; ++i) {
+    Exec(s.get(), "UPDATE insert <fresh n=\"" + std::to_string(i) +
+                      "\"><sub/></fresh> into doc('d')/r");
+  }
+  EXPECT_EQ(Exec(s.get(), "count(doc('d')/r/fresh)"), "50");
+  ASSERT_TRUE(s->Abort().ok());
+
+  EXPECT_EQ(Exec(setup.get(), "count(doc('d')/r/*)"), "1");
+  EXPECT_EQ(Exec(setup.get(), "count(doc('d')//fresh)"), "0");
+  // The document is still fully usable for new updates.
+  Exec(setup.get(), "UPDATE insert <b/> into doc('d')/r");
+  EXPECT_EQ(Exec(setup.get(), "count(doc('d')/r/*)"), "2");
+}
+
+TEST_F(DatabaseTest, AbortRollsBackCreateDocument) {
+  auto s = db_->Connect();
+  ASSERT_TRUE(s->Begin().ok());
+  Exec(s.get(), "CREATE DOCUMENT 'temp'");
+  Exec(s.get(), "UPDATE insert <r/> into doc('temp')");
+  ASSERT_TRUE(s->Abort().ok());
+
+  auto s2 = db_->Connect();
+  auto r = s2->Execute("doc('temp')");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, AbortRestoresDroppedDocument) {
+  auto setup = db_->Connect();
+  Exec(setup.get(), "CREATE DOCUMENT 'keep'");
+  Exec(setup.get(), "UPDATE insert <r><v>safe</v></r> into doc('keep')");
+
+  auto s = db_->Connect();
+  ASSERT_TRUE(s->Begin().ok());
+  Exec(s.get(), "DROP DOCUMENT 'keep'");
+  ASSERT_TRUE(s->Abort().ok());
+
+  EXPECT_EQ(Exec(setup.get(), "doc('keep')/r/v/text()"), "safe");
+}
+
+// --- MVCC: read-only transactions read a snapshot (Sections 6.1/6.3) -------
+
+TEST_F(DatabaseTest, ReadOnlySnapshotIsolation) {
+  auto setup = db_->Connect();
+  Exec(setup.get(), "CREATE DOCUMENT 'd'");
+  Exec(setup.get(), "UPDATE insert <r><v>1</v></r> into doc('d')");
+
+  auto reader = db_->Connect();
+  ASSERT_TRUE(reader->Begin(/*read_only=*/true).ok());
+  EXPECT_EQ(Exec(reader.get(), "doc('d')/r/v/text()"), "1");
+
+  // A concurrent updater commits a change...
+  Exec(setup.get(), "UPDATE replace $x in doc('d')/r/v with <v>2</v>");
+  auto fresh = db_->Connect();
+  EXPECT_EQ(Exec(fresh.get(), "doc('d')/r/v/text()"), "2");
+
+  // ...but the snapshot reader keeps seeing the old state.
+  EXPECT_EQ(Exec(reader.get(), "doc('d')/r/v/text()"), "1");
+  ASSERT_TRUE(reader->Commit().ok());
+
+  // A new read-only transaction sees the new state.
+  auto reader2 = db_->Connect();
+  ASSERT_TRUE(reader2->Begin(true).ok());
+  EXPECT_EQ(Exec(reader2.get(), "doc('d')/r/v/text()"), "2");
+  ASSERT_TRUE(reader2->Commit().ok());
+}
+
+TEST_F(DatabaseTest, ReadOnlyTransactionsDontBlockOnWriterLock) {
+  auto setup = db_->Connect();
+  Exec(setup.get(), "CREATE DOCUMENT 'd'");
+  Exec(setup.get(), "UPDATE insert <r><v>1</v></r> into doc('d')");
+
+  auto writer = db_->Connect();
+  ASSERT_TRUE(writer->Begin().ok());
+  Exec(writer.get(), "UPDATE replace $x in doc('d')/r/v with <v>2</v>");
+  // Writer holds the exclusive lock; a snapshot reader proceeds anyway.
+  auto reader = db_->Connect();
+  ASSERT_TRUE(reader->Begin(true).ok());
+  EXPECT_EQ(Exec(reader.get(), "doc('d')/r/v/text()"), "1");
+  ASSERT_TRUE(reader->Commit().ok());
+  ASSERT_TRUE(writer->Commit().ok());
+}
+
+TEST_F(DatabaseTest, ReadOnlyTransactionRejectsUpdates) {
+  auto setup = db_->Connect();
+  Exec(setup.get(), "CREATE DOCUMENT 'd'");
+  auto reader = db_->Connect();
+  ASSERT_TRUE(reader->Begin(true).ok());
+  auto r = reader->Execute("UPDATE insert <x/> into doc('d')");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(DatabaseTest, WriterBlocksWriterUntilCommit) {
+  auto setup = db_->Connect();
+  Exec(setup.get(), "CREATE DOCUMENT 'd'");
+  Exec(setup.get(), "UPDATE insert <r/> into doc('d')");
+
+  auto w1 = db_->Connect();
+  ASSERT_TRUE(w1->Begin().ok());
+  Exec(w1.get(), "UPDATE insert <a/> into doc('d')/r");
+
+  std::atomic<bool> w2_done{false};
+  std::thread w2_thread([&] {
+    auto w2 = db_->Connect();
+    ASSERT_TRUE(w2->Begin().ok());
+    auto r = w2->Execute("UPDATE insert <b/> into doc('d')/r");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_TRUE(w2->Commit().ok());
+    w2_done = true;
+  });
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(w2_done.load());  // blocked on the document lock
+  ASSERT_TRUE(w1->Commit().ok());
+  w2_thread.join();
+  EXPECT_TRUE(w2_done.load());
+  EXPECT_EQ(Exec(setup.get(), "count(doc('d')/r/*)"), "2");
+}
+
+TEST_F(DatabaseTest, LockConflictTimesOutAsDeadlockVictim) {
+  DatabaseOptions opts = options_;
+  auto s1 = db_->Connect();
+  Exec(s1.get(), "CREATE DOCUMENT 'a'");
+  Exec(s1.get(), "CREATE DOCUMENT 'b'");
+  Exec(s1.get(), "UPDATE insert <r/> into doc('a')");
+  Exec(s1.get(), "UPDATE insert <r/> into doc('b')");
+
+  auto ta = db_->Connect();
+  auto tb = db_->Connect();
+  ASSERT_TRUE(ta->Begin().ok());
+  ASSERT_TRUE(tb->Begin().ok());
+  Exec(ta.get(), "UPDATE insert <x/> into doc('a')/r");
+  Exec(tb.get(), "UPDATE insert <x/> into doc('b')/r");
+  // ta -> b while tb -> a: a true deadlock; one of them must time out.
+  std::atomic<int> timeouts{0};
+  std::thread t1([&] {
+    auto r = ta->Execute("UPDATE insert <y/> into doc('b')/r");
+    if (!r.ok()) timeouts++;
+  });
+  std::thread t2([&] {
+    auto r = tb->Execute("UPDATE insert <y/> into doc('a')/r");
+    if (!r.ok()) timeouts++;
+  });
+  t1.join();
+  t2.join();
+  EXPECT_GE(timeouts.load(), 1);
+  (void)ta->Abort();
+  (void)tb->Abort();
+}
+
+// --- durability: two-step recovery (Section 6.4) ----------------------------
+
+TEST_F(DatabaseTest, RecoveryReplaysCommittedAfterCheckpoint) {
+  auto s = db_->Connect();
+  Exec(s.get(), "CREATE DOCUMENT 'd'");
+  Exec(s.get(), "UPDATE insert <r><v>base</v></r> into doc('d')");
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  Exec(s.get(), "UPDATE insert <post>after-checkpoint</post> into doc('d')/r");
+  ASSERT_TRUE(db_->txns()->wal()->Sync().ok());
+
+  // Simulate a crash: preserve the checkpoint-time data file and the
+  // current WAL, discarding everything the buffer pool would flush at a
+  // clean shutdown.
+  std::string data_copy = base_ + ".crash";
+  {
+    std::ifstream in(options_.path, std::ios::binary);
+    std::ofstream out(data_copy, std::ios::binary);
+    out << in.rdbuf();
+  }
+  s.reset();
+  db_.reset();
+  std::remove(options_.path.c_str());
+  std::rename(data_copy.c_str(), options_.path.c_str());
+
+  auto reopened = Database::Open(options_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  db_ = std::move(reopened).value();
+  EXPECT_GE(db_->recovered_statements(), 1u);
+  auto s2 = db_->Connect();
+  EXPECT_EQ(Exec(s2.get(), "doc('d')/r/v/text()"), "base");
+  EXPECT_EQ(Exec(s2.get(), "doc('d')/r/post/text()"), "after-checkpoint");
+}
+
+TEST_F(DatabaseTest, RecoverySkipsUncommittedAndAborted) {
+  auto s = db_->Connect();
+  Exec(s.get(), "CREATE DOCUMENT 'd'");
+  Exec(s.get(), "UPDATE insert <r/> into doc('d')");
+  ASSERT_TRUE(db_->Checkpoint().ok());
+
+  // Aborted transaction: logged but must not replay.
+  ASSERT_TRUE(s->Begin().ok());
+  Exec(s.get(), "UPDATE insert <aborted/> into doc('d')/r");
+  ASSERT_TRUE(s->Abort().ok());
+  // Committed one.
+  Exec(s.get(), "UPDATE insert <committed/> into doc('d')/r");
+  ASSERT_TRUE(db_->txns()->wal()->Sync().ok());
+
+  std::string data_copy = base_ + ".crash";
+  {
+    std::ifstream in(options_.path, std::ios::binary);
+    std::ofstream out(data_copy, std::ios::binary);
+    out << in.rdbuf();
+  }
+  s.reset();
+  db_.reset();
+  std::remove(options_.path.c_str());
+  std::rename(data_copy.c_str(), options_.path.c_str());
+
+  auto reopened = Database::Open(options_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  db_ = std::move(reopened).value();
+  auto s2 = db_->Connect();
+  EXPECT_EQ(Exec(s2.get(), "count(doc('d')/r/committed)"), "1");
+  EXPECT_EQ(Exec(s2.get(), "count(doc('d')/r/aborted)"), "0");
+}
+
+TEST_F(DatabaseTest, CleanRestartViaCheckpoint) {
+  auto s = db_->Connect();
+  Exec(s.get(), "CREATE DOCUMENT 'd'");
+  Exec(s.get(), "UPDATE insert <r><v>persist</v></r> into doc('d')");
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  s.reset();
+  Reopen();
+  auto s2 = db_->Connect();
+  EXPECT_EQ(Exec(s2.get(), "doc('d')/r/v/text()"), "persist");
+}
+
+// --- hot backup (Section 6.5) -------------------------------------------------
+
+TEST_F(DatabaseTest, FullBackupAndRestore) {
+  auto s = db_->Connect();
+  Exec(s.get(), "CREATE DOCUMENT 'd'");
+  Exec(s.get(), "UPDATE insert <r><v>backed-up</v></r> into doc('d')");
+
+  std::string dir = base_ + "_backup";
+  ASSERT_TRUE(db_->FullBackup(dir).ok());
+
+  // Post-backup change: must NOT appear after restore.
+  Exec(s.get(), "UPDATE replace $x in doc('d')/r/v with <v>newer</v>");
+
+  DatabaseOptions restored_opts;
+  restored_opts.path = base_ + "_restored.sedna";
+  restored_opts.wal_path = base_ + "_restored.wal";
+  ASSERT_TRUE(Database::Restore(dir, restored_opts).ok());
+  auto restored = Database::Open(restored_opts);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto rs = (*restored)->Connect();
+  EXPECT_EQ(Exec(rs.get(), "doc('d')/r/v/text()"), "backed-up");
+}
+
+TEST_F(DatabaseTest, IncrementalBackupCapturesLaterUpdates) {
+  auto s = db_->Connect();
+  Exec(s.get(), "CREATE DOCUMENT 'd'");
+  Exec(s.get(), "UPDATE insert <r><v>v1</v></r> into doc('d')");
+
+  std::string dir = base_ + "_backup";
+  ASSERT_TRUE(db_->FullBackup(dir).ok());
+  Exec(s.get(), "UPDATE insert <w>v2</w> into doc('d')/r");
+  ASSERT_TRUE(db_->IncrementalBackup(dir).ok());
+
+  DatabaseOptions restored_opts;
+  restored_opts.path = base_ + "_restored.sedna";
+  restored_opts.wal_path = base_ + "_restored.wal";
+  ASSERT_TRUE(Database::Restore(dir, restored_opts).ok());
+  auto restored = Database::Open(restored_opts);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto rs = (*restored)->Connect();
+  EXPECT_EQ(Exec(rs.get(), "doc('d')/r/v/text()"), "v1");
+  EXPECT_EQ(Exec(rs.get(), "doc('d')/r/w/text()"), "v2");
+}
+
+// --- governor -------------------------------------------------------------------
+
+TEST_F(DatabaseTest, GovernorTracksComponents) {
+  auto s1 = db_->Connect();
+  auto s2 = db_->Connect();
+  auto components = Governor::Instance().Components();
+  int dbs = 0, sessions = 0;
+  for (const auto& c : components) {
+    if (c.kind == "database") dbs++;
+    if (c.kind == "session") sessions++;
+  }
+  EXPECT_GE(dbs, 1);
+  EXPECT_GE(sessions, 2);
+  uint64_t id = s1->session_id();
+  s1.reset();
+  bool still_there = false;
+  for (const auto& c : Governor::Instance().Components()) {
+    if (c.detail == "session-" + std::to_string(id)) still_there = true;
+  }
+  EXPECT_FALSE(still_there);
+}
+
+TEST_F(DatabaseTest, TransactionControlErrors) {
+  auto s = db_->Connect();
+  EXPECT_FALSE(s->Commit().ok());  // nothing open
+  EXPECT_FALSE(s->Abort().ok());
+  ASSERT_TRUE(s->Begin().ok());
+  EXPECT_FALSE(s->Begin().ok());  // nested
+  ASSERT_TRUE(s->Commit().ok());
+}
+
+TEST_F(DatabaseTest, FailedStatementAbortsAutocommitTxn) {
+  auto s = db_->Connect();
+  Exec(s.get(), "CREATE DOCUMENT 'd'");
+  Exec(s.get(), "UPDATE insert <r/> into doc('d')");
+  // Statement with a runtime error mid-way must not leave partial state.
+  auto r = s->Execute(
+      "UPDATE insert <x/> into (doc('d')/r, doc('nonexistent')/q)");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(Exec(s.get(), "count(doc('d')/r/*)"), "0");
+}
+
+}  // namespace
+}  // namespace sedna

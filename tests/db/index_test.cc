@@ -1,0 +1,141 @@
+// Value-index feature tests (paper §4.1.2: handles as index entries;
+// §6.4: 'create index' as a logged operation).
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace sedna {
+namespace {
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "ix_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    options_.path = base_ + ".sedna";
+    options_.wal_path = base_ + ".wal";
+    std::remove(options_.path.c_str());
+    std::remove(options_.wal_path.c_str());
+    auto db = Database::Create(options_);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(db).value();
+    session_ = db_->Connect();
+    Exec("CREATE DOCUMENT 'cat'");
+    Exec("UPDATE insert <items>"
+         "<item><sku>aa</sku><price>10</price></item>"
+         "<item><sku>bb</sku><price>20</price></item>"
+         "<item><sku>cc</sku><price>20</price></item>"
+         "</items> into doc('cat')");
+  }
+
+  std::string Exec(const std::string& stmt) {
+    auto r = session_->Execute(stmt);
+    EXPECT_TRUE(r.ok()) << stmt << "\n -> " << r.status().ToString();
+    return r.ok() ? r->serialized : "<error>";
+  }
+
+  std::string base_;
+  DatabaseOptions options_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(IndexTest, CreateAndLookup) {
+  Exec("CREATE INDEX 'by-sku' ON doc('cat')//sku");
+  EXPECT_EQ(Exec("index-lookup('by-sku', 'bb')"), "<sku>bb</sku>");
+  EXPECT_EQ(Exec("count(index-lookup('by-sku', 'zz'))"), "0");
+}
+
+TEST_F(IndexTest, LookupMatchesPredicateQuery) {
+  Exec("CREATE INDEX 'by-price' ON doc('cat')//price");
+  EXPECT_EQ(Exec("count(index-lookup('by-price', '20'))"), "2");
+  EXPECT_EQ(Exec("count(doc('cat')//price[. = '20'])"), "2");
+  // Navigate from index results like any node: parent axis works.
+  EXPECT_EQ(Exec("string(index-lookup('by-price', '10')/../sku)"), "aa");
+}
+
+TEST_F(IndexTest, UpdatesInvalidateAndRebuild) {
+  Exec("CREATE INDEX 'by-sku' ON doc('cat')//sku");
+  EXPECT_EQ(Exec("count(index-lookup('by-sku', 'dd'))"), "0");
+  Exec("UPDATE insert <item><sku>dd</sku><price>5</price></item> "
+       "into doc('cat')/items");
+  EXPECT_EQ(Exec("count(index-lookup('by-sku', 'dd'))"), "1");
+  Exec("UPDATE delete doc('cat')//item[sku = 'bb']");
+  EXPECT_EQ(Exec("count(index-lookup('by-sku', 'bb'))"), "0");
+  EXPECT_GE(db_->indexes()->rebuilds(), 2u);
+}
+
+TEST_F(IndexTest, HandlesSurviveBlockSplits) {
+  Exec("CREATE INDEX 'by-sku' ON doc('cat')//sku");
+  // Force many inserts so the item blocks split and descriptors move;
+  // stale index entries must still resolve through node handles.
+  auto warm = session_->Execute("index-lookup('by-sku', 'aa')");
+  ASSERT_TRUE(warm.ok());
+  for (int i = 0; i < 400; ++i) {
+    Exec("UPDATE insert <item><sku>s" + std::to_string(i) +
+         "</sku><price>1</price></item> into doc('cat')/items");
+  }
+  EXPECT_EQ(Exec("string(index-lookup('by-sku', 's123')/../price)"), "1");
+  EXPECT_EQ(Exec("count(index-lookup('by-sku', 'aa'))"), "1");
+}
+
+TEST_F(IndexTest, DropIndex) {
+  Exec("CREATE INDEX 'by-sku' ON doc('cat')//sku");
+  Exec("DROP INDEX 'by-sku'");
+  auto r = session_->Execute("index-lookup('by-sku', 'aa')");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  auto drop_again = session_->Execute("DROP INDEX 'by-sku'");
+  EXPECT_EQ(drop_again.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(IndexTest, ErrorsAreReported) {
+  // Path not anchored at doc().
+  EXPECT_FALSE(session_->Execute("CREATE INDEX 'bad' ON (1, 2, 3)").ok());
+  // Unknown document.
+  EXPECT_FALSE(
+      session_->Execute("CREATE INDEX 'bad' ON doc('nope')//x").ok());
+  // Duplicate name.
+  Exec("CREATE INDEX 'by-sku' ON doc('cat')//sku");
+  auto dup = session_->Execute("CREATE INDEX 'by-sku' ON doc('cat')//price");
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(IndexTest, DefinitionsSurviveCheckpointAndReopen) {
+  Exec("CREATE INDEX 'by-sku' ON doc('cat')//sku");
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  session_.reset();
+  db_.reset();
+  auto reopened = Database::Open(options_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  db_ = std::move(reopened).value();
+  session_ = db_->Connect();
+  EXPECT_EQ(Exec("string(index-lookup('by-sku', 'cc'))"), "cc");
+}
+
+TEST_F(IndexTest, CreateIndexIsWalLoggedAndRecovered) {
+  ASSERT_TRUE(db_->Checkpoint().ok());
+  Exec("CREATE INDEX 'by-price' ON doc('cat')//price");
+  ASSERT_TRUE(db_->txns()->wal()->Sync().ok());
+  // Crash simulation: data as-of checkpoint + current WAL.
+  std::string crash_copy = base_ + ".crash";
+  {
+    std::ifstream in(options_.path, std::ios::binary);
+    std::ofstream out(crash_copy, std::ios::binary);
+    out << in.rdbuf();
+  }
+  session_.reset();
+  db_.reset();
+  std::remove(options_.path.c_str());
+  std::rename(crash_copy.c_str(), options_.path.c_str());
+  auto reopened = Database::Open(options_);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  db_ = std::move(reopened).value();
+  session_ = db_->Connect();
+  EXPECT_EQ(Exec("count(index-lookup('by-price', '20'))"), "2");
+}
+
+}  // namespace
+}  // namespace sedna

@@ -1,0 +1,280 @@
+#include "numbering/nid.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+
+namespace sedna {
+namespace {
+
+TEST(NidLabelTest, RootLabel) {
+  NidLabel root = NidLabel::Root();
+  EXPECT_EQ(root.prefix.size(), 1u);
+  EXPECT_EQ(static_cast<uint8_t>(root.prefix[0]), 0x80);
+  EXPECT_EQ(root.delimiter, 0xff);
+}
+
+TEST(NidLabelTest, AncestorRequiresProperPrefixBelowDelimiter) {
+  NidLabel a{std::string("\x80", 1), 0xf0};
+  NidLabel child{std::string("\x80\x20", 2), 0xff};
+  NidLabel beyond{std::string("\x80\xf5", 2), 0xff};  // >= delimiter
+  NidLabel equal{std::string("\x80", 1), 0xff};
+  EXPECT_TRUE(a.IsAncestorOf(child));
+  EXPECT_FALSE(a.IsAncestorOf(beyond));
+  EXPECT_FALSE(a.IsAncestorOf(equal));  // not a PROPER ancestor
+  EXPECT_FALSE(child.IsAncestorOf(a));
+}
+
+TEST(NidLabelTest, DocOrderIsLexicographic) {
+  NidLabel a{std::string("\x80\x10", 2), 0xff};
+  NidLabel b{std::string("\x80\x20", 2), 0xff};
+  EXPECT_LT(a.CompareDocOrder(b), 0);
+  EXPECT_GT(b.CompareDocOrder(a), 0);
+  EXPECT_EQ(a.CompareDocOrder(a), 0);
+  EXPECT_TRUE(a.SameNode(a));
+  EXPECT_FALSE(a.SameNode(b));
+}
+
+TEST(NidBetweenTest, ResultStrictlyBetween) {
+  struct Case {
+    std::string low, high;
+  };
+  std::vector<Case> cases = {
+      {std::string("\x10", 1), std::string("\x20", 1)},
+      {std::string("\x10", 1), std::string("\x11", 1)},
+      {std::string("\x10\xff", 2), std::string("\x11", 1)},
+      {std::string(""), std::string("\x01\x02", 2)},
+      {std::string("\x80", 1), std::string("\x80\xff", 2)},
+      {std::string("\xff\xff", 2), std::string("\xff\xff\x80", 3)},
+  };
+  for (const auto& c : cases) {
+    std::string s = nid::Between(c.low, c.high);
+    EXPECT_LT(c.low, s) << "low bound violated";
+    EXPECT_LT(s, c.high) << "high bound violated";
+    EXPECT_GE(static_cast<uint8_t>(s.back()), 0x02)
+        << "ends-with->=2 invariant violated";
+  }
+}
+
+TEST(NidBetweenTest, NeverPrefixOfHigh) {
+  Random rng(31);
+  std::string low, high;
+  for (int i = 0; i < 2000; ++i) {
+    // Random bounds with valid alphabet and valid end bytes.
+    auto make = [&rng]() {
+      size_t len = 1 + rng.Uniform(6);
+      std::string s;
+      for (size_t k = 0; k + 1 < len; ++k) {
+        s.push_back(static_cast<char>(1 + rng.Uniform(255)));
+      }
+      s.push_back(static_cast<char>(2 + rng.Uniform(254)));
+      return s;
+    };
+    low = make();
+    high = make();
+    if (low > high) std::swap(low, high);
+    if (low == high) continue;
+    std::string s = nid::Between(low, high);
+    ASSERT_LT(low, s);
+    ASSERT_LT(s, high);
+    ASSERT_FALSE(s.size() <= high.size() &&
+                 high.compare(0, s.size(), s) == 0)
+        << "result must not be a prefix of the upper bound";
+  }
+}
+
+TEST(NidAllocTest, FirstChildInsideParentRange) {
+  NidLabel root = NidLabel::Root();
+  NidLabel child = nid::AllocBetween(root, nullptr, nullptr);
+  EXPECT_TRUE(root.IsAncestorOf(child));
+}
+
+TEST(NidAllocTest, AllocChildrenAreOrderedDescendants) {
+  NidLabel root = NidLabel::Root();
+  for (size_t n : {1ul, 2ul, 10ul, 249ul, 250ul, 251ul, 5000ul}) {
+    std::vector<NidLabel> kids = nid::AllocChildren(root, n);
+    ASSERT_EQ(kids.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(root.IsAncestorOf(kids[i])) << "n=" << n << " i=" << i;
+      if (i > 0) {
+        EXPECT_LT(kids[i - 1].CompareDocOrder(kids[i]), 0)
+            << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(NidAllocTest, SiblingInsertBetweenExistingChildren) {
+  NidLabel root = NidLabel::Root();
+  std::vector<NidLabel> kids = nid::AllocChildren(root, 2);
+  NidLabel mid = nid::AllocBetween(root, &kids[0], &kids[1]);
+  EXPECT_TRUE(root.IsAncestorOf(mid));
+  EXPECT_LT(kids[0].CompareDocOrder(mid), 0);
+  EXPECT_LT(mid.CompareDocOrder(kids[1]), 0);
+  // The new node's descendant range must not cover the right sibling.
+  EXPECT_FALSE(mid.IsAncestorOf(kids[1]));
+  EXPECT_FALSE(mid.IsAncestorOf(kids[0]));
+}
+
+// ---------------------------------------------------------------------------
+// Property test: a random tree built by point insertions keeps both paper
+// conditions without ever relabeling an existing node.
+// ---------------------------------------------------------------------------
+
+struct TreeNode {
+  NidLabel label;
+  TreeNode* parent = nullptr;
+  std::vector<std::unique_ptr<TreeNode>> children;
+};
+
+void Collect(TreeNode* n, std::vector<TreeNode*>* out) {
+  out->push_back(n);
+  for (auto& c : n->children) Collect(c.get(), out);
+}
+
+bool IsAncestorInTree(const TreeNode* a, const TreeNode* b) {
+  for (const TreeNode* p = b->parent; p != nullptr; p = p->parent) {
+    if (p == a) return true;
+  }
+  return false;
+}
+
+// Document-order sequence by DFS.
+void DocOrder(TreeNode* n, std::vector<TreeNode*>* out) {
+  out->push_back(n);
+  for (auto& c : n->children) DocOrder(c.get(), out);
+}
+
+class NidPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NidPropertyTest, RandomInsertionStormKeepsPaperConditions) {
+  Random rng(GetParam());
+  auto root = std::make_unique<TreeNode>();
+  root->label = NidLabel::Root();
+
+  for (int step = 0; step < 400; ++step) {
+    std::vector<TreeNode*> all;
+    Collect(root.get(), &all);
+    TreeNode* parent = all[rng.Uniform(all.size())];
+    // Insert at a random position among the parent's children.
+    size_t pos = rng.Uniform(parent->children.size() + 1);
+    const NidLabel* left =
+        pos > 0 ? &parent->children[pos - 1]->label : nullptr;
+    const NidLabel* right = pos < parent->children.size()
+                                ? &parent->children[pos]->label
+                                : nullptr;
+    // Snapshot every existing label: insertion must not change any of them
+    // (the "no relabeling" claim).
+    std::vector<std::string> before;
+    for (TreeNode* n : all) before.push_back(n->label.prefix);
+
+    auto child = std::make_unique<TreeNode>();
+    child->label = nid::AllocBetween(parent->label, left, right);
+    child->parent = parent;
+    parent->children.insert(parent->children.begin() + pos,
+                            std::move(child));
+
+    for (size_t i = 0; i < all.size(); ++i) {
+      ASSERT_EQ(all[i]->label.prefix, before[i]) << "node was relabeled";
+    }
+  }
+
+  // Condition 2: labels sorted by prefix == DFS document order.
+  std::vector<TreeNode*> doc;
+  DocOrder(root.get(), &doc);
+  for (size_t i = 1; i < doc.size(); ++i) {
+    ASSERT_LT(doc[i - 1]->label.CompareDocOrder(doc[i]->label), 0)
+        << "document order violated at " << i;
+  }
+
+  // Condition 1: label ancestor test == tree ancestor relation, all pairs.
+  std::vector<TreeNode*> all;
+  Collect(root.get(), &all);
+  for (TreeNode* a : all) {
+    for (TreeNode* b : all) {
+      if (a == b) continue;
+      ASSERT_EQ(a->label.IsAncestorOf(b->label), IsAncestorInTree(a, b))
+          << a->label.ToString() << " vs " << b->label.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NidPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+// Pathological pattern: always insert at the very front (forces the
+// left-bound path) and always at the same split point (forces label growth).
+TEST(NidStressTest, RepeatedFrontInsertsStayOrdered) {
+  NidLabel root = NidLabel::Root();
+  std::vector<NidLabel> kids;
+  kids.push_back(nid::AllocBetween(root, nullptr, nullptr));
+  for (int i = 0; i < 500; ++i) {
+    NidLabel first = nid::AllocBetween(root, nullptr, &kids.front());
+    EXPECT_TRUE(root.IsAncestorOf(first));
+    EXPECT_LT(first.CompareDocOrder(kids.front()), 0);
+    kids.insert(kids.begin(), first);
+  }
+  for (size_t i = 1; i < kids.size(); ++i) {
+    EXPECT_LT(kids[i - 1].CompareDocOrder(kids[i]), 0);
+  }
+}
+
+TEST(NidStressTest, RepeatedAppendsKeepLabelsShort) {
+  // Appending is the dominant update pattern; the append fast path must
+  // keep label growth logarithmic-ish, not linear.
+  NidLabel root = NidLabel::Root();
+  NidLabel last = nid::AllocBetween(root, nullptr, nullptr);
+  size_t max_len = 0;
+  for (int i = 0; i < 20000; ++i) {
+    NidLabel next = nid::AllocBetween(root, &last, nullptr);
+    ASSERT_LT(last.CompareDocOrder(next), 0);
+    ASSERT_TRUE(root.IsAncestorOf(next));
+    ASSERT_FALSE(last.IsAncestorOf(next));
+    last = next;
+    max_len = std::max(max_len, next.prefix.size());
+  }
+  // Growth is ~2 bytes per ~250 appends into one exhausted parent range
+  // (bulk loads avoid even that via pre-spread labels); the naive Between
+  // policy grows ~2 bytes per append (~40000 here).
+  EXPECT_LT(max_len, 400u) << "append labels grew too fast";
+}
+
+TEST(NidStressTest, RepeatedPrependsKeepLabelsShort) {
+  NidLabel root = NidLabel::Root();
+  NidLabel first = nid::AllocBetween(root, nullptr, nullptr);
+  size_t max_len = 0;
+  for (int i = 0; i < 20000; ++i) {
+    NidLabel prev = nid::AllocBetween(root, nullptr, &first);
+    ASSERT_LT(prev.CompareDocOrder(first), 0);
+    ASSERT_TRUE(root.IsAncestorOf(prev));
+    ASSERT_FALSE(prev.IsAncestorOf(first));
+    first = prev;
+    max_len = std::max(max_len, prev.prefix.size());
+  }
+  EXPECT_LT(max_len, 350u) << "prepend labels grew too fast";
+}
+
+TEST(NidStressTest, RepeatedMiddleInsertsGrowLabelsNotNeighbours) {
+  NidLabel root = NidLabel::Root();
+  std::vector<NidLabel> kids = nid::AllocChildren(root, 2);
+  NidLabel left = kids[0];
+  NidLabel right = kids[1];
+  std::string left_before = left.prefix;
+  std::string right_before = right.prefix;
+  for (int i = 0; i < 300; ++i) {
+    NidLabel mid = nid::AllocBetween(root, &left, &right);
+    ASSERT_LT(left.CompareDocOrder(mid), 0);
+    ASSERT_LT(mid.CompareDocOrder(right), 0);
+    // Tighten to the left: worst case for label growth.
+    left = mid;
+  }
+  EXPECT_EQ(kids[0].prefix, left_before);
+  EXPECT_EQ(right.prefix, right_before);
+}
+
+}  // namespace
+}  // namespace sedna

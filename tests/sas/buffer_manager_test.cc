@@ -1,0 +1,188 @@
+#include "sas/buffer_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sas/file_manager.h"
+#include "sas/page_directory.h"
+
+namespace sedna {
+namespace {
+
+class BufferManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "bm_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".sedna";
+    ASSERT_TRUE(file_.Create(path_).ok());
+    directory_ = std::make_unique<SimplePageDirectory>(&file_);
+  }
+
+  void MakeBuffers(size_t frames) {
+    buffers_ =
+        std::make_unique<BufferManager>(&file_, directory_.get(), frames);
+  }
+
+  Xptr AllocPage() {
+    auto p = directory_->AllocLogicalPage();
+    EXPECT_TRUE(p.ok());
+    return *p;
+  }
+
+  std::string path_;
+  FileManager file_;
+  std::unique_ptr<SimplePageDirectory> directory_;
+  std::unique_ptr<BufferManager> buffers_;
+};
+
+TEST_F(BufferManagerTest, PinWriteReadBack) {
+  MakeBuffers(16);
+  Xptr page = AllocPage();
+  {
+    auto guard = buffers_->Pin(page, /*for_write=*/true);
+    ASSERT_TRUE(guard.ok());
+    std::memset(guard->data(), 0x5a, kPageSize);
+    guard->MarkDirty();
+  }
+  ASSERT_TRUE(buffers_->FlushAll().ok());
+  auto guard = buffers_->Pin(page);
+  ASSERT_TRUE(guard.ok());
+  EXPECT_EQ(guard->data()[0], 0x5a);
+  EXPECT_EQ(guard->data()[kPageSize - 1], 0x5a);
+}
+
+TEST_F(BufferManagerTest, DerefFastHitsAfterFault) {
+  MakeBuffers(16);
+  Xptr page = AllocPage();
+  buffers_->ResetStats();
+  void* p1 = buffers_->DerefFast(page + 128);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(buffers_->stats().faults, 1u);
+  void* p2 = buffers_->DerefFast(page + 256);
+  EXPECT_EQ(static_cast<char*>(p2) - static_cast<char*>(p1), 128);
+  // Second deref of a resident page takes the fast path: no new fault.
+  EXPECT_EQ(buffers_->stats().faults, 1u);
+}
+
+TEST_F(BufferManagerTest, DataSurvivesEviction) {
+  MakeBuffers(4);
+  std::vector<Xptr> pages;
+  for (int i = 0; i < 12; ++i) pages.push_back(AllocPage());
+  for (int i = 0; i < 12; ++i) {
+    auto guard = buffers_->Pin(pages[i], /*for_write=*/true);
+    ASSERT_TRUE(guard.ok());
+    std::memset(guard->data(), i + 1, kPageSize);
+    guard->MarkDirty();
+  }
+  // With 4 frames and 12 pages, evictions must have happened.
+  EXPECT_GT(buffers_->stats().evictions, 0u);
+  for (int i = 0; i < 12; ++i) {
+    auto guard = buffers_->Pin(pages[i]);
+    ASSERT_TRUE(guard.ok());
+    EXPECT_EQ(guard->data()[100], i + 1) << "page " << i;
+  }
+}
+
+TEST_F(BufferManagerTest, PinnedPagesAreNotEvicted) {
+  MakeBuffers(4);
+  std::vector<Xptr> pages;
+  for (int i = 0; i < 8; ++i) pages.push_back(AllocPage());
+
+  auto pinned = buffers_->Pin(pages[0], /*for_write=*/true);
+  ASSERT_TRUE(pinned.ok());
+  std::memset(pinned->data(), 0x77, 16);
+  uint8_t* stable = pinned->data();
+
+  // Churn through the other pages; the pinned frame must stay put.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 1; i < 8; ++i) {
+      auto g = buffers_->Pin(pages[i]);
+      ASSERT_TRUE(g.ok());
+    }
+  }
+  EXPECT_EQ(pinned->data(), stable);
+  EXPECT_EQ(stable[0], 0x77);
+}
+
+TEST_F(BufferManagerTest, AllFramesPinnedIsResourceExhausted) {
+  MakeBuffers(4);
+  std::vector<Xptr> pages;
+  std::vector<PageGuard> guards;
+  for (int i = 0; i < 4; ++i) {
+    pages.push_back(AllocPage());
+    auto g = buffers_->Pin(pages[i]);
+    ASSERT_TRUE(g.ok());
+    guards.push_back(std::move(*g));
+  }
+  Xptr extra = AllocPage();
+  auto g = buffers_->Pin(extra);
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kResourceExhausted);
+  guards.clear();
+  auto g2 = buffers_->Pin(extra);
+  EXPECT_TRUE(g2.ok());
+}
+
+TEST_F(BufferManagerTest, UnmappedPageIsNotFound) {
+  MakeBuffers(8);
+  auto g = buffers_->Pin(Xptr(55, 0));
+  ASSERT_FALSE(g.ok());
+  EXPECT_EQ(g.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(BufferManagerTest, StatsCountHitsAndFaults) {
+  MakeBuffers(8);
+  Xptr page = AllocPage();
+  buffers_->ResetStats();
+  { auto g = buffers_->Pin(page); ASSERT_TRUE(g.ok()); }
+  { auto g = buffers_->Pin(page); ASSERT_TRUE(g.ok()); }
+  BufferStats stats = buffers_->stats();
+  EXPECT_EQ(stats.faults, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST_F(BufferManagerTest, FlushAllPersistsAcrossReopen) {
+  MakeBuffers(8);
+  Xptr page = AllocPage();
+  {
+    auto g = buffers_->Pin(page, /*for_write=*/true);
+    ASSERT_TRUE(g.ok());
+    std::strcpy(reinterpret_cast<char*>(g->data()), "persisted");
+    g->MarkDirty();
+  }
+  ASSERT_TRUE(buffers_->FlushAll().ok());
+  std::string dir_blob = directory_->Serialize();
+
+  buffers_.reset();
+  ASSERT_TRUE(file_.Close().ok());
+
+  FileManager file2;
+  ASSERT_TRUE(file2.Open(path_).ok());
+  SimplePageDirectory dir2(&file2);
+  ASSERT_TRUE(dir2.Deserialize(dir_blob).ok());
+  BufferManager bm2(&file2, &dir2, 8);
+  auto g = bm2.Pin(page);
+  ASSERT_TRUE(g.ok());
+  EXPECT_STREQ(reinterpret_cast<char*>(g->data()), "persisted");
+}
+
+TEST_F(BufferManagerTest, MovedGuardReleasesOnce) {
+  MakeBuffers(4);
+  Xptr page = AllocPage();
+  auto g = buffers_->Pin(page);
+  ASSERT_TRUE(g.ok());
+  PageGuard moved = std::move(*g);
+  EXPECT_TRUE(moved.valid());
+  moved.Release();
+  // Frame is unpinned exactly once; pinning three more pages then a fourth
+  // must succeed because nothing is left pinned.
+  for (int i = 0; i < 5; ++i) {
+    Xptr p = AllocPage();
+    auto g2 = buffers_->Pin(p);
+    ASSERT_TRUE(g2.ok());
+  }
+}
+
+}  // namespace
+}  // namespace sedna

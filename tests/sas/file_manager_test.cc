@@ -1,0 +1,150 @@
+#include "sas/file_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace sedna {
+namespace {
+
+class FileManagerTest : public ::testing::Test {
+ protected:
+  std::string Path(const std::string& name) {
+    return ::testing::TempDir() + "fm_" + name + "_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this)) + ".sedna";
+  }
+};
+
+TEST_F(FileManagerTest, CreateThenOpen) {
+  std::string path = Path("create");
+  {
+    FileManager fm;
+    ASSERT_TRUE(fm.Create(path).ok());
+    EXPECT_TRUE(fm.is_open());
+    EXPECT_EQ(fm.page_count(), 2u);  // two master slots
+  }
+  FileManager fm;
+  ASSERT_TRUE(fm.Open(path).ok());
+  EXPECT_EQ(fm.page_count(), 2u);
+}
+
+TEST_F(FileManagerTest, OpenMissingFileFails) {
+  FileManager fm;
+  Status st = fm.Open(Path("missing"));
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST_F(FileManagerTest, AllocWriteReadPage) {
+  FileManager fm;
+  ASSERT_TRUE(fm.Create(Path("rw")).ok());
+  auto ppn = fm.AllocPage();
+  ASSERT_TRUE(ppn.ok());
+  char out[kPageSize];
+  std::memset(out, 0xab, sizeof(out));
+  ASSERT_TRUE(fm.WritePage(*ppn, out).ok());
+  char in[kPageSize];
+  ASSERT_TRUE(fm.ReadPage(*ppn, in).ok());
+  EXPECT_EQ(std::memcmp(in, out, kPageSize), 0);
+}
+
+TEST_F(FileManagerTest, ReadOutOfRangeFails) {
+  FileManager fm;
+  ASSERT_TRUE(fm.Create(Path("oob")).ok());
+  char buf[kPageSize];
+  EXPECT_FALSE(fm.ReadPage(99, buf).ok());
+  EXPECT_FALSE(fm.WritePage(99, buf).ok());
+}
+
+TEST_F(FileManagerTest, FreeListReusesPages) {
+  FileManager fm;
+  ASSERT_TRUE(fm.Create(Path("free")).ok());
+  auto a = fm.AllocPage();
+  auto b = fm.AllocPage();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(fm.FreePage(*a).ok());
+  auto c = fm.AllocPage();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);  // reused
+  auto d = fm.AllocPage();
+  ASSERT_TRUE(d.ok());
+  EXPECT_NE(*d, *b);  // fresh growth
+}
+
+TEST_F(FileManagerTest, FreeMasterPageRejected) {
+  FileManager fm;
+  ASSERT_TRUE(fm.Create(Path("master")).ok());
+  EXPECT_FALSE(fm.FreePage(0).ok());
+  EXPECT_FALSE(fm.FreePage(1).ok());
+}
+
+TEST_F(FileManagerTest, MasterRecordSurvivesReopen) {
+  std::string path = Path("mrec");
+  {
+    FileManager fm;
+    ASSERT_TRUE(fm.Create(path).ok());
+    MasterRecord m = fm.master();
+    m.checkpoint_lsn = 777;
+    m.next_timestamp = 42;
+    fm.set_master(m);
+    ASSERT_TRUE(fm.WriteMaster().ok());
+  }
+  FileManager fm;
+  ASSERT_TRUE(fm.Open(path).ok());
+  EXPECT_EQ(fm.master().checkpoint_lsn, 777u);
+  EXPECT_EQ(fm.master().next_timestamp, 42u);
+}
+
+TEST_F(FileManagerTest, MasterAlternatesSlotsAndPicksNewest) {
+  std::string path = Path("slots");
+  {
+    FileManager fm;
+    ASSERT_TRUE(fm.Create(path).ok());
+    for (int i = 0; i < 5; ++i) {
+      MasterRecord m = fm.master();
+      m.checkpoint_lsn = static_cast<uint64_t>(i);
+      fm.set_master(m);
+      ASSERT_TRUE(fm.WriteMaster().ok());
+    }
+  }
+  FileManager fm;
+  ASSERT_TRUE(fm.Open(path).ok());
+  EXPECT_EQ(fm.master().checkpoint_lsn, 4u);
+}
+
+TEST_F(FileManagerTest, MetaBlobRoundTrip) {
+  FileManager fm;
+  ASSERT_TRUE(fm.Create(Path("blob")).ok());
+  std::string blob(50000, 'q');
+  for (size_t i = 0; i < blob.size(); ++i) blob[i] = static_cast<char>(i % 251);
+  auto head = fm.WriteMetaBlob(blob, kInvalidPhysPage);
+  ASSERT_TRUE(head.ok());
+  auto back = fm.ReadMetaBlob(*head);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, blob);
+}
+
+TEST_F(FileManagerTest, MetaBlobRewriteFreesOldChain) {
+  FileManager fm;
+  ASSERT_TRUE(fm.Create(Path("blob2")).ok());
+  auto head1 = fm.WriteMetaBlob(std::string(40000, 'a'), kInvalidPhysPage);
+  ASSERT_TRUE(head1.ok());
+  uint32_t pages_after_first = fm.page_count();
+  auto head2 = fm.WriteMetaBlob(std::string(40000, 'b'), *head1);
+  ASSERT_TRUE(head2.ok());
+  // The rewrite should have reused the freed chain: no file growth.
+  EXPECT_EQ(fm.page_count(), pages_after_first);
+  auto back = fm.ReadMetaBlob(*head2);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, std::string(40000, 'b'));
+}
+
+TEST_F(FileManagerTest, EmptyMetaBlob) {
+  FileManager fm;
+  ASSERT_TRUE(fm.Create(Path("blob3")).ok());
+  auto back = fm.ReadMetaBlob(kInvalidPhysPage);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+}  // namespace
+}  // namespace sedna

@@ -1,0 +1,59 @@
+#include "sas/xptr.h"
+
+#include <gtest/gtest.h>
+
+namespace sedna {
+namespace {
+
+TEST(XptrTest, NullIsZero) {
+  Xptr p;
+  EXPECT_TRUE(p.is_null());
+  EXPECT_FALSE(p);
+  EXPECT_EQ(p, kNullXptr);
+  EXPECT_EQ(p.ToString(), "null");
+}
+
+TEST(XptrTest, LayerOffsetDecomposition) {
+  Xptr p(7, 0x1234);
+  EXPECT_EQ(p.layer(), 7u);
+  EXPECT_EQ(p.offset(), 0x1234u);
+  EXPECT_EQ(p.raw, (7ull << 32) | 0x1234);
+}
+
+TEST(XptrTest, PageBaseClearsLowBits) {
+  Xptr p(3, 5 * kPageSize + 77);
+  EXPECT_EQ(p.PageBase(), Xptr(3, 5 * kPageSize));
+  EXPECT_EQ(p.PageOffset(), 77u);
+  EXPECT_EQ(p.PageIndex(), 5u);
+}
+
+TEST(XptrTest, PageBaseKeepsLayer) {
+  Xptr p(42, kPageSize - 1);
+  EXPECT_EQ(p.PageBase().layer(), 42u);
+  EXPECT_EQ(p.PageBase().offset(), 0u);
+}
+
+TEST(XptrTest, AdditionStaysWithinLayer) {
+  Xptr p(2, 100);
+  Xptr q = p + 28;
+  EXPECT_EQ(q.layer(), 2u);
+  EXPECT_EQ(q.offset(), 128u);
+}
+
+TEST(XptrTest, OrderingByRawValue) {
+  EXPECT_LT(Xptr(1, 50), Xptr(2, 0));
+  EXPECT_LT(Xptr(1, 50), Xptr(1, 51));
+}
+
+TEST(XptrTest, PageIdOfIsPageBaseRaw) {
+  Xptr p(9, 3 * kPageSize + 11);
+  EXPECT_EQ(PageIdOf(p), Xptr(9, 3 * kPageSize).raw);
+}
+
+TEST(XptrTest, HashableInUnorderedContainers) {
+  std::hash<Xptr> h;
+  EXPECT_NE(h(Xptr(1, 2)), h(Xptr(2, 1)));
+}
+
+}  // namespace
+}  // namespace sedna

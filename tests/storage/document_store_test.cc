@@ -1,0 +1,168 @@
+#include "storage/document_store.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/storage/storage_test_util.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_serializer.h"
+#include "xmlgen/generators.h"
+
+namespace sedna {
+namespace {
+
+class DocumentStoreTest : public StorageTest {
+ protected:
+  DocumentStore* CreateAndLoad(const std::string& name, const XmlNode& doc) {
+    auto store = engine_->CreateDocument(ctx_, name);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    Status st = (*store)->Load(ctx_, doc);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return *store;
+  }
+
+  void ExpectRoundTrip(const XmlNode& doc, const std::string& name) {
+    DocumentStore* store = CreateAndLoad(name, doc);
+    auto back = store->MaterializeDocument(ctx_);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_TRUE(doc.DeepEquals(**back))
+        << "stored:   " << SerializeXml(**back) << "\nexpected: "
+        << SerializeXml(doc);
+  }
+};
+
+TEST_F(DocumentStoreTest, PaperFigure2Document) {
+  auto doc = ParseXml(R"(<library>
+    <book><title>Foundations of Databases</title>
+      <author>Abiteboul</author><author>Hull</author><author>Vianu</author>
+    </book>
+    <book><title>An Introduction to Database Systems</title>
+      <author>Date</author>
+      <issue><publisher>Addison-Wesley</publisher><year>2004</year></issue>
+    </book>
+    <paper><title>A Relational Model for Large Shared Data Banks</title>
+      <author>Codd</author>
+    </paper>
+  </library>)");
+  ASSERT_TRUE(doc.ok());
+  DocumentStore* store = CreateAndLoad("fig2", **doc);
+
+  // Schema-clustering assertions from Figure 2: one schema node per path,
+  // and all nodes of a path live in that schema node's block list.
+  const DescriptiveSchema* schema = store->schema();
+  const SchemaNode* library =
+      schema->root()->FindChild(XmlKind::kElement, "library");
+  ASSERT_NE(library, nullptr);
+  EXPECT_EQ(library->children.size(), 2u);  // book, paper
+  const SchemaNode* book = library->FindChild(XmlKind::kElement, "book");
+  ASSERT_NE(book, nullptr);
+  EXPECT_EQ(book->node_count, 2u);
+  const SchemaNode* author = book->FindChild(XmlKind::kElement, "author");
+  ASSERT_NE(author, nullptr);
+  EXPECT_EQ(author->node_count, 4u);
+
+  auto back = store->MaterializeDocument(ctx_);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE((*doc)->DeepEquals(**back));
+}
+
+TEST_F(DocumentStoreTest, LibraryRoundTrip) {
+  ExpectRoundTrip(*xmlgen::Library(50, 10), "lib");
+}
+
+TEST_F(DocumentStoreTest, AuctionRoundTrip) {
+  xmlgen::AuctionParams params;
+  params.items = 40;
+  params.people = 20;
+  params.open_auctions = 15;
+  params.closed_auctions = 10;
+  ExpectRoundTrip(*xmlgen::Auction(params), "auction");
+}
+
+TEST_F(DocumentStoreTest, DeepChainRoundTrip) {
+  ExpectRoundTrip(*xmlgen::DeepChain(150), "deep");
+}
+
+TEST_F(DocumentStoreTest, WideFanRoundTrip) {
+  // Wide enough to force multiple blocks per schema node.
+  ExpectRoundTrip(*xmlgen::WideFan(3000, 3), "wide");
+}
+
+TEST_F(DocumentStoreTest, AttributesAndMixedContentRoundTrip) {
+  auto doc = ParseXml(
+      R"(<r a="1" b="two">pre<x c="3">mid</x>post<y/>tail</r>)");
+  ASSERT_TRUE(doc.ok());
+  ExpectRoundTrip(**doc, "mixed");
+}
+
+class DocumentStorePropertyTest
+    : public DocumentStoreTest,
+      public ::testing::WithParamInterface<uint64_t> {};
+
+TEST_P(DocumentStorePropertyTest, RandomTreeRoundTrip) {
+  auto doc = xmlgen::RandomTree(800, GetParam());
+  ExpectRoundTrip(*doc, "rand" + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DocumentStorePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST_F(DocumentStoreTest, NodeCountMatchesTreeSize) {
+  auto doc = xmlgen::Library(10, 5);
+  DocumentStore* store = CreateAndLoad("counted", *doc);
+  // SubtreeSize counts the document node too; node_count excludes it.
+  EXPECT_EQ(store->node_count(), doc->SubtreeSize() - 1);
+}
+
+TEST_F(DocumentStoreTest, CreateDuplicateRejected) {
+  ASSERT_TRUE(engine_->CreateDocument(ctx_, "dup").ok());
+  auto second = engine_->CreateDocument(ctx_, "dup");
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(DocumentStoreTest, DropReleasesPages) {
+  auto doc = xmlgen::Library(100, 20);
+  CreateAndLoad("doomed", *doc);
+  size_t mapped = engine_->directory()->size();
+  ASSERT_TRUE(engine_->DropDocument(ctx_, "doomed").ok());
+  EXPECT_LT(engine_->directory()->size(), mapped);
+  EXPECT_EQ(engine_->GetDocument("doomed").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DocumentStoreTest, PersistsAcrossCheckpointAndReopen) {
+  auto doc = xmlgen::Library(30, 8);
+  CreateAndLoad("persist", *doc);
+  ASSERT_TRUE(engine_->Checkpoint().ok());
+  Reopen();
+  auto store = engine_->GetDocument("persist");
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto back = (*store)->MaterializeDocument(ctx_);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(doc->DeepEquals(**back));
+}
+
+TEST_F(DocumentStoreTest, MultipleDocumentsCoexist) {
+  auto lib = xmlgen::Library(10, 2);
+  auto deep = xmlgen::DeepChain(30);
+  CreateAndLoad("one", *lib);
+  CreateAndLoad("two", *deep);
+  auto names = engine_->DocumentNames();
+  ASSERT_EQ(names.size(), 2u);
+  auto back1 = (*engine_->GetDocument("one"))->MaterializeDocument(ctx_);
+  auto back2 = (*engine_->GetDocument("two"))->MaterializeDocument(ctx_);
+  ASSERT_TRUE(back1.ok() && back2.ok());
+  EXPECT_TRUE(lib->DeepEquals(**back1));
+  EXPECT_TRUE(deep->DeepEquals(**back2));
+}
+
+TEST_F(DocumentStoreTest, LongTextValuesRoundTrip) {
+  auto doc = XmlNode::Document();
+  auto* r = doc->AddElement("r");
+  std::string big(kPageSize * 2 + 500, 'x');
+  for (size_t i = 0; i < big.size(); ++i) big[i] = 'a' + (i % 26);
+  r->AddText(big);
+  ExpectRoundTrip(*doc, "longtext");
+}
+
+}  // namespace
+}  // namespace sedna

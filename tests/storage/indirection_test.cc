@@ -1,0 +1,107 @@
+#include "storage/indirection.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/storage/storage_test_util.h"
+
+namespace sedna {
+namespace {
+
+class IndirectionTest : public StorageTest {
+ protected:
+  void SetUp() override {
+    StorageTest::SetUp();
+    table_ = std::make_unique<IndirectionTable>(env(), 1);
+  }
+
+  std::unique_ptr<IndirectionTable> table_;
+};
+
+TEST_F(IndirectionTest, AllocGetRoundTrip) {
+  Xptr target(5, 0x1234);
+  auto handle = table_->Alloc(ctx_, target);
+  ASSERT_TRUE(handle.ok());
+  auto got = table_->Get(ctx_, *handle);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, target);
+}
+
+TEST_F(IndirectionTest, SetRedirects) {
+  auto handle = table_->Alloc(ctx_, Xptr(5, 0x100));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(table_->Set(ctx_, *handle, Xptr(9, 0x200)).ok());
+  auto got = table_->Get(ctx_, *handle);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Xptr(9, 0x200));
+}
+
+TEST_F(IndirectionTest, HandleIsStableAcrossSet) {
+  auto handle = table_->Alloc(ctx_, Xptr(5, 0x100));
+  ASSERT_TRUE(handle.ok());
+  Xptr h = *handle;
+  for (int i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(table_->Set(ctx_, h, Xptr(5, 0x100 + 8 * i)).ok());
+  }
+  auto got = table_->Get(ctx_, h);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Xptr(5, 0x100 + 80));
+}
+
+TEST_F(IndirectionTest, GetAfterFreeIsNotFound) {
+  auto handle = table_->Alloc(ctx_, Xptr(5, 0x100));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(table_->Free(ctx_, *handle).ok());
+  EXPECT_EQ(table_->Get(ctx_, *handle).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(table_->Set(ctx_, *handle, Xptr(1, 0)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(IndirectionTest, DoubleFreeIsCorruption) {
+  auto handle = table_->Alloc(ctx_, Xptr(5, 0x100));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(table_->Free(ctx_, *handle).ok());
+  EXPECT_EQ(table_->Free(ctx_, *handle).code(), StatusCode::kCorruption);
+}
+
+TEST_F(IndirectionTest, FreedEntriesAreReused) {
+  auto h1 = table_->Alloc(ctx_, Xptr(1, 8));
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(table_->Free(ctx_, *h1).ok());
+  auto h2 = table_->Alloc(ctx_, Xptr(2, 16));
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(*h2, *h1);
+}
+
+TEST_F(IndirectionTest, GrowsAcrossPages) {
+  // More handles than fit in one indirection page.
+  const size_t n = kIndirEntriesPerPage + 100;
+  std::vector<Xptr> handles;
+  for (size_t i = 0; i < n; ++i) {
+    auto h = table_->Alloc(ctx_, Xptr(7, static_cast<uint32_t>(8 * i)));
+    ASSERT_TRUE(h.ok()) << i;
+    handles.push_back(*h);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    auto got = table_->Get(ctx_, handles[i]);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, Xptr(7, static_cast<uint32_t>(8 * i)));
+  }
+}
+
+TEST_F(IndirectionTest, StateSurvivesRestore) {
+  auto h = table_->Alloc(ctx_, Xptr(4, 0x42));
+  ASSERT_TRUE(h.ok());
+  Xptr head = table_->head();
+  Xptr free_head = table_->free_head();
+  ASSERT_TRUE(engine_->Checkpoint().ok());
+  Reopen();
+  IndirectionTable restored(env(), 1);
+  restored.Restore(head, free_head);
+  auto got = restored.Get(ctx_, *h);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, Xptr(4, 0x42));
+}
+
+}  // namespace
+}  // namespace sedna

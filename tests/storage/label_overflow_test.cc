@@ -1,0 +1,127 @@
+// Long numbering labels overflow from the inline descriptor area into text
+// storage (layout.h: kInlineLabelBytes). Repeated insertion at one point
+// grows labels past the inline capacity; everything must keep working:
+// ordering, navigation, splits, deletion and reload.
+
+#include <gtest/gtest.h>
+
+#include "storage/document_store.h"
+#include "tests/storage/storage_test_util.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_serializer.h"
+
+namespace sedna {
+namespace {
+
+class LabelOverflowTest : public StorageTest {
+ protected:
+  DocumentStore* Load(const char* xml) {
+    auto doc = ParseXml(xml);
+    EXPECT_TRUE(doc.ok());
+    auto store = engine_->CreateDocument(ctx_, "d");
+    EXPECT_TRUE(store.ok());
+    EXPECT_TRUE((*store)->Load(ctx_, **doc).ok());
+    return *store;
+  }
+
+  Xptr HandleOfFirst(DocumentStore* store, const char* name) {
+    auto sns = store->schema()->FindDescendants(store->schema()->root(),
+                                                XmlKind::kElement, name);
+    EXPECT_FALSE(sns.empty());
+    auto first = store->nodes()->FirstOfSchema(ctx_, sns[0]);
+    EXPECT_TRUE(first.ok());
+    auto info = store->nodes()->Info(ctx_, *first);
+    EXPECT_TRUE(info.ok());
+    return info->handle;
+  }
+};
+
+TEST_F(LabelOverflowTest, AdversarialMiddleInsertsOverflowAndStayOrdered) {
+  DocumentStore* store = Load("<r><a/><b/></r>");
+  Xptr r = HandleOfFirst(store, "r");
+  Xptr left = HandleOfFirst(store, "a");
+  Xptr right = HandleOfFirst(store, "b");
+  // Always insert between `left` and `right`, shrinking the same gap: after
+  // ~7 inserts the labels exceed 14 inline bytes and overflow.
+  std::vector<Xptr> handles;
+  size_t max_len = 0;
+  for (int i = 0; i < 120; ++i) {
+    auto h = store->nodes()->InsertNode(ctx_, r, left, right,
+                                        XmlKind::kElement, "m", "");
+    ASSERT_TRUE(h.ok()) << i << ": " << h.status().ToString();
+    handles.push_back(*h);
+    auto info = store->nodes()->InfoByHandle(ctx_, *h);
+    ASSERT_TRUE(info.ok());
+    max_len = std::max(max_len, info->label.prefix.size());
+    left = *h;  // tighten
+  }
+  EXPECT_GT(max_len, static_cast<size_t>(kInlineLabelBytes))
+      << "workload failed to trigger overflow labels";
+
+  // All handles resolve; labels are strictly increasing in creation order.
+  NidLabel prev;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    auto info = store->nodes()->InfoByHandle(ctx_, handles[i]);
+    ASSERT_TRUE(info.ok()) << i;
+    if (i > 0) {
+      ASSERT_LT(prev.CompareDocOrder(info->label), 0) << i;
+    }
+    prev = info->label;
+  }
+
+  // Document materializes with all 120 nodes in order.
+  auto tree = store->MaterializeDocument(ctx_);
+  ASSERT_TRUE(tree.ok());
+  size_t m_count = 0;
+  for (const auto& c : (*tree)->children[0]->children) {
+    if (c->name == "m") m_count++;
+  }
+  EXPECT_EQ(m_count, 120u);
+}
+
+TEST_F(LabelOverflowTest, OverflowLabelsSurviveCheckpointAndReload) {
+  DocumentStore* store = Load("<r><a/><b/></r>");
+  Xptr r = HandleOfFirst(store, "r");
+  Xptr left = HandleOfFirst(store, "a");
+  Xptr right = HandleOfFirst(store, "b");
+  for (int i = 0; i < 40; ++i) {
+    auto h = store->nodes()->InsertNode(ctx_, r, left, right,
+                                        XmlKind::kElement, "m",
+                                        "");
+    ASSERT_TRUE(h.ok());
+    left = *h;
+  }
+  auto before = store->MaterializeDocument(ctx_);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(engine_->Checkpoint().ok());
+  Reopen();
+  auto reopened = engine_->GetDocument("d");
+  ASSERT_TRUE(reopened.ok());
+  auto after = (*reopened)->MaterializeDocument(ctx_);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE((*before)->DeepEquals(**after));
+}
+
+TEST_F(LabelOverflowTest, DeletingOverflowNodesReleasesTheirLabels) {
+  DocumentStore* store = Load("<r><a/><b/></r>");
+  Xptr r = HandleOfFirst(store, "r");
+  Xptr left = HandleOfFirst(store, "a");
+  Xptr right = HandleOfFirst(store, "b");
+  std::vector<Xptr> handles;
+  for (int i = 0; i < 60; ++i) {
+    auto h = store->nodes()->InsertNode(ctx_, r, left, right,
+                                        XmlKind::kElement, "m", "");
+    ASSERT_TRUE(h.ok());
+    handles.push_back(*h);
+    left = *h;
+  }
+  for (Xptr h : handles) {
+    ASSERT_TRUE(store->nodes()->DeleteSubtree(ctx_, h).ok());
+  }
+  auto tree = store->MaterializeDocument(ctx_);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(SerializeXml(**tree), "<r><a/><b/></r>");
+}
+
+}  // namespace
+}  // namespace sedna

@@ -1,0 +1,306 @@
+#include "storage/node_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "storage/document_store.h"
+#include "tests/storage/storage_test_util.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_serializer.h"
+#include "xmlgen/generators.h"
+
+namespace sedna {
+namespace {
+
+class NodeStoreTest : public StorageTest {
+ protected:
+  DocumentStore* NewDoc(const std::string& name, const char* xml = nullptr) {
+    auto store = engine_->CreateDocument(ctx_, name);
+    EXPECT_TRUE(store.ok()) << store.status().ToString();
+    if (xml != nullptr) {
+      auto doc = ParseXml(xml);
+      EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+      Status st = (*store)->Load(ctx_, **doc);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+    return *store;
+  }
+
+  std::string Serialized(DocumentStore* store) {
+    auto tree = store->MaterializeDocument(ctx_);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    return SerializeXml(**tree);
+  }
+
+  // Handle of the first element matching `name` (document order).
+  Xptr HandleOf(DocumentStore* store, const std::string& name, int index = 0) {
+    auto matches = store->schema()->FindDescendants(store->schema()->root(),
+                                                    XmlKind::kElement, name);
+    EXPECT_FALSE(matches.empty()) << name;
+    auto first = store->nodes()->FirstOfSchema(ctx_, matches[0]);
+    EXPECT_TRUE(first.ok());
+    Xptr cur = *first;
+    for (int i = 0; i < index && cur; ++i) {
+      auto next = store->nodes()->NextSameSchema(ctx_, cur);
+      EXPECT_TRUE(next.ok());
+      cur = *next;
+    }
+    EXPECT_TRUE(cur) << name << "[" << index << "]";
+    auto info = store->nodes()->Info(ctx_, cur);
+    EXPECT_TRUE(info.ok());
+    return info->handle;
+  }
+};
+
+TEST_F(NodeStoreTest, InsertAppendsAsLastChild) {
+  DocumentStore* store = NewDoc("t1", "<r><a>1</a></r>");
+  Xptr r = HandleOf(store, "r");
+  auto h = store->nodes()->InsertNode(ctx_, r, kNullXptr, kNullXptr,
+                                      XmlKind::kElement, "b", "");
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(Serialized(store), "<r><a>1</a><b/></r>");
+}
+
+TEST_F(NodeStoreTest, InsertBeforeFirstChild) {
+  DocumentStore* store = NewDoc("t2", "<r><a>1</a></r>");
+  Xptr r = HandleOf(store, "r");
+  Xptr a = HandleOf(store, "a");
+  auto h = store->nodes()->InsertNode(ctx_, r, kNullXptr, a,
+                                      XmlKind::kElement, "z", "");
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(Serialized(store), "<r><z/><a>1</a></r>");
+}
+
+TEST_F(NodeStoreTest, InsertBetweenSiblings) {
+  DocumentStore* store = NewDoc("t3", "<r><a/><c/></r>");
+  Xptr r = HandleOf(store, "r");
+  Xptr a = HandleOf(store, "a");
+  auto h = store->nodes()->InsertNode(ctx_, r, a, kNullXptr,
+                                      XmlKind::kElement, "b", "");
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(Serialized(store), "<r><a/><b/><c/></r>");
+}
+
+TEST_F(NodeStoreTest, InsertTextNode) {
+  DocumentStore* store = NewDoc("t4", "<r><a/></r>");
+  Xptr a = HandleOf(store, "a");
+  auto h = store->nodes()->InsertNode(ctx_, a, kNullXptr, kNullXptr,
+                                      XmlKind::kText, "", "content");
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(Serialized(store), "<r><a>content</a></r>");
+}
+
+TEST_F(NodeStoreTest, InsertAttribute) {
+  DocumentStore* store = NewDoc("t5", "<r><a/></r>");
+  Xptr a = HandleOf(store, "a");
+  auto h = store->nodes()->InsertNode(ctx_, a, kNullXptr, kNullXptr,
+                                      XmlKind::kAttribute, "k", "v");
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(Serialized(store), R"(<r><a k="v"/></r>)");
+}
+
+TEST_F(NodeStoreTest, InsertNewSchemaKindExpandsParentArity) {
+  // The parent element was loaded when its schema node had fewer children;
+  // inserting a child of a brand-new kind must trigger the delayed per-block
+  // arity expansion and still work.
+  DocumentStore* store = NewDoc("t6", "<r><a/><a/><a/></r>");
+  Xptr r = HandleOf(store, "r");
+  uint64_t moved_before = store->nodes()->moved_nodes();
+  auto h = store->nodes()->InsertNode(ctx_, r, kNullXptr, kNullXptr,
+                                      XmlKind::kElement, "brandnew", "");
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(Serialized(store), "<r><a/><a/><a/><brandnew/></r>");
+  // The r block had arity 1 and must have been rewritten.
+  EXPECT_GT(store->nodes()->moved_nodes(), moved_before);
+  // And the moved parent is still reachable through its handle.
+  auto info = store->nodes()->InfoByHandle(ctx_, r);
+  ASSERT_TRUE(info.ok());
+}
+
+TEST_F(NodeStoreTest, UpdateTextRewritesContent) {
+  DocumentStore* store = NewDoc("t7", "<r><a>old</a></r>");
+  // The text node is the child of a.
+  auto text_sns = store->schema()->FindDescendants(store->schema()->root(),
+                                                   XmlKind::kText, "*");
+  ASSERT_EQ(text_sns.size(), 1u);
+  auto first = store->nodes()->FirstOfSchema(ctx_, text_sns[0]);
+  ASSERT_TRUE(first.ok());
+  auto info = store->nodes()->Info(ctx_, *first);
+  ASSERT_TRUE(info.ok());
+  ASSERT_TRUE(store->nodes()->UpdateText(ctx_, info->handle, "new").ok());
+  EXPECT_EQ(Serialized(store), "<r><a>new</a></r>");
+}
+
+TEST_F(NodeStoreTest, DeleteLeafDetachesEverywhere) {
+  DocumentStore* store = NewDoc("t8", "<r><a/><b/><c/></r>");
+  Xptr b = HandleOf(store, "b");
+  ASSERT_TRUE(store->nodes()->DeleteSubtree(ctx_, b).ok());
+  EXPECT_EQ(Serialized(store), "<r><a/><c/></r>");
+  EXPECT_EQ(store->nodes()->InfoByHandle(ctx_, b).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(NodeStoreTest, DeleteFirstOfKindUpdatesParentSlot) {
+  DocumentStore* store = NewDoc("t9", "<r><a>1</a><a>2</a><a>3</a></r>");
+  Xptr first_a = HandleOf(store, "a", 0);
+  ASSERT_TRUE(store->nodes()->DeleteSubtree(ctx_, first_a).ok());
+  EXPECT_EQ(Serialized(store), "<r><a>2</a><a>3</a></r>");
+}
+
+TEST_F(NodeStoreTest, DeleteSubtreeRemovesDescendants) {
+  DocumentStore* store = NewDoc(
+      "t10", "<r><keep/><del><x>1</x><y><z>2</z></y></del><keep/></r>");
+  Xptr del = HandleOf(store, "del");
+  uint64_t count_before = store->node_count();
+  ASSERT_TRUE(store->nodes()->DeleteSubtree(ctx_, del).ok());
+  EXPECT_EQ(Serialized(store), "<r><keep/><keep/></r>");
+  EXPECT_EQ(store->node_count(), count_before - 6);
+}
+
+TEST_F(NodeStoreTest, ManyInsertsForceBlockSplits) {
+  DocumentStore* store = NewDoc("t11", "<r><item>seed</item></r>");
+  Xptr r = HandleOf(store, "r");
+  // Insert far more items than fit in one block (16 KiB / 72 B ~ 225).
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    auto h = store->nodes()->InsertNode(ctx_, r, kNullXptr, kNullXptr,
+                                        XmlKind::kElement, "item", "");
+    ASSERT_TRUE(h.ok()) << i << ": " << h.status().ToString();
+  }
+  EXPECT_GT(store->nodes()->block_splits(), 0u);
+  // All items reachable in order through the schema chain.
+  auto item_sn = store->schema()->FindDescendants(store->schema()->root(),
+                                                  XmlKind::kElement, "item");
+  ASSERT_EQ(item_sn.size(), 1u);
+  EXPECT_EQ(item_sn[0]->node_count, static_cast<uint64_t>(n + 1));
+  auto cur = store->nodes()->FirstOfSchema(ctx_, item_sn[0]);
+  ASSERT_TRUE(cur.ok());
+  int seen = 0;
+  NidLabel prev_label;
+  Xptr p = *cur;
+  while (p) {
+    auto info = store->nodes()->Info(ctx_, p);
+    ASSERT_TRUE(info.ok());
+    if (seen > 0) {
+      ASSERT_LT(prev_label.CompareDocOrder(info->label), 0)
+          << "chain out of document order at " << seen;
+    }
+    prev_label = info->label;
+    auto next = store->nodes()->NextSameSchema(ctx_, p);
+    ASSERT_TRUE(next.ok());
+    p = *next;
+    seen++;
+  }
+  EXPECT_EQ(seen, n + 1);
+}
+
+TEST_F(NodeStoreTest, HandlesSurviveBlockSplits) {
+  // The paper's core claim: node handles stay valid when nodes move.
+  DocumentStore* store = NewDoc("t12", "<r><item>first</item></r>");
+  Xptr r = HandleOf(store, "r");
+  Xptr first_item = HandleOf(store, "item");
+  std::vector<Xptr> handles{first_item};
+  for (int i = 0; i < 1000; ++i) {
+    auto h = store->nodes()->InsertNode(ctx_, r, kNullXptr, kNullXptr,
+                                        XmlKind::kElement, "item",
+                                        "");
+    ASSERT_TRUE(h.ok());
+    handles.push_back(*h);
+  }
+  ASSERT_GT(store->nodes()->block_splits(), 0u);
+  NidLabel prev;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    auto info = store->nodes()->InfoByHandle(ctx_, handles[i]);
+    ASSERT_TRUE(info.ok()) << "handle " << i << " broken after splits";
+    if (i > 0) {
+      EXPECT_LT(prev.CompareDocOrder(info->label), 0);
+    }
+    prev = info->label;
+  }
+}
+
+TEST_F(NodeStoreTest, RandomizedMutationsAgainstReferenceTree) {
+  // Reference model: an XmlNode tree mutated in parallel with the store.
+  DocumentStore* store = NewDoc("t13", "<root/>");
+  auto reference = XmlNode::Document();
+  XmlNode* ref_root = reference->AddElement("root");
+
+  struct Entry {
+    Xptr handle;
+    XmlNode* ref;
+  };
+  std::vector<Entry> elements;
+  elements.push_back({HandleOf(store, "root"), ref_root});
+
+  Random rng(99);
+  const char* kNames[] = {"a", "b", "c"};
+  for (int step = 0; step < 300; ++step) {
+    size_t pick = rng.Uniform(elements.size());
+    Entry parent = elements[pick];
+    double dice = rng.NextDouble();
+    if (dice < 0.75 || elements.size() < 3) {
+      // Insert a child element at a random position.
+      const char* name = kNames[rng.Uniform(3)];
+      size_t nkids = parent.ref->children.size();
+      size_t pos = rng.Uniform(nkids + 1);
+      Xptr left, right;
+      if (pos > 0) {
+        // Find handle of ref child pos-1 via our bookkeeping.
+        XmlNode* left_ref = parent.ref->children[pos - 1].get();
+        for (const Entry& e : elements) {
+          if (e.ref == left_ref) left = e.handle;
+        }
+      }
+      if (pos < nkids) {
+        XmlNode* right_ref = parent.ref->children[pos].get();
+        for (const Entry& e : elements) {
+          if (e.ref == right_ref) right = e.handle;
+        }
+      }
+      // Only positions where both neighbours are tracked elements are
+      // exercised (text nodes are leaves of tracked elements).
+      if ((pos > 0 && !left) || (pos < nkids && !right)) continue;
+      auto h = store->nodes()->InsertNode(ctx_, parent.handle, left, right,
+                                          XmlKind::kElement, name, "");
+      ASSERT_TRUE(h.ok()) << h.status().ToString();
+      auto child = std::make_unique<XmlNode>(XmlKind::kElement, name);
+      XmlNode* ref_child = child.get();
+      parent.ref->children.insert(parent.ref->children.begin() + pos,
+                                  std::move(child));
+      elements.push_back({*h, ref_child});
+    } else if (pick != 0) {
+      // Delete the subtree (never the root).
+      ASSERT_TRUE(store->nodes()->DeleteSubtree(ctx_, parent.handle).ok());
+      // Erase from reference and bookkeeping.
+      std::function<void(XmlNode*)> forget = [&](XmlNode* n) {
+        for (auto& c : n->children) forget(c.get());
+        elements.erase(std::remove_if(elements.begin(), elements.end(),
+                                      [&](const Entry& e) {
+                                        return e.ref == n;
+                                      }),
+                       elements.end());
+      };
+      forget(parent.ref);
+      // Remove from its parent's child list.
+      std::function<bool(XmlNode*)> detach = [&](XmlNode* n) {
+        for (size_t i = 0; i < n->children.size(); ++i) {
+          if (n->children[i].get() == parent.ref) {
+            n->children.erase(n->children.begin() + i);
+            return true;
+          }
+          if (detach(n->children[i].get())) return true;
+        }
+        return false;
+      };
+      ASSERT_TRUE(detach(reference.get()));
+    }
+    if (step % 50 == 49) {
+      ASSERT_EQ(Serialized(store), SerializeXml(*reference))
+          << "divergence at step " << step;
+    }
+  }
+  EXPECT_EQ(Serialized(store), SerializeXml(*reference));
+}
+
+}  // namespace
+}  // namespace sedna

@@ -1,0 +1,172 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "xml/xml_parser.h"
+#include "xmlgen/generators.h"
+
+namespace sedna {
+namespace {
+
+TEST(SchemaTest, RootIsDocumentNode) {
+  DescriptiveSchema schema;
+  EXPECT_EQ(schema.root()->kind, XmlKind::kDocument);
+  EXPECT_EQ(schema.root()->id, 0u);
+  EXPECT_EQ(schema.size(), 1u);
+}
+
+TEST(SchemaTest, GetOrAddChildIsIdempotent) {
+  DescriptiveSchema schema;
+  SchemaNode* a = schema.GetOrAddChild(schema.root(), XmlKind::kElement, "a");
+  SchemaNode* a2 = schema.GetOrAddChild(schema.root(), XmlKind::kElement, "a");
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(schema.size(), 2u);
+  EXPECT_EQ(a->slot_in_parent, 0);
+}
+
+TEST(SchemaTest, SameNameDifferentKindAreDistinct) {
+  DescriptiveSchema schema;
+  SchemaNode* elem =
+      schema.GetOrAddChild(schema.root(), XmlKind::kElement, "a");
+  SchemaNode* root_elem = schema.GetOrAddChild(elem, XmlKind::kElement, "x");
+  SchemaNode* attr = schema.GetOrAddChild(elem, XmlKind::kAttribute, "x");
+  EXPECT_NE(root_elem, attr);
+  EXPECT_EQ(root_elem->slot_in_parent, 0);
+  EXPECT_EQ(attr->slot_in_parent, 1);
+}
+
+TEST(SchemaTest, Figure2LibrarySchemaShape) {
+  // The paper's Figure 2: library with book (title, author, issue
+  // (publisher, year)) and paper (title, author). The schema must have
+  // exactly one node per distinct path, independent of how many books
+  // there are.
+  DescriptiveSchema schema;
+  auto add = [&](SchemaNode* p, const char* name) {
+    return schema.GetOrAddChild(p, XmlKind::kElement, name);
+  };
+  SchemaNode* library = add(schema.root(), "library");
+  for (int book = 0; book < 3; ++book) {
+    SchemaNode* b = add(library, "book");
+    add(b, "title");
+    add(b, "author");
+    add(b, "author");
+    SchemaNode* issue = add(b, "issue");
+    add(issue, "publisher");
+    add(issue, "year");
+  }
+  SchemaNode* paper = add(library, "paper");
+  add(paper, "title");
+  add(paper, "author");
+
+  // document + library + book + title + author + issue + publisher + year
+  // + paper + paper/title + paper/author = 11
+  EXPECT_EQ(schema.size(), 11u);
+  EXPECT_EQ(library->children.size(), 2u);  // book, paper
+  SchemaNode* book = library->FindChild(XmlKind::kElement, "book");
+  ASSERT_NE(book, nullptr);
+  EXPECT_EQ(book->children.size(), 3u);  // title, author, issue
+  EXPECT_EQ(book->Path(), "/library/book");
+  EXPECT_EQ(book->FindChild(XmlKind::kElement, "title")->Path(),
+            "/library/book/title");
+}
+
+void PathsOf(const XmlNode& n, std::string prefix,
+             std::set<std::string>* out) {
+  for (const auto& c : n.children) {
+    std::string p = prefix + "/" + XmlKindName(c->kind) + ":" + c->name;
+    out->insert(p);
+    PathsOf(*c, p, out);
+  }
+}
+
+void RegisterAll(DescriptiveSchema* schema, const XmlNode& n,
+                 SchemaNode* sn) {
+  for (const auto& c : n.children) {
+    SchemaNode* csn = schema->GetOrAddChild(sn, c->kind, c->name);
+    RegisterAll(schema, *c, csn);
+  }
+}
+
+class SchemaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchemaPropertyTest, ExactlyOneSchemaPathPerDocumentPath) {
+  auto doc = xmlgen::RandomTree(300, GetParam());
+  DescriptiveSchema schema;
+  RegisterAll(&schema, *doc, schema.root());
+
+  std::set<std::string> doc_paths;
+  PathsOf(*doc, "", &doc_paths);
+  // Schema size = distinct paths + the root.
+  EXPECT_EQ(schema.size(), doc_paths.size() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchemaPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(SchemaTest, SerializeRoundTrip) {
+  DescriptiveSchema schema;
+  SchemaNode* lib =
+      schema.GetOrAddChild(schema.root(), XmlKind::kElement, "library");
+  SchemaNode* book = schema.GetOrAddChild(lib, XmlKind::kElement, "book");
+  schema.GetOrAddChild(book, XmlKind::kElement, "title");
+  schema.GetOrAddChild(book, XmlKind::kAttribute, "id");
+  schema.GetOrAddChild(book, XmlKind::kText, "");
+  book->first_block = Xptr(3, 0x4000);
+  book->last_block = Xptr(3, 0x8000);
+  book->node_count = 99;
+
+  DescriptiveSchema restored;
+  ASSERT_TRUE(restored.Deserialize(schema.Serialize()).ok());
+  ASSERT_EQ(restored.size(), schema.size());
+  const SchemaNode* rbook = restored.node(book->id);
+  EXPECT_EQ(rbook->name, "book");
+  EXPECT_EQ(rbook->kind, XmlKind::kElement);
+  EXPECT_EQ(rbook->first_block, Xptr(3, 0x4000));
+  EXPECT_EQ(rbook->node_count, 99u);
+  EXPECT_EQ(rbook->children.size(), 3u);
+  EXPECT_EQ(rbook->children[0]->name, "title");
+  EXPECT_EQ(rbook->children[0]->slot_in_parent, 0);
+  EXPECT_EQ(rbook->children[1]->kind, XmlKind::kAttribute);
+  EXPECT_EQ(rbook->parent->name, "library");
+}
+
+TEST(SchemaTest, DeserializeRejectsGarbage) {
+  DescriptiveSchema schema;
+  EXPECT_FALSE(schema.Deserialize("garbage").ok());
+  EXPECT_FALSE(schema.Deserialize("").ok());
+}
+
+TEST(SchemaTest, FindDescendantsMatchesByNameAndWildcard) {
+  DescriptiveSchema schema;
+  SchemaNode* lib =
+      schema.GetOrAddChild(schema.root(), XmlKind::kElement, "library");
+  SchemaNode* book = schema.GetOrAddChild(lib, XmlKind::kElement, "book");
+  schema.GetOrAddChild(book, XmlKind::kElement, "title");
+  SchemaNode* paper = schema.GetOrAddChild(lib, XmlKind::kElement, "paper");
+  schema.GetOrAddChild(paper, XmlKind::kElement, "title");
+
+  auto titles =
+      schema.FindDescendants(schema.root(), XmlKind::kElement, "title");
+  EXPECT_EQ(titles.size(), 2u);
+  auto under_book = schema.FindDescendants(book, XmlKind::kElement, "title");
+  EXPECT_EQ(under_book.size(), 1u);
+  auto all = schema.FindDescendants(schema.root(), XmlKind::kElement, "*");
+  EXPECT_EQ(all.size(), 5u);
+}
+
+TEST(SchemaTest, DepthAndPath) {
+  DescriptiveSchema schema;
+  SchemaNode* a = schema.GetOrAddChild(schema.root(), XmlKind::kElement, "a");
+  SchemaNode* b = schema.GetOrAddChild(a, XmlKind::kElement, "b");
+  SchemaNode* attr = schema.GetOrAddChild(b, XmlKind::kAttribute, "k");
+  SchemaNode* text = schema.GetOrAddChild(b, XmlKind::kText, "");
+  EXPECT_EQ(schema.root()->Depth(), 0);
+  EXPECT_EQ(b->Depth(), 2);
+  EXPECT_EQ(attr->Path(), "/a/b/@k");
+  EXPECT_EQ(text->Path(), "/a/b/text()");
+}
+
+}  // namespace
+}  // namespace sedna

@@ -1,0 +1,121 @@
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sedna {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(LockManagerTest, SharedLocksAreCompatible) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, "doc", LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(2, "doc", LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(3, "doc", LockMode::kShared).ok());
+}
+
+TEST(LockManagerTest, ExclusiveConflictsWithShared) {
+  LockManager locks(10ms);
+  ASSERT_TRUE(locks.Acquire(1, "doc", LockMode::kShared).ok());
+  Status st = locks.Acquire(2, "doc", LockMode::kExclusive, 10ms);
+  EXPECT_EQ(st.code(), StatusCode::kTimedOut);
+}
+
+TEST(LockManagerTest, ExclusiveConflictsWithExclusive) {
+  LockManager locks(10ms);
+  ASSERT_TRUE(locks.Acquire(1, "doc", LockMode::kExclusive).ok());
+  EXPECT_EQ(locks.Acquire(2, "doc", LockMode::kExclusive, 10ms).code(),
+            StatusCode::kTimedOut);
+  EXPECT_EQ(locks.Acquire(2, "doc", LockMode::kShared, 10ms).code(),
+            StatusCode::kTimedOut);
+}
+
+TEST(LockManagerTest, ReacquireIsNoOp) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire(1, "doc", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(1, "doc", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(1, "doc", LockMode::kShared).ok());
+  LockMode mode;
+  EXPECT_TRUE(locks.Holds(1, "doc", &mode));
+  EXPECT_EQ(mode, LockMode::kExclusive);  // kept the stronger lock
+}
+
+TEST(LockManagerTest, UpgradeWhenSoleHolder) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire(1, "doc", LockMode::kShared).ok());
+  EXPECT_TRUE(locks.Acquire(1, "doc", LockMode::kExclusive).ok());
+  LockMode mode;
+  ASSERT_TRUE(locks.Holds(1, "doc", &mode));
+  EXPECT_EQ(mode, LockMode::kExclusive);
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherReader) {
+  LockManager locks(10ms);
+  ASSERT_TRUE(locks.Acquire(1, "doc", LockMode::kShared).ok());
+  ASSERT_TRUE(locks.Acquire(2, "doc", LockMode::kShared).ok());
+  EXPECT_EQ(locks.Acquire(1, "doc", LockMode::kExclusive, 10ms).code(),
+            StatusCode::kTimedOut);
+}
+
+TEST(LockManagerTest, ReleaseWakesWaiter) {
+  LockManager locks(2000ms);
+  ASSERT_TRUE(locks.Acquire(1, "doc", LockMode::kExclusive).ok());
+  std::thread waiter([&] {
+    Status st = locks.Acquire(2, "doc", LockMode::kExclusive, 2000ms);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  });
+  std::this_thread::sleep_for(20ms);
+  locks.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(locks.Holds(2, "doc"));
+}
+
+TEST(LockManagerTest, DifferentResourcesDontConflict) {
+  LockManager locks;
+  EXPECT_TRUE(locks.Acquire(1, "a", LockMode::kExclusive).ok());
+  EXPECT_TRUE(locks.Acquire(2, "b", LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, ReleaseAllReleasesEverything) {
+  LockManager locks;
+  ASSERT_TRUE(locks.Acquire(1, "a", LockMode::kExclusive).ok());
+  ASSERT_TRUE(locks.Acquire(1, "b", LockMode::kShared).ok());
+  locks.ReleaseAll(1);
+  EXPECT_FALSE(locks.Holds(1, "a"));
+  EXPECT_FALSE(locks.Holds(1, "b"));
+  EXPECT_TRUE(locks.Acquire(2, "a", LockMode::kExclusive).ok());
+}
+
+TEST(LockManagerTest, StatsTrackWaitsAndTimeouts) {
+  LockManager locks(10ms);
+  ASSERT_TRUE(locks.Acquire(1, "doc", LockMode::kExclusive).ok());
+  (void)locks.Acquire(2, "doc", LockMode::kShared, 10ms);
+  LockStats stats = locks.stats();
+  EXPECT_GE(stats.waits, 1u);
+  EXPECT_GE(stats.timeouts, 1u);
+  EXPECT_GE(stats.acquired, 1u);
+}
+
+TEST(LockManagerTest, ManyThreadsSerializeOnExclusive) {
+  LockManager locks(5000ms);
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&, i] {
+      for (int k = 0; k < 50; ++k) {
+        uint64_t txn = static_cast<uint64_t>(i * 1000 + k + 1);
+        ASSERT_TRUE(
+            locks.Acquire(txn, "ctr", LockMode::kExclusive, 5000ms).ok());
+        counter++;  // protected by the exclusive lock
+        locks.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 400);
+}
+
+}  // namespace
+}  // namespace sedna

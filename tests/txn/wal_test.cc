@@ -1,0 +1,133 @@
+#include "txn/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace sedna {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "wal_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".log";
+    std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(WalTest, AppendAndReadBack) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 7, "").ok());
+  ASSERT_TRUE(
+      writer.Append(WalRecordType::kUpdateStatement, 7, "UPDATE x").ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 7, "").ok());
+  ASSERT_TRUE(writer.Sync().ok());
+
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ((*records)[0].type, WalRecordType::kBegin);
+  EXPECT_EQ((*records)[0].txn_id, 7u);
+  EXPECT_EQ((*records)[1].type, WalRecordType::kUpdateStatement);
+  EXPECT_EQ((*records)[1].payload, "UPDATE x");
+  EXPECT_EQ((*records)[2].type, WalRecordType::kCommit);
+}
+
+TEST_F(WalTest, LsnsAreByteOffsets) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  auto lsn1 = writer.Append(WalRecordType::kBegin, 1, "");
+  auto lsn2 = writer.Append(WalRecordType::kCommit, 1, "");
+  ASSERT_TRUE(lsn1.ok() && lsn2.ok());
+  EXPECT_EQ(*lsn1, 0u);
+  EXPECT_GT(*lsn2, *lsn1);
+  EXPECT_EQ(writer.end_lsn(), *lsn2 + 17);  // 8 header + 9 body
+}
+
+TEST_F(WalTest, ReadFromLsnSkipsPrefix) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 1, "").ok());
+  uint64_t mid = writer.end_lsn();
+  ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "").ok());
+  ASSERT_TRUE(writer.Sync().ok());
+  auto records = ReadWal(path_, mid);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].type, WalRecordType::kCommit);
+  EXPECT_EQ((*records)[0].lsn, mid);
+}
+
+TEST_F(WalTest, SurvivesReopenAndAppends) {
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 1, "first").ok());
+  }
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path_).ok());
+    EXPECT_GT(writer.end_lsn(), 0u);
+    ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "second").ok());
+  }
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+}
+
+TEST_F(WalTest, TornTailIsCutOff) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 1, "good").ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "").ok());
+  ASSERT_TRUE(writer.Close().ok());
+  // Simulate a torn write: append garbage that looks like a header.
+  std::ofstream f(path_, std::ios::binary | std::ios::app);
+  f.write("\x40\x00\x00\x00\xde\xad\xbe\xefpartial", 15);
+  f.close();
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);  // garbage dropped
+}
+
+TEST_F(WalTest, CorruptMiddleStopsReplay) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 1, "one").ok());
+  uint64_t second = writer.end_lsn();
+  ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "two").ok());
+  ASSERT_TRUE(writer.Close().ok());
+  // Flip a payload byte of the second record.
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(static_cast<std::streamoff>(second) + 10);
+  f.put('X');
+  f.close();
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+}
+
+TEST_F(WalTest, MissingFileYieldsNoRecords) {
+  auto records = ReadWal(path_ + ".nope");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST_F(WalTest, LargePayloadRoundTrip) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  std::string big(200000, 'q');
+  ASSERT_TRUE(writer.Append(WalRecordType::kUpdateStatement, 3, big).ok());
+  ASSERT_TRUE(writer.Sync().ok());
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].payload, big);
+}
+
+}  // namespace
+}  // namespace sedna

@@ -1,0 +1,100 @@
+#include "xmlgen/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/xml_parser.h"
+#include "xml/xml_serializer.h"
+
+namespace sedna {
+namespace {
+
+size_t CountElements(const XmlNode& n, std::string_view name) {
+  size_t count = n.kind == XmlKind::kElement && n.name == name ? 1 : 0;
+  for (const auto& c : n.children) count += CountElements(*c, name);
+  return count;
+}
+
+TEST(GeneratorsTest, LibraryHasRequestedCounts) {
+  auto doc = xmlgen::Library(20, 5);
+  EXPECT_EQ(CountElements(*doc, "book"), 20u);
+  EXPECT_EQ(CountElements(*doc, "paper"), 5u);
+  EXPECT_EQ(CountElements(*doc, "library"), 1u);
+  // Every book has exactly one title and at least one author.
+  EXPECT_EQ(CountElements(*doc, "title"), 25u);
+  EXPECT_GE(CountElements(*doc, "author"), 25u);
+}
+
+TEST(GeneratorsTest, LibraryIsDeterministicPerSeed) {
+  auto a = xmlgen::Library(10, 3, 7);
+  auto b = xmlgen::Library(10, 3, 7);
+  auto c = xmlgen::Library(10, 3, 8);
+  EXPECT_TRUE(a->DeepEquals(*b));
+  EXPECT_FALSE(a->DeepEquals(*c));
+}
+
+TEST(GeneratorsTest, LibrarySerializesAndReparses) {
+  auto doc = xmlgen::Library(15, 4);
+  auto round = ParseXml(SerializeXml(*doc));
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_TRUE(doc->DeepEquals(**round));
+}
+
+TEST(GeneratorsTest, AuctionShape) {
+  xmlgen::AuctionParams params;
+  params.items = 30;
+  params.people = 10;
+  params.open_auctions = 12;
+  params.closed_auctions = 6;
+  auto doc = xmlgen::Auction(params);
+  EXPECT_EQ(CountElements(*doc, "item"), 30u);
+  EXPECT_EQ(CountElements(*doc, "person"), 10u);
+  EXPECT_EQ(CountElements(*doc, "open_auction"), 12u);
+  EXPECT_EQ(CountElements(*doc, "closed_auction"), 6u);
+  EXPECT_EQ(CountElements(*doc, "site"), 1u);
+  EXPECT_EQ(CountElements(*doc, "regions"), 1u);
+}
+
+TEST(GeneratorsTest, AuctionSerializesAndReparses) {
+  xmlgen::AuctionParams params;
+  params.items = 10;
+  params.people = 5;
+  auto doc = xmlgen::Auction(params);
+  auto round = ParseXml(SerializeXml(*doc));
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_TRUE(doc->DeepEquals(**round));
+}
+
+TEST(GeneratorsTest, DeepChainDepth) {
+  auto doc = xmlgen::DeepChain(50);
+  const XmlNode* cur = doc->children[0].get();
+  int depth = 1;
+  while (!cur->children.empty() &&
+         cur->children[0]->kind == XmlKind::kElement) {
+    cur = cur->children[0].get();
+    depth++;
+  }
+  EXPECT_EQ(depth, 50);
+  EXPECT_EQ(cur->children[0]->value, "leaf");
+}
+
+TEST(GeneratorsTest, WideFanWidthAndNames) {
+  auto doc = xmlgen::WideFan(100, 4);
+  const XmlNode* root = doc->children[0].get();
+  EXPECT_EQ(root->children.size(), 100u);
+  EXPECT_EQ(CountElements(*doc, "c0"), 25u);
+  EXPECT_EQ(CountElements(*doc, "c3"), 25u);
+}
+
+TEST(GeneratorsTest, RandomTreeNodeCount) {
+  auto doc = xmlgen::RandomTree(500, 3);
+  size_t elements = 0;
+  std::function<void(const XmlNode&)> walk = [&](const XmlNode& n) {
+    if (n.kind == XmlKind::kElement) elements++;
+    for (const auto& c : n.children) walk(*c);
+  };
+  walk(*doc);
+  EXPECT_EQ(elements, 500u);
+}
+
+}  // namespace
+}  // namespace sedna

@@ -1,0 +1,186 @@
+#include "xml/xml_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sedna {
+namespace {
+
+std::unique_ptr<XmlNode> MustParse(std::string_view s,
+                                   XmlParseOptions opts = {}) {
+  auto r = ParseXml(s, opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(XmlParserTest, MinimalDocument) {
+  auto doc = MustParse("<a/>");
+  ASSERT_EQ(doc->kind, XmlKind::kDocument);
+  ASSERT_EQ(doc->children.size(), 1u);
+  EXPECT_EQ(doc->children[0]->kind, XmlKind::kElement);
+  EXPECT_EQ(doc->children[0]->name, "a");
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  auto doc = MustParse("<a><b>hello</b><c>world</c></a>");
+  XmlNode* a = doc->children[0].get();
+  ASSERT_EQ(a->children.size(), 2u);
+  EXPECT_EQ(a->children[0]->name, "b");
+  EXPECT_EQ(a->children[0]->children[0]->kind, XmlKind::kText);
+  EXPECT_EQ(a->children[0]->children[0]->value, "hello");
+  EXPECT_EQ(a->children[1]->children[0]->value, "world");
+}
+
+TEST(XmlParserTest, Attributes) {
+  auto doc = MustParse(R"(<a x="1" y='two'/>)");
+  XmlNode* a = doc->children[0].get();
+  ASSERT_EQ(a->children.size(), 2u);
+  EXPECT_EQ(a->children[0]->kind, XmlKind::kAttribute);
+  EXPECT_EQ(a->children[0]->name, "x");
+  EXPECT_EQ(a->children[0]->value, "1");
+  EXPECT_EQ(a->children[1]->name, "y");
+  EXPECT_EQ(a->children[1]->value, "two");
+}
+
+TEST(XmlParserTest, DuplicateAttributeRejected) {
+  auto r = ParseXml(R"(<a x="1" x="2"/>)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("duplicate attribute"),
+            std::string::npos);
+}
+
+TEST(XmlParserTest, EntityReferences) {
+  auto doc = MustParse("<a>&lt;&amp;&gt;&quot;&apos;&#65;&#x42;</a>");
+  EXPECT_EQ(doc->children[0]->children[0]->value, "<&>\"'AB");
+}
+
+TEST(XmlParserTest, EntityInAttribute) {
+  auto doc = MustParse(R"(<a t="a&amp;b"/>)");
+  EXPECT_EQ(doc->children[0]->children[0]->value, "a&b");
+}
+
+TEST(XmlParserTest, NumericEntityUtf8) {
+  auto doc = MustParse("<a>&#x20AC;</a>");  // euro sign
+  EXPECT_EQ(doc->children[0]->children[0]->value, "\xE2\x82\xAC");
+}
+
+TEST(XmlParserTest, CdataSection) {
+  auto doc = MustParse("<a><![CDATA[<not>&parsed;]]></a>");
+  EXPECT_EQ(doc->children[0]->children[0]->value, "<not>&parsed;");
+}
+
+TEST(XmlParserTest, BoundaryWhitespaceStrippedByDefault) {
+  auto doc = MustParse("<a>\n  <b>x</b>\n  <c>y</c>\n</a>");
+  EXPECT_EQ(doc->children[0]->children.size(), 2u);
+}
+
+TEST(XmlParserTest, BoundaryWhitespaceKeptOnRequest) {
+  XmlParseOptions opts;
+  opts.strip_boundary_whitespace = false;
+  auto doc = MustParse("<a>\n  <b>x</b>\n</a>", opts);
+  // text, element, text
+  EXPECT_EQ(doc->children[0]->children.size(), 3u);
+}
+
+TEST(XmlParserTest, MixedContentTextIsKept) {
+  auto doc = MustParse("<a>pre<b/>post</a>");
+  XmlNode* a = doc->children[0].get();
+  ASSERT_EQ(a->children.size(), 3u);
+  EXPECT_EQ(a->children[0]->value, "pre");
+  EXPECT_EQ(a->children[1]->name, "b");
+  EXPECT_EQ(a->children[2]->value, "post");
+}
+
+TEST(XmlParserTest, CommentsAndPisSkippedByDefault) {
+  auto doc = MustParse("<a><!-- note --><?target data?><b/></a>");
+  EXPECT_EQ(doc->children[0]->children.size(), 1u);
+}
+
+TEST(XmlParserTest, CommentsAndPisKeptOnRequest) {
+  XmlParseOptions opts;
+  opts.keep_comments_and_pis = true;
+  auto doc = MustParse("<a><!-- note --><?target data?></a>", opts);
+  XmlNode* a = doc->children[0].get();
+  ASSERT_EQ(a->children.size(), 2u);
+  EXPECT_EQ(a->children[0]->kind, XmlKind::kComment);
+  EXPECT_EQ(a->children[0]->value, " note ");
+  EXPECT_EQ(a->children[1]->kind, XmlKind::kPi);
+  EXPECT_EQ(a->children[1]->name, "target");
+  EXPECT_EQ(a->children[1]->value, "data");
+}
+
+TEST(XmlParserTest, XmlDeclAndDoctypeSkipped) {
+  auto doc = MustParse(
+      "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      "<!DOCTYPE a [<!ELEMENT a ANY>]>\n"
+      "<a/>");
+  EXPECT_EQ(doc->children[0]->name, "a");
+}
+
+TEST(XmlParserTest, MismatchedTagsRejected) {
+  auto r = ParseXml("<a><b></a></b>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("mismatched end tag"),
+            std::string::npos);
+}
+
+TEST(XmlParserTest, UnterminatedElementRejected) {
+  EXPECT_FALSE(ParseXml("<a><b>").ok());
+}
+
+TEST(XmlParserTest, ContentAfterRootRejected) {
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+}
+
+TEST(XmlParserTest, EmptyInputRejected) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("   ").ok());
+}
+
+TEST(XmlParserTest, ErrorsCarryLineAndColumn) {
+  auto r = ParseXml("<a>\n<b x=></b></a>");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(XmlParserTest, NamespacePrefixesKeptInNames) {
+  auto doc = MustParse(R"(<ns:a xmlns:ns="urn:x"><ns:b/></ns:a>)");
+  EXPECT_EQ(doc->children[0]->name, "ns:a");
+  EXPECT_EQ(doc->children[0]->children[1]->name, "ns:b");
+}
+
+TEST(XmlParserTest, DeepNesting) {
+  std::string s;
+  const int depth = 200;
+  for (int i = 0; i < depth; ++i) s += "<d>";
+  s += "x";
+  for (int i = 0; i < depth; ++i) s += "</d>";
+  auto doc = MustParse(s);
+  const XmlNode* cur = doc->children[0].get();
+  for (int i = 1; i < depth; ++i) {
+    ASSERT_EQ(cur->children.size(), 1u);
+    cur = cur->children[0].get();
+  }
+  EXPECT_EQ(cur->children[0]->value, "x");
+}
+
+TEST(XmlTreeTest, StringValueConcatenatesDescendantText) {
+  auto doc = MustParse("<a>one<b>two</b><c><d>three</d></c></a>");
+  EXPECT_EQ(doc->children[0]->StringValue(), "onetwothree");
+}
+
+TEST(XmlTreeTest, SubtreeSizeCountsAllNodes) {
+  auto doc = MustParse("<a><b>x</b><c/></a>");
+  // document + a + b + text + c
+  EXPECT_EQ(doc->SubtreeSize(), 5u);
+}
+
+TEST(XmlTreeTest, CloneIsDeepAndEqual) {
+  auto doc = MustParse(R"(<a x="1"><b>t</b></a>)");
+  auto copy = doc->Clone();
+  EXPECT_TRUE(doc->DeepEquals(*copy));
+  copy->children[0]->children[1]->children[0]->value = "changed";
+  EXPECT_FALSE(doc->DeepEquals(*copy));
+}
+
+}  // namespace
+}  // namespace sedna

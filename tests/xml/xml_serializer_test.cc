@@ -1,0 +1,83 @@
+#include "xml/xml_serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/xml_parser.h"
+
+namespace sedna {
+namespace {
+
+TEST(XmlSerializerTest, SimpleElement) {
+  auto doc = XmlNode::Document();
+  auto* a = doc->AddElement("a");
+  a->AddText("hi");
+  EXPECT_EQ(SerializeXml(*doc), "<a>hi</a>");
+}
+
+TEST(XmlSerializerTest, EmptyElementCollapsed) {
+  auto doc = XmlNode::Document();
+  doc->AddElement("a");
+  EXPECT_EQ(SerializeXml(*doc), "<a/>");
+}
+
+TEST(XmlSerializerTest, AttributesInOrder) {
+  auto doc = XmlNode::Document();
+  auto* a = doc->AddElement("a");
+  a->AddAttribute("x", "1");
+  a->AddAttribute("y", "2");
+  EXPECT_EQ(SerializeXml(*doc), R"(<a x="1" y="2"/>)");
+}
+
+TEST(XmlSerializerTest, EscapesSpecialCharacters) {
+  auto doc = XmlNode::Document();
+  auto* a = doc->AddElement("a");
+  a->AddAttribute("t", "a\"b<c");
+  a->AddText("x<y&z");
+  EXPECT_EQ(SerializeXml(*doc), R"(<a t="a&quot;b&lt;c">x&lt;y&amp;z</a>)");
+}
+
+TEST(XmlSerializerTest, RoundTripThroughParser) {
+  const std::string original =
+      R"(<library><book id="1"><title>T&amp;A</title>)"
+      R"(<author>Codd</author></book><paper/></library>)";
+  auto doc = ParseXml(original);
+  ASSERT_TRUE(doc.ok());
+  std::string serialized = SerializeXml(**doc);
+  auto reparsed = ParseXml(serialized);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE((*doc)->DeepEquals(**reparsed)) << serialized;
+}
+
+TEST(XmlSerializerTest, IndentedOutput) {
+  auto doc = ParseXml("<a><b><c>x</c></b></a>");
+  ASSERT_TRUE(doc.ok());
+  XmlSerializeOptions opts;
+  opts.indent = true;
+  std::string s = SerializeXml(**doc, opts);
+  EXPECT_EQ(s, "<a>\n  <b>\n    <c>x</c>\n  </b>\n</a>");
+}
+
+TEST(XmlSerializerTest, CommentAndPi) {
+  auto doc = XmlNode::Document();
+  auto* a = doc->AddElement("a");
+  a->Add(std::make_unique<XmlNode>(XmlKind::kComment, "", " c "));
+  a->Add(std::make_unique<XmlNode>(XmlKind::kPi, "t", "d"));
+  EXPECT_EQ(SerializeXml(*doc), "<a><!-- c --><?t d?></a>");
+}
+
+TEST(XmlSerializerTest, RandomDocumentsRoundTrip) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    // Use the parser as the oracle: serialize(parse(x)) == parse-stable.
+    std::string xml = "<r><a p=\"" + std::to_string(seed) +
+                      "\">text " + std::to_string(seed) +
+                      "</a><b/><c>1 &lt; 2</c></r>";
+    auto doc = ParseXml(xml);
+    ASSERT_TRUE(doc.ok());
+    auto again = ParseXml(SerializeXml(**doc));
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE((*doc)->DeepEquals(**again));
+  }
+}
+
+}  // namespace
+}  // namespace sedna

@@ -1,0 +1,107 @@
+#include "xquery/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "xquery/parser.h"
+
+namespace sedna {
+namespace {
+
+Status AnalyzeText(const std::string& text) {
+  auto stmt = ParseStatement(text);
+  EXPECT_TRUE(stmt.ok()) << stmt.status().ToString();
+  if (!stmt.ok()) return stmt.status();
+  return Analyze(**stmt);
+}
+
+TEST(AnalyzerTest, AcceptsWellFormedQueries) {
+  EXPECT_TRUE(AnalyzeText("1 + 1").ok());
+  EXPECT_TRUE(AnalyzeText("for $x in 1 to 3 return $x").ok());
+  EXPECT_TRUE(AnalyzeText("let $y := 1 return $y + 1").ok());
+  EXPECT_TRUE(AnalyzeText("count(doc('d')//a[b = 1])").ok());
+  EXPECT_TRUE(
+      AnalyzeText("some $v in (1, 2) satisfies $v > 1").ok());
+}
+
+TEST(AnalyzerTest, UnboundVariableIsStaticError) {
+  Status st = AnalyzeText("$ghost + 1");
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("unbound variable $ghost"),
+            std::string::npos);
+}
+
+TEST(AnalyzerTest, VariableNotVisibleOutsideItsScope) {
+  // $x is bound only inside the inner FLWOR.
+  EXPECT_FALSE(
+      AnalyzeText("(for $x in 1 to 3 return $x), $x").ok());
+  // Quantifier variable leaks nowhere.
+  EXPECT_FALSE(
+      AnalyzeText("(some $q in (1) satisfies $q > 0) and $q").ok());
+}
+
+TEST(AnalyzerTest, PositionalVariableIsBound) {
+  EXPECT_TRUE(AnalyzeText("for $x at $i in (1,2) return $i").ok());
+}
+
+TEST(AnalyzerTest, UnknownFunctionIsStaticError) {
+  Status st = AnalyzeText("frobnicate(1)");
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("unknown function"), std::string::npos);
+}
+
+TEST(AnalyzerTest, WrongArityIsStaticError) {
+  Status st = AnalyzeText(
+      "declare function local:f($a, $b) { $a + $b }; local:f(1)");
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("wrong number of arguments"),
+            std::string::npos);
+}
+
+TEST(AnalyzerTest, DuplicateFunctionDeclarationRejected) {
+  Status st = AnalyzeText(
+      "declare function local:f($a) { $a }; "
+      "declare function local:f($b) { $b }; local:f(1)");
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("duplicate"), std::string::npos);
+}
+
+TEST(AnalyzerTest, OverloadsByArityAreAllowed) {
+  EXPECT_TRUE(AnalyzeText(
+                  "declare function local:f($a) { $a }; "
+                  "declare function local:f($a, $b) { $a + $b }; "
+                  "local:f(1) + local:f(1, 2)")
+                  .ok());
+}
+
+TEST(AnalyzerTest, FunctionBodySeesOnlyParamsAndGlobals) {
+  EXPECT_FALSE(AnalyzeText(
+                   "declare function local:f($a) { $a + $outer }; "
+                   "let $outer := 1 return local:f(1)")
+                   .ok());
+  EXPECT_TRUE(AnalyzeText(
+                  "declare variable $g := 10; "
+                  "declare function local:f($a) { $a + $g }; local:f(1)")
+                  .ok());
+}
+
+TEST(AnalyzerTest, UpdateTargetsAreAnalyzed) {
+  EXPECT_FALSE(AnalyzeText("UPDATE delete doc('d')/a[$nope]").ok());
+  EXPECT_FALSE(
+      AnalyzeText("UPDATE insert <x/> into nosuchfn()").ok());
+  EXPECT_TRUE(
+      AnalyzeText("UPDATE replace $v in doc('d')/a with <a>{$v}</a>").ok());
+}
+
+TEST(AnalyzerTest, PredicatesAreAnalyzed) {
+  EXPECT_FALSE(AnalyzeText("doc('d')/a[$nope = 1]").ok());
+  EXPECT_FALSE(AnalyzeText("doc('d')/a[nosuchfn()]").ok());
+}
+
+TEST(AnalyzerTest, ConstructorContentIsAnalyzed) {
+  EXPECT_FALSE(AnalyzeText("<a x=\"{$nope}\"/>").ok());
+  EXPECT_FALSE(AnalyzeText("<a>{$nope}</a>").ok());
+  EXPECT_FALSE(AnalyzeText("element {$nope} {1}").ok());
+}
+
+}  // namespace
+}  // namespace sedna

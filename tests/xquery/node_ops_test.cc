@@ -1,0 +1,162 @@
+#include "xquery/node_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/storage/storage_test_util.h"
+#include "xml/xml_parser.h"
+
+namespace sedna {
+namespace {
+
+class NodeOpsTest : public StorageTest {
+ protected:
+  void SetUp() override {
+    StorageTest::SetUp();
+    auto doc = ParseXml(
+        R"(<r a="1"><x>one</x><y>two<z/>three</y><x>four</x></r>)");
+    ASSERT_TRUE(doc.ok());
+    auto store = engine_->CreateDocument(ctx_, "d");
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Load(ctx_, **doc).ok());
+    doc_ = *store;
+    auto root = doc_->indirection()->Get(ctx_, doc_->root_handle());
+    ASSERT_TRUE(root.ok());
+    root_ = Item(StoredNode{doc_, *root});
+  }
+
+  Item Child(const Item& parent, size_t index) {
+    auto kids = NodeChildren(ctx_, parent);
+    EXPECT_TRUE(kids.ok());
+    EXPECT_LT(index, kids->size());
+    return (*kids)[index];
+  }
+
+  DocumentStore* doc_ = nullptr;
+  Item root_;
+};
+
+TEST_F(NodeOpsTest, KindAndNameAccessors) {
+  Item r = Child(root_, 0);
+  EXPECT_EQ(*NodeKind(ctx_, r), XmlKind::kElement);
+  EXPECT_EQ(*NodeName(ctx_, r), "r");
+  auto attrs = NodeAttributes(ctx_, r);
+  ASSERT_TRUE(attrs.ok());
+  ASSERT_EQ(attrs->size(), 1u);
+  EXPECT_EQ(*NodeKind(ctx_, (*attrs)[0]), XmlKind::kAttribute);
+  EXPECT_EQ(*NodeName(ctx_, (*attrs)[0]), "a");
+  EXPECT_EQ(*NodeStringValue(ctx_, (*attrs)[0]), "1");
+}
+
+TEST_F(NodeOpsTest, StringValueConcatenatesDescendants) {
+  Item r = Child(root_, 0);
+  EXPECT_EQ(*NodeStringValue(ctx_, r), "onetwothreefour");
+  Item y = Child(r, 1);
+  EXPECT_EQ(*NodeStringValue(ctx_, y), "twothree");
+}
+
+TEST_F(NodeOpsTest, ChildrenExcludeAttributes) {
+  Item r = Child(root_, 0);
+  auto kids = NodeChildren(ctx_, r);
+  ASSERT_TRUE(kids.ok());
+  EXPECT_EQ(kids->size(), 3u);  // x, y, x — attribute excluded
+}
+
+TEST_F(NodeOpsTest, ParentNavigation) {
+  Item r = Child(root_, 0);
+  Item y = Child(r, 1);
+  auto parent = NodeParent(ctx_, y);
+  ASSERT_TRUE(parent.ok());
+  ASSERT_EQ(parent->size(), 1u);
+  EXPECT_TRUE(*SameNode(ctx_, (*parent)[0], r));
+  auto grand = NodeParent(ctx_, (*parent)[0]);
+  ASSERT_TRUE(grand.ok());
+  ASSERT_EQ(grand->size(), 1u);
+  EXPECT_TRUE(*SameNode(ctx_, (*grand)[0], root_));
+  auto top = NodeParent(ctx_, root_);
+  ASSERT_TRUE(top.ok());
+  EXPECT_TRUE(top->empty());
+}
+
+TEST_F(NodeOpsTest, OrderKeysFollowDocumentOrder) {
+  Item r = Child(root_, 0);
+  auto kids = NodeChildren(ctx_, r);
+  ASSERT_TRUE(kids.ok());
+  OrderKey prev;
+  for (size_t i = 0; i < kids->size(); ++i) {
+    auto key = NodeOrderKey(ctx_, (*kids)[i]);
+    ASSERT_TRUE(key.ok());
+    if (i > 0) {
+      EXPECT_TRUE(prev < *key);
+    }
+    prev = *key;
+  }
+}
+
+TEST_F(NodeOpsTest, DistinctDocOrderSortsAndDedups) {
+  Item r = Child(root_, 0);
+  auto kids = NodeChildren(ctx_, r);
+  ASSERT_TRUE(kids.ok());
+  // Shuffle and duplicate.
+  Sequence messy{(*kids)[2], (*kids)[0], (*kids)[1], (*kids)[0], (*kids)[2]};
+  ASSERT_TRUE(DistinctDocOrder(ctx_, &messy).ok());
+  ASSERT_EQ(messy.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(*SameNode(ctx_, messy[i], (*kids)[i])) << i;
+  }
+}
+
+TEST_F(NodeOpsTest, DistinctDocOrderRejectsAtomics) {
+  Sequence seq{Item(static_cast<int64_t>(1))};
+  EXPECT_FALSE(DistinctDocOrder(ctx_, &seq).ok());
+}
+
+TEST_F(NodeOpsTest, ConstructedNodesHaveStableIdentityAndOrder) {
+  auto tree = ParseXml("<c><p>1</p><p>2</p></c>");
+  ASSERT_TRUE(tree.ok());
+  std::shared_ptr<XmlNode> root(std::move(*tree));
+  uint64_t id = NextConstructionId();
+  Item c(ConstructedNode{root, root->children[0].get(), id});
+  auto kids = NodeChildren(ctx_, c);
+  ASSERT_TRUE(kids.ok());
+  ASSERT_EQ(kids->size(), 2u);
+  EXPECT_FALSE(*SameNode(ctx_, (*kids)[0], (*kids)[1]));
+  EXPECT_TRUE(*SameNode(ctx_, (*kids)[0], (*kids)[0]));
+  auto ka = NodeOrderKey(ctx_, (*kids)[0]);
+  auto kb = NodeOrderKey(ctx_, (*kids)[1]);
+  ASSERT_TRUE(ka.ok() && kb.ok());
+  EXPECT_TRUE(*ka < *kb);
+  // Stored nodes sort before constructed ones (stable arbitrary rule).
+  auto kr = NodeOrderKey(ctx_, root_);
+  ASSERT_TRUE(kr.ok());
+  EXPECT_TRUE(*kr < *ka);
+}
+
+TEST_F(NodeOpsTest, VirtualElementMaterialization) {
+  auto v = std::make_shared<VirtualElement>();
+  v->name = "wrap";
+  v->order_id = NextConstructionId();
+  v->content.push_back(Child(root_, 0));  // the stored <r> subtree
+  v->content.push_back(Item(std::string("tail")));
+  Item item(v);
+  EXPECT_EQ(*NodeKind(ctx_, item), XmlKind::kElement);
+  EXPECT_EQ(*NodeName(ctx_, item), "wrap");
+  EXPECT_EQ(*NodeStringValue(ctx_, item), "onetwothreefourtail");
+  // Traversal forces materialization with a deep copy of the content.
+  auto kids = NodeChildren(ctx_, item);
+  ASSERT_TRUE(kids.ok());
+  ASSERT_EQ(kids->size(), 2u);  // <r> element + text node
+  EXPECT_EQ(*NodeName(ctx_, (*kids)[0]), "r");
+  auto xml = NodeToXml(ctx_, item);
+  ASSERT_TRUE(xml.ok());
+  EXPECT_EQ((*xml)->SubtreeSize(), 12u);  // wrap + r subtree(10) + text
+}
+
+TEST_F(NodeOpsTest, AtomicLexicalForms) {
+  EXPECT_EQ(AtomicLexical(Item(static_cast<int64_t>(42))), "42");
+  EXPECT_EQ(AtomicLexical(Item(2.5)), "2.5");
+  EXPECT_EQ(AtomicLexical(Item(true)), "true");
+  EXPECT_EQ(AtomicLexical(Item(std::string("s"))), "s");
+}
+
+}  // namespace
+}  // namespace sedna

@@ -1,0 +1,199 @@
+#include "xquery/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace sedna {
+namespace {
+
+std::string Parsed(const std::string& q) {
+  auto e = ParseExpression(q);
+  EXPECT_TRUE(e.ok()) << q << " -> " << e.status().ToString();
+  if (!e.ok()) return "<error>";
+  return (*e)->ToString();
+}
+
+TEST(ParserTest, Literals) {
+  EXPECT_EQ(Parsed("42"), "42");
+  EXPECT_EQ(Parsed("3.5"), "3.5");
+  EXPECT_EQ(Parsed("\"hi\""), "\"hi\"");
+  EXPECT_EQ(Parsed("'hi'"), "\"hi\"");
+  EXPECT_EQ(Parsed("'it''s'"), "\"it's\"");
+  EXPECT_EQ(Parsed("()"), "()");
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  EXPECT_EQ(Parsed("1 + 2 * 3"), "(+ 1 (* 2 3))");
+  EXPECT_EQ(Parsed("(1 + 2) * 3"), "(* (+ 1 2) 3)");
+  EXPECT_EQ(Parsed("10 div 2 - 3"), "(- (div 10 2) 3)");
+  EXPECT_EQ(Parsed("7 mod 3"), "(mod 7 3)");
+  EXPECT_EQ(Parsed("-5"), "(neg 5)");
+}
+
+TEST(ParserTest, ComparisonsAndLogic) {
+  EXPECT_EQ(Parsed("1 < 2 and 3 >= 2"), "(and (< 1 2) (>= 3 2))");
+  EXPECT_EQ(Parsed("1 = 1 or 2 != 3"), "(or (= 1 1) (!= 2 3))");
+  EXPECT_EQ(Parsed("1 eq 1"), "(eq 1 1)");
+  EXPECT_EQ(Parsed("$a is $b"), "(is $a $b)");
+}
+
+TEST(ParserTest, SequencesAndRanges) {
+  EXPECT_EQ(Parsed("1, 2, 3"), "(seq 1 2 3)");
+  EXPECT_EQ(Parsed("1 to 5"), "(to 1 5)");
+}
+
+TEST(ParserTest, PathsFromDoc) {
+  EXPECT_EQ(Parsed("doc(\"lib\")/library/book"),
+            "(path (doc \"lib\") child::library child::book)");
+  EXPECT_EQ(Parsed("doc('lib')//title"),
+            "(path (doc \"lib\") descendant-or-self::node() child::title)");
+}
+
+TEST(ParserTest, RelativePathsAndAxes) {
+  EXPECT_EQ(Parsed("$b/title"), "(path $b child::title)");
+  EXPECT_EQ(Parsed("$b/@id"), "(path $b attribute::id)");
+  EXPECT_EQ(Parsed("$b/.."), "(path $b parent::node())");
+  EXPECT_EQ(Parsed("$b/ancestor::lib"), "(path $b ancestor::lib)");
+  EXPECT_EQ(Parsed("$b/following-sibling::x"),
+            "(path $b following-sibling::x)");
+  EXPECT_EQ(Parsed("$b/descendant::*"), "(path $b descendant::*)");
+  EXPECT_EQ(Parsed("$b/text()"), "(path $b child::text())");
+  EXPECT_EQ(Parsed("title"), "(path . child::title)");
+}
+
+TEST(ParserTest, Predicates) {
+  EXPECT_EQ(Parsed("$b/book[1]"), "(path $b child::book[1])");
+  EXPECT_EQ(Parsed("$b/book[author = 'Codd'][2]"),
+            "(path $b child::book[(= (path . child::author) \"Codd\")][2])");
+  EXPECT_EQ(Parsed("$s[3]"), "(path $s self::node()[3])");
+}
+
+TEST(ParserTest, Flwor) {
+  EXPECT_EQ(
+      Parsed("for $x in 1 to 3 let $y := $x * 2 where $y > 2 return $y"),
+      "(flwor (for $x := (to 1 3)) (let $y := (* $x 2)) "
+      "(where (> $y 2)) (return $y))");
+  EXPECT_EQ(Parsed("for $x at $i in $s return $i"),
+            "(flwor (for $x at $i := $s) (return $i))");
+  EXPECT_EQ(Parsed("for $x in $s order by $x descending return $x"),
+            "(flwor (for $x := $s) (orderby $x desc) (return $x))");
+}
+
+TEST(ParserTest, IfAndQuantified) {
+  EXPECT_EQ(Parsed("if (1) then 2 else 3"), "(if 1 2 3)");
+  EXPECT_EQ(Parsed("some $x in $s satisfies $x > 2"),
+            "(some $x in $s satisfies (> $x 2))");
+  EXPECT_EQ(Parsed("every $x in $s satisfies $x > 2"),
+            "(every $x in $s satisfies (> $x 2))");
+}
+
+TEST(ParserTest, FunctionCalls) {
+  EXPECT_EQ(Parsed("count($s)"), "(count $s)");
+  EXPECT_EQ(Parsed("fn:count($s)"), "(count $s)");
+  EXPECT_EQ(Parsed("concat('a', 'b', 'c')"), "(concat \"a\" \"b\" \"c\")");
+  EXPECT_EQ(Parsed("position()"), "(position)");
+}
+
+TEST(ParserTest, DirectConstructors) {
+  EXPECT_EQ(Parsed("<a/>"), "(elem a)");
+  EXPECT_EQ(Parsed("<a>text</a>"), "(elem a (text \"text\"))");
+  EXPECT_EQ(Parsed("<a x=\"1\"/>"), "(elem a (attr x \"1\"))");
+  EXPECT_EQ(Parsed("<a><b/><c/></a>"), "(elem a (elem b) (elem c))");
+  EXPECT_EQ(Parsed("<a>{1 + 2}</a>"), "(elem a (+ 1 2))");
+  EXPECT_EQ(Parsed("<a x=\"{$v}\"/>"), "(elem a (attr x $v))");
+  EXPECT_EQ(Parsed("<a x=\"v{$v}w\"/>"), "(elem a (attr x \"v\" $v \"w\"))");
+  EXPECT_EQ(Parsed("<a>x{$v}y</a>"),
+            "(elem a (text \"x\") $v (text \"y\"))");
+  EXPECT_EQ(Parsed("<a>{{literal}}</a>"), "(elem a (text \"{literal}\"))");
+  EXPECT_EQ(Parsed("<a>1 &lt; 2</a>"), "(elem a (text \"1 < 2\"))");
+}
+
+TEST(ParserTest, NestedConstructorWithQuery) {
+  EXPECT_EQ(Parsed("<r>{for $x in $s return <i>{$x}</i>}</r>"),
+            "(elem r (flwor (for $x := $s) (return (elem i $x))))");
+}
+
+TEST(ParserTest, ComputedConstructors) {
+  EXPECT_EQ(Parsed("element foo {1}"), "(elem foo 1)");
+  EXPECT_EQ(Parsed("element {concat('a','b')} {}"),
+            "(elem {(concat \"a\" \"b\")} ())");
+  EXPECT_EQ(Parsed("attribute bar {'v'}"), "(attr bar \"v\")");
+  EXPECT_EQ(Parsed("text {'v'}"), "(text \"v\")");
+}
+
+TEST(ParserTest, UnionOperator) {
+  EXPECT_EQ(Parsed("$a | $b"), "(op:union $a $b)");
+}
+
+TEST(ParserTest, CommentsSkipped) {
+  EXPECT_EQ(Parsed("1 (: a (: nested :) comment :) + 2"), "(+ 1 2)");
+}
+
+TEST(ParserTest, StatementQuery) {
+  auto stmt = ParseStatement("1 + 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ((*stmt)->kind, StatementKind::kQuery);
+}
+
+TEST(ParserTest, StatementWithPrologFunctions) {
+  auto stmt = ParseStatement(
+      "declare function local:double($x) { $x * 2 };\n"
+      "declare variable $base := 10;\n"
+      "local:double($base)");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ((*stmt)->prolog.functions.size(), 1u);
+  EXPECT_EQ((*stmt)->prolog.functions[0].name, "double");
+  EXPECT_EQ((*stmt)->prolog.functions[0].params.size(), 1u);
+  EXPECT_EQ((*stmt)->prolog.variables.size(), 1u);
+}
+
+TEST(ParserTest, UpdateStatements) {
+  auto ins = ParseStatement("UPDATE insert <x/> into doc('d')/r");
+  ASSERT_TRUE(ins.ok()) << ins.status().ToString();
+  EXPECT_EQ((*ins)->kind, StatementKind::kUpdateInsert);
+  EXPECT_EQ((*ins)->insert_mode, InsertMode::kInto);
+
+  auto fol = ParseStatement("UPDATE insert <x/> following doc('d')/r/a");
+  ASSERT_TRUE(fol.ok());
+  EXPECT_EQ((*fol)->insert_mode, InsertMode::kFollowing);
+
+  auto del = ParseStatement("UPDATE delete doc('d')/r/a[1]");
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ((*del)->kind, StatementKind::kUpdateDelete);
+
+  auto rep = ParseStatement(
+      "UPDATE replace $x in doc('d')//item with <item>{$x/name}</item>");
+  ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+  EXPECT_EQ((*rep)->kind, StatementKind::kUpdateReplace);
+  EXPECT_EQ((*rep)->var, "x");
+}
+
+TEST(ParserTest, DdlStatements) {
+  auto create = ParseStatement("CREATE DOCUMENT 'mydoc'");
+  ASSERT_TRUE(create.ok());
+  EXPECT_EQ((*create)->kind, StatementKind::kCreateDocument);
+  EXPECT_EQ((*create)->doc_name, "mydoc");
+
+  auto drop = ParseStatement("DROP DOCUMENT 'mydoc'");
+  ASSERT_TRUE(drop.ok());
+  EXPECT_EQ((*drop)->kind, StatementKind::kDropDocument);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseExpression("1 +").ok());
+  EXPECT_FALSE(ParseExpression("for $x in").ok());
+  EXPECT_FALSE(ParseExpression("<a><b></a>").ok());
+  EXPECT_FALSE(ParseExpression("if (1) then 2").ok());
+  EXPECT_FALSE(ParseExpression("1 2").ok());
+  EXPECT_FALSE(ParseStatement("UPDATE frobnicate x").ok());
+}
+
+TEST(ParserTest, CloneProducesEqualTree) {
+  auto e = ParseExpression(
+      "for $x in doc('d')//a[b = 1] order by $x/c return <r>{$x}</r>");
+  ASSERT_TRUE(e.ok());
+  auto copy = (*e)->Clone();
+  EXPECT_EQ((*e)->ToString(), copy->ToString());
+}
+
+}  // namespace
+}  // namespace sedna

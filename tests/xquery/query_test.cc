@@ -1,0 +1,366 @@
+#include <gtest/gtest.h>
+
+#include "tests/storage/storage_test_util.h"
+#include "xml/xml_parser.h"
+#include "xmlgen/generators.h"
+#include "xquery/statement.h"
+
+namespace sedna {
+namespace {
+
+constexpr const char* kLibraryXml = R"(<library>
+  <book><title>Foundations of Databases</title>
+    <author>Abiteboul</author><author>Hull</author><author>Vianu</author>
+  </book>
+  <book><title>An Introduction to Database Systems</title>
+    <author>Date</author>
+    <issue><publisher>Addison-Wesley</publisher><year>2004</year></issue>
+  </book>
+  <paper><title>A Relational Model for Large Shared Data Banks</title>
+    <author>Codd</author>
+  </paper>
+</library>)";
+
+class QueryTest : public StorageTest {
+ protected:
+  void SetUp() override {
+    StorageTest::SetUp();
+    executor_ = std::make_unique<StatementExecutor>(engine_.get());
+    LoadDoc("lib", kLibraryXml);
+  }
+
+  void LoadDoc(const std::string& name, const std::string& xml) {
+    auto doc = ParseXml(xml);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    auto store = engine_->CreateDocument(ctx_, name);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Load(ctx_, **doc).ok());
+  }
+
+  std::string Query(const std::string& q) {
+    auto r = executor_->Execute(q, ctx_);
+    EXPECT_TRUE(r.ok()) << q << "\n  -> " << r.status().ToString();
+    if (!r.ok()) return "<error: " + r.status().ToString() + ">";
+    return r->serialized;
+  }
+
+  Status QueryStatus(const std::string& q) {
+    return executor_->Execute(q, ctx_).status();
+  }
+
+  std::unique_ptr<StatementExecutor> executor_;
+};
+
+// --- basics -------------------------------------------------------------
+
+TEST_F(QueryTest, Arithmetic) {
+  EXPECT_EQ(Query("1 + 2 * 3"), "7");
+  EXPECT_EQ(Query("10 div 4"), "2.5");
+  EXPECT_EQ(Query("10 idiv 4"), "2");
+  EXPECT_EQ(Query("10 mod 4"), "2");
+  EXPECT_EQ(Query("-(3 - 5)"), "2");
+  EXPECT_EQ(Query("1.5 + 1.5"), "3");
+}
+
+TEST_F(QueryTest, SequencesAndRanges) {
+  EXPECT_EQ(Query("(1, 2, 3)"), "1 2 3");
+  EXPECT_EQ(Query("1 to 5"), "1 2 3 4 5");
+  EXPECT_EQ(Query("count(1 to 100)"), "100");
+  EXPECT_EQ(Query("()"), "");
+}
+
+TEST_F(QueryTest, ComparisonSemantics) {
+  EXPECT_EQ(Query("1 < 2"), "true");
+  EXPECT_EQ(Query("'abc' = 'abc'"), "true");
+  EXPECT_EQ(Query("(1, 2, 3) = 2"), "true");   // existential
+  EXPECT_EQ(Query("(1, 2, 3) != 1"), "true");  // existential
+  EXPECT_EQ(Query("2 eq 2"), "true");
+  EXPECT_EQ(Query("'a' lt 'b'"), "true");
+}
+
+TEST_F(QueryTest, IfAndLogic) {
+  EXPECT_EQ(Query("if (1 < 2) then 'yes' else 'no'"), "yes");
+  EXPECT_EQ(Query("true() and false()"), "false");
+  EXPECT_EQ(Query("true() or false()"), "true");
+  EXPECT_EQ(Query("not(())"), "true");
+}
+
+// --- paths over the library document ---------------------------------------
+
+TEST_F(QueryTest, SimplePaths) {
+  EXPECT_EQ(Query("count(doc('lib')/library/book)"), "2");
+  EXPECT_EQ(Query("count(doc('lib')/library/book/author)"), "4");
+  EXPECT_EQ(Query("doc('lib')/library/paper/author/text()"), "Codd");
+  EXPECT_EQ(Query("count(doc('lib')/library/*)"), "3");
+}
+
+TEST_F(QueryTest, DescendantPaths) {
+  EXPECT_EQ(Query("count(doc('lib')//author)"), "5");
+  EXPECT_EQ(Query("count(doc('lib')//title)"), "3");
+  EXPECT_EQ(Query("doc('lib')//publisher/text()"), "Addison-Wesley");
+  EXPECT_EQ(Query("count(doc('lib')//*)"), "15");
+}
+
+TEST_F(QueryTest, DescendantResultsInDocumentOrder) {
+  EXPECT_EQ(Query("(doc('lib')//author)[1]/text()"), "Abiteboul");
+  // All authors, in document order.
+  EXPECT_EQ(Query("string-join(doc('lib')//author/text(), ',')"),
+            "Abiteboul,Hull,Vianu,Date,Codd");
+}
+
+TEST_F(QueryTest, PositionalPredicates) {
+  EXPECT_EQ(Query("doc('lib')/library/book[1]/title/text()"),
+            "Foundations of Databases");
+  EXPECT_EQ(Query("doc('lib')/library/book[2]/author/text()"), "Date");
+  EXPECT_EQ(Query("doc('lib')/library/book[last()]/author/text()"), "Date");
+  EXPECT_EQ(Query(
+                "doc('lib')/library/book/author[position() = 2]/text()"),
+            "Hull");
+}
+
+TEST_F(QueryTest, PaperCounterExampleParaOne) {
+  // //author[1] selects the first author OF EACH parent — not the first
+  // author in the document (the paper's §5.1.2 counter-example).
+  EXPECT_EQ(Query("string-join(doc('lib')//author[1]/text(), ',')"),
+            "Abiteboul,Date,Codd");
+  EXPECT_EQ(Query("doc('lib')/descendant::author[1]/text()"), "Abiteboul");
+}
+
+TEST_F(QueryTest, ValuePredicates) {
+  EXPECT_EQ(Query("doc('lib')//book[author = 'Date']/title/text()"),
+            "An Introduction to Database Systems");
+  EXPECT_EQ(Query("count(doc('lib')//book[issue/year = '2004'])"), "1");
+  EXPECT_EQ(Query("count(doc('lib')//book[author = 'Nobody'])"), "0");
+}
+
+TEST_F(QueryTest, ParentAndAncestorAxes) {
+  EXPECT_EQ(Query("count(doc('lib')//year/..)"), "1");
+  EXPECT_EQ(Query("doc('lib')//publisher/../year/text()"), "2004");
+  EXPECT_EQ(Query("count(doc('lib')//year/ancestor::book)"), "1");
+  EXPECT_EQ(Query("count(doc('lib')//author/ancestor::library)"), "1");
+}
+
+TEST_F(QueryTest, SiblingAxes) {
+  EXPECT_EQ(Query("doc('lib')//title[. = 'Foundations of Databases']"
+                  "/following-sibling::author[1]/text()"),
+            "Abiteboul");
+  EXPECT_EQ(Query("count(doc('lib')/library/book[1]"
+                  "/following-sibling::*)"),
+            "2");
+  EXPECT_EQ(Query("count(doc('lib')/library/paper"
+                  "/preceding-sibling::book)"),
+            "2");
+}
+
+TEST_F(QueryTest, UnionOperator) {
+  EXPECT_EQ(Query("count(doc('lib')//book | doc('lib')//paper)"), "3");
+  // Duplicates removed by union.
+  EXPECT_EQ(Query("count(doc('lib')//book | doc('lib')//book)"), "2");
+}
+
+// --- attributes --------------------------------------------------------------
+
+TEST_F(QueryTest, AttributeAxis) {
+  LoadDoc("attr", R"(<r><item id="a" price="10"/><item id="b" price="25"/></r>)");
+  EXPECT_EQ(Query("string(doc('attr')/r/item[1]/@id)"), "a");
+  EXPECT_EQ(Query("count(doc('attr')//@id)"), "2");
+  EXPECT_EQ(Query("string(doc('attr')/r/item[@price > 20]/@id)"), "b");
+}
+
+// --- FLWOR --------------------------------------------------------------------
+
+TEST_F(QueryTest, FlworBasics) {
+  EXPECT_EQ(Query("for $i in 1 to 3 return $i * $i"), "1 4 9");
+  EXPECT_EQ(Query("let $x := 5 return $x + 1"), "6");
+  EXPECT_EQ(Query("for $i in 1 to 10 where $i mod 3 = 0 return $i"), "3 6 9");
+  EXPECT_EQ(Query("for $i at $p in ('a','b','c') return $p"), "1 2 3");
+}
+
+TEST_F(QueryTest, FlworOverDocument) {
+  EXPECT_EQ(
+      Query("for $b in doc('lib')/library/book "
+            "where count($b/author) > 1 return $b/title/text()"),
+      "Foundations of Databases");
+}
+
+TEST_F(QueryTest, FlworOrderBy) {
+  EXPECT_EQ(Query("for $x in (3, 1, 2) order by $x return $x"), "1 2 3");
+  EXPECT_EQ(Query("for $x in (3, 1, 2) order by $x descending return $x"),
+            "3 2 1");
+  // string() atomizes, so the results are space-separated; raw text nodes
+  // would serialize without separators.
+  EXPECT_EQ(
+      Query("for $a in doc('lib')//author order by $a/text() "
+            "return string($a)"),
+      "Abiteboul Codd Date Hull Vianu");
+}
+
+TEST_F(QueryTest, FlworNestedLoops) {
+  EXPECT_EQ(Query("for $i in 1 to 2, $j in 1 to 2 return 10 * $i + $j"),
+            "11 12 21 22");
+}
+
+TEST_F(QueryTest, QuantifiedExpressions) {
+  EXPECT_EQ(Query("some $a in doc('lib')//author satisfies "
+                  "$a/text() = 'Codd'"),
+            "true");
+  EXPECT_EQ(Query("every $b in doc('lib')//book satisfies "
+                  "exists($b/title)"),
+            "true");
+  EXPECT_EQ(Query("every $a in doc('lib')//author satisfies "
+                  "$a/text() = 'Codd'"),
+            "false");
+}
+
+// --- functions -----------------------------------------------------------------
+
+TEST_F(QueryTest, AggregateFunctions) {
+  EXPECT_EQ(Query("sum(1 to 10)"), "55");
+  EXPECT_EQ(Query("avg((2, 4, 6))"), "4");
+  EXPECT_EQ(Query("min((3, 1, 2))"), "1");
+  EXPECT_EQ(Query("max((3, 1, 2))"), "3");
+  EXPECT_EQ(Query("sum(())"), "0");
+}
+
+TEST_F(QueryTest, StringFunctions) {
+  EXPECT_EQ(Query("concat('a', 'b', 'c')"), "abc");
+  EXPECT_EQ(Query("contains('database', 'tab')"), "true");
+  EXPECT_EQ(Query("starts-with('sedna', 'se')"), "true");
+  EXPECT_EQ(Query("substring('12345', 2, 3)"), "234");
+  EXPECT_EQ(Query("substring-after('a=b', '=')"), "b");
+  EXPECT_EQ(Query("substring-before('a=b', '=')"), "a");
+  EXPECT_EQ(Query("upper-case('abc')"), "ABC");
+  EXPECT_EQ(Query("string-length('hello')"), "5");
+  EXPECT_EQ(Query("normalize-space('  a   b ')"), "a b");
+  EXPECT_EQ(Query("string-join(('a','b'), '-')"), "a-b");
+}
+
+TEST_F(QueryTest, NodeFunctions) {
+  EXPECT_EQ(Query("name(doc('lib')/library)"), "library");
+  EXPECT_EQ(Query("string(doc('lib')//paper/author)"), "Codd");
+  EXPECT_EQ(Query("count(distinct-values(doc('lib')//title/text()))"), "3");
+}
+
+TEST_F(QueryTest, NumericFunctions) {
+  EXPECT_EQ(Query("floor(2.7)"), "2");
+  EXPECT_EQ(Query("ceiling(2.1)"), "3");
+  EXPECT_EQ(Query("round(2.5)"), "3");
+  EXPECT_EQ(Query("abs(-4)"), "4");
+  EXPECT_EQ(Query("number('12.5')"), "12.5");
+}
+
+TEST_F(QueryTest, UserDefinedFunctions) {
+  EXPECT_EQ(Query("declare function local:sq($x) { $x * $x }; local:sq(7)"),
+            "49");
+  EXPECT_EQ(Query("declare function local:fact($n) { if ($n <= 1) then 1 "
+                  "else $n * local:fact($n - 1) }; local:fact(6)"),
+            "720");
+  EXPECT_EQ(
+      Query("declare function local:titles($d) { $d//title }; "
+            "count(local:titles(doc('lib')))"),
+      "3");
+}
+
+TEST_F(QueryTest, PrologVariables) {
+  EXPECT_EQ(Query("declare variable $two := 2; $two + $two"), "4");
+}
+
+// --- constructors -----------------------------------------------------------
+
+TEST_F(QueryTest, DirectConstructors) {
+  EXPECT_EQ(Query("<a/>"), "<a/>");
+  EXPECT_EQ(Query("<a>hi</a>"), "<a>hi</a>");
+  EXPECT_EQ(Query("<a x=\"1\">t</a>"), "<a x=\"1\">t</a>");
+  EXPECT_EQ(Query("<a>{1 + 1}</a>"), "<a>2</a>");
+  EXPECT_EQ(Query("<a>{(1, 2, 3)}</a>"), "<a>1 2 3</a>");
+  EXPECT_EQ(Query("<a x=\"{2 + 3}\"/>"), "<a x=\"5\"/>");
+}
+
+TEST_F(QueryTest, ConstructorsCopyStoredNodes) {
+  EXPECT_EQ(Query("<shelf>{doc('lib')//paper/title}</shelf>"),
+            "<shelf><title>A Relational Model for Large Shared Data Banks"
+            "</title></shelf>");
+}
+
+TEST_F(QueryTest, NestedConstructorsWithFlwor) {
+  EXPECT_EQ(
+      Query("<authors>{for $a in doc('lib')//paper/author "
+            "return <a>{$a/text()}</a>}</authors>"),
+      "<authors><a>Codd</a></authors>");
+}
+
+TEST_F(QueryTest, ComputedConstructors) {
+  EXPECT_EQ(Query("element foo {42}"), "<foo>42</foo>");
+  EXPECT_EQ(Query("element {concat('a', 'b')} {'x'}"), "<ab>x</ab>");
+}
+
+TEST_F(QueryTest, ConstructedNodesAreTraversable) {
+  EXPECT_EQ(Query("count(<r><a/><a/><b/></r>/a)"), "2");
+  EXPECT_EQ(Query("<r><a>1</a><a>2</a></r>/a[2]/text()"), "2");
+}
+
+TEST_F(QueryTest, VirtualAndMaterializedConstructorsAgree) {
+  const std::string q =
+      "<report>{for $b in doc('lib')/library/book return "
+      "<entry n=\"{count($b/author)}\">{$b/title/text()}</entry>}</report>";
+  auto with = executor_->Execute(q, ctx_);
+  ASSERT_TRUE(with.ok());
+  RewriteOptions no_virtual;
+  no_virtual.virtual_constructors = false;
+  auto without = executor_->Execute(q, ctx_, no_virtual);
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(with->serialized, without->serialized);
+  EXPECT_GT(with->stats.virtual_elements, 0u);
+  EXPECT_EQ(with->stats.deep_copy_nodes, 0u);
+  EXPECT_GT(without->stats.deep_copy_nodes, 0u);
+}
+
+// --- optimization equivalence (rewrites must not change results) -------------
+
+class OptimizationEquivalenceTest
+    : public QueryTest,
+      public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(OptimizationEquivalenceTest, OptimizedMatchesUnoptimized) {
+  const std::string q = GetParam();
+  auto optimized = executor_->Execute(q, ctx_);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  auto plain = executor_->Execute(q, ctx_, RewriteOptions::AllOff());
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(optimized->serialized, plain->serialized) << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queries, OptimizationEquivalenceTest,
+    ::testing::Values(
+        "doc('lib')/library/book/title",
+        "doc('lib')//author",
+        "doc('lib')//author[1]",
+        "string-join(doc('lib')//author/text(), '|')",
+        "doc('lib')//book[author = 'Date']/title",
+        "for $b in doc('lib')/library/book return count($b/author)",
+        "for $b in doc('lib')//book, $t in doc('lib')//title "
+        "where $b/title = $t return $t/text()",
+        "count(doc('lib')//book/..)",
+        "<out>{doc('lib')//paper/title/text()}</out>",
+        "for $a in doc('lib')//author order by $a/text() descending "
+        "return <x>{$a/text()}</x>",
+        "doc('lib')/library/book[2]/issue/publisher/text()",
+        "count(doc('lib')//text())"));
+
+// --- errors ---------------------------------------------------------------------
+
+TEST_F(QueryTest, StaticErrors) {
+  EXPECT_EQ(QueryStatus("$nosuchvar").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(QueryStatus("nosuchfn(1)").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(QueryStatus("count(1, 2)").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(QueryTest, RuntimeErrors) {
+  EXPECT_EQ(QueryStatus("1 div 0").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(QueryStatus("doc('nope')/a").code(), StatusCode::kNotFound);
+  EXPECT_EQ(QueryStatus("'a' + 1").code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sedna

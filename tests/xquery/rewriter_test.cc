@@ -1,0 +1,214 @@
+#include "xquery/rewriter.h"
+
+#include <gtest/gtest.h>
+
+#include "xquery/parser.h"
+
+namespace sedna {
+namespace {
+
+std::string Rewritten(const std::string& q, RewriteOptions opts = {}) {
+  auto e = ParseExpression(q);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  Status st = RewriteExpr(e->get(), nullptr, opts);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return (*e)->ToString();
+}
+
+// --- Section 5.1.2: // combination ----------------------------------------
+
+TEST(RewriterTest, DescendantOrSelfCombinedWithChildStep) {
+  std::string out = Rewritten("doc('d')//para");
+  EXPECT_NE(out.find("descendant::para"), std::string::npos) << out;
+  EXPECT_EQ(out.find("descendant-or-self"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, PositionalPredicateBlocksCombination) {
+  // The paper's counter-example: //para[1] != /descendant::para[1].
+  std::string out = Rewritten("doc('d')//para[1]");
+  EXPECT_NE(out.find("descendant-or-self::node()"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, PositionFunctionBlocksCombination) {
+  std::string out = Rewritten("doc('d')//para[position() = 2]");
+  EXPECT_NE(out.find("descendant-or-self::node()"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, BooleanPredicateAllowsCombination) {
+  std::string out = Rewritten("doc('d')//para[@id = 'x']");
+  EXPECT_NE(out.find("descendant::para"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, CombinationCanBeDisabled) {
+  RewriteOptions opts;
+  opts.combine_descendant = false;
+  std::string out = Rewritten("doc('d')//para", opts);
+  EXPECT_NE(out.find("descendant-or-self"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, MidPathDescendantCombination) {
+  std::string out = Rewritten("doc('d')/site//item/name");
+  EXPECT_NE(out.find("descendant::item"), std::string::npos) << out;
+}
+
+// --- Section 5.1.1: DDO elimination ----------------------------------------
+
+TEST(RewriterTest, ChildChainFromDocNeedsNoDdo) {
+  std::string out = Rewritten("doc('d')/a/b/c");
+  // Schema resolution subsumes these steps; disable it to see raw DDO flags.
+  RewriteOptions opts;
+  opts.schema_paths = false;
+  out = Rewritten("doc('d')/a/b/c", opts);
+  // Every step should carry #noddo: doc() is a single root, child steps on
+  // same-level DDO input stay in DDO.
+  EXPECT_NE(out.find("child::a#noddo"), std::string::npos) << out;
+  EXPECT_NE(out.find("child::b#noddo"), std::string::npos) << out;
+  EXPECT_NE(out.find("child::c#noddo"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, DescendantStepKeepsDdoForNextChild) {
+  RewriteOptions opts;
+  opts.schema_paths = false;
+  std::string out = Rewritten("doc('d')//a/b", opts);
+  // descendant::a output is DDO but not same-level, so the following child
+  // step must re-sort.
+  EXPECT_NE(out.find("descendant::a#noddo"), std::string::npos) << out;
+  // child::b after it must NOT have #noddo.
+  size_t pos = out.find("child::b");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(out.find("child::b#noddo"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, DdoEliminationCanBeDisabled) {
+  RewriteOptions opts;
+  opts.schema_paths = false;
+  opts.eliminate_ddo = false;
+  std::string out = Rewritten("doc('d')/a/b", opts);
+  EXPECT_EQ(out.find("#noddo"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, ParentStepOnManyNodesNeedsDdo) {
+  RewriteOptions opts;
+  opts.schema_paths = false;
+  std::string out = Rewritten("doc('d')/a/b/..", opts);
+  // b may have many nodes; their parents contain duplicates.
+  EXPECT_EQ(out.find("parent::node()#noddo"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, ForVariablePathNeedsNoDdo) {
+  // $x bound by a for-clause is a single node: child steps stay ordered.
+  std::string out =
+      Rewritten("for $x in doc('d')/a/b return $x/c/d");
+  EXPECT_NE(out.find("child::c#noddo"), std::string::npos) << out;
+  EXPECT_NE(out.find("child::d#noddo"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, LetVariablePathKeepsDdo) {
+  // $x bound by let may be a multi-node, non-same-level sequence.
+  std::string out = Rewritten("let $x := doc('d')//b return $x/c");
+  size_t ret = out.find("(return");
+  ASSERT_NE(ret, std::string::npos);
+  EXPECT_EQ(out.find("child::c#noddo", ret), std::string::npos) << out;
+}
+
+// --- Section 5.1.3: lazy for-clauses ----------------------------------------
+
+TEST(RewriterTest, IndependentInnerForMarkedLazy) {
+  std::string out = Rewritten(
+      "for $x in doc('d')/a, $y in doc('d')/b return ($x, $y)");
+  EXPECT_NE(out.find("for $y lazy"), std::string::npos) << out;
+  EXPECT_EQ(out.find("for $x lazy"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, DependentInnerForNotLazy) {
+  std::string out =
+      Rewritten("for $x in doc('d')/a, $y in $x/b return $y");
+  EXPECT_EQ(out.find("lazy"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, LazyDisabled) {
+  RewriteOptions opts;
+  opts.lazy_for_clauses = false;
+  std::string out = Rewritten(
+      "for $x in doc('d')/a, $y in doc('d')/b return ($x, $y)", opts);
+  EXPECT_EQ(out.find("lazy"), std::string::npos) << out;
+}
+
+// --- Section 5.1.4: structural path extraction -------------------------------
+
+TEST(RewriterTest, StructuralPathMarkedSchemaResolved) {
+  std::string out = Rewritten("doc('d')/library/book/title");
+  EXPECT_NE(out.find("child::library#schema"), std::string::npos) << out;
+  EXPECT_NE(out.find("child::book#schema"), std::string::npos) << out;
+  EXPECT_NE(out.find("child::title#schema"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, PredicateEndsStructuralFragment) {
+  std::string out = Rewritten("doc('d')/a/b[c = 1]/d");
+  EXPECT_NE(out.find("child::a#schema"), std::string::npos) << out;
+  EXPECT_EQ(out.find("child::b#schema"), std::string::npos) << out;
+  EXPECT_EQ(out.find("child::d#schema"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, DescendantIsStructural) {
+  std::string out = Rewritten("doc('d')//item");
+  EXPECT_NE(out.find("descendant::item#schema"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, RelativePathNotStructural) {
+  std::string out = Rewritten("for $x in doc('d')/a return $x/b/c");
+  size_t ret = out.find("(return");
+  EXPECT_EQ(out.find("#schema", ret), std::string::npos) << out;
+}
+
+// --- Section 5.2.1: virtual constructors -------------------------------------
+
+TEST(RewriterTest, OutputConstructorMarkedVirtual) {
+  std::string out = Rewritten("<r>{doc('d')/a}</r>");
+  EXPECT_NE(out.find("(elem r#virtual"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, NestedOutputConstructorsAllVirtual) {
+  std::string out =
+      Rewritten("<r>{for $x in doc('d')/a return <i>{$x}</i>}</r>");
+  EXPECT_NE(out.find("elem r#virtual"), std::string::npos) << out;
+  EXPECT_NE(out.find("elem i#virtual"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, TraversedConstructorNotVirtual) {
+  // The constructor feeds a path step, so its subtree is traversed.
+  std::string out = Rewritten("count(<r><a/></r>/a)");
+  EXPECT_EQ(out.find("#virtual"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, VirtualDisabled) {
+  RewriteOptions opts;
+  opts.virtual_constructors = false;
+  std::string out = Rewritten("<r/>", opts);
+  EXPECT_EQ(out.find("#virtual"), std::string::npos) << out;
+}
+
+// --- function inlining --------------------------------------------------------
+
+TEST(RewriterTest, NonRecursiveFunctionInlined) {
+  auto stmt = ParseStatement(
+      "declare function local:dbl($x) { $x * 2 }; local:dbl(21)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(Rewrite(stmt->get()).ok());
+  std::string out = (*stmt)->expr->ToString();
+  EXPECT_EQ(out.find("(dbl"), std::string::npos) << out;
+  EXPECT_NE(out.find("(let $x := 21)"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, RecursiveFunctionNotInlined) {
+  auto stmt = ParseStatement(
+      "declare function local:f($n) { if ($n = 0) then 0 else "
+      "local:f($n - 1) }; local:f(3)");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_TRUE(Rewrite(stmt->get()).ok());
+  std::string out = (*stmt)->expr->ToString();
+  EXPECT_NE(out.find("(f 3)"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace sedna

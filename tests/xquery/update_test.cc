@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "tests/storage/storage_test_util.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_serializer.h"
+#include "xquery/statement.h"
+
+namespace sedna {
+namespace {
+
+class UpdateTest : public StorageTest {
+ protected:
+  void SetUp() override {
+    StorageTest::SetUp();
+    executor_ = std::make_unique<StatementExecutor>(engine_.get());
+    LoadDoc("d", "<r><a>1</a><b>2</b></r>");
+  }
+
+  void LoadDoc(const std::string& name, const std::string& xml) {
+    auto doc = ParseXml(xml);
+    ASSERT_TRUE(doc.ok());
+    auto store = engine_->CreateDocument(ctx_, name);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Load(ctx_, **doc).ok());
+  }
+
+  uint64_t Run(const std::string& stmt) {
+    auto r = executor_->Execute(stmt, ctx_);
+    EXPECT_TRUE(r.ok()) << stmt << "\n -> " << r.status().ToString();
+    return r.ok() ? r->affected : 0;
+  }
+
+  std::string Doc(const std::string& name = "d") {
+    auto store = engine_->GetDocument(name);
+    EXPECT_TRUE(store.ok());
+    auto tree = (*store)->MaterializeDocument(ctx_);
+    EXPECT_TRUE(tree.ok()) << tree.status().ToString();
+    return SerializeXml(**tree);
+  }
+
+  std::unique_ptr<StatementExecutor> executor_;
+};
+
+TEST_F(UpdateTest, InsertInto) {
+  Run("UPDATE insert <c>3</c> into doc('d')/r");
+  EXPECT_EQ(Doc(), "<r><a>1</a><b>2</b><c>3</c></r>");
+}
+
+TEST_F(UpdateTest, InsertIntoNested) {
+  Run("UPDATE insert <x/> into doc('d')/r/a");
+  EXPECT_EQ(Doc(), "<r><a>1<x/></a><b>2</b></r>");
+}
+
+TEST_F(UpdateTest, InsertFollowing) {
+  Run("UPDATE insert <m/> following doc('d')/r/a");
+  EXPECT_EQ(Doc(), "<r><a>1</a><m/><b>2</b></r>");
+}
+
+TEST_F(UpdateTest, InsertPreceding) {
+  Run("UPDATE insert <m/> preceding doc('d')/r/a");
+  EXPECT_EQ(Doc(), "<r><m/><a>1</a><b>2</b></r>");
+}
+
+TEST_F(UpdateTest, InsertSequencePreservesOrder) {
+  Run("UPDATE insert (<x/>, <y/>, <z/>) following doc('d')/r/a");
+  EXPECT_EQ(Doc(), "<r><a>1</a><x/><y/><z/><b>2</b></r>");
+}
+
+TEST_F(UpdateTest, InsertComplexSubtree) {
+  Run("UPDATE insert <c at=\"v\"><d>deep</d></c> into doc('d')/r");
+  EXPECT_EQ(Doc(), "<r><a>1</a><b>2</b><c at=\"v\"><d>deep</d></c></r>");
+}
+
+TEST_F(UpdateTest, InsertComputedContent) {
+  Run("UPDATE insert <sum>{1 + 2}</sum> into doc('d')/r");
+  EXPECT_EQ(Doc(), "<r><a>1</a><b>2</b><sum>3</sum></r>");
+}
+
+TEST_F(UpdateTest, InsertCopiesFromOtherDocument) {
+  LoadDoc("src", "<s><payload>data</payload></s>");
+  Run("UPDATE insert doc('src')/s/payload into doc('d')/r");
+  EXPECT_EQ(Doc(), "<r><a>1</a><b>2</b><payload>data</payload></r>");
+  EXPECT_EQ(Doc("src"), "<s><payload>data</payload></s>");  // unchanged
+}
+
+TEST_F(UpdateTest, InsertIntoMultipleTargets) {
+  LoadDoc("m", "<r><q/><q/></r>");
+  uint64_t affected = Run("UPDATE insert <t/> into doc('m')//q");
+  EXPECT_EQ(affected, 2u);
+  EXPECT_EQ(Doc("m"), "<r><q><t/></q><q><t/></q></r>");
+}
+
+TEST_F(UpdateTest, DeleteNode) {
+  EXPECT_EQ(Run("UPDATE delete doc('d')/r/a"), 1u);
+  EXPECT_EQ(Doc(), "<r><b>2</b></r>");
+}
+
+TEST_F(UpdateTest, DeleteSubtreeWithDescendants) {
+  LoadDoc("deep", "<r><top><mid><leaf/></mid></top><keep/></r>");
+  Run("UPDATE delete doc('deep')/r/top");
+  EXPECT_EQ(Doc("deep"), "<r><keep/></r>");
+}
+
+TEST_F(UpdateTest, DeleteByPredicate) {
+  LoadDoc("p", "<r><i v=\"1\"/><i v=\"2\"/><i v=\"3\"/></r>");
+  EXPECT_EQ(Run("UPDATE delete doc('p')/r/i[@v = '2']"), 1u);
+  EXPECT_EQ(Doc("p"), "<r><i v=\"1\"/><i v=\"3\"/></r>");
+}
+
+TEST_F(UpdateTest, DeleteNestedTargetsHandledGracefully) {
+  LoadDoc("n", "<r><o><o/></o></r>");
+  // Selects both the outer and inner <o>; deleting the outer removes the
+  // inner, which must not fail the statement.
+  Run("UPDATE delete doc('n')//o");
+  EXPECT_EQ(Doc("n"), "<r/>");
+}
+
+TEST_F(UpdateTest, ReplaceNode) {
+  Run("UPDATE replace $x in doc('d')/r/a with <a>new</a>");
+  EXPECT_EQ(Doc(), "<r><a>new</a><b>2</b></r>");
+}
+
+TEST_F(UpdateTest, ReplaceUsesBoundVariable) {
+  LoadDoc("items", "<r><item><price>10</price></item>"
+                   "<item><price>20</price></item></r>");
+  Run("UPDATE replace $x in doc('items')//price with "
+      "<price>{number($x) * 2}</price>");
+  EXPECT_EQ(Doc("items"),
+            "<r><item><price>20</price></item>"
+            "<item><price>40</price></item></r>");
+}
+
+TEST_F(UpdateTest, CreateAndDropDocument) {
+  Run("CREATE DOCUMENT 'fresh'");
+  auto store = engine_->GetDocument("fresh");
+  ASSERT_TRUE(store.ok());
+  Run("UPDATE insert <root><x/></root> into doc('fresh')");
+  EXPECT_EQ(Doc("fresh"), "<root><x/></root>");
+  Run("DROP DOCUMENT 'fresh'");
+  EXPECT_EQ(engine_->GetDocument("fresh").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(UpdateTest, QueryAfterUpdateSeesChanges) {
+  Run("UPDATE insert <c>33</c> into doc('d')/r");
+  auto r = executor_->Execute("doc('d')/r/c/text()", ctx_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->serialized, "33");
+}
+
+TEST_F(UpdateTest, ManyUpdatesKeepDocumentConsistent) {
+  LoadDoc("grow", "<list/>");
+  for (int i = 0; i < 100; ++i) {
+    Run("UPDATE insert <e n=\"" + std::to_string(i) +
+        "\"/> into doc('grow')/list");
+  }
+  auto r = executor_->Execute("count(doc('grow')/list/e)", ctx_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->serialized, "100");
+  // Document order follows insertion order.
+  auto first = executor_->Execute("string(doc('grow')/list/e[1]/@n)", ctx_);
+  auto last = executor_->Execute("string(doc('grow')/list/e[100]/@n)", ctx_);
+  ASSERT_TRUE(first.ok() && last.ok());
+  EXPECT_EQ(first->serialized, "0");
+  EXPECT_EQ(last->serialized, "99");
+}
+
+TEST_F(UpdateTest, UpdateErrors) {
+  // Deleting the document node is rejected.
+  auto del = executor_->Execute("UPDATE delete doc('d')", ctx_);
+  EXPECT_FALSE(del.ok());
+  // Non-node target.
+  auto bad = executor_->Execute("UPDATE delete 42", ctx_);
+  EXPECT_FALSE(bad.ok());
+  // Sibling insert relative to the document node.
+  auto sib =
+      executor_->Execute("UPDATE insert <x/> following doc('d')", ctx_);
+  EXPECT_FALSE(sib.ok());
+}
+
+TEST_F(UpdateTest, UpdateListenerFiresForUpdatesOnly) {
+  std::vector<std::string> logged;
+  executor_->set_update_listener([&](const std::string& text) {
+    logged.push_back(text);
+    return Status::OK();
+  });
+  Run("UPDATE insert <c/> into doc('d')/r");
+  auto q = executor_->Execute("count(doc('d')/r/*)", ctx_);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(logged.size(), 1u);
+  EXPECT_NE(logged[0].find("UPDATE insert"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sedna
