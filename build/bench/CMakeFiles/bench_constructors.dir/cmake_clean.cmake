@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_constructors.dir/bench_constructors.cc.o"
+  "CMakeFiles/bench_constructors.dir/bench_constructors.cc.o.d"
+  "bench_constructors"
+  "bench_constructors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_constructors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ddo.dir/bench_ddo.cc.o"
+  "CMakeFiles/bench_ddo.dir/bench_ddo.cc.o.d"
+  "bench_ddo"
+  "bench_ddo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ddo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

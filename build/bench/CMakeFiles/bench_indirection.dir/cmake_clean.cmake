@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_indirection.dir/bench_indirection.cc.o"
+  "CMakeFiles/bench_indirection.dir/bench_indirection.cc.o.d"
+  "bench_indirection"
+  "bench_indirection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_indirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mvcc.dir/bench_mvcc.cc.o"
+  "CMakeFiles/bench_mvcc.dir/bench_mvcc.cc.o.d"
+  "bench_mvcc"
+  "bench_mvcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mvcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

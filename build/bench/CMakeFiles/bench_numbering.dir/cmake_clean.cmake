@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_numbering.dir/bench_numbering.cc.o"
+  "CMakeFiles/bench_numbering.dir/bench_numbering.cc.o.d"
+  "bench_numbering"
+  "bench_numbering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_numbering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_strategy.dir/bench_storage_strategy.cc.o"
+  "CMakeFiles/bench_storage_strategy.dir/bench_storage_strategy.cc.o.d"
+  "bench_storage_strategy"
+  "bench_storage_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

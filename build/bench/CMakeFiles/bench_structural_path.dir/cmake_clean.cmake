@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_structural_path.dir/bench_structural_path.cc.o"
+  "CMakeFiles/bench_structural_path.dir/bench_structural_path.cc.o.d"
+  "bench_structural_path"
+  "bench_structural_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_structural_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

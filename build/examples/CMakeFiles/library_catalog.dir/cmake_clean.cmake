@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/library_catalog.dir/library_catalog.cpp.o"
+  "CMakeFiles/library_catalog.dir/library_catalog.cpp.o.d"
+  "library_catalog"
+  "library_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/library_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/versioned_store.dir/versioned_store.cpp.o"
+  "CMakeFiles/versioned_store.dir/versioned_store.cpp.o.d"
+  "versioned_store"
+  "versioned_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/versioned_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/subtree_storage.cc" "src/baselines/CMakeFiles/sedna_baselines.dir/subtree_storage.cc.o" "gcc" "src/baselines/CMakeFiles/sedna_baselines.dir/subtree_storage.cc.o.d"
+  "/root/repo/src/baselines/swizzling_store.cc" "src/baselines/CMakeFiles/sedna_baselines.dir/swizzling_store.cc.o" "gcc" "src/baselines/CMakeFiles/sedna_baselines.dir/swizzling_store.cc.o.d"
+  "/root/repo/src/baselines/xiss_numbering.cc" "src/baselines/CMakeFiles/sedna_baselines.dir/xiss_numbering.cc.o" "gcc" "src/baselines/CMakeFiles/sedna_baselines.dir/xiss_numbering.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/sedna_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sedna_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_baselines.dir/subtree_storage.cc.o"
+  "CMakeFiles/sedna_baselines.dir/subtree_storage.cc.o.d"
+  "CMakeFiles/sedna_baselines.dir/swizzling_store.cc.o"
+  "CMakeFiles/sedna_baselines.dir/swizzling_store.cc.o.d"
+  "CMakeFiles/sedna_baselines.dir/xiss_numbering.cc.o"
+  "CMakeFiles/sedna_baselines.dir/xiss_numbering.cc.o.d"
+  "libsedna_baselines.a"
+  "libsedna_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

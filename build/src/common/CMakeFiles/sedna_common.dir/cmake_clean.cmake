@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_common.dir/coding.cc.o"
+  "CMakeFiles/sedna_common.dir/coding.cc.o.d"
+  "CMakeFiles/sedna_common.dir/logging.cc.o"
+  "CMakeFiles/sedna_common.dir/logging.cc.o.d"
+  "CMakeFiles/sedna_common.dir/random.cc.o"
+  "CMakeFiles/sedna_common.dir/random.cc.o.d"
+  "CMakeFiles/sedna_common.dir/status.cc.o"
+  "CMakeFiles/sedna_common.dir/status.cc.o.d"
+  "CMakeFiles/sedna_common.dir/string_util.cc.o"
+  "CMakeFiles/sedna_common.dir/string_util.cc.o.d"
+  "libsedna_common.a"
+  "libsedna_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

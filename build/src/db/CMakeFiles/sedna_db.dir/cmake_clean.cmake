@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_db.dir/database.cc.o"
+  "CMakeFiles/sedna_db.dir/database.cc.o.d"
+  "libsedna_db.a"
+  "libsedna_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_numbering.dir/nid.cc.o"
+  "CMakeFiles/sedna_numbering.dir/nid.cc.o.d"
+  "libsedna_numbering.a"
+  "libsedna_numbering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_numbering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

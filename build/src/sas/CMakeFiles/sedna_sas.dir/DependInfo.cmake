@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sas/buffer_manager.cc" "src/sas/CMakeFiles/sedna_sas.dir/buffer_manager.cc.o" "gcc" "src/sas/CMakeFiles/sedna_sas.dir/buffer_manager.cc.o.d"
+  "/root/repo/src/sas/file_manager.cc" "src/sas/CMakeFiles/sedna_sas.dir/file_manager.cc.o" "gcc" "src/sas/CMakeFiles/sedna_sas.dir/file_manager.cc.o.d"
+  "/root/repo/src/sas/page_directory.cc" "src/sas/CMakeFiles/sedna_sas.dir/page_directory.cc.o" "gcc" "src/sas/CMakeFiles/sedna_sas.dir/page_directory.cc.o.d"
+  "/root/repo/src/sas/xptr.cc" "src/sas/CMakeFiles/sedna_sas.dir/xptr.cc.o" "gcc" "src/sas/CMakeFiles/sedna_sas.dir/xptr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sedna_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_sas.dir/buffer_manager.cc.o"
+  "CMakeFiles/sedna_sas.dir/buffer_manager.cc.o.d"
+  "CMakeFiles/sedna_sas.dir/file_manager.cc.o"
+  "CMakeFiles/sedna_sas.dir/file_manager.cc.o.d"
+  "CMakeFiles/sedna_sas.dir/page_directory.cc.o"
+  "CMakeFiles/sedna_sas.dir/page_directory.cc.o.d"
+  "CMakeFiles/sedna_sas.dir/xptr.cc.o"
+  "CMakeFiles/sedna_sas.dir/xptr.cc.o.d"
+  "libsedna_sas.a"
+  "libsedna_sas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_sas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

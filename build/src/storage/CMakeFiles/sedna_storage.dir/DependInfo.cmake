@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/document_store.cc" "src/storage/CMakeFiles/sedna_storage.dir/document_store.cc.o" "gcc" "src/storage/CMakeFiles/sedna_storage.dir/document_store.cc.o.d"
+  "/root/repo/src/storage/indirection.cc" "src/storage/CMakeFiles/sedna_storage.dir/indirection.cc.o" "gcc" "src/storage/CMakeFiles/sedna_storage.dir/indirection.cc.o.d"
+  "/root/repo/src/storage/node_store.cc" "src/storage/CMakeFiles/sedna_storage.dir/node_store.cc.o" "gcc" "src/storage/CMakeFiles/sedna_storage.dir/node_store.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/sedna_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/sedna_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/storage_engine.cc" "src/storage/CMakeFiles/sedna_storage.dir/storage_engine.cc.o" "gcc" "src/storage/CMakeFiles/sedna_storage.dir/storage_engine.cc.o.d"
+  "/root/repo/src/storage/text_store.cc" "src/storage/CMakeFiles/sedna_storage.dir/text_store.cc.o" "gcc" "src/storage/CMakeFiles/sedna_storage.dir/text_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sas/CMakeFiles/sedna_sas.dir/DependInfo.cmake"
+  "/root/repo/build/src/numbering/CMakeFiles/sedna_numbering.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sedna_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sedna_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_storage.dir/document_store.cc.o"
+  "CMakeFiles/sedna_storage.dir/document_store.cc.o.d"
+  "CMakeFiles/sedna_storage.dir/indirection.cc.o"
+  "CMakeFiles/sedna_storage.dir/indirection.cc.o.d"
+  "CMakeFiles/sedna_storage.dir/node_store.cc.o"
+  "CMakeFiles/sedna_storage.dir/node_store.cc.o.d"
+  "CMakeFiles/sedna_storage.dir/schema.cc.o"
+  "CMakeFiles/sedna_storage.dir/schema.cc.o.d"
+  "CMakeFiles/sedna_storage.dir/storage_engine.cc.o"
+  "CMakeFiles/sedna_storage.dir/storage_engine.cc.o.d"
+  "CMakeFiles/sedna_storage.dir/text_store.cc.o"
+  "CMakeFiles/sedna_storage.dir/text_store.cc.o.d"
+  "libsedna_storage.a"
+  "libsedna_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

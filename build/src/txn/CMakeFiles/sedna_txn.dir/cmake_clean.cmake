@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_txn.dir/backup.cc.o"
+  "CMakeFiles/sedna_txn.dir/backup.cc.o.d"
+  "CMakeFiles/sedna_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/sedna_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/sedna_txn.dir/transaction.cc.o"
+  "CMakeFiles/sedna_txn.dir/transaction.cc.o.d"
+  "CMakeFiles/sedna_txn.dir/version_manager.cc.o"
+  "CMakeFiles/sedna_txn.dir/version_manager.cc.o.d"
+  "CMakeFiles/sedna_txn.dir/wal.cc.o"
+  "CMakeFiles/sedna_txn.dir/wal.cc.o.d"
+  "libsedna_txn.a"
+  "libsedna_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_xml.dir/xml_parser.cc.o"
+  "CMakeFiles/sedna_xml.dir/xml_parser.cc.o.d"
+  "CMakeFiles/sedna_xml.dir/xml_serializer.cc.o"
+  "CMakeFiles/sedna_xml.dir/xml_serializer.cc.o.d"
+  "CMakeFiles/sedna_xml.dir/xml_tree.cc.o"
+  "CMakeFiles/sedna_xml.dir/xml_tree.cc.o.d"
+  "libsedna_xml.a"
+  "libsedna_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

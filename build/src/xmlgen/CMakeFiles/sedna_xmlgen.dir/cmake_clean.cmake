@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_xmlgen.dir/generators.cc.o"
+  "CMakeFiles/sedna_xmlgen.dir/generators.cc.o.d"
+  "libsedna_xmlgen.a"
+  "libsedna_xmlgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_xmlgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xquery/analyzer.cc" "src/xquery/CMakeFiles/sedna_xquery.dir/analyzer.cc.o" "gcc" "src/xquery/CMakeFiles/sedna_xquery.dir/analyzer.cc.o.d"
+  "/root/repo/src/xquery/ast.cc" "src/xquery/CMakeFiles/sedna_xquery.dir/ast.cc.o" "gcc" "src/xquery/CMakeFiles/sedna_xquery.dir/ast.cc.o.d"
+  "/root/repo/src/xquery/executor.cc" "src/xquery/CMakeFiles/sedna_xquery.dir/executor.cc.o" "gcc" "src/xquery/CMakeFiles/sedna_xquery.dir/executor.cc.o.d"
+  "/root/repo/src/xquery/functions.cc" "src/xquery/CMakeFiles/sedna_xquery.dir/functions.cc.o" "gcc" "src/xquery/CMakeFiles/sedna_xquery.dir/functions.cc.o.d"
+  "/root/repo/src/xquery/node_ops.cc" "src/xquery/CMakeFiles/sedna_xquery.dir/node_ops.cc.o" "gcc" "src/xquery/CMakeFiles/sedna_xquery.dir/node_ops.cc.o.d"
+  "/root/repo/src/xquery/parser.cc" "src/xquery/CMakeFiles/sedna_xquery.dir/parser.cc.o" "gcc" "src/xquery/CMakeFiles/sedna_xquery.dir/parser.cc.o.d"
+  "/root/repo/src/xquery/rewriter.cc" "src/xquery/CMakeFiles/sedna_xquery.dir/rewriter.cc.o" "gcc" "src/xquery/CMakeFiles/sedna_xquery.dir/rewriter.cc.o.d"
+  "/root/repo/src/xquery/statement.cc" "src/xquery/CMakeFiles/sedna_xquery.dir/statement.cc.o" "gcc" "src/xquery/CMakeFiles/sedna_xquery.dir/statement.cc.o.d"
+  "/root/repo/src/xquery/value_index.cc" "src/xquery/CMakeFiles/sedna_xquery.dir/value_index.cc.o" "gcc" "src/xquery/CMakeFiles/sedna_xquery.dir/value_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/sedna_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sedna_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sedna_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sas/CMakeFiles/sedna_sas.dir/DependInfo.cmake"
+  "/root/repo/build/src/numbering/CMakeFiles/sedna_numbering.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

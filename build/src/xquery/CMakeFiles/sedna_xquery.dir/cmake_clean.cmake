@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sedna_xquery.dir/analyzer.cc.o"
+  "CMakeFiles/sedna_xquery.dir/analyzer.cc.o.d"
+  "CMakeFiles/sedna_xquery.dir/ast.cc.o"
+  "CMakeFiles/sedna_xquery.dir/ast.cc.o.d"
+  "CMakeFiles/sedna_xquery.dir/executor.cc.o"
+  "CMakeFiles/sedna_xquery.dir/executor.cc.o.d"
+  "CMakeFiles/sedna_xquery.dir/functions.cc.o"
+  "CMakeFiles/sedna_xquery.dir/functions.cc.o.d"
+  "CMakeFiles/sedna_xquery.dir/node_ops.cc.o"
+  "CMakeFiles/sedna_xquery.dir/node_ops.cc.o.d"
+  "CMakeFiles/sedna_xquery.dir/parser.cc.o"
+  "CMakeFiles/sedna_xquery.dir/parser.cc.o.d"
+  "CMakeFiles/sedna_xquery.dir/rewriter.cc.o"
+  "CMakeFiles/sedna_xquery.dir/rewriter.cc.o.d"
+  "CMakeFiles/sedna_xquery.dir/statement.cc.o"
+  "CMakeFiles/sedna_xquery.dir/statement.cc.o.d"
+  "CMakeFiles/sedna_xquery.dir/value_index.cc.o"
+  "CMakeFiles/sedna_xquery.dir/value_index.cc.o.d"
+  "libsedna_xquery.a"
+  "libsedna_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sedna_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numbering_test.dir/numbering/nid_test.cc.o"
+  "CMakeFiles/numbering_test.dir/numbering/nid_test.cc.o.d"
+  "numbering_test"
+  "numbering_test.pdb"
+  "numbering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numbering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

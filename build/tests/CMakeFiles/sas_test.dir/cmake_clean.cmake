@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sas_test.dir/sas/buffer_manager_test.cc.o"
+  "CMakeFiles/sas_test.dir/sas/buffer_manager_test.cc.o.d"
+  "CMakeFiles/sas_test.dir/sas/file_manager_test.cc.o"
+  "CMakeFiles/sas_test.dir/sas/file_manager_test.cc.o.d"
+  "CMakeFiles/sas_test.dir/sas/page_directory_test.cc.o"
+  "CMakeFiles/sas_test.dir/sas/page_directory_test.cc.o.d"
+  "CMakeFiles/sas_test.dir/sas/xptr_test.cc.o"
+  "CMakeFiles/sas_test.dir/sas/xptr_test.cc.o.d"
+  "sas_test"
+  "sas_test.pdb"
+  "sas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/storage/document_store_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/document_store_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/indirection_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/indirection_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/label_overflow_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/label_overflow_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/node_store_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/node_store_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/schema_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/schema_test.cc.o.d"
+  "CMakeFiles/storage_test.dir/storage/text_store_test.cc.o"
+  "CMakeFiles/storage_test.dir/storage/text_store_test.cc.o.d"
+  "storage_test"
+  "storage_test.pdb"
+  "storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

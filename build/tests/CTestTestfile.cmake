@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sas_test[1]_include.cmake")
+include("/root/repo/build/tests/numbering_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/xquery_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/db_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
