@@ -223,7 +223,7 @@ bench/CMakeFiles/bench_pointer_deref.dir/bench_pointer_deref.cc.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/vfs.h \
  /root/repo/src/storage/storage_engine.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /root/repo/src/sas/buffer_manager.h /root/repo/src/sas/file_manager.h \

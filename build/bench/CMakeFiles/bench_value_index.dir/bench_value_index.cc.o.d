@@ -218,14 +218,14 @@ bench/CMakeFiles/bench_value_index.dir/bench_value_index.cc.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/vfs.h \
+ /root/repo/src/common/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/storage/storage_engine.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/common/status.h /usr/include/c++/12/optional \
  /root/repo/src/sas/buffer_manager.h /root/repo/src/sas/file_manager.h \
  /root/repo/src/sas/xptr.h /root/repo/src/sas/page_directory.h \
  /root/repo/src/storage/document_store.h \

@@ -214,11 +214,11 @@ examples/CMakeFiles/library_catalog.dir/library_catalog.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/storage/storage_engine.h /root/repo/src/common/status.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/vfs.h \
+ /root/repo/src/common/status.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/storage/storage_engine.h \
  /root/repo/src/sas/buffer_manager.h /usr/include/c++/12/atomic \
  /root/repo/src/sas/file_manager.h /root/repo/src/sas/xptr.h \
  /root/repo/src/sas/page_directory.h \

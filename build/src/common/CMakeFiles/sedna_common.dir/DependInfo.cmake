@@ -9,10 +9,12 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/coding.cc" "src/common/CMakeFiles/sedna_common.dir/coding.cc.o" "gcc" "src/common/CMakeFiles/sedna_common.dir/coding.cc.o.d"
+  "/root/repo/src/common/fault_vfs.cc" "src/common/CMakeFiles/sedna_common.dir/fault_vfs.cc.o" "gcc" "src/common/CMakeFiles/sedna_common.dir/fault_vfs.cc.o.d"
   "/root/repo/src/common/logging.cc" "src/common/CMakeFiles/sedna_common.dir/logging.cc.o" "gcc" "src/common/CMakeFiles/sedna_common.dir/logging.cc.o.d"
   "/root/repo/src/common/random.cc" "src/common/CMakeFiles/sedna_common.dir/random.cc.o" "gcc" "src/common/CMakeFiles/sedna_common.dir/random.cc.o.d"
   "/root/repo/src/common/status.cc" "src/common/CMakeFiles/sedna_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/sedna_common.dir/status.cc.o.d"
   "/root/repo/src/common/string_util.cc" "src/common/CMakeFiles/sedna_common.dir/string_util.cc.o" "gcc" "src/common/CMakeFiles/sedna_common.dir/string_util.cc.o.d"
+  "/root/repo/src/common/vfs.cc" "src/common/CMakeFiles/sedna_common.dir/vfs.cc.o" "gcc" "src/common/CMakeFiles/sedna_common.dir/vfs.cc.o.d"
   )
 
 # Targets to which this target links.

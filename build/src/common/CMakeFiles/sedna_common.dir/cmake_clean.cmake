@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/sedna_common.dir/coding.cc.o"
   "CMakeFiles/sedna_common.dir/coding.cc.o.d"
+  "CMakeFiles/sedna_common.dir/fault_vfs.cc.o"
+  "CMakeFiles/sedna_common.dir/fault_vfs.cc.o.d"
   "CMakeFiles/sedna_common.dir/logging.cc.o"
   "CMakeFiles/sedna_common.dir/logging.cc.o.d"
   "CMakeFiles/sedna_common.dir/random.cc.o"
@@ -9,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/sedna_common.dir/status.cc.o.d"
   "CMakeFiles/sedna_common.dir/string_util.cc.o"
   "CMakeFiles/sedna_common.dir/string_util.cc.o.d"
+  "CMakeFiles/sedna_common.dir/vfs.cc.o"
+  "CMakeFiles/sedna_common.dir/vfs.cc.o.d"
   "libsedna_common.a"
   "libsedna_common.pdb"
 )

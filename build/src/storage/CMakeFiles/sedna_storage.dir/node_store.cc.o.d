@@ -224,9 +224,9 @@ src/storage/CMakeFiles/sedna_storage.dir/node_store.cc.o: \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sas/file_manager.h \
- /root/repo/src/sas/page_directory.h /root/repo/src/storage/schema.h \
- /root/repo/src/storage/text_store.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/common/vfs.h /root/repo/src/sas/page_directory.h \
+ /root/repo/src/storage/schema.h /root/repo/src/storage/text_store.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/logging.h /usr/include/c++/12/sstream \

@@ -212,7 +212,7 @@ src/storage/CMakeFiles/sedna_storage.dir/storage_engine.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/status.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/vfs.h \
  /root/repo/src/sas/buffer_manager.h /usr/include/c++/12/atomic \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \

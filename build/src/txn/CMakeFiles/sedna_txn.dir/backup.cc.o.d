@@ -220,7 +220,7 @@ src/txn/CMakeFiles/sedna_txn.dir/backup.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/common/vfs.h \
  /root/repo/src/sas/buffer_manager.h /root/repo/src/sas/file_manager.h \
  /root/repo/src/sas/xptr.h /root/repo/src/sas/page_directory.h \
  /root/repo/src/storage/document_store.h \

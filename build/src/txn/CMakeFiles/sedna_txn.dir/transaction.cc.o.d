@@ -218,7 +218,7 @@ src/txn/CMakeFiles/sedna_txn.dir/transaction.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/common/status.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/vfs.h \
  /root/repo/src/sas/buffer_manager.h /root/repo/src/sas/file_manager.h \
  /root/repo/src/sas/xptr.h /root/repo/src/sas/page_directory.h \
  /root/repo/src/storage/document_store.h \

@@ -219,7 +219,7 @@ src/xquery/CMakeFiles/sedna_xquery.dir/analyzer.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/storage/storage_engine.h \
+ /root/repo/src/storage/storage_engine.h /root/repo/src/common/vfs.h \
  /root/repo/src/sas/buffer_manager.h /usr/include/c++/12/atomic \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \

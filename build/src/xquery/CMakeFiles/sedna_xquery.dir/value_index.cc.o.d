@@ -219,7 +219,7 @@ src/xquery/CMakeFiles/sedna_xquery.dir/value_index.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/status.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/common/vfs.h \
  /root/repo/src/sas/buffer_manager.h /usr/include/c++/12/atomic \
  /root/repo/src/sas/file_manager.h /root/repo/src/sas/xptr.h \
  /root/repo/src/sas/page_directory.h \

@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common/random_test.cc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/random_test.cc.o.d"
   "/root/repo/tests/common/status_test.cc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/status_test.cc.o.d"
   "/root/repo/tests/common/string_util_test.cc" "tests/CMakeFiles/common_test.dir/common/string_util_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/string_util_test.cc.o.d"
+  "/root/repo/tests/common/vfs_test.cc" "tests/CMakeFiles/common_test.dir/common/vfs_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common/vfs_test.cc.o.d"
   )
 
 # Targets to which this target links.

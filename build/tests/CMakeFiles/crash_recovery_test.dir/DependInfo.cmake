@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/txn/crash_recovery_test.cc" "tests/CMakeFiles/crash_recovery_test.dir/txn/crash_recovery_test.cc.o" "gcc" "tests/CMakeFiles/crash_recovery_test.dir/txn/crash_recovery_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/sedna_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/xquery/CMakeFiles/sedna_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/sedna_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sedna_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmlgen/CMakeFiles/sedna_xmlgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/numbering/CMakeFiles/sedna_numbering.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/sedna_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sedna_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sas/CMakeFiles/sedna_sas.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sedna_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

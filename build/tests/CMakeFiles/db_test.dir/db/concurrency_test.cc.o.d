@@ -306,7 +306,8 @@ tests/CMakeFiles/db_test.dir/db/concurrency_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/common/random.h /root/repo/src/db/database.h \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/storage/storage_engine.h /root/repo/src/common/status.h \
+ /root/repo/src/common/vfs.h /root/repo/src/common/status.h \
+ /root/repo/src/storage/storage_engine.h \
  /root/repo/src/sas/buffer_manager.h /root/repo/src/sas/file_manager.h \
  /root/repo/src/sas/xptr.h /root/repo/src/sas/page_directory.h \
  /root/repo/src/storage/document_store.h \

@@ -297,8 +297,8 @@ tests/CMakeFiles/db_test.dir/db/index_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/db/database.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/storage/storage_engine.h /root/repo/src/common/status.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/vfs.h \
+ /root/repo/src/common/status.h /root/repo/src/storage/storage_engine.h \
  /root/repo/src/sas/buffer_manager.h /root/repo/src/sas/file_manager.h \
  /root/repo/src/sas/xptr.h /root/repo/src/sas/page_directory.h \
  /root/repo/src/storage/document_store.h \

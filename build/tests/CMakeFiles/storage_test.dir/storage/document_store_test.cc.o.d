@@ -221,9 +221,9 @@ tests/CMakeFiles/storage_test.dir/storage/document_store_test.cc.o: \
  /usr/include/c++/12/ratio /usr/include/c++/12/limits \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sas/file_manager.h \
- /root/repo/src/sas/page_directory.h /root/repo/src/storage/node_store.h \
- /root/repo/src/numbering/nid.h /root/repo/src/storage/schema.h \
- /root/repo/src/storage/text_store.h \
+ /root/repo/src/common/vfs.h /root/repo/src/sas/page_directory.h \
+ /root/repo/src/storage/node_store.h /root/repo/src/numbering/nid.h \
+ /root/repo/src/storage/schema.h /root/repo/src/storage/text_store.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \

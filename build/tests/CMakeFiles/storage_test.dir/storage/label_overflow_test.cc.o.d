@@ -301,9 +301,9 @@ tests/CMakeFiles/storage_test.dir/storage/label_overflow_test.cc.o: \
  /root/repo/src/sas/buffer_manager.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sas/file_manager.h \
- /root/repo/src/sas/page_directory.h /root/repo/src/storage/node_store.h \
- /root/repo/src/numbering/nid.h /root/repo/src/storage/schema.h \
- /root/repo/src/storage/text_store.h \
+ /root/repo/src/common/vfs.h /root/repo/src/sas/page_directory.h \
+ /root/repo/src/storage/node_store.h /root/repo/src/numbering/nid.h \
+ /root/repo/src/storage/schema.h /root/repo/src/storage/text_store.h \
  /root/repo/tests/storage/storage_test_util.h \
  /root/repo/src/storage/storage_engine.h /root/repo/src/xml/xml_parser.h \
  /root/repo/src/xml/xml_serializer.h

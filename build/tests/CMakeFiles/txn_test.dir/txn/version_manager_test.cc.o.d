@@ -216,13 +216,13 @@ tests/CMakeFiles/txn_test.dir/txn/version_manager_test.cc.o: \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/optional /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sas/file_manager.h \
- /root/repo/src/sas/xptr.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/sas/page_directory.h /root/repo/src/storage/storage_env.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/common/vfs.h \
+ /root/repo/src/sas/xptr.h /root/repo/src/sas/page_directory.h \
+ /root/repo/src/storage/storage_env.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \

@@ -213,14 +213,14 @@ tests/CMakeFiles/xquery_test.dir/xquery/node_ops_test.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/sas/file_manager.h \
- /root/repo/src/sas/xptr.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/sas/page_directory.h /root/repo/src/xquery/item.h \
- /usr/include/c++/12/variant /root/repo/src/storage/document_store.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/common/vfs.h \
+ /root/repo/src/sas/xptr.h /root/repo/src/sas/page_directory.h \
+ /root/repo/src/xquery/item.h /usr/include/c++/12/variant \
+ /root/repo/src/storage/document_store.h \
  /root/repo/src/storage/indirection.h /root/repo/src/storage/layout.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/xml/xml_tree.h /root/repo/src/storage/node_store.h \

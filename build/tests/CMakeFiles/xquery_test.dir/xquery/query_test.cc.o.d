@@ -295,10 +295,11 @@ tests/CMakeFiles/xquery_test.dir/xquery/query_test.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/tests/storage/storage_test_util.h \
  /root/repo/src/storage/storage_engine.h /root/repo/src/common/status.h \
- /root/repo/src/sas/buffer_manager.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/sas/file_manager.h \
- /root/repo/src/sas/xptr.h /root/repo/src/sas/page_directory.h \
+ /root/repo/src/common/vfs.h /root/repo/src/sas/buffer_manager.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/sas/file_manager.h /root/repo/src/sas/xptr.h \
+ /root/repo/src/sas/page_directory.h \
  /root/repo/src/storage/document_store.h \
  /root/repo/src/storage/indirection.h /root/repo/src/storage/layout.h \
  /usr/include/c++/12/cstring /root/repo/src/xml/xml_tree.h \

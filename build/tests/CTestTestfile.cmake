@@ -11,5 +11,6 @@ include("/root/repo/build/tests/xml_test[1]_include.cmake")
 include("/root/repo/build/tests/storage_test[1]_include.cmake")
 include("/root/repo/build/tests/xquery_test[1]_include.cmake")
 include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_recovery_test[1]_include.cmake")
 include("/root/repo/build/tests/db_test[1]_include.cmake")
 include("/root/repo/build/tests/baselines_test[1]_include.cmake")

@@ -1,0 +1,315 @@
+#include "common/fault_vfs.h"
+
+#include <cstring>
+
+namespace sedna {
+
+namespace {
+
+// Places `data` at `offset` in `img`, zero-filling any gap. Out-of-order
+// survival of torn writes can leave holes; zero bytes model unwritten
+// sectors.
+void ApplyWrite(std::string& img, uint64_t offset, const std::string& data) {
+  if (img.size() < offset) img.resize(offset, '\0');
+  if (img.size() < offset + data.size()) img.resize(offset + data.size());
+  std::memcpy(img.data() + offset, data.data(), data.size());
+}
+
+}  // namespace
+
+/// File handle over a shared in-memory FileState. All logic lives in the
+/// owning vfs so the fault gate and the file model share one mutex.
+class FaultFile : public File {
+ public:
+  FaultFile(FaultInjectingVfs* vfs, std::string path,
+            std::shared_ptr<FaultInjectingVfs::FileState> state,
+            bool read_only)
+      : vfs_(vfs),
+        path_(std::move(path)),
+        state_(std::move(state)),
+        read_only_(read_only) {}
+
+  Status Read(uint64_t offset, size_t n, void* buf) override {
+    if (!state_) return Status::FailedPrecondition("file closed");
+    return vfs_->DoRead(path_, *state_, offset, n, buf);
+  }
+
+  Status Write(uint64_t offset, const void* data, size_t n) override {
+    if (!state_) return Status::FailedPrecondition("file closed");
+    if (read_only_) {
+      return Status::FailedPrecondition("write to read-only file " + path_);
+    }
+    return vfs_->DoWrite(path_, *state_, offset, data, n, /*append=*/false);
+  }
+
+  Status Append(const void* data, size_t n) override {
+    if (!state_) return Status::FailedPrecondition("file closed");
+    if (read_only_) {
+      return Status::FailedPrecondition("append to read-only file " + path_);
+    }
+    return vfs_->DoWrite(path_, *state_, 0, data, n, /*append=*/true);
+  }
+
+  Status Sync() override {
+    if (!state_) return Status::FailedPrecondition("file closed");
+    return vfs_->DoSync(path_, *state_);
+  }
+
+  StatusOr<uint64_t> Size() override {
+    if (!state_) return Status::FailedPrecondition("file closed");
+    return vfs_->DoSize(*state_);
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (!state_) return Status::FailedPrecondition("file closed");
+    if (read_only_) {
+      return Status::FailedPrecondition("truncate of read-only file " + path_);
+    }
+    return vfs_->DoTruncate(path_, *state_, size);
+  }
+
+  Status Close() override {
+    state_.reset();
+    return Status::OK();
+  }
+
+ private:
+  FaultInjectingVfs* vfs_;
+  std::string path_;
+  std::shared_ptr<FaultInjectingVfs::FileState> state_;
+  bool read_only_;
+};
+
+FaultInjectingVfs::FaultInjectingVfs(uint64_t seed) : rng_(seed) {}
+
+FaultInjectingVfs::~FaultInjectingVfs() = default;
+
+StatusOr<std::unique_ptr<File>> FaultInjectingVfs::Open(
+    const std::string& path, OpenMode mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IOError("injected crash: vfs is down");
+  auto it = files_.find(path);
+  std::shared_ptr<FileState> state;
+  switch (mode) {
+    case OpenMode::kCreate: {
+      // Creation (and truncation of an existing file) is immediately
+      // durable: directory-entry durability is not part of the fault
+      // model, only data written afterwards is at risk.
+      state = std::make_shared<FileState>();
+      files_[path] = state;
+      break;
+    }
+    case OpenMode::kReadWrite:
+    case OpenMode::kReadOnly: {
+      if (it == files_.end()) {
+        return Status::IOError("cannot open " + path + ": no such file");
+      }
+      state = it->second;
+      break;
+    }
+    case OpenMode::kAppend: {
+      if (it == files_.end()) {
+        state = std::make_shared<FileState>();
+        files_[path] = state;
+      } else {
+        state = it->second;
+      }
+      break;
+    }
+  }
+  return std::unique_ptr<File>(
+      new FaultFile(this, path, state, mode == OpenMode::kReadOnly));
+}
+
+Status FaultInjectingVfs::Remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IOError("injected crash: vfs is down");
+  files_.erase(path);  // absent is fine: Remove is idempotent
+  return Status::OK();
+}
+
+void FaultInjectingVfs::ScheduleCrashAtOp(uint64_t op_index,
+                                          CrashStyle style) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_op_ = op_index;
+  crash_style_ = style;
+}
+
+void FaultInjectingVfs::ScheduleTransientFailureAtOp(uint64_t op_index) {
+  std::lock_guard<std::mutex> lock(mu_);
+  transient_fail_ops_.insert(op_index);
+}
+
+void FaultInjectingVfs::SetStickyErrorRates(const std::string& path_substring,
+                                            double read_rate,
+                                            double write_rate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sticky_rules_.push_back({path_substring, read_rate, write_rate});
+}
+
+void FaultInjectingVfs::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_op_.reset();
+  transient_fail_ops_.clear();
+  sticky_rules_.clear();
+}
+
+void FaultInjectingVfs::Recover() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [path, state] : files_) {
+    if (!crashed_ || crash_style_ == CrashStyle::kLoseUnsynced) {
+      if (crashed_) state->live = state->durable;
+    } else {
+      // kTornWrites: rebuild from the durable image, letting each pending
+      // operation survive fully, as a torn prefix, or not at all.
+      std::string img = state->durable;
+      for (const PendingOp& op : state->pending) {
+        if (op.is_truncate) {
+          if (rng_.Bernoulli(0.5)) img.resize(op.offset, '\0');
+          continue;
+        }
+        double draw = rng_.NextDouble();
+        if (draw < 0.5) {
+          ApplyWrite(img, op.offset, op.data);
+        } else if (draw < 0.75 && !op.data.empty()) {
+          uint64_t torn = rng_.Uniform(op.data.size());
+          ApplyWrite(img, op.offset, op.data.substr(0, torn));
+        }
+        // else: the write vanished entirely.
+      }
+      state->live = img;
+      state->durable = img;
+    }
+    state->pending.clear();
+    state->durable = state->live;
+  }
+  crashed_ = false;
+  crash_at_op_.reset();
+}
+
+bool FaultInjectingVfs::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultInjectingVfs::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return op_counter_;
+}
+
+void FaultInjectingVfs::EnableOpLog(bool enable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  log_ops_ = enable;
+  op_log_.clear();
+}
+
+std::vector<VfsOpRecord> FaultInjectingVfs::TakeOpLog() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<VfsOpRecord> out;
+  out.swap(op_log_);
+  return out;
+}
+
+bool FaultInjectingVfs::FileExists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+StatusOr<uint64_t> FaultInjectingVfs::FileSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return static_cast<uint64_t>(it->second->live.size());
+}
+
+Status FaultInjectingVfs::CorruptByte(const std::string& path,
+                                      uint64_t offset, uint8_t mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  FileState& f = *it->second;
+  if (offset >= f.live.size()) {
+    return Status::InvalidArgument("corrupt offset beyond end of " + path);
+  }
+  f.live[offset] = static_cast<char>(f.live[offset] ^ mask);
+  if (offset < f.durable.size()) {
+    f.durable[offset] = static_cast<char>(f.durable[offset] ^ mask);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingVfs::GateLocked(const std::string& path,
+                                     const char* kind, uint64_t offset,
+                                     uint64_t len, bool is_write) {
+  if (crashed_) return Status::IOError("injected crash: vfs is down");
+  uint64_t idx = op_counter_++;
+  if (log_ops_) op_log_.push_back({idx, path, kind, offset, len});
+  if (crash_at_op_ && idx >= *crash_at_op_) {
+    crashed_ = true;
+    return Status::IOError("injected crash at op " + std::to_string(idx));
+  }
+  if (transient_fail_ops_.erase(idx) > 0) {
+    return Status::IOError("injected transient failure at op " +
+                           std::to_string(idx));
+  }
+  for (const StickyRule& rule : sticky_rules_) {
+    if (path.find(rule.substring) == std::string::npos) continue;
+    double rate = is_write ? rule.write_rate : rule.read_rate;
+    if (rate > 0.0 && rng_.Bernoulli(rate)) {
+      return Status::IOError(std::string("injected sticky ") +
+                             (is_write ? "write" : "read") + " error on " +
+                             path);
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjectingVfs::DoRead(const std::string& path, FileState& f,
+                                 uint64_t offset, size_t n, void* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SEDNA_RETURN_IF_ERROR(GateLocked(path, "read", offset, n, false));
+  if (offset + n > f.live.size()) {
+    return Status::IOError("short read in " + path);
+  }
+  std::memcpy(buf, f.live.data() + offset, n);
+  return Status::OK();
+}
+
+Status FaultInjectingVfs::DoWrite(const std::string& path, FileState& f,
+                                  uint64_t offset, const void* data, size_t n,
+                                  bool append) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (append) offset = f.live.size();
+  SEDNA_RETURN_IF_ERROR(
+      GateLocked(path, append ? "append" : "write", offset, n, true));
+  std::string bytes(static_cast<const char*>(data), n);
+  ApplyWrite(f.live, offset, bytes);
+  f.pending.push_back({false, offset, std::move(bytes)});
+  return Status::OK();
+}
+
+Status FaultInjectingVfs::DoSync(const std::string& path, FileState& f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SEDNA_RETURN_IF_ERROR(GateLocked(path, "sync", 0, 0, true));
+  f.durable = f.live;
+  f.pending.clear();
+  return Status::OK();
+}
+
+StatusOr<uint64_t> FaultInjectingVfs::DoSize(FileState& f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Size is metadata, not I/O: not counted and never fails, so callers can
+  // probe state while scheduling faults.
+  return static_cast<uint64_t>(f.live.size());
+}
+
+Status FaultInjectingVfs::DoTruncate(const std::string& path, FileState& f,
+                                     uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SEDNA_RETURN_IF_ERROR(GateLocked(path, "truncate", size, 0, true));
+  f.live.resize(size, '\0');
+  f.pending.push_back({true, size, std::string()});
+  return Status::OK();
+}
+
+}  // namespace sedna

@@ -1,0 +1,163 @@
+// Deterministic fault-injecting Vfs for crash-recovery testing.
+//
+// Files live entirely in memory as two images plus a journal:
+//
+//   durable  — bytes guaranteed to survive a crash (updated by Sync)
+//   live     — bytes the process observes (updated by every write)
+//   pending  — ordered writes/truncates issued since the last Sync
+//
+// A scheduled "crash" makes every subsequent operation fail, freezing the
+// file set in its crashed state. `Recover()` then simulates the reboot:
+// with `CrashStyle::kLoseUnsynced` every file reverts to its durable image
+// (an OS crash that drops the page cache); with `CrashStyle::kTornWrites`
+// each pending write independently survives in full (p=0.5), survives as a
+// torn prefix (p=0.25) or vanishes (p=0.25), modelling a disk that
+// persisted an arbitrary subset of in-flight sectors. All randomness comes
+// from a caller-provided seed, so every crash scenario is reproducible.
+//
+// Fault classes:
+//   - ScheduleCrashAtOp(n, style): the n-th counted operation (0-based;
+//     reads, writes, appends, syncs, truncates) and everything after it
+//     fail with kIOError until Recover() is called.
+//   - ScheduleTransientFailureAtOp(n): the n-th operation alone fails; a
+//     retry of the same logical I/O succeeds. Exercises bounded backoff.
+//   - SetStickyErrorRates(substr, r, w): operations on files whose path
+//     contains `substr` fail with probability r (reads) / w (writes,
+//     syncs, truncates). Failures are injected before any state changes,
+//     so they never corrupt the file model.
+//
+// Simplification (documented contract): Open(kCreate) makes the created
+// empty file immediately durable — directory-entry durability is not
+// modelled, only data durability.
+
+#ifndef SEDNA_COMMON_FAULT_VFS_H_
+#define SEDNA_COMMON_FAULT_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/vfs.h"
+
+namespace sedna {
+
+enum class CrashStyle {
+  kLoseUnsynced,  // revert every file to its last-synced image
+  kTornWrites,    // each unsynced write persists fully / partially / not
+};
+
+/// One counted operation, recorded when the op log is enabled. Torture
+/// tests use this to aim crashes at specific I/O (e.g. master-record
+/// writes, identified by path + offset).
+struct VfsOpRecord {
+  uint64_t op_index;
+  std::string path;
+  std::string kind;  // "read" | "write" | "append" | "sync" | "truncate"
+  uint64_t offset;   // 0 for sync
+  uint64_t len;      // 0 for sync/truncate
+};
+
+class FaultInjectingVfs : public Vfs {
+ public:
+  explicit FaultInjectingVfs(uint64_t seed = 0x5eda2010ULL);
+  ~FaultInjectingVfs() override;
+
+  StatusOr<std::unique_ptr<File>> Open(const std::string& path,
+                                       OpenMode mode) override;
+  Status Remove(const std::string& path) override;
+
+  /// Crash just before the operation with 0-based index `op_index`
+  /// executes; it and all later operations fail until Recover().
+  void ScheduleCrashAtOp(uint64_t op_index, CrashStyle style);
+
+  /// Fail only the operation with index `op_index`; later ops succeed.
+  void ScheduleTransientFailureAtOp(uint64_t op_index);
+
+  /// Sticky per-file error rates, matched by substring of the path.
+  void SetStickyErrorRates(const std::string& path_substring,
+                           double read_rate, double write_rate);
+
+  /// Drops all scheduled crashes, transient failures and sticky rates.
+  void ClearFaults();
+
+  /// Simulates the post-crash reboot: applies the crash style to every
+  /// file, clears the crashed flag and the crash schedule. Safe to call
+  /// when no crash fired (files keep their live contents).
+  void Recover();
+
+  bool crashed() const;
+
+  /// Number of counted operations performed so far (== the index the next
+  /// operation will get).
+  uint64_t op_count() const;
+
+  void EnableOpLog(bool enable);
+  /// Returns and clears the recorded operations.
+  std::vector<VfsOpRecord> TakeOpLog();
+
+  bool FileExists(const std::string& path) const;
+  StatusOr<uint64_t> FileSize(const std::string& path) const;
+
+  /// XORs `mask` into the byte at `offset` in both the live and durable
+  /// images, bypassing fault gates. For corruption tests.
+  Status CorruptByte(const std::string& path, uint64_t offset, uint8_t mask);
+
+ private:
+  friend class FaultFile;
+
+  struct PendingOp {
+    bool is_truncate;
+    uint64_t offset;   // write position, or new size for truncate
+    std::string data;  // empty for truncate
+  };
+
+  struct FileState {
+    std::string durable;
+    std::string live;
+    std::vector<PendingOp> pending;
+  };
+
+  struct StickyRule {
+    std::string substring;
+    double read_rate;
+    double write_rate;
+  };
+
+  // All Do* helpers lock mu_ and run the fault gate before touching state.
+  Status DoRead(const std::string& path, FileState& f, uint64_t offset,
+                size_t n, void* buf);
+  Status DoWrite(const std::string& path, FileState& f, uint64_t offset,
+                 const void* data, size_t n, bool append);
+  Status DoSync(const std::string& path, FileState& f);
+  StatusOr<uint64_t> DoSize(FileState& f);
+  Status DoTruncate(const std::string& path, FileState& f, uint64_t size);
+
+  /// Counts the operation, logs it, and returns the injected failure, if
+  /// any. Caller must hold mu_.
+  Status GateLocked(const std::string& path, const char* kind,
+                    uint64_t offset, uint64_t len, bool is_write);
+
+  mutable std::mutex mu_;
+  Random rng_;
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+
+  uint64_t op_counter_ = 0;
+  bool crashed_ = false;
+  CrashStyle crash_style_ = CrashStyle::kLoseUnsynced;
+  std::optional<uint64_t> crash_at_op_;
+  std::set<uint64_t> transient_fail_ops_;
+  std::vector<StickyRule> sticky_rules_;
+
+  bool log_ops_ = false;
+  std::vector<VfsOpRecord> op_log_;
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_COMMON_FAULT_VFS_H_

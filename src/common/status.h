@@ -30,6 +30,7 @@ enum class StatusCode {
   kTimedOut,          // lock wait exceeded its budget
   kUnimplemented,     // feature outside the reproduced subset
   kInternal,          // invariant violation; indicates a bug
+  kReadOnlyDegraded,  // database is read-only after an unrecoverable write error
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -76,6 +77,9 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status ReadOnlyDegraded(std::string m) {
+    return Status(StatusCode::kReadOnlyDegraded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

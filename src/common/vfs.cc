@@ -1,0 +1,146 @@
+#include "common/vfs.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace sedna {
+
+namespace {
+
+class StdioFile : public File {
+ public:
+  StdioFile(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
+
+  ~StdioFile() override {
+    Status st = Close();
+    (void)st;  // a destructor has no one to report to
+  }
+
+  Status Read(uint64_t offset, size_t n, void* buf) override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError("seek failed in " + path_);
+    }
+    if (std::fread(buf, 1, n, file_) != n) {
+      return Status::IOError("short read in " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const void* data, size_t n) override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError("seek failed in " + path_);
+    }
+    if (std::fwrite(data, 1, n, file_) != n) {
+      return Status::IOError("short write in " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Append(const void* data, size_t n) override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fseek(file_, 0, SEEK_END) != 0) {
+      return Status::IOError("seek-to-end failed in " + path_);
+    }
+    if (std::fwrite(data, 1, n, file_) != n) {
+      return Status::IOError("short append in " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fflush(file_) != 0) {
+      return Status::IOError("fflush failed for " + path_);
+    }
+    // fflush only reaches the OS page cache; fsync makes the durability
+    // claim real (commit records and master pages must survive a crash).
+    if (::fsync(::fileno(file_)) != 0) {
+      return Status::IOError("fsync failed for " + path_);
+    }
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> Size() override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fseek(file_, 0, SEEK_END) != 0) {
+      return Status::IOError("seek-to-end failed in " + path_);
+    }
+    long pos = std::ftell(file_);
+    if (pos < 0) return Status::IOError("ftell failed for " + path_);
+    return static_cast<uint64_t>(pos);
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
+    if (std::fflush(file_) != 0) {
+      return Status::IOError("fflush failed for " + path_);
+    }
+    if (::ftruncate(::fileno(file_), static_cast<off_t>(size)) != 0) {
+      return Status::IOError("ftruncate failed for " + path_);
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (file_ == nullptr) return Status::OK();
+    int rc = std::fclose(file_);
+    file_ = nullptr;
+    if (rc != 0) return Status::IOError("fclose failed for " + path_);
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* file_;
+  std::string path_;
+};
+
+class StdioVfs : public Vfs {
+ public:
+  StatusOr<std::unique_ptr<File>> Open(const std::string& path,
+                                       OpenMode mode) override {
+    const char* flags = nullptr;
+    switch (mode) {
+      case OpenMode::kCreate:
+        flags = "wb+";
+        break;
+      case OpenMode::kReadWrite:
+        flags = "rb+";
+        break;
+      case OpenMode::kReadOnly:
+        flags = "rb";
+        break;
+      case OpenMode::kAppend:
+        flags = "ab+";
+        break;
+    }
+    std::FILE* f = std::fopen(path.c_str(), flags);
+    if (f == nullptr) {
+      return Status::IOError("cannot open " + path + ": " +
+                             std::strerror(errno));
+    }
+    return std::unique_ptr<File>(new StdioFile(f, path));
+  }
+
+  Status Remove(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IOError("cannot remove " + path + ": " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Vfs* Vfs::Default() {
+  static StdioVfs* vfs = new StdioVfs();
+  return vfs;
+}
+
+}  // namespace sedna

@@ -1,0 +1,76 @@
+// Virtual file system seam (LevelDB-Env-style) for every low-level file
+// operation in the storage and transaction layers.
+//
+// FileManager and WalWriter do all their I/O through a `Vfs`, so tests can
+// interpose a fault-injecting implementation (see common/fault_vfs.h) and
+// adversarially exercise the WAL protocol, the double-slot master record and
+// the two-step recovery with torn writes, elided syncs and sticky I/O
+// errors. The process-global default is backed by stdio plus fsync: `Sync`
+// is a real durability point, not just a user-space flush.
+
+#ifndef SEDNA_COMMON_VFS_H_
+#define SEDNA_COMMON_VFS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace sedna {
+
+/// How Vfs::Open positions and creates a file.
+enum class OpenMode {
+  kCreate,     // read/write; truncates an existing file, creates if absent
+  kReadWrite,  // read/write; the file must exist
+  kReadOnly,   // read only; the file must exist
+  kAppend,     // writes go to the end; creates if absent
+};
+
+/// An open file handle. Implementations need not be internally synchronized:
+/// FileManager and WalWriter serialize access with their own mutexes, and
+/// readers (ReadWal, backup) open separate handles.
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Reads exactly `n` bytes at `offset` into `buf`; a short read fails.
+  virtual Status Read(uint64_t offset, size_t n, void* buf) = 0;
+
+  /// Writes `n` bytes at `offset`, extending the file if needed.
+  virtual Status Write(uint64_t offset, const void* data, size_t n) = 0;
+
+  /// Writes `n` bytes at the current end of the file.
+  virtual Status Append(const void* data, size_t n) = 0;
+
+  /// Flushes user-space buffers AND asks the OS to persist to stable
+  /// storage (fsync). This is the durability point for WAL commit records
+  /// and master-record writes; until Sync returns OK nothing written since
+  /// the previous Sync may be assumed to survive a crash.
+  virtual Status Sync() = 0;
+
+  virtual StatusOr<uint64_t> Size() = 0;
+
+  virtual Status Truncate(uint64_t size) = 0;
+
+  /// Idempotent; invoked by the destructor if not called explicitly.
+  virtual Status Close() = 0;
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  virtual StatusOr<std::unique_ptr<File>> Open(const std::string& path,
+                                               OpenMode mode) = 0;
+
+  /// Removes the file; removing a missing file is OK (idempotent cleanup).
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// Process-global default implementation (stdio + fsync). Never null.
+  static Vfs* Default();
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_COMMON_VFS_H_

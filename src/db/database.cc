@@ -28,6 +28,7 @@ Database::~Database() {
 
 Status Database::Init(const DatabaseOptions& options, bool create) {
   options_ = options;
+  Vfs* vfs = options.vfs != nullptr ? options.vfs : Vfs::Default();
 
   StorageHooks hooks;
   if (options.enable_mvcc) {
@@ -47,11 +48,12 @@ Status Database::Init(const DatabaseOptions& options, bool create) {
   StorageOptions storage_options;
   storage_options.path = options.path;
   storage_options.buffer_frames = options.buffer_frames;
+  storage_options.vfs = options.vfs;
   if (create) {
     SEDNA_ASSIGN_OR_RETURN(storage_,
                            StorageEngine::Create(storage_options, hooks));
     if (options.enable_wal) {
-      std::remove(options.EffectiveWalPath().c_str());
+      SEDNA_RETURN_IF_ERROR(vfs->Remove(options.EffectiveWalPath()));
     }
   } else {
     SEDNA_ASSIGN_OR_RETURN(storage_,
@@ -60,22 +62,18 @@ Status Database::Init(const DatabaseOptions& options, bool create) {
   if (versions_ != nullptr) {
     versions_->BindBuffers(storage_->buffers());
   }
-
-  if (options.enable_wal) {
-    wal_ = std::make_unique<WalWriter>();
-    SEDNA_RETURN_IF_ERROR(wal_->Open(options.EffectiveWalPath()));
-  }
-  txns_ = std::make_unique<TransactionManager>(storage_.get(), versions_,
-                                               wal_.get());
-  backup_ = std::make_unique<BackupManager>(storage_.get(), txns_.get());
   indexes_ = std::make_unique<ValueIndexManager>(storage_.get());
 
   if (!create && options.enable_wal) {
     // Two-step recovery, step 2: replay committed statements on top of the
-    // persistent snapshot the storage engine just restored.
+    // persistent snapshot the storage engine just restored. Runs before the
+    // WAL is reopened for appending so the torn tail (anything past the
+    // last valid record) can be cut off — otherwise new appends would land
+    // behind garbage and be unreachable to the next recovery.
     uint64_t checkpoint_lsn = storage_->file()->master().checkpoint_lsn;
     StatementExecutor replayer(storage_.get());
     replayer.set_index_manager(indexes_.get());
+    uint64_t wal_valid_end = 0;
     SEDNA_RETURN_IF_ERROR(RecoverFromWal(
         options.EffectiveWalPath(), checkpoint_lsn,
         [&](const std::string& stmt) -> Status {
@@ -83,15 +81,53 @@ Status Database::Init(const DatabaseOptions& options, bool create) {
           StatusOr<StatementResult> r = replayer.Execute(stmt, system);
           return r.status();
         },
-        &recovered_statements_));
-    if (recovered_statements_ > 0) {
-      // Fold the replayed state into a fresh persistent snapshot.
-      SEDNA_RETURN_IF_ERROR(txns_->Checkpoint());
-    }
+        &recovered_statements_, vfs, &wal_valid_end));
+    SEDNA_RETURN_IF_ERROR(
+        TruncateWalTail(options.EffectiveWalPath(), wal_valid_end, vfs));
+  }
+
+  if (options.enable_wal) {
+    wal_ = std::make_unique<WalWriter>(vfs);
+    SEDNA_RETURN_IF_ERROR(wal_->Open(options.EffectiveWalPath()));
+    wal_->set_io_failure_handler(
+        [this](const Status& st) { EnterDegradedMode(st); });
+  }
+  storage_->file()->set_io_failure_handler(
+      [this](const Status& st) { EnterDegradedMode(st); });
+  txns_ = std::make_unique<TransactionManager>(storage_.get(), versions_,
+                                               wal_.get());
+  txns_->set_write_gate([this] { return degraded_status(); });
+  backup_ = std::make_unique<BackupManager>(storage_.get(), txns_.get());
+
+  if (!create && options.enable_wal && recovered_statements_ > 0) {
+    // Fold the replayed state into a fresh persistent snapshot.
+    SEDNA_RETURN_IF_ERROR(txns_->Checkpoint());
   }
 
   Governor::Instance().RegisterDatabase(this, options.path);
   return Status::OK();
+}
+
+bool Database::degraded() const {
+  std::lock_guard<std::mutex> lock(degraded_mu_);
+  return degraded_;
+}
+
+Status Database::degraded_status() const {
+  std::lock_guard<std::mutex> lock(degraded_mu_);
+  if (!degraded_) return Status::OK();
+  return Status::ReadOnlyDegraded(
+      "database is read-only after an unrecoverable write error: " +
+      degraded_cause_);
+}
+
+void Database::EnterDegradedMode(const Status& cause) {
+  std::lock_guard<std::mutex> lock(degraded_mu_);
+  if (degraded_) return;
+  degraded_ = true;
+  degraded_cause_ = cause.ToString();
+  SEDNA_LOG(kError) << "entering read-only degraded mode: "
+                    << degraded_cause_;
 }
 
 std::unique_ptr<Session> Database::Connect() {

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/vfs.h"
 #include "storage/storage_engine.h"
 #include "txn/backup.h"
 #include "txn/transaction.h"
@@ -32,6 +33,7 @@ struct DatabaseOptions {
   size_t buffer_frames = 1024;
   bool enable_mvcc = true;   // page-level multiversioning (Section 6.1)
   bool enable_wal = true;    // durability (Section 6.4)
+  Vfs* vfs = nullptr;        // null = Vfs::Default(); tests inject faults here
 
   std::string EffectiveWalPath() const {
     return wal_path.empty() ? path + ".wal" : wal_path;
@@ -84,11 +86,32 @@ class Database {
   const DatabaseOptions& options() const { return options_; }
   uint64_t recovered_statements() const { return recovered_statements_; }
 
+  // --- graceful degradation -------------------------------------------------
+  // When FileManager or WalWriter exhausts its I/O retries on the write
+  // path, the database trips into read-only degraded mode: reads keep
+  // working from memory/disk, every update statement is rejected with
+  // kReadOnlyDegraded before it mutates anything.
+
+  /// True once an unrecoverable write error has tripped read-only mode.
+  bool degraded() const;
+
+  /// OK while healthy; the kReadOnlyDegraded status (with the original
+  /// cause) once degraded. Installed as the transaction write gate.
+  Status degraded_status() const;
+
+  /// Trips read-only degraded mode. Idempotent; the first cause is kept.
+  void EnterDegradedMode(const Status& cause);
+
  private:
   Database() = default;
   Status Init(const DatabaseOptions& options, bool create);
 
   DatabaseOptions options_;
+  // Declared before storage_/wal_ so the state outlives them: their
+  // io-failure handlers can fire from flushes during destruction.
+  mutable std::mutex degraded_mu_;
+  bool degraded_ = false;
+  std::string degraded_cause_;
   std::unique_ptr<StorageEngine> storage_;
   VersionManager* versions_ = nullptr;  // owned by storage_ hooks
   std::unique_ptr<WalWriter> wal_;

@@ -1,6 +1,8 @@
 #include "sas/file_manager.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/coding.h"
 #include "common/logging.h"
@@ -10,6 +12,10 @@ namespace sedna {
 namespace {
 
 constexpr uint32_t kMasterMagic = 0x5ed0a010;
+constexpr uint32_t kFreeMagic = 0x5edafeee;
+
+constexpr int kIoRetries = 3;
+constexpr int kIoBackoffMs = 1;
 
 // Serialized master record layout inside a master page:
 //   magic, crc, payload_len, payload
@@ -53,10 +59,71 @@ bool DecodeMaster(const char* page, MasterRecord* m) {
   return true;
 }
 
+// Free pages carry a stamped, CRC-protected link so that a crash-stale
+// free-list head is detected at allocation time instead of handing out a
+// page that is live in the durable image:
+//   [kFreeMagic(4)][next(4)][self ppn(4)][crc over next+self(4)]
+void EncodeFreePage(char* buf, PhysPageId self, PhysPageId next) {
+  std::memset(buf, 0, kPageSize);
+  std::string header;
+  PutFixed32(&header, kFreeMagic);
+  PutFixed32(&header, next);
+  PutFixed32(&header, self);
+  PutFixed32(&header, Crc32(header.data() + 4, 8));
+  std::memcpy(buf, header.data(), header.size());
+}
+
+bool DecodeFreePage(const char* buf, PhysPageId self, PhysPageId* next) {
+  if (DecodeFixed32(buf) != kFreeMagic) return false;
+  if (DecodeFixed32(buf + 8) != self) return false;
+  if (DecodeFixed32(buf + 12) != Crc32(buf + 4, 8)) return false;
+  *next = DecodeFixed32(buf + 4);
+  return true;
+}
+
 }  // namespace
 
 FileManager::~FileManager() {
-  if (file_ != nullptr) Close();
+  if (file_ != nullptr) {
+    Status st = Close();
+    if (!st.ok()) {
+      SEDNA_LOG(kWarning) << "FileManager close in destructor failed: "
+                         << st.ToString();
+    }
+  }
+}
+
+void FileManager::set_vfs(Vfs* vfs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  vfs_ = vfs != nullptr ? vfs : Vfs::Default();
+}
+
+void FileManager::set_io_failure_handler(IoFailureHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  io_failure_handler_ = std::move(handler);
+}
+
+Status FileManager::RetryIo(bool is_write, const std::function<Status()>& op) {
+  Status st;
+  int attempts = fail_fast_ ? 1 : kIoRetries;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    st = op();
+    if (st.ok()) return st;
+    // Only I/O errors are plausibly transient; anything else (bad argument,
+    // closed file) will not improve with a retry.
+    if (st.code() != StatusCode::kIOError) return st;
+    if (attempt + 1 < attempts) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(kIoBackoffMs * (attempt + 1)));
+    }
+  }
+  if (!fail_fast_) {
+    fail_fast_ = true;
+    SEDNA_LOG(kError) << "I/O retries exhausted on " << path_ << ": "
+                     << st.ToString();
+  }
+  if (is_write && io_failure_handler_) io_failure_handler_(st);
+  return st;
 }
 
 Status FileManager::Create(const std::string& path) {
@@ -64,13 +131,12 @@ Status FileManager::Create(const std::string& path) {
   if (file_ != nullptr) {
     return Status::FailedPrecondition("file manager already open");
   }
-  std::FILE* f = std::fopen(path.c_str(), "wb+");
-  if (f == nullptr) {
-    return Status::IOError("cannot create database file " + path);
-  }
-  file_ = f;
+  auto opened = vfs_->Open(path, OpenMode::kCreate);
+  if (!opened.ok()) return opened.status();
+  file_ = std::move(opened).value();
   path_ = path;
   master_ = MasterRecord{};
+  fail_fast_ = false;
   // Write both master slots so Open never sees garbage.
   Status st = WriteMasterLocked();
   if (!st.ok()) return st;
@@ -83,30 +149,48 @@ Status FileManager::Open(const std::string& path) {
   if (file_ != nullptr) {
     return Status::FailedPrecondition("file manager already open");
   }
-  std::FILE* f = std::fopen(path.c_str(), "rb+");
-  if (f == nullptr) {
-    return Status::IOError("cannot open database file " + path);
-  }
-  file_ = f;
+  auto opened = vfs_->Open(path, OpenMode::kReadWrite);
+  if (!opened.ok()) return opened.status();
+  file_ = std::move(opened).value();
   path_ = path;
+  master_ = MasterRecord{};  // page_count=2 so the slot reads are in bounds
+  fail_fast_ = false;
 
   char buf[kPageSize];
   MasterRecord best;
   bool found = false;
+  bool slot_valid[2] = {false, false};
   for (PhysPageId slot = 0; slot < 2; ++slot) {
     if (!ReadPageLocked(slot, buf).ok()) continue;
     MasterRecord m;
-    if (DecodeMaster(buf, &m) && (!found || m.sequence > best.sequence)) {
+    if (!DecodeMaster(buf, &m)) continue;
+    slot_valid[slot] = true;
+    if (!found || m.sequence > best.sequence) {
       best = m;
       found = true;
     }
   }
   if (!found) {
-    std::fclose(file_);
-    file_ = nullptr;
+    file_->Close();
+    file_.reset();
     return Status::Corruption("no valid master record in " + path);
   }
   master_ = best;
+  for (PhysPageId slot = 0; slot < 2; ++slot) {
+    if (slot_valid[slot]) continue;
+    // Repair the corrupt slot from the survivor so a second corruption
+    // (of the currently-good slot) cannot leave the file unopenable.
+    std::string page = EncodeMaster(best);
+    Status repair = WritePageLocked(slot, page.data());
+    if (repair.ok()) repair = SyncLocked();
+    if (repair.ok()) {
+      SEDNA_LOG(kWarning) << "repaired corrupt master slot " << slot << " in "
+                         << path;
+    } else {
+      SEDNA_LOG(kWarning) << "failed to repair master slot " << slot << " in "
+                         << path << ": " << repair.ToString();
+    }
+  }
   return Status::OK();
 }
 
@@ -116,15 +200,10 @@ Status FileManager::Close() {
   // Persist allocation state (page count, free list) so a clean close is
   // reopenable even without a checkpoint.
   Status st = WriteMasterLocked();
-  if (!st.ok()) {
-    std::fclose(file_);
-    file_ = nullptr;
-    return st;
-  }
-  int rc = std::fclose(file_);
-  file_ = nullptr;
-  if (rc != 0) return Status::IOError("fclose failed for " + path_);
-  return Status::OK();
+  Status close_st = file_->Close();
+  file_.reset();
+  if (!st.ok()) return st;
+  return close_st;
 }
 
 Status FileManager::ReadPage(PhysPageId ppn, void* buf) {
@@ -138,13 +217,9 @@ Status FileManager::ReadPageLocked(PhysPageId ppn, void* buf) {
     return Status::InvalidArgument("read of unallocated page " +
                                    std::to_string(ppn));
   }
-  if (std::fseek(file_, static_cast<long>(ppn) * kPageSize, SEEK_SET) != 0) {
-    return Status::IOError("seek failed");
-  }
-  if (std::fread(buf, 1, kPageSize, file_) != kPageSize) {
-    return Status::IOError("short read of page " + std::to_string(ppn));
-  }
-  return Status::OK();
+  return RetryIo(/*is_write=*/false, [&] {
+    return file_->Read(static_cast<uint64_t>(ppn) * kPageSize, kPageSize, buf);
+  });
 }
 
 Status FileManager::WritePage(PhysPageId ppn, const void* buf) {
@@ -158,13 +233,15 @@ Status FileManager::WritePageLocked(PhysPageId ppn, const void* buf) {
     return Status::InvalidArgument("write of unallocated page " +
                                    std::to_string(ppn));
   }
-  if (std::fseek(file_, static_cast<long>(ppn) * kPageSize, SEEK_SET) != 0) {
-    return Status::IOError("seek failed");
-  }
-  if (std::fwrite(buf, 1, kPageSize, file_) != kPageSize) {
-    return Status::IOError("short write of page " + std::to_string(ppn));
-  }
-  return Status::OK();
+  return RetryIo(/*is_write=*/true, [&] {
+    return file_->Write(static_cast<uint64_t>(ppn) * kPageSize, buf,
+                        kPageSize);
+  });
+}
+
+Status FileManager::SyncLocked() {
+  if (file_ == nullptr) return Status::OK();
+  return RetryIo(/*is_write=*/true, [&] { return file_->Sync(); });
 }
 
 StatusOr<PhysPageId> FileManager::AllocPage() {
@@ -175,13 +252,20 @@ StatusOr<PhysPageId> FileManager::AllocPage() {
 StatusOr<PhysPageId> FileManager::AllocPageLocked() {
   if (file_ == nullptr) return Status::FailedPrecondition("file not open");
   if (master_.free_list_head != kInvalidPhysPage) {
-    // Pop from the on-disk free list: each free page stores the next free
-    // page number in its first 4 bytes.
     PhysPageId ppn = master_.free_list_head;
     char buf[kPageSize];
     SEDNA_RETURN_IF_ERROR(ReadPageLocked(ppn, buf));
-    master_.free_list_head = DecodeFixed32(buf);
-    return ppn;
+    PhysPageId next = kInvalidPhysPage;
+    if (DecodeFreePage(buf, ppn, &next)) {
+      master_.free_list_head = next;
+      return ppn;
+    }
+    // The head does not carry a valid free stamp: the list is stale (e.g. a
+    // crash reverted to a master whose head page was since reused). Leaking
+    // the chain is safe; handing out a live page is not.
+    SEDNA_LOG(kWarning) << "free-list head page " << ppn
+                       << " failed validation; abandoning free list";
+    master_.free_list_head = kInvalidPhysPage;
   }
   PhysPageId ppn = master_.page_count;
   master_.page_count++;
@@ -207,12 +291,7 @@ Status FileManager::FreePageLocked(PhysPageId ppn) {
                                    std::to_string(ppn));
   }
   char buf[kPageSize];
-  std::memset(buf, 0, sizeof(buf));
-  // Store the next-free link in the first 4 bytes.
-  buf[0] = static_cast<char>(master_.free_list_head);
-  buf[1] = static_cast<char>(master_.free_list_head >> 8);
-  buf[2] = static_cast<char>(master_.free_list_head >> 16);
-  buf[3] = static_cast<char>(master_.free_list_head >> 24);
+  EncodeFreePage(buf, ppn, master_.free_list_head);
   SEDNA_RETURN_IF_ERROR(WritePageLocked(ppn, buf));
   master_.free_list_head = ppn;
   return Status::OK();
@@ -245,22 +324,14 @@ Status FileManager::WriteMasterLocked() {
   std::string page = EncodeMaster(master_);
   PhysPageId slot = master_.sequence % 2;
   SEDNA_RETURN_IF_ERROR(WritePageLocked(slot, page.data()));
-  std::fflush(file_);
-  return Status::OK();
+  // The master write is the commit point of a checkpoint: it must be
+  // durable, not merely flushed, before callers free superseded pages.
+  return SyncLocked();
 }
 
-StatusOr<PhysPageId> FileManager::WriteMetaBlob(const std::string& blob,
-                                                PhysPageId old_head) {
+StatusOr<PhysPageId> FileManager::WriteMetaBlob(const std::string& blob) {
   std::lock_guard<std::mutex> lock(mu_);
-  // Free the previous chain.
-  PhysPageId cur = old_head;
   char buf[kPageSize];
-  while (cur != kInvalidPhysPage) {
-    SEDNA_RETURN_IF_ERROR(ReadPageLocked(cur, buf));
-    PhysPageId next = DecodeFixed32(buf);
-    SEDNA_RETURN_IF_ERROR(FreePageLocked(cur));
-    cur = next;
-  }
   // Each chain page: next(4) total_len(8, head only meaningful) payload.
   constexpr size_t kHeaderSize = 12;
   constexpr size_t kPayloadPerPage = kPageSize - kHeaderSize;
@@ -295,6 +366,19 @@ StatusOr<PhysPageId> FileManager::WriteMetaBlob(const std::string& blob,
   return head;
 }
 
+Status FileManager::FreeMetaBlob(PhysPageId head) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PhysPageId cur = head;
+  char buf[kPageSize];
+  while (cur != kInvalidPhysPage) {
+    SEDNA_RETURN_IF_ERROR(ReadPageLocked(cur, buf));
+    PhysPageId next = DecodeFixed32(buf);
+    SEDNA_RETURN_IF_ERROR(FreePageLocked(cur));
+    cur = next;
+  }
+  return Status::OK();
+}
+
 StatusOr<std::string> FileManager::ReadMetaBlob(PhysPageId head) {
   std::lock_guard<std::mutex> lock(mu_);
   constexpr size_t kHeaderSize = 12;
@@ -322,9 +406,7 @@ StatusOr<std::string> FileManager::ReadMetaBlob(PhysPageId head) {
 
 Status FileManager::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (file_ == nullptr) return Status::OK();
-  if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
-  return Status::OK();
+  return SyncLocked();
 }
 
 }  // namespace sedna

@@ -2,22 +2,35 @@
 //
 // Page 0 and page 1 hold two copies of the master record (double-slot,
 // sequence-numbered, CRC-protected) so that master updates are atomic: the
-// newest valid slot wins. All other pages are allocated/freed through a
-// free list. The file manager also provides a "meta blob" facility used to
-// persist the page directory and catalog across restarts: a blob is written
-// into a chain of freshly allocated pages and the chain head is recorded in
-// the master record.
+// newest valid slot wins, and Open repairs a corrupted slot from the
+// survivor. All other pages are allocated/freed through a free list whose
+// on-disk links are stamped and CRC-protected so a stale head left by a
+// crash is detected instead of handing out a live page. The file manager
+// also provides a "meta blob" facility used to persist the page directory
+// and catalog across restarts: a blob is written into a chain of freshly
+// allocated pages and the chain head is recorded in the master record.
+// Freeing a superseded chain is the caller's job (FreeMetaBlob) and must
+// happen only after the new master is durable, or a crash between the two
+// would leave the durable master pointing at recycled pages.
+//
+// All I/O goes through the Vfs seam (common/vfs.h). Transient I/O errors
+// are retried with bounded backoff; when retries are exhausted on the
+// write path an io-failure handler (installed by the database layer) is
+// notified so the system can degrade to read-only instead of corrupting
+// state.
 
 #ifndef SEDNA_SAS_FILE_MANAGER_H_
 #define SEDNA_SAS_FILE_MANAGER_H_
 
 #include <cstdint>
-#include <cstdio>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/vfs.h"
 #include "sas/xptr.h"
 
 namespace sedna {
@@ -38,17 +51,28 @@ struct MasterRecord {
 /// above batches I/O, so this is not the bottleneck in the benchmarks).
 class FileManager {
  public:
+  /// Invoked (under the file mutex) when a write-path operation fails after
+  /// exhausting its retries — the signal for read-only degradation.
+  using IoFailureHandler = std::function<void(const Status&)>;
+
   FileManager() = default;
   ~FileManager();
 
   FileManager(const FileManager&) = delete;
   FileManager& operator=(const FileManager&) = delete;
 
+  /// Replaces the Vfs (default: Vfs::Default()). Call before Create/Open.
+  void set_vfs(Vfs* vfs);
+
+  void set_io_failure_handler(IoFailureHandler handler);
+
   /// Creates a new database file (truncating any existing one) and writes an
   /// initial master record.
   Status Create(const std::string& path);
 
   /// Opens an existing database file and loads the newest valid master.
+  /// If one master slot is corrupt and the other valid, the corrupt slot is
+  /// rewritten from the survivor.
   Status Open(const std::string& path);
 
   Status Close();
@@ -76,31 +100,44 @@ class FileManager {
   MasterRecord master() const;
   void set_master(const MasterRecord& m);
 
-  /// Persists the master record atomically (alternating slot).
+  /// Persists the master record atomically (alternating slot) and syncs.
   Status WriteMaster();
 
   /// Writes `blob` into a chain of freshly allocated pages; returns the head
-  /// page. The previous chain at `*head` (if any) is freed first.
-  StatusOr<PhysPageId> WriteMetaBlob(const std::string& blob,
-                                     PhysPageId old_head);
+  /// page. Does NOT free any previous chain — call FreeMetaBlob on the old
+  /// head after the master record pointing at the new chain is durable.
+  StatusOr<PhysPageId> WriteMetaBlob(const std::string& blob);
+
+  /// Frees a chain written by WriteMetaBlob. No-op for kInvalidPhysPage.
+  Status FreeMetaBlob(PhysPageId head);
 
   /// Reads back a blob chain written by WriteMetaBlob.
   StatusOr<std::string> ReadMetaBlob(PhysPageId head);
 
-  /// Flushes OS buffers to disk.
+  /// Durably flushes the file (fsync through the Vfs).
   Status Sync();
 
  private:
   Status ReadPageLocked(PhysPageId ppn, void* buf);
   Status WritePageLocked(PhysPageId ppn, const void* buf);
+  Status SyncLocked();
   StatusOr<PhysPageId> AllocPageLocked();
   Status FreePageLocked(PhysPageId ppn);
   Status WriteMasterLocked();
 
+  /// Runs `op`, retrying kIOError failures with bounded backoff. After the
+  /// first exhausted retry the manager fails fast (no more retries or
+  /// sleeps) so teardown after a dead disk stays cheap. Write-path
+  /// exhaustion notifies the io-failure handler.
+  Status RetryIo(bool is_write, const std::function<Status()>& op);
+
   mutable std::mutex mu_;
-  std::FILE* file_ = nullptr;
+  Vfs* vfs_ = Vfs::Default();
+  std::unique_ptr<File> file_;
   std::string path_;
   MasterRecord master_;
+  bool fail_fast_ = false;
+  IoFailureHandler io_failure_handler_;
 };
 
 }  // namespace sedna

@@ -31,6 +31,7 @@ StorageEngine::~StorageEngine() {
 
 Status StorageEngine::Init(const StorageOptions& options, StorageHooks hooks,
                            bool create) {
+  file_.set_vfs(options.vfs);
   if (create) {
     SEDNA_RETURN_IF_ERROR(file_.Create(options.path));
   } else {
@@ -187,18 +188,29 @@ Status StorageEngine::RestoreCatalog(const std::string& blob) {
 
 Status StorageEngine::Checkpoint() {
   SEDNA_RETURN_IF_ERROR(buffers_->FlushAll());
-  MasterRecord master = file_.master();
-  SEDNA_ASSIGN_OR_RETURN(
-      PhysPageId dir_head,
-      file_.WriteMetaBlob(directory_->Serialize(), master.directory_blob));
-  SEDNA_ASSIGN_OR_RETURN(
-      PhysPageId cat_head,
-      file_.WriteMetaBlob(SerializeCatalog(), master.catalog_blob));
-  master = file_.master();  // WriteMetaBlob updated free list / page count
+  // Crash-safety ordering: write the new directory/catalog chains into
+  // *fresh* pages, make the master that points at them durable, and only
+  // then free the superseded chains. Freeing first would let the allocator
+  // reuse (and overwrite) pages the still-durable old master points at — a
+  // crash between the overwrite and the master sync would then recover into
+  // a master whose meta chains are garbage.
+  MasterRecord old_master = file_.master();
+  SEDNA_ASSIGN_OR_RETURN(PhysPageId dir_head,
+                         file_.WriteMetaBlob(directory_->Serialize()));
+  SEDNA_ASSIGN_OR_RETURN(PhysPageId cat_head,
+                         file_.WriteMetaBlob(SerializeCatalog()));
+  // Sync the chain pages (and flushed data pages) before the master write:
+  // a disk may persist in-flight sectors in any order, so without this
+  // barrier a crash could keep the new master while dropping the chains it
+  // points at.
+  SEDNA_RETURN_IF_ERROR(file_.Sync());
+  MasterRecord master = file_.master();  // WriteMetaBlob grew the file
   master.directory_blob = dir_head;
   master.catalog_blob = cat_head;
   file_.set_master(master);
-  SEDNA_RETURN_IF_ERROR(file_.WriteMaster());
+  SEDNA_RETURN_IF_ERROR(file_.WriteMaster());  // durable (syncs internally)
+  SEDNA_RETURN_IF_ERROR(file_.FreeMetaBlob(old_master.directory_blob));
+  SEDNA_RETURN_IF_ERROR(file_.FreeMetaBlob(old_master.catalog_blob));
   return file_.Sync();
 }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/vfs.h"
 #include "sas/buffer_manager.h"
 #include "sas/file_manager.h"
 #include "sas/page_directory.h"
@@ -24,6 +25,7 @@ namespace sedna {
 struct StorageOptions {
   std::string path;          // database file
   size_t buffer_frames = 1024;
+  Vfs* vfs = nullptr;        // null = Vfs::Default()
 };
 
 /// Factories the transaction layer supplies to interpose on page resolution

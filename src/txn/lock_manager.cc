@@ -1,6 +1,29 @@
 #include "txn/lock_manager.h"
 
+#include <cstdint>
+
 namespace sedna {
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-mixed 64-bit hash for jitter derivation.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::chrono::milliseconds LockManager::JitteredTimeout(
+    uint64_t txn_id, std::chrono::milliseconds timeout) const {
+  if (jitter_fraction_ <= 0.0 || timeout.count() <= 0) return timeout;
+  double unit = static_cast<double>(Mix64(txn_id)) /
+                static_cast<double>(UINT64_MAX);  // in [0, 1]
+  double extra = static_cast<double>(timeout.count()) * jitter_fraction_ * unit;
+  return timeout + std::chrono::milliseconds(static_cast<int64_t>(extra));
+}
 
 bool LockManager::CanGrantLocked(const LockState& state, uint64_t txn_id,
                                  LockMode mode) const {
@@ -35,7 +58,7 @@ Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
   if (!CanGrantLocked(state, txn_id, mode)) {
     stats_.waits++;
     state.waiters++;
-    bool granted = cv_.wait_for(lock, timeout, [&] {
+    bool granted = cv_.wait_for(lock, JitteredTimeout(txn_id, timeout), [&] {
       return CanGrantLocked(state, txn_id, mode);
     });
     state.waiters--;

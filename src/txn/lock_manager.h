@@ -34,6 +34,20 @@ class LockManager {
                            std::chrono::milliseconds(1000))
       : default_timeout_(default_timeout) {}
 
+  /// Sets the per-transaction jitter applied to wait budgets, as a fraction
+  /// of the timeout in [0, 1]. Timeout-based deadlock resolution is
+  /// livelock-prone when symmetric deadlockers share one budget: both time
+  /// out together, retry together, and deadlock again. Jitter breaks the
+  /// symmetry. Deterministic: derived by hashing the transaction id, so a
+  /// given txn always gets the same budget for a given base timeout.
+  void set_timeout_jitter(double fraction) { jitter_fraction_ = fraction; }
+
+  /// The effective wait budget for `txn_id`: `timeout` stretched by up to
+  /// `jitter_fraction` (deterministically per transaction). Exposed for
+  /// tests.
+  std::chrono::milliseconds JitteredTimeout(
+      uint64_t txn_id, std::chrono::milliseconds timeout) const;
+
   /// Acquires (or upgrades to) `mode` on `resource` for `txn_id`, blocking
   /// up to `timeout` (default constructor value). Re-acquiring an
   /// already-held compatible lock is a no-op; holding S and requesting X
@@ -66,6 +80,7 @@ class LockManager {
   std::condition_variable cv_;
   std::map<std::string, LockState> locks_;
   std::chrono::milliseconds default_timeout_;
+  double jitter_fraction_ = 0.25;
   LockStats stats_;
 };
 

@@ -46,6 +46,10 @@ Status Transaction::LogUpdate(const std::string& statement_text) {
     return Status::FailedPrecondition(
         "update statement in a read-only transaction");
   }
+  // The update listener fires before any mutation is applied, so a tripped
+  // write gate (read-only degraded mode) rejects the statement while the
+  // in-memory and on-disk state are still untouched.
+  SEDNA_RETURN_IF_ERROR(mgr_->CheckWriteAllowed());
   if (mgr_->wal() == nullptr) return Status::OK();
   if (!logged_any_update_) {
     SEDNA_RETURN_IF_ERROR(
@@ -151,9 +155,10 @@ Status TransactionManager::Checkpoint() {
 Status RecoverFromWal(
     const std::string& wal_path, uint64_t checkpoint_lsn,
     const std::function<Status(const std::string& statement)>& replay,
-    uint64_t* replayed_statements) {
-  SEDNA_ASSIGN_OR_RETURN(std::vector<WalRecord> records,
-                         ReadWal(wal_path, checkpoint_lsn));
+    uint64_t* replayed_statements, Vfs* vfs, uint64_t* wal_valid_end) {
+  SEDNA_ASSIGN_OR_RETURN(
+      std::vector<WalRecord> records,
+      ReadWal(wal_path, checkpoint_lsn, vfs, wal_valid_end));
   // Collect statements per transaction; replay only committed ones, in
   // commit order.
   std::map<uint64_t, std::vector<std::string>> pending;

@@ -72,9 +72,22 @@ class Transaction {
 
 class TransactionManager {
  public:
+  /// Returns OK when update statements may proceed; a non-OK status (e.g.
+  /// Status::ReadOnlyDegraded) blocks every update before it mutates any
+  /// state. Installed by the database layer.
+  using WriteGate = std::function<Status()>;
+
   /// `wal` may be null (no durability — used by some benchmarks).
   TransactionManager(StorageEngine* storage, VersionManager* versions,
                      WalWriter* wal);
+
+  /// Install during initialization, before transactions run.
+  void set_write_gate(WriteGate gate) { write_gate_ = std::move(gate); }
+
+  /// OK, or the gate's error if updates are currently disallowed.
+  Status CheckWriteAllowed() const {
+    return write_gate_ ? write_gate_() : Status::OK();
+  }
 
   StatusOr<std::unique_ptr<Transaction>> Begin(bool read_only = false);
   Status Commit(Transaction* txn);
@@ -105,16 +118,21 @@ class TransactionManager {
   std::atomic<uint64_t> clock_;
   std::atomic<uint64_t> last_commit_ts_;
   std::mutex commit_mu_;
+  WriteGate write_gate_;
 };
 
 /// Two-step recovery (paper Section 6.4): the caller has already restored
 /// the persistent snapshot by opening the storage engine; this replays the
 /// update statements of transactions that committed after the checkpoint.
-/// `replay` executes one statement against the restored engine.
+/// `replay` executes one statement against the restored engine. `vfs`
+/// defaults to Vfs::Default(); if `wal_valid_end` is non-null it receives
+/// the end of the valid record prefix (pass it to TruncateWalTail so a torn
+/// tail cannot corrupt later appends).
 Status RecoverFromWal(
     const std::string& wal_path, uint64_t checkpoint_lsn,
     const std::function<Status(const std::string& statement)>& replay,
-    uint64_t* replayed_statements = nullptr);
+    uint64_t* replayed_statements = nullptr, Vfs* vfs = nullptr,
+    uint64_t* wal_valid_end = nullptr);
 
 }  // namespace sedna
 

@@ -5,6 +5,8 @@
 
 namespace sedna {
 
+WalWriter::WalWriter(Vfs* vfs) : vfs_(vfs != nullptr ? vfs : Vfs::Default()) {}
+
 WalWriter::~WalWriter() {
   if (file_ != nullptr) {
     Status st = Close();
@@ -14,26 +16,34 @@ WalWriter::~WalWriter() {
   }
 }
 
+void WalWriter::set_io_failure_handler(IoFailureHandler handler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  io_failure_handler_ = std::move(handler);
+}
+
 Status WalWriter::Open(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr) return Status::FailedPrecondition("WAL already open");
-  // Append mode creates the file if needed and positions at the end.
-  std::FILE* f = std::fopen(path.c_str(), "ab");
-  if (f == nullptr) return Status::IOError("cannot open WAL " + path);
-  file_ = f;
+  auto opened = vfs_->Open(path, OpenMode::kAppend);
+  if (!opened.ok()) return opened.status();
+  file_ = std::move(opened).value();
   path_ = path;
-  long pos = std::ftell(file_);
-  end_lsn_ = pos < 0 ? 0 : static_cast<uint64_t>(pos);
+  auto size = file_->Size();
+  if (!size.ok()) {
+    file_->Close();
+    file_.reset();
+    return size.status();
+  }
+  end_lsn_ = *size;
   return Status::OK();
 }
 
 Status WalWriter::Close() {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::OK();
-  int rc = std::fclose(file_);
-  file_ = nullptr;
-  if (rc != 0) return Status::IOError("WAL fclose failed");
-  return Status::OK();
+  Status st = file_->Close();
+  file_.reset();
+  return st;
 }
 
 StatusOr<uint64_t> WalWriter::Append(WalRecordType type, uint64_t txn_id,
@@ -51,8 +61,12 @@ StatusOr<uint64_t> WalWriter::Append(WalRecordType type, uint64_t txn_id,
   record += body;
 
   uint64_t lsn = end_lsn_;
-  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
-    return Status::IOError("WAL append failed");
+  Status st = file_->Append(record.data(), record.size());
+  if (!st.ok()) {
+    if (st.code() == StatusCode::kIOError && io_failure_handler_) {
+      io_failure_handler_(st);
+    }
+    return st;
   }
   end_lsn_ += record.size();
   return lsn;
@@ -66,28 +80,37 @@ uint64_t WalWriter::end_lsn() const {
 Status WalWriter::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::OK();
-  if (std::fflush(file_) != 0) return Status::IOError("WAL flush failed");
-  return Status::OK();
+  Status st = file_->Sync();
+  if (!st.ok() && st.code() == StatusCode::kIOError && io_failure_handler_) {
+    io_failure_handler_(st);
+  }
+  return st;
 }
 
 StatusOr<std::vector<WalRecord>> ReadWal(const std::string& path,
-                                         uint64_t from_lsn) {
+                                         uint64_t from_lsn, Vfs* vfs,
+                                         uint64_t* valid_end) {
+  if (vfs == nullptr) vfs = Vfs::Default();
   std::vector<WalRecord> out;
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return out;  // no log = nothing to replay
-  std::fseek(f, 0, SEEK_END);
-  long size_l = std::ftell(f);
-  uint64_t size = size_l < 0 ? 0 : static_cast<uint64_t>(size_l);
+  if (valid_end != nullptr) *valid_end = from_lsn;
+  auto opened = vfs->Open(path, OpenMode::kReadOnly);
+  if (!opened.ok()) {
+    if (valid_end != nullptr) *valid_end = 0;
+    return out;  // no log = nothing to replay
+  }
+  std::unique_ptr<File> file = std::move(opened).value();
+  auto size_or = file->Size();
+  if (!size_or.ok()) return size_or.status();
+  uint64_t size = *size_or;
   uint64_t pos = from_lsn;
   while (pos + 8 <= size) {
-    std::fseek(f, static_cast<long>(pos), SEEK_SET);
     char header[8];
-    if (std::fread(header, 1, 8, f) != 8) break;
+    if (!file->Read(pos, 8, header).ok()) break;
     uint32_t len = DecodeFixed32(header);
     uint32_t crc = DecodeFixed32(header + 4);
     if (len == 0 || pos + 8 + len > size) break;  // torn tail
     std::string body(len, '\0');
-    if (std::fread(body.data(), 1, len, f) != len) break;
+    if (!file->Read(pos + 8, len, body.data()).ok()) break;
     if (Crc32(body.data(), body.size()) != crc) break;  // corrupt tail
     WalRecord record;
     record.type = static_cast<WalRecordType>(body[0]);
@@ -96,9 +119,23 @@ StatusOr<std::vector<WalRecord>> ReadWal(const std::string& path,
     record.payload = body.substr(9);
     out.push_back(std::move(record));
     pos += 8 + len;
+    if (valid_end != nullptr) *valid_end = pos;
   }
-  std::fclose(f);
   return out;
+}
+
+Status TruncateWalTail(const std::string& path, uint64_t valid_end, Vfs* vfs) {
+  if (vfs == nullptr) vfs = Vfs::Default();
+  auto opened = vfs->Open(path, OpenMode::kReadWrite);
+  if (!opened.ok()) return Status::OK();  // no log, nothing to cut
+  std::unique_ptr<File> file = std::move(opened).value();
+  SEDNA_ASSIGN_OR_RETURN(uint64_t size, file->Size());
+  if (size <= valid_end) return Status::OK();
+  SEDNA_LOG(kWarning) << "truncating WAL " << path << " from " << size
+                      << " to " << valid_end << " bytes (torn tail)";
+  SEDNA_RETURN_IF_ERROR(file->Truncate(valid_end));
+  SEDNA_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
 }
 
 }  // namespace sedna

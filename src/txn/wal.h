@@ -5,19 +5,24 @@
 // update transaction's statements are replayed in commit order on top of
 // the persistent snapshot during the two-step recovery. Statement replay is
 // deterministic for the supported language (see DESIGN.md §2). Record
-// format: [len][crc][type][txn][lsn-check][payload], append-only; torn
-// tails are detected by the CRC and cut off.
+// format: [len][crc][type][txn][payload], append-only; torn tails are
+// detected by the CRC and cut off, and recovery truncates the log back to
+// the valid prefix so post-recovery appends never sit behind garbage.
+//
+// All I/O goes through the Vfs seam (common/vfs.h); Sync is a real fsync.
 
 #ifndef SEDNA_TXN_WAL_H_
 #define SEDNA_TXN_WAL_H_
 
 #include <cstdint>
-#include <cstdio>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/vfs.h"
 
 namespace sedna {
 
@@ -38,7 +43,15 @@ struct WalRecord {
 
 class WalWriter {
  public:
+  /// Invoked (under the log mutex) when an append or sync fails with an
+  /// I/O error — the signal for read-only degradation: a WAL that cannot
+  /// persist commit records must stop accepting updates.
+  using IoFailureHandler = std::function<void(const Status&)>;
+
+  explicit WalWriter(Vfs* vfs = nullptr);
   ~WalWriter();
+
+  void set_io_failure_handler(IoFailureHandler handler);
 
   /// Opens (creating if absent) the log for appending.
   Status Open(const std::string& path);
@@ -51,22 +64,35 @@ class WalWriter {
   /// Next LSN to be written (== current log size).
   uint64_t end_lsn() const;
 
-  /// Flushes to the OS (commit durability point).
+  /// Durably flushes the log (commit durability point: fsync).
   Status Sync();
 
   const std::string& path() const { return path_; }
 
  private:
   mutable std::mutex mu_;
-  std::FILE* file_ = nullptr;
+  Vfs* vfs_;
+  std::unique_ptr<File> file_;
   std::string path_;
   uint64_t end_lsn_ = 0;
+  IoFailureHandler io_failure_handler_;
 };
 
 /// Reads all valid records from `path` starting at `from_lsn`. Stops
-/// cleanly at the first corrupt/torn record.
+/// cleanly at the first corrupt/torn record. If `valid_end` is non-null it
+/// receives the byte offset one past the last valid record (== the size the
+/// log should be truncated to before further appends). Uses `vfs` or
+/// Vfs::Default().
 StatusOr<std::vector<WalRecord>> ReadWal(const std::string& path,
-                                         uint64_t from_lsn = 0);
+                                         uint64_t from_lsn = 0,
+                                         Vfs* vfs = nullptr,
+                                         uint64_t* valid_end = nullptr);
+
+/// Truncates the log to `valid_end` bytes if it is currently longer. Called
+/// during recovery so a torn tail cannot corrupt records appended later.
+/// Missing file is a no-op.
+Status TruncateWalTail(const std::string& path, uint64_t valid_end,
+                       Vfs* vfs = nullptr);
 
 }  // namespace sedna
 

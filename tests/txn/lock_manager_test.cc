@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
+#include <vector>
 
 namespace sedna {
 namespace {
@@ -115,6 +118,76 @@ TEST(LockManagerTest, ManyThreadsSerializeOnExclusive) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(counter, 400);
+}
+
+// --- wait-budget jitter ------------------------------------------------------
+
+TEST(LockManagerTest, JitterIsDeterministicPerTxn) {
+  LockManager locks;
+  auto a = locks.JitteredTimeout(7, 100ms);
+  auto b = locks.JitteredTimeout(7, 100ms);
+  EXPECT_EQ(a, b);  // same txn id, same budget
+}
+
+TEST(LockManagerTest, JitterStaysWithinFraction) {
+  LockManager locks;  // default fraction 0.25
+  bool saw_spread = false;
+  auto first = locks.JitteredTimeout(1, 1000ms);
+  for (uint64_t txn = 1; txn <= 64; ++txn) {
+    auto t = locks.JitteredTimeout(txn, 1000ms);
+    EXPECT_GE(t, 1000ms);
+    EXPECT_LE(t, 1250ms);
+    if (t != first) saw_spread = true;
+  }
+  // Different txn ids land on different budgets — that spread is what
+  // breaks symmetric deadlock/retry lockstep.
+  EXPECT_TRUE(saw_spread);
+}
+
+TEST(LockManagerTest, ZeroJitterIsPassThrough) {
+  LockManager locks;
+  locks.set_timeout_jitter(0.0);
+  EXPECT_EQ(locks.JitteredTimeout(9, 100ms), 100ms);
+  EXPECT_EQ(locks.JitteredTimeout(10, 100ms), 100ms);
+}
+
+TEST(LockManagerTest, OpposingLockOrdersMakeProgress) {
+  // Deadlock stress: pairs of threads take "a"/"b" in opposite orders with a
+  // short wait budget. Timeouts break each deadlock; the per-txn jitter keeps
+  // retries from re-colliding in lockstep. The test passes iff every thread
+  // finishes its quota — i.e. no livelock — within the harness timeout.
+  LockManager locks(20ms);
+  constexpr int kThreads = 4;
+  constexpr int kTxnsEach = 10;
+  std::atomic<uint64_t> next_txn{1};
+  std::atomic<int> done{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      const std::string first = (i % 2 == 0) ? "a" : "b";
+      const std::string second = (i % 2 == 0) ? "b" : "a";
+      for (int k = 0; k < kTxnsEach; ++k) {
+        for (;;) {
+          // Fresh txn id per attempt: retries draw a fresh jittered budget.
+          uint64_t txn = next_txn.fetch_add(1);
+          bool got_first = locks.Acquire(txn, first, LockMode::kExclusive, 20ms).ok();
+          // Hold the first lock long enough that opposing pairs really
+          // entangle, instead of racing through uncontended.
+          if (got_first) std::this_thread::sleep_for(1ms);
+          if (got_first &&
+              locks.Acquire(txn, second, LockMode::kExclusive, 20ms).ok()) {
+            locks.ReleaseAll(txn);
+            break;
+          }
+          locks.ReleaseAll(txn);  // back off completely, then retry
+        }
+      }
+      done.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(done.load(), kThreads);
+  EXPECT_GE(locks.stats().timeouts, 1u);  // the workload really did collide
 }
 
 }  // namespace

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <fstream>
+
+#include "txn/transaction.h"
 
 namespace sedna {
 namespace {
@@ -115,6 +118,143 @@ TEST_F(WalTest, MissingFileYieldsNoRecords) {
   auto records = ReadWal(path_ + ".nope");
   ASSERT_TRUE(records.ok());
   EXPECT_TRUE(records->empty());
+}
+
+// --- byte-level corruption ---------------------------------------------------
+
+void FlipByte(const std::string& path, uint64_t offset) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.good());
+  f.seekg(static_cast<std::streamoff>(offset));
+  char b = 0;
+  f.get(b);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(b ^ 0xff));
+}
+
+TEST_F(WalTest, CrcByteFlipCutsTailAtThatRecord) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 1, "").ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kUpdateStatement, 1, "stmt").ok());
+  uint64_t third = writer.end_lsn();
+  ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "").ok());
+  ASSERT_TRUE(writer.Sync().ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  FlipByte(path_, third + 4);  // a byte inside the third record's CRC field
+
+  uint64_t valid_end = 0;
+  auto records = ReadWal(path_, 0, nullptr, &valid_end);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);  // exactly the intact prefix
+  EXPECT_EQ((*records)[1].payload, "stmt");
+  EXPECT_EQ(valid_end, third);
+}
+
+TEST_F(WalTest, TruncationInsideLengthHeaderCutsCleanly) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 1, "first").ok());
+  uint64_t second = writer.end_lsn();
+  ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "second").ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  // Tear mid-header: only 3 of the 4 length bytes made it to disk.
+  std::filesystem::resize_file(path_, second + 3);
+
+  uint64_t valid_end = 0;
+  auto records = ReadWal(path_, 0, nullptr, &valid_end);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].payload, "first");
+  EXPECT_EQ(valid_end, second);
+}
+
+TEST_F(WalTest, TruncationMidPayloadCutsCleanly) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 1, "first").ok());
+  uint64_t second = writer.end_lsn();
+  ASSERT_TRUE(
+      writer.Append(WalRecordType::kUpdateStatement, 1, "long payload").ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  // Header intact, payload torn: length promises more bytes than exist.
+  std::filesystem::resize_file(path_, second + 8 + 4);
+
+  uint64_t valid_end = 0;
+  auto records = ReadWal(path_, 0, nullptr, &valid_end);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ(valid_end, second);
+}
+
+TEST_F(WalTest, ValidEndCoversWholeCleanLog) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 1, "").ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "").ok());
+  uint64_t end = writer.end_lsn();
+  ASSERT_TRUE(writer.Sync().ok());
+  ASSERT_TRUE(writer.Close().ok());
+  uint64_t valid_end = 0;
+  auto records = ReadWal(path_, 0, nullptr, &valid_end);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(valid_end, end);
+}
+
+TEST_F(WalTest, RecoveryReplaysExactlyTheIntactPrefix) {
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 1, "").ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kUpdateStatement, 1, "S1").ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "").ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 2, "").ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kUpdateStatement, 2, "S2").ok());
+  uint64_t txn2_commit = writer.end_lsn();
+  ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 2, "").ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  FlipByte(path_, txn2_commit + 5);  // corrupt txn 2's commit record
+
+  std::vector<std::string> replayed;
+  uint64_t valid_end = 0;
+  ASSERT_TRUE(RecoverFromWal(
+                  path_, 0,
+                  [&](const std::string& stmt) {
+                    replayed.push_back(stmt);
+                    return Status::OK();
+                  },
+                  nullptr, nullptr, &valid_end)
+                  .ok());
+  // Txn 2's commit never became durable, so only S1 replays.
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_EQ(replayed[0], "S1");
+  EXPECT_EQ(valid_end, txn2_commit);
+
+  // Recovery truncates the torn tail; new appends are then reachable.
+  ASSERT_TRUE(TruncateWalTail(path_, valid_end).ok());
+  EXPECT_EQ(std::filesystem::file_size(path_), valid_end);
+  {
+    WalWriter writer2;
+    ASSERT_TRUE(writer2.Open(path_).ok());
+    ASSERT_TRUE(writer2.Append(WalRecordType::kBegin, 3, "").ok());
+    ASSERT_TRUE(writer2.Append(WalRecordType::kUpdateStatement, 3, "S3").ok());
+    ASSERT_TRUE(writer2.Append(WalRecordType::kCommit, 3, "").ok());
+    ASSERT_TRUE(writer2.Sync().ok());
+  }
+  replayed.clear();
+  ASSERT_TRUE(RecoverFromWal(path_, 0,
+                             [&](const std::string& stmt) {
+                               replayed.push_back(stmt);
+                               return Status::OK();
+                             })
+                  .ok());
+  // Txn 2 lost its commit and stays dead; txn 3 committed after the cut.
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0], "S1");
+  EXPECT_EQ(replayed[1], "S3");
 }
 
 TEST_F(WalTest, LargePayloadRoundTrip) {
