@@ -1,0 +1,74 @@
+// E12 — pull-based iterator pipeline vs eager materialization.
+//
+// The executor evaluates every operator as a lazy ItemStream; early-exit
+// queries ([1], exists(), quantifiers) should finish in time proportional
+// to the prefix they consume, not to the size of the intermediate result.
+// Each query runs with the pipeline on (streaming) and off (the eager
+// recursive evaluator it replaced), so the counters make the win — and the
+// full-scan overhead of the indirection — directly visible.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xquery/statement.h"
+
+namespace sedna {
+namespace {
+
+// Queries 0-4 can stop after a bounded prefix; 5-6 must drain everything,
+// which bounds the pipeline's per-item overhead. Query 1 deliberately uses
+// //item, which resolves to one schema node per region and therefore pays
+// the multi-schema-node materialization barrier even when pipelined.
+const char* kQueries[] = {
+    "(doc('bench')/site/regions/europe/item)[1]",                  // positional
+    "(doc('bench')//item)[1]",                            // positional, barrier
+    "exists(doc('bench')/site/people/person)",                     // EBV
+    "some $i in doc('bench')/site/regions/europe/item "
+    "satisfies $i/payment = 'Cash'",                               // quantifier
+    "subsequence(doc('bench')/site/people/person, 5, 10)",         // window
+    "count(doc('bench')//item)",                                   // full drain
+    "for $p in doc('bench')/site/people/person return $p/name",    // full FLWOR
+};
+
+bench::EngineFixture& Fixture() {
+  static bench::EngineFixture* fixture = [] {
+    xmlgen::AuctionParams params;
+    params.items = 2000;
+    params.people = 800;
+    params.open_auctions = 600;
+    params.closed_auctions = 300;
+    auto doc = xmlgen::Auction(params);
+    return new bench::EngineFixture(
+        bench::EngineFixture::WithDocument("e12", *doc));
+  }();
+  return *fixture;
+}
+
+void RunQuery(benchmark::State& state, bool streaming) {
+  auto& fixture = Fixture();
+  StatementExecutor executor(fixture.engine.get());
+  executor.set_streaming_enabled(streaming);
+  const char* query = kQueries[state.range(0)];
+  ExecStats stats;
+  for (auto _ : state) {
+    auto r = executor.Execute(query, fixture.ctx);
+    SEDNA_CHECK(r.ok()) << r.status().ToString();
+    stats = r->stats;
+    benchmark::DoNotOptimize(r->serialized);
+  }
+  state.counters["items_pulled"] = static_cast<double>(stats.items_pulled);
+  state.counters["early_exits"] = static_cast<double>(stats.early_exits);
+  state.counters["materialized"] =
+      static_cast<double>(stats.streams_materialized);
+}
+
+void BM_Pipelined(benchmark::State& state) { RunQuery(state, true); }
+void BM_Eager(benchmark::State& state) { RunQuery(state, false); }
+
+BENCHMARK(BM_Pipelined)->DenseRange(0, 6);
+BENCHMARK(BM_Eager)->DenseRange(0, 6);
+
+}  // namespace
+}  // namespace sedna
+
+BENCHMARK_MAIN();

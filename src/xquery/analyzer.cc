@@ -113,6 +113,37 @@ Status AnalyzeExpr(const Expr& expr, const Prolog* prolog,
   return analyzer.Check(expr, &scope);
 }
 
+bool ExprConsultsLast(const Expr& expr) {
+  if (expr.kind == ExprKind::kFunctionCall) {
+    if (expr.str_val == "last") return true;
+    // Non-builtin calls that survive inlining (recursive functions) are
+    // opaque: assume the worst.
+    if (!IsBuiltinFunction(expr.str_val)) return true;
+  }
+  for (const auto& c : expr.children) {
+    if (ExprConsultsLast(*c)) return true;
+  }
+  for (const Step& s : expr.steps) {
+    for (const auto& p : s.predicates) {
+      if (ExprConsultsLast(*p)) return true;
+    }
+  }
+  for (const auto& a : expr.ctor_attrs) {
+    if (ExprConsultsLast(*a)) return true;
+  }
+  if (expr.name_expr != nullptr && ExprConsultsLast(*expr.name_expr)) {
+    return true;
+  }
+  if (expr.where != nullptr && ExprConsultsLast(*expr.where)) return true;
+  for (const OrderSpec& o : expr.order_specs) {
+    if (ExprConsultsLast(*o.expr)) return true;
+  }
+  for (const FlworClause& c : expr.clauses) {
+    if (ExprConsultsLast(*c.expr)) return true;
+  }
+  return false;
+}
+
 Status Analyze(const Statement& stmt) {
   // Duplicate function declarations are a static error.
   std::set<std::pair<std::string, size_t>> seen;

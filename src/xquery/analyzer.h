@@ -18,6 +18,14 @@ Status Analyze(const Statement& stmt);
 Status AnalyzeExpr(const Expr& expr, const Prolog* prolog,
                    const std::vector<std::string>& bound_vars);
 
+/// True when evaluating the expression may consult last() — directly, or
+/// through a call the analyzer cannot see into (recursive user functions
+/// survive inlining, so any non-builtin call is treated as opaque). The
+/// rewriter uses this to mark predicates the pull-based executor must
+/// materialize: the context size of a streamed sequence is unknown until
+/// the stream is drained.
+bool ExprConsultsLast(const Expr& expr);
+
 }  // namespace sedna
 
 #endif  // SEDNA_XQUERY_ANALYZER_H_

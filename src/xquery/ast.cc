@@ -160,6 +160,8 @@ ExprPtr Expr::Clone() const {
   copy->every = every;
   copy->var = var;
   copy->virtual_ok = virtual_ok;
+  copy->stream_annotated = stream_annotated;
+  copy->pred_needs_last = pred_needs_last;
   for (const auto& c : children) copy->children.push_back(c->Clone());
   for (const Step& s : steps) {
     Step cs;

@@ -124,6 +124,16 @@ struct Expr {
   ExprPtr name_expr;                // computed constructors
   bool virtual_ok = false;          // Section 5.2.1 (set by the rewriter)
 
+  // Streaming annotations, set on predicate roots by the rewriter.
+  // `pred_needs_last` marks a predicate that may consult last(): the
+  // pull-based executor must materialize that predicate's input, since the
+  // context size of a stream is unknown until it is drained. When
+  // `stream_annotated` is false (the expression never went through the
+  // rewriter) the executor classifies the predicate conservatively at
+  // execution time.
+  bool stream_annotated = false;
+  bool pred_needs_last = false;
+
   Expr() = default;
   explicit Expr(ExprKind k) : kind(k) {}
 

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "xml/xml_serializer.h"
+#include "xquery/analyzer.h"
 #include "xquery/functions.h"
 
 namespace sedna {
@@ -823,7 +824,12 @@ StatusOr<bool> EffectiveBooleanValue(const OpCtx&, const Sequence& seq) {
   return false;
 }
 
-StatusOr<Sequence> Eval(const Expr& expr, ExecContext& ctx) {
+namespace {
+
+/// The eager recursive evaluator: used for expression kinds that have no
+/// streaming operator, and for the whole tree when ctx.enable_streaming is
+/// off (the benchmark baseline).
+StatusOr<Sequence> EvalEager(const Expr& expr, ExecContext& ctx) {
   switch (expr.kind) {
     case ExprKind::kLiteralInt:
       return Sequence{Item(expr.int_val)};
@@ -980,6 +986,770 @@ StatusOr<Sequence> Eval(const Expr& expr, ExecContext& ctx) {
 }
 
 // ---------------------------------------------------------------------------
+// Pull-based pipeline (streaming operators)
+// ---------------------------------------------------------------------------
+
+StatusOr<bool> EvalEbv(const Expr& expr, ExecContext& ctx);
+StatusOr<StreamPtr> WrapPredicates(ExecContext& ctx, StreamPtr in,
+                                   const std::vector<ExprPtr>& preds);
+
+bool IsPositionCall(const Expr& e) {
+  return e.kind == ExprKind::kFunctionCall && e.str_val == "position" &&
+         e.children.empty();
+}
+
+/// Position after which a predicate can never hold again, or 0 when no
+/// static bound exists. Recognizes [n], [position() = n], [position() < n]
+/// and [position() <= n] (either operand order); once the bound is reached
+/// the predicate stream cuts off its upstream pipeline.
+int64_t StaticPositionalBound(const Expr& pred) {
+  if (pred.kind == ExprKind::kLiteralInt) {
+    return pred.int_val >= 1 ? pred.int_val : 1;
+  }
+  if (pred.kind != ExprKind::kComparison || pred.children.size() != 2) {
+    return 0;
+  }
+  const Expr* lhs = pred.children[0].get();
+  const Expr* rhs = pred.children[1].get();
+  bool swapped = false;
+  if (!IsPositionCall(*lhs)) {
+    std::swap(lhs, rhs);
+    swapped = true;
+  }
+  if (!IsPositionCall(*lhs) || rhs->kind != ExprKind::kLiteralInt) return 0;
+  int64_t n = rhs->int_val;
+  std::string op = pred.str_val;
+  if (swapped) {  // normalize to position() OP n
+    if (op == "<" || op == "lt") {
+      op = ">";
+    } else if (op == "<=" || op == "le") {
+      op = ">=";
+    } else if (op == ">" || op == "gt") {
+      op = "<";
+    } else if (op == ">=" || op == "ge") {
+      op = "<=";
+    }
+  }
+  if (op == "=" || op == "eq") return n >= 1 ? n : 1;
+  if (op == "<" || op == "lt") return n >= 2 ? n - 1 : 1;
+  if (op == "<=" || op == "le") return n >= 1 ? n : 1;
+  return 0;
+}
+
+bool PredNeedsLast(const Expr& pred) {
+  return pred.stream_annotated ? pred.pred_needs_last : ExprConsultsLast(pred);
+}
+
+/// Streamed predicate: evaluates the predicate per item with the position
+/// in the focus and the size unknown (context_size = -1; the rewriter
+/// guarantees last()-dependent predicates never reach this operator).
+class PredicateStream final : public ItemStream {
+ public:
+  PredicateStream(ExecContext& ctx, StreamPtr in, const Expr* pred)
+      : ctx_(ctx),
+        in_(std::move(in)),
+        pred_(pred),
+        bound_(StaticPositionalBound(*pred)) {}
+
+  StatusOr<bool> Next(Item* out) override {
+    while (in_ != nullptr) {
+      SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx_, in_.get(), &cur_));
+      if (!got) {
+        in_.reset();
+        break;
+      }
+      pos_++;
+      SEDNA_ASSIGN_OR_RETURN(bool keep, Evaluate());
+      if (bound_ > 0 && pos_ >= bound_) {
+        // No later position can satisfy the predicate.
+        ctx_.Count(&ExecStats::early_exits);
+        in_.reset();
+      }
+      if (keep) {
+        *out = std::move(cur_);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  StatusOr<bool> Evaluate() {
+    // [n]: the position alone decides, no evaluation needed.
+    if (pred_->kind == ExprKind::kLiteralInt) {
+      return pos_ == pred_->int_val;
+    }
+    const Item* saved_item = ctx_.context_item;
+    int64_t saved_pos = ctx_.context_pos;
+    int64_t saved_size = ctx_.context_size;
+    ctx_.context_item = &cur_;
+    ctx_.context_pos = pos_;
+    ctx_.context_size = -1;
+    StatusOr<Sequence> value = Eval(*pred_, ctx_);
+    ctx_.context_item = saved_item;
+    ctx_.context_pos = saved_pos;
+    ctx_.context_size = saved_size;
+    if (!value.ok()) return value.status();
+    if (value->size() == 1 && (*value)[0].is_numeric()) {
+      return (*value)[0].as_double() == static_cast<double>(pos_);
+    }
+    return EffectiveBooleanValue(ctx_.op, *value);
+  }
+
+  ExecContext& ctx_;
+  StreamPtr in_;
+  const Expr* pred_;
+  int64_t bound_;
+  int64_t pos_ = 0;
+  Item cur_;
+};
+
+StatusOr<StreamPtr> WrapPredicates(ExecContext& ctx, StreamPtr in,
+                                   const std::vector<ExprPtr>& preds) {
+  for (const auto& pred : preds) {
+    if (PredNeedsLast(*pred)) {
+      // The predicate may consult last(): the context size must be known,
+      // so the input is materialized at this point.
+      Sequence buf;
+      SEDNA_RETURN_IF_ERROR(DrainStream(ctx, in.get(), &buf));
+      ctx.Count(&ExecStats::streams_materialized);
+      SEDNA_ASSIGN_OR_RETURN(buf, ApplyPredicate(*pred, std::move(buf), ctx));
+      in = MakeSequenceStream(std::move(buf));
+    } else {
+      in = std::make_unique<PredicateStream>(ctx, std::move(in), pred.get());
+    }
+  }
+  return in;
+}
+
+/// One axis step applied to one origin node, delivering matching candidates
+/// lazily. The descendant axes walk the subtree in document order with an
+/// explicit stack; the remaining axes are enumerated up front (they are
+/// bounded by siblings/ancestors) and filtered lazily.
+class AxisMatchStream final : public ItemStream {
+ public:
+  AxisMatchStream(ExecContext& ctx, Item origin, const Step* step)
+      : ctx_(ctx), origin_(std::move(origin)), step_(step) {}
+
+  StatusOr<bool> Next(Item* out) override {
+    if (done_) return false;
+    if (!opened_) {
+      SEDNA_RETURN_IF_ERROR(Open());
+      opened_ = true;
+    }
+    if (dfs_) {
+      for (;;) {
+        if (stack_.empty()) {
+          done_ = true;
+          return false;
+        }
+        Frame& top = stack_.back();
+        if (top.idx >= top.nodes.size()) {
+          stack_.pop_back();
+          continue;
+        }
+        // Copy out and advance before pushing: push_back invalidates `top`.
+        Item cand = std::move(top.nodes[top.idx]);
+        top.idx++;
+        ctx_.Count(&ExecStats::axis_nodes);
+        SEDNA_ASSIGN_OR_RETURN(Sequence kids, NodeChildren(ctx_.op, cand));
+        if (!kids.empty()) stack_.push_back(Frame{std::move(kids), 0});
+        SEDNA_ASSIGN_OR_RETURN(
+            bool match, MatchesTest(ctx_, cand, step_->test, step_->axis));
+        if (match) {
+          *out = std::move(cand);
+          return true;
+        }
+      }
+    }
+    while (pos_ < buffer_.size()) {
+      Item cand = std::move(buffer_[pos_++]);
+      SEDNA_ASSIGN_OR_RETURN(
+          bool match, MatchesTest(ctx_, cand, step_->test, step_->axis));
+      if (match) {
+        *out = std::move(cand);
+        return true;
+      }
+    }
+    done_ = true;
+    return false;
+  }
+
+ private:
+  struct Frame {
+    Sequence nodes;
+    size_t idx = 0;
+  };
+
+  Status Open() {
+    if (step_->axis == Axis::kDescendant ||
+        step_->axis == Axis::kDescendantOrSelf) {
+      dfs_ = true;
+      if (step_->axis == Axis::kDescendantOrSelf) {
+        // Seeding the stack with the origin itself emits it first
+        // (preorder = document order).
+        stack_.push_back(Frame{Sequence{origin_}, 0});
+      } else {
+        SEDNA_ASSIGN_OR_RETURN(Sequence kids, NodeChildren(ctx_.op, origin_));
+        if (!kids.empty()) stack_.push_back(Frame{std::move(kids), 0});
+      }
+      return Status::OK();
+    }
+    SEDNA_ASSIGN_OR_RETURN(buffer_, AxisNodes(ctx_, origin_, step_->axis));
+    ctx_.Count(&ExecStats::axis_nodes, buffer_.size());
+    return Status::OK();
+  }
+
+  ExecContext& ctx_;
+  Item origin_;
+  const Step* step_;
+  bool opened_ = false;
+  bool done_ = false;
+  bool dfs_ = false;
+  std::vector<Frame> stack_;
+  Sequence buffer_;
+  size_t pos_ = 0;
+};
+
+/// One location step over a stream of origin nodes: for each input node a
+/// fresh axis pipeline (with the step's predicates — positions restart per
+/// origin node, matching the eager semantics) is pulled to exhaustion.
+class StepStream final : public ItemStream {
+ public:
+  StepStream(ExecContext& ctx, StreamPtr in, const Step* step)
+      : ctx_(ctx), in_(std::move(in)), step_(step) {}
+
+  StatusOr<bool> Next(Item* out) override {
+    for (;;) {
+      if (inner_ != nullptr) {
+        SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx_, inner_.get(), out));
+        if (got) return true;
+        inner_.reset();
+      }
+      if (in_ == nullptr) return false;
+      SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx_, in_.get(), &cur_));
+      if (!got) {
+        in_.reset();
+        return false;
+      }
+      if (!cur_.is_node()) {
+        return Status::InvalidArgument(
+            "path step applied to an atomic value");
+      }
+      StreamPtr axis = std::make_unique<AxisMatchStream>(ctx_, cur_, step_);
+      SEDNA_ASSIGN_OR_RETURN(
+          inner_, WrapPredicates(ctx_, std::move(axis), step_->predicates));
+    }
+  }
+
+ private:
+  ExecContext& ctx_;
+  StreamPtr in_;
+  StreamPtr inner_;
+  const Step* step_;
+  Item cur_;
+};
+
+/// Lazy scan of all nodes under one schema node (Section 5.1.4), in
+/// document order via the storage engine's schema-node chains.
+class SchemaScanStream final : public ItemStream {
+ public:
+  SchemaScanStream(ExecContext& ctx, DocumentStore* doc, SchemaNode* sn)
+      : ctx_(ctx), doc_(doc), sn_(sn) {}
+
+  StatusOr<bool> Next(Item* out) override {
+    if (done_) return false;
+    if (!opened_) {
+      opened_ = true;
+      SEDNA_ASSIGN_OR_RETURN(cur_, doc_->nodes()->FirstOfSchema(ctx_.op, sn_));
+    } else {
+      SEDNA_ASSIGN_OR_RETURN(cur_, doc_->nodes()->NextSameSchema(ctx_.op, cur_));
+    }
+    if (!cur_) {
+      done_ = true;
+      return false;
+    }
+    *out = Item(StoredNode{doc_, cur_});
+    return true;
+  }
+
+ private:
+  ExecContext& ctx_;
+  DocumentStore* doc_;
+  SchemaNode* sn_;
+  Xptr cur_;
+  bool opened_ = false;
+  bool done_ = false;
+};
+
+/// Materialization barrier: drains the stream, runs distinct-document-order
+/// and re-streams the result.
+StatusOr<StreamPtr> MaterializeDdo(ExecContext& ctx, StreamPtr in) {
+  Sequence buf;
+  SEDNA_RETURN_IF_ERROR(DrainStream(ctx, in.get(), &buf));
+  ctx.Count(&ExecStats::streams_materialized);
+  ctx.Count(&ExecStats::ddo_ops);
+  ctx.Count(&ExecStats::ddo_items, buf.size());
+  SEDNA_RETURN_IF_ERROR(DistinctDocOrder(ctx.op, &buf));
+  return MakeSequenceStream(std::move(buf));
+}
+
+StatusOr<StreamPtr> EvalPathStream(const Expr& path, ExecContext& ctx) {
+  // Filter expression: predicates over the whole input sequence.
+  if (path.str_val == "filter") {
+    SEDNA_ASSIGN_OR_RETURN(StreamPtr in, EvalStream(*path.children[0], ctx));
+    return WrapPredicates(ctx, std::move(in), path.steps[0].predicates);
+  }
+
+  size_t step_idx = 0;
+  StreamPtr in;
+
+  bool schema_candidate = ctx.enable_schema_paths && !path.steps.empty() &&
+                          path.steps[0].schema_resolved;
+  if (schema_candidate) {
+    // Schema resolution needs the input node up front; a structural
+    // fragment's input is a single doc() call, so this materializes one
+    // item, never a sequence.
+    SEDNA_ASSIGN_OR_RETURN(Sequence in_seq, Eval(*path.children[0], ctx));
+    bool served = false;
+    if (in_seq.size() == 1 && in_seq[0].is_stored_node()) {
+      SEDNA_ASSIGN_OR_RETURN(XmlKind kind, NodeKind(ctx.op, in_seq[0]));
+      if (kind == XmlKind::kDocument) {
+        DocumentStore* doc = in_seq[0].stored().doc;
+        size_t end = 0;
+        while (end < path.steps.size() && path.steps[end].schema_resolved) {
+          end++;
+        }
+        std::vector<SchemaNode*> sns =
+            ResolveSchemaSteps(doc, path.steps, 0, end);
+        ctx.Count(&ExecStats::schema_scans);
+        if (sns.empty()) {
+          in = MakeEmptyStream();
+        } else if (sns.size() == 1) {
+          in = std::make_unique<SchemaScanStream>(ctx, doc, sns[0]);
+        } else {
+          // Several schema nodes: the doc-order merge needs the whole set.
+          SEDNA_ASSIGN_OR_RETURN(Sequence nodes,
+                                 EnumerateSchemaNodes(ctx, doc, sns));
+          ctx.Count(&ExecStats::streams_materialized);
+          in = MakeSequenceStream(std::move(nodes));
+        }
+        step_idx = end;
+        served = true;
+      }
+    }
+    if (!served) in = MakeSequenceStream(std::move(in_seq));
+  } else {
+    SEDNA_ASSIGN_OR_RETURN(in, EvalStream(*path.children[0], ctx));
+  }
+
+  for (; step_idx < path.steps.size(); ++step_idx) {
+    const Step& step = path.steps[step_idx];
+    in = std::make_unique<StepStream>(ctx, std::move(in), &step);
+    if (step.needs_ddo) {
+      // The rewriter could not prove the step order-safe (Section 5.1.1):
+      // DDO is the pipeline's materialization barrier.
+      SEDNA_ASSIGN_OR_RETURN(in, MaterializeDdo(ctx, std::move(in)));
+    }
+  }
+  return in;
+}
+
+/// Comma operator: concatenates its parts, opening each part's stream only
+/// when the previous one is exhausted.
+class ChainStream final : public ItemStream {
+ public:
+  ChainStream(ExecContext& ctx, const std::vector<ExprPtr>* parts)
+      : ctx_(ctx), parts_(parts) {}
+
+  StatusOr<bool> Next(Item* out) override {
+    for (;;) {
+      if (cur_ != nullptr) {
+        SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx_, cur_.get(), out));
+        if (got) return true;
+        cur_.reset();
+      }
+      if (idx_ >= parts_->size()) return false;
+      SEDNA_ASSIGN_OR_RETURN(cur_, EvalStream(*(*parts_)[idx_++], ctx_));
+    }
+  }
+
+ private:
+  ExecContext& ctx_;
+  const std::vector<ExprPtr>* parts_;
+  size_t idx_ = 0;
+  StreamPtr cur_;
+};
+
+class RangeStream final : public ItemStream {
+ public:
+  RangeStream(int64_t next, int64_t last) : next_(next), last_(last) {}
+
+  StatusOr<bool> Next(Item* out) override {
+    if (next_ > last_) return false;
+    *out = Item(next_++);
+    return true;
+  }
+
+ private:
+  int64_t next_;
+  int64_t last_;
+};
+
+/// Streaming FLWOR (no order-by): an iterative clause odometer. The deepest
+/// for-clause advances first; closing a slot restores the variable bindings
+/// it shadowed, so dropping a half-consumed stream (an early exit upstream)
+/// leaves the context intact. Lazy for-clause domains (Section 5.1.3) are
+/// drained once and re-iterated from the cache whenever the slot reopens.
+class FlworStream final : public ItemStream {
+ public:
+  FlworStream(ExecContext& ctx, const Expr* flwor)
+      : ctx_(ctx), flwor_(flwor), slots_(flwor->clauses.size()) {}
+
+  ~FlworStream() override { CloseAll(); }
+
+  StatusOr<bool> Next(Item* out) override {
+    if (done_) return false;
+    for (;;) {
+      if (ret_ != nullptr) {
+        StatusOr<bool> got = Pull(ctx_, ret_.get(), out);
+        if (!got.ok()) return Fail(got.status());
+        if (*got) return true;
+        ret_.reset();
+      }
+      StatusOr<bool> tuple = NextTuple();
+      if (!tuple.ok()) return Fail(tuple.status());
+      if (!*tuple) {
+        CloseAll();
+        done_ = true;
+        return false;
+      }
+      StatusOr<StreamPtr> ret = EvalStream(*flwor_->children[0], ctx_);
+      if (!ret.ok()) return Fail(ret.status());
+      ret_ = std::move(*ret);
+    }
+  }
+
+ private:
+  struct Slot {
+    bool bound = false;  // bindings saved, slot participating
+    Sequence saved_var;
+    Sequence saved_pos;
+    StreamPtr domain;       // non-cached for-clause domain
+    bool use_cache = false;
+    bool cache_valid = false;
+    Sequence cache;         // lazy domain, evaluated once
+    size_t cache_idx = 0;
+    int64_t pos = 0;
+  };
+
+  bool HasEarlierFor(size_t i) const {
+    for (size_t j = 0; j < i; ++j) {
+      if (flwor_->clauses[j].kind == FlworClause::Kind::kFor) return true;
+    }
+    return false;
+  }
+
+  StatusOr<bool> OpenSlot(size_t i) {
+    const FlworClause& c = flwor_->clauses[i];
+    Slot& s = slots_[i];
+    if (!s.bound) {
+      s.saved_var = std::move(ctx_.vars[c.var]);
+      if (!c.pos_var.empty()) {
+        s.saved_pos = std::move(ctx_.vars[c.pos_var]);
+      }
+      s.bound = true;
+    }
+    if (c.kind == FlworClause::Kind::kLet) {
+      SEDNA_ASSIGN_OR_RETURN(Sequence value, Eval(*c.expr, ctx_));
+      ctx_.vars[c.var] = std::move(value);
+      return true;
+    }
+    s.pos = 0;
+    s.use_cache = c.lazy && HasEarlierFor(i);
+    if (s.use_cache) {
+      if (!s.cache_valid) {
+        // Section 5.1.3: the domain is independent of outer for-variables —
+        // evaluate it once and reuse it on every reopen.
+        SEDNA_ASSIGN_OR_RETURN(StreamPtr d, EvalStream(*c.expr, ctx_));
+        SEDNA_RETURN_IF_ERROR(DrainStream(ctx_, d.get(), &s.cache));
+        s.cache_valid = true;
+      }
+      s.cache_idx = 0;
+    } else {
+      SEDNA_ASSIGN_OR_RETURN(s.domain, EvalStream(*c.expr, ctx_));
+    }
+    return StepFor(i);
+  }
+
+  StatusOr<bool> StepFor(size_t i) {
+    const FlworClause& c = flwor_->clauses[i];
+    Slot& s = slots_[i];
+    Item item;
+    bool has;
+    if (s.use_cache) {
+      has = s.cache_idx < s.cache.size();
+      if (has) item = s.cache[s.cache_idx++];
+    } else {
+      SEDNA_ASSIGN_OR_RETURN(has, Pull(ctx_, s.domain.get(), &item));
+    }
+    if (!has) return false;
+    s.pos++;
+    Sequence binding;
+    binding.push_back(std::move(item));
+    ctx_.vars[c.var] = std::move(binding);
+    if (!c.pos_var.empty()) {
+      ctx_.vars[c.pos_var] = Sequence{Item(s.pos)};
+    }
+    return true;
+  }
+
+  void CloseSlot(size_t i) {
+    const FlworClause& c = flwor_->clauses[i];
+    Slot& s = slots_[i];
+    s.domain.reset();
+    if (!s.bound) return;
+    ctx_.vars[c.var] = std::move(s.saved_var);
+    if (!c.pos_var.empty()) {
+      ctx_.vars[c.pos_var] = std::move(s.saved_pos);
+    }
+    s.bound = false;
+  }
+
+  void CloseAll() {
+    // The return stream may still reference current bindings: drop it first.
+    ret_.reset();
+    for (size_t i = slots_.size(); i > 0; --i) CloseSlot(i - 1);
+  }
+
+  Status Fail(Status st) {
+    CloseAll();
+    done_ = true;
+    return st;
+  }
+
+  /// Advances to the next tuple of bindings that passes the where clause.
+  /// Iterative (a recursive odometer would grow the stack on long runs of
+  /// empty inner domains): `k` is the first slot still to open; `advancing`
+  /// means the deepest open for-slot below k must step instead.
+  StatusOr<bool> NextTuple() {
+    const auto& clauses = flwor_->clauses;
+    const size_t n = clauses.size();
+    size_t k;
+    bool advancing;
+    if (!started_) {
+      started_ = true;
+      k = 0;
+      advancing = false;
+    } else {
+      k = n;
+      advancing = true;
+    }
+    for (;;) {
+      if (advancing) {
+        bool stepped = false;
+        while (k > 0) {
+          size_t i = k - 1;
+          if (clauses[i].kind == FlworClause::Kind::kFor) {
+            SEDNA_ASSIGN_OR_RETURN(bool has, StepFor(i));
+            if (has) {
+              k = i + 1;
+              stepped = true;
+              break;
+            }
+          }
+          CloseSlot(i);
+          k = i;
+        }
+        if (!stepped) return false;  // every for-slot exhausted
+        advancing = false;
+        continue;
+      }
+      bool opened_all = true;
+      while (k < n) {
+        SEDNA_ASSIGN_OR_RETURN(bool has, OpenSlot(k));
+        k++;
+        if (!has) {
+          // Slot k-1 opened onto an empty domain; the advancing sweep
+          // closes it and steps the next for-slot above.
+          opened_all = false;
+          break;
+        }
+      }
+      if (!opened_all) {
+        advancing = true;
+        continue;
+      }
+      if (flwor_->where != nullptr) {
+        SEDNA_ASSIGN_OR_RETURN(bool pass, EvalEbv(*flwor_->where, ctx_));
+        if (!pass) {
+          advancing = true;  // k == n: step the deepest for-slot
+          continue;
+        }
+      }
+      return true;
+    }
+  }
+
+  ExecContext& ctx_;
+  const Expr* flwor_;
+  std::vector<Slot> slots_;
+  StreamPtr ret_;
+  bool started_ = false;
+  bool done_ = false;
+};
+
+/// Streaming quantified expression: pulls the domain one item at a time and
+/// stops at the first witness (some) / first counterexample (every).
+StatusOr<Sequence> EvalQuantifiedStream(const Expr& expr, ExecContext& ctx) {
+  SEDNA_ASSIGN_OR_RETURN(StreamPtr domain, EvalStream(*expr.children[0], ctx));
+  Sequence saved = std::move(ctx.vars[expr.var]);
+  bool result = expr.every;
+  Status st = Status::OK();
+  Item item;
+  for (;;) {
+    StatusOr<bool> got = Pull(ctx, domain.get(), &item);
+    if (!got.ok()) {
+      st = got.status();
+      break;
+    }
+    if (!*got) break;
+    Sequence binding;
+    binding.push_back(std::move(item));
+    ctx.vars[expr.var] = std::move(binding);
+    StatusOr<bool> ebv = EvalEbv(*expr.children[1], ctx);
+    if (!ebv.ok()) {
+      st = ebv.status();
+      break;
+    }
+    if (*ebv != expr.every) {
+      result = !expr.every;
+      ctx.Count(&ExecStats::early_exits);
+      break;
+    }
+  }
+  domain.reset();
+  ctx.vars[expr.var] = std::move(saved);
+  SEDNA_RETURN_IF_ERROR(st);
+  return Sequence{Item(result)};
+}
+
+/// Effective boolean value of an expression, short-circuiting through the
+/// stream layer when streaming is enabled.
+StatusOr<bool> EvalEbv(const Expr& expr, ExecContext& ctx) {
+  if (!ctx.enable_streaming) {
+    SEDNA_ASSIGN_OR_RETURN(Sequence value, EvalEager(expr, ctx));
+    return EffectiveBooleanValue(ctx.op, value);
+  }
+  SEDNA_ASSIGN_OR_RETURN(StreamPtr in, EvalStream(expr, ctx));
+  return EffectiveBooleanValueStream(ctx, in.get());
+}
+
+}  // namespace
+
+StatusOr<Sequence> Eval(const Expr& expr, ExecContext& ctx) {
+  if (!ctx.enable_streaming) return EvalEager(expr, ctx);
+  SEDNA_ASSIGN_OR_RETURN(StreamPtr in, EvalStream(expr, ctx));
+  Sequence out;
+  SEDNA_RETURN_IF_ERROR(DrainStream(ctx, in.get(), &out));
+  return out;
+}
+
+StatusOr<StreamPtr> EvalStream(const Expr& expr, ExecContext& ctx) {
+  if (!ctx.enable_streaming) {
+    SEDNA_ASSIGN_OR_RETURN(Sequence value, EvalEager(expr, ctx));
+    return MakeSequenceStream(std::move(value));
+  }
+  switch (expr.kind) {
+    case ExprKind::kPath:
+      return EvalPathStream(expr, ctx);
+    case ExprKind::kSequence:
+      return StreamPtr(std::make_unique<ChainStream>(ctx, &expr.children));
+    case ExprKind::kRange: {
+      SEDNA_ASSIGN_OR_RETURN(Sequence lo_seq, Eval(*expr.children[0], ctx));
+      SEDNA_ASSIGN_OR_RETURN(Sequence hi_seq, Eval(*expr.children[1], ctx));
+      SEDNA_ASSIGN_OR_RETURN(Sequence lo, Atomize(ctx.op, lo_seq));
+      SEDNA_ASSIGN_OR_RETURN(Sequence hi, Atomize(ctx.op, hi_seq));
+      if (lo.empty() || hi.empty()) return MakeEmptyStream();
+      if (!lo[0].is_numeric() || !hi[0].is_numeric()) {
+        return Status::InvalidArgument("range bounds must be numeric");
+      }
+      return StreamPtr(std::make_unique<RangeStream>(
+          static_cast<int64_t>(lo[0].as_double()),
+          static_cast<int64_t>(hi[0].as_double())));
+    }
+    case ExprKind::kAnd: {
+      SEDNA_ASSIGN_OR_RETURN(bool lv, EvalEbv(*expr.children[0], ctx));
+      if (!lv) return MakeSingletonStream(Item(false));
+      SEDNA_ASSIGN_OR_RETURN(bool rv, EvalEbv(*expr.children[1], ctx));
+      return MakeSingletonStream(Item(rv));
+    }
+    case ExprKind::kOr: {
+      SEDNA_ASSIGN_OR_RETURN(bool lv, EvalEbv(*expr.children[0], ctx));
+      if (lv) return MakeSingletonStream(Item(true));
+      SEDNA_ASSIGN_OR_RETURN(bool rv, EvalEbv(*expr.children[1], ctx));
+      return MakeSingletonStream(Item(rv));
+    }
+    case ExprKind::kIf: {
+      SEDNA_ASSIGN_OR_RETURN(bool pass, EvalEbv(*expr.children[0], ctx));
+      return EvalStream(*expr.children[pass ? 1 : 2], ctx);
+    }
+    case ExprKind::kQuantified: {
+      SEDNA_ASSIGN_OR_RETURN(Sequence result, EvalQuantifiedStream(expr, ctx));
+      return MakeSequenceStream(std::move(result));
+    }
+    case ExprKind::kFlwor:
+      if (expr.order_specs.empty()) {
+        return StreamPtr(std::make_unique<FlworStream>(ctx, &expr));
+      } else {
+        // order by needs every tuple before the first result item: evaluate
+        // eagerly behind a barrier.
+        SEDNA_ASSIGN_OR_RETURN(Sequence result, EvalFlwor(expr, ctx));
+        ctx.Count(&ExecStats::streams_materialized);
+        return MakeSequenceStream(std::move(result));
+      }
+    case ExprKind::kVarRef: {
+      auto it = ctx.vars.find(expr.str_val);
+      if (it == ctx.vars.end()) {
+        return Status::InvalidArgument("unbound variable $" + expr.str_val);
+      }
+      return MakeSequenceStream(it->second);
+    }
+    case ExprKind::kFunctionCall: {
+      bool handled = false;
+      StatusOr<StreamPtr> streamed = CallStreamingBuiltin(expr, ctx, &handled);
+      if (handled || !streamed.ok()) return streamed;
+      SEDNA_ASSIGN_OR_RETURN(Sequence value, EvalFunctionCall(expr, ctx));
+      return MakeSequenceStream(std::move(value));
+    }
+    default: {
+      SEDNA_ASSIGN_OR_RETURN(Sequence value, EvalEager(expr, ctx));
+      return MakeSequenceStream(std::move(value));
+    }
+  }
+}
+
+StatusOr<bool> EffectiveBooleanValueStream(ExecContext& ctx, ItemStream* in) {
+  Item first;
+  SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx, in, &first));
+  if (!got) return false;
+  if (first.is_node()) {
+    // A node decides immediately: the rest of the pipeline never runs.
+    ctx.Count(&ExecStats::early_exits);
+    return true;
+  }
+  Item second;
+  SEDNA_ASSIGN_OR_RETURN(bool more, Pull(ctx, in, &second));
+  if (more) {
+    return Status::InvalidArgument(
+        "effective boolean value of a multi-item atomic sequence");
+  }
+  Sequence one;
+  one.push_back(std::move(first));
+  return EffectiveBooleanValue(ctx.op, one);
+}
+
+// ---------------------------------------------------------------------------
 // Serialization
 // ---------------------------------------------------------------------------
 
@@ -1040,19 +1810,24 @@ StatusOr<std::string> SerializeItem(const OpCtx& ctx, const Item& item) {
   return out;
 }
 
+Status IncrementalSerializer::Append(const Item& item, std::string* out) {
+  if (item.is_node()) {
+    SEDNA_RETURN_IF_ERROR(SerializeNodeItem(ctx_, item, out));
+    prev_atomic_ = false;
+  } else {
+    if (prev_atomic_) *out += ' ';
+    *out += AtomicLexical(item);
+    prev_atomic_ = true;
+  }
+  return Status::OK();
+}
+
 StatusOr<std::string> SerializeSequence(const OpCtx& ctx,
                                         const Sequence& seq) {
   std::string out;
-  bool prev_atomic = false;
+  IncrementalSerializer ser(ctx);
   for (const Item& item : seq) {
-    if (item.is_node()) {
-      SEDNA_RETURN_IF_ERROR(SerializeNodeItem(ctx, item, &out));
-      prev_atomic = false;
-    } else {
-      if (prev_atomic) out += ' ';
-      out += AtomicLexical(item);
-      prev_atomic = true;
-    }
+    SEDNA_RETURN_IF_ERROR(ser.Append(item, &out));
   }
   return out;
 }

@@ -1,12 +1,19 @@
 // XQuery evaluation engine over the storage system (paper Section 5.2).
 //
 // Intermediate results are sequences of items; node items reference stored
-// nodes by direct pointer. Path steps are evaluated axis-by-axis with an
+// nodes by direct pointer. Since the pull-based pipeline refactor the
+// primary evaluation entry point is EvalStream(): physical operations are
+// open/next/close iterators (xquery/stream.h) that pull from their inputs
+// one item at a time, so positional predicates, exists()/empty(), effective
+// boolean value tests and quantified expressions stop the upstream pipeline
+// after O(1) items. Eval() drains the stream for callers that need a
+// materialized Sequence. Path steps are evaluated axis-by-axis with an
 // explicit distinct-document-order (DDO) operation after each step — unless
-// the optimizing rewriter proved it redundant (Section 5.1.1). Structural
-// path fragments marked by the rewriter are executed directly over the
-// in-memory descriptive schema (Section 5.1.4). Element constructors avoid
-// deep copies when marked virtual (Section 5.2.1).
+// the optimizing rewriter proved it redundant (Section 5.1.1); an executed
+// DDO is the pipeline's materialization barrier. Structural path fragments
+// marked by the rewriter are executed directly over the in-memory
+// descriptive schema (Section 5.1.4). Element constructors avoid deep
+// copies when marked virtual (Section 5.2.1).
 
 #ifndef SEDNA_XQUERY_EXECUTOR_H_
 #define SEDNA_XQUERY_EXECUTOR_H_
@@ -19,6 +26,7 @@
 #include "xquery/ast.h"
 #include "xquery/item.h"
 #include "xquery/node_ops.h"
+#include "xquery/stream.h"
 
 namespace sedna {
 
@@ -32,6 +40,11 @@ struct ExecStats {
   uint64_t deep_copy_nodes = 0;  // nodes deep-copied by constructors
   uint64_t virtual_elements = 0; // constructors answered virtually
   uint64_t schema_scans = 0;     // structural paths served from the schema
+  // Pull-pipeline counters: these let tests assert *laziness*, not just
+  // results (e.g. (//x)[1] on a 10k-match document pulls O(1) items).
+  uint64_t items_pulled = 0;         // successful ItemStream pulls
+  uint64_t early_exits = 0;          // pipelines cut off before exhaustion
+  uint64_t streams_materialized = 0; // streams drained at a barrier
 };
 
 /// Dynamic evaluation context.
@@ -52,7 +65,9 @@ struct ExecContext {
 
   std::map<std::string, Sequence> vars;
 
-  // Focus (context item, position, size).
+  // Focus (context item, position, size). context_size is negative inside a
+  // streamed predicate, where the size is unknown by construction; the
+  // rewriter forces materialization for predicates that consult last().
   const Item* context_item = nullptr;
   int64_t context_pos = 0;
   int64_t context_size = 0;
@@ -60,6 +75,7 @@ struct ExecContext {
   // Feature toggles used by benchmarks to compare optimizations on/off.
   bool enable_virtual_constructors = true;
   bool enable_schema_paths = true;
+  bool enable_streaming = true;  // pull-based pipeline vs. eager evaluation
 
   ExecStats* stats = nullptr;
   int udf_depth = 0;  // recursion guard
@@ -69,14 +85,42 @@ struct ExecContext {
   }
 };
 
-/// Evaluates an expression to a sequence.
+/// Evaluates an expression to a materialized sequence. With streaming
+/// enabled this drains EvalStream(); binding sites (let, UDF parameters,
+/// update sources) use it deliberately — a lazy stream must never outlive
+/// the variable scope it reads.
 StatusOr<Sequence> Eval(const Expr& expr, ExecContext& ctx);
+
+/// Evaluates an expression to a pull-based stream — the primary evaluation
+/// path. With ctx.enable_streaming false the expression is evaluated
+/// eagerly and the result wrapped, which benchmarks use as the baseline.
+StatusOr<StreamPtr> EvalStream(const Expr& expr, ExecContext& ctx);
 
 /// Effective boolean value of a sequence.
 StatusOr<bool> EffectiveBooleanValue(const OpCtx& ctx, const Sequence& seq);
 
+/// Short-circuiting effective boolean value over a stream: pulls at most
+/// two items (one when it is a node — the common document case).
+StatusOr<bool> EffectiveBooleanValueStream(ExecContext& ctx, ItemStream* in);
+
 /// Atomizes a sequence (nodes -> their untyped string values).
 StatusOr<Sequence> Atomize(const OpCtx& ctx, const Sequence& seq);
+
+/// Serializes items one at a time with the same whitespace rules as
+/// SerializeSequence (adjacent atomic values are space-separated). The
+/// session layer appends each chunk to its output as the result stream is
+/// pulled, so the full result text is never required in memory at once.
+class IncrementalSerializer {
+ public:
+  explicit IncrementalSerializer(const OpCtx& ctx) : ctx_(ctx) {}
+
+  /// Appends the serialized form of `item` to *out.
+  Status Append(const Item& item, std::string* out);
+
+ private:
+  OpCtx ctx_;
+  bool prev_atomic_ = false;
+};
 
 /// Serializes a result sequence the way a query shell would print it.
 /// Handles virtual elements without materializing them.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/string_util.h"
@@ -330,6 +331,13 @@ StatusOr<Sequence> CallBuiltin(const std::string& name,
     if (ctx.context_pos == 0) {
       return Status::InvalidArgument("last() with no context");
     }
+    if (ctx.context_size < 0) {
+      // A streamed predicate's context size is unknown by construction; the
+      // rewriter marks last()-dependent predicates for materialization, so
+      // reaching this point is an annotation bug, not a user error.
+      return Status::Internal(
+          "last() inside a streamed predicate was not materialized");
+    }
     return Sequence{Item(ctx.context_size)};
   }
   if ((name == "floor" || name == "ceiling" || name == "round" ||
@@ -423,6 +431,98 @@ StatusOr<Sequence> CallBuiltin(const std::string& name,
 
   *found = false;
   return Sequence{};
+}
+
+namespace {
+
+/// Streaming subsequence(): emits 1-based positions [start, end) and cuts
+/// off the upstream pipeline once no further position can qualify.
+class SubsequenceStream final : public ItemStream {
+ public:
+  SubsequenceStream(ExecContext& ctx, StreamPtr in, int64_t start,
+                    int64_t end)
+      : ctx_(ctx), in_(std::move(in)), start_(start), end_(end) {}
+
+  StatusOr<bool> Next(Item* out) override {
+    for (;;) {
+      if (in_ == nullptr) return false;
+      if (pos_ + 1 >= end_) {
+        ctx_.Count(&ExecStats::early_exits);
+        in_.reset();
+        return false;
+      }
+      SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx_, in_.get(), out));
+      if (!got) {
+        in_.reset();
+        return false;
+      }
+      pos_++;
+      if (pos_ >= start_) return true;
+    }
+  }
+
+ private:
+  ExecContext& ctx_;
+  StreamPtr in_;
+  int64_t start_;
+  int64_t end_;
+  int64_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<StreamPtr> CallStreamingBuiltin(const Expr& call, ExecContext& ctx,
+                                         bool* handled) {
+  *handled = true;
+  const std::string& name = call.str_val;
+  const size_t n = call.children.size();
+  if ((name == "exists" || name == "empty") && n == 1) {
+    SEDNA_ASSIGN_OR_RETURN(StreamPtr in, EvalStream(*call.children[0], ctx));
+    Item item;
+    SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx, in.get(), &item));
+    if (got) ctx.Count(&ExecStats::early_exits);
+    return MakeSingletonStream(Item(name == "exists" ? got : !got));
+  }
+  if ((name == "not" || name == "boolean") && n == 1) {
+    SEDNA_ASSIGN_OR_RETURN(StreamPtr in, EvalStream(*call.children[0], ctx));
+    SEDNA_ASSIGN_OR_RETURN(bool value,
+                           EffectiveBooleanValueStream(ctx, in.get()));
+    return MakeSingletonStream(Item(name == "not" ? !value : value));
+  }
+  if (name == "count" && n == 1) {
+    // Counts without buffering: O(1) memory however long the sequence.
+    SEDNA_ASSIGN_OR_RETURN(StreamPtr in, EvalStream(*call.children[0], ctx));
+    int64_t count = 0;
+    Item item;
+    for (;;) {
+      SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx, in.get(), &item));
+      if (!got) break;
+      count++;
+    }
+    return MakeSingletonStream(Item(count));
+  }
+  if (name == "subsequence" && (n == 2 || n == 3)) {
+    double start_d, len_d = 0;
+    bool empty;
+    SEDNA_ASSIGN_OR_RETURN(Sequence start_seq, Eval(*call.children[1], ctx));
+    SEDNA_RETURN_IF_ERROR(SingleNumeric(ctx.op, start_seq, &start_d, &empty));
+    if (empty) return MakeEmptyStream();
+    int64_t end = std::numeric_limits<int64_t>::max();
+    if (n == 3) {
+      SEDNA_ASSIGN_OR_RETURN(Sequence len_seq, Eval(*call.children[2], ctx));
+      SEDNA_RETURN_IF_ERROR(SingleNumeric(ctx.op, len_seq, &len_d, &empty));
+      if (empty) return MakeEmptyStream();
+      end = static_cast<int64_t>(std::llround(start_d)) +
+            static_cast<int64_t>(std::llround(len_d));
+    }
+    int64_t start =
+        std::max<int64_t>(static_cast<int64_t>(std::llround(start_d)), 1);
+    SEDNA_ASSIGN_OR_RETURN(StreamPtr in, EvalStream(*call.children[0], ctx));
+    return StreamPtr(
+        std::make_unique<SubsequenceStream>(ctx, std::move(in), start, end));
+  }
+  *handled = false;
+  return StreamPtr();
 }
 
 }  // namespace sedna

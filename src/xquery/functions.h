@@ -22,6 +22,15 @@ StatusOr<Sequence> CallBuiltin(const std::string& name,
 /// analyzer.
 bool IsBuiltinFunction(const std::string& name);
 
+/// Streaming forms of the sequence builtins whose value is decided without
+/// materializing the argument: exists()/empty() pull at most one item,
+/// not()/boolean() short-circuit through the stream EBV, count() counts in
+/// O(1) memory, subsequence() cuts off the upstream pipeline after the
+/// requested window. Sets *handled=false (and returns a null stream) when
+/// `call` is not one of these; the caller then evaluates it eagerly.
+StatusOr<StreamPtr> CallStreamingBuiltin(const Expr& call, ExecContext& ctx,
+                                         bool* handled);
+
 }  // namespace sedna
 
 #endif  // SEDNA_XQUERY_FUNCTIONS_H_

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "xquery/analyzer.h"
 
 namespace sedna {
 
@@ -346,6 +347,7 @@ class Rewriter {
     if (path->str_val == "filter") {
       for (auto& p : path->steps[0].predicates) {
         RewritePass(p.get(), scope, false);
+        AnnotateStreaming(p.get());
       }
       return Props{props.ddo, false, props.same_level};
     }
@@ -399,6 +401,7 @@ class Rewriter {
       // Predicates are rewritten with a single-item context in scope.
       for (auto& pred : step.predicates) {
         RewritePass(pred.get(), scope, false);
+        AnnotateStreaming(pred.get());
       }
       if (step.schema_resolved) {
         props = Props{true, false,
@@ -454,6 +457,14 @@ class Rewriter {
     }
     (void)output_position;
     return props;
+  }
+
+  /// Classifies a predicate as stream-safe vs. materializing: a predicate
+  /// that may consult last() forces the pull-based executor to materialize
+  /// its input sequence (the only way to know the context size).
+  void AnnotateStreaming(Expr* pred) {
+    pred->stream_annotated = true;
+    pred->pred_needs_last = ExprConsultsLast(*pred);
   }
 
   template <typename F>

@@ -100,6 +100,7 @@ StatusOr<StatementResult> StatementExecutor::ExecuteParsed(
   ctx.on_doc_access = doc_access_hook_;
   ctx.doc_access_exclusive = stmt->kind != StatementKind::kQuery;
   ctx.indexes = indexes_;
+  ctx.enable_streaming = streaming_enabled_;
   StatementResult result;
   result.kind = stmt->kind;
   ctx.stats = &result.stats;
@@ -180,9 +181,23 @@ StatusOr<StatementResult> StatementExecutor::RunQuery(const Statement& stmt,
   StatementResult result;
   result.kind = StatementKind::kQuery;
   ctx.stats = &result.stats;
-  SEDNA_ASSIGN_OR_RETURN(result.items, Eval(*stmt.expr, ctx));
-  SEDNA_ASSIGN_OR_RETURN(result.serialized,
-                         SerializeSequence(ctx.op, result.items));
+  // Pull the result pipeline one item at a time, serializing incrementally:
+  // with a result sink attached the full result never exists in memory.
+  SEDNA_ASSIGN_OR_RETURN(StreamPtr out, EvalStream(*stmt.expr, ctx));
+  IncrementalSerializer ser(ctx.op);
+  Item item;
+  for (;;) {
+    SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx, out.get(), &item));
+    if (!got) break;
+    if (result_sink_) {
+      std::string chunk;
+      SEDNA_RETURN_IF_ERROR(ser.Append(item, &chunk));
+      SEDNA_RETURN_IF_ERROR(result_sink_(chunk));
+    } else {
+      SEDNA_RETURN_IF_ERROR(ser.Append(item, &result.serialized));
+      result.items.push_back(std::move(item));
+    }
+  }
   return result;
 }
 

@@ -9,6 +9,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "storage/storage_engine.h"
 #include "xquery/executor.h"
@@ -46,6 +47,18 @@ class StatementExecutor {
   /// Wires the value-index manager (index DDL and index-lookup()).
   void set_index_manager(ValueIndexManager* indexes) { indexes_ = indexes; }
 
+  /// Incremental result delivery: when set, each query result item is
+  /// serialized and handed to the sink as the pull pipeline produces it,
+  /// and StatementResult.items/serialized stay empty — the full result is
+  /// never held in memory. A non-OK status from the sink aborts the query.
+  void set_result_sink(std::function<Status(std::string_view)> fn) {
+    result_sink_ = std::move(fn);
+  }
+
+  /// Toggles the pull-based pipeline (on by default); benchmarks switch it
+  /// off to measure the eager baseline.
+  void set_streaming_enabled(bool on) { streaming_enabled_ = on; }
+
   /// Parses, analyzes, rewrites and executes one statement.
   StatusOr<StatementResult> Execute(const std::string& text, const OpCtx& op,
                                     const RewriteOptions& options = {});
@@ -69,7 +82,9 @@ class StatementExecutor {
   StorageEngine* storage_;
   std::function<Status(const std::string&)> update_listener_;
   std::function<Status(const std::string&, bool)> doc_access_hook_;
+  std::function<Status(std::string_view)> result_sink_;
   ValueIndexManager* indexes_ = nullptr;
+  bool streaming_enabled_ = true;
 };
 
 /// Recursively inserts a transient XML tree as a node under

@@ -1,0 +1,34 @@
+#include "xquery/stream.h"
+
+#include "xquery/executor.h"
+
+namespace sedna {
+
+StreamPtr MakeSequenceStream(Sequence items) {
+  return std::make_unique<SequenceStream>(std::move(items));
+}
+
+StreamPtr MakeEmptyStream() { return MakeSequenceStream(Sequence{}); }
+
+StreamPtr MakeSingletonStream(Item item) {
+  Sequence one;
+  one.push_back(std::move(item));
+  return MakeSequenceStream(std::move(one));
+}
+
+StatusOr<bool> Pull(ExecContext& ctx, ItemStream* in, Item* out) {
+  SEDNA_ASSIGN_OR_RETURN(bool got, in->Next(out));
+  if (got) ctx.Count(&ExecStats::items_pulled);
+  return got;
+}
+
+Status DrainStream(ExecContext& ctx, ItemStream* in, Sequence* out) {
+  Item item;
+  for (;;) {
+    SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx, in, &item));
+    if (!got) return Status::OK();
+    out->push_back(std::move(item));
+  }
+}
+
+}  // namespace sedna

@@ -1,0 +1,77 @@
+// Pull-based item streams: the open/next/close iterator pipeline the
+// executor's physical operations run on.
+//
+// The paper's executor (Section 5.2) operates over *sequences of items*
+// produced by physical operations; the real Sedna pipelines those
+// operations lazily. An ItemStream is one such operation's output: the
+// consumer pulls items one Next() call at a time, so early-exit consumers
+// — positional predicates like [1], exists()/empty(), effective boolean
+// value tests, quantified expressions — stop the whole upstream pipeline
+// after O(1) items instead of materializing every intermediate sequence.
+//
+// A Sequence converts to a stream with MakeSequenceStream() and back with
+// DrainStream(). Operations that genuinely need their whole input at once
+// (distinct-document-order, order by, last()-dependent predicates) drain
+// their input at that point; such events are counted in
+// ExecStats::streams_materialized so tests and benchmarks can assert
+// laziness, not just results.
+
+#ifndef SEDNA_XQUERY_STREAM_H_
+#define SEDNA_XQUERY_STREAM_H_
+
+#include <memory>
+#include <utility>
+
+#include "common/status.h"
+#include "xquery/item.h"
+
+namespace sedna {
+
+struct ExecContext;  // executor.h; streams count their pulls there
+
+/// One physical operation's output, delivered one item per Next() call.
+/// Destruction closes the operation: streams that changed evaluation state
+/// (variable bindings, the focus) restore it in their destructors, so a
+/// half-consumed pipeline can be dropped at any point.
+class ItemStream {
+ public:
+  virtual ~ItemStream() = default;
+
+  /// Produces the next item: returns true and fills *out, or false at the
+  /// end of the stream. Once false is returned the stream stays exhausted.
+  virtual StatusOr<bool> Next(Item* out) = 0;
+};
+
+using StreamPtr = std::unique_ptr<ItemStream>;
+
+/// Stream over an owned, already materialized sequence.
+class SequenceStream final : public ItemStream {
+ public:
+  explicit SequenceStream(Sequence items) : items_(std::move(items)) {}
+
+  StatusOr<bool> Next(Item* out) override {
+    if (pos_ >= items_.size()) return false;
+    *out = std::move(items_[pos_++]);
+    return true;
+  }
+
+ private:
+  Sequence items_;
+  size_t pos_ = 0;
+};
+
+StreamPtr MakeSequenceStream(Sequence items);
+StreamPtr MakeEmptyStream();
+StreamPtr MakeSingletonStream(Item item);
+
+/// Counting pull: every successfully delivered item increments
+/// ExecStats::items_pulled. All operators and consumers pull through this
+/// helper so the counter reflects the work the pipeline actually did.
+StatusOr<bool> Pull(ExecContext& ctx, ItemStream* in, Item* out);
+
+/// Pulls the stream dry, appending every remaining item to *out.
+Status DrainStream(ExecContext& ctx, ItemStream* in, Sequence* out);
+
+}  // namespace sedna
+
+#endif  // SEDNA_XQUERY_STREAM_H_
