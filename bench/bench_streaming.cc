@@ -71,4 +71,4 @@ BENCHMARK(BM_Eager)->DenseRange(0, 6);
 }  // namespace
 }  // namespace sedna
 
-BENCHMARK_MAIN();
+SEDNA_BENCH_MAIN(bench_streaming);

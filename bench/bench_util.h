@@ -4,9 +4,13 @@
 #ifndef SEDNA_BENCH_BENCH_UTIL_H_
 #define SEDNA_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "db/database.h"
@@ -27,11 +31,13 @@ struct EngineFixture {
 
   static EngineFixture WithDocument(const std::string& tag,
                                     const XmlNode& tree,
-                                    size_t buffer_frames = 4096) {
+                                    size_t buffer_frames = 4096,
+                                    BufferPoolOptions pool = {}) {
     EngineFixture f;
     StorageOptions options;
     options.path = TempPath(tag) + ".sedna";
     options.buffer_frames = buffer_frames;
+    options.pool = pool;
     std::remove(options.path.c_str());
     auto engine = StorageEngine::Create(options);
     SEDNA_CHECK(engine.ok()) << engine.status().ToString();
@@ -61,6 +67,49 @@ inline std::unique_ptr<Database> MakeDatabase(const std::string& tag,
   return std::move(db).value();
 }
 
+/// Runs the registered benchmarks with the human-readable console reporter
+/// on stdout AND a machine-readable JSON report written to
+/// `BENCH_<name>.json` in the current directory (override the directory
+/// with SEDNA_BENCH_JSON_DIR, or take over completely by passing your own
+/// --benchmark_out=...). The JSON is google-benchmark's standard schema:
+/// {context: {...}, benchmarks: [{name, real_time, items_per_second,
+/// counters...}]}, so CI and the experiment scripts can diff runs without
+/// scraping the console table.
+inline int RunBenchMain(const char* bench_name, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool user_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      user_out = true;
+    }
+  }
+  std::string dir = ".";
+  if (const char* env = std::getenv("SEDNA_BENCH_JSON_DIR")) dir = env;
+  std::string json_path = dir + "/BENCH_" + std::string(bench_name) + ".json";
+  std::string out_flag = "--benchmark_out=" + json_path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!user_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  ::benchmark::Initialize(&n, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  if (!user_out) {
+    std::fprintf(stderr, "JSON report: %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace sedna::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() that also emits the JSON
+/// report. `name` is used for the output file name (BENCH_<name>.json).
+#define SEDNA_BENCH_MAIN(name)                                              \
+  int main(int argc, char** argv) {                                         \
+    return ::sedna::bench::RunBenchMain(#name, argc, argv);                 \
+  }
 
 #endif  // SEDNA_BENCH_BENCH_UTIL_H_

@@ -1,5 +1,7 @@
 #include "common/vfs.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -10,121 +12,127 @@ namespace sedna {
 
 namespace {
 
-class StdioFile : public File {
+// POSIX fd-backed file. Read/Write use positioned pread/pwrite so concurrent
+// callers (the sharded buffer manager faulting pages on several threads)
+// overlap their I/O with no user-space serialization; the fd's file offset
+// is only used by Append, which the contract keeps caller-serialized.
+class PosixFile : public File {
  public:
-  StdioFile(std::FILE* f, std::string path)
-      : file_(f), path_(std::move(path)) {}
+  PosixFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
 
-  ~StdioFile() override {
+  ~PosixFile() override {
     Status st = Close();
     (void)st;  // a destructor has no one to report to
   }
 
   Status Read(uint64_t offset, size_t n, void* buf) override {
-    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
-    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-      return Status::IOError("seek failed in " + path_);
-    }
-    if (std::fread(buf, 1, n, file_) != n) {
-      return Status::IOError("short read in " + path_);
+    if (fd_ < 0) return Status::FailedPrecondition("file closed");
+    uint8_t* out = static_cast<uint8_t*>(buf);
+    size_t done = 0;
+    while (done < n) {
+      ssize_t r = ::pread(fd_, out + done, n - done,
+                          static_cast<off_t>(offset + done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("pread failed in " + path_ + ": " +
+                               std::strerror(errno));
+      }
+      if (r == 0) return Status::IOError("short read in " + path_);
+      done += static_cast<size_t>(r);
     }
     return Status::OK();
   }
 
   Status Write(uint64_t offset, const void* data, size_t n) override {
-    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
-    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-      return Status::IOError("seek failed in " + path_);
-    }
-    if (std::fwrite(data, 1, n, file_) != n) {
-      return Status::IOError("short write in " + path_);
+    if (fd_ < 0) return Status::FailedPrecondition("file closed");
+    const uint8_t* in = static_cast<const uint8_t*>(data);
+    size_t done = 0;
+    while (done < n) {
+      ssize_t w = ::pwrite(fd_, in + done, n - done,
+                           static_cast<off_t>(offset + done));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("pwrite failed in " + path_ + ": " +
+                               std::strerror(errno));
+      }
+      if (w == 0) return Status::IOError("short write in " + path_);
+      done += static_cast<size_t>(w);
     }
     return Status::OK();
   }
 
   Status Append(const void* data, size_t n) override {
-    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
-    if (std::fseek(file_, 0, SEEK_END) != 0) {
+    if (fd_ < 0) return Status::FailedPrecondition("file closed");
+    off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) {
       return Status::IOError("seek-to-end failed in " + path_);
     }
-    if (std::fwrite(data, 1, n, file_) != n) {
-      return Status::IOError("short append in " + path_);
-    }
-    return Status::OK();
+    return Write(static_cast<uint64_t>(end), data, n);
   }
 
   Status Sync() override {
-    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
-    if (std::fflush(file_) != 0) {
-      return Status::IOError("fflush failed for " + path_);
-    }
-    // fflush only reaches the OS page cache; fsync makes the durability
-    // claim real (commit records and master pages must survive a crash).
-    if (::fsync(::fileno(file_)) != 0) {
+    if (fd_ < 0) return Status::FailedPrecondition("file closed");
+    if (::fsync(fd_) != 0) {
       return Status::IOError("fsync failed for " + path_);
     }
     return Status::OK();
   }
 
   StatusOr<uint64_t> Size() override {
-    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
-    if (std::fseek(file_, 0, SEEK_END) != 0) {
-      return Status::IOError("seek-to-end failed in " + path_);
+    if (fd_ < 0) return Status::FailedPrecondition("file closed");
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+      return Status::IOError("fstat failed for " + path_);
     }
-    long pos = std::ftell(file_);
-    if (pos < 0) return Status::IOError("ftell failed for " + path_);
-    return static_cast<uint64_t>(pos);
+    return static_cast<uint64_t>(st.st_size);
   }
 
   Status Truncate(uint64_t size) override {
-    if (file_ == nullptr) return Status::FailedPrecondition("file closed");
-    if (std::fflush(file_) != 0) {
-      return Status::IOError("fflush failed for " + path_);
-    }
-    if (::ftruncate(::fileno(file_), static_cast<off_t>(size)) != 0) {
+    if (fd_ < 0) return Status::FailedPrecondition("file closed");
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
       return Status::IOError("ftruncate failed for " + path_);
     }
     return Status::OK();
   }
 
   Status Close() override {
-    if (file_ == nullptr) return Status::OK();
-    int rc = std::fclose(file_);
-    file_ = nullptr;
-    if (rc != 0) return Status::IOError("fclose failed for " + path_);
+    if (fd_ < 0) return Status::OK();
+    int rc = ::close(fd_);
+    fd_ = -1;
+    if (rc != 0) return Status::IOError("close failed for " + path_);
     return Status::OK();
   }
 
  private:
-  std::FILE* file_;
+  int fd_;
   std::string path_;
 };
 
-class StdioVfs : public Vfs {
+class PosixVfs : public Vfs {
  public:
   StatusOr<std::unique_ptr<File>> Open(const std::string& path,
                                        OpenMode mode) override {
-    const char* flags = nullptr;
+    int flags = 0;
     switch (mode) {
       case OpenMode::kCreate:
-        flags = "wb+";
+        flags = O_RDWR | O_CREAT | O_TRUNC;
         break;
       case OpenMode::kReadWrite:
-        flags = "rb+";
+        flags = O_RDWR;
         break;
       case OpenMode::kReadOnly:
-        flags = "rb";
+        flags = O_RDONLY;
         break;
       case OpenMode::kAppend:
-        flags = "ab+";
+        flags = O_RDWR | O_CREAT;
         break;
     }
-    std::FILE* f = std::fopen(path.c_str(), flags);
-    if (f == nullptr) {
+    int fd = ::open(path.c_str(), flags | O_CLOEXEC, 0644);
+    if (fd < 0) {
       return Status::IOError("cannot open " + path + ": " +
                              std::strerror(errno));
     }
-    return std::unique_ptr<File>(new StdioFile(f, path));
+    return std::unique_ptr<File>(new PosixFile(fd, path));
   }
 
   Status Remove(const std::string& path) override {
@@ -139,7 +147,7 @@ class StdioVfs : public Vfs {
 }  // namespace
 
 Vfs* Vfs::Default() {
-  static StdioVfs* vfs = new StdioVfs();
+  static PosixVfs* vfs = new PosixVfs();
   return vfs;
 }
 

@@ -5,8 +5,10 @@
 // interpose a fault-injecting implementation (see common/fault_vfs.h) and
 // adversarially exercise the WAL protocol, the double-slot master record and
 // the two-step recovery with torn writes, elided syncs and sticky I/O
-// errors. The process-global default is backed by stdio plus fsync: `Sync`
-// is a real durability point, not just a user-space flush.
+// errors. The process-global default is backed by POSIX fds with positioned
+// pread/pwrite and fsync: `Sync` is a real durability point, not just a
+// user-space flush, and `Read`/`Write` carry their own offsets so concurrent
+// page faults from the sharded buffer manager overlap their I/O.
 
 #ifndef SEDNA_COMMON_VFS_H_
 #define SEDNA_COMMON_VFS_H_
@@ -27,9 +29,13 @@ enum class OpenMode {
   kAppend,     // writes go to the end; creates if absent
 };
 
-/// An open file handle. Implementations need not be internally synchronized:
-/// FileManager and WalWriter serialize access with their own mutexes, and
-/// readers (ReadWal, backup) open separate handles.
+/// An open file handle. Thread-safety contract: `Read`, `Write` and `Sync`
+/// MUST tolerate concurrent callers (they are positioned operations; the
+/// default implementation maps them to pread/pwrite/fsync, and the
+/// fault-injecting implementation carries its own mutex). The stateful
+/// operations — `Append`, `Truncate`, `Size`, `Close` — remain serialized
+/// by their callers (WalWriter's mutex, FileManager's mutex); readers
+/// (ReadWal, backup) open separate handles.
 class File {
  public:
   virtual ~File() = default;

@@ -33,15 +33,54 @@ void PageGuard::Release() {
 }
 
 BufferManager::BufferManager(FileManager* file, PageResolver* resolver,
-                             size_t frame_count)
+                             size_t frame_count, BufferPoolOptions pool_options)
     : file_(file),
       resolver_(resolver),
-      pages_per_layer_slots_(1u << 12) {
+      global_lock_compat_(pool_options.global_lock_compat),
+      frame_count_(frame_count) {
   SEDNA_CHECK(frame_count >= 4) << "buffer pool too small";
   pool_ = std::make_unique<uint8_t[]>(frame_count * kPageSize);
-  frames_.resize(frame_count);
-  for (size_t i = 0; i < frame_count; ++i) {
-    frames_[i].data = pool_.get() + i * kPageSize;
+  frames_ = std::make_unique<Frame[]>(frame_count);
+
+  if (pool_options.shard_count != 0) {
+    shard_count_ = pool_options.shard_count;
+    SEDNA_CHECK((shard_count_ & (shard_count_ - 1)) == 0)
+        << "shard_count must be a power of two";
+    SEDNA_CHECK(shard_count_ <= frame_count)
+        << "more shards than buffer frames";
+  } else {
+    // Auto: largest power of two with >= 16 frames per shard, capped at 16,
+    // so tiny pools (unit tests) collapse to a single shard and keep the
+    // classic whole-pool eviction semantics.
+    shard_count_ = 1;
+    while (shard_count_ < 16 && (shard_count_ * 2) * 16 <= frame_count) {
+      shard_count_ *= 2;
+    }
+  }
+
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+  const size_t base = frame_count / shard_count_;
+  const size_t rem = frame_count % shard_count_;
+  size_t next = 0;
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& sh = shards_[s];
+    sh.frame_begin = next;
+    sh.frame_count = base + (s < rem ? 1 : 0);
+    next += sh.frame_count;
+  }
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& sh = shards_[s];
+    for (size_t i = 0; i < sh.frame_count; ++i) {
+      Frame& f = frames_[sh.frame_begin + i];
+      f.data = pool_.get() + (sh.frame_begin + i) * kPageSize;
+      f.home_shard = static_cast<uint32_t>(s);
+    }
+  }
+
+  layer_tables_ =
+      std::make_unique<std::atomic<LayerTable*>[]>(kMaxLayers);
+  for (uint32_t i = 0; i < kMaxLayers; ++i) {
+    layer_tables_[i].store(nullptr, std::memory_order_relaxed);
   }
 }
 
@@ -55,9 +94,8 @@ BufferManager::~BufferManager() {
 StatusOr<PageGuard> BufferManager::Pin(Xptr addr, const ResolveContext& ctx,
                                        bool for_write) {
   Xptr base = addr.PageBase();
-  bool shared_ctx =
-      !for_write && ctx.txn_id == 0 && ctx.snapshot_ts == 0;
-  // Resolve OUTSIDE the pool lock: the resolver (version manager) takes its
+  bool shared_ctx = !for_write && ctx.txn_id == 0 && ctx.snapshot_ts == 0;
+  // Resolve OUTSIDE any pool lock: the resolver (version manager) takes its
   // own lock and may call back into the buffer manager on other paths.
   PhysPageId target_ppn;
   PhysPageId copied_from = kInvalidPhysPage;
@@ -69,11 +107,9 @@ StatusOr<PageGuard> BufferManager::Pin(Xptr addr, const ResolveContext& ctx,
   } else {
     SEDNA_ASSIGN_OR_RETURN(target_ppn, resolver_->Resolve(base.raw, ctx));
   }
-  std::lock_guard<std::mutex> lock(mu_);
   SEDNA_ASSIGN_OR_RETURN(Frame * f,
-                         FetchLocked(base, ctx, for_write, shared_ctx,
+                         FetchPinned(base, ctx, for_write, shared_ctx,
                                      target_ppn, copied_from));
-  f->pin_count++;
   return PageGuard(this, f);
 }
 
@@ -81,12 +117,14 @@ StatusOr<void*> BufferManager::Deref(Xptr addr) {
   Xptr base = addr.PageBase();
   SEDNA_ASSIGN_OR_RETURN(PhysPageId ppn,
                          resolver_->Resolve(base.raw, ResolveContext{}));
-  std::lock_guard<std::mutex> lock(mu_);
   SEDNA_ASSIGN_OR_RETURN(
-      Frame * f, FetchLocked(base, ResolveContext{}, /*for_write=*/false,
-                             /*install_shared=*/true, ppn,
-                             kInvalidPhysPage));
-  return static_cast<void*>(f->data + addr.PageOffset());
+      Frame * f, FetchPinned(base, ResolveContext{}, /*for_write=*/false,
+                             /*install_shared=*/true, ppn, kInvalidPhysPage));
+  // CHECKP discipline: the borrowed pointer is only stable while no other
+  // thread can trigger an eviction (see the header comment).
+  void* p = static_cast<void*>(f->data + addr.PageOffset());
+  Unpin(f);
+  return p;
 }
 
 void* BufferManager::DerefSlow(Xptr addr) {
@@ -96,190 +134,367 @@ void* BufferManager::DerefSlow(Xptr addr) {
   return *p;
 }
 
-StatusOr<Frame*> BufferManager::FetchLocked(Xptr page_base,
+StatusOr<Frame*> BufferManager::FetchPinned(Xptr page_base,
                                             const ResolveContext& ctx,
                                             bool for_write,
                                             bool install_shared,
                                             PhysPageId target_ppn,
                                             PhysPageId copied_from) {
-  auto it = by_ppn_.find(target_ppn);
-  if (it != by_ppn_.end()) {
-    Frame* f = it->second;
-    f->referenced = true;
-    stats_.hits++;
-    if (install_shared && f->owner_txn == 0) InstallSharedLocked(f);
-    return f;
-  }
-
-  stats_.faults++;
-  SEDNA_ASSIGN_OR_RETURN(Frame * f, VictimLocked());
-
-  if (copied_from != kInvalidPhysPage) {
-    // Fresh copy-on-write version: seed it from the previous version.
-    auto src_it = by_ppn_.find(copied_from);
-    if (src_it != by_ppn_.end()) {
-      std::memcpy(f->data, src_it->second->data, kPageSize);
-    } else {
-      SEDNA_RETURN_IF_ERROR(file_->ReadPage(copied_from, f->data));
-    }
-    f->dirty = true;
-  } else {
-    SEDNA_RETURN_IF_ERROR(file_->ReadPage(target_ppn, f->data));
-    f->dirty = false;
-  }
-
-  f->lpid = page_base.raw;
-  f->ppn = target_ppn;
-  f->owner_txn =
-      (for_write && copied_from != kInvalidPhysPage) ? ctx.txn_id : 0;
-  // A page reached through a private write target stays private to its
-  // transaction even on re-fetch after eviction.
-  if (for_write && ctx.txn_id != 0 && copied_from == kInvalidPhysPage) {
-    // Could be either an in-place write (non-MVCC) or a re-fetch of the
-    // txn's existing version; both are safe to keep shared=0 owner only if
-    // no other txn resolves to this ppn. The resolver guarantees private
-    // versions are returned only to their owner, so mark ownership.
-    f->owner_txn = ctx.txn_id;
-  }
-  f->referenced = true;
-  by_ppn_[target_ppn] = f;
-  if (install_shared && f->owner_txn == 0) InstallSharedLocked(f);
-  return f;
-}
-
-StatusOr<Frame*> BufferManager::VictimLocked() {
-  // Clock replacement: second chance on the referenced bit; pinned frames
-  // are skipped. Two sweeps guarantee progress if any frame is unpinned.
-  const size_t n = frames_.size();
-  for (size_t step = 0; step < 2 * n; ++step) {
-    Frame* f = &frames_[clock_hand_];
-    clock_hand_ = (clock_hand_ + 1) % n;
-    if (f->pin_count > 0) continue;
-    if (f->referenced) {
-      f->referenced = false;
-      continue;
-    }
-    if (f->lpid != 0) {
-      stats_.evictions++;
-      if (f->dirty) {
-        SEDNA_RETURN_IF_ERROR(WriteBackLocked(f));
+  Shard& sh = shards_[ShardOf(target_ppn)];
+  bool counted_fault = false;
+  std::unique_lock<std::mutex> lock(sh.mu);
+  for (;;) {
+    auto it = sh.by_ppn.find(target_ppn);
+    if (it != sh.by_ppn.end()) {
+      Frame* f = it->second;
+      uint32_t st = f->state.load(std::memory_order_relaxed);
+      if (st == kFrameLoading || st == kFrameEvicting) {
+        // Someone else's fill or writeback is in flight; wait and re-check
+        // (the fill may fail, in which case the mapping disappears).
+        sh.cv.wait(lock);
+        continue;
       }
-      RemoveSharedLocked(f);
-      by_ppn_.erase(f->ppn);
-      f->lpid = 0;
-      f->ppn = kInvalidPhysPage;
-      f->owner_txn = 0;
+      if (!counted_fault) stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      f->referenced.store(true, std::memory_order_relaxed);
+      f->pin_count.fetch_add(1, std::memory_order_relaxed);
+      if (install_shared && f->owner_txn == 0) InstallShared(f);
+      return f;
     }
-    return f;
+
+    if (!counted_fault) {
+      counted_fault = true;
+      stats_.faults.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Clock replacement over this shard's slice: second chance on the
+    // referenced bit; pinned and in-transition frames are skipped. Two
+    // sweeps guarantee progress if any frame is claimable.
+    Frame* victim = nullptr;
+    bool any_in_flight = false;
+    const size_t n = sh.frame_count;
+    for (size_t step = 0; step < 2 * n && victim == nullptr; ++step) {
+      Frame* f = &frames_[sh.frame_begin + sh.clock_hand];
+      sh.clock_hand = (sh.clock_hand + 1) % n;
+      uint32_t st = f->state.load(std::memory_order_relaxed);
+      if (st == kFrameLoading || st == kFrameEvicting) {
+        any_in_flight = true;
+        continue;
+      }
+      // Acquire pairs with the release decrement in Unpin: once we observe
+      // pin_count == 0 here (under the shard lock that gates new pins), the
+      // unpinning thread's page writes are visible to us.
+      if (f->pin_count.load(std::memory_order_acquire) > 0) continue;
+      if (f->referenced.load(std::memory_order_relaxed)) {
+        f->referenced.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      victim = f;
+    }
+    if (victim == nullptr) {
+      if (any_in_flight) {
+        // A fill or writeback will complete and notify; retry then.
+        sh.cv.wait(lock);
+        continue;
+      }
+      return Status::ResourceExhausted("all buffer frames pinned");
+    }
+
+    if (victim->state.load(std::memory_order_relaxed) == kFrameResident &&
+        victim->dirty.load(std::memory_order_acquire)) {
+      // Dirty victim: write it back with the shard UNLOCKED so other hits
+      // and faults in this shard proceed. kFrameEvicting keeps the by_ppn
+      // mapping alive, so a concurrent fetch of the evicting page waits on
+      // the condvar instead of re-reading stale bytes from disk.
+      stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
+      victim->state.store(kFrameEvicting, std::memory_order_relaxed);
+      PhysPageId wb_ppn = victim->ppn;
+      lock.unlock();
+      Status wst = file_->WritePage(wb_ppn, victim->data);
+      lock.lock();
+      victim->state.store(kFrameResident, std::memory_order_relaxed);
+      if (!wst.ok()) {
+        sh.cv.notify_all();
+        return wst;
+      }
+      victim->dirty.store(false, std::memory_order_relaxed);
+      sh.cv.notify_all();
+      continue;  // page may have been faulted in meanwhile: re-check
+    }
+
+    // Claim the victim and fill it with the shard unlocked.
+    if (victim->state.load(std::memory_order_relaxed) == kFrameResident) {
+      stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+      RemoveShared(victim);
+      sh.by_ppn.erase(victim->ppn);
+    }
+    victim->lpid = page_base.raw;
+    victim->ppn = target_ppn;
+    // A page reached through a write target stays bound to its transaction
+    // even on re-fetch after eviction: the resolver hands private versions
+    // only to their owner, so a write fetch with a txn implies ownership.
+    victim->owner_txn = (for_write && ctx.txn_id != 0) ? ctx.txn_id : 0;
+    victim->dirty.store(copied_from != kInvalidPhysPage,
+                        std::memory_order_relaxed);
+    victim->referenced.store(true, std::memory_order_relaxed);
+    victim->pin_count.store(1, std::memory_order_relaxed);
+    victim->state.store(kFrameLoading, std::memory_order_relaxed);
+    sh.by_ppn[target_ppn] = victim;
+    lock.unlock();
+    Status fst = FillFrame(victim, target_ppn, copied_from);
+    lock.lock();
+    if (!fst.ok()) {
+      // Roll the claim back so waiters see the page gone and re-fault.
+      sh.by_ppn.erase(target_ppn);
+      victim->lpid = 0;
+      victim->ppn = kInvalidPhysPage;
+      victim->owner_txn = 0;
+      victim->dirty.store(false, std::memory_order_relaxed);
+      victim->referenced.store(false, std::memory_order_relaxed);
+      victim->pin_count.store(0, std::memory_order_relaxed);
+      victim->state.store(kFrameEmpty, std::memory_order_relaxed);
+      sh.cv.notify_all();
+      return fst;
+    }
+    victim->state.store(kFrameResident, std::memory_order_release);
+    if (install_shared && victim->owner_txn == 0) InstallShared(victim);
+    uint64_t owner = victim->owner_txn;
+    sh.cv.notify_all();
+    lock.unlock();
+    // Outside the shard lock: txn_mu_ is a leaf and PublishTxnFrames /
+    // FlushTxn never hold it while taking a shard lock, but keeping the
+    // two strictly un-nested makes the ordering trivially sound.
+    if (owner != 0) RecordTxnFrame(owner, victim);
+    return victim;
   }
-  return Status::ResourceExhausted("all buffer frames pinned");
 }
 
-Status BufferManager::WriteBackLocked(Frame* f) {
-  stats_.writebacks++;
+Status BufferManager::FillFrame(Frame* f, PhysPageId target_ppn,
+                                PhysPageId copied_from) {
+  if (copied_from == kInvalidPhysPage) {
+    return file_->ReadPage(target_ppn, f->data);
+  }
+  // Fresh copy-on-write version: prefer the resident source frame — it may
+  // be dirty, i.e. newer than its on-disk image. The version DAG is acyclic
+  // (a version is never seeded from a version seeded from it), so taking the
+  // source's shard lock here cannot deadlock with another fill.
+  Shard& src_sh = shards_[ShardOf(copied_from)];
+  {
+    std::unique_lock<std::mutex> lock(src_sh.mu);
+    for (;;) {
+      auto it = src_sh.by_ppn.find(copied_from);
+      if (it == src_sh.by_ppn.end()) break;
+      Frame* src = it->second;
+      if (src->state.load(std::memory_order_relaxed) == kFrameLoading) {
+        src_sh.cv.wait(lock);
+        continue;
+      }
+      // Resident or evicting: contents are valid either way.
+      std::memcpy(f->data, src->data, kPageSize);
+      return Status::OK();
+    }
+  }
+  return file_->ReadPage(copied_from, f->data);
+}
+
+Status BufferManager::WriteBackLocked(Shard& sh, Frame* f) {
+  (void)sh;  // documents that the caller holds f's home-shard mutex
+  stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
   SEDNA_RETURN_IF_ERROR(file_->WritePage(f->ppn, f->data));
-  f->dirty = false;
+  f->dirty.store(false, std::memory_order_relaxed);
   return Status::OK();
 }
 
-void BufferManager::InstallSharedLocked(Frame* f) {
+void BufferManager::InstallShared(Frame* f) {
   Xptr base(f->lpid);
   uint32_t layer = base.layer();
+  if (layer >= kMaxLayers) return;  // beyond fast-map coverage; Deref works
   uint32_t idx = base.PageIndex();
-  if (idx >= pages_per_layer_slots_) return;  // outside fast-map coverage
-  if (layer >= layer_tables_.size()) {
-    layer_tables_.resize(layer + 1);
+  std::lock_guard<std::mutex> lk(table_mu_);
+  LayerTable* t = layer_tables_[layer].load(std::memory_order_relaxed);
+  if (t == nullptr || idx >= t->slots) {
+    // Grow (or create) the per-layer table. The old table stays allocated
+    // until shutdown so lock-free readers never chase freed memory.
+    uint32_t slots = t != nullptr ? t->slots : kInitialLayerSlots;
+    while (slots <= idx) slots *= 2;
+    auto bigger = std::make_unique<LayerTable>(slots);
+    if (t != nullptr) {
+      for (uint32_t i = 0; i < t->slots; ++i) {
+        bigger->entries[i].store(t->entries[i].load(std::memory_order_relaxed),
+                                 std::memory_order_relaxed);
+      }
+    }
+    layer_tables_[layer].store(bigger.get(), std::memory_order_release);
+    t = bigger.get();
+    owned_tables_.push_back(std::move(bigger));
   }
-  if (layer_tables_[layer].empty()) {
-    layer_tables_[layer].assign(pages_per_layer_slots_, nullptr);
-  }
-  layer_tables_[layer][idx] = f;
+  t->entries[idx].store(f, std::memory_order_release);
 }
 
-void BufferManager::RemoveSharedLocked(Frame* f) {
+void BufferManager::RemoveShared(Frame* f) {
   if (f->lpid == 0) return;
   Xptr base(f->lpid);
   uint32_t layer = base.layer();
+  if (layer >= kMaxLayers) return;
   uint32_t idx = base.PageIndex();
-  if (layer < layer_tables_.size() && !layer_tables_[layer].empty() &&
-      idx < pages_per_layer_slots_ && layer_tables_[layer][idx] == f) {
-    layer_tables_[layer][idx] = nullptr;
+  std::lock_guard<std::mutex> lk(table_mu_);
+  LayerTable* t = layer_tables_[layer].load(std::memory_order_relaxed);
+  if (t != nullptr && idx < t->slots &&
+      t->entries[idx].load(std::memory_order_relaxed) == f) {
+    t->entries[idx].store(nullptr, std::memory_order_release);
   }
 }
 
 void BufferManager::InvalidateShared(LogicalPageId lpid) {
-  std::lock_guard<std::mutex> lock(mu_);
   Xptr base(lpid);
   uint32_t layer = base.layer();
+  if (layer >= kMaxLayers) return;
   uint32_t idx = base.PageIndex();
-  if (layer < layer_tables_.size() && !layer_tables_[layer].empty() &&
-      idx < pages_per_layer_slots_) {
-    layer_tables_[layer][idx] = nullptr;
+  std::lock_guard<std::mutex> lk(table_mu_);
+  LayerTable* t = layer_tables_[layer].load(std::memory_order_relaxed);
+  if (t != nullptr && idx < t->slots) {
+    t->entries[idx].store(nullptr, std::memory_order_release);
   }
 }
 
+void BufferManager::RecordTxnFrame(uint64_t txn_id, Frame* f) {
+  std::lock_guard<std::mutex> lk(txn_mu_);
+  txn_frames_[txn_id].push_back(f);
+}
+
 void BufferManager::PublishTxnFrames(uint64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (Frame& f : frames_) {
-    if (f.lpid != 0 && f.owner_txn == txn_id) {
-      f.owner_txn = 0;
+  std::vector<Frame*> list;
+  {
+    std::lock_guard<std::mutex> lk(txn_mu_);
+    auto it = txn_frames_.find(txn_id);
+    if (it == txn_frames_.end()) return;
+    list = std::move(it->second);
+    txn_frames_.erase(it);
+  }
+  for (Frame* f : list) {
+    Shard& sh = shards_[f->home_shard];
+    std::lock_guard<std::mutex> lock(sh.mu);
+    // Validate: the frame may have been evicted and re-claimed for another
+    // page since it was recorded. Identity fields are shard-lock-stable.
+    if (f->lpid != 0 && f->owner_txn == txn_id) {
+      f->owner_txn = 0;
     }
   }
 }
 
+void BufferManager::ForgetTxn(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lk(txn_mu_);
+  txn_frames_.erase(txn_id);
+}
+
 void BufferManager::DiscardPhysical(PhysPageId ppn) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = by_ppn_.find(ppn);
-  if (it == by_ppn_.end()) return;
-  Frame* f = it->second;
-  SEDNA_CHECK(f->pin_count == 0) << "discarding pinned page";
-  RemoveSharedLocked(f);
-  by_ppn_.erase(it);
-  f->lpid = 0;
-  f->ppn = kInvalidPhysPage;
-  f->owner_txn = 0;
-  f->dirty = false;
+  Shard& sh = shards_[ShardOf(ppn)];
+  std::unique_lock<std::mutex> lock(sh.mu);
+  for (;;) {
+    auto it = sh.by_ppn.find(ppn);
+    if (it == sh.by_ppn.end()) return;
+    Frame* f = it->second;
+    uint32_t st = f->state.load(std::memory_order_relaxed);
+    if (st == kFrameLoading || st == kFrameEvicting) {
+      sh.cv.wait(lock);
+      continue;
+    }
+    SEDNA_CHECK(f->pin_count.load(std::memory_order_acquire) == 0)
+        << "discarding pinned page";
+    RemoveShared(f);
+    sh.by_ppn.erase(it);
+    f->lpid = 0;
+    f->ppn = kInvalidPhysPage;
+    f->owner_txn = 0;
+    f->dirty.store(false, std::memory_order_relaxed);
+    f->referenced.store(false, std::memory_order_relaxed);
+    f->state.store(kFrameEmpty, std::memory_order_relaxed);
+    sh.cv.notify_all();
+    return;
+  }
 }
 
 Status BufferManager::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (Frame& f : frames_) {
-    if (f.lpid != 0 && f.dirty) {
-      SEDNA_RETURN_IF_ERROR(WriteBackLocked(&f));
+  for (size_t s = 0; s < shard_count_; ++s) {
+    Shard& sh = shards_[s];
+    std::unique_lock<std::mutex> lock(sh.mu);
+    for (size_t i = 0; i < sh.frame_count; ++i) {
+      Frame* f = &frames_[sh.frame_begin + i];
+      while (true) {
+        uint32_t st = f->state.load(std::memory_order_relaxed);
+        if (st != kFrameLoading && st != kFrameEvicting) break;
+        sh.cv.wait(lock);
+      }
+      if (f->lpid != 0 && f->dirty.load(std::memory_order_acquire)) {
+        SEDNA_RETURN_IF_ERROR(WriteBackLocked(sh, f));
+      }
     }
   }
   return file_->Sync();
 }
 
 Status BufferManager::FlushTxn(uint64_t txn_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (Frame& f : frames_) {
-    if (f.lpid != 0 && f.dirty && f.owner_txn == txn_id) {
-      SEDNA_RETURN_IF_ERROR(WriteBackLocked(&f));
+  std::vector<Frame*> list;
+  {
+    std::lock_guard<std::mutex> lk(txn_mu_);
+    auto it = txn_frames_.find(txn_id);
+    if (it == txn_frames_.end()) return Status::OK();
+    list = it->second;  // copy: the list survives for PublishTxnFrames
+  }
+  for (Frame* f : list) {
+    Shard& sh = shards_[f->home_shard];
+    std::unique_lock<std::mutex> lock(sh.mu);
+    for (;;) {
+      if (f->lpid == 0 || f->owner_txn != txn_id) break;  // stale entry
+      uint32_t st = f->state.load(std::memory_order_relaxed);
+      if (st == kFrameLoading || st == kFrameEvicting) {
+        sh.cv.wait(lock);
+        continue;
+      }
+      if (f->dirty.load(std::memory_order_acquire)) {
+        SEDNA_RETURN_IF_ERROR(WriteBackLocked(sh, f));
+      }
+      break;
     }
   }
   return Status::OK();
 }
 
 BufferStats BufferManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  BufferStats s;
+  s.hits = stats_.hits.load(std::memory_order_relaxed);
+  s.faults = stats_.faults.load(std::memory_order_relaxed);
+  s.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  s.writebacks = stats_.writebacks.load(std::memory_order_relaxed);
+  return s;
 }
 
 void BufferManager::ResetStats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_ = BufferStats{};
+  stats_.hits.store(0, std::memory_order_relaxed);
+  stats_.faults.store(0, std::memory_order_relaxed);
+  stats_.evictions.store(0, std::memory_order_relaxed);
+  stats_.writebacks.store(0, std::memory_order_relaxed);
 }
 
 void BufferManager::Unpin(Frame* f) {
-  std::lock_guard<std::mutex> lock(mu_);
-  SEDNA_DCHECK(f->pin_count > 0);
-  f->pin_count--;
+  if (global_lock_compat_) {
+    std::lock_guard<std::mutex> lock(shards_[f->home_shard].mu);
+    SEDNA_DCHECK(f->pin_count.load(std::memory_order_relaxed) > 0);
+    f->pin_count.fetch_sub(1, std::memory_order_release);
+    return;
+  }
+  // Lock-free: release pairs with the evictor's acquire load (see
+  // FetchPinned) so our page writes are visible before the frame is reused.
+  SEDNA_DCHECK(f->pin_count.load(std::memory_order_relaxed) > 0);
+  f->pin_count.fetch_sub(1, std::memory_order_release);
 }
 
 void BufferManager::MarkDirty(Frame* f) {
-  std::lock_guard<std::mutex> lock(mu_);
-  f->dirty = true;
+  if (global_lock_compat_) {
+    std::lock_guard<std::mutex> lock(shards_[f->home_shard].mu);
+    f->dirty.store(true, std::memory_order_release);
+    return;
+  }
+  f->dirty.store(true, std::memory_order_release);
 }
 
 }  // namespace sedna

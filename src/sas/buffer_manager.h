@@ -14,17 +14,54 @@
 // representation is identical in memory and on disk, so there is no
 // swizzling step on either the read or the write path.
 //
-// Concurrency contract:
-//   * `Pin`/`Unpin` (via PageGuard) are thread-safe and are the only way to
-//     hold page memory across potentially-faulting calls.
-//   * `Deref`/`DerefFast` return a pointer that is valid only until the next
-//     potentially-faulting call on any thread; multi-threaded code must use
-//     guards. This mirrors Sedna's CHECKP discipline.
+// Concurrency protocol (multi-threaded throughput rework):
+//
+//   * The pool is split into up to 16 *shards*. Each shard owns a disjoint
+//     slice of the frame array, its own clock hand, its own residency map
+//     (physical page -> frame) and one mutex + condvar. A physical page is
+//     homed on shard hash(ppn), so a fault, hit, or eviction touches exactly
+//     one shard lock — there is no pool-global critical section anywhere on
+//     the page access path.
+//   * Each frame carries a *state word* (empty / loading / resident /
+//     evicting). Page fills and dirty-victim writebacks run with NO shard
+//     lock held: the filling thread claims the frame (state = loading, one
+//     pin), inserts the residency mapping, drops the shard lock, does the
+//     I/O, re-locks, publishes (state = resident) and wakes waiters. A
+//     thread that finds a loading/evicting frame waits on the shard condvar
+//     instead of re-reading the page, so concurrent faults to different
+//     pages overlap their preads while faults to the same page coalesce
+//     into one read.
+//   * `pin_count`, `dirty`, `referenced` and the BufferStats counters are
+//     atomics: `Unpin` (guard destruction) and `MarkDirty` are lock-free,
+//     and the clock sweep reads them without taking other frames' locks.
+//     Pinning happens under the home-shard lock, so an evictor that
+//     observes pin_count == 0 under that lock can never race a new pin;
+//     the release-decrement in Unpin paired with the acquire-load in the
+//     clock sweep makes the unpinning thread's page writes visible to the
+//     evicting thread.
+//   * The shared-view fast map (`DerefFast`) is an array of per-layer
+//     tables of atomic Frame*; lookups are entirely lock-free (two atomic
+//     loads + mask + add). Tables grow dynamically — any page index is
+//     covered, not just the first 4096 — by publishing a larger copy;
+//     superseded tables are retired until shutdown so readers never touch
+//     freed memory. All table *writes* (install / remove / invalidate /
+//     growth) serialize on one small mutex; they only happen on fault,
+//     eviction and commit paths.
+//
+// CHECKP discipline under multi-threading: `Deref`/`DerefFast` return a
+// borrowed pointer that is only stable while no other thread can trigger an
+// eviction — i.e. for single-threaded phases (query execution over a private
+// engine, benchmarks, recovery). Any code that runs concurrently with other
+// pool users MUST hold a PageGuard (`Pin`) across every access to page
+// memory; the storage layer's StorageEnv::Read/Write helpers do exactly
+// that. This mirrors Sedna's CHECKP macro, which re-validated a pointer
+// before every block access for the same reason.
 
 #ifndef SEDNA_SAS_BUFFER_MANAGER_H_
 #define SEDNA_SAS_BUFFER_MANAGER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -40,19 +77,33 @@ namespace sedna {
 
 class BufferManager;
 
-/// One in-memory page frame.
+/// Lifecycle of a frame's contents. Transitions happen under the home-shard
+/// mutex; fills and writebacks run unlocked while the state is
+/// kFrameLoading / kFrameEvicting.
+enum FrameState : uint32_t {
+  kFrameEmpty = 0,     // holds no page
+  kFrameLoading = 1,   // claimed; fill I/O in flight, contents undefined
+  kFrameResident = 2,  // contents valid
+  kFrameEvicting = 3,  // dirty-victim writeback in flight, contents valid
+};
+
+/// One in-memory page frame. `lpid`, `ppn` and `owner_txn` are guarded by
+/// the home shard's mutex; the atomics are written lock-free (see the
+/// protocol comment above).
 struct Frame {
   uint8_t* data = nullptr;      // kPageSize bytes
   LogicalPageId lpid = 0;       // logical page held (0 = frame empty)
   PhysPageId ppn = kInvalidPhysPage;  // physical page backing the contents
   uint64_t owner_txn = 0;       // 0 = shared (last-committed) version
-  int pin_count = 0;
-  bool dirty = false;
-  bool referenced = false;      // clock bit
+  uint32_t home_shard = 0;      // fixed at pool construction
+  std::atomic<uint32_t> state{kFrameEmpty};
+  std::atomic<int32_t> pin_count{0};
+  std::atomic<bool> dirty{false};
+  std::atomic<bool> referenced{false};  // clock bit
 };
 
 /// RAII pin on a page. While alive, the page cannot be evicted and `data()`
-/// stays valid.
+/// stays valid. Release (Unpin) and MarkDirty are lock-free.
 class PageGuard {
  public:
   PageGuard() = default;
@@ -87,11 +138,25 @@ struct BufferStats {
   uint64_t writebacks = 0;
 };
 
+/// Pool tuning knobs.
+struct BufferPoolOptions {
+  /// Number of shards (power of two). 0 = auto: the largest power of two
+  /// with at least 16 frames per shard, capped at 16. A tiny pool therefore
+  /// degenerates to one shard, preserving single-shard eviction semantics.
+  size_t shard_count = 0;
+
+  /// Benchmark baseline: route Unpin/MarkDirty through the shard mutex as
+  /// well, approximating the pre-rework single-global-mutex manager when
+  /// combined with shard_count = 1. Never set in production code.
+  bool global_lock_compat = false;
+};
+
 class BufferManager {
  public:
   /// `frame_count` pages of buffer pool. `resolver` translates logical to
   /// physical pages (plain directory or MVCC version manager).
-  BufferManager(FileManager* file, PageResolver* resolver, size_t frame_count);
+  BufferManager(FileManager* file, PageResolver* resolver, size_t frame_count,
+                BufferPoolOptions pool_options = {});
   ~BufferManager();
 
   BufferManager(const BufferManager&) = delete;
@@ -99,7 +164,9 @@ class BufferManager {
 
   /// Pins the page containing `addr` for the given context. If `for_write`,
   /// the resolver may create a copy-on-write version (MVCC) and the guard's
-  /// frame is bound to that version.
+  /// frame is bound to that version. Thread-safe. Note that with a sharded
+  /// pool, ResourceExhausted means the page's *home shard* is out of
+  /// unpinned frames.
   StatusOr<PageGuard> Pin(Xptr addr, const ResolveContext& ctx,
                           bool for_write);
 
@@ -109,20 +176,29 @@ class BufferManager {
   }
 
   /// Dereferences `addr` against the shared (last-committed) view, faulting
-  /// the page in if necessary. Returned pointer valid until the next
-  /// potentially-faulting call. Returns nullptr only on I/O error.
+  /// the page in if necessary. Returned pointer follows the CHECKP
+  /// discipline described in the header comment. Returns nullptr only on
+  /// I/O error.
   StatusOr<void*> Deref(Xptr addr);
 
   /// Hot-path deref used by single-threaded query execution and benchmarks:
-  /// two loads + mask + add on a hit; CHECK-fails on I/O errors.
+  /// two lock-free atomic loads + mask + add on a hit; CHECK-fails on I/O
+  /// errors. See the CHECKP note in the header comment for when the
+  /// returned pointer is stable.
   inline void* DerefFast(Xptr addr) {
     uint32_t layer = addr.layer();
-    uint32_t idx = addr.PageIndex();
-    if (layer < layer_tables_.size() && idx < pages_per_layer_slots_ &&
-        !layer_tables_[layer].empty()) {
-      Frame* f = layer_tables_[layer][idx];
-      if (f != nullptr) {
-        return f->data + addr.PageOffset();
+    if (layer < kMaxLayers) {
+      LayerTable* t = layer_tables_[layer].load(std::memory_order_acquire);
+      uint32_t idx = addr.PageIndex();
+      if (t != nullptr && idx < t->slots) {
+        Frame* f = t->entries[idx].load(std::memory_order_acquire);
+        if (f != nullptr) {
+          // Feed the clock without dirtying the cache line on every hit.
+          if (!f->referenced.load(std::memory_order_relaxed)) {
+            f->referenced.store(true, std::memory_order_relaxed);
+          }
+          return f->data + addr.PageOffset();
+        }
       }
     }
     return DerefSlow(addr);
@@ -130,7 +206,13 @@ class BufferManager {
 
   /// Transfers ownership of a committed transaction's version frames to the
   /// shared view (called by the version manager at commit, after rebinding).
+  /// Walks the per-transaction frame list maintained at fetch time, not the
+  /// whole pool.
   void PublishTxnFrames(uint64_t txn_id);
+
+  /// Drops the bookkeeping for a transaction that will never publish or
+  /// flush (called on abort). No frame contents are touched.
+  void ForgetTxn(uint64_t txn_id);
 
   /// Drops the shared-view mapping for a logical page (called when its
   /// last-committed version changes, e.g. on transaction commit).
@@ -140,47 +222,105 @@ class BufferManager {
   /// back (called when a version is discarded on abort).
   void DiscardPhysical(PhysPageId ppn);
 
-  /// Writes all dirty frames to disk.
+  /// Writes all dirty frames to disk. Callers must have quiesced writers
+  /// (checkpoint, shutdown): pages pinned for write are flushed as-is.
   Status FlushAll();
 
-  /// Writes dirty frames owned by `txn_id` (their versions) to disk.
+  /// Writes dirty frames owned by `txn_id` (their versions) to disk, using
+  /// the per-transaction frame list.
   Status FlushTxn(uint64_t txn_id);
 
   BufferStats stats() const;
   void ResetStats();
-  size_t frame_count() const { return frames_.size(); }
+  size_t frame_count() const { return frame_count_; }
+  size_t shard_count() const { return shard_count_; }
 
  private:
   friend class PageGuard;
 
+  /// Per-layer shared-view fast map: page-index -> frame, lock-free to read.
+  struct LayerTable {
+    explicit LayerTable(uint32_t n)
+        : slots(n), entries(new std::atomic<Frame*>[n]) {
+      for (uint32_t i = 0; i < n; ++i) {
+        entries[i].store(nullptr, std::memory_order_relaxed);
+      }
+    }
+    const uint32_t slots;
+    std::unique_ptr<std::atomic<Frame*>[]> entries;
+  };
+
+  /// One pool shard: a slice of the frame array plus its residency index.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<PhysPageId, Frame*> by_ppn;
+    size_t frame_begin = 0;
+    size_t frame_count = 0;
+    size_t clock_hand = 0;  // offset within [frame_begin, +frame_count)
+  };
+
+  struct AtomicBufferStats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> faults{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> writebacks{0};
+  };
+
+  static constexpr uint32_t kMaxLayers = 512;
+  static constexpr uint32_t kInitialLayerSlots = 1u << 12;
+
+  size_t ShardOf(PhysPageId ppn) const {
+    // Multiplicative hash so consecutive physical pages spread over shards.
+    return (static_cast<uint64_t>(ppn) * 2654435761ull >> 16) &
+           (shard_count_ - 1);
+  }
+
   void* DerefSlow(Xptr addr);
-  StatusOr<Frame*> FetchLocked(Xptr page_base, const ResolveContext& ctx,
+
+  /// Looks up / faults `target_ppn` and returns the frame with one pin
+  /// already taken on behalf of the caller.
+  StatusOr<Frame*> FetchPinned(Xptr page_base, const ResolveContext& ctx,
                                bool for_write, bool install_shared,
                                PhysPageId target_ppn, PhysPageId copied_from);
-  StatusOr<Frame*> VictimLocked();
-  Status WriteBackLocked(Frame* f);
-  void InstallSharedLocked(Frame* f);
-  void RemoveSharedLocked(Frame* f);
+
+  /// Fills a claimed (kFrameLoading) frame: disk read, or copy-on-write
+  /// seed from the resident source frame / disk. Runs with no locks held.
+  Status FillFrame(Frame* f, PhysPageId target_ppn, PhysPageId copied_from);
+
+  void InstallShared(Frame* f);   // shard lock held; takes table_mu_
+  void RemoveShared(Frame* f);    // shard lock held; takes table_mu_
+  void RecordTxnFrame(uint64_t txn_id, Frame* f);
+  Status WriteBackLocked(Shard& sh, Frame* f);
   void Unpin(Frame* f);
   void MarkDirty(Frame* f);
 
   FileManager* file_;
   PageResolver* resolver_;
+  const bool global_lock_compat_;
 
-  mutable std::mutex mu_;
-  std::vector<Frame> frames_;
+  size_t frame_count_ = 0;
+  std::unique_ptr<Frame[]> frames_;
   std::unique_ptr<uint8_t[]> pool_;
-  size_t clock_hand_ = 0;
 
-  // Shared-view fast mapping: layer -> page-index -> frame. Grown lazily as
-  // layers appear. Only holds frames with owner_txn == 0.
-  std::vector<std::vector<Frame*>> layer_tables_;
-  uint32_t pages_per_layer_slots_;
+  size_t shard_count_ = 1;
+  std::unique_ptr<Shard[]> shards_;
 
-  // Residency index by physical page (covers private versions too).
-  std::unordered_map<PhysPageId, Frame*> by_ppn_;
+  // Shared-view fast mapping: layer -> page-index -> frame. Entry loads are
+  // lock-free; growth and all entry stores serialize on table_mu_. Retired
+  // tables stay allocated until destruction so readers never chase freed
+  // memory.
+  std::unique_ptr<std::atomic<LayerTable*>[]> layer_tables_;
+  std::mutex table_mu_;
+  std::vector<std::unique_ptr<LayerTable>> owned_tables_;
 
-  BufferStats stats_;
+  // Per-transaction frame lists (satellite of PublishTxnFrames/FlushTxn):
+  // appended on fault of a transaction-owned version, validated against the
+  // frame's current identity when consumed, dropped on publish/forget.
+  std::mutex txn_mu_;
+  std::unordered_map<uint64_t, std::vector<Frame*>> txn_frames_;
+
+  AtomicBufferStats stats_;
 };
 
 }  // namespace sedna

@@ -104,8 +104,11 @@ void FileManager::set_io_failure_handler(IoFailureHandler handler) {
 }
 
 Status FileManager::RetryIo(bool is_write, const std::function<Status()>& op) {
+  // Runs with or without mu_ held (the page data path calls it unlocked), so
+  // it only touches the atomic fail-fast flag and fields that are immutable
+  // while the file is open (path_, io_failure_handler_).
   Status st;
-  int attempts = fail_fast_ ? 1 : kIoRetries;
+  int attempts = fail_fast_.load(std::memory_order_relaxed) ? 1 : kIoRetries;
   for (int attempt = 0; attempt < attempts; ++attempt) {
     st = op();
     if (st.ok()) return st;
@@ -117,8 +120,7 @@ Status FileManager::RetryIo(bool is_write, const std::function<Status()>& op) {
           std::chrono::milliseconds(kIoBackoffMs * (attempt + 1)));
     }
   }
-  if (!fail_fast_) {
-    fail_fast_ = true;
+  if (!fail_fast_.exchange(true, std::memory_order_relaxed)) {
     SEDNA_LOG(kError) << "I/O retries exhausted on " << path_ << ": "
                      << st.ToString();
   }
@@ -207,8 +209,21 @@ Status FileManager::Close() {
 }
 
 Status FileManager::ReadPage(PhysPageId ppn, void* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ReadPageLocked(ppn, buf);
+  // Bounds check under the mutex, I/O outside it: concurrent faults from
+  // different buffer-pool shards overlap their positioned reads.
+  File* f = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_ == nullptr) return Status::FailedPrecondition("file not open");
+    if (ppn >= master_.page_count) {
+      return Status::InvalidArgument("read of unallocated page " +
+                                     std::to_string(ppn));
+    }
+    f = file_.get();
+  }
+  return RetryIo(/*is_write=*/false, [&] {
+    return f->Read(static_cast<uint64_t>(ppn) * kPageSize, kPageSize, buf);
+  });
 }
 
 Status FileManager::ReadPageLocked(PhysPageId ppn, void* buf) {
@@ -223,8 +238,21 @@ Status FileManager::ReadPageLocked(PhysPageId ppn, void* buf) {
 }
 
 Status FileManager::WritePage(PhysPageId ppn, const void* buf) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return WritePageLocked(ppn, buf);
+  // Same unlocked data path as ReadPage: eviction writebacks from different
+  // shards overlap their positioned writes.
+  File* f = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (file_ == nullptr) return Status::FailedPrecondition("file not open");
+    if (ppn >= master_.page_count) {
+      return Status::InvalidArgument("write of unallocated page " +
+                                     std::to_string(ppn));
+    }
+    f = file_.get();
+  }
+  return RetryIo(/*is_write=*/true, [&] {
+    return f->Write(static_cast<uint64_t>(ppn) * kPageSize, buf, kPageSize);
+  });
 }
 
 Status FileManager::WritePageLocked(PhysPageId ppn, const void* buf) {

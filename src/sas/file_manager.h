@@ -22,6 +22,7 @@
 #ifndef SEDNA_SAS_FILE_MANAGER_H_
 #define SEDNA_SAS_FILE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -47,8 +48,14 @@ struct MasterRecord {
 };
 
 /// Owns the database file. Thread-safe; all methods may be called
-/// concurrently (a single mutex serializes file access — the buffer manager
-/// above batches I/O, so this is not the bottleneck in the benchmarks).
+/// concurrently. `ReadPage`/`WritePage` — the buffer manager's fault and
+/// writeback path — only take the mutex for a brief bounds check and then
+/// issue positioned I/O (pread/pwrite through the Vfs) outside it, so
+/// concurrent page faults from different pool shards overlap their I/O.
+/// Allocation, free-list and master-record operations stay fully serialized
+/// under the mutex. `set_vfs`/`set_io_failure_handler` must be called before
+/// the file is shared across threads, and `Close` must not race with
+/// in-flight page I/O (the buffer manager is torn down first).
 class FileManager {
  public:
   /// Invoked (under the file mutex) when a write-path operation fails after
@@ -79,10 +86,12 @@ class FileManager {
   bool is_open() const { return file_ != nullptr; }
   const std::string& path() const { return path_; }
 
-  /// Reads physical page `ppn` into `buf` (kPageSize bytes).
+  /// Reads physical page `ppn` into `buf` (kPageSize bytes). Concurrent
+  /// calls overlap their I/O (positioned read outside the mutex).
   Status ReadPage(PhysPageId ppn, void* buf);
 
-  /// Writes `buf` (kPageSize bytes) to physical page `ppn`.
+  /// Writes `buf` (kPageSize bytes) to physical page `ppn`. Concurrent
+  /// calls overlap their I/O (positioned write outside the mutex).
   Status WritePage(PhysPageId ppn, const void* buf);
 
   /// Allocates a physical page (reusing the free list, else growing the
@@ -136,7 +145,8 @@ class FileManager {
   std::unique_ptr<File> file_;
   std::string path_;
   MasterRecord master_;
-  bool fail_fast_ = false;
+  // Atomic because RetryIo runs outside mu_ on the concurrent page-I/O path.
+  std::atomic<bool> fail_fast_{false};
   IoFailureHandler io_failure_handler_;
 };
 

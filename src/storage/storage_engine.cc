@@ -58,7 +58,8 @@ Status StorageEngine::Init(const StorageOptions& options, StorageHooks hooks,
     allocator_ = std::make_unique<DirectoryAllocator>(directory_.get());
   }
   buffers_ = std::make_unique<BufferManager>(&file_, resolver_,
-                                             options.buffer_frames);
+                                             options.buffer_frames,
+                                             options.pool);
   allocator_->BindBuffers(buffers_.get());
   env_.buffers = buffers_.get();
   env_.allocator = allocator_.get();

@@ -25,6 +25,7 @@ namespace sedna {
 struct StorageOptions {
   std::string path;          // database file
   size_t buffer_frames = 1024;
+  BufferPoolOptions pool;    // sharding knobs (benchmarks; default = auto)
   Vfs* vfs = nullptr;        // null = Vfs::Default()
 };
 

@@ -174,6 +174,8 @@ Status VersionManager::AbortTxn(uint64_t txn_id) {
       SEDNA_RETURN_IF_ERROR(directory_->FreeLogicalPage(Xptr(lpid)));
     }
   }
+  // The aborted transaction will never publish or flush its frames.
+  if (buffers_ != nullptr) buffers_->ForgetTxn(txn_id);
   // Deferred frees of an aborted transaction never happen: the pages stay.
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #include "xquery/node_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 
 #include "common/logging.h"
@@ -17,8 +18,10 @@ std::string AtomicLexical(const Item& atom) {
 }
 
 uint64_t NextConstructionId() {
-  static uint64_t counter = 0;
-  return ++counter;
+  // Atomic: sessions on different threads construct nodes concurrently and
+  // the id only needs to be process-unique, not ordered.
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 std::string Item::DebugString() const {

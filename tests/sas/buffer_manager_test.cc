@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <unordered_map>
+#include <vector>
 
 #include "sas/file_manager.h"
 #include "sas/page_directory.h"
@@ -182,6 +184,212 @@ TEST_F(BufferManagerTest, MovedGuardReleasesOnce) {
     auto g2 = buffers_->Pin(p);
     ASSERT_TRUE(g2.ok());
   }
+}
+
+// Resolver that maps chosen logical pages to fixed physical pages, so tests
+// can place logical pages at arbitrary (e.g. very high) page indexes and
+// exercise transaction-owned write targets without the MVCC layer.
+class FixedResolver : public PageResolver {
+ public:
+  void MapRead(LogicalPageId lpid, PhysPageId ppn) { reads_[lpid] = ppn; }
+  void MapWrite(LogicalPageId lpid, PhysPageId ppn,
+                PhysPageId copied_from = kInvalidPhysPage) {
+    writes_[lpid] = WriteTarget{ppn, copied_from};
+  }
+
+  StatusOr<PhysPageId> Resolve(LogicalPageId lpid,
+                               const ResolveContext&) override {
+    auto it = reads_.find(lpid);
+    if (it == reads_.end()) return Status::NotFound("unmapped page");
+    return it->second;
+  }
+  StatusOr<WriteTarget> ResolveForWrite(LogicalPageId lpid,
+                                        const ResolveContext&) override {
+    auto it = writes_.find(lpid);
+    if (it == writes_.end()) return Status::NotFound("unmapped page");
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<LogicalPageId, PhysPageId> reads_;
+  std::unordered_map<LogicalPageId, WriteTarget> writes_;
+};
+
+// Regression: the shared fast map used to cover only the first 4096 page
+// indexes per layer; a page beyond that silently fell off the lock-free
+// path and every DerefFast went through the full (stats-visible) slow path.
+TEST_F(BufferManagerTest, FastMapCoversPageIndexBeyondOldCap) {
+  // Place a logical page at page index 5000 (old cap: 4096).
+  constexpr uint32_t kHighIdx = 5000;
+  auto ppn = file_.AllocPage();
+  ASSERT_TRUE(ppn.ok());
+  std::vector<uint8_t> bytes(kPageSize, 0xab);
+  ASSERT_TRUE(file_.WritePage(*ppn, bytes.data()).ok());
+
+  FixedResolver resolver;
+  Xptr high(kFirstLayer, kHighIdx << kPageSizeBits);
+  resolver.MapRead(high.raw, *ppn);
+  BufferManager bm(&file_, &resolver, 8);
+
+  void* p1 = bm.DerefFast(high + 64);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(*static_cast<uint8_t*>(p1), 0xab);
+  EXPECT_EQ(bm.stats().faults, 1u);
+  BufferStats before = bm.stats();
+
+  // Must take the lock-free fast path: no slow-path hit, no fault.
+  void* p2 = bm.DerefFast(high + 128);
+  EXPECT_EQ(static_cast<char*>(p2) - static_cast<char*>(p1), 64);
+  EXPECT_EQ(bm.stats().faults, before.faults);
+  EXPECT_EQ(bm.stats().hits, before.hits);
+
+  // And the slow path still counts a buffer hit for the resident page.
+  auto g = bm.Pin(high);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(bm.stats().hits, before.hits + 1);
+}
+
+// Growing the per-layer table for a high index must keep earlier entries.
+TEST_F(BufferManagerTest, FastMapGrowthKeepsExistingEntries) {
+  auto low_ppn = file_.AllocPage();
+  auto high_ppn = file_.AllocPage();
+  ASSERT_TRUE(low_ppn.ok());
+  ASSERT_TRUE(high_ppn.ok());
+  std::vector<uint8_t> bytes(kPageSize, 0x11);
+  ASSERT_TRUE(file_.WritePage(*low_ppn, bytes.data()).ok());
+  bytes.assign(kPageSize, 0x22);
+  ASSERT_TRUE(file_.WritePage(*high_ppn, bytes.data()).ok());
+
+  FixedResolver resolver;
+  Xptr low(kFirstLayer, 3u << kPageSizeBits);
+  Xptr high(kFirstLayer, 70000u << kPageSizeBits);
+  resolver.MapRead(low.raw, *low_ppn);
+  resolver.MapRead(high.raw, *high_ppn);
+  BufferManager bm(&file_, &resolver, 8);
+
+  EXPECT_EQ(*static_cast<uint8_t*>(bm.DerefFast(low)), 0x11);
+  EXPECT_EQ(*static_cast<uint8_t*>(bm.DerefFast(high)), 0x22);
+  BufferStats before = bm.stats();
+  // Both entries must be served by the fast map after the growth.
+  EXPECT_EQ(*static_cast<uint8_t*>(bm.DerefFast(low)), 0x11);
+  EXPECT_EQ(*static_cast<uint8_t*>(bm.DerefFast(high)), 0x22);
+  EXPECT_EQ(bm.stats().hits, before.hits);
+  EXPECT_EQ(bm.stats().faults, before.faults);
+}
+
+// FlushTxn must write only the calling transaction's version frames, found
+// through the per-transaction frame list (not a whole-pool scan).
+TEST_F(BufferManagerTest, FlushTxnWritesOnlyThatTxnsFrames) {
+  auto shared7 = file_.AllocPage();
+  auto ver7 = file_.AllocPage();
+  auto shared9 = file_.AllocPage();
+  auto ver9 = file_.AllocPage();
+  ASSERT_TRUE(ver7.ok());
+  ASSERT_TRUE(ver9.ok());
+  std::vector<uint8_t> zero(kPageSize, 0);
+  for (PhysPageId p : {*shared7, *ver7, *shared9, *ver9}) {
+    ASSERT_TRUE(file_.WritePage(p, zero.data()).ok());
+  }
+
+  FixedResolver resolver;
+  Xptr pa(kFirstLayer, 0), pb(kFirstLayer, kPageSize);
+  resolver.MapWrite(pa.raw, *ver7, /*copied_from=*/*shared7);
+  resolver.MapWrite(pb.raw, *ver9, /*copied_from=*/*shared9);
+  BufferManager bm(&file_, &resolver, 8);
+
+  ResolveContext txn7{7, 0, false}, txn9{9, 0, false};
+  {
+    auto g = bm.Pin(pa, txn7, /*for_write=*/true);
+    ASSERT_TRUE(g.ok());
+    std::memset(g->data(), 0x77, kPageSize);
+    g->MarkDirty();
+  }
+  {
+    auto g = bm.Pin(pb, txn9, /*for_write=*/true);
+    ASSERT_TRUE(g.ok());
+    std::memset(g->data(), 0x99, kPageSize);
+    g->MarkDirty();
+  }
+
+  ASSERT_TRUE(bm.FlushTxn(7).ok());
+  std::vector<uint8_t> buf(kPageSize);
+  ASSERT_TRUE(file_.ReadPage(*ver7, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0x77) << "txn 7's version must be flushed";
+  ASSERT_TRUE(file_.ReadPage(*ver9, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0x00) << "txn 9's version must NOT be flushed";
+
+  ASSERT_TRUE(bm.FlushTxn(9).ok());
+  ASSERT_TRUE(file_.ReadPage(*ver9, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0x99);
+}
+
+// ForgetTxn (abort path) drops the frame list: a later FlushTxn writes
+// nothing even though the frame is still resident and dirty.
+TEST_F(BufferManagerTest, ForgetTxnDropsFrameList) {
+  auto shared = file_.AllocPage();
+  auto ver = file_.AllocPage();
+  ASSERT_TRUE(ver.ok());
+  std::vector<uint8_t> zero(kPageSize, 0);
+  ASSERT_TRUE(file_.WritePage(*shared, zero.data()).ok());
+  ASSERT_TRUE(file_.WritePage(*ver, zero.data()).ok());
+
+  FixedResolver resolver;
+  Xptr pa(kFirstLayer, 0);
+  resolver.MapWrite(pa.raw, *ver, /*copied_from=*/*shared);
+  BufferManager bm(&file_, &resolver, 8);
+
+  ResolveContext txn7{7, 0, false};
+  {
+    auto g = bm.Pin(pa, txn7, /*for_write=*/true);
+    ASSERT_TRUE(g.ok());
+    std::memset(g->data(), 0x77, kPageSize);
+    g->MarkDirty();
+  }
+  bm.ForgetTxn(7);
+  uint64_t wb_before = bm.stats().writebacks;
+  ASSERT_TRUE(bm.FlushTxn(7).ok());
+  EXPECT_EQ(bm.stats().writebacks, wb_before);
+  std::vector<uint8_t> buf(kPageSize);
+  ASSERT_TRUE(file_.ReadPage(*ver, buf.data()).ok());
+  EXPECT_EQ(buf[0], 0x00);
+}
+
+// After PublishTxnFrames the version frame belongs to the shared view: it
+// becomes eligible for the lock-free fast map.
+TEST_F(BufferManagerTest, PublishedFrameJoinsSharedFastMap) {
+  auto shared = file_.AllocPage();
+  auto ver = file_.AllocPage();
+  ASSERT_TRUE(ver.ok());
+  std::vector<uint8_t> zero(kPageSize, 0);
+  ASSERT_TRUE(file_.WritePage(*shared, zero.data()).ok());
+  ASSERT_TRUE(file_.WritePage(*ver, zero.data()).ok());
+
+  FixedResolver resolver;
+  Xptr pa(kFirstLayer, 0);
+  resolver.MapRead(pa.raw, *shared);
+  resolver.MapWrite(pa.raw, *ver, /*copied_from=*/*shared);
+  BufferManager bm(&file_, &resolver, 8);
+
+  ResolveContext txn7{7, 0, false};
+  {
+    auto g = bm.Pin(pa, txn7, /*for_write=*/true);
+    ASSERT_TRUE(g.ok());
+    std::memset(g->data(), 0x77, kPageSize);
+    g->MarkDirty();
+  }
+  // Commit: the shared view now resolves to the new version.
+  resolver.MapRead(pa.raw, *ver);
+  bm.InvalidateShared(pa.raw);
+  bm.PublishTxnFrames(7);
+
+  // Resident version frame: the shared deref hits it and installs it in the
+  // fast map (only legal once owner_txn was cleared by the publish)...
+  EXPECT_EQ(*static_cast<uint8_t*>(bm.DerefFast(pa)), 0x77);
+  BufferStats before = bm.stats();
+  // ...so the next deref takes the lock-free path: stats unchanged.
+  EXPECT_EQ(*static_cast<uint8_t*>(bm.DerefFast(pa + 1)), 0x77);
+  EXPECT_EQ(bm.stats().hits, before.hits);
+  EXPECT_EQ(bm.stats().faults, before.faults);
 }
 
 }  // namespace
