@@ -79,4 +79,4 @@ BENCHMARK(BM_DeepCopyConstructors)->DenseRange(0, 2);
 }  // namespace
 }  // namespace sedna
 
-BENCHMARK_MAIN();
+SEDNA_BENCH_MAIN(bench_constructors)

@@ -67,4 +67,4 @@ BENCHMARK(BM_NaiveDdoEverywhere)->DenseRange(0, 3);
 }  // namespace
 }  // namespace sedna
 
-BENCHMARK_MAIN();
+SEDNA_BENCH_MAIN(bench_ddo)

@@ -74,4 +74,4 @@ BENCHMARK(BM_NaiveDescendantOrSelf)->DenseRange(0, 4);
 }  // namespace
 }  // namespace sedna
 
-BENCHMARK_MAIN();
+SEDNA_BENCH_MAIN(bench_descendant_rewrite)

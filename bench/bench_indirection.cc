@@ -140,4 +140,4 @@ BENCHMARK(BM_TextUpdateConstantCost)->Arg(10)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace sedna
 
-BENCHMARK_MAIN();
+SEDNA_BENCH_MAIN(bench_indirection)

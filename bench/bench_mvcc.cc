@@ -138,5 +138,6 @@ int main() {
                   static_cast<unsigned long long>(s2pl.snapshot_reads));
     }
   }
+  sedna::bench::WriteRegistrySnapshotReport("bench_mvcc");
   return 0;
 }

@@ -13,6 +13,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
+
 #include <vector>
 
 #include "baselines/xiss_numbering.h"
@@ -113,4 +115,4 @@ BENCHMARK(BM_XissLabels_RandomInserts)->Arg(1000)->Arg(10000);
 }  // namespace
 }  // namespace sedna
 
-BENCHMARK_MAIN();
+SEDNA_BENCH_MAIN(bench_numbering)

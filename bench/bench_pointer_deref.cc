@@ -149,4 +149,4 @@ BENCHMARK(BM_SwizzlingChase);
 }  // namespace
 }  // namespace sedna
 
-BENCHMARK_MAIN();
+SEDNA_BENCH_MAIN(bench_pointer_deref)

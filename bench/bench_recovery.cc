@@ -127,5 +127,6 @@ int main() {
     sedna::RecoveryRow(n);
   }
   sedna::BackupRows();
+  sedna::bench::WriteRegistrySnapshotReport("bench_recovery");
   return 0;
 }

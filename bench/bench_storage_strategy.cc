@@ -153,4 +153,4 @@ BENCHMARK(BM_Subtree_RetrieveWholeItem);
 }  // namespace
 }  // namespace sedna
 
-BENCHMARK_MAIN();
+SEDNA_BENCH_MAIN(bench_storage_strategy)

@@ -66,4 +66,4 @@ BENCHMARK(BM_NavigationalPath)->DenseRange(0, 3);
 }  // namespace
 }  // namespace sedna
 
-BENCHMARK_MAIN();
+SEDNA_BENCH_MAIN(bench_structural_path)

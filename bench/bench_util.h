@@ -8,11 +8,14 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "db/database.h"
 #include "storage/storage_engine.h"
 #include "xmlgen/generators.h"
@@ -74,7 +77,36 @@ inline std::unique_ptr<Database> MakeDatabase(const std::string& tag,
 /// --benchmark_out=...). The JSON is google-benchmark's standard schema:
 /// {context: {...}, benchmarks: [{name, real_time, items_per_second,
 /// counters...}]}, so CI and the experiment scripts can diff runs without
-/// scraping the console table.
+/// scraping the console table. A `metrics_registry` key holding the
+/// process-wide MetricsRegistry snapshot (buffer/lock/wal/mvcc/xquery
+/// instruments accumulated over the whole run) is spliced into the report.
+inline void SpliceRegistrySnapshot(const std::string& json_path) {
+  std::ifstream in(json_path);
+  if (!in) return;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  size_t close = text.find_last_of('}');
+  if (close == std::string::npos) return;
+  std::string snapshot = MetricsRegistry::Global().SnapshotJson();
+  text.insert(close, ",\n  \"metrics_registry\": " + snapshot + "\n");
+  std::ofstream out(json_path, std::ios::trunc);
+  out << text;
+}
+
+/// For benchmarks with a hand-rolled main (no google-benchmark driver):
+/// writes BENCH_<name>.json containing just the registry snapshot, honoring
+/// SEDNA_BENCH_JSON_DIR like RunBenchMain.
+inline void WriteRegistrySnapshotReport(const char* bench_name) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("SEDNA_BENCH_JSON_DIR")) dir = env;
+  std::string json_path = dir + "/BENCH_" + std::string(bench_name) + ".json";
+  std::ofstream out(json_path, std::ios::trunc);
+  out << "{\n  \"metrics_registry\": "
+      << MetricsRegistry::Global().SnapshotJson() << "\n}\n";
+  std::fprintf(stderr, "JSON report: %s\n", json_path.c_str());
+}
+
 inline int RunBenchMain(const char* bench_name, int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   bool user_out = false;
@@ -98,6 +130,7 @@ inline int RunBenchMain(const char* bench_name, int argc, char** argv) {
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   if (!user_out) {
+    SpliceRegistrySnapshot(json_path);
     std::fprintf(stderr, "JSON report: %s\n", json_path.c_str());
   }
   return 0;

@@ -105,4 +105,4 @@ BENCHMARK(BM_IndexRebuildAfterUpdate);
 }  // namespace
 }  // namespace sedna
 
-BENCHMARK_MAIN();
+SEDNA_BENCH_MAIN(bench_value_index)

@@ -109,4 +109,4 @@ BENCHMARK(BM_XmarkReplaceMix);
 }  // namespace
 }  // namespace sedna
 
-BENCHMARK_MAIN();
+SEDNA_BENCH_MAIN(bench_xmark)

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "common/metrics.h"
 #include "db/database.h"
 
 using namespace sedna;
@@ -67,6 +68,21 @@ int main() {
   st = session->Abort();
   std::printf("   abort: %s\n", st.ToString().c_str());
   Run(session.get(), "count(doc('notes')//note)");
+
+  std::printf("\n--- EXPLAIN: per-operator pulls / rows / wall time\n");
+  {
+    auto result = session->Execute(
+        "explain for $n in doc('notes')//note "
+        "where $n/@pri = '1' return string($n)");
+    if (result.ok()) {
+      std::printf("%s", result->serialized.c_str());
+    } else {
+      std::printf("!! explain -> %s\n", result.status().ToString().c_str());
+    }
+  }
+
+  std::printf("\n--- metrics registry snapshot (buffer/lock/wal/mvcc)\n");
+  std::printf("%s\n", MetricsRegistry::Global().SnapshotJson().c_str());
 
   std::printf("\n--- governor registry (Figure 1's control center)\n");
   for (const auto& component : Governor::Instance().Components()) {

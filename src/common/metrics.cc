@@ -1,0 +1,127 @@
+#include "common/metrics.h"
+
+#include <bit>
+#include <sstream>
+
+namespace sedna {
+
+namespace {
+
+int BucketIndex(uint64_t value) {
+  // Exclusive upper bounds: bucket i holds values < 2^i, i.e. the index is
+  // the bit width of the value (0 for 0), clamped to the overflow bucket.
+  int idx = std::bit_width(value);
+  if (idx >= Histogram::kBuckets) idx = Histogram::kBuckets - 1;
+  return idx;
+}
+
+void AtomicMax(std::atomic<uint64_t>& slot, uint64_t value) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMax(max_, value);
+}
+
+uint64_t Histogram::ApproxQuantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1));
+  uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (seen > rank) {
+      // Exclusive upper edge of bucket i (bucket 0 holds only 0).
+      return i == 0 ? 0 : (uint64_t{1} << i) - 1;
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrument pointers cached by components must stay
+  // valid through static destruction order.
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << c->value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":" << g->value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    uint64_t count = h->count();
+    out << "\"" << name << "\":{\"count\":" << count << ",\"sum\":"
+        << h->sum() << ",\"max\":" << h->max()
+        << ",\"mean\":" << (count == 0 ? 0 : h->sum() / count)
+        << ",\"p50\":" << h->ApproxQuantile(0.50)
+        << ",\"p95\":" << h->ApproxQuantile(0.95)
+        << ",\"p99\":" << h->ApproxQuantile(0.99) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace sedna

@@ -1,0 +1,144 @@
+// Process-wide observability layer: named counters, gauges and fixed-bucket
+// latency histograms with a lock-free update path.
+//
+// Design (DESIGN.md §8):
+//  - Components look up their instruments ONCE (at construction) through
+//    MetricsRegistry::Global().counter("buffer.hits") and keep the raw
+//    pointer; instruments are never destroyed while the process lives, so
+//    the hot path is a single relaxed fetch_add with no hashing or locking.
+//  - The registry mutex is taken only to register a new name or to walk the
+//    table for a snapshot; Snapshot/Reset never block updaters.
+//  - Histograms use power-of-two buckets (bucket i counts values in
+//    [2^(i-1), 2^i), bucket 0 counts 0..1), which bounds any quantile
+//    estimate's relative error at 2x — plenty for latency triage — while
+//    keeping Record() at one bit-scan plus one fetch_add.
+//
+// Naming scheme: dot-separated, "<subsystem>.<metric>[_<unit>]", e.g.
+// "buffer.hits", "wal.fsync_ns" (histograms carry their unit suffix).
+// Per-shard counters append ".shardN" — they are registered by the owning
+// component, not synthesized by the registry.
+
+#ifndef SEDNA_COMMON_METRICS_H_
+#define SEDNA_COMMON_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sedna {
+
+/// Monotonic counter. Updates are relaxed-atomic: totals are exact once the
+/// writing threads are joined, which is the only time tests read them.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Point-in-time signed value (e.g. pages currently pinned).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { v_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed power-of-two-bucket histogram for latency-style values (ns).
+/// Bucket i counts values < 2^i (exclusive upper bound), so bucket 0 is
+/// {0}, bucket 1 is {1}, bucket 2 is {2,3}, ... bucket 40 covers up to
+/// ~1100 s; larger values land in the overflow top bucket.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 41;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper-bound estimate of the q-quantile (q in [0,1]): the exclusive
+  /// upper edge of the bucket holding the q*count-th sample. Exact to
+  /// within the 2x bucket width; 0 when empty.
+  uint64_t ApproxQuantile(double q) const;
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Name → instrument table. Lookup-or-create is mutex-guarded; returned
+/// pointers stay valid for the registry's lifetime (the global one never
+/// dies), so callers cache them and update lock-free.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every subsystem reports into.
+  static MetricsRegistry& Global();
+
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Serializes every registered instrument to a JSON object:
+  /// {"counters":{name:value,...}, "gauges":{...},
+  ///  "histograms":{name:{"count":c,"sum":s,"max":m,"p50":..,"p99":..},...}}
+  /// Keys are sorted (std::map), so snapshots diff cleanly.
+  std::string SnapshotJson() const;
+
+  /// Zeroes every instrument (names stay registered — cached pointers
+  /// remain valid). Tests use this to scope assertions to one phase.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII latency probe: records elapsed nanoseconds into `h` on destruction.
+/// A null histogram disables the probe (and the clock reads) entirely.
+class LatencyTimer {
+ public:
+  explicit LatencyTimer(Histogram* h) : h_(h) {
+    if (h_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~LatencyTimer() {
+    if (h_ != nullptr) {
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+      h_->Record(static_cast<uint64_t>(ns));
+    }
+  }
+  LatencyTimer(const LatencyTimer&) = delete;
+  LatencyTimer& operator=(const LatencyTimer&) = delete;
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_COMMON_METRICS_H_

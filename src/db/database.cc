@@ -234,6 +234,7 @@ StatusOr<QueryResult> Session::ExecuteIn(Transaction* txn,
   out.serialized = std::move(r.serialized);
   out.affected = r.affected;
   out.stats = r.stats;
+  out.profile_text = std::move(r.profile_text);
   return out;
 }
 

@@ -46,6 +46,7 @@ struct QueryResult {
   std::string serialized;  // query output
   uint64_t affected = 0;   // update/DDL counts
   ExecStats stats;
+  std::string profile_text;  // annotated plan tree (EXPLAIN statements)
 };
 
 class Session;

@@ -1,8 +1,10 @@
 #include "sas/buffer_manager.h"
 
 #include <cstring>
+#include <string>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace sedna {
 
@@ -68,6 +70,8 @@ BufferManager::BufferManager(FileManager* file, PageResolver* resolver,
     sh.frame_count = base + (s < rem ? 1 : 0);
     next += sh.frame_count;
   }
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  fault_latency_ns_ = reg.histogram("buffer.fault_ns");
   for (size_t s = 0; s < shard_count_; ++s) {
     Shard& sh = shards_[s];
     for (size_t i = 0; i < sh.frame_count; ++i) {
@@ -75,6 +79,15 @@ BufferManager::BufferManager(FileManager* file, PageResolver* resolver,
       f.data = pool_.get() + (sh.frame_begin + i) * kPageSize;
       f.home_shard = static_cast<uint32_t>(s);
     }
+    // Registry counters are resolved once here; instances with the same
+    // shard index share names and accumulate process-wide.
+    std::string prefix = "buffer.shard" + std::to_string(s) + ".";
+    sh.metrics.requests = reg.counter(prefix + "requests");
+    sh.metrics.hits = reg.counter(prefix + "hits");
+    sh.metrics.faults = reg.counter(prefix + "faults");
+    sh.metrics.coalesced_fills = reg.counter(prefix + "coalesced_fills");
+    sh.metrics.evictions = reg.counter(prefix + "evictions");
+    sh.metrics.writebacks = reg.counter(prefix + "writebacks");
   }
 
   layer_tables_ =
@@ -142,6 +155,9 @@ StatusOr<Frame*> BufferManager::FetchPinned(Xptr page_base,
                                             PhysPageId copied_from) {
   Shard& sh = shards_[ShardOf(target_ppn)];
   bool counted_fault = false;
+  bool counted_coalesce = false;
+  sh.stats.requests.fetch_add(1, std::memory_order_relaxed);
+  sh.metrics.requests->Add();
   std::unique_lock<std::mutex> lock(sh.mu);
   for (;;) {
     auto it = sh.by_ppn.find(target_ppn);
@@ -151,10 +167,20 @@ StatusOr<Frame*> BufferManager::FetchPinned(Xptr page_base,
       if (st == kFrameLoading || st == kFrameEvicting) {
         // Someone else's fill or writeback is in flight; wait and re-check
         // (the fill may fail, in which case the mapping disappears).
+        if (st == kFrameLoading && !counted_coalesce) {
+          // Our fetch piggybacks on another thread's fill of this page:
+          // the coalescing the state-word protocol exists to provide.
+          counted_coalesce = true;
+          sh.stats.coalesced_fills.fetch_add(1, std::memory_order_relaxed);
+          sh.metrics.coalesced_fills->Add();
+        }
         sh.cv.wait(lock);
         continue;
       }
-      if (!counted_fault) stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      if (!counted_fault) {
+        sh.stats.hits.fetch_add(1, std::memory_order_relaxed);
+        sh.metrics.hits->Add();
+      }
       f->referenced.store(true, std::memory_order_relaxed);
       f->pin_count.fetch_add(1, std::memory_order_relaxed);
       if (install_shared && f->owner_txn == 0) InstallShared(f);
@@ -163,7 +189,8 @@ StatusOr<Frame*> BufferManager::FetchPinned(Xptr page_base,
 
     if (!counted_fault) {
       counted_fault = true;
-      stats_.faults.fetch_add(1, std::memory_order_relaxed);
+      sh.stats.faults.fetch_add(1, std::memory_order_relaxed);
+      sh.metrics.faults->Add();
     }
 
     // Clock replacement over this shard's slice: second chance on the
@@ -205,7 +232,8 @@ StatusOr<Frame*> BufferManager::FetchPinned(Xptr page_base,
       // and faults in this shard proceed. kFrameEvicting keeps the by_ppn
       // mapping alive, so a concurrent fetch of the evicting page waits on
       // the condvar instead of re-reading stale bytes from disk.
-      stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
+      sh.stats.writebacks.fetch_add(1, std::memory_order_relaxed);
+      sh.metrics.writebacks->Add();
       victim->state.store(kFrameEvicting, std::memory_order_relaxed);
       PhysPageId wb_ppn = victim->ppn;
       lock.unlock();
@@ -223,7 +251,8 @@ StatusOr<Frame*> BufferManager::FetchPinned(Xptr page_base,
 
     // Claim the victim and fill it with the shard unlocked.
     if (victim->state.load(std::memory_order_relaxed) == kFrameResident) {
-      stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+      sh.stats.evictions.fetch_add(1, std::memory_order_relaxed);
+      sh.metrics.evictions->Add();
       RemoveShared(victim);
       sh.by_ppn.erase(victim->ppn);
     }
@@ -240,7 +269,11 @@ StatusOr<Frame*> BufferManager::FetchPinned(Xptr page_base,
     victim->state.store(kFrameLoading, std::memory_order_relaxed);
     sh.by_ppn[target_ppn] = victim;
     lock.unlock();
-    Status fst = FillFrame(victim, target_ppn, copied_from);
+    Status fst;
+    {
+      LatencyTimer timer(fault_latency_ns_);
+      fst = FillFrame(victim, target_ppn, copied_from);
+    }
     lock.lock();
     if (!fst.ok()) {
       // Roll the claim back so waiters see the page gone and re-fault.
@@ -297,8 +330,8 @@ Status BufferManager::FillFrame(Frame* f, PhysPageId target_ppn,
 }
 
 Status BufferManager::WriteBackLocked(Shard& sh, Frame* f) {
-  (void)sh;  // documents that the caller holds f's home-shard mutex
-  stats_.writebacks.fetch_add(1, std::memory_order_relaxed);
+  sh.stats.writebacks.fetch_add(1, std::memory_order_relaxed);
+  sh.metrics.writebacks->Add();
   SEDNA_RETURN_IF_ERROR(file_->WritePage(f->ppn, f->data));
   f->dirty.store(false, std::memory_order_relaxed);
   return Status::OK();
@@ -461,18 +494,41 @@ Status BufferManager::FlushTxn(uint64_t txn_id) {
 
 BufferStats BufferManager::stats() const {
   BufferStats s;
-  s.hits = stats_.hits.load(std::memory_order_relaxed);
-  s.faults = stats_.faults.load(std::memory_order_relaxed);
-  s.evictions = stats_.evictions.load(std::memory_order_relaxed);
-  s.writebacks = stats_.writebacks.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < shard_count_; ++i) {
+    BufferStats sh = shard_stats(i);
+    s.requests += sh.requests;
+    s.hits += sh.hits;
+    s.faults += sh.faults;
+    s.coalesced_fills += sh.coalesced_fills;
+    s.evictions += sh.evictions;
+    s.writebacks += sh.writebacks;
+  }
+  return s;
+}
+
+BufferStats BufferManager::shard_stats(size_t shard) const {
+  SEDNA_DCHECK(shard < shard_count_);
+  const AtomicBufferStats& a = shards_[shard].stats;
+  BufferStats s;
+  s.requests = a.requests.load(std::memory_order_relaxed);
+  s.hits = a.hits.load(std::memory_order_relaxed);
+  s.faults = a.faults.load(std::memory_order_relaxed);
+  s.coalesced_fills = a.coalesced_fills.load(std::memory_order_relaxed);
+  s.evictions = a.evictions.load(std::memory_order_relaxed);
+  s.writebacks = a.writebacks.load(std::memory_order_relaxed);
   return s;
 }
 
 void BufferManager::ResetStats() {
-  stats_.hits.store(0, std::memory_order_relaxed);
-  stats_.faults.store(0, std::memory_order_relaxed);
-  stats_.evictions.store(0, std::memory_order_relaxed);
-  stats_.writebacks.store(0, std::memory_order_relaxed);
+  for (size_t i = 0; i < shard_count_; ++i) {
+    AtomicBufferStats& a = shards_[i].stats;
+    a.requests.store(0, std::memory_order_relaxed);
+    a.hits.store(0, std::memory_order_relaxed);
+    a.faults.store(0, std::memory_order_relaxed);
+    a.coalesced_fills.store(0, std::memory_order_relaxed);
+    a.evictions.store(0, std::memory_order_relaxed);
+    a.writebacks.store(0, std::memory_order_relaxed);
+  }
 }
 
 void BufferManager::Unpin(Frame* f) {

@@ -68,6 +68,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "sas/file_manager.h"
 #include "sas/page_directory.h"
@@ -130,10 +131,15 @@ class PageGuard {
   Frame* frame_ = nullptr;
 };
 
-/// Counters exposed for tests and the benchmark harness.
+/// Counters exposed for tests and the benchmark harness. Maintained per
+/// shard (see Shard::stats) and summed by stats(); every FetchPinned call
+/// counts exactly one request and exactly one of {hit, fault}, so
+/// `requests == hits + faults` is an invariant tests can assert.
 struct BufferStats {
+  uint64_t requests = 0;   // page lookups through FetchPinned (Pin/Deref)
   uint64_t hits = 0;
   uint64_t faults = 0;       // software page faults (misses)
+  uint64_t coalesced_fills = 0;  // waited on another thread's in-flight fill
   uint64_t evictions = 0;
   uint64_t writebacks = 0;
 };
@@ -230,7 +236,12 @@ class BufferManager {
   /// the per-transaction frame list.
   Status FlushTxn(uint64_t txn_id);
 
+  /// Totals across all shards (this instance only; the process-wide
+  /// MetricsRegistry accumulates across instances).
   BufferStats stats() const;
+  /// Counters for one shard — concurrency tests use these to check that
+  /// work actually spread over shards.
+  BufferStats shard_stats(size_t shard) const;
   void ResetStats();
   size_t frame_count() const { return frame_count_; }
   size_t shard_count() const { return shard_count_; }
@@ -250,6 +261,26 @@ class BufferManager {
     std::unique_ptr<std::atomic<Frame*>[]> entries;
   };
 
+  struct AtomicBufferStats {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> faults{0};
+    std::atomic<uint64_t> coalesced_fills{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> writebacks{0};
+  };
+
+  /// Registry counters for one shard, looked up once at pool construction
+  /// so the hot path is a cached-pointer fetch_add (see common/metrics.h).
+  struct ShardCounters {
+    Counter* requests = nullptr;
+    Counter* hits = nullptr;
+    Counter* faults = nullptr;
+    Counter* coalesced_fills = nullptr;
+    Counter* evictions = nullptr;
+    Counter* writebacks = nullptr;
+  };
+
   /// One pool shard: a slice of the frame array plus its residency index.
   struct alignas(64) Shard {
     std::mutex mu;
@@ -258,13 +289,8 @@ class BufferManager {
     size_t frame_begin = 0;
     size_t frame_count = 0;
     size_t clock_hand = 0;  // offset within [frame_begin, +frame_count)
-  };
-
-  struct AtomicBufferStats {
-    std::atomic<uint64_t> hits{0};
-    std::atomic<uint64_t> faults{0};
-    std::atomic<uint64_t> evictions{0};
-    std::atomic<uint64_t> writebacks{0};
+    AtomicBufferStats stats;   // instance-local, reset by ResetStats()
+    ShardCounters metrics;     // process-wide registry, never reset here
   };
 
   static constexpr uint32_t kMaxLayers = 512;
@@ -320,7 +346,8 @@ class BufferManager {
   std::mutex txn_mu_;
   std::unordered_map<uint64_t, std::vector<Frame*>> txn_frames_;
 
-  AtomicBufferStats stats_;
+  // Fault (fill I/O) latency, recorded into the process-wide registry.
+  Histogram* fault_latency_ns_ = nullptr;
 };
 
 }  // namespace sedna

@@ -16,6 +16,15 @@ uint64_t Mix64(uint64_t x) {
 
 }  // namespace
 
+LockManager::LockManager(std::chrono::milliseconds default_timeout)
+    : default_timeout_(default_timeout) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  m_acquired_ = reg.counter("lock.acquired");
+  m_waits_ = reg.counter("lock.waits");
+  m_deadlock_aborts_ = reg.counter("lock.deadlock_aborts");
+  m_wait_ns_ = reg.histogram("lock.wait_ns");
+}
+
 std::chrono::milliseconds LockManager::JitteredTimeout(
     uint64_t txn_id, std::chrono::milliseconds timeout) const {
   if (jitter_fraction_ <= 0.0 || timeout.count() <= 0) return timeout;
@@ -57,13 +66,20 @@ Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
 
   if (!CanGrantLocked(state, txn_id, mode)) {
     stats_.waits++;
+    m_waits_->Add();
     state.waiters++;
+    auto wait_start = std::chrono::steady_clock::now();
     bool granted = cv_.wait_for(lock, JitteredTimeout(txn_id, timeout), [&] {
       return CanGrantLocked(state, txn_id, mode);
     });
+    m_wait_ns_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wait_start)
+            .count()));
     state.waiters--;
     if (!granted) {
-      stats_.timeouts++;
+      stats_.deadlock_aborts++;
+      m_deadlock_aborts_->Add();
       return Status::TimedOut("lock wait on '" + resource +
                               "' timed out (possible deadlock); abort the "
                               "transaction and retry");
@@ -71,6 +87,7 @@ Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
   }
   state.holders[txn_id] = mode;
   stats_.acquired++;
+  m_acquired_->Add();
   return Status::OK();
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 
 namespace sedna {
@@ -24,15 +25,14 @@ enum class LockMode { kShared, kExclusive };
 
 struct LockStats {
   uint64_t acquired = 0;
-  uint64_t waits = 0;     // acquisitions that had to block
-  uint64_t timeouts = 0;  // deadlock-resolution aborts
+  uint64_t waits = 0;            // acquisitions that had to block
+  uint64_t deadlock_aborts = 0;  // waits that timed out (deadlock resolution)
 };
 
 class LockManager {
  public:
   explicit LockManager(std::chrono::milliseconds default_timeout =
-                           std::chrono::milliseconds(1000))
-      : default_timeout_(default_timeout) {}
+                           std::chrono::milliseconds(1000));
 
   /// Sets the per-transaction jitter applied to wait budgets, as a fraction
   /// of the timeout in [0, 1]. Timeout-based deadlock resolution is
@@ -82,6 +82,12 @@ class LockManager {
   std::chrono::milliseconds default_timeout_;
   double jitter_fraction_ = 0.25;
   LockStats stats_;
+
+  // Process-wide registry instruments, resolved once at construction.
+  Counter* m_acquired_ = nullptr;
+  Counter* m_waits_ = nullptr;
+  Counter* m_deadlock_aborts_ = nullptr;
+  Histogram* m_wait_ns_ = nullptr;
 };
 
 }  // namespace sedna

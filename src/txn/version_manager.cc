@@ -13,7 +13,10 @@ void VersionManager::BeginTxn(uint64_t txn_id, bool read_only,
   state.read_only = read_only;
   state.snapshot_ts = snapshot_ts;
   txns_[txn_id] = std::move(state);
-  if (read_only) active_snapshots_.insert(snapshot_ts);
+  if (read_only) {
+    active_snapshots_.insert(snapshot_ts);
+    m_snapshots_created_->Add();
+  }
 }
 
 bool VersionManager::InTransaction(uint64_t txn_id) const {
@@ -57,6 +60,7 @@ void VersionManager::PurgeSupersededLocked(LogicalPageId lpid,
       kept.push_back(pv->committed[i]);
     } else {
       stats_.versions_purged++;
+      m_versions_purged_->Add();
       Status st = FreePhysicalLocked(pv->committed[i].ppn);
       if (!st.ok()) {
         SEDNA_LOG(kError) << "purging version of " << Xptr(lpid).ToString()
@@ -220,7 +224,10 @@ StatusOr<PhysPageId> VersionManager::Resolve(LogicalPageId lpid,
         if (v.commit_ts <= ctx.snapshot_ts) best = &v;
       }
       if (best != nullptr) {
-        if (best != &pv.committed.back()) stats_.snapshot_reads++;
+        if (best != &pv.committed.back()) {
+          stats_.snapshot_reads++;
+          m_snapshot_reads_->Add();
+        }
         return best->ppn;
       }
       if (!pv.committed.empty()) {
@@ -274,6 +281,7 @@ StatusOr<PageResolver::WriteTarget> VersionManager::ResolveForWrite(
   pv.working[ctx.txn_id] = fresh;
   txn->second.written.push_back(lpid);
   stats_.versions_created++;
+  m_version_copies_->Add();
   return WriteTarget{fresh, last};
 }
 

@@ -24,6 +24,7 @@
 #include <set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "sas/buffer_manager.h"
 #include "sas/file_manager.h"
 #include "sas/page_directory.h"
@@ -40,7 +41,13 @@ struct VersionStats {
 class VersionManager : public PageResolver {
  public:
   VersionManager(FileManager* file, SimplePageDirectory* directory)
-      : file_(file), directory_(directory) {}
+      : file_(file), directory_(directory) {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    m_snapshots_created_ = reg.counter("mvcc.snapshots_created");
+    m_version_copies_ = reg.counter("mvcc.version_copies");
+    m_versions_purged_ = reg.counter("mvcc.versions_purged");
+    m_snapshot_reads_ = reg.counter("mvcc.snapshot_reads");
+  }
 
   void BindBuffers(BufferManager* buffers) { buffers_ = buffers; }
 
@@ -125,6 +132,12 @@ class VersionManager : public PageResolver {
   std::vector<DeferredFree> deferred_frees_;
   uint64_t persistent_snapshot_ts_ = 0;
   VersionStats stats_;
+
+  // Process-wide registry instruments, resolved once at construction.
+  Counter* m_snapshots_created_ = nullptr;
+  Counter* m_version_copies_ = nullptr;
+  Counter* m_versions_purged_ = nullptr;
+  Counter* m_snapshot_reads_ = nullptr;
 };
 
 /// PageAllocator that tracks transactional allocation/free so aborts can

@@ -2,8 +2,37 @@
 
 #include "common/coding.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace sedna {
+
+namespace {
+
+// WAL instruments are shared by every WalWriter (and the free recovery
+// functions below), so they live in one lazily-built bundle.
+struct WalMetrics {
+  Counter* records;
+  Counter* bytes;
+  Counter* syncs;
+  Counter* io_errors;
+  Counter* truncations;
+  Histogram* fsync_ns;
+
+  static const WalMetrics& Get() {
+    static const WalMetrics m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      return WalMetrics{reg.counter("wal.records"),
+                        reg.counter("wal.bytes"),
+                        reg.counter("wal.syncs"),
+                        reg.counter("wal.io_errors"),
+                        reg.counter("wal.truncations"),
+                        reg.histogram("wal.fsync_ns")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 WalWriter::WalWriter(Vfs* vfs) : vfs_(vfs != nullptr ? vfs : Vfs::Default()) {}
 
@@ -63,12 +92,15 @@ StatusOr<uint64_t> WalWriter::Append(WalRecordType type, uint64_t txn_id,
   uint64_t lsn = end_lsn_;
   Status st = file_->Append(record.data(), record.size());
   if (!st.ok()) {
-    if (st.code() == StatusCode::kIOError && io_failure_handler_) {
-      io_failure_handler_(st);
+    if (st.code() == StatusCode::kIOError) {
+      WalMetrics::Get().io_errors->Add();
+      if (io_failure_handler_) io_failure_handler_(st);
     }
     return st;
   }
   end_lsn_ += record.size();
+  WalMetrics::Get().records->Add();
+  WalMetrics::Get().bytes->Add(record.size());
   return lsn;
 }
 
@@ -80,9 +112,15 @@ uint64_t WalWriter::end_lsn() const {
 Status WalWriter::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ == nullptr) return Status::OK();
-  Status st = file_->Sync();
-  if (!st.ok() && st.code() == StatusCode::kIOError && io_failure_handler_) {
-    io_failure_handler_(st);
+  Status st;
+  {
+    LatencyTimer timer(WalMetrics::Get().fsync_ns);
+    st = file_->Sync();
+  }
+  WalMetrics::Get().syncs->Add();
+  if (!st.ok() && st.code() == StatusCode::kIOError) {
+    WalMetrics::Get().io_errors->Add();
+    if (io_failure_handler_) io_failure_handler_(st);
   }
   return st;
 }
@@ -131,6 +169,7 @@ Status TruncateWalTail(const std::string& path, uint64_t valid_end, Vfs* vfs) {
   std::unique_ptr<File> file = std::move(opened).value();
   SEDNA_ASSIGN_OR_RETURN(uint64_t size, file->Size());
   if (size <= valid_end) return Status::OK();
+  WalMetrics::Get().truncations->Add();
   SEDNA_LOG(kWarning) << "truncating WAL " << path << " from " << size
                       << " to " << valid_end << " bytes (torn tail)";
   SEDNA_RETURN_IF_ERROR(file->Truncate(valid_end));

@@ -1,6 +1,7 @@
 #include "xquery/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.h"
@@ -8,12 +9,136 @@
 #include "xml/xml_serializer.h"
 #include "xquery/analyzer.h"
 #include "xquery/functions.h"
+#include "xquery/profile.h"
 
 namespace sedna {
 
 namespace {
 
 constexpr int kMaxUdfDepth = 256;
+
+// ---------------------------------------------------------------------------
+// EXPLAIN/profile instrumentation
+// ---------------------------------------------------------------------------
+
+/// Wraps one operator's stream when ExecContext::profile is active: counts
+/// pulls/rows and wall time, and points ctx.profile at this operator's node
+/// while the wrapped Next() runs so operators it builds lazily (FLWOR
+/// return clauses, predicate subexpressions) attach under it.
+class ProfilingStream final : public ItemStream {
+ public:
+  ProfilingStream(ExecContext& ctx, ProfileNode* node, StreamPtr in)
+      : ctx_(&ctx), node_(node), in_(std::move(in)) {}
+
+  StatusOr<bool> Next(Item* out) override {
+    ProfileNode* saved = ctx_->profile;
+    ctx_->profile = node_;
+    auto start = std::chrono::steady_clock::now();
+    StatusOr<bool> got = in_->Next(out);
+    node_->time_ns += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    node_->pulls++;
+    if (got.ok() && *got) node_->rows++;
+    ctx_->profile = saved;
+    return got;
+  }
+
+ private:
+  ExecContext* ctx_;
+  ProfileNode* node_;
+  StreamPtr in_;
+};
+
+/// Attaches `in` to the profile tree under the current node. No-op (returns
+/// `in` unwrapped) when profiling is off, so the default pipeline pays
+/// nothing.
+StreamPtr MaybeProfile(ExecContext& ctx, const std::string& label,
+                       StreamPtr in) {
+  if (ctx.profile == nullptr) return in;
+  ProfileNode* node = ctx.profile->Child(label);
+  return std::make_unique<ProfilingStream>(ctx, node, std::move(in));
+}
+
+std::string NodeTestLabel(const NodeTest& test) {
+  switch (test.kind) {
+    case NodeTest::Kind::kName:
+      return test.name;
+    case NodeTest::Kind::kAnyName:
+      return "*";
+    case NodeTest::Kind::kAnyNode:
+      return "node()";
+    case NodeTest::Kind::kText:
+      return "text()";
+    case NodeTest::Kind::kComment:
+      return "comment()";
+    case NodeTest::Kind::kPi:
+      return "processing-instruction(" + test.name + ")";
+  }
+  return "?";
+}
+
+std::string StepLabel(const Step& step) {
+  std::string label = "step ";
+  label += AxisName(step.axis);
+  label += "::";
+  label += NodeTestLabel(step.test);
+  if (!step.predicates.empty()) {
+    label += "[" + std::to_string(step.predicates.size()) + " pred]";
+  }
+  return label;
+}
+
+/// Operator label for the profile tree: the expression's physical shape,
+/// with enough detail (names, operators) to recognize it in the plan.
+std::string ProfileLabel(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteralInt:
+    case ExprKind::kLiteralDouble:
+    case ExprKind::kLiteralString:
+      return "literal";
+    case ExprKind::kEmptySequence:
+      return "empty";
+    case ExprKind::kSequence:
+      return "sequence";
+    case ExprKind::kRange:
+      return "range";
+    case ExprKind::kArith:
+      return "arith " + expr.str_val;
+    case ExprKind::kUnaryMinus:
+      return "neg";
+    case ExprKind::kComparison:
+      return "compare " + expr.str_val;
+    case ExprKind::kAnd:
+      return "and";
+    case ExprKind::kOr:
+      return "or";
+    case ExprKind::kIf:
+      return "if";
+    case ExprKind::kQuantified:
+      return expr.every ? "every" : "some";
+    case ExprKind::kFlwor:
+      return expr.order_specs.empty() ? "flwor" : "flwor(order-by)";
+    case ExprKind::kPath:
+      return expr.str_val == "filter" ? "filter" : "path";
+    case ExprKind::kContextRoot:
+      return "root()";
+    case ExprKind::kFunctionCall:
+      return "call " + expr.str_val + "()";
+    case ExprKind::kVarRef:
+      return "$" + expr.str_val;
+    case ExprKind::kContextItem:
+      return ".";
+    case ExprKind::kElementCtor:
+      return "element <" + expr.str_val + ">";
+    case ExprKind::kAttributeCtor:
+      return "attribute " + expr.str_val;
+    case ExprKind::kTextCtor:
+      return "text ctor";
+  }
+  return "expr";
+}
 
 // ---------------------------------------------------------------------------
 // Axis evaluation
@@ -1326,13 +1451,17 @@ StatusOr<StreamPtr> EvalPathStream(const Expr& path, ExecContext& ctx) {
         if (sns.empty()) {
           in = MakeEmptyStream();
         } else if (sns.size() == 1) {
-          in = std::make_unique<SchemaScanStream>(ctx, doc, sns[0]);
+          in = MaybeProfile(
+              ctx, "schema-scan " + NodeTestLabel(path.steps[end - 1].test),
+              std::make_unique<SchemaScanStream>(ctx, doc, sns[0]));
         } else {
           // Several schema nodes: the doc-order merge needs the whole set.
           SEDNA_ASSIGN_OR_RETURN(Sequence nodes,
                                  EnumerateSchemaNodes(ctx, doc, sns));
           ctx.Count(&ExecStats::streams_materialized);
-          in = MakeSequenceStream(std::move(nodes));
+          in = MaybeProfile(
+              ctx, "schema-merge " + NodeTestLabel(path.steps[end - 1].test),
+              MakeSequenceStream(std::move(nodes)));
         }
         step_idx = end;
         served = true;
@@ -1345,11 +1474,13 @@ StatusOr<StreamPtr> EvalPathStream(const Expr& path, ExecContext& ctx) {
 
   for (; step_idx < path.steps.size(); ++step_idx) {
     const Step& step = path.steps[step_idx];
-    in = std::make_unique<StepStream>(ctx, std::move(in), &step);
+    in = MaybeProfile(ctx, StepLabel(step),
+                      std::make_unique<StepStream>(ctx, std::move(in), &step));
     if (step.needs_ddo) {
       // The rewriter could not prove the step order-safe (Section 5.1.1):
       // DDO is the pipeline's materialization barrier.
       SEDNA_ASSIGN_OR_RETURN(in, MaterializeDdo(ctx, std::move(in)));
+      in = MaybeProfile(ctx, "ddo", std::move(in));
     }
   }
   return in;
@@ -1645,21 +1776,9 @@ StatusOr<bool> EvalEbv(const Expr& expr, ExecContext& ctx) {
   return EffectiveBooleanValueStream(ctx, in.get());
 }
 
-}  // namespace
-
-StatusOr<Sequence> Eval(const Expr& expr, ExecContext& ctx) {
-  if (!ctx.enable_streaming) return EvalEager(expr, ctx);
-  SEDNA_ASSIGN_OR_RETURN(StreamPtr in, EvalStream(expr, ctx));
-  Sequence out;
-  SEDNA_RETURN_IF_ERROR(DrainStream(ctx, in.get(), &out));
-  return out;
-}
-
-StatusOr<StreamPtr> EvalStream(const Expr& expr, ExecContext& ctx) {
-  if (!ctx.enable_streaming) {
-    SEDNA_ASSIGN_OR_RETURN(Sequence value, EvalEager(expr, ctx));
-    return MakeSequenceStream(std::move(value));
-  }
+/// The operator-construction dispatch behind EvalStream(). The public
+/// wrapper handles the eager fallback and profile-tree attachment.
+StatusOr<StreamPtr> EvalStreamSwitch(const Expr& expr, ExecContext& ctx) {
   switch (expr.kind) {
     case ExprKind::kPath:
       return EvalPathStream(expr, ctx);
@@ -1727,6 +1846,35 @@ StatusOr<StreamPtr> EvalStream(const Expr& expr, ExecContext& ctx) {
       return MakeSequenceStream(std::move(value));
     }
   }
+}
+
+}  // namespace
+
+StatusOr<Sequence> Eval(const Expr& expr, ExecContext& ctx) {
+  if (!ctx.enable_streaming) return EvalEager(expr, ctx);
+  SEDNA_ASSIGN_OR_RETURN(StreamPtr in, EvalStream(expr, ctx));
+  Sequence out;
+  SEDNA_RETURN_IF_ERROR(DrainStream(ctx, in.get(), &out));
+  return out;
+}
+
+StatusOr<StreamPtr> EvalStream(const Expr& expr, ExecContext& ctx) {
+  if (!ctx.enable_streaming) {
+    SEDNA_ASSIGN_OR_RETURN(Sequence value, EvalEager(expr, ctx));
+    return MakeSequenceStream(std::move(value));
+  }
+  if (ctx.profile == nullptr) return EvalStreamSwitch(expr, ctx);
+  // Profiled: this operator's node collects the counters; subexpression
+  // streams built during construction (and lazily during pulls, via
+  // ProfilingStream's focus switch) attach under it.
+  ProfileNode* parent = ctx.profile;
+  ProfileNode* node = parent->Child(ProfileLabel(expr));
+  ctx.profile = node;
+  StatusOr<StreamPtr> built = EvalStreamSwitch(expr, ctx);
+  ctx.profile = parent;
+  if (!built.ok()) return built;
+  return StreamPtr(
+      std::make_unique<ProfilingStream>(ctx, node, std::move(*built)));
 }
 
 StatusOr<bool> EffectiveBooleanValueStream(ExecContext& ctx, ItemStream* in) {

@@ -18,6 +18,7 @@
 #ifndef SEDNA_XQUERY_EXECUTOR_H_
 #define SEDNA_XQUERY_EXECUTOR_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <string>
@@ -31,20 +32,58 @@
 namespace sedna {
 
 class ValueIndexManager;
+struct ProfileNode;  // xquery/profile.h
 
 /// Execution counters consumed by tests and the benchmark harness.
+///
+/// The fields are atomics: ExecContext::Count used to write through a raw
+/// pointer with a plain +=, which races as soon as two threads share one
+/// statement's stats block (e.g. a parallelized pipeline stage, or a
+/// monitoring thread snapshotting a long query). Updates and reads are
+/// relaxed — each counter is an independent tally, no ordering is implied —
+/// and the struct stays copyable (results are returned by value) via
+/// explicit copy operations that load/store each field.
 struct ExecStats {
-  uint64_t ddo_ops = 0;          // DDO operations executed
-  uint64_t ddo_items = 0;        // items passed through DDO sorting
-  uint64_t axis_nodes = 0;       // nodes enumerated by axis evaluation
-  uint64_t deep_copy_nodes = 0;  // nodes deep-copied by constructors
-  uint64_t virtual_elements = 0; // constructors answered virtually
-  uint64_t schema_scans = 0;     // structural paths served from the schema
+  std::atomic<uint64_t> ddo_ops{0};          // DDO operations executed
+  std::atomic<uint64_t> ddo_items{0};        // items passed through DDO sort
+  std::atomic<uint64_t> axis_nodes{0};       // nodes enumerated by axes
+  std::atomic<uint64_t> deep_copy_nodes{0};  // nodes deep-copied
+  std::atomic<uint64_t> virtual_elements{0}; // constructors answered virtually
+  std::atomic<uint64_t> schema_scans{0};     // paths served from the schema
   // Pull-pipeline counters: these let tests assert *laziness*, not just
   // results (e.g. (//x)[1] on a 10k-match document pulls O(1) items).
-  uint64_t items_pulled = 0;         // successful ItemStream pulls
-  uint64_t early_exits = 0;          // pipelines cut off before exhaustion
-  uint64_t streams_materialized = 0; // streams drained at a barrier
+  std::atomic<uint64_t> items_pulled{0};         // successful ItemStream pulls
+  std::atomic<uint64_t> early_exits{0};          // pipelines cut off early
+  std::atomic<uint64_t> streams_materialized{0}; // drained at a barrier
+
+  ExecStats() = default;
+  ExecStats(const ExecStats& other) { *this = other; }
+  ExecStats& operator=(const ExecStats& other) {
+    if (this != &other) {
+      ddo_ops.store(other.ddo_ops.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      ddo_items.store(other.ddo_items.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      axis_nodes.store(other.axis_nodes.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      deep_copy_nodes.store(
+          other.deep_copy_nodes.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      virtual_elements.store(
+          other.virtual_elements.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      schema_scans.store(other.schema_scans.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      items_pulled.store(other.items_pulled.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+      early_exits.store(other.early_exits.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+      streams_materialized.store(
+          other.streams_materialized.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    return *this;
+  }
 };
 
 /// Dynamic evaluation context.
@@ -80,8 +119,16 @@ struct ExecContext {
   ExecStats* stats = nullptr;
   int udf_depth = 0;  // recursion guard
 
-  void Count(uint64_t ExecStats::*field, uint64_t delta = 1) {
-    if (stats != nullptr) (stats->*field) += delta;
+  /// Non-null while a profiled (EXPLAIN) statement runs: the profile-tree
+  /// node operators built *now* should attach under. EvalStream() wraps
+  /// every operator it creates in a ProfilingStream and points this at the
+  /// operator's node while the operator builds or pulls its inputs.
+  ProfileNode* profile = nullptr;
+
+  void Count(std::atomic<uint64_t> ExecStats::*field, uint64_t delta = 1) {
+    if (stats != nullptr) {
+      (stats->*field).fetch_add(delta, std::memory_order_relaxed);
+    }
   }
 };
 

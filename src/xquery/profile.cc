@@ -1,0 +1,62 @@
+#include "xquery/profile.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace sedna {
+
+namespace {
+
+std::string FormatNs(uint64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns) / 1e9);
+  } else if (ns >= 1000000ull) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns) / 1e6);
+  } else if (ns >= 1000ull) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 "ns", ns);
+  }
+  return buf;
+}
+
+void RenderNode(const ProfileNode& node, int depth, std::string* out) {
+  std::string line(static_cast<size_t>(depth) * 2, ' ');
+  line += node.label.empty() ? "(root)" : node.label;
+  if (line.size() < 40) line.resize(40, ' ');
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), " pulls=%" PRIu64 " rows=%" PRIu64
+                " time=%s", node.pulls, node.rows,
+                FormatNs(node.time_ns).c_str());
+  line += buf;
+  *out += line;
+  *out += '\n';
+  for (const auto& child : node.children) {
+    RenderNode(*child, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+ProfileNode* ProfileNode::Child(const std::string& child_label) {
+  for (const auto& c : children) {
+    if (c->label == child_label) return c.get();
+  }
+  children.push_back(std::make_unique<ProfileNode>());
+  children.back()->label = child_label;
+  return children.back().get();
+}
+
+std::string RenderProfileTree(const ProfileNode& root) {
+  std::string out;
+  if (root.label.empty() && root.pulls == 0 && !root.children.empty()) {
+    // The synthetic root only groups the top-level operators.
+    for (const auto& child : root.children) RenderNode(*child, 0, &out);
+  } else {
+    RenderNode(root, 0, &out);
+  }
+  return out;
+}
+
+}  // namespace sedna

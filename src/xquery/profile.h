@@ -1,0 +1,41 @@
+// Per-statement EXPLAIN/trace support: a tree of per-operator counters the
+// streaming executor fills in while a profiled query runs.
+//
+// Each node corresponds to one physical operator (an expression's stream or
+// one path step); the executor attaches a ProfilingStream wrapper around
+// every operator it builds while ExecContext::profile is non-null. Because
+// loops (FLWOR return clauses, predicates) rebuild their subexpression
+// streams per tuple, children are found-or-created *by label*: the counters
+// of the thousand instances of one operator accumulate into a single node
+// instead of exploding the tree.
+
+#ifndef SEDNA_XQUERY_PROFILE_H_
+#define SEDNA_XQUERY_PROFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sedna {
+
+struct ProfileNode {
+  std::string label;     // operator description, e.g. "step child::item"
+  uint64_t pulls = 0;    // Next() calls on this operator
+  uint64_t rows = 0;     // items it produced
+  uint64_t time_ns = 0;  // wall time inside Next(), inclusive of children
+  std::vector<std::unique_ptr<ProfileNode>> children;
+
+  /// Finds the child with this label, creating it at the end if absent.
+  ProfileNode* Child(const std::string& child_label);
+};
+
+/// Renders the annotated plan tree, one operator per line:
+///   path                      pulls=17 rows=16 time=1.203ms
+///     step descendant::item   pulls=17 rows=16 time=1.102ms
+/// Children are indented two spaces per level.
+std::string RenderProfileTree(const ProfileNode& root);
+
+}  // namespace sedna
+
+#endif  // SEDNA_XQUERY_PROFILE_H_

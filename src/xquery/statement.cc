@@ -1,6 +1,9 @@
 #include "xquery/statement.h"
 
+#include <cctype>
+
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "xquery/analyzer.h"
 #include "xquery/node_ops.h"
 #include "xquery/parser.h"
@@ -8,6 +11,67 @@
 namespace sedna {
 
 namespace {
+
+/// Folds one statement's ExecStats into the process-wide registry — once
+/// per statement, not per pull, so the pipeline hot path stays untouched.
+void FoldExecStatsIntoRegistry(const ExecStats& s) {
+  struct Bundle {
+    Counter* ddo_ops;
+    Counter* ddo_items;
+    Counter* axis_nodes;
+    Counter* deep_copy_nodes;
+    Counter* virtual_elements;
+    Counter* schema_scans;
+    Counter* items_pulled;
+    Counter* early_exits;
+    Counter* streams_materialized;
+    Counter* statements;
+  };
+  static const Bundle b = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return Bundle{reg.counter("xquery.ddo_ops"),
+                  reg.counter("xquery.ddo_items"),
+                  reg.counter("xquery.axis_nodes"),
+                  reg.counter("xquery.deep_copy_nodes"),
+                  reg.counter("xquery.virtual_elements"),
+                  reg.counter("xquery.schema_scans"),
+                  reg.counter("xquery.items_pulled"),
+                  reg.counter("xquery.early_exits"),
+                  reg.counter("xquery.streams_materialized"),
+                  reg.counter("xquery.statements")};
+  }();
+  b.ddo_ops->Add(s.ddo_ops.load(std::memory_order_relaxed));
+  b.ddo_items->Add(s.ddo_items.load(std::memory_order_relaxed));
+  b.axis_nodes->Add(s.axis_nodes.load(std::memory_order_relaxed));
+  b.deep_copy_nodes->Add(s.deep_copy_nodes.load(std::memory_order_relaxed));
+  b.virtual_elements->Add(s.virtual_elements.load(std::memory_order_relaxed));
+  b.schema_scans->Add(s.schema_scans.load(std::memory_order_relaxed));
+  b.items_pulled->Add(s.items_pulled.load(std::memory_order_relaxed));
+  b.early_exits->Add(s.early_exits.load(std::memory_order_relaxed));
+  b.streams_materialized->Add(
+      s.streams_materialized.load(std::memory_order_relaxed));
+  b.statements->Add();
+}
+
+/// Detects a leading `explain ` keyword (case-insensitive, its own token)
+/// and returns the statement body after it, or an empty optional-like flag.
+bool StripExplainPrefix(const std::string& text, std::string* body) {
+  size_t i = text.find_first_not_of(" \t\r\n");
+  if (i == std::string::npos) return false;
+  constexpr const char kWord[] = "explain";
+  constexpr size_t kLen = sizeof(kWord) - 1;
+  if (text.size() - i <= kLen) return false;
+  for (size_t k = 0; k < kLen; ++k) {
+    if (std::tolower(static_cast<unsigned char>(text[i + k])) != kWord[k]) {
+      return false;
+    }
+  }
+  if (std::isspace(static_cast<unsigned char>(text[i + kLen])) == 0) {
+    return false;
+  }
+  *body = text.substr(i + kLen + 1);
+  return true;
+}
 
 /// Part one of an update plan: evaluate the target path and collect the
 /// handles of the selected stored nodes.
@@ -84,15 +148,30 @@ Status StatementExecutor::NotifyUpdate(const std::string& text) {
 
 StatusOr<StatementResult> StatementExecutor::Execute(
     const std::string& text, const OpCtx& op, const RewriteOptions& options) {
+  std::string body;
+  bool explain = StripExplainPrefix(text, &body);
+  const std::string& stmt_text = explain ? body : text;
   SEDNA_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
-                         ParseStatement(text));
+                         ParseStatement(stmt_text));
   SEDNA_RETURN_IF_ERROR(Analyze(*stmt));
   SEDNA_RETURN_IF_ERROR(Rewrite(stmt.get(), options));
-  return ExecuteParsed(stmt.get(), op, text);
+  SEDNA_ASSIGN_OR_RETURN(
+      StatementResult result,
+      ExecuteParsed(stmt.get(), op, stmt_text, /*profile=*/explain));
+  if (explain) {
+    // EXPLAIN returns the annotated plan tree as the statement's result
+    // text (the statement still ran; updates take effect as usual).
+    result.items.clear();
+    result.serialized = result.profile_text;
+    if (result_sink_) {
+      SEDNA_RETURN_IF_ERROR(result_sink_(result.profile_text));
+    }
+  }
+  return result;
 }
 
 StatusOr<StatementResult> StatementExecutor::ExecuteParsed(
-    Statement* stmt, const OpCtx& op, const std::string& text) {
+    Statement* stmt, const OpCtx& op, const std::string& text, bool profile) {
   ExecContext ctx;
   ctx.storage = storage_;
   ctx.op = op;
@@ -101,6 +180,27 @@ StatusOr<StatementResult> StatementExecutor::ExecuteParsed(
   ctx.doc_access_exclusive = stmt->kind != StatementKind::kQuery;
   ctx.indexes = indexes_;
   ctx.enable_streaming = streaming_enabled_;
+  std::shared_ptr<ProfileNode> profile_root;
+  if (profile || profile_enabled_) {
+    // Label left empty: the renderer treats an unlabeled root as synthetic
+    // and prints its children at depth 0.
+    profile_root = std::make_shared<ProfileNode>();
+    ctx.profile = profile_root.get();
+  }
+  StatusOr<StatementResult> out = RunParsed(stmt, ctx, text);
+  if (out.ok()) {
+    FoldExecStatsIntoRegistry(out->stats);
+    if (profile_root != nullptr) {
+      out->profile = profile_root;
+      out->profile_text = RenderProfileTree(*profile_root);
+    }
+  }
+  return out;
+}
+
+StatusOr<StatementResult> StatementExecutor::RunParsed(
+    Statement* stmt, ExecContext& ctx, const std::string& text) {
+  const OpCtx& op = ctx.op;
   StatementResult result;
   result.kind = stmt->kind;
   ctx.stats = &result.stats;

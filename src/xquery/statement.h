@@ -11,8 +11,11 @@
 #include <string>
 #include <string_view>
 
+#include <memory>
+
 #include "storage/storage_engine.h"
 #include "xquery/executor.h"
+#include "xquery/profile.h"
 #include "xquery/rewriter.h"
 #include "xquery/value_index.h"
 
@@ -24,6 +27,11 @@ struct StatementResult {
   std::string serialized;  // serialized query results
   uint64_t affected = 0;   // nodes inserted/deleted/replaced, docs created
   ExecStats stats;
+  // Set when the statement ran in profile mode (EXPLAIN prefix or
+  // set_profile_enabled): the per-operator plan tree and its rendering.
+  // shared_ptr keeps the result copyable.
+  std::shared_ptr<ProfileNode> profile;
+  std::string profile_text;
   bool is_update() const { return kind != StatementKind::kQuery; }
 };
 
@@ -59,16 +67,28 @@ class StatementExecutor {
   /// off to measure the eager baseline.
   void set_streaming_enabled(bool on) { streaming_enabled_ = on; }
 
-  /// Parses, analyzes, rewrites and executes one statement.
+  /// Profiles every statement (per-operator pulls/rows/time recorded into
+  /// StatementResult::profile). A statement can also opt in individually
+  /// with a leading `explain ` keyword, which additionally returns the
+  /// rendered plan tree as the statement's serialized result.
+  void set_profile_enabled(bool on) { profile_enabled_ = on; }
+
+  /// Parses, analyzes, rewrites and executes one statement. A leading
+  /// `explain ` (case-insensitive) runs the remaining statement in profile
+  /// mode and returns the annotated plan tree.
   StatusOr<StatementResult> Execute(const std::string& text, const OpCtx& op,
                                     const RewriteOptions& options = {});
 
   /// Executes an already-parsed statement (used by recovery replay and by
-  /// benchmarks that pre-parse).
+  /// benchmarks that pre-parse). `profile` forces profile mode for this
+  /// statement.
   StatusOr<StatementResult> ExecuteParsed(Statement* stmt, const OpCtx& op,
-                                          const std::string& original_text);
+                                          const std::string& original_text,
+                                          bool profile = false);
 
  private:
+  StatusOr<StatementResult> RunParsed(Statement* stmt, ExecContext& ctx,
+                                      const std::string& text);
   StatusOr<StatementResult> RunQuery(const Statement& stmt, ExecContext& ctx);
   StatusOr<StatementResult> RunInsert(const Statement& stmt, ExecContext& ctx,
                                       const std::string& text);
@@ -85,6 +105,7 @@ class StatementExecutor {
   std::function<Status(std::string_view)> result_sink_;
   ValueIndexManager* indexes_ = nullptr;
   bool streaming_enabled_ = true;
+  bool profile_enabled_ = false;
 };
 
 /// Recursively inserts a transient XML tree as a node under

@@ -1,0 +1,130 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sedna {
+namespace {
+
+TEST(MetricsTest, CounterAndGaugeBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+
+  Gauge g;
+  g.Set(7);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(MetricsTest, HistogramBucketsArePowersOfTwo) {
+  Histogram h;
+  h.Record(0);   // bucket 0
+  h.Record(1);   // bucket 1
+  h.Record(2);   // bucket 2
+  h.Record(3);   // bucket 2
+  h.Record(4);   // bucket 3
+  h.Record(1023);  // bucket 10
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 0u + 1 + 2 + 3 + 4 + 1023);
+  EXPECT_EQ(h.max(), 1023u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.bucket(10), 1u);
+}
+
+TEST(MetricsTest, HistogramOverflowLandsInTopBucket) {
+  Histogram h;
+  h.Record(~0ull);
+  EXPECT_EQ(h.bucket(Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(h.max(), ~0ull);
+}
+
+TEST(MetricsTest, ApproxQuantileBoundsSamples) {
+  Histogram h;
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0u);  // empty
+  for (int i = 0; i < 100; ++i) h.Record(10);   // bucket 4, edge 15
+  for (int i = 0; i < 10; ++i) h.Record(1000);  // bucket 10, edge 1023
+  EXPECT_EQ(h.ApproxQuantile(0.5), 15u);
+  EXPECT_EQ(h.ApproxQuantile(0.99), 1023u);
+  // The estimate is an upper bound within the 2x bucket width.
+  EXPECT_GE(h.ApproxQuantile(0.5), 10u);
+}
+
+TEST(MetricsTest, RegistryReturnsStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("x.hits");
+  Counter* b = reg.counter("x.hits");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(reg.counter("x.hits")->value(), 3u);
+  EXPECT_NE(static_cast<void*>(reg.gauge("x.hits")), static_cast<void*>(a));
+}
+
+TEST(MetricsTest, SnapshotJsonContainsAllSections) {
+  MetricsRegistry reg;
+  reg.counter("a.count")->Add(5);
+  reg.gauge("b.level")->Set(-2);
+  reg.histogram("c.lat_ns")->Record(100);
+  std::string json = reg.SnapshotJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"b.level\":-2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"c.lat_ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsTest, ResetAllZeroesButKeepsRegistrations) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("r.c");
+  Histogram* h = reg.histogram("r.h");
+  c->Add(9);
+  h->Record(8);
+  reg.ResetAll();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(reg.counter("r.c"), c);  // same instrument, still registered
+}
+
+TEST(MetricsTest, LatencyTimerRecordsOnce) {
+  Histogram h;
+  { LatencyTimer t(&h); }
+  EXPECT_EQ(h.count(), 1u);
+  { LatencyTimer t(nullptr); }  // disabled probe must not crash
+}
+
+// Concurrent registration and updates: lookups race against Add() from
+// many threads; totals must be exact after joining.
+TEST(MetricsTest, ConcurrentRegisterAndUpdate) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter* c = reg.counter("shared.total");
+      Histogram* h = reg.histogram("shared.lat");
+      for (int i = 0; i < kIters; ++i) {
+        c->Add();
+        if (i % 100 == 0) h->Record(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared.total")->value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.histogram("shared.lat")->count(),
+            static_cast<uint64_t>(kThreads) * (kIters / 100));
+}
+
+}  // namespace
+}  // namespace sedna

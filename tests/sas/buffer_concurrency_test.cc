@@ -113,6 +113,30 @@ TEST(BufferConcurrencyTest, ReadersWritersEvictionStress) {
   EXPECT_GT(stats.evictions, 100u);
   EXPECT_GT(stats.writebacks, 10u);
 
+  // Observability invariants: the global view is the sum of the per-shard
+  // counters, and every FetchPinned call counted as exactly one hit or
+  // fault. (ResourceExhausted pins counted a request and a fault before
+  // failing — both sides of the invariant include them.)
+  EXPECT_EQ(stats.requests, stats.hits + stats.faults);
+  uint64_t shard_requests = 0;
+  uint64_t shard_hits = 0;
+  uint64_t shard_faults = 0;
+  bool multiple_shards_active = true;
+  for (size_t s = 0; s < bm.shard_count(); ++s) {
+    BufferStats sh = bm.shard_stats(s);
+    EXPECT_EQ(sh.requests, sh.hits + sh.faults) << "shard " << s;
+    multiple_shards_active = multiple_shards_active && sh.requests > 0;
+    shard_requests += sh.requests;
+    shard_hits += sh.hits;
+    shard_faults += sh.faults;
+  }
+  EXPECT_EQ(stats.requests, shard_requests);
+  EXPECT_EQ(stats.hits, shard_hits);
+  EXPECT_EQ(stats.faults, shard_faults);
+  // 32 pages over 2 shards: both shards must have seen traffic, or the
+  // sharding (or its accounting) is broken.
+  EXPECT_TRUE(multiple_shards_active);
+
   // Every writer page must be uniformly filled: pages are written whole
   // under one pin, so a mixed page means a fill raced a writeback.
   ASSERT_TRUE(bm.FlushAll().ok());

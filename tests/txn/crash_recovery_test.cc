@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/fault_vfs.h"
+#include "common/metrics.h"
 #include "db/database.h"
 #include "sas/file_manager.h"
 
@@ -322,11 +323,24 @@ TEST(CrashRecoveryTortureTest, CommittedEffectsSurviveRandomizedCrashes) {
   }
   ASSERT_GE(trials.size(), 100u);
 
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const uint64_t syncs_before = reg.counter("wal.syncs")->value();
+  const uint64_t records_before = reg.counter("wal.records")->value();
+  const uint64_t truncations_before = reg.counter("wal.truncations")->value();
+
   uint64_t seed = 0x70a7;
   for (const Trial& t : trials) {
     RunCrashTrial(t.rel, t.style, seed++, docs);
     if (::testing::Test::HasFatalFailure()) return;
   }
+
+  // Observability: the torture ran hundreds of commits and recoveries, so
+  // the registry's WAL instruments must have moved — fsyncs and records on
+  // the commit path, and at least one torn-tail truncation during replay
+  // (the kTornWrites trials guarantee torn tails).
+  EXPECT_GT(reg.counter("wal.syncs")->value(), syncs_before);
+  EXPECT_GT(reg.counter("wal.records")->value(), records_before);
+  EXPECT_GT(reg.counter("wal.truncations")->value(), truncations_before);
 }
 
 // --- transient errors: bounded retries ---------------------------------------

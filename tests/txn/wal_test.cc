@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/metrics.h"
 #include "txn/transaction.h"
 
 namespace sedna {
@@ -267,6 +268,46 @@ TEST_F(WalTest, LargePayloadRoundTrip) {
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records->size(), 1u);
   EXPECT_EQ((*records)[0].payload, big);
+}
+
+// Registry instruments follow WAL activity. Counters are process-global
+// and only grow, so assertions are on deltas.
+TEST_F(WalTest, RegistryCountersFollowAppendsSyncsAndTruncations) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* records = reg.counter("wal.records");
+  Counter* bytes = reg.counter("wal.bytes");
+  Counter* syncs = reg.counter("wal.syncs");
+  Counter* truncations = reg.counter("wal.truncations");
+  Histogram* fsync_ns = reg.histogram("wal.fsync_ns");
+  const uint64_t records0 = records->value();
+  const uint64_t bytes0 = bytes->value();
+  const uint64_t syncs0 = syncs->value();
+  const uint64_t truncations0 = truncations->value();
+  const uint64_t fsyncs0 = fsync_ns->count();
+
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 9, "").ok());
+  ASSERT_TRUE(
+      writer.Append(WalRecordType::kUpdateStatement, 9, "UPDATE y").ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 9, "").ok());
+  ASSERT_TRUE(writer.Sync().ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  EXPECT_EQ(records->value(), records0 + 3);
+  // Each record is framed ([len][crc][type][txn] + payload), so the byte
+  // counter advances by more than the raw payload size.
+  EXPECT_GT(bytes->value(), bytes0 + 8);
+  EXPECT_EQ(syncs->value(), syncs0 + 1);
+  // Sync latency lands in the fsync histogram.
+  EXPECT_EQ(fsync_ns->count(), fsyncs0 + 1);
+
+  // Cutting a torn tail is counted.
+  std::filesystem::resize_file(path_, std::filesystem::file_size(path_) - 2);
+  uint64_t valid_end = 0;
+  ASSERT_TRUE(ReadWal(path_, 0, nullptr, &valid_end).ok());
+  ASSERT_TRUE(TruncateWalTail(path_, valid_end).ok());
+  EXPECT_EQ(truncations->value(), truncations0 + 1);
 }
 
 }  // namespace

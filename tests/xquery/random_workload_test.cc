@@ -1,0 +1,210 @@
+// Randomized workload sweep: generates documents with the xmlgen
+// generators at fixed seeds, auto-derives path / predicate / FLWOR
+// queries from each document's *descriptive schema* (paper Section 4.1 —
+// the schema enumerates exactly the paths that exist, so every derived
+// query is guaranteed to match the document shape), then cross-checks
+// streaming vs. eager evaluation and asserts metric invariants that the
+// observability layer must preserve:
+//   * buffer:  requests == hits + faults   (every FetchPinned call is
+//              counted exactly once as a hit or a fault)
+//   * buffer:  evictions <= faults         (evicting only makes room)
+//   * buffer:  stats() == sum over shard_stats()
+//   * xquery:  streaming pulls items; eager never reports early exits
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "storage/schema.h"
+#include "tests/storage/storage_test_util.h"
+#include "xmlgen/generators.h"
+#include "xquery/statement.h"
+
+namespace sedna {
+namespace {
+
+// Collects up to `limit` element schema-node paths under the document
+// root, in discovery order (BFS keeps the shallow, high-fanout paths).
+std::vector<std::string> ElementPaths(const DescriptiveSchema& schema,
+                                      size_t limit) {
+  std::vector<std::string> out;
+  std::vector<const SchemaNode*> queue = {schema.root()};
+  for (size_t i = 0; i < queue.size() && out.size() < limit; ++i) {
+    const SchemaNode* n = queue[i];
+    if (n->kind == XmlKind::kElement) out.push_back(n->Path());
+    for (const SchemaNode* c : n->children) {
+      if (c->kind == XmlKind::kElement) queue.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Distinct element names in the schema (for //name sweeps).
+std::vector<std::string> ElementNames(const DescriptiveSchema& schema,
+                                      size_t limit) {
+  std::vector<std::string> out;
+  for (uint32_t i = 0; i < schema.size() && out.size() < limit; ++i) {
+    const SchemaNode* n = schema.node(i);
+    if (n->kind != XmlKind::kElement || n->name.empty()) continue;
+    bool seen = false;
+    for (const std::string& s : out) seen = seen || s == n->name;
+    if (!seen) out.push_back(n->name);
+  }
+  return out;
+}
+
+class RandomWorkloadTest : public StorageTest {
+ protected:
+  void Load(const std::string& name, const XmlNode& tree) {
+    auto store = engine_->CreateDocument(ctx_, name);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Load(ctx_, tree).ok());
+    doc_ = *store;
+  }
+
+  // Derives the query corpus for the currently loaded document from its
+  // descriptive schema.
+  std::vector<std::string> DeriveQueries(const std::string& doc) {
+    std::vector<std::string> queries;
+    const DescriptiveSchema& schema = *doc_->schema();
+    for (const std::string& p : ElementPaths(schema, 8)) {
+      std::string abs = "doc('" + doc + "')" + p;
+      queries.push_back(abs);                                 // path
+      queries.push_back("count(" + abs + ")");                // aggregate
+      queries.push_back("(" + abs + ")[1]");                  // predicate
+      queries.push_back(abs + "[position() <= 2]");           // predicate
+      queries.push_back("for $x in " + abs +                  // FLWOR
+                        " return local-name($x)");
+      queries.push_back("for $x in subsequence(" + abs +
+                        ", 1, 4) where exists($x/*) return count($x/*)");
+    }
+    for (const std::string& n : ElementNames(schema, 5)) {
+      queries.push_back("count(doc('" + doc + "')//" + n + ")");
+      queries.push_back("exists(doc('" + doc + "')//" + n + ")");
+    }
+    return queries;
+  }
+
+  // Runs one query in both modes, compares results, and checks the
+  // per-statement ExecStats invariants.
+  void CheckQuery(StatementExecutor* executor, const std::string& q) {
+    executor->set_streaming_enabled(true);
+    auto streamed = executor->Execute(q, ctx_);
+    ASSERT_TRUE(streamed.ok()) << q << "\n  -> " << streamed.status().ToString();
+    executor->set_streaming_enabled(false);
+    auto eager = executor->Execute(q, ctx_);
+    executor->set_streaming_enabled(true);
+    ASSERT_TRUE(eager.ok()) << q << "\n  -> " << eager.status().ToString();
+    EXPECT_EQ(streamed->serialized, eager->serialized) << q;
+    // The eager path never runs the pull pipeline, so it must not report
+    // early exits; the streaming path pulls at least one item whenever
+    // the query produced output.
+    EXPECT_EQ(eager->stats.early_exits, 0u) << q;
+    if (!streamed->serialized.empty()) {
+      EXPECT_GE(streamed->stats.items_pulled, 1u) << q;
+    }
+  }
+
+  // Buffer-pool accounting invariants over the whole workload.
+  void CheckBufferInvariants() {
+    BufferManager* buffers = engine_->buffers();
+    BufferStats total = buffers->stats();
+    EXPECT_EQ(total.requests, total.hits + total.faults)
+        << "every FetchPinned call must count as exactly one hit or fault";
+    EXPECT_LE(total.evictions, total.faults);
+    BufferStats summed;
+    for (size_t s = 0; s < buffers->shard_count(); ++s) {
+      BufferStats sh = buffers->shard_stats(s);
+      summed.requests += sh.requests;
+      summed.hits += sh.hits;
+      summed.faults += sh.faults;
+      summed.coalesced_fills += sh.coalesced_fills;
+      summed.evictions += sh.evictions;
+      summed.writebacks += sh.writebacks;
+      EXPECT_EQ(sh.requests, sh.hits + sh.faults) << "shard " << s;
+    }
+    EXPECT_EQ(total.requests, summed.requests);
+    EXPECT_EQ(total.hits, summed.hits);
+    EXPECT_EQ(total.faults, summed.faults);
+  }
+
+  DocumentStore* doc_ = nullptr;
+};
+
+TEST_F(RandomWorkloadTest, RandomTreeSeedSweep) {
+  StatementExecutor executor(engine_.get());
+  size_t queries_run = 0;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    std::string name = "rand" + std::to_string(seed);
+    Load(name, *xmlgen::RandomTree(400, seed));
+    for (const std::string& q : DeriveQueries(name)) {
+      CheckQuery(&executor, q);
+      ++queries_run;
+    }
+  }
+  // The schema of a 400-node random tree always yields a healthy corpus;
+  // guard against the derivation silently collapsing.
+  EXPECT_GE(queries_run, 100u);
+  CheckBufferInvariants();
+}
+
+TEST_F(RandomWorkloadTest, StructuredGeneratorsSweep) {
+  StatementExecutor executor(engine_.get());
+  Load("lib", *xmlgen::Library(40, 15));
+  xmlgen::AuctionParams ap;
+  ap.items = 24;
+  ap.people = 16;
+  ap.open_auctions = 12;
+  ap.closed_auctions = 6;
+  ap.description_words = 4;
+  Load("auction", *xmlgen::Auction(ap));
+  Load("deep", *xmlgen::DeepChain(40));
+  Load("wide", *xmlgen::WideFan(300, 5));
+
+  size_t queries_run = 0;
+  for (const std::string& doc : {"lib", "auction", "deep", "wide"}) {
+    auto store = engine_->GetDocument(doc);
+    ASSERT_TRUE(store.ok());
+    doc_ = *store;
+    for (const std::string& q : DeriveQueries(doc)) {
+      CheckQuery(&executor, q);
+      ++queries_run;
+    }
+  }
+  EXPECT_GE(queries_run, 60u);
+  CheckBufferInvariants();
+}
+
+// The registry's process-wide counters must move with the instance stats:
+// after a workload, the global buffer counters are at least the instance's
+// (other tests in the process may have added more — counters only grow).
+TEST_F(RandomWorkloadTest, RegistryCountersTrackInstanceStats) {
+  StatementExecutor executor(engine_.get());
+  Load("reg", *xmlgen::RandomTree(500, 99));
+  for (const std::string& q : DeriveQueries("reg")) {
+    CheckQuery(&executor, q);
+  }
+  BufferStats total = engine_->buffers()->stats();
+  ASSERT_GT(total.requests, 0u);
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  uint64_t reg_requests = 0;
+  uint64_t reg_hits = 0;
+  uint64_t reg_faults = 0;
+  for (size_t s = 0; s < engine_->buffers()->shard_count(); ++s) {
+    std::string prefix = "buffer.shard" + std::to_string(s) + ".";
+    reg_requests += reg.counter(prefix + "requests")->value();
+    reg_hits += reg.counter(prefix + "hits")->value();
+    reg_faults += reg.counter(prefix + "faults")->value();
+  }
+  EXPECT_GE(reg_requests, total.requests);
+  EXPECT_GE(reg_hits, total.hits);
+  EXPECT_GE(reg_faults, total.faults);
+  EXPECT_EQ(reg_requests, reg_hits + reg_faults);
+}
+
+}  // namespace
+}  // namespace sedna
