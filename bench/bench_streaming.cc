@@ -7,9 +7,15 @@
 // recursive evaluator it replaced), so the counters make the win — and the
 // full-scan overhead of the indirection — directly visible.
 
+// The governed variant re-runs the pipelined queries with a QueryContext
+// attached at the default check interval (E15): the delta against
+// BM_Pipelined is the resource governor's per-pull cost, which must stay
+// within a few percent.
+
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "common/query_context.h"
 #include "xquery/statement.h"
 
 namespace sedna {
@@ -44,29 +50,41 @@ bench::EngineFixture& Fixture() {
   return *fixture;
 }
 
-void RunQuery(benchmark::State& state, bool streaming) {
+void RunQuery(benchmark::State& state, bool streaming, bool governed) {
   auto& fixture = Fixture();
   StatementExecutor executor(fixture.engine.get());
   executor.set_streaming_enabled(streaming);
   const char* query = kQueries[state.range(0)];
   ExecStats stats;
+  uint64_t governed_pulls = 0;
   for (auto _ : state) {
+    QueryContext qctx;  // default check interval (64)
+    if (governed) executor.set_query_context(&qctx);
     auto r = executor.Execute(query, fixture.ctx);
+    if (governed) executor.set_query_context(nullptr);
     SEDNA_CHECK(r.ok()) << r.status().ToString();
     stats = r->stats;
+    governed_pulls = qctx.ticks();
     benchmark::DoNotOptimize(r->serialized);
   }
   state.counters["items_pulled"] = static_cast<double>(stats.items_pulled);
   state.counters["early_exits"] = static_cast<double>(stats.early_exits);
   state.counters["materialized"] =
       static_cast<double>(stats.streams_materialized);
+  if (governed) {
+    state.counters["governed_pulls"] = static_cast<double>(governed_pulls);
+  }
 }
 
-void BM_Pipelined(benchmark::State& state) { RunQuery(state, true); }
-void BM_Eager(benchmark::State& state) { RunQuery(state, false); }
+void BM_Pipelined(benchmark::State& state) { RunQuery(state, true, false); }
+void BM_Eager(benchmark::State& state) { RunQuery(state, false, false); }
+// E15: identical to BM_Pipelined plus a QueryContext — the delta is the
+// governor's per-pull overhead.
+void BM_Governed(benchmark::State& state) { RunQuery(state, true, true); }
 
 BENCHMARK(BM_Pipelined)->DenseRange(0, 6);
 BENCHMARK(BM_Eager)->DenseRange(0, 6);
+BENCHMARK(BM_Governed)->DenseRange(0, 6);
 
 }  // namespace
 }  // namespace sedna

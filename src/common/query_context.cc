@@ -1,0 +1,139 @@
+#include "common/query_context.h"
+
+#include "common/metrics.h"
+
+namespace sedna {
+
+namespace {
+
+// splitmix64 finalizer: the same cheap mixer the lock manager uses for
+// jitter; here it derives a per-charge uniform variate from (seed, index).
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct GovernorMetrics {
+  Counter* cancelled;
+  Counter* deadline_aborts;
+  Counter* oom_aborts;
+  Gauge* peak_statement_bytes;
+};
+
+const GovernorMetrics& Metrics() {
+  static const GovernorMetrics m = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return GovernorMetrics{reg.counter("governor.cancelled"),
+                           reg.counter("governor.deadline_aborts"),
+                           reg.counter("governor.oom_aborts"),
+                           reg.gauge("governor.peak_statement_bytes")};
+  }();
+  return m;
+}
+
+}  // namespace
+
+Status AllocFaultInjector::OnCharge(uint64_t bytes) {
+  (void)bytes;
+  uint64_t idx = charge_counter_.fetch_add(1, std::memory_order_relaxed);
+  if (fail_at_.has_value() && idx == *fail_at_) {
+    return Status::ResourceExhausted(
+        "injected allocation failure at charge " + std::to_string(idx));
+  }
+  if (random_rate_ > 0.0) {
+    double unit = static_cast<double>(Mix64(seed_ ^ idx)) /
+                  static_cast<double>(UINT64_MAX);
+    if (unit < random_rate_) {
+      return Status::ResourceExhausted(
+          "injected random allocation failure at charge " +
+          std::to_string(idx));
+    }
+  }
+  return Status::OK();
+}
+
+QueryContext::QueryContext()
+    : cancel_(std::make_shared<CancellationToken>()) {}
+
+Status QueryContext::Fail(Status st) {
+  bool expected = false;
+  if (failed_.compare_exchange_strong(expected, true,
+                                      std::memory_order_acq_rel)) {
+    abort_code_ = st.code();
+    abort_message_ = st.message();
+  }
+  return st;
+}
+
+Status QueryContext::Check() {
+  if (cancel_at_tick_ != 0 &&
+      ticks_.load(std::memory_order_relaxed) >= cancel_at_tick_) {
+    cancel_->Cancel();
+  }
+  if (cancel_->cancelled()) {
+    return Fail(Status::Cancelled("statement cancelled"));
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return Fail(Status::DeadlineExceeded("statement deadline exceeded"));
+  }
+  return Status::OK();
+}
+
+Status QueryContext::ChargeBytes(uint64_t bytes) {
+  if (alloc_faults_ != nullptr) {
+    Status injected = alloc_faults_->OnCharge(bytes);
+    if (!injected.ok()) return Fail(std::move(injected));
+  }
+  uint64_t now =
+      bytes_in_use_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (memory_budget_ != 0 && now > memory_budget_) {
+    bytes_in_use_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Fail(Status::ResourceExhausted(
+        "statement memory budget exceeded (" + std::to_string(now) + " > " +
+        std::to_string(memory_budget_) + " bytes)"));
+  }
+  // Racy max is fine: charges from one statement are near-sequential, and
+  // the gauge is diagnostic.
+  uint64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_bytes_.compare_exchange_weak(peak, now,
+                                            std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void QueryContext::ReleaseBytes(uint64_t bytes) {
+  bytes_in_use_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+Status QueryContext::abort_status() const {
+  if (!failed_.load(std::memory_order_acquire)) return Status::OK();
+  return Status(abort_code_, abort_message_);
+}
+
+void QueryContext::PublishMetrics() {
+  if (metrics_published_) return;
+  metrics_published_ = true;
+  const GovernorMetrics& m = Metrics();
+  switch (abort_status().code()) {
+    case StatusCode::kCancelled:
+      m.cancelled->Add();
+      break;
+    case StatusCode::kDeadlineExceeded:
+      m.deadline_aborts->Add();
+      break;
+    case StatusCode::kResourceExhausted:
+      m.oom_aborts->Add();
+      break;
+    default:
+      break;
+  }
+  int64_t peak = static_cast<int64_t>(peak_bytes());
+  if (peak > m.peak_statement_bytes->value()) {
+    m.peak_statement_bytes->Set(peak);
+  }
+}
+
+}  // namespace sedna

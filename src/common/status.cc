@@ -30,6 +30,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kReadOnlyDegraded:
       return "ReadOnlyDegraded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

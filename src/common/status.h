@@ -31,6 +31,8 @@ enum class StatusCode {
   kUnimplemented,     // feature outside the reproduced subset
   kInternal,          // invariant violation; indicates a bug
   kReadOnlyDegraded,  // database is read-only after an unrecoverable write error
+  kCancelled,         // statement cancelled cooperatively by its owner
+  kDeadlineExceeded,  // statement ran past its governance deadline
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -80,6 +82,12 @@ class Status {
   }
   static Status ReadOnlyDegraded(std::string m) {
     return Status(StatusCode::kReadOnlyDegraded, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

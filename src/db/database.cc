@@ -1,6 +1,7 @@
 #include "db/database.h"
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace sedna {
 
@@ -216,25 +217,65 @@ StatusOr<QueryResult> Session::Execute(const std::string& statement,
   return result;
 }
 
+void Session::Cancel() {
+  std::lock_guard<std::mutex> lock(cancel_mu_);
+  if (current_cancel_ != nullptr) current_cancel_->Cancel();
+}
+
 StatusOr<QueryResult> Session::ExecuteIn(Transaction* txn,
                                          const std::string& statement,
                                          const RewriteOptions& options) {
+  // Admission: reject (retryably) instead of piling onto the buffer pool
+  // when the process is already running its statement cap.
+  SEDNA_ASSIGN_OR_RETURN(Governor::StatementTicket ticket,
+                         Governor::Instance().AdmitStatement());
+
+  // Per-statement governance context from the session's knobs.
+  QueryContext query;
+  if (statement_timeout_.count() > 0) {
+    query.set_deadline_after(statement_timeout_);
+  }
+  query.set_memory_budget(statement_memory_budget_);
+  query.set_check_interval(check_interval_);
+  if (cancel_at_tick_ != 0) query.set_cancel_at_tick(cancel_at_tick_);
+  query.set_alloc_faults(alloc_faults_);
+  {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    current_cancel_ = query.cancellation();
+  }
+
   executor_.set_index_manager(db_->indexes());
+  executor_.set_query_context(&query);
   executor_.set_doc_access_hook(
-      [txn](const std::string& name, bool exclusive) {
+      [txn, &query](const std::string& name, bool exclusive) {
         return txn->LockDocument(
-            name, exclusive ? LockMode::kExclusive : LockMode::kShared);
+            name, exclusive ? LockMode::kExclusive : LockMode::kShared,
+            &query);
       });
   executor_.set_update_listener(
       [txn](const std::string& text) { return txn->LogUpdate(text); });
-  SEDNA_ASSIGN_OR_RETURN(StatementResult r,
-                         executor_.Execute(statement, txn->ctx(), options));
+  StatusOr<StatementResult> r = executor_.Execute(statement, txn->ctx(), options);
+  executor_.set_query_context(nullptr);
+  {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    current_cancel_.reset();
+  }
+  query.PublishMetrics();
+  if (!r.ok()) {
+    // An operator may have wrapped the governance status on the way out;
+    // the sticky abort status preserves the statement's true terminal code
+    // (kCancelled / kDeadlineExceeded / kResourceExhausted).
+    Status abort = query.abort_status();
+    if (!abort.ok()) return abort;
+    return r.status();
+  }
   QueryResult out;
-  out.kind = r.kind;
-  out.serialized = std::move(r.serialized);
-  out.affected = r.affected;
-  out.stats = r.stats;
-  out.profile_text = std::move(r.profile_text);
+  out.kind = r->kind;
+  out.serialized = std::move(r->serialized);
+  out.affected = r->affected;
+  out.stats = r->stats;
+  out.profile_text = std::move(r->profile_text);
+  out.peak_memory_bytes = query.peak_bytes();
   return out;
 }
 
@@ -267,6 +308,73 @@ void Governor::RegisterDatabase(Database* db, const std::string& path) {
 void Governor::UnregisterDatabase(Database* db) {
   std::lock_guard<std::mutex> lock(mu_);
   databases_.erase(db);
+}
+
+namespace {
+
+struct AdmissionMetrics {
+  Counter* admitted;
+  Counter* rejected;
+  Gauge* active;
+};
+
+const AdmissionMetrics& GovernorAdmissionMetrics() {
+  static const AdmissionMetrics m = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    return AdmissionMetrics{reg.counter("governor.admitted"),
+                            reg.counter("governor.rejected"),
+                            reg.gauge("governor.active_statements")};
+  }();
+  return m;
+}
+
+}  // namespace
+
+void Governor::set_max_concurrent_statements(uint32_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_concurrent_statements_ = n;
+}
+
+uint32_t Governor::max_concurrent_statements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_concurrent_statements_;
+}
+
+uint32_t Governor::active_statements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_statements_;
+}
+
+StatusOr<Governor::StatementTicket> Governor::AdmitStatement() {
+  const AdmissionMetrics& m = GovernorAdmissionMetrics();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (max_concurrent_statements_ != 0 &&
+      active_statements_ >= max_concurrent_statements_) {
+    m.rejected->Add();
+    return Status::ResourceExhausted(
+        "statement rejected by governor admission control (" +
+        std::to_string(active_statements_) + " of " +
+        std::to_string(max_concurrent_statements_) +
+        " slots in use); retry later");
+  }
+  active_statements_++;
+  m.admitted->Add();
+  m.active->Set(static_cast<int64_t>(active_statements_));
+  return StatementTicket(this);
+}
+
+void Governor::ReleaseStatement() {
+  const AdmissionMetrics& m = GovernorAdmissionMetrics();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_statements_ > 0) active_statements_--;
+  m.active->Set(static_cast<int64_t>(active_statements_));
+}
+
+void Governor::StatementTicket::Release() {
+  if (gov_ != nullptr) {
+    gov_->ReleaseStatement();
+    gov_ = nullptr;
+  }
 }
 
 std::vector<Governor::ComponentInfo> Governor::Components() const {

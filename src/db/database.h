@@ -11,6 +11,7 @@
 #ifndef SEDNA_DB_DATABASE_H_
 #define SEDNA_DB_DATABASE_H_
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -47,6 +48,7 @@ struct QueryResult {
   uint64_t affected = 0;   // update/DDL counts
   ExecStats stats;
   std::string profile_text;  // annotated plan tree (EXPLAIN statements)
+  uint64_t peak_memory_bytes = 0;  // statement's budget high-water mark
 };
 
 class Session;
@@ -129,7 +131,8 @@ class Session {
   ~Session();
 
   /// Executes one statement. Outside an explicit transaction the statement
-  /// runs in its own autocommit transaction.
+  /// runs in its own autocommit transaction. Each statement runs under a
+  /// fresh QueryContext built from this session's governance knobs below.
   StatusOr<QueryResult> Execute(const std::string& statement,
                                 const RewriteOptions& options = {});
 
@@ -142,6 +145,36 @@ class Session {
 
   uint64_t session_id() const { return session_id_; }
 
+  // --- statement governance -------------------------------------------------
+
+  /// Wall-clock deadline applied to each statement. Zero (default) = none.
+  void set_statement_timeout(std::chrono::nanoseconds timeout) {
+    statement_timeout_ = timeout;
+  }
+
+  /// Memory budget charged by each statement's materialization buffers.
+  /// Zero (default) = unlimited (accounting still runs).
+  void set_statement_memory_budget(uint64_t bytes) {
+    statement_memory_budget_ = bytes;
+  }
+
+  /// Pulls between governance checks on the pipeline hot path (default 64;
+  /// 1 = check every pull, used by torture tests for kill granularity).
+  void set_check_interval(uint32_t n) { check_interval_ = n; }
+
+  /// Attaches a deterministic allocation-fault injector to every subsequent
+  /// statement (not owned; pass nullptr to detach).
+  void set_alloc_faults(AllocFaultInjector* inj) { alloc_faults_ = inj; }
+
+  /// Test hook: each subsequent statement trips its own cancellation at the
+  /// N-th governance tick (0 = disabled).
+  void set_cancel_at_tick(uint64_t n) { cancel_at_tick_ = n; }
+
+  /// Cancels the currently executing statement, if any (thread-safe; no-op
+  /// between statements). The statement aborts with kCancelled at its next
+  /// governance check.
+  void Cancel();
+
  private:
   StatusOr<QueryResult> ExecuteIn(Transaction* txn,
                                   const std::string& statement,
@@ -151,9 +184,23 @@ class Session {
   StatementExecutor executor_;
   std::unique_ptr<Transaction> txn_;  // explicit transaction, if open
   uint64_t session_id_;
+
+  std::chrono::nanoseconds statement_timeout_{0};
+  uint64_t statement_memory_budget_ = 0;
+  uint32_t check_interval_ = 64;
+  uint64_t cancel_at_tick_ = 0;
+  AllocFaultInjector* alloc_faults_ = nullptr;
+
+  // Cancellation token of the statement executing right now; shared with
+  // Cancel() callers on other threads.
+  mutable std::mutex cancel_mu_;
+  std::shared_ptr<CancellationToken> current_cancel_;
 };
 
-/// Process-wide component registry (Figure 1's governor).
+/// Process-wide control center (Figure 1's governor): component registry
+/// plus statement admission control. Admission caps the number of
+/// concurrently executing statements so a burst sheds load with a
+/// retryable rejection instead of thrashing the buffer pool.
 class Governor {
  public:
   static Governor& Instance();
@@ -169,12 +216,59 @@ class Governor {
   };
   std::vector<ComponentInfo> Components() const;
 
+  // --- admission control ----------------------------------------------------
+
+  /// RAII admission slot: one executing statement holds one ticket; the
+  /// slot frees when the ticket dies (whatever path the statement exits
+  /// through).
+  class StatementTicket {
+   public:
+    StatementTicket() = default;
+    StatementTicket(StatementTicket&& other) noexcept : gov_(other.gov_) {
+      other.gov_ = nullptr;
+    }
+    StatementTicket& operator=(StatementTicket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        gov_ = other.gov_;
+        other.gov_ = nullptr;
+      }
+      return *this;
+    }
+    ~StatementTicket() { Release(); }
+
+    StatementTicket(const StatementTicket&) = delete;
+    StatementTicket& operator=(const StatementTicket&) = delete;
+
+    void Release();
+
+   private:
+    friend class Governor;
+    explicit StatementTicket(Governor* gov) : gov_(gov) {}
+    Governor* gov_ = nullptr;
+  };
+
+  /// Caps concurrently executing statements process-wide. 0 (default) =
+  /// unlimited.
+  void set_max_concurrent_statements(uint32_t n);
+  uint32_t max_concurrent_statements() const;
+  uint32_t active_statements() const;
+
+  /// Admits one statement, or rejects it with a retryable
+  /// kResourceExhausted when the cap is reached (load shedding: the client
+  /// backs off and retries instead of piling onto the buffer pool).
+  StatusOr<StatementTicket> AdmitStatement();
+
  private:
   Governor() = default;
+  void ReleaseStatement();
+
   mutable std::mutex mu_;
   uint64_t next_session_id_ = 1;
   std::map<uint64_t, bool> sessions_;
   std::map<Database*, std::string> databases_;
+  uint32_t max_concurrent_statements_ = 0;
+  uint32_t active_statements_ = 0;
 };
 
 }  // namespace sedna

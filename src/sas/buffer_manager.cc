@@ -492,6 +492,14 @@ Status BufferManager::FlushTxn(uint64_t txn_id) {
   return Status::OK();
 }
 
+size_t BufferManager::PinnedFrameCount() const {
+  size_t pinned = 0;
+  for (size_t i = 0; i < frame_count_; ++i) {
+    if (frames_[i].pin_count.load(std::memory_order_acquire) > 0) pinned++;
+  }
+  return pinned;
+}
+
 BufferStats BufferManager::stats() const {
   BufferStats s;
   for (size_t i = 0; i < shard_count_; ++i) {

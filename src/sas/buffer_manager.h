@@ -246,6 +246,11 @@ class BufferManager {
   size_t frame_count() const { return frame_count_; }
   size_t shard_count() const { return shard_count_; }
 
+  /// Frames currently pinned (pin_count > 0). With all guards dropped this
+  /// must be zero — the torture suite asserts it after killing statements
+  /// at arbitrary points to prove no pin leaks.
+  size_t PinnedFrameCount() const;
+
  private:
   friend class PageGuard;
 

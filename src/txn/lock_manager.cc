@@ -1,5 +1,6 @@
 #include "txn/lock_manager.h"
 
+#include <algorithm>
 #include <cstdint>
 
 namespace sedna {
@@ -22,6 +23,7 @@ LockManager::LockManager(std::chrono::milliseconds default_timeout)
   m_acquired_ = reg.counter("lock.acquired");
   m_waits_ = reg.counter("lock.waits");
   m_deadlock_aborts_ = reg.counter("lock.deadlock_aborts");
+  m_governance_aborts_ = reg.counter("lock.governance_aborts");
   m_wait_ns_ = reg.histogram("lock.wait_ns");
 }
 
@@ -46,13 +48,13 @@ bool LockManager::CanGrantLocked(const LockState& state, uint64_t txn_id,
 }
 
 Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
-                            LockMode mode) {
-  return Acquire(txn_id, resource, mode, default_timeout_);
+                            LockMode mode, QueryContext* query) {
+  return Acquire(txn_id, resource, mode, default_timeout_, query);
 }
 
 Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
-                            LockMode mode,
-                            std::chrono::milliseconds timeout) {
+                            LockMode mode, std::chrono::milliseconds timeout,
+                            QueryContext* query) {
   std::unique_lock<std::mutex> lock(mu_);
   LockState& state = locks_[resource];
 
@@ -65,18 +67,55 @@ Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
   }
 
   if (!CanGrantLocked(state, txn_id, mode)) {
+    // A governed statement must not even start waiting when it is already
+    // cancelled or past its deadline.
+    if (query != nullptr) {
+      Status st = query->Check();
+      if (!st.ok()) {
+        stats_.governance_aborts++;
+        m_governance_aborts_->Add();
+        return st;
+      }
+    }
     stats_.waits++;
     m_waits_->Add();
     state.waiters++;
     auto wait_start = std::chrono::steady_clock::now();
-    bool granted = cv_.wait_for(lock, JitteredTimeout(txn_id, timeout), [&] {
-      return CanGrantLocked(state, txn_id, mode);
-    });
+    auto wait_end = wait_start + JitteredTimeout(txn_id, timeout);
+    // The cancellation token has no notify channel into this condvar, so a
+    // governed wait is sliced: each slice re-runs the governance check, so
+    // cancellation and the statement deadline are observed within one slice
+    // (the deadline exactly, by capping the slice at it).
+    constexpr auto kGovernedSlice = std::chrono::milliseconds(5);
+    bool granted = false;
+    Status governance = Status::OK();
+    for (;;) {
+      auto now = std::chrono::steady_clock::now();
+      if (query != nullptr) {
+        governance = query->Check();
+        if (!governance.ok()) break;
+      }
+      granted = CanGrantLocked(state, txn_id, mode);
+      if (granted || now >= wait_end) break;
+      auto until = wait_end;
+      if (query != nullptr) {
+        until = std::min(until, now + kGovernedSlice);
+        if (query->has_deadline()) until = std::min(until, query->deadline());
+      }
+      cv_.wait_until(lock, until, [&] {
+        return CanGrantLocked(state, txn_id, mode);
+      });
+    }
     m_wait_ns_->Record(static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - wait_start)
             .count()));
     state.waiters--;
+    if (!governance.ok()) {
+      stats_.governance_aborts++;
+      m_governance_aborts_->Add();
+      return governance;
+    }
     if (!granted) {
       stats_.deadlock_aborts++;
       m_deadlock_aborts_->Add();

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/query_context.h"
 #include "common/status.h"
 
 namespace sedna {
@@ -27,6 +28,7 @@ struct LockStats {
   uint64_t acquired = 0;
   uint64_t waits = 0;            // acquisitions that had to block
   uint64_t deadlock_aborts = 0;  // waits that timed out (deadlock resolution)
+  uint64_t governance_aborts = 0;  // waits cut short by cancel/deadline
 };
 
 class LockManager {
@@ -52,9 +54,17 @@ class LockManager {
   /// up to `timeout` (default constructor value). Re-acquiring an
   /// already-held compatible lock is a no-op; holding S and requesting X
   /// upgrades when possible.
-  Status Acquire(uint64_t txn_id, const std::string& resource, LockMode mode);
+  ///
+  /// When `query` is non-null the wait also observes the statement's
+  /// governance state: the wait wakes early on cancellation or deadline and
+  /// returns the statement's abort status (kCancelled / kDeadlineExceeded)
+  /// instead of the generic deadlock abort, so a blocked statement can be
+  /// killed without waiting out the deadlock timeout.
   Status Acquire(uint64_t txn_id, const std::string& resource, LockMode mode,
-                 std::chrono::milliseconds timeout);
+                 QueryContext* query = nullptr);
+  Status Acquire(uint64_t txn_id, const std::string& resource, LockMode mode,
+                 std::chrono::milliseconds timeout,
+                 QueryContext* query = nullptr);
 
   /// Releases every lock of the transaction (strict 2PL: all locks are held
   /// until commit/abort).
@@ -87,6 +97,7 @@ class LockManager {
   Counter* m_acquired_ = nullptr;
   Counter* m_waits_ = nullptr;
   Counter* m_deadlock_aborts_ = nullptr;
+  Counter* m_governance_aborts_ = nullptr;
   Histogram* m_wait_ns_ = nullptr;
 };
 

@@ -23,9 +23,10 @@ OpCtx Transaction::ctx() const {
   return op;
 }
 
-Status Transaction::LockDocument(const std::string& name, LockMode mode) {
+Status Transaction::LockDocument(const std::string& name, LockMode mode,
+                                 QueryContext* query) {
   if (read_only_) return Status::OK();  // snapshot isolation, non-blocking
-  SEDNA_RETURN_IF_ERROR(mgr_->locks()->Acquire(id_, name, mode));
+  SEDNA_RETURN_IF_ERROR(mgr_->locks()->Acquire(id_, name, mode, query));
   if (mode == LockMode::kExclusive && meta_snapshots_.count(name) == 0) {
     // First exclusive access: remember the document's in-memory metadata so
     // an abort can restore it (pages are rolled back by the versions).

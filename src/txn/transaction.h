@@ -46,8 +46,10 @@ class Transaction {
   OpCtx ctx() const;
 
   /// Acquires a document lock (no-op for read-only transactions, which are
-  /// isolated by the snapshot instead).
-  Status LockDocument(const std::string& name, LockMode mode);
+  /// isolated by the snapshot instead). A non-null `query` lets the lock
+  /// wait wake early on the statement's cancellation or deadline.
+  Status LockDocument(const std::string& name, LockMode mode,
+                      QueryContext* query = nullptr);
 
   /// Appends an update-statement record to the WAL (called by the statement
   /// executor's update listener before mutations are applied).

@@ -604,9 +604,20 @@ struct FlworTuple {
   size_t key_count = 0;
 };
 
+uint64_t ApproxTupleBytes(const FlworTuple& t) {
+  uint64_t bytes = sizeof(FlworTuple);
+  for (const auto& [name, value] : t.bindings) {
+    bytes += name.size() + sizeof(Sequence);
+    for (const Item& item : value) bytes += ApproxItemBytes(item);
+  }
+  for (const Item& key : t.keys) bytes += ApproxItemBytes(key);
+  return bytes;
+}
+
 Status FlworCollect(const Expr& flwor, size_t ci, ExecContext& ctx,
                     const std::vector<const Sequence*>& lazy_values,
-                    Sequence* out, std::vector<FlworTuple>* tuples) {
+                    Sequence* out, std::vector<FlworTuple>* tuples,
+                    MemoryReservation* tuple_reservation) {
   if (ci == flwor.clauses.size()) {
     if (flwor.where != nullptr) {
       SEDNA_ASSIGN_OR_RETURN(Sequence cond, Eval(*flwor.where, ctx));
@@ -631,6 +642,10 @@ Status FlworCollect(const Expr& flwor, size_t ci, ExecContext& ctx,
         tuple.keys.push_back(key.empty() ? Item() : key[0]);
         tuple.key_count++;
       }
+      if (tuple_reservation != nullptr) {
+        SEDNA_RETURN_IF_ERROR(
+            tuple_reservation->Grow(ApproxTupleBytes(tuple)));
+      }
       tuples->push_back(std::move(tuple));
       return Status::OK();
     }
@@ -645,7 +660,8 @@ Status FlworCollect(const Expr& flwor, size_t ci, ExecContext& ctx,
     SEDNA_ASSIGN_OR_RETURN(Sequence value, Eval(*clause.expr, ctx));
     Sequence saved = std::move(ctx.vars[clause.var]);
     ctx.vars[clause.var] = std::move(value);
-    Status st = FlworCollect(flwor, ci + 1, ctx, lazy_values, out, tuples);
+    Status st = FlworCollect(flwor, ci + 1, ctx, lazy_values, out, tuples,
+                             tuple_reservation);
     ctx.vars[clause.var] = std::move(saved);
     return st;
   }
@@ -670,7 +686,8 @@ Status FlworCollect(const Expr& flwor, size_t ci, ExecContext& ctx,
       ctx.vars[clause.pos_var] =
           Sequence{Item(static_cast<int64_t>(i + 1))};
     }
-    st = FlworCollect(flwor, ci + 1, ctx, lazy_values, out, tuples);
+    st = FlworCollect(flwor, ci + 1, ctx, lazy_values, out, tuples,
+                      tuple_reservation);
     if (!st.ok()) break;
   }
   ctx.vars[clause.var] = std::move(saved);
@@ -694,13 +711,16 @@ StatusOr<Sequence> EvalFlwor(const Expr& flwor, ExecContext& ctx) {
   Sequence out;
   if (flwor.order_specs.empty()) {
     SEDNA_RETURN_IF_ERROR(
-        FlworCollect(flwor, 0, ctx, lazy_values, &out, nullptr));
+        FlworCollect(flwor, 0, ctx, lazy_values, &out, nullptr, nullptr));
     return out;
   }
 
+  // order by buffers every tuple before the first result: the tuple vector
+  // is charged against the statement's memory budget while it lives.
   std::vector<FlworTuple> tuples;
-  SEDNA_RETURN_IF_ERROR(
-      FlworCollect(flwor, 0, ctx, lazy_values, nullptr, &tuples));
+  MemoryReservation tuple_reservation(ctx.query);
+  SEDNA_RETURN_IF_ERROR(FlworCollect(flwor, 0, ctx, lazy_values, nullptr,
+                                     &tuples, &tuple_reservation));
 
   // Sort by order keys.
   Status sort_status = Status::OK();
@@ -1234,12 +1254,16 @@ StatusOr<StreamPtr> WrapPredicates(ExecContext& ctx, StreamPtr in,
   for (const auto& pred : preds) {
     if (PredNeedsLast(*pred)) {
       // The predicate may consult last(): the context size must be known,
-      // so the input is materialized at this point.
+      // so the input is materialized at this point. The buffer is charged
+      // against the statement's memory budget; filtering only shrinks it,
+      // so the original charge stays an upper bound until the stream dies.
       Sequence buf;
-      SEDNA_RETURN_IF_ERROR(DrainStream(ctx, in.get(), &buf));
+      MemoryReservation reservation(ctx.query);
+      SEDNA_RETURN_IF_ERROR(
+          DrainStreamCharged(ctx, in.get(), &buf, &reservation));
       ctx.Count(&ExecStats::streams_materialized);
       SEDNA_ASSIGN_OR_RETURN(buf, ApplyPredicate(*pred, std::move(buf), ctx));
-      in = MakeSequenceStream(std::move(buf));
+      in = MakeSequenceStream(std::move(buf), std::move(reservation));
     } else {
       in = std::make_unique<PredicateStream>(ctx, std::move(in), pred.get());
     }
@@ -1411,12 +1435,13 @@ class SchemaScanStream final : public ItemStream {
 /// and re-streams the result.
 StatusOr<StreamPtr> MaterializeDdo(ExecContext& ctx, StreamPtr in) {
   Sequence buf;
-  SEDNA_RETURN_IF_ERROR(DrainStream(ctx, in.get(), &buf));
+  MemoryReservation reservation(ctx.query);
+  SEDNA_RETURN_IF_ERROR(DrainStreamCharged(ctx, in.get(), &buf, &reservation));
   ctx.Count(&ExecStats::streams_materialized);
   ctx.Count(&ExecStats::ddo_ops);
   ctx.Count(&ExecStats::ddo_items, buf.size());
   SEDNA_RETURN_IF_ERROR(DistinctDocOrder(ctx.op, &buf));
-  return MakeSequenceStream(std::move(buf));
+  return MakeSequenceStream(std::move(buf), std::move(reservation));
 }
 
 StatusOr<StreamPtr> EvalPathStream(const Expr& path, ExecContext& ctx) {
@@ -1459,9 +1484,12 @@ StatusOr<StreamPtr> EvalPathStream(const Expr& path, ExecContext& ctx) {
           SEDNA_ASSIGN_OR_RETURN(Sequence nodes,
                                  EnumerateSchemaNodes(ctx, doc, sns));
           ctx.Count(&ExecStats::streams_materialized);
+          MemoryReservation reservation(ctx.query);
+          SEDNA_RETURN_IF_ERROR(
+              reservation.Grow(nodes.size() * sizeof(Item)));
           in = MaybeProfile(
               ctx, "schema-merge " + NodeTestLabel(path.steps[end - 1].test),
-              MakeSequenceStream(std::move(nodes)));
+              MakeSequenceStream(std::move(nodes), std::move(reservation)));
         }
         step_idx = end;
         served = true;
@@ -1570,6 +1598,7 @@ class FlworStream final : public ItemStream {
     bool use_cache = false;
     bool cache_valid = false;
     Sequence cache;         // lazy domain, evaluated once
+    MemoryReservation cache_reservation;  // budget charge for `cache`
     size_t cache_idx = 0;
     int64_t pos = 0;
   };
@@ -1601,9 +1630,12 @@ class FlworStream final : public ItemStream {
     if (s.use_cache) {
       if (!s.cache_valid) {
         // Section 5.1.3: the domain is independent of outer for-variables —
-        // evaluate it once and reuse it on every reopen.
+        // evaluate it once and reuse it on every reopen. The cache lives as
+        // long as this stream, so its budget charge does too.
         SEDNA_ASSIGN_OR_RETURN(StreamPtr d, EvalStream(*c.expr, ctx_));
-        SEDNA_RETURN_IF_ERROR(DrainStream(ctx_, d.get(), &s.cache));
+        s.cache_reservation = MemoryReservation(ctx_.query);
+        SEDNA_RETURN_IF_ERROR(
+            DrainStreamCharged(ctx_, d.get(), &s.cache, &s.cache_reservation));
         s.cache_valid = true;
       }
       s.cache_idx = 0;
@@ -1822,10 +1854,14 @@ StatusOr<StreamPtr> EvalStreamSwitch(const Expr& expr, ExecContext& ctx) {
         return StreamPtr(std::make_unique<FlworStream>(ctx, &expr));
       } else {
         // order by needs every tuple before the first result item: evaluate
-        // eagerly behind a barrier.
+        // eagerly behind a barrier and charge the buffered result.
         SEDNA_ASSIGN_OR_RETURN(Sequence result, EvalFlwor(expr, ctx));
         ctx.Count(&ExecStats::streams_materialized);
-        return MakeSequenceStream(std::move(result));
+        MemoryReservation reservation(ctx.query);
+        uint64_t result_bytes = 0;
+        for (const Item& item : result) result_bytes += ApproxItemBytes(item);
+        SEDNA_RETURN_IF_ERROR(reservation.Grow(result_bytes));
+        return MakeSequenceStream(std::move(result), std::move(reservation));
       }
     case ExprKind::kVarRef: {
       auto it = ctx.vars.find(expr.str_val);
@@ -1853,8 +1889,12 @@ StatusOr<StreamPtr> EvalStreamSwitch(const Expr& expr, ExecContext& ctx) {
 StatusOr<Sequence> Eval(const Expr& expr, ExecContext& ctx) {
   if (!ctx.enable_streaming) return EvalEager(expr, ctx);
   SEDNA_ASSIGN_OR_RETURN(StreamPtr in, EvalStream(expr, ctx));
+  // The caller owns the materialized result, so the budget charge here is
+  // transient: it guards the drain itself against unbounded growth (and
+  // records the high-water mark), then releases when the reservation dies.
   Sequence out;
-  SEDNA_RETURN_IF_ERROR(DrainStream(ctx, in.get(), &out));
+  MemoryReservation reservation(ctx.query);
+  SEDNA_RETURN_IF_ERROR(DrainStreamCharged(ctx, in.get(), &out, &reservation));
   return out;
 }
 

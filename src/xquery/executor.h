@@ -32,6 +32,7 @@
 namespace sedna {
 
 class ValueIndexManager;
+class QueryContext;  // common/query_context.h
 struct ProfileNode;  // xquery/profile.h
 
 /// Execution counters consumed by tests and the benchmark harness.
@@ -118,6 +119,11 @@ struct ExecContext {
 
   ExecStats* stats = nullptr;
   int udf_depth = 0;  // recursion guard
+
+  /// Per-statement resource governance (deadline, cancellation, memory
+  /// budget). Null for ungoverned callers (unit tests, internal drains);
+  /// every governed pull and materialization barrier consults it.
+  QueryContext* query = nullptr;
 
   /// Non-null while a profiled (EXPLAIN) statement runs: the profile-tree
   /// node operators built *now* should attach under. EvalStream() wraps

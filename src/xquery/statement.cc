@@ -180,6 +180,7 @@ StatusOr<StatementResult> StatementExecutor::ExecuteParsed(
   ctx.doc_access_exclusive = stmt->kind != StatementKind::kQuery;
   ctx.indexes = indexes_;
   ctx.enable_streaming = streaming_enabled_;
+  ctx.query = query_;
   std::shared_ptr<ProfileNode> profile_root;
   if (profile || profile_enabled_) {
     // Label left empty: the renderer treats an unlabeled root as synthetic
@@ -193,6 +194,19 @@ StatusOr<StatementResult> StatementExecutor::ExecuteParsed(
     if (profile_root != nullptr) {
       out->profile = profile_root;
       out->profile_text = RenderProfileTree(*profile_root);
+      if (query_ != nullptr) {
+        // Budget usage rides along with the plan tree so EXPLAIN shows how
+        // close the statement came to its governance limits.
+        out->profile_text += "governor: peak " +
+                             std::to_string(query_->peak_bytes()) +
+                             " B of budget ";
+        out->profile_text += query_->memory_budget() == 0
+                                 ? std::string("unlimited")
+                                 : std::to_string(query_->memory_budget()) +
+                                       " B";
+        out->profile_text +=
+            ", " + std::to_string(query_->ticks()) + " governed pulls\n";
+      }
     }
   }
   return out;
@@ -285,6 +299,10 @@ StatusOr<StatementResult> StatementExecutor::RunQuery(const Statement& stmt,
   // with a result sink attached the full result never exists in memory.
   SEDNA_ASSIGN_OR_RETURN(StreamPtr out, EvalStream(*stmt.expr, ctx));
   IncrementalSerializer ser(ctx.op);
+  // Without a sink the result accumulates in memory: charge it against the
+  // statement's budget while it builds (released when the reservation dies
+  // — the caller owns the result from then on).
+  MemoryReservation reservation(ctx.query);
   Item item;
   for (;;) {
     SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx, out.get(), &item));
@@ -294,7 +312,10 @@ StatusOr<StatementResult> StatementExecutor::RunQuery(const Statement& stmt,
       SEDNA_RETURN_IF_ERROR(ser.Append(item, &chunk));
       SEDNA_RETURN_IF_ERROR(result_sink_(chunk));
     } else {
+      size_t before = result.serialized.size();
       SEDNA_RETURN_IF_ERROR(ser.Append(item, &result.serialized));
+      SEDNA_RETURN_IF_ERROR(reservation.Grow(
+          ApproxItemBytes(item) + (result.serialized.size() - before)));
       result.items.push_back(std::move(item));
     }
   }

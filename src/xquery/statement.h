@@ -73,6 +73,12 @@ class StatementExecutor {
   /// rendered plan tree as the statement's serialized result.
   void set_profile_enabled(bool on) { profile_enabled_ = on; }
 
+  /// Per-statement resource governance (deadline / cancellation / memory
+  /// budget). The session layer points this at the current statement's
+  /// QueryContext before executing and clears it afterwards; null runs the
+  /// statement ungoverned. Not owned.
+  void set_query_context(QueryContext* query) { query_ = query; }
+
   /// Parses, analyzes, rewrites and executes one statement. A leading
   /// `explain ` (case-insensitive) runs the remaining statement in profile
   /// mode and returns the annotated plan tree.
@@ -106,6 +112,7 @@ class StatementExecutor {
   ValueIndexManager* indexes_ = nullptr;
   bool streaming_enabled_ = true;
   bool profile_enabled_ = false;
+  QueryContext* query_ = nullptr;
 };
 
 /// Recursively inserts a transient XML tree as a node under

@@ -1,11 +1,17 @@
 #include "xquery/stream.h"
 
+#include "common/query_context.h"
 #include "xquery/executor.h"
 
 namespace sedna {
 
 StreamPtr MakeSequenceStream(Sequence items) {
   return std::make_unique<SequenceStream>(std::move(items));
+}
+
+StreamPtr MakeSequenceStream(Sequence items, MemoryReservation reservation) {
+  return std::make_unique<SequenceStream>(std::move(items),
+                                          std::move(reservation));
 }
 
 StreamPtr MakeEmptyStream() { return MakeSequenceStream(Sequence{}); }
@@ -17,16 +23,46 @@ StreamPtr MakeSingletonStream(Item item) {
 }
 
 StatusOr<bool> Pull(ExecContext& ctx, ItemStream* in, Item* out) {
+  // Governance first: a cancelled/expired statement must stop pulling even
+  // when its upstream operator would happily keep producing.
+  if (ctx.query != nullptr) {
+    SEDNA_RETURN_IF_ERROR(ctx.query->CheckTick());
+  }
   SEDNA_ASSIGN_OR_RETURN(bool got, in->Next(out));
   if (got) ctx.Count(&ExecStats::items_pulled);
   return got;
 }
 
 Status DrainStream(ExecContext& ctx, ItemStream* in, Sequence* out) {
+  return DrainStreamCharged(ctx, in, out, nullptr);
+}
+
+uint64_t ApproxItemBytes(const Item& item) {
+  uint64_t bytes = sizeof(Item);
+  if (item.is_string()) {
+    bytes += item.str().capacity();
+  } else if (item.is_constructed_node()) {
+    // The tree is shared between the items that reference it; charge the
+    // reference a shallow node footprint rather than the whole tree per
+    // item.
+    bytes += sizeof(XmlNode);
+  } else if (item.is_virtual_element()) {
+    const auto& ve = item.virtual_element();
+    bytes += sizeof(VirtualElement) + ve->name.capacity() +
+             (ve->attributes.size() + ve->content.size()) * sizeof(Item);
+  }
+  return bytes;
+}
+
+Status DrainStreamCharged(ExecContext& ctx, ItemStream* in, Sequence* out,
+                          MemoryReservation* reservation) {
   Item item;
   for (;;) {
     SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx, in, &item));
     if (!got) return Status::OK();
+    if (reservation != nullptr) {
+      SEDNA_RETURN_IF_ERROR(reservation->Grow(ApproxItemBytes(item)));
+    }
     out->push_back(std::move(item));
   }
 }

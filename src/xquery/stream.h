@@ -22,6 +22,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "xquery/item.h"
 
@@ -44,10 +45,14 @@ class ItemStream {
 
 using StreamPtr = std::unique_ptr<ItemStream>;
 
-/// Stream over an owned, already materialized sequence.
+/// Stream over an owned, already materialized sequence. When the sequence
+/// was paid for out of a statement's memory budget the reservation rides
+/// along, so the bytes are released exactly when the buffer dies.
 class SequenceStream final : public ItemStream {
  public:
   explicit SequenceStream(Sequence items) : items_(std::move(items)) {}
+  SequenceStream(Sequence items, MemoryReservation reservation)
+      : items_(std::move(items)), reservation_(std::move(reservation)) {}
 
   StatusOr<bool> Next(Item* out) override {
     if (pos_ >= items_.size()) return false;
@@ -57,10 +62,12 @@ class SequenceStream final : public ItemStream {
 
  private:
   Sequence items_;
+  MemoryReservation reservation_;
   size_t pos_ = 0;
 };
 
 StreamPtr MakeSequenceStream(Sequence items);
+StreamPtr MakeSequenceStream(Sequence items, MemoryReservation reservation);
 StreamPtr MakeEmptyStream();
 StreamPtr MakeSingletonStream(Item item);
 
@@ -71,6 +78,19 @@ StatusOr<bool> Pull(ExecContext& ctx, ItemStream* in, Item* out);
 
 /// Pulls the stream dry, appending every remaining item to *out.
 Status DrainStream(ExecContext& ctx, ItemStream* in, Sequence* out);
+
+/// Rough live-size estimate of one item, used by memory-budget accounting
+/// at materialization barriers. Stored nodes are direct pointers (cheap by
+/// design); strings charge their capacity; transient trees charge a shallow
+/// footprint of the shared structure.
+uint64_t ApproxItemBytes(const Item& item);
+
+/// DrainStream that charges every appended item against `reservation`
+/// before buffering it, so a barrier exceeding the statement's memory
+/// budget aborts instead of growing without bound. A null reservation
+/// drains uncharged.
+Status DrainStreamCharged(ExecContext& ctx, ItemStream* in, Sequence* out,
+                          MemoryReservation* reservation);
 
 }  // namespace sedna
 

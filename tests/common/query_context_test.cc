@@ -1,0 +1,257 @@
+#include "common/query_context.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+
+namespace sedna {
+namespace {
+
+TEST(CancellationTokenTest, StickyCancel) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(QueryContextTest, HealthyByDefault) {
+  QueryContext q;
+  EXPECT_TRUE(q.Check().ok());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(q.CheckTick().ok());
+  }
+  EXPECT_EQ(q.ticks(), 1000u);
+  EXPECT_TRUE(q.abort_status().ok());
+}
+
+TEST(QueryContextTest, CancelAbortsWithKCancelled) {
+  QueryContext q;
+  q.Cancel();
+  Status st = q.Check();
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+  // The abort status is sticky.
+  EXPECT_EQ(q.abort_status().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryContextTest, ExpiredDeadlineAbortsWithKDeadlineExceeded) {
+  QueryContext q;
+  q.set_deadline(std::chrono::steady_clock::now() -
+                 std::chrono::milliseconds(1));
+  Status st = q.Check();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(q.abort_status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryContextTest, DeadlineAfterBudgetExpires) {
+  QueryContext q;
+  q.set_deadline_after(std::chrono::milliseconds(5));
+  EXPECT_TRUE(q.Check().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(q.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryContextTest, CheckTickHonorsInterval) {
+  QueryContext q;
+  q.set_check_interval(8);
+  // Past deadline, but only every 8th tick runs the full check.
+  q.set_deadline(std::chrono::steady_clock::now() -
+                 std::chrono::milliseconds(1));
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_TRUE(q.CheckTick().ok()) << "tick " << i;
+  }
+  EXPECT_EQ(q.CheckTick().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryContextTest, CancelAtTickKillsAtExactTick) {
+  for (uint64_t kill_at : {1u, 2u, 17u, 64u, 100u}) {
+    QueryContext q;
+    q.set_check_interval(1);
+    q.set_cancel_at_tick(kill_at);
+    uint64_t survived = 0;
+    for (uint64_t i = 0; i < 200; ++i) {
+      if (!q.CheckTick().ok()) break;
+      survived++;
+    }
+    EXPECT_EQ(survived, kill_at - 1) << "kill_at " << kill_at;
+    EXPECT_EQ(q.abort_status().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(QueryContextTest, CancelAtTickBypassesInterval) {
+  // Even with a coarse interval, the tick hook must fire exactly.
+  QueryContext q;
+  q.set_check_interval(64);
+  q.set_cancel_at_tick(3);
+  EXPECT_TRUE(q.CheckTick().ok());
+  EXPECT_TRUE(q.CheckTick().ok());
+  EXPECT_EQ(q.CheckTick().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryContextTest, MemoryBudgetEnforced) {
+  QueryContext q;
+  q.set_memory_budget(100);
+  EXPECT_TRUE(q.ChargeBytes(60).ok());
+  EXPECT_EQ(q.bytes_in_use(), 60u);
+  Status st = q.ChargeBytes(50);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  // The failed charge must not stick.
+  EXPECT_EQ(q.bytes_in_use(), 60u);
+  EXPECT_EQ(q.peak_bytes(), 60u);
+  EXPECT_EQ(q.abort_status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QueryContextTest, UnlimitedBudgetStillAccounts) {
+  QueryContext q;  // budget 0 = unlimited
+  EXPECT_TRUE(q.ChargeBytes(1 << 30).ok());
+  EXPECT_TRUE(q.ChargeBytes(1 << 30).ok());
+  EXPECT_EQ(q.bytes_in_use(), 2ull << 30);
+  EXPECT_EQ(q.peak_bytes(), 2ull << 30);
+}
+
+TEST(QueryContextTest, ReleaseLowersUsageButNotPeak) {
+  QueryContext q;
+  q.set_memory_budget(100);
+  ASSERT_TRUE(q.ChargeBytes(80).ok());
+  q.ReleaseBytes(80);
+  EXPECT_EQ(q.bytes_in_use(), 0u);
+  EXPECT_EQ(q.peak_bytes(), 80u);
+  // Freed budget is reusable.
+  EXPECT_TRUE(q.ChargeBytes(90).ok());
+  EXPECT_EQ(q.peak_bytes(), 90u);
+}
+
+TEST(QueryContextTest, FirstAbortStatusWins) {
+  QueryContext q;
+  q.set_memory_budget(10);
+  EXPECT_EQ(q.ChargeBytes(20).code(), StatusCode::kResourceExhausted);
+  q.Cancel();
+  EXPECT_EQ(q.Check().code(), StatusCode::kCancelled);  // returned now...
+  // ...but the sticky terminal classification stays the first failure.
+  EXPECT_EQ(q.abort_status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(MemoryReservationTest, ReleasesOnDestruction) {
+  QueryContext q;
+  q.set_memory_budget(100);
+  {
+    MemoryReservation res(&q);
+    ASSERT_TRUE(res.Grow(70).ok());
+    EXPECT_EQ(q.bytes_in_use(), 70u);
+    EXPECT_EQ(res.bytes(), 70u);
+  }
+  EXPECT_EQ(q.bytes_in_use(), 0u);
+  EXPECT_EQ(q.peak_bytes(), 70u);
+}
+
+TEST(MemoryReservationTest, FailedGrowKeepsPriorSize) {
+  QueryContext q;
+  q.set_memory_budget(100);
+  MemoryReservation res(&q);
+  ASSERT_TRUE(res.Grow(90).ok());
+  EXPECT_EQ(res.Grow(20).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(res.bytes(), 90u);
+  EXPECT_EQ(q.bytes_in_use(), 90u);
+}
+
+TEST(MemoryReservationTest, MoveTransfersOwnership) {
+  QueryContext q;
+  MemoryReservation a(&q);
+  ASSERT_TRUE(a.Grow(40).ok());
+  MemoryReservation b = std::move(a);
+  EXPECT_EQ(b.bytes(), 40u);
+  EXPECT_EQ(q.bytes_in_use(), 40u);
+  b.Release();
+  EXPECT_EQ(q.bytes_in_use(), 0u);
+}
+
+TEST(MemoryReservationTest, NullContextIsNoop) {
+  MemoryReservation res(nullptr);
+  EXPECT_TRUE(res.Grow(1 << 20).ok());
+  EXPECT_EQ(res.bytes(), 0u);
+}
+
+TEST(AllocFaultInjectorTest, FailAtExactCharge) {
+  AllocFaultInjector inj;
+  inj.FailAtCharge(2);
+  QueryContext q;
+  q.set_alloc_faults(&inj);
+  EXPECT_TRUE(q.ChargeBytes(1).ok());   // charge 0
+  EXPECT_TRUE(q.ChargeBytes(1).ok());   // charge 1
+  EXPECT_EQ(q.ChargeBytes(1).code(),    // charge 2: injected
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(inj.charges(), 3u);
+}
+
+TEST(AllocFaultInjectorTest, FailedChargeDoesNotAccount) {
+  AllocFaultInjector inj;
+  inj.FailAtCharge(0);
+  QueryContext q;
+  q.set_alloc_faults(&inj);
+  EXPECT_FALSE(q.ChargeBytes(100).ok());
+  EXPECT_EQ(q.bytes_in_use(), 0u);
+}
+
+TEST(AllocFaultInjectorTest, SeededRandomIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    AllocFaultInjector inj(seed);
+    inj.FailRandomly(0.25);
+    std::vector<bool> failures;
+    QueryContext q;
+    q.set_alloc_faults(&inj);
+    for (int i = 0; i < 64; ++i) failures.push_back(!q.ChargeBytes(1).ok());
+    return failures;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+  // Rate 0.25 over 64 charges fails at least once for any sane mixer.
+  std::vector<bool> f = run(7);
+  EXPECT_NE(std::count(f.begin(), f.end(), true), 0);
+}
+
+TEST(QueryContextTest, PublishMetricsCountsTerminalStatusOnce) {
+  Counter* cancelled = MetricsRegistry::Global().counter("governor.cancelled");
+  uint64_t before = cancelled->value();
+  QueryContext q;
+  q.Cancel();
+  EXPECT_FALSE(q.Check().ok());
+  q.PublishMetrics();
+  q.PublishMetrics();  // idempotent
+  EXPECT_EQ(cancelled->value(), before + 1);
+}
+
+TEST(QueryContextTest, PublishMetricsTracksPeakGauge) {
+  Gauge* peak =
+      MetricsRegistry::Global().gauge("governor.peak_statement_bytes");
+  peak->Set(0);
+  QueryContext q;
+  ASSERT_TRUE(q.ChargeBytes(12345).ok());
+  q.PublishMetrics();
+  EXPECT_GE(peak->value(), 12345);
+}
+
+TEST(QueryContextTest, ConcurrentCancelIsSafe) {
+  QueryContext q;
+  q.set_check_interval(1);
+  std::thread killer([&q] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    q.Cancel();
+  });
+  Status last = Status::OK();
+  for (int i = 0; i < 1000000 && last.ok(); ++i) {
+    last = q.CheckTick();
+  }
+  killer.join();
+  // Either the loop finished first (unlikely) or it observed kCancelled.
+  if (!last.ok()) EXPECT_EQ(last.code(), StatusCode::kCancelled);
+  EXPECT_EQ(q.Check().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace sedna

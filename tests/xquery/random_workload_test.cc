@@ -10,6 +10,10 @@
 //   * buffer:  evictions <= faults         (evicting only makes room)
 //   * buffer:  stats() == sum over shard_stats()
 //   * xquery:  streaming pulls items; eager never reports early exits
+//
+// The cancellation-safety sweep additionally kills every derived query at
+// a seeded random pull count, then re-runs it to completion and asserts
+// the result is identical and no budget bytes or pinned frames leaked.
 
 #include <gtest/gtest.h>
 
@@ -18,6 +22,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/query_context.h"
 #include "storage/schema.h"
 #include "tests/storage/storage_test_util.h"
 #include "xmlgen/generators.h"
@@ -40,6 +45,14 @@ std::vector<std::string> ElementPaths(const DescriptiveSchema& schema,
     }
   }
   return out;
+}
+
+// splitmix64 finalizer, used to derive per-query kill ticks from a seed.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
 }
 
 // Distinct element names in the schema (for //name sweeps).
@@ -106,6 +119,40 @@ class RandomWorkloadTest : public StorageTest {
     if (!streamed->serialized.empty()) {
       EXPECT_GE(streamed->stats.items_pulled, 1u) << q;
     }
+  }
+
+  // Kills `q` at a seeded random governance tick, asserts the abort is
+  // classified kCancelled and releases every pinned frame and budget byte,
+  // then re-runs to completion and asserts the result is unchanged.
+  void CheckCancellation(StatementExecutor* executor, const std::string& q,
+                         uint64_t seed, size_t* kills) {
+    QueryContext baseline;
+    baseline.set_check_interval(1);
+    executor->set_query_context(&baseline);
+    auto expected = executor->Execute(q, ctx_);
+    executor->set_query_context(nullptr);
+    ASSERT_TRUE(expected.ok()) << q << "\n  -> " << expected.status().ToString();
+    EXPECT_EQ(baseline.bytes_in_use(), 0u) << q;
+    if (baseline.ticks() == 0) return;  // nothing pulled; nothing to kill
+
+    QueryContext victim;
+    victim.set_check_interval(1);
+    uint64_t kill_at = 1 + Mix64(seed) % baseline.ticks();
+    victim.set_cancel_at_tick(kill_at);
+    executor->set_query_context(&victim);
+    auto killed = executor->Execute(q, ctx_);
+    executor->set_query_context(nullptr);
+    ASSERT_FALSE(killed.ok()) << q << " survived a kill at tick " << kill_at
+                              << " of " << baseline.ticks();
+    EXPECT_EQ(victim.abort_status().code(), StatusCode::kCancelled) << q;
+    // An abort mid-pipeline must unwind every pin and budget charge.
+    EXPECT_EQ(engine_->buffers()->PinnedFrameCount(), 0u) << q;
+    EXPECT_EQ(victim.bytes_in_use(), 0u) << q;
+    ++*kills;
+
+    auto rerun = executor->Execute(q, ctx_);
+    ASSERT_TRUE(rerun.ok()) << q << "\n  -> " << rerun.status().ToString();
+    EXPECT_EQ(rerun->serialized, expected->serialized) << q;
   }
 
   // Buffer-pool accounting invariants over the whole workload.
@@ -175,6 +222,27 @@ TEST_F(RandomWorkloadTest, StructuredGeneratorsSweep) {
     }
   }
   EXPECT_GE(queries_run, 60u);
+  CheckBufferInvariants();
+}
+
+// Cancellation-safety sweep: every derived query is killed at a seeded
+// random pull, and the engine must stay fully reusable — the cancelled run
+// releases all pins and budget bytes, and an immediate re-run produces the
+// identical serialized result.
+TEST_F(RandomWorkloadTest, SeededCancellationLeavesEngineReusable) {
+  StatementExecutor executor(engine_.get());
+  size_t kills = 0;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    std::string name = "kill" + std::to_string(seed);
+    Load(name, *xmlgen::RandomTree(300, seed));
+    uint64_t qidx = 0;
+    for (const std::string& q : DeriveQueries(name)) {
+      CheckCancellation(&executor, q, seed * 1000 + qidx++, &kills);
+    }
+  }
+  // Most derived queries pull at least one item, so the sweep must have
+  // exercised a healthy number of distinct kill points.
+  EXPECT_GE(kills, 40u);
   CheckBufferInvariants();
 }
 
