@@ -123,9 +123,34 @@ StatusOr<std::unique_ptr<File>> FaultInjectingVfs::Open(
 
 Status FaultInjectingVfs::Remove(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (crashed_) return Status::IOError("injected crash: vfs is down");
+  SEDNA_RETURN_IF_ERROR(GateLocked(path, "remove", 0, 0, true));
   files_.erase(path);  // absent is fine: Remove is idempotent
   return Status::OK();
+}
+
+Status FaultInjectingVfs::Rename(const std::string& from,
+                                 const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SEDNA_RETURN_IF_ERROR(GateLocked(from, "rename", 0, 0, true));
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status::IOError("cannot rename " + from + ": no such file");
+  }
+  files_[to] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> FaultInjectingVfs::ListFiles(
+    const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IOError("injected crash: vfs is down");
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;  // files_ is an ordered map, so `out` is already sorted
 }
 
 void FaultInjectingVfs::ScheduleCrashAtOp(uint64_t op_index,

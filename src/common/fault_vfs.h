@@ -59,8 +59,9 @@ struct VfsOpRecord {
   uint64_t op_index;
   std::string path;
   std::string kind;  // "read" | "write" | "append" | "sync" | "truncate"
-  uint64_t offset;   // 0 for sync
-  uint64_t len;      // 0 for sync/truncate
+                     // | "remove" | "rename"
+  uint64_t offset;   // 0 for sync/remove/rename
+  uint64_t len;      // 0 for sync/truncate/remove/rename
 };
 
 class FaultInjectingVfs : public Vfs {
@@ -70,7 +71,17 @@ class FaultInjectingVfs : public Vfs {
 
   StatusOr<std::unique_ptr<File>> Open(const std::string& path,
                                        OpenMode mode) override;
+  /// Counted fault point ("remove"): a scheduled crash can fire mid-unlink,
+  /// leaving later unlinks of the same cleanup pass undone. A remove that
+  /// passes the gate is atomic and immediately durable (directory-entry
+  /// durability is not modelled).
   Status Remove(const std::string& path) override;
+  /// Counted fault point ("rename"); atomic and immediately durable once it
+  /// passes the gate — after a crash either the old or the new name exists.
+  Status Rename(const std::string& from, const std::string& to) override;
+  /// Metadata probe: not counted, but fails once a crash has fired.
+  StatusOr<std::vector<std::string>> ListFiles(
+      const std::string& prefix) override;
 
   /// Crash just before the operation with 0-based index `op_index`
   /// executes; it and all later operations fail until Recover().

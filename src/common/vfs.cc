@@ -1,9 +1,11 @@
 #include "common/vfs.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -141,6 +143,44 @@ class PosixVfs : public Vfs {
                              std::strerror(errno));
     }
     return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError("cannot rename " + from + " -> " + to + ": " +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  StatusOr<std::vector<std::string>> ListFiles(
+      const std::string& prefix) override {
+    // Split the prefix into the directory to scan and the basename prefix
+    // to match. "wal" (no slash) scans the working directory.
+    size_t slash = prefix.find_last_of('/');
+    std::string dir = slash == std::string::npos ? "." : prefix.substr(0, slash);
+    if (dir.empty()) dir = "/";
+    std::string base =
+        slash == std::string::npos ? prefix : prefix.substr(slash + 1);
+
+    std::vector<std::string> out;
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+      if (errno == ENOENT) return out;
+      return Status::IOError("cannot list " + dir + ": " +
+                             std::strerror(errno));
+    }
+    while (struct dirent* ent = ::readdir(d)) {
+      std::string name = ent->d_name;
+      if (name == "." || name == "..") continue;
+      if (name.compare(0, base.size(), base) != 0) continue;
+      out.push_back(slash == std::string::npos
+                        ? name
+                        : prefix.substr(0, slash + 1) + name);
+    }
+    ::closedir(d);
+    std::sort(out.begin(), out.end());
+    return out;
   }
 };
 

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 
@@ -72,6 +73,17 @@ class Vfs {
 
   /// Removes the file; removing a missing file is OK (idempotent cleanup).
   virtual Status Remove(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics). The WAL
+  /// segment-rotation protocol relies on this being all-or-nothing: after a
+  /// crash either the old name or the new name exists, never a half state.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Full paths of existing files whose path starts with `prefix`, sorted
+  /// lexicographically. A prefix matching nothing (including a missing
+  /// directory) yields an empty list, not an error.
+  virtual StatusOr<std::vector<std::string>> ListFiles(
+      const std::string& prefix) = 0;
 
   /// Process-global default implementation (stdio + fsync). Never null.
   static Vfs* Default();

@@ -54,7 +54,7 @@ Status Database::Init(const DatabaseOptions& options, bool create) {
     SEDNA_ASSIGN_OR_RETURN(storage_,
                            StorageEngine::Create(storage_options, hooks));
     if (options.enable_wal) {
-      SEDNA_RETURN_IF_ERROR(vfs->Remove(options.EffectiveWalPath()));
+      SEDNA_RETURN_IF_ERROR(RemoveWalLog(options.EffectiveWalPath(), vfs));
     }
   } else {
     SEDNA_ASSIGN_OR_RETURN(storage_,
@@ -89,7 +89,9 @@ Status Database::Init(const DatabaseOptions& options, bool create) {
 
   if (options.enable_wal) {
     wal_ = std::make_unique<WalWriter>(vfs);
-    SEDNA_RETURN_IF_ERROR(wal_->Open(options.EffectiveWalPath()));
+    WalWriterOptions wal_options;
+    wal_options.segment_bytes = options.wal_segment_bytes;
+    SEDNA_RETURN_IF_ERROR(wal_->Open(options.EffectiveWalPath(), wal_options));
     wal_->set_io_failure_handler(
         [this](const Status& st) { EnterDegradedMode(st); });
   }
@@ -135,7 +137,18 @@ std::unique_ptr<Session> Database::Connect() {
   return std::make_unique<Session>(this);
 }
 
-Status Database::Checkpoint() { return txns_->Checkpoint(); }
+Status Database::Checkpoint() {
+  // Admission before the drain: a second concurrent checkpoint would only
+  // queue behind checkpoint_mu_ and re-drain writers for no benefit, so the
+  // governor sheds it with a retryable rejection instead.
+  SEDNA_ASSIGN_OR_RETURN(Governor::CheckpointTicket ticket,
+                         Governor::Instance().AdmitCheckpoint());
+  return txns_->Checkpoint();
+}
+
+Status Database::CheckConsistency() {
+  return storage_->CheckConsistency();
+}
 
 Status Database::FullBackup(const std::string& dir) {
   return backup_->FullBackup(dir);
@@ -171,11 +184,38 @@ Session::~Session() {
   Governor::Instance().UnregisterSession(session_id_);
 }
 
+void Session::BeginGoverned(QueryContext* query) {
+  if (statement_timeout_.count() > 0) {
+    query->set_deadline_after(statement_timeout_);
+  }
+  query->set_memory_budget(statement_memory_budget_);
+  query->set_check_interval(check_interval_);
+  if (cancel_at_tick_ != 0) query->set_cancel_at_tick(cancel_at_tick_);
+  query->set_alloc_faults(alloc_faults_);
+  std::lock_guard<std::mutex> lock(cancel_mu_);
+  current_cancel_ = query->cancellation();
+}
+
+void Session::EndGoverned(QueryContext* query) {
+  {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    current_cancel_.reset();
+  }
+  query->PublishMetrics();
+}
+
 Status Session::Begin(bool read_only) {
   if (txn_ != nullptr) {
     return Status::FailedPrecondition("transaction already open");
   }
-  SEDNA_ASSIGN_OR_RETURN(txn_, db_->txns()->Begin(read_only));
+  // Governed: the checkpoint gate inside Begin honours the session's
+  // timeout and Cancel() instead of waiting indefinitely for the flip.
+  QueryContext query;
+  BeginGoverned(&query);
+  StatusOr<std::unique_ptr<Transaction>> txn =
+      db_->txns()->Begin(read_only, &query);
+  EndGoverned(&query);
+  SEDNA_ASSIGN_OR_RETURN(txn_, std::move(txn));
   return Status::OK();
 }
 
@@ -183,7 +223,12 @@ Status Session::Commit() {
   if (txn_ == nullptr) {
     return Status::FailedPrecondition("no open transaction");
   }
-  Status st = db_->txns()->Commit(txn_.get());
+  // Governed: the group-commit wait ends early on cancellation/deadline
+  // (withdrawing the record when no leader has picked it yet).
+  QueryContext query;
+  BeginGoverned(&query);
+  Status st = db_->txns()->Commit(txn_.get(), &query);
+  EndGoverned(&query);
   txn_.reset();
   return st;
 }
@@ -199,21 +244,40 @@ Status Session::Abort() {
 
 StatusOr<QueryResult> Session::Execute(const std::string& statement,
                                        const RewriteOptions& options) {
-  if (txn_ != nullptr) {
-    return ExecuteIn(txn_.get(), statement, options);
-  }
-  // Autocommit: one transaction per statement.
-  SEDNA_ASSIGN_OR_RETURN(std::unique_ptr<Transaction> txn,
-                         db_->txns()->Begin(/*read_only=*/false));
-  StatusOr<QueryResult> result = ExecuteIn(txn.get(), statement, options);
-  if (result.ok()) {
-    SEDNA_RETURN_IF_ERROR(db_->txns()->Commit(txn.get()));
-  } else {
-    Status abort_st = db_->txns()->Abort(txn.get());
-    if (!abort_st.ok()) {
-      SEDNA_LOG(kError) << "autocommit abort failed: " << abort_st.ToString();
+  // One governance context for the whole statement, owned here rather than
+  // by ExecuteIn so it also covers the autocommit Begin (checkpoint gate)
+  // and Commit (group-commit wait) — a statement timeout or Cancel() call
+  // bounds the durability wait, not just the pipeline.
+  QueryContext query;
+  BeginGoverned(&query);
+  StatusOr<QueryResult> result = [&]() -> StatusOr<QueryResult> {
+    if (txn_ != nullptr) {
+      return ExecuteIn(txn_.get(), statement, options, &query);
     }
-  }
+    // Autocommit: one transaction per statement.
+    StatusOr<std::unique_ptr<Transaction>> txn =
+        db_->txns()->Begin(/*read_only=*/false, &query);
+    if (!txn.ok()) return txn.status();
+    StatusOr<QueryResult> r = ExecuteIn(txn->get(), statement, options, &query);
+    if (!r.ok()) {
+      Status abort_st = db_->txns()->Abort(txn->get());
+      if (!abort_st.ok()) {
+        SEDNA_LOG(kError) << "autocommit abort failed: "
+                          << abort_st.ToString();
+      }
+      return r;
+    }
+    Status commit_st = db_->txns()->Commit(txn->get(), &query);
+    if (!commit_st.ok()) {
+      // Commit already rolled the transaction back. Surface the sticky
+      // governance code when the wait was cancelled / timed out.
+      Status abort = query.abort_status();
+      if (!abort.ok()) return abort;
+      return commit_st;
+    }
+    return r;
+  }();
+  EndGoverned(&query);
   return result;
 }
 
@@ -224,48 +288,30 @@ void Session::Cancel() {
 
 StatusOr<QueryResult> Session::ExecuteIn(Transaction* txn,
                                          const std::string& statement,
-                                         const RewriteOptions& options) {
+                                         const RewriteOptions& options,
+                                         QueryContext* query) {
   // Admission: reject (retryably) instead of piling onto the buffer pool
   // when the process is already running its statement cap.
   SEDNA_ASSIGN_OR_RETURN(Governor::StatementTicket ticket,
                          Governor::Instance().AdmitStatement());
 
-  // Per-statement governance context from the session's knobs.
-  QueryContext query;
-  if (statement_timeout_.count() > 0) {
-    query.set_deadline_after(statement_timeout_);
-  }
-  query.set_memory_budget(statement_memory_budget_);
-  query.set_check_interval(check_interval_);
-  if (cancel_at_tick_ != 0) query.set_cancel_at_tick(cancel_at_tick_);
-  query.set_alloc_faults(alloc_faults_);
-  {
-    std::lock_guard<std::mutex> lock(cancel_mu_);
-    current_cancel_ = query.cancellation();
-  }
-
   executor_.set_index_manager(db_->indexes());
-  executor_.set_query_context(&query);
+  executor_.set_query_context(query);
   executor_.set_doc_access_hook(
-      [txn, &query](const std::string& name, bool exclusive) {
+      [txn, query](const std::string& name, bool exclusive) {
         return txn->LockDocument(
             name, exclusive ? LockMode::kExclusive : LockMode::kShared,
-            &query);
+            query);
       });
   executor_.set_update_listener(
       [txn](const std::string& text) { return txn->LogUpdate(text); });
   StatusOr<StatementResult> r = executor_.Execute(statement, txn->ctx(), options);
   executor_.set_query_context(nullptr);
-  {
-    std::lock_guard<std::mutex> lock(cancel_mu_);
-    current_cancel_.reset();
-  }
-  query.PublishMetrics();
   if (!r.ok()) {
     // An operator may have wrapped the governance status on the way out;
     // the sticky abort status preserves the statement's true terminal code
     // (kCancelled / kDeadlineExceeded / kResourceExhausted).
-    Status abort = query.abort_status();
+    Status abort = query->abort_status();
     if (!abort.ok()) return abort;
     return r.status();
   }
@@ -275,7 +321,7 @@ StatusOr<QueryResult> Session::ExecuteIn(Transaction* txn,
   out.affected = r->affected;
   out.stats = r->stats;
   out.profile_text = std::move(r->profile_text);
-  out.peak_memory_bytes = query.peak_bytes();
+  out.peak_memory_bytes = query->peak_bytes();
   return out;
 }
 
@@ -373,6 +419,36 @@ void Governor::ReleaseStatement() {
 void Governor::StatementTicket::Release() {
   if (gov_ != nullptr) {
     gov_->ReleaseStatement();
+    gov_ = nullptr;
+  }
+}
+
+StatusOr<Governor::CheckpointTicket> Governor::AdmitCheckpoint() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (checkpoint_active_) {
+    reg.counter("governor.checkpoints_rejected")->Add();
+    return Status::ResourceExhausted(
+        "a checkpoint is already running; retry later");
+  }
+  checkpoint_active_ = true;
+  reg.counter("governor.checkpoints_admitted")->Add();
+  return CheckpointTicket(this);
+}
+
+bool Governor::checkpoint_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return checkpoint_active_;
+}
+
+void Governor::ReleaseCheckpoint() {
+  std::lock_guard<std::mutex> lock(mu_);
+  checkpoint_active_ = false;
+}
+
+void Governor::CheckpointTicket::Release() {
+  if (gov_ != nullptr) {
+    gov_->ReleaseCheckpoint();
     gov_ = nullptr;
   }
 }

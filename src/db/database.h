@@ -30,10 +30,12 @@ namespace sedna {
 
 struct DatabaseOptions {
   std::string path;       // data file
-  std::string wal_path;   // write-ahead log ("" = derive from path)
+  std::string wal_path;   // write-ahead log base ("" = derive from path);
+                          // segments live at <base>.seg-<start LSN>
   size_t buffer_frames = 1024;
   bool enable_mvcc = true;   // page-level multiversioning (Section 6.1)
   bool enable_wal = true;    // durability (Section 6.4)
+  uint64_t wal_segment_bytes = 8ull * 1024 * 1024;  // rotation threshold
   Vfs* vfs = nullptr;        // null = Vfs::Default(); tests inject faults here
 
   std::string EffectiveWalPath() const {
@@ -73,8 +75,17 @@ class Database {
   /// Opens a client session.
   std::unique_ptr<Session> Connect();
 
-  /// Persistent snapshot (checkpoint).
+  /// Persistent snapshot (checkpoint). Safe under concurrent writers: the
+  /// transaction manager drains active update transactions and gates new
+  /// ones only for the flip. Admitted through the Governor — a second
+  /// concurrent checkpoint is rejected with a retryable status.
   Status Checkpoint();
+
+  /// Deep offline-style consistency sweep (CHECK DATABASE): validates every
+  /// document's page chains, slot chains and indirection cross-references.
+  /// Intended to run while no update transactions are active (e.g. right
+  /// after recovery); reads the latest committed version of each page.
+  Status CheckConsistency();
 
   /// Hot backups (Section 6.5).
   Status FullBackup(const std::string& dir);
@@ -137,7 +148,10 @@ class Session {
                                 const RewriteOptions& options = {});
 
   /// Explicit transaction control. `read_only` transactions read a
-  /// snapshot and never block on (or take) document locks.
+  /// snapshot and never block on (or take) document locks. Begin, Commit
+  /// and each statement run under the session's governance knobs: the
+  /// statement timeout and Cancel() also bound the checkpoint gate in
+  /// Begin and the group-commit wait in Commit.
   Status Begin(bool read_only = false);
   Status Commit();
   Status Abort();
@@ -178,7 +192,15 @@ class Session {
  private:
   StatusOr<QueryResult> ExecuteIn(Transaction* txn,
                                   const std::string& statement,
-                                  const RewriteOptions& options);
+                                  const RewriteOptions& options,
+                                  QueryContext* query);
+
+  /// Applies the session's governance knobs to a fresh context and installs
+  /// its cancellation token as the current one (so Cancel() reaches it).
+  /// The context lives in the caller's frame: it must span every governed
+  /// wait of the operation, including an autocommit's group-commit wait.
+  void BeginGoverned(QueryContext* query);
+  void EndGoverned(QueryContext* query);
 
   Database* db_;
   StatementExecutor executor_;
@@ -259,9 +281,45 @@ class Governor {
   /// backs off and retries instead of piling onto the buffer pool).
   StatusOr<StatementTicket> AdmitStatement();
 
+  /// RAII admission slot for a running checkpoint. At most one checkpoint
+  /// runs process-wide; a second request is rejected with a retryable
+  /// kResourceExhausted instead of queueing behind the drain.
+  class CheckpointTicket {
+   public:
+    CheckpointTicket() = default;
+    CheckpointTicket(CheckpointTicket&& other) noexcept : gov_(other.gov_) {
+      other.gov_ = nullptr;
+    }
+    CheckpointTicket& operator=(CheckpointTicket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        gov_ = other.gov_;
+        other.gov_ = nullptr;
+      }
+      return *this;
+    }
+    ~CheckpointTicket() { Release(); }
+
+    CheckpointTicket(const CheckpointTicket&) = delete;
+    CheckpointTicket& operator=(const CheckpointTicket&) = delete;
+
+    void Release();
+
+   private:
+    friend class Governor;
+    explicit CheckpointTicket(Governor* gov) : gov_(gov) {}
+    Governor* gov_ = nullptr;
+  };
+
+  /// Admits one checkpoint, or rejects it (retryably) while another is
+  /// already running.
+  StatusOr<CheckpointTicket> AdmitCheckpoint();
+  bool checkpoint_active() const;
+
  private:
   Governor() = default;
   void ReleaseStatement();
+  void ReleaseCheckpoint();
 
   mutable std::mutex mu_;
   uint64_t next_session_id_ = 1;
@@ -269,6 +327,7 @@ class Governor {
   std::map<Database*, std::string> databases_;
   uint32_t max_concurrent_statements_ = 0;
   uint32_t active_statements_ = 0;
+  bool checkpoint_active_ = false;
 };
 
 }  // namespace sedna

@@ -446,7 +446,7 @@ void BufferManager::DiscardPhysical(PhysPageId ppn) {
   }
 }
 
-Status BufferManager::FlushAll() {
+Status BufferManager::FlushAll(bool skip_pinned) {
   for (size_t s = 0; s < shard_count_; ++s) {
     Shard& sh = shards_[s];
     std::unique_lock<std::mutex> lock(sh.mu);
@@ -456,6 +456,14 @@ Status BufferManager::FlushAll() {
         uint32_t st = f->state.load(std::memory_order_relaxed);
         if (st != kFrameLoading && st != kFrameEvicting) break;
         sh.cv.wait(lock);
+      }
+      // A pinned frame may be mutated by the pin holder mid-write; only the
+      // fuzzy pre-flush can encounter that (writers quiesced otherwise), and
+      // it skips such frames. New pins are gated by the shard lock held
+      // here, so an unpinned frame stays unmutated through the write.
+      if (skip_pinned &&
+          f->pin_count.load(std::memory_order_acquire) > 0) {
+        continue;
       }
       if (f->lpid != 0 && f->dirty.load(std::memory_order_acquire)) {
         SEDNA_RETURN_IF_ERROR(WriteBackLocked(sh, f));

@@ -230,7 +230,11 @@ class BufferManager {
 
   /// Writes all dirty frames to disk. Callers must have quiesced writers
   /// (checkpoint, shutdown): pages pinned for write are flushed as-is.
-  Status FlushAll();
+  /// With `skip_pinned` (the fuzzy checkpoint pre-flush, which runs while
+  /// update transactions are still mutating pinned pages), frames with a
+  /// live pin are left for the post-drain flush — writing them here would
+  /// race with the pin holder's in-place updates and be re-dirtied anyway.
+  Status FlushAll(bool skip_pinned = false);
 
   /// Writes dirty frames owned by `txn_id` (their versions) to disk, using
   /// the per-transaction frame list.

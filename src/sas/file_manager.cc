@@ -59,25 +59,39 @@ bool DecodeMaster(const char* page, MasterRecord* m) {
   return true;
 }
 
-// Free pages carry a stamped, CRC-protected link so that a crash-stale
-// free-list head is detected at allocation time instead of handing out a
-// page that is live in the durable image:
-//   [kFreeMagic(4)][next(4)][self ppn(4)][crc over next+self(4)]
-void EncodeFreePage(char* buf, PhysPageId self, PhysPageId next) {
+// Free pages carry a stamped, CRC-protected link plus the master-record
+// sequence ("epoch") current when the page was freed. The stamp guards two
+// distinct crash hazards at allocation time: a head whose stamp was
+// overwritten by live data (magic/self/CRC fails), and a stamp written
+// AFTER the recovered master became durable — a page the dead incarnation
+// popped and re-freed, whose unsynced stamp happened to survive a torn
+// crash. Such a stamp is internally valid but its next link describes a
+// newer free list the recovered master knows nothing about; following it
+// hands out pages that are live — or out of bounds — in the recovered
+// image. Those stale stamps always carry epoch == the recovered master's
+// sequence (the sequence only advances at master writes, and a completed
+// master write would itself have been the recovery target), so equality is
+// the rejection test.
+//   [kFreeMagic(4)][next(4)][self ppn(4)][epoch(8)][crc over next+self+epoch]
+void EncodeFreePage(char* buf, PhysPageId self, PhysPageId next,
+                    uint64_t epoch) {
   std::memset(buf, 0, kPageSize);
   std::string header;
   PutFixed32(&header, kFreeMagic);
   PutFixed32(&header, next);
   PutFixed32(&header, self);
-  PutFixed32(&header, Crc32(header.data() + 4, 8));
+  PutFixed64(&header, epoch);
+  PutFixed32(&header, Crc32(header.data() + 4, 16));
   std::memcpy(buf, header.data(), header.size());
 }
 
-bool DecodeFreePage(const char* buf, PhysPageId self, PhysPageId* next) {
+bool DecodeFreePage(const char* buf, PhysPageId self, PhysPageId* next,
+                    uint64_t* epoch) {
   if (DecodeFixed32(buf) != kFreeMagic) return false;
   if (DecodeFixed32(buf + 8) != self) return false;
-  if (DecodeFixed32(buf + 12) != Crc32(buf + 4, 8)) return false;
+  if (DecodeFixed32(buf + 20) != Crc32(buf + 4, 16)) return false;
   *next = DecodeFixed32(buf + 4);
+  *epoch = DecodeFixed64(buf + 12);
   return true;
 }
 
@@ -139,10 +153,11 @@ Status FileManager::Create(const std::string& path) {
   path_ = path;
   master_ = MasterRecord{};
   fail_fast_ = false;
-  // Write both master slots so Open never sees garbage.
+  stale_free_epoch_ = 0;  // fresh file: no dead incarnation to distrust
+  // Write both master slots so Open never sees garbage (each write bumps
+  // the sequence, so the two land in alternating slots).
   Status st = WriteMasterLocked();
   if (!st.ok()) return st;
-  master_.sequence++;
   return WriteMasterLocked();
 }
 
@@ -192,6 +207,37 @@ Status FileManager::Open(const std::string& path) {
       SEDNA_LOG(kWarning) << "failed to repair master slot " << slot << " in "
                          << path << ": " << repair.ToString();
     }
+  }
+  // The free list inherited from the recovered master may start with a
+  // stamp the dead incarnation wrote after this master became durable (see
+  // EncodeFreePage). Only the head needs checking: pushes prepend, so every
+  // deeper stamp in a chain with a clean head is older than the head. The
+  // check must happen here, not lazily at allocation, because the sequence
+  // bump below re-persists the master — carrying an unvalidated head into
+  // it would launder the stale stamp past the next recovery's epoch test.
+  stale_free_epoch_ = master_.sequence;
+  if (master_.free_list_head != kInvalidPhysPage) {
+    PhysPageId head = master_.free_list_head;
+    PhysPageId next = kInvalidPhysPage;
+    uint64_t epoch = 0;
+    bool trusted = head < master_.page_count &&
+                   ReadPageLocked(head, buf).ok() &&
+                   DecodeFreePage(buf, head, &next, &epoch) &&
+                   epoch < master_.sequence;
+    if (!trusted) {
+      SEDNA_LOG(kWarning) << "free-list head page " << head
+                         << " is stale after crash; abandoning free list";
+      master_.free_list_head = kInvalidPhysPage;
+    }
+  }
+  // Bump the sequence durably: stamps written by this incarnation carry an
+  // epoch strictly above anything the dead incarnation could have left
+  // behind, so the staleness test never rejects a live free.
+  Status bump = WriteMasterLocked();
+  if (!bump.ok()) {
+    file_->Close();
+    file_.reset();
+    return bump;
   }
   return Status::OK();
 }
@@ -281,16 +327,24 @@ StatusOr<PhysPageId> FileManager::AllocPageLocked() {
   if (file_ == nullptr) return Status::FailedPrecondition("file not open");
   if (master_.free_list_head != kInvalidPhysPage) {
     PhysPageId ppn = master_.free_list_head;
-    char buf[kPageSize];
-    SEDNA_RETURN_IF_ERROR(ReadPageLocked(ppn, buf));
     PhysPageId next = kInvalidPhysPage;
-    if (DecodeFreePage(buf, ppn, &next)) {
+    uint64_t epoch = 0;
+    char buf[kPageSize];
+    bool trusted = ppn < master_.page_count;
+    if (trusted) {
+      SEDNA_RETURN_IF_ERROR(ReadPageLocked(ppn, buf));
+      trusted = DecodeFreePage(buf, ppn, &next, &epoch) &&
+                epoch != stale_free_epoch_;
+    }
+    if (trusted) {
       master_.free_list_head = next;
       return ppn;
     }
-    // The head does not carry a valid free stamp: the list is stale (e.g. a
-    // crash reverted to a master whose head page was since reused). Leaking
-    // the chain is safe; handing out a live page is not.
+    // The head does not carry a trustworthy free stamp: either the page was
+    // reused and overwritten (a crash reverted to a master whose head was
+    // since recycled), or the stamp postdates the recovered master (see
+    // EncodeFreePage). Leaking the chain is safe; handing out a live page
+    // is not.
     SEDNA_LOG(kWarning) << "free-list head page " << ppn
                        << " failed validation; abandoning free list";
     master_.free_list_head = kInvalidPhysPage;
@@ -319,7 +373,7 @@ Status FileManager::FreePageLocked(PhysPageId ppn) {
                                    std::to_string(ppn));
   }
   char buf[kPageSize];
-  EncodeFreePage(buf, ppn, master_.free_list_head);
+  EncodeFreePage(buf, ppn, master_.free_list_head, master_.sequence);
   SEDNA_RETURN_IF_ERROR(WritePageLocked(ppn, buf));
   master_.free_list_head = ppn;
   return Status::OK();

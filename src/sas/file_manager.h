@@ -4,8 +4,12 @@
 // sequence-numbered, CRC-protected) so that master updates are atomic: the
 // newest valid slot wins, and Open repairs a corrupted slot from the
 // survivor. All other pages are allocated/freed through a free list whose
-// on-disk links are stamped and CRC-protected so a stale head left by a
-// crash is detected instead of handing out a live page. The file manager
+// on-disk links are stamped, CRC-protected and tagged with the master
+// sequence at free time, so a stale head left by a crash — a reused page,
+// or a re-freed page whose unsynced stamp survived a torn crash — is
+// detected instead of handing out a live page. Open bumps the sequence
+// durably so the new incarnation's stamps are distinguishable from the dead
+// one's. The file manager
 // also provides a "meta blob" facility used to persist the page directory
 // and catalog across restarts: a blob is written into a chain of freshly
 // allocated pages and the chain head is recorded in the master record.
@@ -79,7 +83,9 @@ class FileManager {
 
   /// Opens an existing database file and loads the newest valid master.
   /// If one master slot is corrupt and the other valid, the corrupt slot is
-  /// rewritten from the survivor.
+  /// rewritten from the survivor. Abandons a free list whose head stamp is
+  /// untrustworthy after a crash, then durably bumps the master sequence so
+  /// this incarnation's free stamps carry a fresh epoch.
   Status Open(const std::string& path);
 
   Status Close();
@@ -145,6 +151,11 @@ class FileManager {
   std::unique_ptr<File> file_;
   std::string path_;
   MasterRecord master_;
+  // Sequence of the master this incarnation opened from. A free stamp with
+  // this exact epoch was written by the dead incarnation after that master
+  // became durable — its links are not covered by the recovered state, so
+  // allocation rejects it. 0 (Create) never matches a real stamp.
+  uint64_t stale_free_epoch_ = 0;
   // Atomic because RetryIo runs outside mu_ on the concurrent page-I/O path.
   std::atomic<bool> fail_fast_{false};
   IoFailureHandler io_failure_handler_;

@@ -1,6 +1,8 @@
 #include "storage/document_store.h"
 
+#include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "common/coding.h"
 #include "common/logging.h"
@@ -131,6 +133,269 @@ Status DocumentStore::Drop(const OpCtx& ctx) {
   SEDNA_RETURN_IF_ERROR(text_.FreeAll(ctx));
   SEDNA_RETURN_IF_ERROR(indirection_.FreeAll(ctx));
   root_handle_ = kNullXptr;
+  return Status::OK();
+}
+
+namespace {
+
+Status ValidationError(const std::string& doc, const std::string& what) {
+  return Status::Corruption("document '" + doc + "': " + what);
+}
+
+}  // namespace
+
+Status DocumentStore::Validate(const OpCtx& ctx) const {
+  // --- Indirection page chain -------------------------------------------
+  std::set<uint64_t> indir_pages;
+  {
+    Xptr cur = indirection_.head();
+    while (cur) {
+      if (!indir_pages.insert(cur.raw).second) {
+        return ValidationError(name_, "cycle in indirection page chain at " +
+                                          cur.ToString());
+      }
+      SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Read(cur, ctx));
+      const IndirPageHeader* h =
+          reinterpret_cast<const IndirPageHeader*>(guard.data());
+      if (h->magic != kIndirPageMagic || h->self != cur ||
+          h->doc_id != doc_id_) {
+        return ValidationError(
+            name_, "indirection chain reaches foreign page " + cur.ToString() +
+                       " (magic " + std::to_string(h->magic) + ", self " +
+                       Xptr(h->self).ToString() + ", doc " +
+                       std::to_string(h->doc_id) + ")");
+      }
+      cur = h->next_page;
+    }
+  }
+  auto valid_entry_addr = [&](Xptr addr) {
+    if (indir_pages.count(addr.PageBase().raw) == 0) return false;
+    uint32_t off = addr.PageOffset();
+    return off >= sizeof(IndirPageHeader) && off % sizeof(uint64_t) == 0 &&
+           off + sizeof(uint64_t) <= kPageSize;
+  };
+
+  // --- Indirection free list --------------------------------------------
+  std::set<uint64_t> free_entries;
+  {
+    Xptr cur = indirection_.free_head();
+    while (cur) {
+      if (!valid_entry_addr(cur)) {
+        return ValidationError(name_,
+                               "indirection free list leaves the document's "
+                               "indirection pages at " +
+                                   cur.ToString());
+      }
+      if (!free_entries.insert(cur.raw).second) {
+        return ValidationError(
+            name_, "cycle in indirection free list at " + cur.ToString());
+      }
+      SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Read(cur.PageBase(), ctx));
+      uint64_t entry;
+      std::memcpy(&entry, guard.data() + cur.PageOffset(), sizeof(entry));
+      if ((entry & kIndirFreeTag) == 0) {
+        return ValidationError(
+            name_, "indirection free list points at live entry " +
+                       cur.ToString() + " -> " + Xptr(entry).ToString());
+      }
+      cur = Xptr(entry & ~kIndirFreeTag);
+    }
+  }
+
+  // --- Text page chain ---------------------------------------------------
+  std::set<uint64_t> text_pages;
+  {
+    Xptr cur = text_.head();
+    while (cur) {
+      if (!text_pages.insert(cur.raw).second) {
+        return ValidationError(name_,
+                               "cycle in text page chain at " + cur.ToString());
+      }
+      SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Read(cur, ctx));
+      const TextPageHeader* h =
+          reinterpret_cast<const TextPageHeader*>(guard.data());
+      if (h->magic != kTextPageMagic || h->self != cur ||
+          h->doc_id != doc_id_) {
+        return ValidationError(
+            name_, "text chain reaches foreign page " + cur.ToString() +
+                       " (magic " + std::to_string(h->magic) + ", self " +
+                       Xptr(h->self).ToString() + ", doc " +
+                       std::to_string(h->doc_id) + ")");
+      }
+      cur = h->next_page;
+    }
+  }
+
+  // --- Node blocks, per schema node --------------------------------------
+  std::set<uint64_t> seen_blocks;  // across ALL schema nodes: cross-links
+  uint64_t live_descriptors = 0;
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    const SchemaNode* sn = schema_.node(static_cast<uint32_t>(i));
+    uint64_t sn_live = 0;
+    Xptr block = sn->first_block;
+    Xptr expect_prev = kNullXptr;
+    while (block) {
+      if (!seen_blocks.insert(block.raw).second) {
+        return ValidationError(name_, "node block " + block.ToString() +
+                                          " appears on two block chains "
+                                          "(schema '" +
+                                          sn->Path() + "')");
+      }
+      SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Read(block, ctx));
+      const uint8_t* page = guard.data();
+      const BlockHeader* h = reinterpret_cast<const BlockHeader*>(page);
+      if (h->magic != kNodeBlockMagic || h->self != block ||
+          h->schema_id != sn->id) {
+        return ValidationError(
+            name_, "block chain of schema '" + sn->Path() +
+                       "' reaches foreign page " + block.ToString() +
+                       " (magic " + std::to_string(h->magic) + ", self " +
+                       Xptr(h->self).ToString() + ", schema " +
+                       std::to_string(h->schema_id) + ")");
+      }
+      if (h->prev_block != expect_prev) {
+        return ValidationError(name_, "broken prev_block link at " +
+                                          block.ToString());
+      }
+      if (h->desc_size < sizeof(NodeDescriptor) ||
+          sizeof(BlockHeader) +
+                  static_cast<size_t>(h->capacity) * h->desc_size >
+              kPageSize ||
+          h->high_water > h->capacity || h->count > h->high_water) {
+        return ValidationError(
+            name_, "implausible block header in " + block.ToString() +
+                       " (desc_size " + std::to_string(h->desc_size) +
+                       ", capacity " + std::to_string(h->capacity) +
+                       ", count " + std::to_string(h->count) +
+                       ", high_water " + std::to_string(h->high_water) + ")");
+      }
+      // Walk the in-block doc-order chain; every live slot exactly once.
+      std::vector<bool> live(h->high_water, false);
+      uint16_t slot = h->first_slot;
+      uint16_t prev = kNoSlot;
+      uint16_t walked = 0;
+      while (slot != kNoSlot) {
+        if (slot >= h->high_water || live[slot]) {
+          return ValidationError(
+              name_, "in-block chain of " + block.ToString() +
+                         " is out of range or cyclic at slot " +
+                         std::to_string(slot));
+        }
+        live[slot] = true;
+        const NodeDescriptor* d = DescriptorAt(
+            const_cast<uint8_t*>(page), slot);
+        if (d->prev_in_block != prev) {
+          return ValidationError(name_,
+                                 "broken prev_in_block link in " +
+                                     block.ToString() + " at slot " +
+                                     std::to_string(slot));
+        }
+        // Handle must resolve back to this descriptor.
+        if (!valid_entry_addr(d->handle)) {
+          return ValidationError(
+              name_, "descriptor " + block.ToString() + "#" +
+                         std::to_string(slot) + " carries handle " +
+                         d->handle.ToString() +
+                         " outside the document's indirection pages");
+        }
+        {
+          SEDNA_ASSIGN_OR_RETURN(PageGuard ig,
+                                 env_->Read(d->handle.PageBase(), ctx));
+          uint64_t entry;
+          std::memcpy(&entry, ig.data() + d->handle.PageOffset(),
+                      sizeof(entry));
+          Xptr expect = DescriptorXptr(block, slot, h->desc_size);
+          if (entry & kIndirFreeTag) {
+            return ValidationError(name_, "live descriptor " +
+                                              expect.ToString() +
+                                              " has a freed handle " +
+                                              d->handle.ToString());
+          }
+          if (Xptr(entry) != expect) {
+            return ValidationError(
+                name_, "handle " + d->handle.ToString() + " resolves to " +
+                           Xptr(entry).ToString() + " but the descriptor "
+                           "lives at " + expect.ToString());
+          }
+        }
+        // Text-carrying descriptors must reference this document's pages.
+        if (sn->kind != XmlKind::kElement && sn->kind != XmlKind::kDocument) {
+          Xptr ref = TextPayloadOf(d)->text_ref;
+          if (ref && text_pages.count(ref.PageBase().raw) == 0) {
+            return ValidationError(
+                name_, "descriptor " + block.ToString() + "#" +
+                           std::to_string(slot) + " references text " +
+                           ref.ToString() +
+                           " outside the document's text pages");
+          }
+        }
+        prev = slot;
+        slot = d->next_in_block;
+        ++walked;
+      }
+      if (walked != h->count || prev != h->last_slot) {
+        return ValidationError(
+            name_, "in-block chain of " + block.ToString() + " walks " +
+                       std::to_string(walked) + " slots, header says " +
+                       std::to_string(h->count));
+      }
+      // Walk the free-slot chain: disjoint from live, covers the rest.
+      std::vector<bool> freed(h->high_water, false);
+      slot = h->free_head;
+      uint16_t free_walked = 0;
+      while (slot != kNoSlot) {
+        if (slot >= h->high_water || live[slot] || freed[slot]) {
+          return ValidationError(
+              name_, "free-slot chain of " + block.ToString() +
+                         " is out of range, cyclic, or overlaps live slots "
+                         "at slot " +
+                         std::to_string(slot));
+        }
+        freed[slot] = true;
+        slot = DescriptorAt(const_cast<uint8_t*>(page), slot)->next_in_block;
+        ++free_walked;
+      }
+      if (static_cast<uint32_t>(walked) + free_walked != h->high_water) {
+        return ValidationError(
+            name_, "slots of " + block.ToString() + " leak: " +
+                       std::to_string(walked) + " live + " +
+                       std::to_string(free_walked) + " free != high_water " +
+                       std::to_string(h->high_water));
+      }
+      sn_live += walked;
+      expect_prev = block;
+      block = h->next_block;
+    }
+    if (sn->last_block != expect_prev) {
+      return ValidationError(name_, "last_block of schema '" + sn->Path() +
+                                        "' does not match the chain tail");
+    }
+    if (sn_live != sn->node_count) {
+      return ValidationError(
+          name_, "schema '" + sn->Path() + "' counts " +
+                     std::to_string(sn->node_count) + " nodes but its blocks "
+                     "hold " + std::to_string(sn_live));
+    }
+    live_descriptors += sn_live;
+  }
+
+  // --- Entry accounting ---------------------------------------------------
+  // Every entry of every indirection page is either on the free list or the
+  // handle of exactly one live descriptor (handles are unique: each resolves
+  // to a distinct descriptor address, checked above).
+  uint64_t total_entries =
+      static_cast<uint64_t>(indir_pages.size()) * kIndirEntriesPerPage;
+  if (free_entries.size() + live_descriptors != total_entries) {
+    return ValidationError(
+        name_, "indirection entries leak: " +
+                   std::to_string(free_entries.size()) + " free + " +
+                   std::to_string(live_descriptors) + " live != " +
+                   std::to_string(total_entries) + " total");
+  }
+  if (root_handle_ && !valid_entry_addr(root_handle_)) {
+    return ValidationError(name_, "root handle " + root_handle_.ToString() +
+                                      " lies outside the indirection pages");
+  }
   return Status::OK();
 }
 

@@ -55,6 +55,14 @@ class DocumentStore {
   /// Frees every page owned by this document.
   Status Drop(const OpCtx& ctx);
 
+  /// Deep consistency check: walks the indirection page chain and free
+  /// list, every schema node's block chain (headers, slot chains, free
+  /// slots) and cross-checks each live descriptor's handle against the
+  /// indirection table. Returns kCorruption with a diagnostic naming the
+  /// first inconsistent page. Used by crash-recovery tests and Database
+  /// consistency checks; cost is linear in document size.
+  Status Validate(const OpCtx& ctx) const;
+
   /// Catalog (de)serialization.
   std::string SerializeMeta() const;
   Status RestoreMeta(const std::string& blob);

@@ -37,10 +37,21 @@ StatusOr<Xptr> IndirectionTable::Alloc(const OpCtx& ctx, Xptr target) {
 
   Xptr handle = free_head_;
   SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Write(handle.PageBase(), ctx));
+  const IndirPageHeader* h =
+      reinterpret_cast<const IndirPageHeader*>(guard.data());
+  if (h->magic != kIndirPageMagic || h->self != handle.PageBase()) {
+    return Status::Corruption(
+        "indirection free head " + handle.ToString() +
+        " points into a page that is not an indirection page of this "
+        "document (magic " + std::to_string(h->magic) + ", self " +
+        Xptr(h->self).ToString() + ")");
+  }
   uint64_t* entry =
       reinterpret_cast<uint64_t*>(guard.data() + handle.PageOffset());
   if ((*entry & kIndirFreeTag) == 0) {
-    return Status::Corruption("indirection free list points at a live entry");
+    return Status::Corruption(
+        "indirection free list points at a live entry: " + handle.ToString() +
+        " -> " + Xptr(*entry).ToString());
   }
   free_head_ = Xptr(*entry & ~kIndirFreeTag);
   *entry = target.raw;

@@ -377,6 +377,22 @@ StatusOr<Xptr> NodeStore::AllocDescriptor(const OpCtx& ctx, SchemaNode* sn,
       SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Write(pos.block, ctx));
       uint8_t* page = guard.data();
       BlockHeader* h = HeaderOf(page);
+      // Integrity gate: a block whose header does not describe *this* page
+      // (wrong magic or self pointer) or whose slot chains point outside
+      // the slot array means the store is inconsistent — fail cleanly
+      // instead of following a wild in-page pointer.
+      if (h->magic != kNodeBlockMagic || h->self != pos.block) {
+        return Status::Corruption(
+            "node block " + pos.block.ToString() +
+            " holds foreign content (magic " + std::to_string(h->magic) +
+            ", self " + Xptr(h->self).ToString() + ")");
+      }
+      if ((h->free_head != kNoSlot && h->free_head >= h->capacity) ||
+          (pos.pred_slot != kNoSlot && pos.pred_slot >= h->capacity) ||
+          h->high_water > h->capacity) {
+        return Status::Corruption("slot chain out of range in node block " +
+                                  pos.block.ToString());
+      }
       if (h->count < h->capacity) {
         uint16_t slot;
         if (h->free_head != kNoSlot) {
@@ -385,6 +401,10 @@ StatusOr<Xptr> NodeStore::AllocDescriptor(const OpCtx& ctx, SchemaNode* sn,
           h->free_head = freed->next_in_block;
         } else {
           slot = h->high_water++;
+        }
+        if (slot >= h->capacity) {
+          return Status::Corruption("slot index out of range in node block " +
+                                    pos.block.ToString());
         }
         NodeDescriptor* d = DescriptorAt(page, slot);
         std::memset(static_cast<void*>(d), 0, h->desc_size);
@@ -400,6 +420,12 @@ StatusOr<Xptr> NodeStore::AllocDescriptor(const OpCtx& ctx, SchemaNode* sn,
           if (h->last_slot == kNoSlot) h->last_slot = slot;
         } else {
           NodeDescriptor* pred = DescriptorAt(page, pos.pred_slot);
+          if (pred->next_in_block != kNoSlot &&
+              pred->next_in_block >= h->capacity) {
+            return Status::Corruption(
+                "descriptor chain out of range in node block " +
+                pos.block.ToString());
+          }
           d->next_in_block = pred->next_in_block;
           d->prev_in_block = pos.pred_slot;
           if (pred->next_in_block != kNoSlot) {

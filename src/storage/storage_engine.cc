@@ -215,4 +215,11 @@ Status StorageEngine::Checkpoint() {
   return file_.Sync();
 }
 
+Status StorageEngine::CheckConsistency() {
+  for (auto& [name, doc] : documents_) {
+    SEDNA_RETURN_IF_ERROR(doc->Validate(OpCtx::System()));
+  }
+  return Status::OK();
+}
+
 }  // namespace sedna

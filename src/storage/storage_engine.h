@@ -102,6 +102,11 @@ class StorageEngine {
   /// master record. After Checkpoint the on-disk state is self-contained.
   Status Checkpoint();
 
+  /// Deep consistency sweep over every document (DocumentStore::Validate).
+  /// Returns the first corruption found; OK means every page chain, slot
+  /// chain and handle cross-reference is intact.
+  Status CheckConsistency();
+
   // --- accessors --------------------------------------------------------------
 
   FileManager* file() { return &file_; }

@@ -1,17 +1,24 @@
 #include "txn/backup.h"
 
-#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <vector>
 
-#include "common/coding.h"
 #include "common/logging.h"
+#include "txn/wal.h"
 
 namespace sedna {
 
 namespace {
 
 namespace fs = std::filesystem;
+
+// Segment files are stored in the backup directory under their
+// base-independent name "wal.seg-<20-digit start LSN>", so a backup can be
+// restored to a database with any WAL path.
+std::string LocalSegmentName(uint64_t start_lsn) {
+  return WalSegmentFileName("wal", start_lsn);
+}
 
 Status CopyFileTo(const std::string& from, const std::string& to) {
   std::error_code ec;
@@ -23,33 +30,17 @@ Status CopyFileTo(const std::string& from, const std::string& to) {
   return Status::OK();
 }
 
-/// Appends bytes [offset, end) of `from` to `to`.
-Status AppendFileRange(const std::string& from, uint64_t offset,
-                       const std::string& to) {
-  std::ifstream in(from, std::ios::binary);
-  if (!in) return Status::IOError("open " + from);
-  in.seekg(static_cast<std::streamoff>(offset));
-  std::ofstream out(to, std::ios::binary | std::ios::app);
-  if (!out) return Status::IOError("open " + to);
-  char buf[1 << 16];
-  while (in) {
-    in.read(buf, sizeof(buf));
-    std::streamsize n = in.gcount();
-    if (n <= 0) break;
-    out.write(buf, n);
-  }
-  if (!out) return Status::IOError("write " + to);
-  return Status::OK();
-}
-
 struct Manifest {
-  uint64_t log_bytes_backed_up = 0;
+  // LSN through which the log is known fully backed up (the durable end at
+  // the last backup). Segments are re-copied whole when they extend past
+  // this point.
+  uint64_t log_backed_up_lsn = 0;
 };
 
 Status WriteManifest(const std::string& dir, const Manifest& m) {
   std::ofstream out(dir + "/MANIFEST", std::ios::trunc);
   if (!out) return Status::IOError("write manifest");
-  out << m.log_bytes_backed_up << "\n";
+  out << m.log_backed_up_lsn << "\n";
   return out ? Status::OK() : Status::IOError("write manifest");
 }
 
@@ -57,8 +48,24 @@ StatusOr<Manifest> ReadManifest(const std::string& dir) {
   std::ifstream in(dir + "/MANIFEST");
   if (!in) return Status::NotFound("no backup manifest in " + dir);
   Manifest m;
-  in >> m.log_bytes_backed_up;
+  in >> m.log_backed_up_lsn;
   return m;
+}
+
+/// Copies every live segment whose records extend past `from_lsn` into
+/// `dir` under its local name. The active segment may grow (or even rotate)
+/// during the copy; the copied prefix then ends mid-record, which recovery
+/// tolerates as a torn tail because this is the newest backed-up segment.
+Status CopySegments(WalWriter* wal, const std::string& dir,
+                    uint64_t from_lsn) {
+  SEDNA_ASSIGN_OR_RETURN(std::vector<WalSegment> segments,
+                         wal->LiveSegments());
+  for (const WalSegment& seg : segments) {
+    if (seg.end_lsn <= from_lsn && seg.end_lsn > 0) continue;
+    SEDNA_RETURN_IF_ERROR(CopyFileTo(
+        seg.file_path, dir + "/" + LocalSegmentName(seg.start_lsn)));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -68,32 +75,34 @@ Status BackupManager::FullBackup(const std::string& dir) {
   fs::create_directories(dir, ec);
   if (ec) return Status::IOError("mkdir " + dir + ": " + ec.message());
 
-  uint64_t log_end;
-  {
-    // Hold the commit mutex so no transaction commits (and no checkpoint
-    // rewrites pages) while the data file is copied — the paper's answer to
-    // the split-block problem via consistent copying.
-    std::lock_guard<std::mutex> lock(txns_->commit_mutex());
-    SEDNA_RETURN_IF_ERROR(storage_->buffers()->FlushAll());
-    // Persist catalog + directory so the copied file is self-contained.
-    MasterRecord master = storage_->file()->master();
-    master.checkpoint_lsn =
-        txns_->wal() != nullptr ? txns_->wal()->end_lsn() : 0;
-    storage_->file()->set_master(master);
-    SEDNA_RETURN_IF_ERROR(storage_->Checkpoint());
+  // Fresh persistent snapshot first: the data file copy is then
+  // self-contained and the log to copy is minimal.
+  SEDNA_RETURN_IF_ERROR(txns_->Checkpoint());
+
+  // Copy under the checkpoint lock: commits keep running (they only append
+  // to the log and write NEW page versions — the snapshot's pages are
+  // copy-on-write-immutable), but no further checkpoint can rewrite the
+  // master record or unlink segments mid-copy.
+  return txns_->WithCheckpointLock([&]() -> Status {
+    // Drop segments from a previous backup in this directory; the set is
+    // rebuilt below and stale ones would corrupt the restored log.
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      std::string name = entry.path().filename().string();
+      if (name.rfind("wal.seg-", 0) == 0) {
+        fs::remove(entry.path(), ec);
+      }
+    }
     SEDNA_RETURN_IF_ERROR(
         CopyFileTo(storage_->file()->path(), dir + "/data.sedna"));
-    log_end = txns_->wal() != nullptr ? txns_->wal()->end_lsn() : 0;
-  }
-  // "Second, log is fixated and its files are copied."
-  if (txns_->wal() != nullptr) {
-    SEDNA_RETURN_IF_ERROR(txns_->wal()->Sync());
-    std::ofstream clear(dir + "/wal.log", std::ios::trunc | std::ios::binary);
-    clear.close();
-    SEDNA_RETURN_IF_ERROR(
-        AppendFileRange(txns_->wal()->path(), 0, dir + "/wal.log"));
-  }
-  return WriteManifest(dir, Manifest{log_end});
+    uint64_t backed_up = 0;
+    if (txns_->wal() != nullptr) {
+      // "Second, log is fixated and its files are copied."
+      SEDNA_RETURN_IF_ERROR(txns_->wal()->Sync());
+      backed_up = txns_->wal()->durable_lsn();
+      SEDNA_RETURN_IF_ERROR(CopySegments(txns_->wal(), dir, 0));
+    }
+    return WriteManifest(dir, Manifest{backed_up});
+  });
 }
 
 Status BackupManager::IncrementalBackup(const std::string& dir) {
@@ -101,15 +110,27 @@ Status BackupManager::IncrementalBackup(const std::string& dir) {
   if (txns_->wal() == nullptr) {
     return Status::FailedPrecondition("incremental backup requires a WAL");
   }
-  SEDNA_RETURN_IF_ERROR(txns_->wal()->Sync());
-  uint64_t end = txns_->wal()->end_lsn();
-  if (end > manifest.log_bytes_backed_up) {
-    SEDNA_RETURN_IF_ERROR(AppendFileRange(
-        txns_->wal()->path(), manifest.log_bytes_backed_up,
-        dir + "/wal.log"));
-    manifest.log_bytes_backed_up = end;
-  }
-  return WriteManifest(dir, manifest);
+  return txns_->WithCheckpointLock([&]() -> Status {
+    WalWriter* wal = txns_->wal();
+    SEDNA_RETURN_IF_ERROR(wal->Sync());
+    SEDNA_ASSIGN_OR_RETURN(std::vector<WalSegment> segments,
+                           wal->LiveSegments());
+    if (!segments.empty() &&
+        segments.front().start_lsn > manifest.log_backed_up_lsn) {
+      // Checkpoint truncation already unlinked records this chain would
+      // need: the backed-up prefix no longer connects to the live log.
+      return Status::FailedPrecondition(
+          "log truncated past the last backup point (backed up to LSN " +
+          std::to_string(manifest.log_backed_up_lsn) +
+          ", oldest live segment starts at LSN " +
+          std::to_string(segments.front().start_lsn) +
+          "); take a new full backup");
+    }
+    SEDNA_RETURN_IF_ERROR(
+        CopySegments(wal, dir, manifest.log_backed_up_lsn));
+    manifest.log_backed_up_lsn = wal->durable_lsn();
+    return WriteManifest(dir, manifest);
+  });
 }
 
 Status BackupManager::Restore(const std::string& dir,
@@ -117,10 +138,22 @@ Status BackupManager::Restore(const std::string& dir,
                               const std::string& wal_path) {
   SEDNA_RETURN_IF_ERROR(ReadManifest(dir).status());  // sanity check
   SEDNA_RETURN_IF_ERROR(CopyFileTo(dir + "/data.sedna", db_path));
-  if (fs::exists(dir + "/wal.log")) {
-    SEDNA_RETURN_IF_ERROR(CopyFileTo(dir + "/wal.log", wal_path));
-  } else {
-    std::remove(wal_path.c_str());
+  // Clear whatever log lives at the target, then materialize the backed-up
+  // segments under the target base path.
+  SEDNA_RETURN_IF_ERROR(RemoveWalLog(wal_path));
+  std::error_code ec;
+  std::vector<fs::path> segment_files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind("wal.seg-", 0) == 0) {
+      segment_files.push_back(entry.path());
+    }
+  }
+  if (ec) return Status::IOError("list " + dir + ": " + ec.message());
+  for (const fs::path& src : segment_files) {
+    // "wal.seg-<digits>" -> "<wal_path>.seg-<digits>".
+    std::string suffix = src.filename().string().substr(3);
+    SEDNA_RETURN_IF_ERROR(CopyFileTo(src.string(), wal_path + suffix));
   }
   return Status::OK();
 }

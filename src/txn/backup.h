@@ -1,11 +1,22 @@
 // Hot backup (paper Section 6.5).
 //
-// A full backup copies the data file while the database serves requests
-// (commits are briefly blocked so no page is split mid-copy — solving the
-// paper's "split-block problem"), then fixates and copies the WAL.
-// Incremental backups copy only the log grown since the previous backup.
-// Restore copies the data file back and replays the backed-up log chain,
-// giving the paper's "point-in-time" recovery over incremental parts.
+// A full backup takes a checkpoint, then copies the data file and every
+// live WAL segment while the database keeps serving requests — commits are
+// never blocked. This is safe because the persistent snapshot's pages are
+// copy-on-write-immutable until the next checkpoint, and that next
+// checkpoint is excluded for the duration of the copy (the checkpoint
+// lock). A torn tail in the copied active segment is tolerated by recovery
+// exactly like a crash.
+//
+// Incremental backups re-copy only the segments grown or created since the
+// previous backup. If checkpoint truncation has already unlinked segments
+// past the last backup point, the incremental chain is broken and a new
+// full backup is required (reported as kFailedPrecondition).
+//
+// Restore copies the data file back and materializes the backed-up
+// segments at the target WAL path; opening the database then replays the
+// log from the backup's checkpoint, giving point-in-time recovery over
+// incremental parts.
 
 #ifndef SEDNA_TXN_BACKUP_H_
 #define SEDNA_TXN_BACKUP_H_
@@ -22,12 +33,14 @@ class BackupManager {
   BackupManager(StorageEngine* storage, TransactionManager* txns)
       : storage_(storage), txns_(txns) {}
 
-  /// Full hot backup into `dir` (created if needed): data file + current
-  /// log + backup manifest.
+  /// Full hot backup into `dir` (created if needed): checkpoint, then data
+  /// file + live WAL segments + backup manifest.
   Status FullBackup(const std::string& dir);
 
-  /// Incremental backup: appends the log delta since the last (full or
-  /// incremental) backup into `dir`. Requires a prior FullBackup in `dir`.
+  /// Incremental backup: re-copies the WAL segments grown since the last
+  /// (full or incremental) backup into `dir`. Requires a prior FullBackup
+  /// in `dir`; returns kFailedPrecondition if checkpoint truncation has
+  /// passed the last backup point (take a new full backup).
   Status IncrementalBackup(const std::string& dir);
 
   /// Restores `dir` into `db_path`/`wal_path`. The caller then opens the

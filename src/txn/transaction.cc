@@ -1,10 +1,27 @@
 #include "txn/transaction.h"
 
+#include <chrono>
 #include <map>
 
 #include "common/logging.h"
 
 namespace sedna {
+
+namespace {
+
+// Wait slice for governed blocking (checkpoint gate/drain): short enough
+// that cancellation is noticed promptly, long enough that re-checking
+// governance is cheap. Matches LockManager::Acquire.
+constexpr auto kGovernedSlice = std::chrono::milliseconds(5);
+
+// Maps a failed governance check to the status the caller should see: the
+// statement's sticky abort status when one was recorded, else the check's.
+Status GovernanceStatus(QueryContext* query, const Status& check) {
+  Status abort = query->abort_status();
+  return abort.ok() ? check : abort;
+}
+
+}  // namespace
 
 Transaction::~Transaction() {
   if (active_) {
@@ -77,31 +94,113 @@ TransactionManager::TransactionManager(StorageEngine* storage,
 }
 
 StatusOr<std::unique_ptr<Transaction>> TransactionManager::Begin(
-    bool read_only) {
+    bool read_only, QueryContext* query) {
+  if (!read_only) {
+    // Checkpoint gate: while a checkpoint is draining/flipping, new update
+    // transactions wait here. At this point the transaction holds no locks
+    // and has logged nothing, so nobody can be waiting on it — the drain
+    // cannot deadlock through this gate.
+    std::unique_lock<std::mutex> lk(drain_mu_);
+    while (checkpoint_pending_) {
+      if (query != nullptr) {
+        Status st = query->Check();
+        if (!st.ok()) return GovernanceStatus(query, st);
+      }
+      drain_cv_.wait_for(lk, kGovernedSlice);
+    }
+    active_updaters_++;
+  }
   uint64_t id = next_txn_id_.fetch_add(1);
   uint64_t snapshot = last_commit_ts_.load();
   if (versions_ != nullptr) {
     versions_->BeginTxn(id, read_only, snapshot);
   }
-  return std::unique_ptr<Transaction>(
+  std::unique_ptr<Transaction> txn(
       new Transaction(this, id, read_only, snapshot));
+  txn->counted_updater_ = !read_only;
+  return txn;
 }
 
-Status TransactionManager::Commit(Transaction* txn) {
+void TransactionManager::FinishUpdater(Transaction* txn) {
+  if (!txn->counted_updater_) return;
+  txn->counted_updater_ = false;
+  {
+    std::lock_guard<std::mutex> lk(drain_mu_);
+    active_updaters_--;
+  }
+  drain_cv_.notify_all();
+}
+
+uint64_t TransactionManager::active_updaters() const {
+  std::lock_guard<std::mutex> lk(drain_mu_);
+  return active_updaters_;
+}
+
+Status TransactionManager::RollbackWork(Transaction* txn) {
+  Status first;
+  // Restore in-memory document metadata changed by this transaction.
+  for (const auto& [name, meta] : txn->meta_snapshots_) {
+    Status st = meta.has_value()
+                    ? storage_->RestoreDocumentMeta(name, *meta)
+                    : storage_->RemoveDocumentEntry(name);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  if (!txn->read_only_ && wal_ != nullptr && txn->logged_any_update_) {
+    // Best effort: recovery already treats a transaction without a commit
+    // record as aborted, and a degraded WAL must not wedge rollback.
+    Status st = wal_->Append(WalRecordType::kAbort, txn->id_, "").status();
+    if (!st.ok()) {
+      SEDNA_LOG(kWarning) << "abort record not logged for txn " << txn->id_
+                          << ": " << st.ToString();
+    }
+  }
+  if (versions_ != nullptr) {
+    Status st = versions_->AbortTxn(txn->id_);
+    if (!st.ok() && first.ok()) first = st;
+  }
+  return first;
+}
+
+Status TransactionManager::Commit(Transaction* txn, QueryContext* query) {
   if (!txn->active_) return Status::FailedPrecondition("transaction ended");
   txn->active_ = false;
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
   if (!txn->read_only_) {
     if (wal_ != nullptr && txn->logged_any_update_) {
-      SEDNA_RETURN_IF_ERROR(
-          wal_->Append(WalRecordType::kCommit, txn->id_, "").status());
-      SEDNA_RETURN_IF_ERROR(wal_->Sync());
+      // Group commit: this may batch with concurrent committers — one
+      // fsync covers the whole group. Safe to run concurrently: writers
+      // hold exclusive document locks until release below, so two
+      // transactions in one group never overlap.
+      StatusOr<uint64_t> lsn = wal_->AppendCommitAndSync(txn->id_, query);
+      if (!lsn.ok()) {
+        // The commit record is missing (withdrawn, append failed) or not
+        // provably durable (fsync failed): roll back so the live state
+        // matches what recovery would reconstruct, and release everything.
+        Status rollback = RollbackWork(txn);
+        if (!rollback.ok()) {
+          SEDNA_LOG(kError) << "rollback after failed commit of txn "
+                            << txn->id_ << ": " << rollback.ToString();
+        }
+        FinishUpdater(txn);
+        locks_.ReleaseAll(txn->id_);
+        return lsn.status();
+      }
     }
-    uint64_t commit_ts = clock_.fetch_add(1) + 1;
-    if (versions_ != nullptr) {
-      SEDNA_RETURN_IF_ERROR(versions_->CommitTxn(txn->id_, commit_ts));
+    {
+      // Publish in commit-timestamp order: the ts assignment and the
+      // version publication are one atomic step for snapshot readers.
+      std::lock_guard<std::mutex> publish_lock(publish_mu_);
+      uint64_t commit_ts = clock_.fetch_add(1) + 1;
+      if (versions_ != nullptr) {
+        Status st = versions_->CommitTxn(txn->id_, commit_ts);
+        if (!st.ok()) {
+          FinishUpdater(txn);
+          locks_.ReleaseAll(txn->id_);
+          return st;
+        }
+      }
+      last_commit_ts_.store(commit_ts);
     }
-    last_commit_ts_.store(commit_ts);
+    FinishUpdater(txn);
   } else if (versions_ != nullptr) {
     SEDNA_RETURN_IF_ERROR(versions_->CommitTxn(txn->id_, 0));
   }
@@ -112,45 +211,85 @@ Status TransactionManager::Commit(Transaction* txn) {
 Status TransactionManager::Abort(Transaction* txn) {
   if (!txn->active_) return Status::FailedPrecondition("transaction ended");
   txn->active_ = false;
-  // Restore in-memory document metadata changed by this transaction.
-  for (const auto& [name, meta] : txn->meta_snapshots_) {
-    if (meta.has_value()) {
-      SEDNA_RETURN_IF_ERROR(storage_->RestoreDocumentMeta(name, *meta));
-    } else {
-      SEDNA_RETURN_IF_ERROR(storage_->RemoveDocumentEntry(name));
+  Status result = RollbackWork(txn);
+  // Whatever happened above, the transaction must leave the drain count and
+  // the lock table — a wedged checkpoint or a leaked lock would outlive it.
+  FinishUpdater(txn);
+  locks_.ReleaseAll(txn->id_);
+  return result;
+}
+
+Status TransactionManager::Checkpoint(QueryContext* query) {
+  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
+  // Fuzzy pre-flush: most dirty pages reach disk while update transactions
+  // still run, shrinking the drained window to an incremental flush plus
+  // the master flip. Working versions flushed here are unreachable from
+  // the flipped master (copy-on-write), so this is safe. Frames pinned by
+  // an active statement are skipped — flushing them would race with the pin
+  // holder's updates; the post-drain flush writes them instead.
+  SEDNA_RETURN_IF_ERROR(storage_->buffers()->FlushAll(/*skip_pinned=*/true));
+
+  // Drain: gate new update transactions, wait for active ones to finish.
+  {
+    std::unique_lock<std::mutex> lk(drain_mu_);
+    checkpoint_pending_ = true;
+    while (active_updaters_ > 0) {
+      if (query != nullptr) {
+        Status st = query->Check();
+        if (!st.ok()) {
+          checkpoint_pending_ = false;
+          lk.unlock();
+          drain_cv_.notify_all();
+          return GovernanceStatus(query, st);
+        }
+      }
+      drain_cv_.wait_for(lk, kGovernedSlice);
     }
   }
-  if (!txn->read_only_ && wal_ != nullptr && txn->logged_any_update_) {
-    SEDNA_RETURN_IF_ERROR(
-        wal_->Append(WalRecordType::kAbort, txn->id_, "").status());
+
+  // Flip: zero update transactions are active, so the in-memory catalog,
+  // directory and document metadata are all committed state.
+  uint64_t checkpoint_lsn = wal_ != nullptr ? wal_->end_lsn() : 0;
+  Status flip = [&]() -> Status {
+    MasterRecord master = storage_->file()->master();
+    master.next_timestamp = clock_.load() + 1;
+    master.checkpoint_lsn = checkpoint_lsn;
+    storage_->file()->set_master(master);
+    SEDNA_RETURN_IF_ERROR(storage_->Checkpoint());
+    if (versions_ != nullptr) {
+      // The freshly flushed state becomes the new persistent snapshot;
+      // pages pinned by the previous one become reclaimable.
+      SEDNA_RETURN_IF_ERROR(versions_->SetPersistentSnapshot(clock_.load()));
+    }
+    if (wal_ != nullptr) {
+      SEDNA_RETURN_IF_ERROR(
+          wal_->Append(WalRecordType::kCheckpoint, 0, "").status());
+      SEDNA_RETURN_IF_ERROR(wal_->Sync());
+    }
+    return Status::OK();
+  }();
+
+  {
+    std::lock_guard<std::mutex> lk(drain_mu_);
+    checkpoint_pending_ = false;
   }
-  if (versions_ != nullptr) {
-    SEDNA_RETURN_IF_ERROR(versions_->AbortTxn(txn->id_));
+  drain_cv_.notify_all();
+  SEDNA_RETURN_IF_ERROR(flip);
+
+  if (wal_ != nullptr) {
+    // Everything below the checkpoint LSN is recoverable from the snapshot
+    // now; the flipped master is durable (storage_->Checkpoint synced it),
+    // so sealed segments wholly below it can be unlinked. Never a segment
+    // at or above the checkpoint LSN.
+    SEDNA_RETURN_IF_ERROR(wal_->RemoveSegmentsBelow(checkpoint_lsn));
   }
-  locks_.ReleaseAll(txn->id_);
   return Status::OK();
 }
 
-Status TransactionManager::Checkpoint() {
-  // Block commits so the flushed state is transaction-consistent: exactly
-  // the "persistent snapshot" of Section 6.4.
-  std::lock_guard<std::mutex> commit_lock(commit_mu_);
-  MasterRecord master = storage_->file()->master();
-  master.next_timestamp = clock_.load() + 1;
-  master.checkpoint_lsn = wal_ != nullptr ? wal_->end_lsn() : 0;
-  storage_->file()->set_master(master);
-  SEDNA_RETURN_IF_ERROR(storage_->Checkpoint());
-  if (versions_ != nullptr) {
-    // The freshly flushed state becomes the new persistent snapshot; pages
-    // pinned by the previous one become reclaimable.
-    SEDNA_RETURN_IF_ERROR(versions_->SetPersistentSnapshot(clock_.load()));
-  }
-  if (wal_ != nullptr) {
-    SEDNA_RETURN_IF_ERROR(
-        wal_->Append(WalRecordType::kCheckpoint, 0, "").status());
-    SEDNA_RETURN_IF_ERROR(wal_->Sync());
-  }
-  return Status::OK();
+Status TransactionManager::WithCheckpointLock(
+    const std::function<Status()>& fn) {
+  std::lock_guard<std::mutex> checkpoint_lock(checkpoint_mu_);
+  return fn();
 }
 
 Status RecoverFromWal(

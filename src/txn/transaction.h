@@ -5,20 +5,34 @@
 //  * Updaters hold exclusive document locks to commit; read-only
 //    transactions read a snapshot and take no locks (Section 6.3).
 //  * Durability: update statements are WAL-logged before their mutations
-//    apply; commit forces the log (Section 6.4).
-//  * Checkpoint creates the paper's "persistent snapshot": all committed
-//    state flushed, catalog + directory serialized, checkpoint LSN in the
-//    master record.
+//    apply; commit forces the log through the WAL's group commit — one
+//    fsync covers every transaction in the batch (Section 6.4).
+//  * Checkpoint creates the paper's "persistent snapshot": it drains
+//    active update transactions (new ones are gated at Begin, where they
+//    hold no locks), flushes all committed state, serializes catalog +
+//    directory, stamps the checkpoint LSN into the master record, and then
+//    unlinks WAL segments wholly below it. Commits of already-running
+//    transactions are never blocked — they are exactly what the drain
+//    waits for.
+//
+// Why drain instead of a fuzzy flip: working page versions never enter the
+// page directory (copy-on-write), but the in-memory catalog and document
+// metadata are mutated in place by active update transactions and restored
+// on abort. A master-record flip concurrent with such a transaction would
+// persist unacknowledged metadata. With zero update transactions active,
+// everything the flip captures is committed.
 
 #ifndef SEDNA_TXN_TRANSACTION_H_
 #define SEDNA_TXN_TRANSACTION_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 
+#include "common/query_context.h"
 #include "storage/storage_engine.h"
 #include "txn/lock_manager.h"
 #include "txn/version_manager.h"
@@ -67,6 +81,7 @@ class Transaction {
   uint64_t snapshot_ts_;
   bool active_ = true;
   bool logged_any_update_ = false;
+  bool counted_updater_ = false;  // registered in the checkpoint drain count
   // Documents locked exclusively: name -> metadata at first lock (nullopt
   // if the document did not exist yet). Restored on abort.
   std::map<std::string, std::optional<std::string>> meta_snapshots_;
@@ -91,25 +106,57 @@ class TransactionManager {
     return write_gate_ ? write_gate_() : Status::OK();
   }
 
-  StatusOr<std::unique_ptr<Transaction>> Begin(bool read_only = false);
-  Status Commit(Transaction* txn);
+  /// Starts a transaction. A non-read-only Begin waits (in governed slices
+  /// when `query` is non-null) while a checkpoint is flipping — the gate
+  /// sits before any lock or WAL record, so a gated transaction holds
+  /// nothing another transaction could wait on.
+  StatusOr<std::unique_ptr<Transaction>> Begin(bool read_only = false,
+                                               QueryContext* query = nullptr);
+
+  /// Commits. For updaters this goes through the WAL's group commit; a
+  /// non-null `query` lets the wait for the group leader end early on the
+  /// statement's cancellation/deadline. On any commit failure (I/O error,
+  /// withdrawn from the group) the transaction is rolled back internally —
+  /// metadata restored, versions aborted, locks released — and the commit
+  /// error is returned.
+  Status Commit(Transaction* txn, QueryContext* query = nullptr);
   Status Abort(Transaction* txn);
 
-  /// Persistent snapshot: flush + catalog/directory + checkpoint LSN.
-  /// Briefly blocks commits so the on-disk state is transaction-consistent.
-  Status Checkpoint();
+  /// Persistent snapshot (Section 6.4): drains active update transactions,
+  /// flushes + serializes catalog/directory + checkpoint LSN, then unlinks
+  /// WAL segments wholly below the new checkpoint. Safe under concurrent
+  /// writers; a non-null `query` bounds the drain wait by the caller's
+  /// deadline/cancellation. Serialized against itself.
+  Status Checkpoint(QueryContext* query = nullptr);
+
+  /// Runs `fn` holding the checkpoint serialization lock: no checkpoint can
+  /// flip the master record or unlink WAL segments while it runs. Commits
+  /// proceed normally. Backup copies the data file and log segments under
+  /// this — copy-on-write keeps the persistent snapshot's pages immutable
+  /// between checkpoints, so the copy is consistent without blocking
+  /// writers.
+  Status WithCheckpointLock(const std::function<Status()>& fn);
 
   LockManager* locks() { return &locks_; }
   VersionManager* versions() { return versions_; }
   WalWriter* wal() { return wal_; }
   uint64_t last_commit_ts() const { return last_commit_ts_.load(); }
 
-  /// Serializes commits/checkpoints; exposed for hot backup (Section 6.5),
-  /// which must copy the data file without a commit splitting pages.
-  std::mutex& commit_mutex() { return commit_mu_; }
+  /// Update transactions currently counted by the checkpoint drain
+  /// (observability/tests).
+  uint64_t active_updaters() const;
 
  private:
   friend class Transaction;
+
+  /// Best-effort rollback shared by Abort and the failed-commit path:
+  /// restores document metadata, logs the abort record (errors ignored —
+  /// recovery treats missing-commit as aborted anyway), aborts the
+  /// versions. Returns the first hard error but keeps going.
+  Status RollbackWork(Transaction* txn);
+
+  /// Removes the transaction from the drain count (idempotent per txn).
+  void FinishUpdater(Transaction* txn);
 
   StorageEngine* storage_;
   VersionManager* versions_;
@@ -119,7 +166,17 @@ class TransactionManager {
   std::atomic<uint64_t> next_txn_id_{1};
   std::atomic<uint64_t> clock_;
   std::atomic<uint64_t> last_commit_ts_;
-  std::mutex commit_mu_;
+  // Commit-timestamp assignment and version publication happen together
+  // under this mutex, so snapshot readers always see a prefix of the
+  // commit order even when WAL durability was batched out of order.
+  std::mutex publish_mu_;
+  // Checkpoint drain state: count of live update transactions and the
+  // gate that holds new ones while a checkpoint runs.
+  mutable std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  uint64_t active_updaters_ = 0;
+  bool checkpoint_pending_ = false;
+  std::mutex checkpoint_mu_;  // one checkpoint at a time
   WriteGate write_gate_;
 };
 
@@ -129,7 +186,8 @@ class TransactionManager {
 /// `replay` executes one statement against the restored engine. `vfs`
 /// defaults to Vfs::Default(); if `wal_valid_end` is non-null it receives
 /// the end of the valid record prefix (pass it to TruncateWalTail so a torn
-/// tail cannot corrupt later appends).
+/// tail cannot corrupt later appends). Corruption in a sealed (non-newest)
+/// WAL segment is returned as kCorruption — it cannot be a crash artifact.
 Status RecoverFromWal(
     const std::string& wal_path, uint64_t checkpoint_lsn,
     const std::function<Status(const std::string& statement)>& replay,

@@ -123,7 +123,104 @@ TEST(StdioVfsTest, RemoveIsIdempotent) {
   EXPECT_TRUE(vfs->Remove(path).ok());  // already gone
 }
 
+TEST(StdioVfsTest, RenameReplacesTarget) {
+  Vfs* vfs = Vfs::Default();
+  std::string from = TempPath("rename_from");
+  std::string to = TempPath("rename_to");
+  {
+    auto f = vfs->Open(from, OpenMode::kCreate);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Write(0, "fresh", 5).ok());
+  }
+  {
+    auto f = vfs->Open(to, OpenMode::kCreate);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Write(0, "stale", 5).ok());
+  }
+  ASSERT_TRUE(vfs->Rename(from, to).ok());
+  EXPECT_EQ(Slurp(vfs, to), "fresh");
+  EXPECT_FALSE(vfs->Open(from, OpenMode::kReadOnly).ok());
+  EXPECT_FALSE(vfs->Rename(from, to).ok());  // source gone
+  ASSERT_TRUE(vfs->Remove(to).ok());
+}
+
+TEST(StdioVfsTest, ListFilesReturnsSortedPrefixMatches) {
+  Vfs* vfs = Vfs::Default();
+  std::string prefix = ::testing::TempDir() + "vfs_list_";
+  for (const char* suffix : {"b", "a", "c"}) {
+    auto f = vfs->Open(prefix + suffix, OpenMode::kCreate);
+    ASSERT_TRUE(f.ok());
+  }
+  auto listed = vfs->ListFiles(prefix);
+  ASSERT_TRUE(listed.ok()) << listed.status().ToString();
+  ASSERT_EQ(listed->size(), 3u);
+  EXPECT_EQ((*listed)[0], prefix + "a");
+  EXPECT_EQ((*listed)[1], prefix + "b");
+  EXPECT_EQ((*listed)[2], prefix + "c");
+  // An unrelated prefix — or one inside a missing directory — matches
+  // nothing but is not an error.
+  auto none = vfs->ListFiles(prefix + "zzz");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  auto no_dir = vfs->ListFiles("/no/such/dir/at-all-");
+  ASSERT_TRUE(no_dir.ok());
+  EXPECT_TRUE(no_dir->empty());
+  for (const char* suffix : {"a", "b", "c"}) {
+    ASSERT_TRUE(vfs->Remove(prefix + suffix).ok());
+  }
+}
+
 // --- fault-injecting vfs -----------------------------------------------------
+
+TEST(FaultVfsTest, RenameIsCountedAndAtomicAcrossCrash) {
+  FaultInjectingVfs vfs;
+  {
+    auto f = vfs.Open("/mem/tmp", OpenMode::kCreate);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Write(0, "payload", 7).ok());
+    ASSERT_TRUE((*f)->Sync().ok());
+  }
+  // Crash exactly on the rename op: the publish must be all-or-nothing.
+  vfs.ScheduleCrashAtOp(vfs.op_count(), CrashStyle::kLoseUnsynced);
+  EXPECT_EQ(vfs.Rename("/mem/tmp", "/mem/final").code(),
+            StatusCode::kIOError);
+  vfs.Recover();
+  bool tmp_exists = vfs.FileExists("/mem/tmp");
+  bool final_exists = vfs.FileExists("/mem/final");
+  EXPECT_NE(tmp_exists, final_exists) << "half-renamed state after crash";
+  // After recovery the rename goes through and carries the durable bytes.
+  if (tmp_exists) {
+    ASSERT_TRUE(vfs.Rename("/mem/tmp", "/mem/final").ok());
+  }
+  EXPECT_EQ(Slurp(&vfs, "/mem/final"), "payload");
+}
+
+TEST(FaultVfsTest, ListFilesSeesLiveFilesButFailsWhileCrashed) {
+  FaultInjectingVfs vfs;
+  { auto f = vfs.Open("/mem/seg-2", OpenMode::kCreate); ASSERT_TRUE(f.ok()); }
+  { auto f = vfs.Open("/mem/seg-1", OpenMode::kCreate); ASSERT_TRUE(f.ok()); }
+  { auto f = vfs.Open("/mem/other", OpenMode::kCreate); ASSERT_TRUE(f.ok()); }
+  auto listed = vfs.ListFiles("/mem/seg-");
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->size(), 2u);
+  EXPECT_EQ((*listed)[0], "/mem/seg-1");
+  EXPECT_EQ((*listed)[1], "/mem/seg-2");
+  // Trip the crash on a counted op, then everything — including creates
+  // and listings — fails until recovery.
+  vfs.ScheduleCrashAtOp(vfs.op_count(), CrashStyle::kLoseUnsynced);
+  {
+    auto f = vfs.Open("/mem/other", OpenMode::kReadWrite);
+    ASSERT_TRUE(f.ok());
+    EXPECT_FALSE((*f)->Sync().ok());
+  }
+  EXPECT_TRUE(vfs.crashed());
+  { auto f = vfs.Open("/mem/seg-3", OpenMode::kCreate); EXPECT_FALSE(f.ok()); }
+  EXPECT_FALSE(vfs.ListFiles("/mem/seg-").ok());
+  vfs.Recover();
+  auto after = vfs.ListFiles("/mem/seg-");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->size(), 2u);  // the crashed create never happened
+}
 
 TEST(FaultVfsTest, InMemoryRoundTrip) {
   FaultInjectingVfs vfs;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <thread>
 
@@ -352,6 +355,150 @@ TEST_F(DatabaseTest, IncrementalBackupCapturesLaterUpdates) {
   EXPECT_EQ(Exec(rs.get(), "doc('d')/r/w/text()"), "v2");
 }
 
+// A backup taken between segment rotations must capture every live segment,
+// and the restored log — whose copied tail may predate later writes — must
+// replay to exactly the backed-up state.
+TEST_F(DatabaseTest, FullBackupSpansRotatedSegmentsAndRestores) {
+  DatabaseOptions options;
+  options.path = base_ + "_seg.sedna";
+  options.wal_path = base_ + "_seg.wal";
+  options.wal_segment_bytes = 256;  // a couple of commits per segment
+  auto created = Database::Create(options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto db = std::move(created).value();
+
+  auto s = db->Connect();
+  Exec(s.get(), "CREATE DOCUMENT 'd'");
+  Exec(s.get(), "UPDATE insert <r><v>0</v></r> into doc('d')");
+  for (int i = 1; i <= 12; ++i) {
+    Exec(s.get(), "UPDATE replace $x in doc('d')/r/v with <v>" +
+                      std::to_string(i) + "</v>");
+  }
+
+  std::string dir = base_ + "_seg_backup";
+  ASSERT_TRUE(db->FullBackup(dir).ok());
+
+  // Rotate further and re-copy the grown tail; no checkpoint ran since the
+  // full backup, so the incremental chain is intact.
+  for (int i = 13; i <= 24; ++i) {
+    Exec(s.get(), "UPDATE replace $x in doc('d')/r/v with <v>" +
+                      std::to_string(i) + "</v>");
+  }
+  ASSERT_TRUE(db->IncrementalBackup(dir).ok());
+  // The copied log really is segmented: the incremental picked up the
+  // segments rotated since the full backup (whose own checkpoint had
+  // truncated the log down to the active segment).
+  int segment_files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("wal.seg-", 0) == 0) {
+      ++segment_files;
+    }
+  }
+  EXPECT_GT(segment_files, 1);
+
+  DatabaseOptions restored_opts;
+  restored_opts.path = base_ + "_seg_restored.sedna";
+  restored_opts.wal_path = base_ + "_seg_restored.wal";
+  ASSERT_TRUE(Database::Restore(dir, restored_opts).ok());
+  auto restored = Database::Open(restored_opts);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto rs = (*restored)->Connect();
+  EXPECT_EQ(Exec(rs.get(), "doc('d')/r/v/text()"), "24");
+}
+
+// Checkpoint truncation that unlinks segments past the last backup point
+// breaks the incremental chain: the incremental must be refused (not
+// silently produce an unreplayable log), and a fresh full backup in the
+// same directory must supersede the stale segment set.
+TEST_F(DatabaseTest, IncrementalBackupRefusedAfterTruncation) {
+  DatabaseOptions options;
+  options.path = base_ + "_trunc.sedna";
+  options.wal_path = base_ + "_trunc.wal";
+  options.wal_segment_bytes = 256;
+  auto created = Database::Create(options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto db = std::move(created).value();
+
+  auto s = db->Connect();
+  Exec(s.get(), "CREATE DOCUMENT 'd'");
+  Exec(s.get(), "UPDATE insert <r><v>full</v></r> into doc('d')");
+
+  std::string dir = base_ + "_trunc_backup";
+  ASSERT_TRUE(db->FullBackup(dir).ok());
+
+  // Rotate well past the backup point, then checkpoint: truncation unlinks
+  // the sealed segments the incremental chain would need.
+  for (int i = 0; i < 12; ++i) {
+    Exec(s.get(), "UPDATE replace $x in doc('d')/r/v with <v>x" +
+                      std::to_string(i) + "</v>");
+  }
+  ASSERT_TRUE(db->Checkpoint().ok());
+
+  Status st = db->IncrementalBackup(dir);
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.ToString();
+
+  // Recovery path the error demands: take a new full backup (same dir) and
+  // restore from it.
+  Exec(s.get(), "UPDATE replace $x in doc('d')/r/v with <v>refreshed</v>");
+  ASSERT_TRUE(db->FullBackup(dir).ok());
+  DatabaseOptions restored_opts;
+  restored_opts.path = base_ + "_trunc_restored.sedna";
+  restored_opts.wal_path = base_ + "_trunc_restored.wal";
+  ASSERT_TRUE(Database::Restore(dir, restored_opts).ok());
+  auto restored = Database::Open(restored_opts);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto rs = (*restored)->Connect();
+  EXPECT_EQ(Exec(rs.get(), "doc('d')/r/v/text()"), "refreshed");
+}
+
+// A full backup taken while writers keep committing stays internally
+// consistent: the restored database opens cleanly and holds a value the
+// writer actually committed.
+TEST_F(DatabaseTest, HotBackupUnderConcurrentWriterIsConsistent) {
+  DatabaseOptions options;
+  options.path = base_ + "_hot.sedna";
+  options.wal_path = base_ + "_hot.wal";
+  options.wal_segment_bytes = 512;
+  auto created = Database::Create(options);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  auto db = std::move(created).value();
+
+  auto setup = db->Connect();
+  Exec(setup.get(), "CREATE DOCUMENT 'd'");
+  Exec(setup.get(), "UPDATE insert <r><v>0</v></r> into doc('d')");
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    auto ws = db->Connect();
+    for (int i = 1; !stop.load() && i <= 400; ++i) {
+      auto r = ws->Execute("UPDATE replace $x in doc('d')/r/v with <v>" +
+                           std::to_string(i) + "</v>");
+      if (!r.ok()) break;
+    }
+  });
+  std::string dir = base_ + "_hot_backup";
+  Status backup_st = db->FullBackup(dir);
+  stop.store(true);
+  writer.join();
+  ASSERT_TRUE(backup_st.ok()) << backup_st.ToString();
+
+  DatabaseOptions restored_opts;
+  restored_opts.path = base_ + "_hot_restored.sedna";
+  restored_opts.wal_path = base_ + "_hot_restored.wal";
+  ASSERT_TRUE(Database::Restore(dir, restored_opts).ok());
+  auto restored = Database::Open(restored_opts);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  auto rs = (*restored)->Connect();
+  auto read = rs->Execute("doc('d')/r/v/text()");
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  // Whatever value was current at the backup's cut must be one the writer
+  // committed (a plain integer in [0, 400]) — never a torn in-between.
+  int value = std::atoi(read->serialized.c_str());
+  EXPECT_GE(value, 0);
+  EXPECT_LE(value, 400);
+  EXPECT_EQ(read->serialized, std::to_string(value));
+}
+
 // --- governor -------------------------------------------------------------------
 
 TEST_F(DatabaseTest, GovernorTracksComponents) {
@@ -372,6 +519,23 @@ TEST_F(DatabaseTest, GovernorTracksComponents) {
     if (c.detail == "session-" + std::to_string(id)) still_there = true;
   }
   EXPECT_FALSE(still_there);
+}
+
+TEST_F(DatabaseTest, GovernorAdmitsOneCheckpointAtATime) {
+  auto first = Governor::Instance().AdmitCheckpoint();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(Governor::Instance().checkpoint_active());
+
+  // While one checkpoint holds the ticket, a second is turned away with a
+  // retryable error — Database::Checkpoint() surfaces this to callers.
+  auto second = Governor::Instance().AdmitCheckpoint();
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  Status db_st = db_->Checkpoint();
+  EXPECT_EQ(db_st.code(), StatusCode::kResourceExhausted);
+
+  first->Release();
+  EXPECT_FALSE(Governor::Instance().checkpoint_active());
+  EXPECT_TRUE(db_->Checkpoint().ok());
 }
 
 TEST_F(DatabaseTest, TransactionControlErrors) {

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/fault_vfs.h"
+
 namespace sedna {
 namespace {
 
@@ -284,6 +286,56 @@ TEST_F(FileManagerTest, StaleFreeListHeadIsAbandonedNotHandedOut) {
   char check[kPageSize];
   ASSERT_TRUE(fm.ReadPage(*a, check).ok());
   EXPECT_EQ(std::memcmp(check, live, kPageSize), 0);
+}
+
+// The subtler staleness: a page re-freed AFTER the recovered master became
+// durable carries a stamp that is internally valid (magic, self, CRC all
+// check out) but whose next link points into a newer free list — here, at a
+// page that is live in the recovered image. Only the epoch tag can tell
+// this stamp from a legitimate one. Found by the concurrent-commit torture
+// test: following the stale link double-allocated live pages after crash
+// recovery.
+TEST_F(FileManagerTest, ReFreedStampFromDeadIncarnationIsRejected) {
+  FaultInjectingVfs vfs;
+  PhysPageId a = 0, b = 0;
+  {
+    FileManager fm;
+    fm.set_vfs(&vfs);
+    ASSERT_TRUE(fm.Create("/mem/db").ok());
+    auto pa = fm.AllocPage();
+    auto pb = fm.AllocPage();
+    ASSERT_TRUE(pa.ok() && pb.ok());
+    a = *pa;
+    b = *pb;
+    ASSERT_TRUE(fm.FreePage(a).ok());
+    // Durable master: free list = {a}, b live.
+    ASSERT_TRUE(fm.WriteMaster().ok());
+    // The doomed incarnation continues: reuses a, then frees b and re-frees
+    // a, so a's fresh stamp links to b. A checkpoint-style sync makes the
+    // stamps durable — but the next master write never happens.
+    auto re = fm.AllocPage();
+    ASSERT_TRUE(re.ok());
+    ASSERT_EQ(*re, a);
+    ASSERT_TRUE(fm.FreePage(b).ok());
+    ASSERT_TRUE(fm.FreePage(a).ok());
+    ASSERT_TRUE(fm.Sync().ok());
+    vfs.ScheduleCrashAtOp(vfs.op_count(), CrashStyle::kLoseUnsynced);
+    EXPECT_FALSE(fm.Sync().ok());  // trips the crash; teardown writes fail
+  }
+  vfs.Recover();
+  vfs.ClearFaults();
+  // Recovery: the master says free list = {a} and b is live, but a's
+  // on-disk stamp says "next: b". The stamp's epoch equals the recovered
+  // master's sequence, so allocation must abandon the list and grow the
+  // file instead of handing out b for a second use.
+  FileManager fm;
+  fm.set_vfs(&vfs);
+  ASSERT_TRUE(fm.Open("/mem/db").ok());
+  auto c = fm.AllocPage();
+  auto d = fm.AllocPage();
+  ASSERT_TRUE(c.ok() && d.ok());
+  EXPECT_NE(*c, b);
+  EXPECT_NE(*d, b);
 }
 
 }  // namespace

@@ -2,14 +2,20 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
+#include "common/fault_vfs.h"
 #include "common/metrics.h"
 #include "txn/transaction.h"
 
 namespace sedna {
 namespace {
+
+constexpr uint64_t kHdr = kWalSegmentHeaderSize;
 
 class WalTest : public ::testing::Test {
  protected:
@@ -17,8 +23,15 @@ class WalTest : public ::testing::Test {
     path_ = ::testing::TempDir() + "wal_" +
             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
             ".log";
-    std::remove(path_.c_str());
+    ASSERT_TRUE(RemoveWalLog(path_).ok());
   }
+
+  /// On-disk path of the segment starting at `start_lsn`. A record with
+  /// LSN L inside it lives at file offset kHdr + (L - start_lsn).
+  std::string Seg(uint64_t start_lsn) const {
+    return WalSegmentFileName(path_, start_lsn);
+  }
+
   std::string path_;
 };
 
@@ -41,15 +54,18 @@ TEST_F(WalTest, AppendAndReadBack) {
   EXPECT_EQ((*records)[2].type, WalRecordType::kCommit);
 }
 
-TEST_F(WalTest, LsnsAreByteOffsets) {
+TEST_F(WalTest, LsnsAreLogicalByteOffsets) {
   WalWriter writer;
   ASSERT_TRUE(writer.Open(path_).ok());
   auto lsn1 = writer.Append(WalRecordType::kBegin, 1, "");
   auto lsn2 = writer.Append(WalRecordType::kCommit, 1, "");
   ASSERT_TRUE(lsn1.ok() && lsn2.ok());
-  EXPECT_EQ(*lsn1, 0u);
+  EXPECT_EQ(*lsn1, 0u);  // LSNs exclude segment headers
   EXPECT_GT(*lsn2, *lsn1);
   EXPECT_EQ(writer.end_lsn(), *lsn2 + 17);  // 8 header + 9 body
+  // The physical segment file carries the 16-byte header on top.
+  ASSERT_TRUE(writer.Sync().ok());
+  EXPECT_EQ(std::filesystem::file_size(Seg(0)), kHdr + writer.end_lsn());
 }
 
 TEST_F(WalTest, ReadFromLsnSkipsPrefix) {
@@ -90,7 +106,7 @@ TEST_F(WalTest, TornTailIsCutOff) {
   ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "").ok());
   ASSERT_TRUE(writer.Close().ok());
   // Simulate a torn write: append garbage that looks like a header.
-  std::ofstream f(path_, std::ios::binary | std::ios::app);
+  std::ofstream f(Seg(0), std::ios::binary | std::ios::app);
   f.write("\x40\x00\x00\x00\xde\xad\xbe\xefpartial", 15);
   f.close();
   auto records = ReadWal(path_);
@@ -106,8 +122,8 @@ TEST_F(WalTest, CorruptMiddleStopsReplay) {
   ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "two").ok());
   ASSERT_TRUE(writer.Close().ok());
   // Flip a payload byte of the second record.
-  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
-  f.seekp(static_cast<std::streamoff>(second) + 10);
+  std::fstream f(Seg(0), std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(static_cast<std::streamoff>(kHdr + second) + 10);
   f.put('X');
   f.close();
   auto records = ReadWal(path_);
@@ -143,7 +159,8 @@ TEST_F(WalTest, CrcByteFlipCutsTailAtThatRecord) {
   ASSERT_TRUE(writer.Sync().ok());
   ASSERT_TRUE(writer.Close().ok());
 
-  FlipByte(path_, third + 4);  // a byte inside the third record's CRC field
+  // A byte inside the third record's CRC field.
+  FlipByte(Seg(0), kHdr + third + 4);
 
   uint64_t valid_end = 0;
   auto records = ReadWal(path_, 0, nullptr, &valid_end);
@@ -162,7 +179,7 @@ TEST_F(WalTest, TruncationInsideLengthHeaderCutsCleanly) {
   ASSERT_TRUE(writer.Close().ok());
 
   // Tear mid-header: only 3 of the 4 length bytes made it to disk.
-  std::filesystem::resize_file(path_, second + 3);
+  std::filesystem::resize_file(Seg(0), kHdr + second + 3);
 
   uint64_t valid_end = 0;
   auto records = ReadWal(path_, 0, nullptr, &valid_end);
@@ -182,7 +199,7 @@ TEST_F(WalTest, TruncationMidPayloadCutsCleanly) {
   ASSERT_TRUE(writer.Close().ok());
 
   // Header intact, payload torn: length promises more bytes than exist.
-  std::filesystem::resize_file(path_, second + 8 + 4);
+  std::filesystem::resize_file(Seg(0), kHdr + second + 8 + 4);
 
   uint64_t valid_end = 0;
   auto records = ReadWal(path_, 0, nullptr, &valid_end);
@@ -217,7 +234,8 @@ TEST_F(WalTest, RecoveryReplaysExactlyTheIntactPrefix) {
   ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 2, "").ok());
   ASSERT_TRUE(writer.Close().ok());
 
-  FlipByte(path_, txn2_commit + 5);  // corrupt txn 2's commit record
+  // Corrupt txn 2's commit record.
+  FlipByte(Seg(0), kHdr + txn2_commit + 5);
 
   std::vector<std::string> replayed;
   uint64_t valid_end = 0;
@@ -236,7 +254,7 @@ TEST_F(WalTest, RecoveryReplaysExactlyTheIntactPrefix) {
 
   // Recovery truncates the torn tail; new appends are then reachable.
   ASSERT_TRUE(TruncateWalTail(path_, valid_end).ok());
-  EXPECT_EQ(std::filesystem::file_size(path_), valid_end);
+  EXPECT_EQ(std::filesystem::file_size(Seg(0)), kHdr + valid_end);
   {
     WalWriter writer2;
     ASSERT_TRUE(writer2.Open(path_).ok());
@@ -268,6 +286,347 @@ TEST_F(WalTest, LargePayloadRoundTrip) {
   ASSERT_TRUE(records.ok());
   ASSERT_EQ(records->size(), 1u);
   EXPECT_EQ((*records)[0].payload, big);
+}
+
+// --- segment lifecycle -------------------------------------------------------
+
+TEST_F(WalTest, RotationCreatesSegmentsAndReadSpansThem) {
+  Counter* rotations = MetricsRegistry::Global().counter("wal.rotations");
+  const uint64_t rotations0 = rotations->value();
+
+  WalWriterOptions options;
+  options.segment_bytes = 64;
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_, options).ok());
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(writer
+                    .Append(WalRecordType::kUpdateStatement, 1,
+                            "statement-" + std::to_string(i))
+                    .ok());
+  }
+  ASSERT_TRUE(writer.Sync().ok());
+
+  auto segments = writer.LiveSegments();
+  ASSERT_TRUE(segments.ok());
+  ASSERT_GT(segments->size(), 1u);
+  EXPECT_EQ(rotations->value() - rotations0, segments->size() - 1);
+  // Segments tile the LSN space with no gaps or overlaps.
+  EXPECT_EQ(segments->front().start_lsn, 0u);
+  for (size_t i = 0; i + 1 < segments->size(); ++i) {
+    EXPECT_EQ((*segments)[i].end_lsn, (*segments)[i + 1].start_lsn);
+  }
+  EXPECT_EQ(segments->back().end_lsn, writer.end_lsn());
+
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 32u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ((*records)[i].payload, "statement-" + std::to_string(i));
+  }
+}
+
+TEST_F(WalTest, ReopenAfterRotationAppendsToNewestSegment) {
+  WalWriterOptions options;
+  options.segment_bytes = 1;  // every append seals the previous segment
+  uint64_t end_before = 0;
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path_, options).ok());
+    ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 1, "a").ok());
+    ASSERT_TRUE(writer.Append(WalRecordType::kUpdateStatement, 1, "b").ok());
+    ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "c").ok());
+    ASSERT_TRUE(writer.Sync().ok());
+    end_before = writer.end_lsn();
+  }
+  {
+    WalWriter writer;
+    ASSERT_TRUE(writer.Open(path_, options).ok());
+    EXPECT_EQ(writer.end_lsn(), end_before);
+    ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 2, "d").ok());
+    ASSERT_TRUE(writer.Sync().ok());
+  }
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 4u);
+  EXPECT_EQ((*records)[3].payload, "d");
+}
+
+TEST_F(WalTest, ReadFromLsnSpansSegmentBoundary) {
+  WalWriterOptions options;
+  options.segment_bytes = 1;
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_, options).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 1, "a").ok());
+  uint64_t from = writer.end_lsn();
+  ASSERT_TRUE(writer.Append(WalRecordType::kUpdateStatement, 1, "b").ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "c").ok());
+  ASSERT_TRUE(writer.Sync().ok());
+  auto records = ReadWal(path_, from);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].payload, "b");
+  EXPECT_EQ((*records)[0].lsn, from);
+  EXPECT_EQ((*records)[1].payload, "c");
+}
+
+TEST_F(WalTest, CorruptionInSealedSegmentIsRefused) {
+  WalWriterOptions options;
+  options.segment_bytes = 1;
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_, options).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 1, "aaaa").ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "bbbb").ok());
+  ASSERT_TRUE(writer.Sync().ok());
+  ASSERT_TRUE(writer.Close().ok());
+
+  // Flip a payload byte of the record in the SEALED first segment. It was
+  // fsynced before the second segment was created, so this cannot be a
+  // crash artifact — recovery must refuse instead of silently dropping
+  // committed history.
+  FlipByte(Seg(0), kHdr + 10);
+  auto records = ReadWal(path_);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(WalTest, DamagedSegmentHeaderIsRefused) {
+  WalWriterOptions options;
+  options.segment_bytes = 1;
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_, options).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 1, "aaaa").ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "bbbb").ok());
+  ASSERT_TRUE(writer.Close().ok());
+  FlipByte(Seg(0), 0);  // magic
+  auto records = ReadWal(path_);
+  ASSERT_FALSE(records.ok());
+  EXPECT_EQ(records.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(WalTest, RemoveSegmentsBelowRespectsBoundaries) {
+  Counter* removed = MetricsRegistry::Global().counter("wal.segments_removed");
+  const uint64_t removed0 = removed->value();
+
+  WalWriterOptions options;
+  options.segment_bytes = 1;
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_, options).ok());
+  auto l0 = writer.Append(WalRecordType::kBegin, 1, "a");
+  auto l1 = writer.Append(WalRecordType::kUpdateStatement, 1, "b");
+  auto l2 = writer.Append(WalRecordType::kCommit, 1, "c");
+  ASSERT_TRUE(l0.ok() && l1.ok() && l2.ok());
+  ASSERT_TRUE(writer.Sync().ok());
+  // Three segments: [l0,l1) [l1,l2) and the active one starting at l2.
+
+  // An LSN inside the middle segment: only the first segment is wholly
+  // below it, so only that one may go.
+  ASSERT_TRUE(writer.RemoveSegmentsBelow(*l1 + 1).ok());
+  EXPECT_FALSE(std::filesystem::exists(Seg(*l0)));
+  EXPECT_TRUE(std::filesystem::exists(Seg(*l1)));
+  EXPECT_TRUE(std::filesystem::exists(Seg(*l2)));
+  EXPECT_EQ(removed->value() - removed0, 1u);
+
+  // Even an LSN past the end never removes the active segment.
+  ASSERT_TRUE(writer.RemoveSegmentsBelow(writer.end_lsn() + 1000).ok());
+  EXPECT_FALSE(std::filesystem::exists(Seg(*l1)));
+  EXPECT_TRUE(std::filesystem::exists(Seg(*l2)));
+  EXPECT_EQ(removed->value() - removed0, 2u);
+
+  // The surviving suffix replays from the truncation point...
+  auto tail = ReadWal(path_, *l2);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->size(), 1u);
+  EXPECT_EQ((*tail)[0].payload, "c");
+  // ...but a replay point below the first retained segment is refused:
+  // the log no longer contains that history.
+  auto stale = ReadWal(path_, 0);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kCorruption);
+}
+
+// --- sticky failure latch (fsyncgate) ---------------------------------------
+
+TEST_F(WalTest, TransientFsyncErrorLatchesUntilReopen) {
+  FaultInjectingVfs fault_vfs;
+  WalWriter writer(&fault_vfs);
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kBegin, 1, "x").ok());
+
+  // Fail exactly the next counted operation — the fsync below. The fault
+  // is transient: an immediate retry of the raw fsync would succeed.
+  fault_vfs.ScheduleTransientFailureAtOp(fault_vfs.op_count());
+  Status first = writer.Sync();
+  ASSERT_FALSE(first.ok());
+
+  // fsyncgate: a failed fsync may have dropped the dirty pages it could
+  // not write, so a later fsync returning OK proves nothing. The writer
+  // must stay failed even though the underlying fault has cleared.
+  Status again = writer.Sync();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), first.code());
+  EXPECT_FALSE(writer.Append(WalRecordType::kCommit, 1, "").ok());
+  EXPECT_FALSE(writer.AppendCommitAndSync(1).ok());
+
+  // Only Open — the recovery path, which re-reads what is actually durable
+  // — clears the latch.
+  ASSERT_TRUE(writer.Close().ok());
+  ASSERT_TRUE(writer.Open(path_).ok());
+  ASSERT_TRUE(writer.Append(WalRecordType::kCommit, 1, "").ok());
+  ASSERT_TRUE(writer.Sync().ok());
+}
+
+// --- group commit ------------------------------------------------------------
+
+TEST_F(WalTest, GroupCommitBatchesConcurrentCommitters) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter* syncs = reg.counter("wal.syncs");
+  Counter* group_commits = reg.counter("wal.group_commits");
+  const uint64_t syncs0 = syncs->value();
+  const uint64_t groups0 = group_commits->value();
+
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path_).ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kCommitsPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCommitsPerThread; ++i) {
+        auto lsn = writer.AppendCommitAndSync(
+            static_cast<uint64_t>(t * kCommitsPerThread + i + 1));
+        if (!lsn.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  ASSERT_EQ(failures.load(), 0);
+  EXPECT_EQ(writer.durable_lsn(), writer.end_lsn());
+
+  // Every commit record is durable and distinct.
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(),
+            static_cast<size_t>(kThreads * kCommitsPerThread));
+
+  // One fsync per GROUP, not per commit: the sync count moves with the
+  // group count, never with the commit count.
+  const uint64_t groups = group_commits->value() - groups0;
+  EXPECT_GE(groups, 1u);
+  EXPECT_LE(groups, static_cast<uint64_t>(kThreads * kCommitsPerThread));
+  EXPECT_LE(syncs->value() - syncs0, groups);
+}
+
+/// Vfs wrapper whose files can hold every fsync at a gate — used to park a
+/// group-commit leader inside its sync deterministically.
+class SyncGateVfs : public Vfs {
+ public:
+  StatusOr<std::unique_ptr<File>> Open(const std::string& path,
+                                       OpenMode mode) override {
+    auto file = Vfs::Default()->Open(path, mode);
+    if (!file.ok()) return file.status();
+    return StatusOr<std::unique_ptr<File>>(std::unique_ptr<File>(
+        new GateFile(this, std::move(file).value())));
+  }
+  Status Remove(const std::string& path) override {
+    return Vfs::Default()->Remove(path);
+  }
+  Status Rename(const std::string& from, const std::string& to) override {
+    return Vfs::Default()->Rename(from, to);
+  }
+  StatusOr<std::vector<std::string>> ListFiles(
+      const std::string& prefix) override {
+    return Vfs::Default()->ListFiles(prefix);
+  }
+
+  void BlockSyncs() {
+    std::lock_guard<std::mutex> lock(mu_);
+    blocked_ = true;
+  }
+  void UnblockSyncs() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      blocked_ = false;
+    }
+    cv_.notify_all();
+  }
+  void WaitUntilSyncParked() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return parked_ > 0; });
+  }
+
+ private:
+  class GateFile : public File {
+   public:
+    GateFile(SyncGateVfs* vfs, std::unique_ptr<File> base)
+        : vfs_(vfs), base_(std::move(base)) {}
+    Status Read(uint64_t offset, size_t n, void* buf) override {
+      return base_->Read(offset, n, buf);
+    }
+    Status Write(uint64_t offset, const void* data, size_t n) override {
+      return base_->Write(offset, data, n);
+    }
+    Status Append(const void* data, size_t n) override {
+      return base_->Append(data, n);
+    }
+    Status Sync() override {
+      vfs_->ParkIfBlocked();
+      return base_->Sync();
+    }
+    StatusOr<uint64_t> Size() override { return base_->Size(); }
+    Status Truncate(uint64_t size) override { return base_->Truncate(size); }
+    Status Close() override { return base_->Close(); }
+
+   private:
+    SyncGateVfs* vfs_;
+    std::unique_ptr<File> base_;
+  };
+
+  void ParkIfBlocked() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!blocked_) return;
+    parked_++;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return !blocked_; });
+    parked_--;
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool blocked_ = false;
+  int parked_ = 0;
+};
+
+TEST_F(WalTest, CancelledFollowerWithdrawsWhileLeaderSyncs) {
+  SyncGateVfs vfs;
+  WalWriter writer(&vfs);
+  ASSERT_TRUE(writer.Open(path_).ok());
+
+  vfs.BlockSyncs();
+  std::thread leader([&] {
+    auto lsn = writer.AppendCommitAndSync(1);
+    EXPECT_TRUE(lsn.ok()) << lsn.status().ToString();
+  });
+  vfs.WaitUntilSyncParked();  // the leader is inside the group fsync
+
+  // A follower whose statement is already cancelled: no leader has picked
+  // its record (the current leader batched before we enqueued), so it
+  // withdraws and its commit record is guaranteed never written.
+  QueryContext query;
+  query.Cancel();
+  auto withdrawn = writer.AppendCommitAndSync(2, &query);
+  ASSERT_FALSE(withdrawn.ok());
+  EXPECT_EQ(withdrawn.status().code(), StatusCode::kCancelled);
+
+  vfs.UnblockSyncs();
+  leader.join();
+
+  auto records = ReadWal(path_);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);  // txn 1 committed; txn 2 absent
+  EXPECT_EQ((*records)[0].txn_id, 1u);
 }
 
 // Registry instruments follow WAL activity. Counters are process-global
@@ -303,7 +662,7 @@ TEST_F(WalTest, RegistryCountersFollowAppendsSyncsAndTruncations) {
   EXPECT_EQ(fsync_ns->count(), fsyncs0 + 1);
 
   // Cutting a torn tail is counted.
-  std::filesystem::resize_file(path_, std::filesystem::file_size(path_) - 2);
+  std::filesystem::resize_file(Seg(0), std::filesystem::file_size(Seg(0)) - 2);
   uint64_t valid_end = 0;
   ASSERT_TRUE(ReadWal(path_, 0, nullptr, &valid_end).ok());
   ASSERT_TRUE(TruncateWalTail(path_, valid_end).ok());
