@@ -1,0 +1,76 @@
+// E17 — morsel-driven parallel exchange over multi-block path scans.
+//
+// Full-drain structural path queries — with and without a position-free
+// value predicate riding in the schema fragment — run at 1, 2 and 4
+// workers. At workers=1 the exchange never engages (the serial pipeline
+// is the baseline); at N>1 the scan's block chain is split into
+// block-range morsels claimed by a bounded worker pool, each worker
+// running the fragment predicate and the remaining downward steps over
+// its morsels before the parent re-streams the outputs in document
+// order. The counters surface the exchange's shape: morsels dispatched,
+// workers launched, and total items pulled across all worker pipelines.
+//
+// Expected: near-linear scaling on multi-core hardware for the scan-bound
+// queries; on a single hardware thread the N>1 configurations measure the
+// exchange's overhead instead (see EXPERIMENTS.md E17 for the honest
+// single-core numbers and the multi-core procedure).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "xquery/statement.h"
+
+namespace sedna {
+namespace {
+
+// 0-1: bare scans (single schema node, multi-block chain). 2-3: the same
+// scans with a position-free value predicate in the fragment. 4: an
+// aggregation over a scan, where the drain is the whole query.
+const char* kQueries[] = {
+    "doc('bench')/site/regions/europe/item/name",
+    "doc('bench')/site/people/person/name",
+    "doc('bench')/site/regions/europe/item[payment = 'Cash']/name",
+    "doc('bench')/site/people/person[emailaddress != '']/name",
+    "count(doc('bench')/site/regions/europe/item/description)",
+};
+
+bench::EngineFixture& Fixture() {
+  static bench::EngineFixture* fixture = [] {
+    xmlgen::AuctionParams params;
+    params.items = 4000;
+    params.people = 2000;
+    params.open_auctions = 600;
+    params.closed_auctions = 300;
+    auto doc = xmlgen::Auction(params);
+    return new bench::EngineFixture(
+        bench::EngineFixture::WithDocument("e17", *doc));
+  }();
+  return *fixture;
+}
+
+void BM_ParallelScan(benchmark::State& state) {
+  auto& fixture = Fixture();
+  StatementExecutor executor(fixture.engine.get());
+  executor.set_parallel_workers(static_cast<uint32_t>(state.range(1)));
+  const char* query = kQueries[state.range(0)];
+  ExecStats stats;
+  for (auto _ : state) {
+    auto r = executor.Execute(query, fixture.ctx);
+    SEDNA_CHECK(r.ok()) << r.status().ToString();
+    stats = r->stats;
+    benchmark::DoNotOptimize(r->serialized);
+  }
+  state.counters["morsels"] =
+      static_cast<double>(stats.morsels_dispatched);
+  state.counters["workers"] = static_cast<double>(stats.exchange_workers);
+  state.counters["items_pulled"] = static_cast<double>(stats.items_pulled);
+}
+
+BENCHMARK(BM_ParallelScan)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {1, 2, 4}})
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace sedna
+
+SEDNA_BENCH_MAIN(bench_parallel);

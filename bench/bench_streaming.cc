@@ -86,6 +86,30 @@ BENCHMARK(BM_Pipelined)->DenseRange(0, 6);
 BENCHMARK(BM_Eager)->DenseRange(0, 6);
 BENCHMARK(BM_Governed)->DenseRange(0, 6);
 
+// E17 (serial half): batch-size sweep over the full-drain queries. Batch 1
+// is the old item-at-a-time pipeline; larger batches amortize virtual
+// dispatch, governance ticks and pull accounting. The curve should fall
+// steeply to ~16 and flatten — the default (64) sits on the plateau.
+void BM_BatchSize(benchmark::State& state) {
+  auto& fixture = Fixture();
+  StatementExecutor executor(fixture.engine.get());
+  executor.set_parallel_workers(1);
+  executor.set_batch_size(static_cast<size_t>(state.range(1)));
+  const char* query = kQueries[state.range(0)];
+  ExecStats stats;
+  for (auto _ : state) {
+    auto r = executor.Execute(query, fixture.ctx);
+    SEDNA_CHECK(r.ok()) << r.status().ToString();
+    stats = r->stats;
+    benchmark::DoNotOptimize(r->serialized);
+  }
+  state.counters["items_pulled"] = static_cast<double>(stats.items_pulled);
+}
+
+// Queries 5-6 are the full drains; early-exit queries pin max=1 anyway.
+BENCHMARK(BM_BatchSize)
+    ->ArgsProduct({{5, 6}, {1, 4, 16, 64, 256}});
+
 }  // namespace
 }  // namespace sedna
 

@@ -58,11 +58,16 @@ QueryContext::QueryContext()
     : cancel_(std::make_shared<CancellationToken>()) {}
 
 Status QueryContext::Fail(Status st) {
+  // Two-phase publish: the claim elects exactly one writer; `failed_` is
+  // only set (release) after the code/message are written, so a concurrent
+  // abort_status() reader never observes them half-initialized. Exchange
+  // workers fail a shared context from several threads at once.
   bool expected = false;
-  if (failed_.compare_exchange_strong(expected, true,
-                                      std::memory_order_acq_rel)) {
+  if (fail_claim_.compare_exchange_strong(expected, true,
+                                          std::memory_order_acq_rel)) {
     abort_code_ = st.code();
     abort_message_ = st.message();
+    failed_.store(true, std::memory_order_release);
   }
   return st;
 }

@@ -136,7 +136,7 @@ class QueryContext {
   /// keeps the hot-path cost to a decrement + branch.
   void set_check_interval(uint32_t n) {
     check_interval_ = n == 0 ? 1 : n;
-    check_countdown_ = check_interval_;
+    check_countdown_.store(check_interval_, std::memory_order_relaxed);
   }
   uint32_t check_interval() const { return check_interval_; }
 
@@ -145,12 +145,18 @@ class QueryContext {
   /// an exact, reproducible pull count without a second thread.
   void set_cancel_at_tick(uint64_t n) { cancel_at_tick_ = n; }
 
-  /// Cheap per-pull check: one decrement and a predictable branch until the
-  /// interval expires, then a full Check(). Call once per delivered item.
+  /// Cheap per-batch check: one atomic decrement and a predictable branch
+  /// until the interval expires, then a full Check(). Called once per
+  /// delivered batch; exchange workers share the countdown, so it is
+  /// atomic (an occasional double-reset between racing workers only makes
+  /// checks more frequent, never skipped unboundedly).
   Status CheckTick() {
     ticks_.fetch_add(1, std::memory_order_relaxed);
-    if (--check_countdown_ > 0 && cancel_at_tick_ == 0) return Status::OK();
-    check_countdown_ = check_interval_;
+    if (check_countdown_.fetch_sub(1, std::memory_order_relaxed) > 1 &&
+        cancel_at_tick_ == 0) {
+      return Status::OK();
+    }
+    check_countdown_.store(check_interval_, std::memory_order_relaxed);
     return Check();
   }
 
@@ -195,15 +201,18 @@ class QueryContext {
   AllocFaultInjector* alloc_faults_ = nullptr;
 
   uint32_t check_interval_ = 64;
-  uint32_t check_countdown_ = 64;
+  std::atomic<uint32_t> check_countdown_{64};
   uint64_t cancel_at_tick_ = 0;
   std::atomic<uint64_t> ticks_{0};
 
   std::atomic<uint64_t> bytes_in_use_{0};
   std::atomic<uint64_t> peak_bytes_{0};
 
-  // First terminal status, kept for classification; guarded by the atomic
-  // flag so concurrent failures record exactly one.
+  // First terminal status, kept for classification. `fail_claim_` elects
+  // the single writer; `failed_` publishes the written status with release
+  // ordering, so concurrent failures record exactly one and readers never
+  // see a torn status.
+  std::atomic<bool> fail_claim_{false};
   std::atomic<bool> failed_{false};
   StatusCode abort_code_ = StatusCode::kOk;
   std::string abort_message_;

@@ -184,6 +184,17 @@ class Session {
   /// N-th governance tick (0 = disabled).
   void set_cancel_at_tick(uint64_t n) { cancel_at_tick_ = n; }
 
+  /// Worker threads a morsel exchange may use for eligible path scans in
+  /// subsequent statements (<= 1 = serial; the SEDNA_PARALLEL_WORKERS
+  /// environment variable seeds the default).
+  void set_parallel_workers(uint32_t n) { executor_.set_parallel_workers(n); }
+  uint32_t parallel_workers() const { return executor_.parallel_workers(); }
+
+  /// Items per pipeline batch on full-drain paths (0 = built-in default;
+  /// the SEDNA_BATCH_SIZE environment variable seeds it).
+  void set_batch_size(size_t n) { executor_.set_batch_size(n); }
+  size_t batch_size() const { return executor_.batch_size(); }
+
   /// Cancels the currently executing statement, if any (thread-safe; no-op
   /// between statements). The statement aborts with kCancelled at its next
   /// governance check.

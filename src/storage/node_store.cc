@@ -131,6 +131,48 @@ StatusOr<Xptr> NodeStore::FirstOfSchema(const OpCtx& ctx,
   return DescriptorXptr(sn->first_block, h->first_slot, h->desc_size);
 }
 
+StatusOr<std::vector<Xptr>> NodeStore::SchemaBlocks(
+    const OpCtx& ctx, const SchemaNode* sn) const {
+  std::vector<Xptr> out;
+  Xptr block = sn->first_block;
+  while (block) {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Read(block, ctx));
+    const BlockHeader* h = HeaderOf(guard.data());
+    if (h->magic != kNodeBlockMagic) {
+      return Status::Corruption("schema block chain reaches a non-node page: " +
+                                block.ToString());
+    }
+    out.push_back(block);
+    block = h->next_block;
+  }
+  return out;
+}
+
+Status NodeStore::ScanBlockNodes(const OpCtx& ctx, Xptr block,
+                                 std::vector<Xptr>* out) const {
+  SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Read(block, ctx));
+  const uint8_t* page = guard.data();
+  const BlockHeader* h = HeaderOf(page);
+  if (h->magic != kNodeBlockMagic) {
+    return Status::Corruption("morsel scan reached a non-node page: " +
+                              block.ToString());
+  }
+  uint16_t slot = h->first_slot;
+  uint16_t seen = 0;
+  while (slot != kNoSlot) {
+    if (++seen > h->capacity) {
+      return Status::Corruption("in-block chain cycle in block " +
+                                block.ToString());
+    }
+    Xptr addr = DescriptorXptr(block, slot, h->desc_size);
+    out->push_back(addr);
+    const NodeDescriptor* d =
+        reinterpret_cast<const NodeDescriptor*>(page + addr.PageOffset());
+    slot = d->next_in_block;
+  }
+  return Status::OK();
+}
+
 StatusOr<Xptr> NodeStore::NextSameSchema(const OpCtx& ctx, Xptr addr) const {
   SEDNA_ASSIGN_OR_RETURN(PageGuard guard, env_->Read(addr.PageBase(), ctx));
   const uint8_t* page = guard.data();

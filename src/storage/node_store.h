@@ -90,6 +90,19 @@ class NodeStore {
   /// (follows the chain while the parent handle matches).
   StatusOr<Xptr> NextSibSameSchema(const OpCtx& ctx, Xptr addr) const;
 
+  /// Page bases of `sn`'s block chain, in chain (document) order. Morsel
+  /// exchanges split this list into block ranges: descriptors are partly
+  /// ordered across blocks, so a partition by chain position is a partition
+  /// by document order.
+  StatusOr<std::vector<Xptr>> SchemaBlocks(const OpCtx& ctx,
+                                           const SchemaNode* sn) const;
+
+  /// Appends the descriptor Xptrs of one block in in-block chain (document)
+  /// order to *out. One page pin for the whole block — the per-block unit
+  /// of work of a morsel scan.
+  Status ScanBlockNodes(const OpCtx& ctx, Xptr block,
+                        std::vector<Xptr>* out) const;
+
   // --- writing ------------------------------------------------------------
 
   /// Creates the document-root descriptor (schema root). Returns its handle.

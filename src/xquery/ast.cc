@@ -169,6 +169,7 @@ ExprPtr Expr::Clone() const {
     cs.test = s.test;
     cs.needs_ddo = s.needs_ddo;
     cs.schema_resolved = s.schema_resolved;
+    cs.exchange_safe = s.exchange_safe;
     for (const auto& p : s.predicates) cs.predicates.push_back(p->Clone());
     copy->steps.push_back(std::move(cs));
   }

@@ -74,13 +74,20 @@ struct NodeTest {
 /// executor skips the distinct-document-order operation after the step
 /// (Section 5.1.1). `schema_resolved` marks steps covered by a structural
 /// path fragment executable directly over the descriptive schema
-/// (Section 5.1.4).
+/// (Section 5.1.4); the fragment may end in ONE predicated step when every
+/// predicate is position-free (the scan applies them as a flat filter).
+/// `exchange_safe` marks steps a morsel-exchange worker may run: downward
+/// axis (results stay inside the origin's subtree, so per-worker DDO over
+/// disjoint block-range morsels composes to global DDO) and predicates
+/// free of shared-state effects (doc()/collection()/index-lookup, UDFs,
+/// constructors).
 struct Step {
   Axis axis = Axis::kChild;
   NodeTest test;
   std::vector<ExprPtr> predicates;
   bool needs_ddo = true;
   bool schema_resolved = false;
+  bool exchange_safe = false;
 };
 
 struct FlworClause {

@@ -1,0 +1,63 @@
+#include "xquery/exchange.h"
+
+namespace sedna {
+
+MorselPool::MorselPool(size_t morsel_count, size_t worker_count, MorselFn fn)
+    : fn_(std::move(fn)),
+      worker_count_(worker_count < 1 ? 1 : worker_count),
+      slots_(morsel_count) {}
+
+MorselPool::~MorselPool() {
+  Abort();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void MorselPool::Start() {
+  threads_.reserve(worker_count_);
+  for (size_t w = 0; w < worker_count_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+void MorselPool::WorkerLoop(size_t worker) {
+  for (;;) {
+    if (abort_.load(std::memory_order_acquire)) return;
+    size_t morsel = next_morsel_.fetch_add(1, std::memory_order_relaxed);
+    if (morsel >= slots_.size()) return;
+    MorselOutput out;
+    Status st = fn_(worker, morsel, &out);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (st.ok()) {
+        slots_[morsel].out = std::move(out);
+      } else if (first_error_.ok()) {
+        first_error_ = st;
+      }
+      slots_[morsel].done = true;
+      if (!st.ok()) abort_.store(true, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+}
+
+StatusOr<MorselOutput> MorselPool::Take(size_t morsel) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] {
+    return slots_[morsel].done || abort_.load(std::memory_order_acquire);
+  });
+  if (!first_error_.ok()) return first_error_;
+  if (!slots_[morsel].done) {
+    // Abort() without a recorded failure: the consumer itself gave up.
+    return Status::Cancelled("morsel exchange aborted");
+  }
+  return std::move(slots_[morsel].out);
+}
+
+void MorselPool::Abort() {
+  abort_.store(true, std::memory_order_release);
+  cv_.notify_all();
+}
+
+}  // namespace sedna

@@ -1,0 +1,106 @@
+// Morsel-driven parallel exchange scaffolding (DESIGN.md §11).
+//
+// A MorselPool runs a fixed list of morsels — independent units of work
+// that each produce a materialized item run — on a bounded set of worker
+// threads. Workers claim morsels with an atomic counter (no assignment
+// step, natural load balancing: a worker that drew an expensive morsel
+// simply claims fewer), and the consumer collects results strictly in
+// morsel order, which is how the exchange preserves document order:
+// morsels partition a schema node's block chain by chain position, block
+// chains are partly ordered (every node in block i precedes every node in
+// block j for i < j), and downward-only worker plans keep each result
+// inside its origin's subtree.
+//
+// Failure protocol: the first non-OK morsel wins — its status is recorded,
+// the abort flag trips, and every subsequent Take() returns that status.
+// Workers observe the flag at morsel boundaries and (through the flag
+// pointer handed to the worker plan) inside long scans, so a consumer that
+// drops the pool mid-stream (early exit above the exchange) does not wait
+// for full morsels to finish. The destructor aborts and joins; no worker
+// thread ever outlives the pool.
+
+#ifndef SEDNA_XQUERY_EXCHANGE_H_
+#define SEDNA_XQUERY_EXCHANGE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/query_context.h"
+#include "common/status.h"
+#include "xquery/item.h"
+
+namespace sedna {
+
+/// One completed morsel's result: the items it produced plus the memory
+/// reservation that paid for them (bytes release when the consumer drops
+/// or clears the output).
+struct MorselOutput {
+  Sequence items;
+  MemoryReservation reservation;
+};
+
+class MorselPool {
+ public:
+  /// `fn(worker, morsel, out)` computes one morsel on one worker thread. It
+  /// must be safe to call concurrently for distinct (worker, morsel) pairs;
+  /// each worker runs its morsels sequentially.
+  using MorselFn = std::function<Status(size_t worker, size_t morsel,
+                                        MorselOutput* out)>;
+
+  MorselPool(size_t morsel_count, size_t worker_count, MorselFn fn);
+
+  /// Aborts and joins. Results never taken are dropped here, releasing
+  /// their reservations.
+  ~MorselPool();
+
+  MorselPool(const MorselPool&) = delete;
+  MorselPool& operator=(const MorselPool&) = delete;
+
+  /// Launches the worker threads. Call exactly once.
+  void Start();
+
+  /// Blocks until morsel `morsel` has completed, then moves its output out.
+  /// After any morsel fails, returns that first failure instead (for every
+  /// remaining index — the whole exchange aborts).
+  StatusOr<MorselOutput> Take(size_t morsel);
+
+  /// Trips the abort flag and wakes everyone. Idempotent; called by the
+  /// consumer on early exit and by workers on failure.
+  void Abort();
+
+  /// Shared cooperative-cancellation flag for long-running morsel plans:
+  /// scan loops poll it once per batch so an abort cuts a morsel short
+  /// instead of waiting for it to finish.
+  const std::atomic<bool>* abort_flag() const { return &abort_; }
+
+  size_t morsel_count() const { return slots_.size(); }
+  size_t worker_count() const { return worker_count_; }
+
+ private:
+  struct Slot {
+    bool done = false;
+    MorselOutput out;
+  };
+
+  void WorkerLoop(size_t worker);
+
+  MorselFn fn_;
+  size_t worker_count_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;          // guarded by mu_
+  Status first_error_;               // guarded by mu_; OK until a failure
+  std::atomic<size_t> next_morsel_{0};
+  std::atomic<bool> abort_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_XQUERY_EXCHANGE_H_

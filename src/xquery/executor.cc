@@ -8,6 +8,7 @@
 #include "common/string_util.h"
 #include "xml/xml_serializer.h"
 #include "xquery/analyzer.h"
+#include "xquery/exchange.h"
 #include "xquery/functions.h"
 #include "xquery/profile.h"
 
@@ -22,25 +23,27 @@ constexpr int kMaxUdfDepth = 256;
 // ---------------------------------------------------------------------------
 
 /// Wraps one operator's stream when ExecContext::profile is active: counts
-/// pulls/rows and wall time, and points ctx.profile at this operator's node
-/// while the wrapped Next() runs so operators it builds lazily (FLWOR
-/// return clauses, predicate subexpressions) attach under it.
+/// batch pulls/rows and wall time — one timestamp pair per batch, so the
+/// clock reads amortize with the batch size — and points ctx.profile at
+/// this operator's node while the wrapped NextBatch() runs so operators it
+/// builds lazily (FLWOR return clauses, predicate subexpressions) attach
+/// under it.
 class ProfilingStream final : public ItemStream {
  public:
   ProfilingStream(ExecContext& ctx, ProfileNode* node, StreamPtr in)
       : ctx_(&ctx), node_(node), in_(std::move(in)) {}
 
-  StatusOr<bool> Next(Item* out) override {
+  StatusOr<bool> NextBatch(ItemBatch* out, size_t max) override {
     ProfileNode* saved = ctx_->profile;
     ctx_->profile = node_;
     auto start = std::chrono::steady_clock::now();
-    StatusOr<bool> got = in_->Next(out);
+    StatusOr<bool> got = in_->NextBatch(out, max);
     node_->time_ns += static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)
             .count());
     node_->pulls++;
-    if (got.ok() && *got) node_->rows++;
+    if (got.ok() && *got) node_->rows += out->size();
     ctx_->profile = saved;
     return got;
   }
@@ -412,6 +415,12 @@ StatusOr<Sequence> EvalPath(const Expr& path, ExecContext& ctx) {
           ResolveSchemaSteps(doc, path.steps, 0, end);
       SEDNA_ASSIGN_OR_RETURN(in, EnumerateSchemaNodes(ctx, doc, sns));
       ctx.Count(&ExecStats::schema_scans);
+      // A predicate-extended fragment keeps its final step's (position-free)
+      // predicates: apply them flat over the scan — equivalent to the
+      // per-parent application of the step-by-step path for such predicates.
+      for (const auto& pred : path.steps[end - 1].predicates) {
+        SEDNA_ASSIGN_OR_RETURN(in, ApplyPredicate(*pred, std::move(in), ctx));
+      }
       step_idx = end;
     }
   }
@@ -1196,26 +1205,35 @@ class PredicateStream final : public ItemStream {
         pred_(pred),
         bound_(StaticPositionalBound(*pred)) {}
 
-  StatusOr<bool> Next(Item* out) override {
-    while (in_ != nullptr) {
-      SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx_, in_.get(), &cur_));
+  StatusOr<bool> NextBatch(ItemBatch* out, size_t max) override {
+    out->Clear();
+    while (in_ != nullptr && out->size() < max) {
+      // Max-propagation: request no more input than this call can emit,
+      // further capped by the static positional bound so [1]/[<=n] never
+      // over-pull their upstream pipeline.
+      size_t want = max - out->size();
+      if (bound_ > 0) {
+        size_t remaining = static_cast<size_t>(bound_ - pos_);
+        if (want > remaining) want = remaining;
+      }
+      SEDNA_ASSIGN_OR_RETURN(bool got, PullBatch(ctx_, in_.get(), &buf_, want));
       if (!got) {
         in_.reset();
         break;
       }
-      pos_++;
-      SEDNA_ASSIGN_OR_RETURN(bool keep, Evaluate());
-      if (bound_ > 0 && pos_ >= bound_) {
-        // No later position can satisfy the predicate.
-        ctx_.Count(&ExecStats::early_exits);
-        in_.reset();
-      }
-      if (keep) {
-        *out = std::move(cur_);
-        return true;
+      for (size_t i = 0; i < buf_.size() && in_ != nullptr; ++i) {
+        cur_ = std::move(buf_[i]);
+        pos_++;
+        SEDNA_ASSIGN_OR_RETURN(bool keep, Evaluate());
+        if (bound_ > 0 && pos_ >= bound_) {
+          // No later position can satisfy the predicate.
+          ctx_.Count(&ExecStats::early_exits);
+          in_.reset();
+        }
+        if (keep) out->push_back(std::move(cur_));
       }
     }
-    return false;
+    return !out->empty();
   }
 
  private:
@@ -1247,6 +1265,7 @@ class PredicateStream final : public ItemStream {
   int64_t bound_;
   int64_t pos_ = 0;
   Item cur_;
+  ItemBatch buf_;
 };
 
 StatusOr<StreamPtr> WrapPredicates(ExecContext& ctx, StreamPtr in,
@@ -1280,17 +1299,18 @@ class AxisMatchStream final : public ItemStream {
   AxisMatchStream(ExecContext& ctx, Item origin, const Step* step)
       : ctx_(ctx), origin_(std::move(origin)), step_(step) {}
 
-  StatusOr<bool> Next(Item* out) override {
+  StatusOr<bool> NextBatch(ItemBatch* out, size_t max) override {
+    out->Clear();
     if (done_) return false;
     if (!opened_) {
       SEDNA_RETURN_IF_ERROR(Open());
       opened_ = true;
     }
     if (dfs_) {
-      for (;;) {
+      while (out->size() < max) {
         if (stack_.empty()) {
           done_ = true;
-          return false;
+          break;
         }
         Frame& top = stack_.back();
         if (top.idx >= top.nodes.size()) {
@@ -1305,23 +1325,18 @@ class AxisMatchStream final : public ItemStream {
         if (!kids.empty()) stack_.push_back(Frame{std::move(kids), 0});
         SEDNA_ASSIGN_OR_RETURN(
             bool match, MatchesTest(ctx_, cand, step_->test, step_->axis));
-        if (match) {
-          *out = std::move(cand);
-          return true;
-        }
+        if (match) out->push_back(std::move(cand));
       }
+      return !out->empty();
     }
-    while (pos_ < buffer_.size()) {
+    while (pos_ < buffer_.size() && out->size() < max) {
       Item cand = std::move(buffer_[pos_++]);
       SEDNA_ASSIGN_OR_RETURN(
           bool match, MatchesTest(ctx_, cand, step_->test, step_->axis));
-      if (match) {
-        *out = std::move(cand);
-        return true;
-      }
+      if (match) out->push_back(std::move(cand));
     }
-    done_ = true;
-    return false;
+    if (pos_ >= buffer_.size()) done_ = true;
+    return !out->empty();
   }
 
  private:
@@ -1366,20 +1381,30 @@ class AxisMatchStream final : public ItemStream {
 class StepStream final : public ItemStream {
  public:
   StepStream(ExecContext& ctx, StreamPtr in, const Step* step)
-      : ctx_(ctx), in_(std::move(in)), step_(step) {}
+      : ctx_(ctx), in_(std::move(in)), step_(step) {
+    origins_.Reset(in_.get());
+  }
 
-  StatusOr<bool> Next(Item* out) override {
+  StatusOr<bool> NextBatch(ItemBatch* out, size_t max) override {
+    out->Clear();
     for (;;) {
-      if (inner_ != nullptr) {
-        SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx_, inner_.get(), out));
-        if (got) return true;
-        inner_.reset();
+      while (inner_ != nullptr && out->size() < max) {
+        SEDNA_ASSIGN_OR_RETURN(
+            bool got, PullBatch(ctx_, inner_.get(), &buf_, max - out->size()));
+        if (!got) {
+          inner_.reset();
+          break;
+        }
+        for (Item& item : buf_) out->push_back(std::move(item));
       }
-      if (in_ == nullptr) return false;
-      SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx_, in_.get(), &cur_));
+      if (out->size() >= max) return true;
+      if (done_) return !out->empty();
+      // Origins refill at the caller's batch size: a max=1 early-exit
+      // consumer advances one origin at a time, a full drain amortizes.
+      SEDNA_ASSIGN_OR_RETURN(bool got, origins_.Next(ctx_, &cur_, max));
       if (!got) {
-        in_.reset();
-        return false;
+        done_ = true;
+        return !out->empty();
       }
       if (!cur_.is_node()) {
         return Status::InvalidArgument(
@@ -1394,9 +1419,12 @@ class StepStream final : public ItemStream {
  private:
   ExecContext& ctx_;
   StreamPtr in_;
+  BatchReader origins_;
   StreamPtr inner_;
   const Step* step_;
   Item cur_;
+  ItemBatch buf_;
+  bool done_ = false;
 };
 
 /// Lazy scan of all nodes under one schema node (Section 5.1.4), in
@@ -1406,20 +1434,24 @@ class SchemaScanStream final : public ItemStream {
   SchemaScanStream(ExecContext& ctx, DocumentStore* doc, SchemaNode* sn)
       : ctx_(ctx), doc_(doc), sn_(sn) {}
 
-  StatusOr<bool> Next(Item* out) override {
-    if (done_) return false;
-    if (!opened_) {
-      opened_ = true;
-      SEDNA_ASSIGN_OR_RETURN(cur_, doc_->nodes()->FirstOfSchema(ctx_.op, sn_));
-    } else {
-      SEDNA_ASSIGN_OR_RETURN(cur_, doc_->nodes()->NextSameSchema(ctx_.op, cur_));
+  StatusOr<bool> NextBatch(ItemBatch* out, size_t max) override {
+    out->Clear();
+    while (!done_ && out->size() < max) {
+      if (!opened_) {
+        opened_ = true;
+        SEDNA_ASSIGN_OR_RETURN(cur_,
+                               doc_->nodes()->FirstOfSchema(ctx_.op, sn_));
+      } else {
+        SEDNA_ASSIGN_OR_RETURN(cur_,
+                               doc_->nodes()->NextSameSchema(ctx_.op, cur_));
+      }
+      if (!cur_) {
+        done_ = true;
+        break;
+      }
+      out->push_back(Item(StoredNode{doc_, cur_}));
     }
-    if (!cur_) {
-      done_ = true;
-      return false;
-    }
-    *out = Item(StoredNode{doc_, cur_});
-    return true;
+    return !out->empty();
   }
 
  private:
@@ -1442,6 +1474,332 @@ StatusOr<StreamPtr> MaterializeDdo(ExecContext& ctx, StreamPtr in) {
   ctx.Count(&ExecStats::ddo_items, buf.size());
   SEDNA_RETURN_IF_ERROR(DistinctDocOrder(ctx.op, &buf));
   return MakeSequenceStream(std::move(buf), std::move(reservation));
+}
+
+// ---------------------------------------------------------------------------
+// Morsel-driven parallel exchange (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+/// A path scan only goes parallel once the schema node's chain spans at
+/// least this many blocks — below that the thread launch outweighs the scan.
+constexpr size_t kMinExchangeBlocks = 2;
+
+/// Target morsels per worker: enough claims for load balancing, few enough
+/// that the per-morsel result handoff stays negligible.
+constexpr size_t kMorselsPerWorker = 4;
+
+/// Everything the worker threads share. Owned by the exchange stream and
+/// destroyed only after the pool has joined every worker.
+struct ExchangeState {
+  DocumentStore* doc = nullptr;
+  SchemaNode* sn = nullptr;
+  const Expr* path = nullptr;
+  size_t first_step = 0;  // first step index past the schema fragment
+  const std::vector<ExprPtr>* frag_preds = nullptr;
+  std::vector<Xptr> blocks;
+  size_t blocks_per_morsel = 1;
+  ProfileNode* exchange_node = nullptr;  // EXPLAIN root of the exchange
+  // One private context + stats block per worker; stats merge into the
+  // statement's block when the exchange finishes.
+  std::vector<ExecContext> worker_ctx;
+  std::vector<ExecStats> worker_stats;
+};
+
+/// Applies path.steps[begin..] over `in` — the shared tail of the serial
+/// path pipeline, the exchange's serial fallback and each worker's
+/// per-morsel plan.
+StatusOr<StreamPtr> ApplyStepsFrom(ExecContext& ctx, StreamPtr in,
+                                   const Expr& path, size_t begin) {
+  for (size_t i = begin; i < path.steps.size(); ++i) {
+    const Step& step = path.steps[i];
+    in = MaybeProfile(ctx, StepLabel(step),
+                      std::make_unique<StepStream>(ctx, std::move(in), &step));
+    if (step.needs_ddo) {
+      // The rewriter could not prove the step order-safe (Section 5.1.1):
+      // DDO is the pipeline's materialization barrier.
+      SEDNA_ASSIGN_OR_RETURN(in, MaterializeDdo(ctx, std::move(in)));
+      in = MaybeProfile(ctx, "ddo", std::move(in));
+    }
+  }
+  return in;
+}
+
+/// Lazy scan over a contiguous block range of one schema node's chain: one
+/// page pin per block, nodes delivered in chain (document) order. Polls the
+/// exchange abort flag once per batch so a failed sibling worker or a
+/// consumer early-exit cuts the morsel short mid-scan.
+class MorselScanStream final : public ItemStream {
+ public:
+  MorselScanStream(ExecContext& ctx, DocumentStore* doc,
+                   const std::vector<Xptr>* blocks, size_t begin, size_t end,
+                   const std::atomic<bool>* abort)
+      : ctx_(ctx),
+        doc_(doc),
+        blocks_(blocks),
+        next_block_(begin),
+        end_(end),
+        abort_(abort) {}
+
+  StatusOr<bool> NextBatch(ItemBatch* out, size_t max) override {
+    out->Clear();
+    if (abort_ != nullptr && abort_->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("morsel exchange aborted");
+    }
+    while (out->size() < max) {
+      if (pos_ >= buf_.size()) {
+        if (next_block_ >= end_) break;
+        buf_.clear();
+        pos_ = 0;
+        SEDNA_RETURN_IF_ERROR(doc_->nodes()->ScanBlockNodes(
+            ctx_.op, (*blocks_)[next_block_++], &buf_));
+        continue;
+      }
+      out->push_back(Item(StoredNode{doc_, buf_[pos_++]}));
+    }
+    return !out->empty();
+  }
+
+ private:
+  ExecContext& ctx_;
+  DocumentStore* doc_;
+  const std::vector<Xptr>* blocks_;
+  size_t next_block_;
+  size_t end_;
+  const std::atomic<bool>* abort_;
+  std::vector<Xptr> buf_;
+  size_t pos_ = 0;
+};
+
+/// One morsel, run on one worker: block-range scan -> fragment predicate
+/// filter -> the path's remaining (exchange-safe, downward) steps with
+/// per-worker DDO barriers -> charged drain. Per-morsel DDO composes to
+/// global DDO because morsels partition the chain in document order and
+/// downward steps keep results inside their origins' disjoint subtrees.
+Status RunExchangeMorsel(ExchangeState& state, const std::atomic<bool>* abort,
+                         size_t worker, size_t morsel, MorselOutput* out) {
+  ExecContext& wctx = state.worker_ctx[worker];
+  size_t begin = morsel * state.blocks_per_morsel;
+  size_t end = std::min(begin + state.blocks_per_morsel,
+                        state.blocks.size());
+  StreamPtr s = MaybeProfile(
+      wctx, "morsel-scan",
+      std::make_unique<MorselScanStream>(wctx, state.doc, &state.blocks,
+                                         begin, end, abort));
+  if (!state.frag_preds->empty()) {
+    SEDNA_ASSIGN_OR_RETURN(s,
+                           WrapPredicates(wctx, std::move(s),
+                                          *state.frag_preds));
+  }
+  SEDNA_ASSIGN_OR_RETURN(
+      s, ApplyStepsFrom(wctx, std::move(s), *state.path, state.first_step));
+  out->reservation = MemoryReservation(wctx.query);
+  SEDNA_RETURN_IF_ERROR(
+      DrainStreamCharged(wctx, s.get(), &out->items, &out->reservation));
+  wctx.Count(&ExecStats::morsels_dispatched);
+  return Status::OK();
+}
+
+/// Parent side of the exchange: collects morsel outputs strictly in morsel
+/// order (= document order) and re-streams them. Any failure — a worker
+/// tripping governance, an injected allocation fault, a storage error —
+/// aborts the whole pool; Finish() joins every worker and folds their
+/// private stats into the statement's exactly once, on whichever path the
+/// stream dies (exhaustion, error, or early drop).
+class MorselExchangeStream final : public ItemStream {
+ public:
+  MorselExchangeStream(ExecContext& ctx, std::unique_ptr<ExchangeState> state,
+                       size_t morsels, size_t workers)
+      : ctx_(ctx), state_(std::move(state)) {
+    pool_ = std::make_unique<MorselPool>(
+        morsels, workers,
+        [this](size_t worker, size_t morsel, MorselOutput* out) {
+          return RunExchangeMorsel(*state_, pool_->abort_flag(), worker,
+                                   morsel, out);
+        });
+    ctx_.Count(&ExecStats::exchange_workers, workers);
+    pool_->Start();
+  }
+
+  ~MorselExchangeStream() override { Finish(); }
+
+  StatusOr<bool> NextBatch(ItemBatch* out, size_t max) override {
+    for (;;) {
+      if (cur_ != nullptr) {
+        // Delegate wholesale, reservation rider included (cf. ChainStream).
+        SEDNA_ASSIGN_OR_RETURN(bool got,
+                               PullBatch(ctx_, cur_.get(), out, max));
+        if (got) return true;
+        cur_.reset();
+      }
+      if (pool_ == nullptr || next_take_ >= pool_->morsel_count()) {
+        Finish();
+        out->Clear();
+        return false;
+      }
+      StatusOr<MorselOutput> taken = pool_->Take(next_take_++);
+      if (!taken.ok()) {
+        Status st = taken.status();
+        Finish();
+        return st;
+      }
+      cur_ = MakeSequenceStream(std::move(taken->items),
+                                std::move(taken->reservation));
+    }
+  }
+
+ private:
+  void Finish() {
+    if (finished_) return;
+    finished_ = true;
+    cur_.reset();
+    pool_.reset();  // aborts and joins; un-taken reservations release here
+    if (ctx_.stats != nullptr) {
+      for (const ExecStats& ws : state_->worker_stats) {
+        ctx_.stats->MergeFrom(ws);
+      }
+    }
+  }
+
+  ExecContext& ctx_;
+  std::unique_ptr<ExchangeState> state_;
+  std::unique_ptr<MorselPool> pool_;  // after state_: joins before state dies
+  StreamPtr cur_;
+  size_t next_take_ = 0;
+  bool finished_ = false;
+};
+
+/// Decides serial-vs-parallel at the *first pull* instead of at build time.
+/// The exchange is deliberately eager — workers drain whole morsels — so
+/// letting it serve an early-exit consumer (exists(), EBV, a [1] filter, a
+/// for-binding pulled one at a time) would trade the pipeline's laziness
+/// bounds for parallelism that can never pay off. Those consumers announce
+/// themselves through max-propagation: they request fewer items than the
+/// configured batch size until a cutoff is known. So: first pull asking for
+/// a full batch => launch the worker pool; anything smaller => build the
+/// ordinary serial schema pipeline and never spawn a thread. A stream that
+/// is dropped unpulled costs nothing either way.
+class DeferredExchangeStream final : public ItemStream {
+ public:
+  DeferredExchangeStream(ExecContext& ctx, std::unique_ptr<ExchangeState> state,
+                         size_t morsels, size_t workers)
+      : ctx_(ctx),
+        state_(std::move(state)),
+        morsels_(morsels),
+        workers_(workers),
+        threshold_(ctx.batch_size == 0 ? kDefaultBatchSize : ctx.batch_size) {}
+
+  StatusOr<bool> NextBatch(ItemBatch* out, size_t max) override {
+    if (inner_ == nullptr) {
+      if (max >= threshold_) {
+        ProfileNode* node = state_->exchange_node;
+        StreamPtr ex = std::make_unique<MorselExchangeStream>(
+            ctx_, std::move(state_), morsels_, workers_);
+        if (node != nullptr) {
+          ex = std::make_unique<ProfilingStream>(ctx_, node, std::move(ex));
+        }
+        inner_ = std::move(ex);
+      } else {
+        SEDNA_ASSIGN_OR_RETURN(inner_, BuildSerialFallback());
+        state_.reset();
+      }
+    }
+    return inner_->NextBatch(out, max);
+  }
+
+ private:
+  StatusOr<StreamPtr> BuildSerialFallback() {
+    ExchangeState& st = *state_;
+    StreamPtr in = MaybeProfile(
+        ctx_,
+        "schema-scan " +
+            NodeTestLabel(st.path->steps[st.first_step - 1].test) +
+            " (par-eligible)",
+        std::make_unique<SchemaScanStream>(ctx_, st.doc, st.sn));
+    if (!st.frag_preds->empty()) {
+      SEDNA_ASSIGN_OR_RETURN(
+          in, WrapPredicates(ctx_, std::move(in), *st.frag_preds));
+    }
+    return ApplyStepsFrom(ctx_, std::move(in), *st.path, st.first_step);
+  }
+
+  ExecContext& ctx_;
+  std::unique_ptr<ExchangeState> state_;
+  size_t morsels_;
+  size_t workers_;
+  size_t threshold_;
+  StreamPtr inner_;
+};
+
+/// The remaining plan may run inside workers only when every step past the
+/// fragment carries the rewriter's exchange-safe mark (downward axis, no
+/// shared-state predicates), including the fragment-final step itself when
+/// it kept predicates.
+bool ExchangeEligible(const Expr& path, size_t end) {
+  if (!path.steps[end - 1].predicates.empty() &&
+      !path.steps[end - 1].exchange_safe) {
+    return false;
+  }
+  for (size_t i = end; i < path.steps.size(); ++i) {
+    if (!path.steps[i].exchange_safe) return false;
+  }
+  return true;
+}
+
+/// Builds a morsel exchange for the path when it is eligible and the scan
+/// is big enough to pay for threads; returns null to fall back to the
+/// serial schema scan.
+StatusOr<StreamPtr> TryMorselExchange(ExecContext& ctx, DocumentStore* doc,
+                                      SchemaNode* sn, const Expr& path,
+                                      size_t end) {
+  if (ctx.parallel_workers <= 1 || !ExchangeEligible(path, end)) {
+    return StreamPtr();
+  }
+  SEDNA_ASSIGN_OR_RETURN(std::vector<Xptr> blocks,
+                         doc->nodes()->SchemaBlocks(ctx.op, sn));
+  if (blocks.size() < kMinExchangeBlocks) return StreamPtr();
+  size_t workers = std::min<size_t>(ctx.parallel_workers, blocks.size());
+  size_t per = std::max<size_t>(1, blocks.size() / (workers * kMorselsPerWorker));
+  size_t morsels = (blocks.size() + per - 1) / per;
+
+  auto state = std::make_unique<ExchangeState>();
+  state->doc = doc;
+  state->sn = sn;
+  state->path = &path;
+  state->first_step = end;
+  state->frag_preds = &path.steps[end - 1].predicates;
+  state->blocks = std::move(blocks);
+  state->blocks_per_morsel = per;
+  state->worker_stats = std::vector<ExecStats>(workers);
+
+  std::string label = "exchange[" + NodeTestLabel(path.steps[end - 1].test) +
+                      " workers=" + std::to_string(workers) +
+                      " morsels=" + std::to_string(morsels) + "]";
+  // Profile nodes are pre-created here, on the build thread:
+  // ProfileNode::Child is find-or-create and not thread-safe, so each
+  // worker gets its own subtree root up front and never touches a shared
+  // node afterwards.
+  ProfileNode* exchange_node =
+      ctx.profile != nullptr ? ctx.profile->Child(label) : nullptr;
+  state->exchange_node = exchange_node;
+  state->worker_ctx.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    ExecContext wctx = ctx;  // op, prolog, vars, toggles, indexes, query
+    wctx.stats = &state->worker_stats[w];
+    wctx.parallel_workers = 1;  // no nested exchanges
+    wctx.on_doc_access = nullptr;  // exchange-safe plans never call doc()
+    wctx.context_item = nullptr;
+    wctx.context_pos = 0;
+    wctx.context_size = 0;
+    wctx.profile = exchange_node != nullptr
+                       ? exchange_node->Child("worker " + std::to_string(w))
+                       : nullptr;
+    state->worker_ctx.push_back(std::move(wctx));
+  }
+
+  // The pool does not start here: DeferredExchangeStream launches it only
+  // if the first pull demands a full batch (see its class comment).
+  return StreamPtr(std::make_unique<DeferredExchangeStream>(
+      ctx, std::move(state), morsels, workers));
 }
 
 StatusOr<StreamPtr> EvalPathStream(const Expr& path, ExecContext& ctx) {
@@ -1473,12 +1831,27 @@ StatusOr<StreamPtr> EvalPathStream(const Expr& path, ExecContext& ctx) {
         std::vector<SchemaNode*> sns =
             ResolveSchemaSteps(doc, path.steps, 0, end);
         ctx.Count(&ExecStats::schema_scans);
+        // A predicate-extended fragment keeps its final step's
+        // (position-free) predicates; the serial paths below apply them as
+        // a flat filter over the scan, the exchange runs them per worker.
+        const std::vector<ExprPtr>& frag_preds =
+            path.steps[end - 1].predicates;
+        bool exchanged = false;
         if (sns.empty()) {
           in = MakeEmptyStream();
         } else if (sns.size() == 1) {
-          in = MaybeProfile(
-              ctx, "schema-scan " + NodeTestLabel(path.steps[end - 1].test),
-              std::make_unique<SchemaScanStream>(ctx, doc, sns[0]));
+          SEDNA_ASSIGN_OR_RETURN(
+              in, TryMorselExchange(ctx, doc, sns[0], path, end));
+          if (in != nullptr) {
+            exchanged = true;  // workers run the remaining steps too
+          } else {
+            std::string label =
+                "schema-scan " + NodeTestLabel(path.steps[end - 1].test);
+            if (ExchangeEligible(path, end)) label += " (par-eligible)";
+            in = MaybeProfile(
+                ctx, label,
+                std::make_unique<SchemaScanStream>(ctx, doc, sns[0]));
+          }
         } else {
           // Several schema nodes: the doc-order merge needs the whole set.
           SEDNA_ASSIGN_OR_RETURN(Sequence nodes,
@@ -1491,7 +1864,15 @@ StatusOr<StreamPtr> EvalPathStream(const Expr& path, ExecContext& ctx) {
               ctx, "schema-merge " + NodeTestLabel(path.steps[end - 1].test),
               MakeSequenceStream(std::move(nodes), std::move(reservation)));
         }
-        step_idx = end;
+        if (exchanged) {
+          step_idx = path.steps.size();
+        } else {
+          if (!frag_preds.empty()) {
+            SEDNA_ASSIGN_OR_RETURN(
+                in, WrapPredicates(ctx, std::move(in), frag_preds));
+          }
+          step_idx = end;
+        }
         served = true;
       }
     }
@@ -1500,18 +1881,7 @@ StatusOr<StreamPtr> EvalPathStream(const Expr& path, ExecContext& ctx) {
     SEDNA_ASSIGN_OR_RETURN(in, EvalStream(*path.children[0], ctx));
   }
 
-  for (; step_idx < path.steps.size(); ++step_idx) {
-    const Step& step = path.steps[step_idx];
-    in = MaybeProfile(ctx, StepLabel(step),
-                      std::make_unique<StepStream>(ctx, std::move(in), &step));
-    if (step.needs_ddo) {
-      // The rewriter could not prove the step order-safe (Section 5.1.1):
-      // DDO is the pipeline's materialization barrier.
-      SEDNA_ASSIGN_OR_RETURN(in, MaterializeDdo(ctx, std::move(in)));
-      in = MaybeProfile(ctx, "ddo", std::move(in));
-    }
-  }
-  return in;
+  return ApplyStepsFrom(ctx, std::move(in), path, step_idx);
 }
 
 /// Comma operator: concatenates its parts, opening each part's stream only
@@ -1521,14 +1891,20 @@ class ChainStream final : public ItemStream {
   ChainStream(ExecContext& ctx, const std::vector<ExprPtr>* parts)
       : ctx_(ctx), parts_(parts) {}
 
-  StatusOr<bool> Next(Item* out) override {
+  StatusOr<bool> NextBatch(ItemBatch* out, size_t max) override {
     for (;;) {
       if (cur_ != nullptr) {
-        SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx_, cur_.get(), out));
+        // Delegate wholesale: the part's stream clears and refills *out,
+        // and any reservation rider passes through untouched. Batches may
+        // run short at part boundaries, which the contract allows.
+        SEDNA_ASSIGN_OR_RETURN(bool got, PullBatch(ctx_, cur_.get(), out, max));
         if (got) return true;
         cur_.reset();
       }
-      if (idx_ >= parts_->size()) return false;
+      if (idx_ >= parts_->size()) {
+        out->Clear();
+        return false;
+      }
       SEDNA_ASSIGN_OR_RETURN(cur_, EvalStream(*(*parts_)[idx_++], ctx_));
     }
   }
@@ -1544,10 +1920,12 @@ class RangeStream final : public ItemStream {
  public:
   RangeStream(int64_t next, int64_t last) : next_(next), last_(last) {}
 
-  StatusOr<bool> Next(Item* out) override {
-    if (next_ > last_) return false;
-    *out = Item(next_++);
-    return true;
+  StatusOr<bool> NextBatch(ItemBatch* out, size_t max) override {
+    out->Clear();
+    while (next_ <= last_ && out->size() < max) {
+      out->push_back(Item(next_++));
+    }
+    return !out->empty();
   }
 
  private:
@@ -1567,21 +1945,27 @@ class FlworStream final : public ItemStream {
 
   ~FlworStream() override { CloseAll(); }
 
-  StatusOr<bool> Next(Item* out) override {
+  StatusOr<bool> NextBatch(ItemBatch* out, size_t max) override {
+    out->Clear();
     if (done_) return false;
     for (;;) {
-      if (ret_ != nullptr) {
-        StatusOr<bool> got = Pull(ctx_, ret_.get(), out);
+      while (ret_ != nullptr && out->size() < max) {
+        StatusOr<bool> got =
+            PullBatch(ctx_, ret_.get(), &buf_, max - out->size());
         if (!got.ok()) return Fail(got.status());
-        if (*got) return true;
-        ret_.reset();
+        if (!*got) {
+          ret_.reset();
+          break;
+        }
+        for (Item& item : buf_) out->push_back(std::move(item));
       }
+      if (out->size() >= max) return true;
       StatusOr<bool> tuple = NextTuple();
       if (!tuple.ok()) return Fail(tuple.status());
       if (!*tuple) {
         CloseAll();
         done_ = true;
-        return false;
+        return !out->empty();
       }
       StatusOr<StreamPtr> ret = EvalStream(*flwor_->children[0], ctx_);
       if (!ret.ok()) return Fail(ret.status());
@@ -1595,6 +1979,7 @@ class FlworStream final : public ItemStream {
     Sequence saved_var;
     Sequence saved_pos;
     StreamPtr domain;       // non-cached for-clause domain
+    BatchReader domain_reader;  // one-binding-at-a-time cursor over domain
     bool use_cache = false;
     bool cache_valid = false;
     Sequence cache;         // lazy domain, evaluated once
@@ -1641,6 +2026,7 @@ class FlworStream final : public ItemStream {
       s.cache_idx = 0;
     } else {
       SEDNA_ASSIGN_OR_RETURN(s.domain, EvalStream(*c.expr, ctx_));
+      s.domain_reader.Reset(s.domain.get());
     }
     return StepFor(i);
   }
@@ -1654,7 +2040,9 @@ class FlworStream final : public ItemStream {
       has = s.cache_idx < s.cache.size();
       if (has) item = s.cache[s.cache_idx++];
     } else {
-      SEDNA_ASSIGN_OR_RETURN(has, Pull(ctx_, s.domain.get(), &item));
+      // One binding per tuple: refilling more would over-pull the domain
+      // when the consumer exits early.
+      SEDNA_ASSIGN_OR_RETURN(has, s.domain_reader.Next(ctx_, &item, 1));
     }
     if (!has) return false;
     s.pos++;
@@ -1670,6 +2058,7 @@ class FlworStream final : public ItemStream {
   void CloseSlot(size_t i) {
     const FlworClause& c = flwor_->clauses[i];
     Slot& s = slots_[i];
+    s.domain_reader.Reset(nullptr);
     s.domain.reset();
     if (!s.bound) return;
     ctx_.vars[c.var] = std::move(s.saved_var);
@@ -1758,6 +2147,7 @@ class FlworStream final : public ItemStream {
   const Expr* flwor_;
   std::vector<Slot> slots_;
   StreamPtr ret_;
+  ItemBatch buf_;
   bool started_ = false;
   bool done_ = false;
 };
@@ -1770,8 +2160,11 @@ StatusOr<Sequence> EvalQuantifiedStream(const Expr& expr, ExecContext& ctx) {
   bool result = expr.every;
   Status st = Status::OK();
   Item item;
+  BatchReader reader(domain.get());
   for (;;) {
-    StatusOr<bool> got = Pull(ctx, domain.get(), &item);
+    // Batch size 1: the first witness/counterexample must stop the
+    // upstream pipeline after O(1) items.
+    StatusOr<bool> got = reader.Next(ctx, &item, 1);
     if (!got.ok()) {
       st = got.status();
       break;
@@ -1918,16 +2311,17 @@ StatusOr<StreamPtr> EvalStream(const Expr& expr, ExecContext& ctx) {
 }
 
 StatusOr<bool> EffectiveBooleanValueStream(ExecContext& ctx, ItemStream* in) {
-  Item first;
-  SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx, in, &first));
+  // Batch size 1 twice: at most two items ever leave the pipeline.
+  ItemBatch batch;
+  SEDNA_ASSIGN_OR_RETURN(bool got, PullBatch(ctx, in, &batch, 1));
   if (!got) return false;
+  Item first = std::move(batch[0]);
   if (first.is_node()) {
     // A node decides immediately: the rest of the pipeline never runs.
     ctx.Count(&ExecStats::early_exits);
     return true;
   }
-  Item second;
-  SEDNA_ASSIGN_OR_RETURN(bool more, Pull(ctx, in, &second));
+  SEDNA_ASSIGN_OR_RETURN(bool more, PullBatch(ctx, in, &batch, 1));
   if (more) {
     return Status::InvalidArgument(
         "effective boolean value of a multi-item atomic sequence");

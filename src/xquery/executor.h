@@ -53,12 +53,36 @@ struct ExecStats {
   std::atomic<uint64_t> schema_scans{0};     // paths served from the schema
   // Pull-pipeline counters: these let tests assert *laziness*, not just
   // results (e.g. (//x)[1] on a 10k-match document pulls O(1) items).
-  std::atomic<uint64_t> items_pulled{0};         // successful ItemStream pulls
+  std::atomic<uint64_t> items_pulled{0};         // items delivered by batches
   std::atomic<uint64_t> early_exits{0};          // pipelines cut off early
   std::atomic<uint64_t> streams_materialized{0}; // drained at a barrier
+  // Morsel-exchange counters (parallel path scans).
+  std::atomic<uint64_t> morsels_dispatched{0};   // morsels run by workers
+  std::atomic<uint64_t> exchange_workers{0};     // worker threads launched
 
   ExecStats() = default;
   ExecStats(const ExecStats& other) { *this = other; }
+
+  /// Adds every counter of `other` into this block; exchange workers use
+  /// it to fold their private stats into the statement's at join time.
+  void MergeFrom(const ExecStats& other) {
+    auto add = [&](std::atomic<uint64_t> ExecStats::*f) {
+      (this->*f).fetch_add((other.*f).load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    };
+    add(&ExecStats::ddo_ops);
+    add(&ExecStats::ddo_items);
+    add(&ExecStats::axis_nodes);
+    add(&ExecStats::deep_copy_nodes);
+    add(&ExecStats::virtual_elements);
+    add(&ExecStats::schema_scans);
+    add(&ExecStats::items_pulled);
+    add(&ExecStats::early_exits);
+    add(&ExecStats::streams_materialized);
+    add(&ExecStats::morsels_dispatched);
+    add(&ExecStats::exchange_workers);
+  }
+
   ExecStats& operator=(const ExecStats& other) {
     if (this != &other) {
       ddo_ops.store(other.ddo_ops.load(std::memory_order_relaxed),
@@ -81,6 +105,12 @@ struct ExecStats {
                         std::memory_order_relaxed);
       streams_materialized.store(
           other.streams_materialized.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      morsels_dispatched.store(
+          other.morsels_dispatched.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      exchange_workers.store(
+          other.exchange_workers.load(std::memory_order_relaxed),
           std::memory_order_relaxed);
     }
     return *this;
@@ -116,6 +146,14 @@ struct ExecContext {
   bool enable_virtual_constructors = true;
   bool enable_schema_paths = true;
   bool enable_streaming = true;  // pull-based pipeline vs. eager evaluation
+
+  /// Items per NextBatch() on full-drain paths (early-exit consumers
+  /// always use 1). Session knob / SEDNA_BATCH_SIZE.
+  size_t batch_size = kDefaultBatchSize;
+
+  /// Worker threads a morsel exchange may use for eligible path scans;
+  /// <= 1 keeps everything serial. Session knob / SEDNA_PARALLEL_WORKERS.
+  uint32_t parallel_workers = 1;
 
   ExecStats* stats = nullptr;
   int udf_depth = 0;  // recursion guard

@@ -443,22 +443,34 @@ class SubsequenceStream final : public ItemStream {
                     int64_t end)
       : ctx_(ctx), in_(std::move(in)), start_(start), end_(end) {}
 
-  StatusOr<bool> Next(Item* out) override {
-    for (;;) {
-      if (in_ == nullptr) return false;
+  StatusOr<bool> NextBatch(ItemBatch* out, size_t max) override {
+    out->Clear();
+    while (in_ != nullptr && out->size() < max) {
       if (pos_ + 1 >= end_) {
         ctx_.Count(&ExecStats::early_exits);
         in_.reset();
-        return false;
+        break;
       }
-      SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx_, in_.get(), out));
+      // The window bounds how much input can still matter: never request
+      // past the end position, so the upstream cutoff stays O(window).
+      size_t want = max - out->size();
+      if (end_ != std::numeric_limits<int64_t>::max()) {
+        int64_t remaining = end_ - 1 - pos_;
+        if (remaining < static_cast<int64_t>(want)) {
+          want = static_cast<size_t>(remaining);
+        }
+      }
+      SEDNA_ASSIGN_OR_RETURN(bool got, PullBatch(ctx_, in_.get(), &buf_, want));
       if (!got) {
         in_.reset();
-        return false;
+        break;
       }
-      pos_++;
-      if (pos_ >= start_) return true;
+      for (Item& item : buf_) {
+        pos_++;
+        if (pos_ >= start_) out->push_back(std::move(item));
+      }
     }
+    return !out->empty();
   }
 
  private:
@@ -467,6 +479,7 @@ class SubsequenceStream final : public ItemStream {
   int64_t start_;
   int64_t end_;
   int64_t pos_ = 0;
+  ItemBatch buf_;
 };
 
 }  // namespace
@@ -478,8 +491,9 @@ StatusOr<StreamPtr> CallStreamingBuiltin(const Expr& call, ExecContext& ctx,
   const size_t n = call.children.size();
   if ((name == "exists" || name == "empty") && n == 1) {
     SEDNA_ASSIGN_OR_RETURN(StreamPtr in, EvalStream(*call.children[0], ctx));
-    Item item;
-    SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx, in.get(), &item));
+    // Batch size 1: one item decides, the pipeline never runs further.
+    ItemBatch probe;
+    SEDNA_ASSIGN_OR_RETURN(bool got, PullBatch(ctx, in.get(), &probe, 1));
     if (got) ctx.Count(&ExecStats::early_exits);
     return MakeSingletonStream(Item(name == "exists" ? got : !got));
   }
@@ -493,11 +507,12 @@ StatusOr<StreamPtr> CallStreamingBuiltin(const Expr& call, ExecContext& ctx,
     // Counts without buffering: O(1) memory however long the sequence.
     SEDNA_ASSIGN_OR_RETURN(StreamPtr in, EvalStream(*call.children[0], ctx));
     int64_t count = 0;
-    Item item;
+    ItemBatch batch;
+    size_t max = ctx.batch_size == 0 ? kDefaultBatchSize : ctx.batch_size;
     for (;;) {
-      SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx, in.get(), &item));
+      SEDNA_ASSIGN_OR_RETURN(bool got, PullBatch(ctx, in.get(), &batch, max));
       if (!got) break;
-      count++;
+      count += static_cast<int64_t>(batch.size());
     }
     return MakeSingletonStream(Item(count));
   }

@@ -106,6 +106,59 @@ bool IsPositionFreePredicate(const Expr& pred) {
   }
 }
 
+/// A predicate a morsel-exchange worker may evaluate: no expression that
+/// reaches process-shared mutable state. doc()/collection() open documents
+/// (and take locks) through session hooks that are absent in workers;
+/// index-lookup() goes through the index manager; a call that is still a
+/// call after inlining may be a recursive UDF with any of those inside;
+/// constructors build transient trees in stores that are not thread-safe.
+/// Everything else — comparisons, arithmetic, boolean builtins, relative
+/// paths, variable references — only reads pinned pages and copied context.
+bool ExchangeSafeExpr(const Expr& expr, const Prolog* prolog) {
+  switch (expr.kind) {
+    case ExprKind::kElementCtor:
+    case ExprKind::kAttributeCtor:
+    case ExprKind::kTextCtor:
+      return false;
+    case ExprKind::kFunctionCall: {
+      if (expr.str_val == "doc" || expr.str_val == "collection" ||
+          expr.str_val == "index-lookup") {
+        return false;
+      }
+      if (prolog != nullptr) {
+        for (const FunctionDecl& f : prolog->functions) {
+          if (f.name == expr.str_val) return false;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  for (const auto& c : expr.children) {
+    if (!ExchangeSafeExpr(*c, prolog)) return false;
+  }
+  for (const Step& s : expr.steps) {
+    for (const auto& p : s.predicates) {
+      if (!ExchangeSafeExpr(*p, prolog)) return false;
+    }
+  }
+  for (const auto& a : expr.ctor_attrs) {
+    if (!ExchangeSafeExpr(*a, prolog)) return false;
+  }
+  if (expr.name_expr && !ExchangeSafeExpr(*expr.name_expr, prolog)) {
+    return false;
+  }
+  if (expr.where && !ExchangeSafeExpr(*expr.where, prolog)) return false;
+  for (const OrderSpec& o : expr.order_specs) {
+    if (!ExchangeSafeExpr(*o.expr, prolog)) return false;
+  }
+  for (const FlworClause& c : expr.clauses) {
+    if (!ExchangeSafeExpr(*c.expr, prolog)) return false;
+  }
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Pass: user-defined function inlining
 // ---------------------------------------------------------------------------
@@ -386,13 +439,33 @@ class Rewriter {
         path->children[0]->children[0]->kind == ExprKind::kLiteralString;
     if (options_.schema_paths && doc_input) {
       for (Step& step : path->steps) {
-        bool structural = step.predicates.empty() &&
-                          (step.axis == Axis::kChild ||
-                           step.axis == Axis::kDescendant ||
-                           step.axis == Axis::kAttribute);
-        if (!structural) break;
-        step.schema_resolved = true;
-        step.needs_ddo = false;  // schema enumeration is already DDO
+        bool structural_axis = step.axis == Axis::kChild ||
+                               step.axis == Axis::kDescendant ||
+                               step.axis == Axis::kAttribute;
+        if (!structural_axis) break;
+        if (step.predicates.empty()) {
+          step.schema_resolved = true;
+          step.needs_ddo = false;  // schema enumeration is already DDO
+          continue;
+        }
+        // One trailing predicated step joins the fragment when every
+        // predicate is position-free: the executor applies them as a flat
+        // filter over the scan, which equals the per-parent application of
+        // the step-by-step path exactly because such predicates cannot
+        // consult position()/last() and cannot be numeric. Filtering also
+        // preserves the scan's document order, so needs_ddo stays false.
+        bool extend = true;
+        for (const auto& pred : step.predicates) {
+          if (!IsPositionFreePredicate(*pred)) {
+            extend = false;
+            break;
+          }
+        }
+        if (extend) {
+          step.schema_resolved = true;
+          step.needs_ddo = false;
+        }
+        break;  // the fragment ends at the first predicated step either way
       }
     }
 
@@ -402,6 +475,20 @@ class Rewriter {
       for (auto& pred : step.predicates) {
         RewritePass(pred.get(), scope, false);
         AnnotateStreaming(pred.get());
+      }
+      // Morsel-exchange eligibility: a worker may run this step when its
+      // results cannot escape the origin's subtree (downward axis) and its
+      // predicates touch no shared state. The executor engages an exchange
+      // only when every step after the schema fragment carries the mark.
+      step.exchange_safe =
+          (step.axis == Axis::kChild || step.axis == Axis::kDescendant ||
+           step.axis == Axis::kDescendantOrSelf ||
+           step.axis == Axis::kAttribute || step.axis == Axis::kSelf);
+      for (const auto& pred : step.predicates) {
+        if (!ExchangeSafeExpr(*pred, prolog_)) {
+          step.exchange_safe = false;
+          break;
+        }
       }
       if (step.schema_resolved) {
         props = Props{true, false,

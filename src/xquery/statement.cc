@@ -1,6 +1,7 @@
 #include "xquery/statement.h"
 
 #include <cctype>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -11,6 +12,15 @@
 namespace sedna {
 
 namespace {
+
+uint64_t EnvKnob(const char* name, uint64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<uint64_t>(v);
+}
 
 /// Folds one statement's ExecStats into the process-wide registry — once
 /// per statement, not per pull, so the pipeline hot path stays untouched.
@@ -25,6 +35,8 @@ void FoldExecStatsIntoRegistry(const ExecStats& s) {
     Counter* items_pulled;
     Counter* early_exits;
     Counter* streams_materialized;
+    Counter* morsels_dispatched;
+    Counter* exchange_workers;
     Counter* statements;
   };
   static const Bundle b = [] {
@@ -38,6 +50,8 @@ void FoldExecStatsIntoRegistry(const ExecStats& s) {
                   reg.counter("xquery.items_pulled"),
                   reg.counter("xquery.early_exits"),
                   reg.counter("xquery.streams_materialized"),
+                  reg.counter("xquery.morsels_dispatched"),
+                  reg.counter("xquery.exchange_workers"),
                   reg.counter("xquery.statements")};
   }();
   b.ddo_ops->Add(s.ddo_ops.load(std::memory_order_relaxed));
@@ -50,6 +64,10 @@ void FoldExecStatsIntoRegistry(const ExecStats& s) {
   b.early_exits->Add(s.early_exits.load(std::memory_order_relaxed));
   b.streams_materialized->Add(
       s.streams_materialized.load(std::memory_order_relaxed));
+  b.morsels_dispatched->Add(
+      s.morsels_dispatched.load(std::memory_order_relaxed));
+  b.exchange_workers->Add(
+      s.exchange_workers.load(std::memory_order_relaxed));
   b.statements->Add();
 }
 
@@ -138,6 +156,15 @@ StatusOr<Xptr> InsertXmlTree(DocumentStore* doc, const OpCtx& op,
   return handle;
 }
 
+StatementExecutor::StatementExecutor(StorageEngine* storage)
+    : storage_(storage) {
+  parallel_workers_ = static_cast<uint32_t>(
+      EnvKnob("SEDNA_PARALLEL_WORKERS", parallel_workers_));
+  batch_size_ =
+      static_cast<size_t>(EnvKnob("SEDNA_BATCH_SIZE", batch_size_));
+  if (batch_size_ == 0) batch_size_ = kDefaultBatchSize;
+}
+
 Status StatementExecutor::NotifyUpdate(const std::string& text) {
   // Any update statement may change indexed values: invalidate lazily
   // rebuilt value indexes (cheap flag flip; rebuilds happen on next use).
@@ -181,6 +208,8 @@ StatusOr<StatementResult> StatementExecutor::ExecuteParsed(
   ctx.indexes = indexes_;
   ctx.enable_streaming = streaming_enabled_;
   ctx.query = query_;
+  ctx.batch_size = batch_size_;
+  ctx.parallel_workers = parallel_workers_;
   std::shared_ptr<ProfileNode> profile_root;
   if (profile || profile_enabled_) {
     // Label left empty: the renderer treats an unlabeled root as synthetic
@@ -295,28 +324,36 @@ StatusOr<StatementResult> StatementExecutor::RunQuery(const Statement& stmt,
   StatementResult result;
   result.kind = StatementKind::kQuery;
   ctx.stats = &result.stats;
-  // Pull the result pipeline one item at a time, serializing incrementally:
-  // with a result sink attached the full result never exists in memory.
+  // Pull the result pipeline in batches, serializing incrementally: with a
+  // result sink attached each item still becomes its own chunk (clients see
+  // the same incremental delivery) and the full result never exists in
+  // memory.
   SEDNA_ASSIGN_OR_RETURN(StreamPtr out, EvalStream(*stmt.expr, ctx));
   IncrementalSerializer ser(ctx.op);
   // Without a sink the result accumulates in memory: charge it against the
   // statement's budget while it builds (released when the reservation dies
   // — the caller owns the result from then on).
   MemoryReservation reservation(ctx.query);
-  Item item;
+  ItemBatch batch;
+  Histogram* batch_hist =
+      MetricsRegistry::Global().histogram("xquery.batch_size");
   for (;;) {
-    SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx, out.get(), &item));
+    SEDNA_ASSIGN_OR_RETURN(bool got,
+                           PullBatch(ctx, out.get(), &batch, ctx.batch_size));
     if (!got) break;
-    if (result_sink_) {
-      std::string chunk;
-      SEDNA_RETURN_IF_ERROR(ser.Append(item, &chunk));
-      SEDNA_RETURN_IF_ERROR(result_sink_(chunk));
-    } else {
-      size_t before = result.serialized.size();
-      SEDNA_RETURN_IF_ERROR(ser.Append(item, &result.serialized));
-      SEDNA_RETURN_IF_ERROR(reservation.Grow(
-          ApproxItemBytes(item) + (result.serialized.size() - before)));
-      result.items.push_back(std::move(item));
+    batch_hist->Record(batch.size());
+    for (Item& item : batch) {
+      if (result_sink_) {
+        std::string chunk;
+        SEDNA_RETURN_IF_ERROR(ser.Append(item, &chunk));
+        SEDNA_RETURN_IF_ERROR(result_sink_(chunk));
+      } else {
+        size_t before = result.serialized.size();
+        SEDNA_RETURN_IF_ERROR(ser.Append(item, &result.serialized));
+        SEDNA_RETURN_IF_ERROR(reservation.Grow(
+            ApproxItemBytes(item) + (result.serialized.size() - before)));
+        result.items.push_back(std::move(item));
+      }
     }
   }
   return result;

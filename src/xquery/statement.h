@@ -37,7 +37,10 @@ struct StatementResult {
 
 class StatementExecutor {
  public:
-  explicit StatementExecutor(StorageEngine* storage) : storage_(storage) {}
+  /// The SEDNA_PARALLEL_WORKERS and SEDNA_BATCH_SIZE environment variables
+  /// seed the corresponding knobs, so whole test/bench suites can run a
+  /// configuration matrix without touching call sites.
+  explicit StatementExecutor(StorageEngine* storage);
 
   /// Called with the statement text just before an update statement's
   /// mutations are applied — the transaction layer logs it to the WAL.
@@ -79,6 +82,18 @@ class StatementExecutor {
   /// statement ungoverned. Not owned.
   void set_query_context(QueryContext* query) { query_ = query; }
 
+  /// Worker threads a morsel exchange may use for eligible path scans
+  /// (<= 1 = serial, the default unless SEDNA_PARALLEL_WORKERS is set).
+  void set_parallel_workers(uint32_t n) { parallel_workers_ = n; }
+  uint32_t parallel_workers() const { return parallel_workers_; }
+
+  /// Items per pipeline batch on full-drain paths (0 = the built-in
+  /// default; early-exit consumers always use 1 regardless).
+  void set_batch_size(size_t n) {
+    batch_size_ = n == 0 ? kDefaultBatchSize : n;
+  }
+  size_t batch_size() const { return batch_size_; }
+
   /// Parses, analyzes, rewrites and executes one statement. A leading
   /// `explain ` (case-insensitive) runs the remaining statement in profile
   /// mode and returns the annotated plan tree.
@@ -113,6 +128,8 @@ class StatementExecutor {
   bool streaming_enabled_ = true;
   bool profile_enabled_ = false;
   QueryContext* query_ = nullptr;
+  uint32_t parallel_workers_ = 1;
+  size_t batch_size_ = kDefaultBatchSize;
 };
 
 /// Recursively inserts a transient XML tree as a node under

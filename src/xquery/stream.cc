@@ -22,14 +22,16 @@ StreamPtr MakeSingletonStream(Item item) {
   return MakeSequenceStream(std::move(one));
 }
 
-StatusOr<bool> Pull(ExecContext& ctx, ItemStream* in, Item* out) {
+StatusOr<bool> PullBatch(ExecContext& ctx, ItemStream* in, ItemBatch* out,
+                         size_t max) {
   // Governance first: a cancelled/expired statement must stop pulling even
-  // when its upstream operator would happily keep producing.
+  // when its upstream operator would happily keep producing. One tick per
+  // batch — the whole point of batching is amortizing this check.
   if (ctx.query != nullptr) {
     SEDNA_RETURN_IF_ERROR(ctx.query->CheckTick());
   }
-  SEDNA_ASSIGN_OR_RETURN(bool got, in->Next(out));
-  if (got) ctx.Count(&ExecStats::items_pulled);
+  SEDNA_ASSIGN_OR_RETURN(bool got, in->NextBatch(out, max == 0 ? 1 : max));
+  if (got) ctx.Count(&ExecStats::items_pulled, out->size());
   return got;
 }
 
@@ -56,14 +58,17 @@ uint64_t ApproxItemBytes(const Item& item) {
 
 Status DrainStreamCharged(ExecContext& ctx, ItemStream* in, Sequence* out,
                           MemoryReservation* reservation) {
-  Item item;
+  ItemBatch batch;
+  size_t max = ctx.batch_size == 0 ? kDefaultBatchSize : ctx.batch_size;
   for (;;) {
-    SEDNA_ASSIGN_OR_RETURN(bool got, Pull(ctx, in, &item));
+    SEDNA_ASSIGN_OR_RETURN(bool got, PullBatch(ctx, in, &batch, max));
     if (!got) return Status::OK();
     if (reservation != nullptr) {
-      SEDNA_RETURN_IF_ERROR(reservation->Grow(ApproxItemBytes(item)));
+      uint64_t bytes = 0;
+      for (const Item& item : batch) bytes += ApproxItemBytes(item);
+      SEDNA_RETURN_IF_ERROR(reservation->Grow(bytes));
     }
-    out->push_back(std::move(item));
+    for (Item& item : batch) out->push_back(std::move(item));
   }
 }
 

@@ -1,13 +1,21 @@
-// Pull-based item streams: the open/next/close iterator pipeline the
+// Batch-pull item streams: the open/next/close iterator pipeline the
 // executor's physical operations run on.
 //
 // The paper's executor (Section 5.2) operates over *sequences of items*
 // produced by physical operations; the real Sedna pipelines those
-// operations lazily. An ItemStream is one such operation's output: the
-// consumer pulls items one Next() call at a time, so early-exit consumers
-// — positional predicates like [1], exists()/empty(), effective boolean
-// value tests, quantified expressions — stop the whole upstream pipeline
-// after O(1) items instead of materializing every intermediate sequence.
+// operations lazily. An ItemStream is one such operation's output. Since
+// the vectorized refactor the consumer pulls *batches* of up to `max`
+// items per NextBatch() call: virtual dispatch, governance ticks
+// (QueryContext::CheckTick), items_pulled accounting and profile
+// timestamps are all paid once per batch instead of once per item, which
+// is where the serial full-drain time went (E13/E17).
+//
+// Laziness is preserved by max-propagation: an operator may never request
+// more items from its input than it needs to satisfy its own caller's
+// `max`. Early-exit consumers — positional predicates like [1],
+// exists()/empty(), effective boolean value tests, quantified
+// expressions — request batches of size 1 until their cutoff is known, so
+// they still stop the whole upstream pipeline after O(1) items.
 //
 // A Sequence converts to a stream with MakeSequenceStream() and back with
 // DrainStream(). Operations that genuinely need their whole input at once
@@ -19,6 +27,7 @@
 #ifndef SEDNA_XQUERY_STREAM_H_
 #define SEDNA_XQUERY_STREAM_H_
 
+#include <cstddef>
 #include <memory>
 #include <utility>
 
@@ -30,33 +39,105 @@ namespace sedna {
 
 struct ExecContext;  // executor.h; streams count their pulls there
 
-/// One physical operation's output, delivered one item per Next() call.
-/// Destruction closes the operation: streams that changed evaluation state
-/// (variable bindings, the focus) restore it in their destructors, so a
+/// Default number of items per batch on full-drain paths. ExecContext
+/// carries the effective per-statement value (set_batch_size / the
+/// SEDNA_BATCH_SIZE environment variable); this is its default and the
+/// fallback for ungoverned internal drains.
+inline constexpr size_t kDefaultBatchSize = 64;
+
+/// A small reusable vector of items with a memory-reservation rider.
+///
+/// The pipeline's unit of transfer: a consumer owns one ItemBatch and
+/// passes it down to NextBatch(), which refills it. Clear() keeps the
+/// vector's capacity (the whole point of reuse) but releases the
+/// reservation, so budget bytes riding on a batch are returned the moment
+/// the consumer is done with its contents. Producers that hand off a
+/// charged buffer (e.g. SequenceStream delivering its final items) move
+/// their reservation onto the batch so the bytes stay accounted until the
+/// consumer clears it.
+class ItemBatch {
+ public:
+  ItemBatch() = default;
+  ItemBatch(ItemBatch&&) noexcept = default;
+  ItemBatch& operator=(ItemBatch&&) noexcept = default;
+  ItemBatch(const ItemBatch&) = delete;
+  ItemBatch& operator=(const ItemBatch&) = delete;
+
+  void Clear() {
+    items_.clear();
+    reservation_.Release();
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  Item& operator[](size_t i) { return items_[i]; }
+  const Item& operator[](size_t i) const { return items_[i]; }
+  Item* begin() { return items_.data(); }
+  Item* end() { return items_.data() + items_.size(); }
+  const Item* begin() const { return items_.data(); }
+  const Item* end() const { return items_.data() + items_.size(); }
+
+  void push_back(Item item) { items_.push_back(std::move(item)); }
+
+  /// Direct access for producers that fill the batch wholesale.
+  Sequence& items() { return items_; }
+
+  /// Attaches budget bytes that ride with the current contents; released
+  /// on Clear(). Merges with (replaces) any previous rider.
+  void AdoptReservation(MemoryReservation reservation) {
+    reservation_ = std::move(reservation);
+  }
+
+ private:
+  Sequence items_;
+  MemoryReservation reservation_;
+};
+
+/// One physical operation's output, delivered in batches. Destruction
+/// closes the operation: streams that changed evaluation state (variable
+/// bindings, the focus) restore it in their destructors, so a
 /// half-consumed pipeline can be dropped at any point.
 class ItemStream {
  public:
   virtual ~ItemStream() = default;
 
-  /// Produces the next item: returns true and fills *out, or false at the
-  /// end of the stream. Once false is returned the stream stays exhausted.
-  virtual StatusOr<bool> Next(Item* out) = 0;
+  /// Produces the next batch: clears *out, appends between 1 and `max`
+  /// items (`max` >= 1), and returns true; or returns false at the end of
+  /// the stream. Once false is returned the stream stays exhausted.
+  /// Implementations must never pull more than `max` items per delivered
+  /// item from their own inputs (max-propagation keeps early exit lazy).
+  virtual StatusOr<bool> NextBatch(ItemBatch* out, size_t max) = 0;
 };
 
 using StreamPtr = std::unique_ptr<ItemStream>;
 
 /// Stream over an owned, already materialized sequence. When the sequence
 /// was paid for out of a statement's memory budget the reservation rides
-/// along, so the bytes are released exactly when the buffer dies.
+/// along. Delivering the last item releases the buffer *and* hands the
+/// reservation to the final batch, so barrier memory is returned at drain
+/// time rather than stream destruction.
 class SequenceStream final : public ItemStream {
  public:
   explicit SequenceStream(Sequence items) : items_(std::move(items)) {}
   SequenceStream(Sequence items, MemoryReservation reservation)
       : items_(std::move(items)), reservation_(std::move(reservation)) {}
 
-  StatusOr<bool> Next(Item* out) override {
+  StatusOr<bool> NextBatch(ItemBatch* out, size_t max) override {
+    out->Clear();
     if (pos_ >= items_.size()) return false;
-    *out = std::move(items_[pos_++]);
+    size_t take = items_.size() - pos_;
+    if (take > max) take = max;
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(items_[pos_ + i]));
+    }
+    pos_ += take;
+    if (pos_ >= items_.size()) {
+      // Exhausted: free the buffer now and let the charge ride out with
+      // this final batch instead of lingering until destruction.
+      Sequence().swap(items_);
+      out->AdoptReservation(std::move(reservation_));
+      pos_ = 0;
+    }
     return true;
   }
 
@@ -71,12 +152,56 @@ StreamPtr MakeSequenceStream(Sequence items, MemoryReservation reservation);
 StreamPtr MakeEmptyStream();
 StreamPtr MakeSingletonStream(Item item);
 
-/// Counting pull: every successfully delivered item increments
-/// ExecStats::items_pulled. All operators and consumers pull through this
-/// helper so the counter reflects the work the pipeline actually did.
-StatusOr<bool> Pull(ExecContext& ctx, ItemStream* in, Item* out);
+/// Counting batch pull: one governance tick per call, then every delivered
+/// item counts into ExecStats::items_pulled. All operators and consumers
+/// pull through this helper so the counter reflects the work the pipeline
+/// actually did (per item, amortization notwithstanding).
+StatusOr<bool> PullBatch(ExecContext& ctx, ItemStream* in, ItemBatch* out,
+                         size_t max);
+
+/// Buffered one-item-at-a-time cursor over a batch stream. Operators that
+/// genuinely consume single items (FLWOR bindings, quantifiers, EBV)
+/// read through this; `max_ahead` caps the refill batch so early-exit
+/// consumers pass 1 and never over-pull, while full consumers pass the
+/// statement batch size.
+class BatchReader {
+ public:
+  BatchReader() = default;
+  explicit BatchReader(ItemStream* in) : in_(in) {}
+
+  void Reset(ItemStream* in) {
+    in_ = in;
+    buf_.Clear();
+    pos_ = 0;
+    done_ = false;
+  }
+
+  StatusOr<bool> Next(ExecContext& ctx, Item* out, size_t max_ahead) {
+    if (pos_ < buf_.size()) {
+      *out = std::move(buf_[pos_++]);
+      return true;
+    }
+    if (done_ || in_ == nullptr) return false;
+    SEDNA_ASSIGN_OR_RETURN(
+        bool got, PullBatch(ctx, in_, &buf_, max_ahead == 0 ? 1 : max_ahead));
+    if (!got) {
+      done_ = true;
+      return false;
+    }
+    pos_ = 0;
+    *out = std::move(buf_[pos_++]);
+    return true;
+  }
+
+ private:
+  ItemStream* in_ = nullptr;
+  ItemBatch buf_;
+  size_t pos_ = 0;
+  bool done_ = false;
+};
 
 /// Pulls the stream dry, appending every remaining item to *out.
+/// Implemented as DrainStreamCharged with a null reservation.
 Status DrainStream(ExecContext& ctx, ItemStream* in, Sequence* out);
 
 /// Rough live-size estimate of one item, used by memory-budget accounting
@@ -85,10 +210,10 @@ Status DrainStream(ExecContext& ctx, ItemStream* in, Sequence* out);
 /// footprint of the shared structure.
 uint64_t ApproxItemBytes(const Item& item);
 
-/// DrainStream that charges every appended item against `reservation`
-/// before buffering it, so a barrier exceeding the statement's memory
-/// budget aborts instead of growing without bound. A null reservation
-/// drains uncharged.
+/// The single drain path: pulls `in` dry in batches, charging every
+/// appended batch against `reservation` before buffering it so a barrier
+/// exceeding the statement's memory budget aborts instead of growing
+/// without bound. A null reservation drains uncharged.
 Status DrainStreamCharged(ExecContext& ctx, ItemStream* in, Sequence* out,
                           MemoryReservation* reservation);
 

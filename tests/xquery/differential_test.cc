@@ -1,6 +1,8 @@
-// Differential harness: every (document, query) pair is executed twice —
-// once through the pull-based streaming pipeline and once through the
-// eager evaluator — and the serialized results must be byte-identical.
+// Differential harness: every (document, query) pair is executed once
+// through the eager evaluator and then through the pull-based streaming
+// pipeline at every point of the {workers 1,4} x {batch 1,64}
+// configuration matrix — serial and morsel-parallel, single-item and
+// vectorized batches — and all serializations must be byte-identical.
 // The corpus folds in every query from streaming_test.cc and
 // bench_streaming.cc plus a template sweep over a zoo of generated
 // documents; the suite asserts it covers at least 200 pairs (ISSUE 4
@@ -71,6 +73,12 @@ const char* kStreamingSuiteQueries[] = {
     "some $x in doc('big')//item satisfies $x = 'v1999'",
     "(1 to 5)[. mod 2 = 1]",
     "string-join(for $i in 1 to 3 return string($i), ',')",
+    // Predicate-extended structural fragments: a trailing position-free
+    // predicate rides into the schema scan (and into exchange workers).
+    "doc('big')/root/item[. = 'v1234']",
+    "doc('big')/root/item[. = 'v7']/text()",
+    "count(doc('big')/root/item[. != 'v5'])",
+    "doc('bench')/site/regions/europe/item[payment = 'Cash']/quantity",
 };
 
 // Exact bench_streaming.cc corpus (run against the 'bench' auction doc).
@@ -90,6 +98,10 @@ class DifferentialTest : public StorageTest {
   void SetUp() override {
     StorageTest::SetUp();
     executor_ = std::make_unique<StatementExecutor>(engine_.get());
+    // The environment (SEDNA_PARALLEL_WORKERS / SEDNA_BATCH_SIZE) seeded
+    // these; the matrix overrides per run and restores them afterwards.
+    default_workers_ = executor_->parallel_workers();
+    default_batch_ = executor_->batch_size();
 
     std::ostringstream big;
     big << "<root>";
@@ -127,21 +139,39 @@ class DifferentialTest : public StorageTest {
     ASSERT_TRUE((*store)->Load(ctx_, tree).ok());
   }
 
-  // Runs `q` in both modes and fails unless the serializations match.
-  // Returns false on any execution error (already reported via EXPECT).
+  // Runs `q` eagerly once, then through the streaming pipeline at every
+  // point of the {workers 1,4} x {batch 1,64} matrix, and fails unless all
+  // serializations match. Returns false on any execution error or
+  // mismatch (already reported via EXPECT).
   bool CheckPair(const std::string& q) {
-    executor_->set_streaming_enabled(true);
-    auto streamed = executor_->Execute(q, ctx_);
-    EXPECT_TRUE(streamed.ok()) << q << "\n  -> (streaming) "
-                               << streamed.status().ToString();
     executor_->set_streaming_enabled(false);
     auto eager = executor_->Execute(q, ctx_);
     executor_->set_streaming_enabled(true);
     EXPECT_TRUE(eager.ok()) << q << "\n  -> (eager) "
                             << eager.status().ToString();
-    if (!streamed.ok() || !eager.ok()) return false;
-    EXPECT_EQ(streamed->serialized, eager->serialized) << q;
-    return streamed->serialized == eager->serialized;
+    if (!eager.ok()) return false;
+
+    bool all_match = true;
+    for (uint32_t workers : {1u, 4u}) {
+      for (size_t batch : {size_t{1}, size_t{64}}) {
+        executor_->set_parallel_workers(workers);
+        executor_->set_batch_size(batch);
+        auto streamed = executor_->Execute(q, ctx_);
+        EXPECT_TRUE(streamed.ok())
+            << q << " (streaming workers=" << workers << " batch=" << batch
+            << ")\n  -> " << streamed.status().ToString();
+        if (!streamed.ok()) {
+          all_match = false;
+          continue;
+        }
+        EXPECT_EQ(streamed->serialized, eager->serialized)
+            << q << " (workers=" << workers << " batch=" << batch << ")";
+        all_match &= streamed->serialized == eager->serialized;
+      }
+    }
+    executor_->set_parallel_workers(default_workers_);
+    executor_->set_batch_size(default_batch_);
+    return all_match;
   }
 
   static std::string Instantiate(const std::string& tmpl,
@@ -155,6 +185,8 @@ class DifferentialTest : public StorageTest {
   }
 
   std::unique_ptr<StatementExecutor> executor_;
+  uint32_t default_workers_ = 1;
+  size_t default_batch_ = kDefaultBatchSize;
 };
 
 TEST_F(DifferentialTest, StreamingMatchesEagerOnFullCorpus) {

@@ -143,11 +143,25 @@ TEST(RewriterTest, StructuralPathMarkedSchemaResolved) {
   EXPECT_NE(out.find("child::title#schema"), std::string::npos) << out;
 }
 
-TEST(RewriterTest, PredicateEndsStructuralFragment) {
+TEST(RewriterTest, PositionFreePredicateJoinsStructuralFragment) {
+  // One trailing step with only position-free predicates joins the
+  // fragment (the executor applies them as a flat filter over the scan);
+  // the fragment still ends there — steps after it stay unresolved.
   std::string out = Rewritten("doc('d')/a/b[c = 1]/d");
   EXPECT_NE(out.find("child::a#schema"), std::string::npos) << out;
-  EXPECT_EQ(out.find("child::b#schema"), std::string::npos) << out;
+  EXPECT_NE(out.find("child::b#schema"), std::string::npos) << out;
   EXPECT_EQ(out.find("child::d#schema"), std::string::npos) << out;
+}
+
+TEST(RewriterTest, PositionalPredicateEndsStructuralFragment) {
+  // Positional predicates select by per-parent position, which a flat scan
+  // cannot reproduce: the predicated step must stay outside the fragment.
+  std::string out = Rewritten("doc('d')/a/b[2]/d");
+  EXPECT_NE(out.find("child::a#schema"), std::string::npos) << out;
+  EXPECT_EQ(out.find("child::b#schema"), std::string::npos) << out;
+
+  std::string last = Rewritten("doc('d')/a/b[last()]/d");
+  EXPECT_EQ(last.find("child::b#schema"), std::string::npos) << last;
 }
 
 TEST(RewriterTest, DescendantIsStructural) {
