@@ -147,7 +147,13 @@ Status Database::Checkpoint() {
 }
 
 Status Database::CheckConsistency() {
-  return storage_->CheckConsistency();
+  SEDNA_RETURN_IF_ERROR(storage_->CheckConsistency());
+  // Walk every clean persistent index: B+tree structure plus resolution of
+  // each stored handle through its document's indirection table.
+  if (indexes_ != nullptr) {
+    SEDNA_RETURN_IF_ERROR(indexes_->Validate(OpCtx::System()));
+  }
+  return Status::OK();
 }
 
 Status Database::FullBackup(const std::string& dir) {

@@ -1,0 +1,707 @@
+#include "storage/btree_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace sedna {
+
+namespace {
+
+constexpr size_t kHdr = sizeof(BtreeNodeHeader);
+constexpr size_t kSlotSize = 2;
+
+BtreeNodeHeader* Hdr(uint8_t* page) {
+  return reinterpret_cast<BtreeNodeHeader*>(page);
+}
+const BtreeNodeHeader* Hdr(const uint8_t* page) {
+  return reinterpret_cast<const BtreeNodeHeader*>(page);
+}
+
+uint16_t Slot(const uint8_t* page, int i) {
+  uint16_t v;
+  std::memcpy(&v, page + kHdr + kSlotSize * static_cast<size_t>(i), 2);
+  return v;
+}
+void SetSlot(uint8_t* page, int i, uint16_t off) {
+  std::memcpy(page + kHdr + kSlotSize * static_cast<size_t>(i), &off, 2);
+}
+
+size_t CellBytes(size_t key_len, bool internal) {
+  return 2 + key_len + 8 + (internal ? 8 : 0);
+}
+
+struct CellView {
+  std::string_view key;
+  Xptr handle;
+  Xptr child;  // internal cells only
+};
+
+StatusOr<CellView> CellAt(const uint8_t* page, int i) {
+  const BtreeNodeHeader* h = Hdr(page);
+  if (i < 0 || i >= h->count) {
+    return Status::Corruption("btree cell index out of range");
+  }
+  uint16_t off = Slot(page, i);
+  bool internal = h->level > 0;
+  if (off < kHdr + kSlotSize * h->count || off >= kPageSize) {
+    return Status::Corruption("btree cell offset out of range");
+  }
+  uint16_t klen;
+  std::memcpy(&klen, page + off, 2);
+  if (off + CellBytes(klen, internal) > kPageSize) {
+    return Status::Corruption("btree cell overruns the page");
+  }
+  CellView v;
+  v.key = std::string_view(reinterpret_cast<const char*>(page + off + 2), klen);
+  v.handle =
+      Xptr(DecodeFixed64(reinterpret_cast<const char*>(page + off + 2 + klen)));
+  if (internal) {
+    v.child = Xptr(
+        DecodeFixed64(reinterpret_cast<const char*>(page + off + 10 + klen)));
+  }
+  return v;
+}
+
+int CompareEntry(std::string_view ak, uint64_t ah, std::string_view bk,
+                 uint64_t bh) {
+  int c = ak.compare(bk);
+  if (c != 0) return c < 0 ? -1 : 1;
+  if (ah != bh) return ah < bh ? -1 : 1;
+  return 0;
+}
+
+std::string_view Trunc(std::string_view key) {
+  return key.size() > kBtreeMaxKeyBytes ? key.substr(0, kBtreeMaxKeyBytes)
+                                        : key;
+}
+
+/// First index whose cell is >= (key, handle).
+StatusOr<int> LowerBound(const uint8_t* page, std::string_view key,
+                         uint64_t handle) {
+  int lo = 0, hi = Hdr(page)->count;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    SEDNA_ASSIGN_OR_RETURN(CellView c, CellAt(page, mid));
+    if (CompareEntry(c.key, c.handle.raw, key, handle) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+/// First index whose cell is > (key, handle).
+StatusOr<int> UpperBound(const uint8_t* page, std::string_view key,
+                         uint64_t handle) {
+  int lo = 0, hi = Hdr(page)->count;
+  while (lo < hi) {
+    int mid = lo + (hi - lo) / 2;
+    SEDNA_ASSIGN_OR_RETURN(CellView c, CellAt(page, mid));
+    if (CompareEntry(c.key, c.handle.raw, key, handle) <= 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t FreeGap(const uint8_t* page) {
+  const BtreeNodeHeader* h = Hdr(page);
+  size_t slot_end = kHdr + kSlotSize * h->count;
+  return h->cell_start > slot_end ? h->cell_start - slot_end : 0;
+}
+
+/// A cell copied out of a page (owning storage; survives unpinning).
+struct OwnedCell {
+  std::string key;
+  uint64_t handle = 0;
+  uint64_t child = 0;
+};
+
+StatusOr<std::vector<OwnedCell>> CopyCells(const uint8_t* page) {
+  const BtreeNodeHeader* h = Hdr(page);
+  std::vector<OwnedCell> out;
+  out.reserve(h->count);
+  for (int i = 0; i < h->count; ++i) {
+    SEDNA_ASSIGN_OR_RETURN(CellView c, CellAt(page, i));
+    out.push_back(OwnedCell{std::string(c.key), c.handle.raw, c.child.raw});
+  }
+  return out;
+}
+
+void WriteCell(uint8_t* page, uint16_t off, const OwnedCell& cell,
+               bool internal) {
+  uint16_t klen = static_cast<uint16_t>(cell.key.size());
+  std::memcpy(page + off, &klen, 2);
+  std::memcpy(page + off + 2, cell.key.data(), cell.key.size());
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(cell.handle >> (8 * i));
+  std::memcpy(page + off + 2 + klen, buf, 8);
+  if (internal) {
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(cell.child >> (8 * i));
+    std::memcpy(page + off + 10 + klen, buf, 8);
+  }
+}
+
+/// Reinitializes a page with the given cells, packed from the page end.
+void RebuildPage(uint8_t* page, uint16_t level, Xptr self, Xptr next,
+                 Xptr leftmost, const std::vector<OwnedCell>& cells) {
+  BtreeNodeHeader h;
+  h.level = level;
+  h.count = static_cast<uint16_t>(cells.size());
+  h.self = self;
+  h.next = next;
+  h.leftmost = leftmost;
+  uint16_t cell_start = static_cast<uint16_t>(kPageSize);
+  std::memcpy(page, &h, sizeof(h));
+  bool internal = level > 0;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    size_t cb = CellBytes(cells[i].key.size(), internal);
+    cell_start = static_cast<uint16_t>(cell_start - cb);
+    WriteCell(page, cell_start, cells[i], internal);
+    SetSlot(page, static_cast<int>(i), cell_start);
+  }
+  Hdr(page)->cell_start = cell_start;
+}
+
+/// Compacts in place (rewrites the cell area packed, keeping slot order).
+Status CompactPage(uint8_t* page) {
+  SEDNA_ASSIGN_OR_RETURN(std::vector<OwnedCell> cells, CopyCells(page));
+  const BtreeNodeHeader* h = Hdr(page);
+  RebuildPage(page, h->level, h->self, h->next, h->leftmost, cells);
+  return Status::OK();
+}
+
+/// Inserts a cell at slot position `pos`; false if the page is full even
+/// after compaction.
+StatusOr<bool> InsertCellIntoPage(uint8_t* page, int pos,
+                                  const OwnedCell& cell) {
+  BtreeNodeHeader* h = Hdr(page);
+  bool internal = h->level > 0;
+  size_t need = CellBytes(cell.key.size(), internal) + kSlotSize;
+  if (FreeGap(page) < need) {
+    SEDNA_RETURN_IF_ERROR(CompactPage(page));
+    if (FreeGap(page) < need) return false;
+  }
+  size_t cb = CellBytes(cell.key.size(), internal);
+  uint16_t off = static_cast<uint16_t>(h->cell_start - cb);
+  WriteCell(page, off, cell, internal);
+  h->cell_start = off;
+  std::memmove(page + kHdr + kSlotSize * (pos + 1),
+               page + kHdr + kSlotSize * pos,
+               kSlotSize * static_cast<size_t>(h->count - pos));
+  SetSlot(page, pos, off);
+  h->count++;
+  return true;
+}
+
+void EraseCellFromPage(uint8_t* page, int pos) {
+  BtreeNodeHeader* h = Hdr(page);
+  // The cell bytes become a hole; CompactPage reclaims them on demand when
+  // a later insert needs the space.
+  std::memmove(page + kHdr + kSlotSize * pos,
+               page + kHdr + kSlotSize * (pos + 1),
+               kSlotSize * static_cast<size_t>(h->count - pos - 1));
+  h->count--;
+}
+
+Status CheckNodeMagic(const uint8_t* page, Xptr addr) {
+  const BtreeNodeHeader* h = Hdr(page);
+  if (h->magic != kBtreeNodeMagic) {
+    return Status::Corruption("bad btree node magic");
+  }
+  if (h->self != addr.PageBase()) {
+    return Status::Corruption("btree node self pointer mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Xptr> BtreeIndex::Create(StorageEnv* env, const OpCtx& op) {
+  SEDNA_ASSIGN_OR_RETURN(Xptr meta_page, env->allocator->AllocPage(op));
+  SEDNA_ASSIGN_OR_RETURN(Xptr root_page, env->allocator->AllocPage(op));
+  {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env->Write(root_page, op));
+    RebuildPage(g.data(), /*level=*/0, root_page, kNullXptr, kNullXptr, {});
+    g.MarkDirty();
+  }
+  SEDNA_ASSIGN_OR_RETURN(PageGuard g, env->Write(meta_page, op));
+  BtreeMetaHeader meta;
+  meta.self = meta_page;
+  meta.root = root_page;
+  meta.leftmost_leaf = root_page;
+  std::memcpy(g.data(), &meta, sizeof(meta));
+  g.MarkDirty();
+  return meta_page;
+}
+
+Status BtreeIndex::Destroy(const OpCtx& op) {
+  SEDNA_ASSIGN_OR_RETURN(Stats stats, GetStats(op));
+  (void)stats;  // stats read doubles as a meta-magic check
+  // Iterative post-order free: collect internal levels breadth-first (the
+  // tree is shallow), then free every page.
+  std::vector<Xptr> to_free;
+  std::vector<Xptr> frontier;
+  {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Read(meta_, op));
+    BtreeMetaHeader meta;
+    std::memcpy(&meta, g.data(), sizeof(meta));
+    frontier.push_back(meta.root);
+  }
+  while (!frontier.empty()) {
+    std::vector<Xptr> next_level;
+    for (Xptr addr : frontier) {
+      to_free.push_back(addr);
+      SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Read(addr, op));
+      SEDNA_RETURN_IF_ERROR(CheckNodeMagic(g.data(), addr));
+      const BtreeNodeHeader* h = Hdr(g.data());
+      if (h->level == 0) continue;
+      next_level.push_back(h->leftmost);
+      for (int i = 0; i < h->count; ++i) {
+        SEDNA_ASSIGN_OR_RETURN(CellView c, CellAt(g.data(), i));
+        next_level.push_back(c.child);
+      }
+    }
+    frontier = std::move(next_level);
+  }
+  for (Xptr addr : to_free) {
+    SEDNA_RETURN_IF_ERROR(env_->allocator->FreePage(addr.PageBase(), op));
+  }
+  return env_->allocator->FreePage(meta_.PageBase(), op);
+}
+
+StatusOr<Xptr> BtreeIndex::FindLeaf(const OpCtx& op, std::string_view key,
+                                    Xptr handle,
+                                    std::vector<Descent>* path) const {
+  BtreeMetaHeader meta;
+  {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Read(meta_, op));
+    std::memcpy(&meta, g.data(), sizeof(meta));
+  }
+  if (meta.magic != kBtreeMetaMagic) {
+    return Status::Corruption("bad btree meta magic");
+  }
+  Xptr addr = meta.root;
+  for (;;) {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Read(addr, op));
+    SEDNA_RETURN_IF_ERROR(CheckNodeMagic(g.data(), addr));
+    const BtreeNodeHeader* h = Hdr(g.data());
+    if (h->level == 0) return addr;
+    SEDNA_ASSIGN_OR_RETURN(int j, UpperBound(g.data(), key, handle.raw));
+    Xptr child;
+    if (j == 0) {
+      child = h->leftmost;
+    } else {
+      SEDNA_ASSIGN_OR_RETURN(CellView c, CellAt(g.data(), j - 1));
+      child = c.child;
+    }
+    if (path != nullptr) path->push_back(Descent{addr, j - 1});
+    addr = child;
+  }
+}
+
+StatusOr<bool> BtreeIndex::KeyExists(const OpCtx& op,
+                                     std::string_view key) const {
+  SEDNA_ASSIGN_OR_RETURN(Xptr leaf, FindLeaf(op, key, Xptr(0), nullptr));
+  Xptr addr = leaf;
+  for (;;) {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Read(addr, op));
+    SEDNA_RETURN_IF_ERROR(CheckNodeMagic(g.data(), addr));
+    const BtreeNodeHeader* h = Hdr(g.data());
+    SEDNA_ASSIGN_OR_RETURN(int pos, LowerBound(g.data(), key, 0));
+    if (pos < h->count) {
+      SEDNA_ASSIGN_OR_RETURN(CellView c, CellAt(g.data(), pos));
+      return c.key == key;
+    }
+    if (!h->next) return false;
+    addr = h->next;
+  }
+}
+
+Status BtreeIndex::Insert(const OpCtx& op, std::string_view full_key,
+                          Xptr handle) {
+  std::string_view key = Trunc(full_key);
+  SEDNA_ASSIGN_OR_RETURN(bool existed, KeyExists(op, key));
+  std::vector<Descent> path;
+  SEDNA_ASSIGN_OR_RETURN(Xptr leaf, FindLeaf(op, key, handle, &path));
+  {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Write(leaf, op));
+    SEDNA_RETURN_IF_ERROR(CheckNodeMagic(g.data(), leaf));
+    SEDNA_ASSIGN_OR_RETURN(int pos, LowerBound(g.data(), key, handle.raw));
+    if (pos < Hdr(g.data())->count) {
+      SEDNA_ASSIGN_OR_RETURN(CellView c, CellAt(g.data(), pos));
+      if (c.key == key && c.handle == handle) return Status::OK();  // no-op
+    }
+    OwnedCell cell{std::string(key), handle.raw, 0};
+    SEDNA_ASSIGN_OR_RETURN(bool fit, InsertCellIntoPage(g.data(), pos, cell));
+    if (fit) {
+      g.MarkDirty();
+    } else {
+      g.Release();
+      SEDNA_RETURN_IF_ERROR(SplitAndInsert(op, path, leaf, key, handle));
+    }
+  }
+  SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Write(meta_, op));
+  BtreeMetaHeader* meta = reinterpret_cast<BtreeMetaHeader*>(g.data());
+  meta->entry_count++;
+  if (!existed) meta->distinct_keys++;
+  g.MarkDirty();
+  return Status::OK();
+}
+
+Status BtreeIndex::SplitAndInsert(const OpCtx& op, std::vector<Descent>& path,
+                                  Xptr leaf, std::string_view key,
+                                  Xptr handle) {
+  std::vector<OwnedCell> cells;
+  Xptr old_next;
+  {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Read(leaf, op));
+    SEDNA_ASSIGN_OR_RETURN(cells, CopyCells(g.data()));
+    old_next = Hdr(g.data())->next;
+  }
+  OwnedCell entry{std::string(key), handle.raw, 0};
+  auto it = std::lower_bound(
+      cells.begin(), cells.end(), entry, [](const OwnedCell& a, const OwnedCell& b) {
+        return CompareEntry(a.key, a.handle, b.key, b.handle) < 0;
+      });
+  cells.insert(it, entry);
+
+  SEDNA_ASSIGN_OR_RETURN(Xptr right_page, env_->allocator->AllocPage(op));
+  size_t mid = cells.size() / 2;
+  std::vector<OwnedCell> left_cells(cells.begin(), cells.begin() + mid);
+  std::vector<OwnedCell> right_cells(cells.begin() + mid, cells.end());
+  {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Write(right_page, op));
+    RebuildPage(g.data(), /*level=*/0, right_page, old_next, kNullXptr,
+                right_cells);
+    g.MarkDirty();
+  }
+  {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Write(leaf, op));
+    RebuildPage(g.data(), /*level=*/0, leaf, right_page, kNullXptr,
+                left_cells);
+    g.MarkDirty();
+  }
+  return InsertIntoParent(op, path, right_cells.front().key,
+                          Xptr(right_cells.front().handle), right_page);
+}
+
+Status BtreeIndex::InsertIntoParent(const OpCtx& op,
+                                    std::vector<Descent>& path,
+                                    std::string_view sep_key, Xptr sep_handle,
+                                    Xptr new_child) {
+  if (path.empty()) {
+    // Root split: the tree grows one level.
+    BtreeMetaHeader meta;
+    {
+      SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Read(meta_, op));
+      std::memcpy(&meta, g.data(), sizeof(meta));
+    }
+    SEDNA_ASSIGN_OR_RETURN(Xptr new_root, env_->allocator->AllocPage(op));
+    {
+      SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Write(new_root, op));
+      std::vector<OwnedCell> cells{
+          OwnedCell{std::string(sep_key), sep_handle.raw, new_child.raw}};
+      RebuildPage(g.data(), static_cast<uint16_t>(meta.height), new_root,
+                  kNullXptr, meta.root, cells);
+      g.MarkDirty();
+    }
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Write(meta_, op));
+    BtreeMetaHeader* m = reinterpret_cast<BtreeMetaHeader*>(g.data());
+    m->root = new_root;
+    m->height++;
+    g.MarkDirty();
+    return Status::OK();
+  }
+
+  Descent at = path.back();
+  path.pop_back();
+  std::vector<OwnedCell> cells;
+  uint16_t level;
+  Xptr leftmost;
+  {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Write(at.page, op));
+    SEDNA_RETURN_IF_ERROR(CheckNodeMagic(g.data(), at.page));
+    SEDNA_ASSIGN_OR_RETURN(int pos,
+                           LowerBound(g.data(), sep_key, sep_handle.raw));
+    OwnedCell cell{std::string(sep_key), sep_handle.raw, new_child.raw};
+    SEDNA_ASSIGN_OR_RETURN(bool fit, InsertCellIntoPage(g.data(), pos, cell));
+    if (fit) {
+      g.MarkDirty();
+      return Status::OK();
+    }
+    SEDNA_ASSIGN_OR_RETURN(cells, CopyCells(g.data()));
+    level = Hdr(g.data())->level;
+    leftmost = Hdr(g.data())->leftmost;
+    auto it = std::lower_bound(cells.begin(), cells.end(), cell,
+                               [](const OwnedCell& a, const OwnedCell& b) {
+                                 return CompareEntry(a.key, a.handle, b.key,
+                                                     b.handle) < 0;
+                               });
+    cells.insert(it, cell);
+  }
+
+  // Internal split: the middle separator moves up, its child becomes the
+  // new right node's leftmost pointer.
+  size_t mid = cells.size() / 2;
+  OwnedCell promoted = cells[mid];
+  std::vector<OwnedCell> left_cells(cells.begin(), cells.begin() + mid);
+  std::vector<OwnedCell> right_cells(cells.begin() + mid + 1, cells.end());
+  SEDNA_ASSIGN_OR_RETURN(Xptr right_page, env_->allocator->AllocPage(op));
+  {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Write(right_page, op));
+    RebuildPage(g.data(), level, right_page, kNullXptr, Xptr(promoted.child),
+                right_cells);
+    g.MarkDirty();
+  }
+  {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Write(at.page, op));
+    RebuildPage(g.data(), level, at.page, kNullXptr, leftmost, left_cells);
+    g.MarkDirty();
+  }
+  return InsertIntoParent(op, path, promoted.key, Xptr(promoted.handle),
+                          right_page);
+}
+
+Status BtreeIndex::Erase(const OpCtx& op, std::string_view full_key,
+                         Xptr handle) {
+  std::string_view key = Trunc(full_key);
+  SEDNA_ASSIGN_OR_RETURN(Xptr leaf, FindLeaf(op, key, handle, nullptr));
+  bool removed = false;
+  {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Write(leaf, op));
+    SEDNA_RETURN_IF_ERROR(CheckNodeMagic(g.data(), leaf));
+    SEDNA_ASSIGN_OR_RETURN(int pos, LowerBound(g.data(), key, handle.raw));
+    if (pos < Hdr(g.data())->count) {
+      SEDNA_ASSIGN_OR_RETURN(CellView c, CellAt(g.data(), pos));
+      if (c.key == key && c.handle == handle) {
+        EraseCellFromPage(g.data(), pos);
+        g.MarkDirty();
+        removed = true;
+      }
+    }
+  }
+  if (!removed) return Status::OK();  // idempotent
+  SEDNA_ASSIGN_OR_RETURN(bool still_exists, KeyExists(op, key));
+  SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Write(meta_, op));
+  BtreeMetaHeader* meta = reinterpret_cast<BtreeMetaHeader*>(g.data());
+  if (meta->entry_count > 0) meta->entry_count--;
+  if (!still_exists && meta->distinct_keys > 0) meta->distinct_keys--;
+  g.MarkDirty();
+  return Status::OK();
+}
+
+Status BtreeIndex::ScanEqual(const OpCtx& op, std::string_view full_key,
+                             std::vector<Xptr>* handles) const {
+  std::string_view key = Trunc(full_key);
+  SEDNA_ASSIGN_OR_RETURN(Xptr leaf, FindLeaf(op, key, Xptr(0), nullptr));
+  Xptr addr = leaf;
+  bool first = true;
+  while (addr) {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Read(addr, op));
+    SEDNA_RETURN_IF_ERROR(CheckNodeMagic(g.data(), addr));
+    const BtreeNodeHeader* h = Hdr(g.data());
+    int pos = 0;
+    if (first) {
+      SEDNA_ASSIGN_OR_RETURN(pos, LowerBound(g.data(), key, 0));
+      first = false;
+    }
+    for (; pos < h->count; ++pos) {
+      SEDNA_ASSIGN_OR_RETURN(CellView c, CellAt(g.data(), pos));
+      if (c.key != key) return Status::OK();
+      handles->push_back(c.handle);
+    }
+    addr = h->next;
+  }
+  return Status::OK();
+}
+
+Status BtreeIndex::ScanRange(
+    const OpCtx& op, std::string_view lo, std::string_view hi,
+    bool hi_inclusive, std::vector<std::pair<std::string, Xptr>>* out) const {
+  std::string_view lo_key = Trunc(lo);
+  SEDNA_ASSIGN_OR_RETURN(Xptr leaf, FindLeaf(op, lo_key, Xptr(0), nullptr));
+  Xptr addr = leaf;
+  bool first = true;
+  while (addr) {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Read(addr, op));
+    SEDNA_RETURN_IF_ERROR(CheckNodeMagic(g.data(), addr));
+    const BtreeNodeHeader* h = Hdr(g.data());
+    int pos = 0;
+    if (first) {
+      SEDNA_ASSIGN_OR_RETURN(pos, LowerBound(g.data(), lo_key, 0));
+      first = false;
+    }
+    for (; pos < h->count; ++pos) {
+      SEDNA_ASSIGN_OR_RETURN(CellView c, CellAt(g.data(), pos));
+      int cmp = c.key.compare(hi);
+      if (cmp > 0 || (cmp == 0 && !hi_inclusive)) return Status::OK();
+      out->emplace_back(std::string(c.key), c.handle);
+    }
+    addr = h->next;
+  }
+  return Status::OK();
+}
+
+Status BtreeIndex::ScanAll(
+    const OpCtx& op, std::vector<std::pair<std::string, Xptr>>* out) const {
+  Xptr addr;
+  {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Read(meta_, op));
+    BtreeMetaHeader meta;
+    std::memcpy(&meta, g.data(), sizeof(meta));
+    if (meta.magic != kBtreeMetaMagic) {
+      return Status::Corruption("bad btree meta magic");
+    }
+    addr = meta.leftmost_leaf;
+  }
+  while (addr) {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Read(addr, op));
+    SEDNA_RETURN_IF_ERROR(CheckNodeMagic(g.data(), addr));
+    const BtreeNodeHeader* h = Hdr(g.data());
+    for (int pos = 0; pos < h->count; ++pos) {
+      SEDNA_ASSIGN_OR_RETURN(CellView c, CellAt(g.data(), pos));
+      out->emplace_back(std::string(c.key), c.handle);
+    }
+    addr = h->next;
+  }
+  return Status::OK();
+}
+
+StatusOr<BtreeIndex::Stats> BtreeIndex::GetStats(const OpCtx& op) const {
+  SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Read(meta_, op));
+  BtreeMetaHeader meta;
+  std::memcpy(&meta, g.data(), sizeof(meta));
+  if (meta.magic != kBtreeMetaMagic) {
+    return Status::Corruption("bad btree meta magic");
+  }
+  Stats s;
+  s.entry_count = meta.entry_count;
+  s.distinct_keys = meta.distinct_keys;
+  s.height = meta.height;
+  return s;
+}
+
+namespace {
+
+struct ValidateState {
+  std::vector<Xptr> leaves_in_order;
+  uint64_t entries = 0;
+  uint64_t distinct = 0;
+  std::string prev_key;
+  uint64_t prev_handle = 0;
+  bool have_prev = false;
+};
+
+}  // namespace
+
+Status BtreeIndex::Validate(const OpCtx& op) const {
+  BtreeMetaHeader meta;
+  {
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Read(meta_, op));
+    std::memcpy(&meta, g.data(), sizeof(meta));
+  }
+  if (meta.magic != kBtreeMetaMagic) {
+    return Status::Corruption("bad btree meta magic");
+  }
+
+  // Recursive in-order walk checking levels, separator bounds and cell
+  // sanity. Every entry in a subtree must satisfy lo <= entry < hi (the
+  // separators on the descent path) — global ordering alone would not catch
+  // entries a root-to-leaf search could never reach.
+  ValidateState state;
+  struct Walker {
+    const BtreeIndex* tree;
+    const OpCtx& op;
+    ValidateState* state;
+    Status Walk(Xptr addr, int expected_level, const OwnedCell* lo,
+                const OwnedCell* hi) {
+      SEDNA_ASSIGN_OR_RETURN(PageGuard g, tree->env_->Read(addr, op));
+      SEDNA_RETURN_IF_ERROR(CheckNodeMagic(g.data(), addr));
+      const BtreeNodeHeader* h = Hdr(g.data());
+      if (h->level != expected_level) {
+        return Status::Corruption("btree level mismatch");
+      }
+      if (h->level == 0) {
+        state->leaves_in_order.push_back(addr);
+        for (int i = 0; i < h->count; ++i) {
+          SEDNA_ASSIGN_OR_RETURN(CellView c, CellAt(g.data(), i));
+          if (state->have_prev &&
+              CompareEntry(state->prev_key, state->prev_handle, c.key,
+                           c.handle.raw) >= 0) {
+            return Status::Corruption("btree keys out of order");
+          }
+          if (lo != nullptr &&
+              CompareEntry(c.key, c.handle.raw, lo->key, lo->handle) < 0) {
+            return Status::Corruption("btree entry below subtree separator");
+          }
+          if (hi != nullptr &&
+              CompareEntry(c.key, c.handle.raw, hi->key, hi->handle) >= 0) {
+            return Status::Corruption("btree entry above subtree separator");
+          }
+          if (!state->have_prev || state->prev_key != c.key) {
+            state->distinct++;
+          }
+          state->prev_key = std::string(c.key);
+          state->prev_handle = c.handle.raw;
+          state->have_prev = true;
+          state->entries++;
+        }
+        return Status::OK();
+      }
+      // Internal node: copy the cells so the guard need not stay pinned
+      // across recursion.
+      SEDNA_ASSIGN_OR_RETURN(std::vector<OwnedCell> cells, CopyCells(g.data()));
+      Xptr leftmost = h->leftmost;
+      int level = h->level;
+      g.Release();
+      for (size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0 && CompareEntry(cells[i - 1].key, cells[i - 1].handle,
+                                  cells[i].key, cells[i].handle) >= 0) {
+          return Status::Corruption("btree separators out of order");
+        }
+      }
+      const OwnedCell* first_sep = cells.empty() ? hi : &cells.front();
+      SEDNA_RETURN_IF_ERROR(Walk(leftmost, level - 1, lo, first_sep));
+      for (size_t i = 0; i < cells.size(); ++i) {
+        const OwnedCell* next_sep = i + 1 < cells.size() ? &cells[i + 1] : hi;
+        SEDNA_RETURN_IF_ERROR(
+            Walk(Xptr(cells[i].child), level - 1, &cells[i], next_sep));
+      }
+      return Status::OK();
+    }
+  };
+  Walker walker{this, op, &state};
+  SEDNA_RETURN_IF_ERROR(walker.Walk(
+      meta.root, static_cast<int>(meta.height) - 1, nullptr, nullptr));
+
+  if (state.entries != meta.entry_count) {
+    return Status::Corruption("btree entry count does not match meta");
+  }
+  if (state.distinct != meta.distinct_keys) {
+    return Status::Corruption("btree distinct-key count does not match meta");
+  }
+  // The leaf chain must enumerate exactly the in-order leaves.
+  Xptr addr = meta.leftmost_leaf;
+  size_t i = 0;
+  while (addr) {
+    if (i >= state.leaves_in_order.size() ||
+        state.leaves_in_order[i] != addr) {
+      return Status::Corruption("btree leaf chain diverges from tree order");
+    }
+    SEDNA_ASSIGN_OR_RETURN(PageGuard g, env_->Read(addr, op));
+    addr = Hdr(g.data())->next;
+    i++;
+  }
+  if (i != state.leaves_in_order.size()) {
+    return Status::Corruption("btree leaf chain shorter than tree");
+  }
+  return Status::OK();
+}
+
+}  // namespace sedna

@@ -1,0 +1,143 @@
+// Persistent B+tree for value indexes (paper Sections 4.1.2 and 6.4).
+//
+// The paper indexes *node handles* — indirection-table entries that stay
+// valid while block splits move descriptors — so the tree maps a composite
+// key (string value, handle) to nothing: the key itself carries the handle,
+// which makes every entry unique and gives equal-value entries a stable
+// total order. Pages are ordinary buffer-pool pages in the SAS (allocated
+// through the storage env's PageAllocator, versioned by MVCC like node
+// blocks), so checkpointing and transaction rollback need no index-specific
+// machinery; durability of index *maintenance* comes from the statement-
+// level WAL replaying the update statements that drove it.
+//
+// Page format (slotted, CalicoDB-style explicit offsets):
+//   [BtreeNodeHeader | slot directory: u16 cell offsets, sorted by key | ...
+//    free gap ... | cells packed downward from the page end]
+// Leaf cell:      varint32 key_len | key bytes | fixed64 handle
+// Internal cell:  varint32 key_len | key bytes | fixed64 handle
+//                 | fixed64 child page  (separator = first key of child)
+// Leaves form a singly-linked chain (header `next`) for range scans.
+//
+// Simplifications, deliberate and documented (DESIGN section 12): no
+// underflow merging (an emptied leaf stays in the tree until the index is
+// rebuilt or dropped) and keys longer than kBtreeMaxKeyBytes are stored as
+// a prefix (lookups on such keys post-verify against the live node value).
+
+#ifndef SEDNA_STORAGE_BTREE_INDEX_H_
+#define SEDNA_STORAGE_BTREE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "sas/xptr.h"
+#include "storage/storage_env.h"
+
+namespace sedna {
+
+inline constexpr uint32_t kBtreeMetaMagic = 0x5eb7ee04;
+inline constexpr uint32_t kBtreeNodeMagic = 0x5eb7ee05;
+
+/// Keys are stored up to this many bytes; longer values are indexed by
+/// prefix and must be re-verified by the caller against the node value.
+inline constexpr size_t kBtreeMaxKeyBytes = 2048;
+
+/// Anchor page of one index tree. Carries the cardinality statistics the
+/// cost-based plan choice reads (entry count, distinct keys, height).
+struct BtreeMetaHeader {
+  uint32_t magic = kBtreeMetaMagic;
+  uint32_t height = 1;  // levels; 1 = the root is a leaf
+  Xptr self;
+  Xptr root;
+  Xptr leftmost_leaf;        // head of the leaf chain
+  uint64_t entry_count = 0;
+  uint64_t distinct_keys = 0;
+};
+static_assert(sizeof(BtreeMetaHeader) == 48);
+
+struct BtreeNodeHeader {
+  uint32_t magic = kBtreeNodeMagic;
+  uint16_t level = 0;       // 0 = leaf
+  uint16_t count = 0;       // live cells
+  uint16_t cell_start = 0;  // lowest byte offset of any cell (cells grow down)
+  uint16_t reserved16 = 0;
+  uint32_t reserved32 = 0;
+  Xptr self;
+  Xptr next;      // leaf chain (null for internal nodes and the last leaf)
+  Xptr leftmost;  // internal: child for keys below the first separator
+};
+static_assert(sizeof(BtreeNodeHeader) == 40);
+
+class BtreeIndex {
+ public:
+  /// Opens an existing tree anchored at `meta` (no I/O until first use).
+  BtreeIndex(StorageEnv* env, Xptr meta) : env_(env), meta_(meta) {}
+
+  /// Allocates a meta page plus an empty root leaf; returns the meta Xptr
+  /// (the durable identity of the tree, persisted in the catalog).
+  static StatusOr<Xptr> Create(StorageEnv* env, const OpCtx& op);
+
+  /// Frees every page of the tree including the meta page.
+  Status Destroy(const OpCtx& op);
+
+  /// Inserts (key, handle). Idempotent: re-inserting an existing entry is a
+  /// no-op (keeps WAL-replay double-application harmless).
+  Status Insert(const OpCtx& op, std::string_view key, Xptr handle);
+
+  /// Removes (key, handle). Idempotent: absent entries are a no-op.
+  Status Erase(const OpCtx& op, std::string_view key, Xptr handle);
+
+  /// All handles whose stored key equals `key` (truncated to the prefix
+  /// limit), in (key, handle) order.
+  Status ScanEqual(const OpCtx& op, std::string_view key,
+                   std::vector<Xptr>* handles) const;
+
+  /// All (key, handle) entries with lo <= key and key <(=) hi, in order.
+  Status ScanRange(const OpCtx& op, std::string_view lo, std::string_view hi,
+                   bool hi_inclusive,
+                   std::vector<std::pair<std::string, Xptr>>* out) const;
+
+  /// Every entry in key order (fresh-rebuild comparisons, validation).
+  Status ScanAll(const OpCtx& op,
+                 std::vector<std::pair<std::string, Xptr>>* out) const;
+
+  struct Stats {
+    uint64_t entry_count = 0;
+    uint64_t distinct_keys = 0;
+    uint32_t height = 1;
+  };
+  StatusOr<Stats> GetStats(const OpCtx& op) const;
+
+  /// Deep structural sweep: magics and self pointers on every page, key
+  /// order within and across pages, separator invariants, leaf-chain ==
+  /// in-order traversal, and meta counts matching the entries found.
+  Status Validate(const OpCtx& op) const;
+
+  Xptr meta() const { return meta_; }
+
+ private:
+  struct Descent {
+    Xptr page;
+    int child_index;  // -1 = leftmost pointer
+  };
+
+  StatusOr<Xptr> FindLeaf(const OpCtx& op, std::string_view key, Xptr handle,
+                          std::vector<Descent>* path) const;
+  Status SplitAndInsert(const OpCtx& op, std::vector<Descent>& path,
+                        Xptr leaf, std::string_view key, Xptr handle);
+  Status InsertIntoParent(const OpCtx& op, std::vector<Descent>& path,
+                          std::string_view sep_key, Xptr sep_handle,
+                          Xptr new_child);
+  /// True iff some entry with exactly this (truncated) key exists.
+  StatusOr<bool> KeyExists(const OpCtx& op, std::string_view key) const;
+
+  StorageEnv* env_;
+  Xptr meta_;
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_STORAGE_BTREE_INDEX_H_

@@ -107,6 +107,14 @@ StatusOr<std::unique_ptr<XmlNode>> DocumentStore::MaterializeDocument(
   return Materialize(ctx, root_handle_);
 }
 
+PathSummary* DocumentStore::summary() const {
+  std::lock_guard<std::mutex> lock(summary_mu_);
+  if (summary_ == nullptr || summary_->schema_version() != schema_.version()) {
+    summary_ = std::make_unique<PathSummary>(&schema_);
+  }
+  return summary_.get();
+}
+
 uint64_t DocumentStore::node_count() const {
   uint64_t total = 0;
   for (size_t i = 1; i < schema_.size(); ++i) {

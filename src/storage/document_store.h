@@ -6,11 +6,13 @@
 #define SEDNA_STORAGE_DOCUMENT_STORE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/status.h"
 #include "storage/indirection.h"
 #include "storage/node_store.h"
+#include "storage/path_summary.h"
 #include "storage/schema.h"
 #include "storage/storage_env.h"
 #include "storage/text_store.h"
@@ -32,6 +34,12 @@ class DocumentStore {
   const DescriptiveSchema* schema() const { return &schema_; }
   TextStore* text() { return &text_; }
   IndirectionTable* indirection() { return &indirection_; }
+
+  /// Path summary over the current schema, built lazily and rebuilt when
+  /// the schema version moves (updates grow the schema only under an
+  /// exclusive document lock, so a pointer handed to a shared-lock reader
+  /// stays valid for the duration of its statement).
+  PathSummary* summary() const;
 
   /// Creates the (empty) document: just the root descriptor.
   Status Create(const OpCtx& ctx);
@@ -82,6 +90,8 @@ class DocumentStore {
   IndirectionTable indirection_;
   NodeStore nodes_;
   Xptr root_handle_;
+  mutable std::mutex summary_mu_;
+  mutable std::unique_ptr<PathSummary> summary_;
 };
 
 }  // namespace sedna

@@ -1,0 +1,109 @@
+#include "storage/path_summary.h"
+
+#include <algorithm>
+
+namespace sedna {
+
+PathSummary::PathSummary(const DescriptiveSchema* schema)
+    : schema_(schema), version_(schema->version()) {
+  all_.reserve(schema->size());
+  for (size_t i = 0; i < schema->size(); ++i) {
+    SchemaNode* n = const_cast<SchemaNode*>(schema->node(i));
+    all_.push_back(n);
+    by_name_[n->name].push_back(n);
+  }
+}
+
+bool PathSummary::StepMatches(const SummaryStep& step,
+                              const SchemaNode* node) const {
+  bool kind_ok;
+  if (step.axis == SummaryStep::Axis::kAttribute) {
+    kind_ok = node->kind == XmlKind::kAttribute;
+  } else if (step.any_node && step.axis == SummaryStep::Axis::kChild) {
+    kind_ok = node->kind != XmlKind::kAttribute;
+  } else {
+    // Deliberate quirk parity with the executor's historical frontier walk:
+    // a descendant::node() step matched elements only (FindDescendants
+    // filtered on the exact kind), while child::node() matched any
+    // non-attribute kind. Query results must not change with the lookup
+    // strategy, so the summary reproduces both behaviours.
+    kind_ok = node->kind == step.kind;
+  }
+  return kind_ok && (step.name == "*" || node->name == step.name);
+}
+
+std::vector<SchemaNode*> PathSummary::Resolve(
+    const std::vector<SummaryStep>& steps) const {
+  return ResolveFrom({const_cast<SchemaNode*>(schema_->root())}, steps);
+}
+
+std::vector<SchemaNode*> PathSummary::ResolveFrom(
+    const std::vector<SchemaNode*>& frontier,
+    const std::vector<SummaryStep>& steps) const {
+  if (steps.empty()) return frontier;
+
+  std::vector<char> in_frontier(schema_->size(), 0);
+  for (const SchemaNode* f : frontier) {
+    if (f->id < in_frontier.size()) in_frontier[f->id] = 1;
+  }
+
+  // memo[node * nsteps + i]: does `node` match steps[0..i] as the result of
+  // step i, with the chain rooted in the frontier? -1 unknown, 0 no, 1 yes.
+  // Filled lazily, backward: only candidates from the last step's bucket
+  // and the schema nodes on their ancestor chains are ever examined — the
+  // inverted-lookup payoff over the forward frontier walk, which visits
+  // every schema node a descendant step can reach.
+  const size_t nsteps = steps.size();
+  std::vector<int8_t> memo(schema_->size() * nsteps, -1);
+
+  struct Matcher {
+    const PathSummary* self;
+    const std::vector<SummaryStep>& steps;
+    const std::vector<char>& in_frontier;
+    std::vector<int8_t>& memo;
+    size_t nsteps;
+
+    bool Match(const SchemaNode* node, size_t i) {
+      int8_t& slot = memo[node->id * nsteps + i];
+      if (slot >= 0) return slot == 1;
+      slot = 0;  // break cycles defensively (the schema is a tree)
+      const SummaryStep& step = steps[i];
+      if (!self->StepMatches(step, node)) return false;
+      bool ok = false;
+      if (step.axis == SummaryStep::Axis::kChild ||
+          step.axis == SummaryStep::Axis::kAttribute) {
+        const SchemaNode* p = node->parent;
+        if (p != nullptr) {
+          ok = i == 0 ? in_frontier[p->id] != 0 : Match(p, i - 1);
+        }
+      } else {
+        for (const SchemaNode* a = node->parent; a != nullptr; a = a->parent) {
+          if (i == 0 ? in_frontier[a->id] != 0 : Match(a, i - 1)) {
+            ok = true;
+            break;
+          }
+        }
+      }
+      slot = ok ? 1 : 0;
+      return ok;
+    }
+  };
+  Matcher matcher{this, steps, in_frontier, memo, nsteps};
+
+  const SummaryStep& last = steps[nsteps - 1];
+  const std::vector<SchemaNode*>* bucket = &all_;
+  if (last.name != "*") {
+    auto it = by_name_.find(last.name);
+    if (it == by_name_.end()) return {};
+    bucket = &it->second;
+  }
+  std::vector<SchemaNode*> out;
+  for (SchemaNode* node : *bucket) {
+    if (matcher.Match(node, nsteps - 1)) out.push_back(node);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace sedna

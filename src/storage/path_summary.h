@@ -1,0 +1,74 @@
+// Path summary over the descriptive schema (Arion et al., "Path Summaries
+// and Path Partitioning in Modern XML Databases").
+//
+// The descriptive schema is itself a path summary: every distinct root-to-
+// node path in the document appears exactly once. What this structure adds
+// is the *inverted* access path — a name -> schema-node bucket map — so a
+// structural pattern like //a/b resolves by looking up the LAST step's
+// bucket and verifying each candidate's ancestor chain backward, instead of
+// walking the schema tree forward from the root through every intermediate
+// level. For selective names on wide schemas the backward check touches a
+// handful of nodes where the forward walk enumerates whole subtrees.
+//
+// The summary is derived data: it caches the schema version it was built
+// from, and DocumentStore::summary() rebuilds it when the schema has grown
+// (updates may add schema nodes) or was restored (abort rollback).
+
+#ifndef SEDNA_STORAGE_PATH_SUMMARY_H_
+#define SEDNA_STORAGE_PATH_SUMMARY_H_
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace sedna {
+
+/// One structural step of a path pattern, pre-lowered from the query AST
+/// (storage has no dependency on the XQuery layer).
+struct SummaryStep {
+  enum class Axis { kChild, kDescendant, kAttribute };
+  Axis axis = Axis::kChild;
+  XmlKind kind = XmlKind::kElement;  // the kind the node test selects
+  std::string name;                  // "*" matches any name
+  bool any_node = false;  // node() test: any kind except attributes
+};
+
+class PathSummary {
+ public:
+  /// Builds the inverted buckets; O(schema size).
+  explicit PathSummary(const DescriptiveSchema* schema);
+
+  PathSummary(const PathSummary&) = delete;
+  PathSummary& operator=(const PathSummary&) = delete;
+
+  /// Schema version this summary was built from (staleness check).
+  uint64_t schema_version() const { return version_; }
+
+  /// All schema nodes reached by the pattern from the schema root, sorted
+  /// by node pointer and deduplicated — the same contract as the forward
+  /// frontier walk it replaces.
+  std::vector<SchemaNode*> Resolve(const std::vector<SummaryStep>& steps) const;
+
+  /// Resolves `steps` starting from an explicit frontier instead of the
+  /// root (used to locate predicate target nodes below path results).
+  std::vector<SchemaNode*> ResolveFrom(
+      const std::vector<SchemaNode*>& frontier,
+      const std::vector<SummaryStep>& steps) const;
+
+ private:
+  bool StepMatches(const SummaryStep& step, const SchemaNode* node) const;
+
+  const DescriptiveSchema* schema_;
+  uint64_t version_;
+  // name -> schema nodes with that name (kind filtering happens at resolve
+  // time; the schema is small enough that per-kind buckets would not pay).
+  std::map<std::string, std::vector<SchemaNode*>, std::less<>> by_name_;
+  std::vector<SchemaNode*> all_;
+};
+
+}  // namespace sedna
+
+#endif  // SEDNA_STORAGE_PATH_SUMMARY_H_

@@ -1,9 +1,18 @@
 #include "storage/schema.h"
 
+#include <atomic>
+
 #include "common/coding.h"
 #include "common/logging.h"
 
 namespace sedna {
+
+namespace {
+// Process-global stamp source: a restored schema must never reuse a version
+// an earlier incarnation handed out, or a cache keyed by (schema, version)
+// would read through an abort-rollback unrefreshed.
+std::atomic<uint64_t> g_schema_version{1};
+}  // namespace
 
 SchemaNode* SchemaNode::FindChild(XmlKind k, std::string_view n) const {
   for (SchemaNode* c : children) {
@@ -42,6 +51,7 @@ DescriptiveSchema::DescriptiveSchema() {
   root->kind = XmlKind::kDocument;
   root_ = root.get();
   nodes_.push_back(std::move(root));
+  version_ = g_schema_version.fetch_add(1, std::memory_order_relaxed);
 }
 
 SchemaNode* DescriptiveSchema::GetOrAddChild(SchemaNode* parent, XmlKind kind,
@@ -57,6 +67,7 @@ SchemaNode* DescriptiveSchema::GetOrAddChild(SchemaNode* parent, XmlKind kind,
   SchemaNode* raw = child.get();
   parent->children.push_back(raw);
   nodes_.push_back(std::move(child));
+  version_ = g_schema_version.fetch_add(1, std::memory_order_relaxed);
   return raw;
 }
 
@@ -137,6 +148,7 @@ Status DescriptiveSchema::Deserialize(const std::string& blob) {
     nodes_[i]->slot_in_parent = static_cast<int>(parent->children.size());
     parent->children.push_back(nodes_[i].get());
   }
+  version_ = g_schema_version.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -85,9 +85,16 @@ class DescriptiveSchema {
   std::string Serialize() const;
   Status Deserialize(const std::string& blob);
 
+  /// Version stamp of the schema shape. Bumped (process-globally unique)
+  /// every time the schema grows or is deserialized, so caches derived from
+  /// the schema (path summaries, index cover sets) can cheaply detect
+  /// staleness — including across a transaction-abort metadata restore.
+  uint64_t version() const { return version_; }
+
  private:
   std::vector<std::unique_ptr<SchemaNode>> nodes_;
   SchemaNode* root_ = nullptr;
+  uint64_t version_ = 0;
 };
 
 }  // namespace sedna

@@ -149,8 +149,9 @@ std::string StorageEngine::SerializeCatalog() const {
   PutVarint64(&blob, index_defs_.size());
   for (const auto& [name, def] : index_defs_) {
     PutLengthPrefixed(&blob, name);
-    PutLengthPrefixed(&blob, def.first);
-    PutLengthPrefixed(&blob, def.second);
+    PutLengthPrefixed(&blob, def.doc);
+    PutLengthPrefixed(&blob, def.path);
+    PutFixed64(&blob, def.meta);
   }
   return blob;
 }
@@ -177,11 +178,13 @@ Status StorageEngine::RestoreCatalog(const std::string& blob) {
   if (d.GetVarint64(&index_count)) {
     for (uint64_t i = 0; i < index_count; ++i) {
       std::string_view name, doc, path;
+      uint64_t meta = 0;
       if (!d.GetLengthPrefixed(&name) || !d.GetLengthPrefixed(&doc) ||
-          !d.GetLengthPrefixed(&path)) {
+          !d.GetLengthPrefixed(&path) || !d.GetFixed64(&meta)) {
         return Status::Corruption("truncated index definitions");
       }
-      index_defs_[std::string(name)] = {std::string(doc), std::string(path)};
+      index_defs_[std::string(name)] = {std::string(doc), std::string(path),
+                                        meta};
     }
   }
   return Status::OK();

@@ -81,16 +81,28 @@ class StorageEngine {
   /// Removes the catalog entry only (used to roll back CREATE DOCUMENT).
   Status RemoveDocumentEntry(const std::string& name);
 
-  // --- value-index definitions (entries are rebuilt by the query layer) ----
+  // --- value-index definitions -----------------------------------------------
 
-  /// name -> (document, defining path text). Persisted in the catalog.
-  const std::map<std::string, std::pair<std::string, std::string>>&
-  index_definitions() const {
+  /// Catalog record of one value index. `meta` is the raw Xptr of the
+  /// index's B+tree meta page; 0 means the index has no persistent tree yet
+  /// (it will be built lazily by the query layer).
+  struct IndexDefRecord {
+    std::string doc;
+    std::string path;
+    uint64_t meta = 0;
+  };
+
+  /// name -> definition. Persisted in the catalog at checkpoint.
+  const std::map<std::string, IndexDefRecord>& index_definitions() const {
     return index_defs_;
   }
   void SetIndexDefinition(const std::string& name, const std::string& doc,
-                          const std::string& path) {
-    index_defs_[name] = {doc, path};
+                          const std::string& path, uint64_t meta) {
+    index_defs_[name] = {doc, path, meta};
+  }
+  void SetIndexMeta(const std::string& name, uint64_t meta) {
+    auto it = index_defs_.find(name);
+    if (it != index_defs_.end()) it->second.meta = meta;
   }
   void RemoveIndexDefinition(const std::string& name) {
     index_defs_.erase(name);
@@ -131,7 +143,7 @@ class StorageEngine {
   StorageEnv env_;
 
   std::map<std::string, std::unique_ptr<DocumentStore>> documents_;
-  std::map<std::string, std::pair<std::string, std::string>> index_defs_;
+  std::map<std::string, IndexDefRecord> index_defs_;
   uint32_t next_doc_id_ = 1;
 };
 

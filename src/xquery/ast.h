@@ -88,6 +88,12 @@ struct Step {
   bool needs_ddo = true;
   bool schema_resolved = false;
   bool exchange_safe = false;
+  // Set by the rewriter on a fragment-final step whose single position-free
+  // predicate compares a fixed-depth structural relative path against a
+  // string literal — the shape a value index can serve. The executor makes
+  // the final cost-based choice (index scan vs. block scan) at run time,
+  // when cardinality statistics are available.
+  bool index_candidate = false;
 };
 
 struct FlworClause {

@@ -11,6 +11,7 @@
 #include "xquery/exchange.h"
 #include "xquery/functions.h"
 #include "xquery/profile.h"
+#include "xquery/value_index.h"
 
 namespace sedna {
 
@@ -326,45 +327,47 @@ XmlKind SchemaKindFor(const Step& s) {
   }
 }
 
+/// Lowers AST steps [begin, end) (structural axes only) to path-summary
+/// patterns. Returns false when a step cannot be lowered — never for steps
+/// the rewriter marked schema_resolved.
+bool LowerSummarySteps(const std::vector<Step>& steps, size_t begin,
+                       size_t end, std::vector<SummaryStep>* out) {
+  for (size_t i = begin; i < end; ++i) {
+    const Step& step = steps[i];
+    SummaryStep s;
+    switch (step.axis) {
+      case Axis::kChild:
+        s.axis = SummaryStep::Axis::kChild;
+        break;
+      case Axis::kAttribute:
+        s.axis = SummaryStep::Axis::kAttribute;
+        break;
+      case Axis::kDescendant:
+        s.axis = SummaryStep::Axis::kDescendant;
+        break;
+      default:
+        return false;
+    }
+    s.kind = SchemaKindFor(step);
+    s.any_node = TestKind(step) == NodeTest::Kind::kAnyNode;
+    s.name = TestKind(step) == NodeTest::Kind::kAnyName || s.any_node
+                 ? std::string("*")
+                 : step.test.name;
+    out->push_back(std::move(s));
+  }
+  return true;
+}
+
 /// Resolves a run of schema-resolved steps to the set of matching schema
-/// nodes, starting from the document's schema root.
+/// nodes, starting from the document's schema root — served by the
+/// document's path summary (inverted name buckets + backward ancestor
+/// verification) instead of a forward frontier walk over the schema tree.
 std::vector<SchemaNode*> ResolveSchemaSteps(DocumentStore* doc,
                                             const std::vector<Step>& steps,
                                             size_t begin, size_t end) {
-  std::vector<SchemaNode*> frontier{doc->schema()->root()};
-  for (size_t i = begin; i < end; ++i) {
-    const Step& step = steps[i];
-    std::vector<SchemaNode*> next;
-    XmlKind want = SchemaKindFor(step);
-    // NOTE: both arms must already be string_views — a mixed ternary would
-    // materialize a temporary std::string and leave `name` dangling.
-    std::string_view name = TestKind(step) == NodeTest::Kind::kAnyName ||
-                                    TestKind(step) == NodeTest::Kind::kAnyNode
-                                ? std::string_view("*")
-                                : std::string_view(step.test.name);
-    for (SchemaNode* sn : frontier) {
-      if (step.axis == Axis::kChild || step.axis == Axis::kAttribute) {
-        for (SchemaNode* c : sn->children) {
-          bool kind_ok = TestKind(step) == NodeTest::Kind::kAnyNode
-                             ? c->kind != XmlKind::kAttribute
-                             : c->kind == want;
-          if (step.axis == Axis::kAttribute) {
-            kind_ok = c->kind == XmlKind::kAttribute;
-          }
-          if (kind_ok && (name == "*" || c->name == name)) next.push_back(c);
-        }
-      } else if (step.axis == Axis::kDescendant) {
-        for (SchemaNode* c : doc->schema()->FindDescendants(sn, want, name)) {
-          next.push_back(c);
-        }
-      }
-    }
-    // Dedup (descendant steps from nested frontier nodes can repeat).
-    std::sort(next.begin(), next.end());
-    next.erase(std::unique(next.begin(), next.end()), next.end());
-    frontier = std::move(next);
-  }
-  return frontier;
+  std::vector<SummaryStep> pattern;
+  if (!LowerSummarySteps(steps, begin, end, &pattern)) return {};
+  return doc->summary()->Resolve(pattern);
 }
 
 StatusOr<Sequence> EnumerateSchemaNodes(ExecContext& ctx, DocumentStore* doc,
@@ -1802,6 +1805,78 @@ StatusOr<StreamPtr> TryMorselExchange(ExecContext& ctx, DocumentStore* doc,
       ctx, std::move(state), morsels, workers));
 }
 
+/// An index probe must beat the block scan by this factor before the
+/// executor abandons the scan plan: B+tree descent plus per-hit indirection
+/// and parent-hop resolution cost several page touches per row, while the
+/// schema scan streams sequentially through sibling blocks.
+constexpr uint64_t kIndexScanCostFactor = 4;
+
+/// Attempts to serve the fragment-final predicated step with a value-index
+/// probe. `sns` is the schema-node set of the fragment's result nodes; the
+/// single predicate (guaranteed by the rewriter's index_candidate mark)
+/// compares a context-relative structural path against a string literal.
+/// Resolves the predicate's relative path to the schema nodes holding the
+/// key values, asks the index manager for a covering index, and keeps the
+/// probe only when its estimated row count undercuts the block scan's
+/// cardinality by kIndexScanCostFactor. Returns null to fall back to the
+/// scan plan; the probe result is already in document order with the
+/// predicate applied, so the caller skips WrapPredicates.
+StatusOr<StreamPtr> TryIndexScan(ExecContext& ctx, DocumentStore* doc,
+                                 const std::vector<SchemaNode*>& sns,
+                                 const Expr& path, size_t end) {
+  const Expr& pred = *path.steps[end - 1].predicates[0];
+  if (pred.children.size() != 2) return StreamPtr();
+  const Expr* lit = pred.children[0].get();
+  const Expr* rel = pred.children[1].get();
+  if (lit->kind != ExprKind::kLiteralString) std::swap(lit, rel);
+  if (lit->kind != ExprKind::kLiteralString) return StreamPtr();
+
+  // Schema nodes whose string value the predicate compares: the fragment
+  // nodes themselves for a bare ".", otherwise the relative path resolved
+  // through the summary from the fragment's node set.
+  std::vector<SchemaNode*> value_sns;
+  int hops = 0;
+  if (rel->kind == ExprKind::kContextItem) {
+    value_sns = sns;
+  } else if (rel->kind == ExprKind::kPath) {
+    std::vector<SummaryStep> pattern;
+    if (!LowerSummarySteps(rel->steps, 0, rel->steps.size(), &pattern)) {
+      return StreamPtr();
+    }
+    hops = static_cast<int>(rel->steps.size());
+    value_sns = doc->summary()->ResolveFrom(sns, pattern);
+  } else {
+    return StreamPtr();
+  }
+  if (value_sns.empty()) return StreamPtr();
+
+  std::vector<uint32_t> ids;
+  ids.reserve(value_sns.size());
+  for (const SchemaNode* sn : value_sns) ids.push_back(sn->id);
+  std::sort(ids.begin(), ids.end());
+
+  ValueIndexManager::IndexPlan plan;
+  if (!ctx.indexes->FindIndexFor(ctx.op, doc, ids, &plan)) {
+    return StreamPtr();
+  }
+  uint64_t scan_cost = 0;
+  for (const SchemaNode* sn : sns) scan_cost += sn->node_count;
+  if (plan.est_rows * kIndexScanCostFactor >= scan_cost) return StreamPtr();
+
+  SEDNA_ASSIGN_OR_RETURN(
+      Sequence rows,
+      ctx.indexes->ExecuteIndexScan(ctx.op, plan.name, lit->str_val, ids,
+                                    hops));
+  ctx.Count(&ExecStats::index_scans);
+  MemoryReservation reservation(ctx.query);
+  SEDNA_RETURN_IF_ERROR(reservation.Grow(rows.size() * sizeof(Item)));
+  std::string label = "index-scan[" + plan.name + ", key='" + lit->str_val +
+                      "', est_rows=" + std::to_string(plan.est_rows) + "]";
+  return MaybeProfile(ctx, label,
+                      MakeSequenceStream(std::move(rows),
+                                         std::move(reservation)));
+}
+
 StatusOr<StreamPtr> EvalPathStream(const Expr& path, ExecContext& ctx) {
   // Filter expression: predicates over the whole input sequence.
   if (path.str_val == "filter") {
@@ -1837,7 +1912,20 @@ StatusOr<StreamPtr> EvalPathStream(const Expr& path, ExecContext& ctx) {
         const std::vector<ExprPtr>& frag_preds =
             path.steps[end - 1].predicates;
         bool exchanged = false;
-        if (sns.empty()) {
+        bool index_served = false;
+        if (ctx.enable_index_scan && ctx.indexes != nullptr &&
+            !sns.empty() && frag_preds.size() == 1 &&
+            path.steps[end - 1].index_candidate) {
+          SEDNA_ASSIGN_OR_RETURN(StreamPtr probe,
+                                 TryIndexScan(ctx, doc, sns, path, end));
+          if (probe != nullptr) {
+            in = std::move(probe);
+            index_served = true;  // predicate consumed; already in doc order
+          }
+        }
+        if (index_served) {
+          step_idx = end;
+        } else if (sns.empty()) {
           in = MakeEmptyStream();
         } else if (sns.size() == 1) {
           SEDNA_ASSIGN_OR_RETURN(
@@ -1866,7 +1954,7 @@ StatusOr<StreamPtr> EvalPathStream(const Expr& path, ExecContext& ctx) {
         }
         if (exchanged) {
           step_idx = path.steps.size();
-        } else {
+        } else if (!index_served) {
           if (!frag_preds.empty()) {
             SEDNA_ASSIGN_OR_RETURN(
                 in, WrapPredicates(ctx, std::move(in), frag_preds));

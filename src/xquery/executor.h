@@ -51,6 +51,7 @@ struct ExecStats {
   std::atomic<uint64_t> deep_copy_nodes{0};  // nodes deep-copied
   std::atomic<uint64_t> virtual_elements{0}; // constructors answered virtually
   std::atomic<uint64_t> schema_scans{0};     // paths served from the schema
+  std::atomic<uint64_t> index_scans{0};      // predicates served by an index
   // Pull-pipeline counters: these let tests assert *laziness*, not just
   // results (e.g. (//x)[1] on a 10k-match document pulls O(1) items).
   std::atomic<uint64_t> items_pulled{0};         // items delivered by batches
@@ -76,6 +77,7 @@ struct ExecStats {
     add(&ExecStats::deep_copy_nodes);
     add(&ExecStats::virtual_elements);
     add(&ExecStats::schema_scans);
+    add(&ExecStats::index_scans);
     add(&ExecStats::items_pulled);
     add(&ExecStats::early_exits);
     add(&ExecStats::streams_materialized);
@@ -99,6 +101,8 @@ struct ExecStats {
           std::memory_order_relaxed);
       schema_scans.store(other.schema_scans.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+      index_scans.store(other.index_scans.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
       items_pulled.store(other.items_pulled.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
       early_exits.store(other.early_exits.load(std::memory_order_relaxed),
@@ -146,6 +150,7 @@ struct ExecContext {
   bool enable_virtual_constructors = true;
   bool enable_schema_paths = true;
   bool enable_streaming = true;  // pull-based pipeline vs. eager evaluation
+  bool enable_index_scan = true;  // cost-based value-index plan selection
 
   /// Items per NextBatch() on full-drain paths (early-exit consumers
   /// always use 1). Session knob / SEDNA_BATCH_SIZE.

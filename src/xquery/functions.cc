@@ -109,9 +109,9 @@ StatusOr<Sequence> CallBuiltin(const std::string& name,
     }
     SEDNA_ASSIGN_OR_RETURN(std::string idx, SingleString(ctx.op, args[0]));
     SEDNA_ASSIGN_OR_RETURN(std::string key, SingleString(ctx.op, args[1]));
-    SEDNA_ASSIGN_OR_RETURN(Sequence out, ctx.indexes->Lookup(ctx.op, idx, key));
-    SEDNA_RETURN_IF_ERROR(DistinctDocOrder(ctx.op, &out));
-    return out;
+    // Lookup deduplicates into document order itself (the persistent
+    // index's contract); no extra DDO pass here.
+    return ctx.indexes->Lookup(ctx.op, idx, key);
   }
   if (name == "doc" && n == 1) {
     SEDNA_ASSIGN_OR_RETURN(std::string doc_name,

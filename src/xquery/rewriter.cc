@@ -106,6 +106,43 @@ bool IsPositionFreePredicate(const Expr& pred) {
   }
 }
 
+/// True when `e` is a context-relative structural path a value index key
+/// can mirror: the bare context item, or a path rooted at the context item
+/// whose steps are all predicate-free child/attribute name steps (the
+/// fixed-depth shapes CREATE INDEX accepts relative to the indexed nodes).
+bool IsIndexableKeyPath(const Expr& e) {
+  if (e.kind == ExprKind::kContextItem) return true;
+  if (e.kind != ExprKind::kPath || e.children.size() != 1 ||
+      e.children[0]->kind != ExprKind::kContextItem || e.steps.empty()) {
+    return false;
+  }
+  for (const Step& s : e.steps) {
+    if ((s.axis != Axis::kChild && s.axis != Axis::kAttribute) ||
+        !s.predicates.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The predicate shape a persistent value index can serve byte-identically:
+/// a general "=" comparison between a string literal and an indexable key
+/// path. String-vs-string general comparison is a byte compare with
+/// existential semantics, exactly what a composite (value, node) B+tree
+/// probe delivers; numeric or dynamic comparands would need coercion the
+/// index key order does not model, so they stay on the scan plan.
+bool IsIndexServablePredicate(const Expr& pred) {
+  if (pred.kind != ExprKind::kComparison || pred.str_val != "=" ||
+      pred.children.size() != 2) {
+    return false;
+  }
+  const Expr& lhs = *pred.children[0];
+  const Expr& rhs = *pred.children[1];
+  if (lhs.kind == ExprKind::kLiteralString) return IsIndexableKeyPath(rhs);
+  if (rhs.kind == ExprKind::kLiteralString) return IsIndexableKeyPath(lhs);
+  return false;
+}
+
 /// A predicate a morsel-exchange worker may evaluate: no expression that
 /// reaches process-shared mutable state. doc()/collection() open documents
 /// (and take locks) through session hooks that are absent in workers;
@@ -464,6 +501,13 @@ class Rewriter {
         if (extend) {
           step.schema_resolved = true;
           step.needs_ddo = false;
+          // A single equality predicate against a string literal may be
+          // answered by a persistent value index; mark it so the executor
+          // can make the cost-based scan-vs-probe decision at run time.
+          if (options_.use_value_indexes && step.predicates.size() == 1 &&
+              IsIndexServablePredicate(*step.predicates[0])) {
+            step.index_candidate = true;
+          }
         }
         break;  // the fragment ends at the first predicated step either way
       }

@@ -25,6 +25,7 @@ struct RewriteOptions {
   bool lazy_for_clauses = true;
   bool schema_paths = true;
   bool virtual_constructors = true;
+  bool use_value_indexes = true;  // mark index-servable predicates
 
   static RewriteOptions AllOff() {
     RewriteOptions o;
@@ -34,6 +35,7 @@ struct RewriteOptions {
     o.lazy_for_clauses = false;
     o.schema_paths = false;
     o.virtual_constructors = false;
+    o.use_value_indexes = false;
     return o;
   }
 };

@@ -8,6 +8,7 @@
 #include "xquery/analyzer.h"
 #include "xquery/node_ops.h"
 #include "xquery/parser.h"
+#include "xquery/value_index.h"
 
 namespace sedna {
 
@@ -32,6 +33,7 @@ void FoldExecStatsIntoRegistry(const ExecStats& s) {
     Counter* deep_copy_nodes;
     Counter* virtual_elements;
     Counter* schema_scans;
+    Counter* index_scans;
     Counter* items_pulled;
     Counter* early_exits;
     Counter* streams_materialized;
@@ -47,6 +49,7 @@ void FoldExecStatsIntoRegistry(const ExecStats& s) {
                   reg.counter("xquery.deep_copy_nodes"),
                   reg.counter("xquery.virtual_elements"),
                   reg.counter("xquery.schema_scans"),
+                  reg.counter("xquery.index_scans"),
                   reg.counter("xquery.items_pulled"),
                   reg.counter("xquery.early_exits"),
                   reg.counter("xquery.streams_materialized"),
@@ -60,6 +63,7 @@ void FoldExecStatsIntoRegistry(const ExecStats& s) {
   b.deep_copy_nodes->Add(s.deep_copy_nodes.load(std::memory_order_relaxed));
   b.virtual_elements->Add(s.virtual_elements.load(std::memory_order_relaxed));
   b.schema_scans->Add(s.schema_scans.load(std::memory_order_relaxed));
+  b.index_scans->Add(s.index_scans.load(std::memory_order_relaxed));
   b.items_pulled->Add(s.items_pulled.load(std::memory_order_relaxed));
   b.early_exits->Add(s.early_exits.load(std::memory_order_relaxed));
   b.streams_materialized->Add(
@@ -166,9 +170,11 @@ StatementExecutor::StatementExecutor(StorageEngine* storage)
 }
 
 Status StatementExecutor::NotifyUpdate(const std::string& text) {
-  // Any update statement may change indexed values: invalidate lazily
-  // rebuilt value indexes (cheap flag flip; rebuilds happen on next use).
-  if (indexes_ != nullptr) indexes_->InvalidateAll();
+  // Statement-level WAL: log the statement before its first page mutation.
+  // Index upkeep no longer happens here — update statements bracket each
+  // target mutation with ValueIndexManager::PreUpdate/PostUpdate, which
+  // maintains persistent indexes incrementally and scopes the legacy
+  // dirty-flag fallback to the mutated document.
   if (update_listener_) return update_listener_(text);
   return Status::OK();
 }
@@ -280,7 +286,9 @@ StatusOr<StatementResult> StatementExecutor::RunParsed(
       }
       SEDNA_RETURN_IF_ERROR(NotifyUpdate(text));
       SEDNA_RETURN_IF_ERROR(storage_->DropDocument(op, stmt->doc_name));
-      if (indexes_ != nullptr) indexes_->InvalidateAll();
+      if (indexes_ != nullptr) {
+        SEDNA_RETURN_IF_ERROR(indexes_->OnDocumentDropped(op, stmt->doc_name));
+      }
       result.affected = 1;
       return result;
     case StatementKind::kCreateIndex: {
@@ -312,7 +320,7 @@ StatusOr<StatementResult> StatementExecutor::RunParsed(
         return Status::FailedPrecondition("no index manager configured");
       }
       SEDNA_RETURN_IF_ERROR(NotifyUpdate(text));
-      SEDNA_RETURN_IF_ERROR(indexes_->Drop(stmt->index_name));
+      SEDNA_RETURN_IF_ERROR(indexes_->Drop(op, stmt->index_name));
       result.affected = 1;
       return result;
   }
@@ -373,6 +381,26 @@ StatusOr<StatementResult> StatementExecutor::RunInsert(
   SEDNA_RETURN_IF_ERROR(NotifyUpdate(text));
 
   for (const UpdateTarget& target : targets) {
+    // Index maintenance brackets the mutation: the ancestor chain whose
+    // string value the insert changes starts at the target itself for
+    // `into` (new children concatenate into its value) and at the shared
+    // parent for sibling modes.
+    Xptr anchor = target.handle;
+    if (stmt.insert_mode != InsertMode::kInto) {
+      SEDNA_ASSIGN_OR_RETURN(
+          NodeInfo info,
+          target.doc->nodes()->InfoByHandle(ctx.op, target.handle));
+      if (!info.parent_handle) {
+        return Status::InvalidArgument(
+            "cannot insert a sibling of the document node");
+      }
+      anchor = info.parent_handle;
+    }
+    ValueIndexManager::PendingMaintenance pending;
+    if (indexes_ != nullptr) {
+      indexes_->PreUpdate(ctx.op, target.doc, kNullXptr, anchor, &pending);
+    }
+    std::vector<Xptr> inserted_roots;
     switch (stmt.insert_mode) {
       case InsertMode::kInto: {
         // Append each tree as the new last child, in sequence order.
@@ -381,26 +409,19 @@ StatusOr<StatementResult> StatementExecutor::RunInsert(
               Xptr inserted,
               InsertXmlTree(target.doc, ctx.op, target.handle, kNullXptr,
                             kNullXptr, *tree, &result.affected));
-          (void)inserted;
+          inserted_roots.push_back(inserted);
         }
         break;
       }
       case InsertMode::kFollowing:
       case InsertMode::kPreceding: {
-        SEDNA_ASSIGN_OR_RETURN(
-            NodeInfo info,
-            target.doc->nodes()->InfoByHandle(ctx.op, target.handle));
-        if (!info.parent_handle) {
-          return Status::InvalidArgument(
-              "cannot insert a sibling of the document node");
-        }
         if (stmt.insert_mode == InsertMode::kFollowing) {
           Xptr left = target.handle;
           for (const auto& tree : trees) {
             SEDNA_ASSIGN_OR_RETURN(
-                left, InsertXmlTree(target.doc, ctx.op, info.parent_handle,
-                                    left, kNullXptr, *tree,
-                                    &result.affected));
+                left, InsertXmlTree(target.doc, ctx.op, anchor, left,
+                                    kNullXptr, *tree, &result.affected));
+            inserted_roots.push_back(left);
           }
         } else {
           Xptr right = target.handle;
@@ -408,12 +429,16 @@ StatusOr<StatementResult> StatementExecutor::RunInsert(
           Xptr left;
           for (const auto& tree : trees) {
             SEDNA_ASSIGN_OR_RETURN(
-                left, InsertXmlTree(target.doc, ctx.op, info.parent_handle,
-                                    left, right, *tree, &result.affected));
+                left, InsertXmlTree(target.doc, ctx.op, anchor, left, right,
+                                    *tree, &result.affected));
+            inserted_roots.push_back(left);
           }
         }
         break;
       }
+    }
+    if (indexes_ != nullptr) {
+      indexes_->PostUpdate(ctx.op, inserted_roots, &pending);
     }
   }
   return result;
@@ -438,8 +463,16 @@ StatusOr<StatementResult> StatementExecutor::RunDelete(
       return Status::InvalidArgument(
           "cannot delete the document node; use DROP DOCUMENT");
     }
+    // Erase index entries while the subtree's values are still readable;
+    // the parent chain's concatenated values shrink, so it re-keys too.
+    ValueIndexManager::PendingMaintenance pending;
+    if (indexes_ != nullptr) {
+      indexes_->PreUpdate(ctx.op, target.doc, target.handle,
+                          info->parent_handle, &pending);
+    }
     SEDNA_RETURN_IF_ERROR(
         target.doc->nodes()->DeleteSubtree(ctx.op, target.handle));
+    if (indexes_ != nullptr) indexes_->PostUpdate(ctx.op, {}, &pending);
     result.affected++;
   }
   return result;
@@ -468,14 +501,27 @@ StatusOr<StatementResult> StatementExecutor::RunReplace(
     if (!with.ok()) return with.status();
     SEDNA_ASSIGN_OR_RETURN(std::vector<std::unique_ptr<XmlNode>> trees,
                            MaterializeSource(*with, ctx));
+    // One bracket covers both halves of the replace: the old subtree's
+    // entries go before it is deleted, the new trees' entries land in
+    // PostUpdate, and the parent chain re-keys once.
+    ValueIndexManager::PendingMaintenance pending;
+    if (indexes_ != nullptr) {
+      indexes_->PreUpdate(ctx.op, target.doc, target.handle,
+                          info.parent_handle, &pending);
+    }
+    std::vector<Xptr> inserted_roots;
     Xptr left = target.handle;
     for (const auto& tree : trees) {
       SEDNA_ASSIGN_OR_RETURN(
           left, InsertXmlTree(target.doc, ctx.op, info.parent_handle, left,
                               kNullXptr, *tree, &result.affected));
+      inserted_roots.push_back(left);
     }
     SEDNA_RETURN_IF_ERROR(
         target.doc->nodes()->DeleteSubtree(ctx.op, target.handle));
+    if (indexes_ != nullptr) {
+      indexes_->PostUpdate(ctx.op, inserted_roots, &pending);
+    }
     result.affected++;
   }
   return result;

@@ -1,10 +1,153 @@
 #include "xquery/value_index.h"
 
+#include <algorithm>
+
 #include "xquery/analyzer.h"
+#include "xquery/node_ops.h"
 #include "xquery/parser.h"
 #include "xquery/rewriter.h"
 
 namespace sedna {
+
+namespace {
+
+/// XDM string value of the stored node at `addr`.
+StatusOr<std::string> NodeValueOf(const OpCtx& op, DocumentStore* doc,
+                                  Xptr addr) {
+  return NodeStringValue(op, Item(StoredNode{doc, addr}));
+}
+
+/// Collects the NodeInfo of every node in the subtree rooted at `root_addr`
+/// (the root included), attributes included.
+Status CollectSubtree(const OpCtx& op, DocumentStore* doc, Xptr root_addr,
+                      std::vector<NodeInfo>* out) {
+  std::vector<Xptr> stack{root_addr};
+  while (!stack.empty()) {
+    Xptr addr = stack.back();
+    stack.pop_back();
+    SEDNA_ASSIGN_OR_RETURN(NodeInfo info, doc->nodes()->Info(op, addr));
+    out->push_back(info);
+    if (info.kind == XmlKind::kElement || info.kind == XmlKind::kDocument) {
+      SEDNA_ASSIGN_OR_RETURN(Xptr child, doc->nodes()->FirstChild(op, addr));
+      while (child) {
+        stack.push_back(child);
+        SEDNA_ASSIGN_OR_RETURN(NodeInfo ci, doc->nodes()->Info(op, child));
+        child = ci.right_sibling;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ValueIndexManager::ValueIndexManager(StorageEngine* storage)
+    : storage_(storage) {
+  for (const auto& [name, def] : storage_->index_definitions()) {
+    Index index;
+    index.name = name;
+    index.doc = def.doc;
+    index.path = def.path;
+    index.meta = Xptr(def.meta);
+    // A tree persisted by the last checkpoint reopens clean — no rebuild.
+    index.dirty = !index.meta;
+    LowerDefinition(&index);
+    indexes_[name] = std::move(index);
+  }
+}
+
+void ValueIndexManager::LowerDefinition(Index* index) {
+  index->structural = false;
+  index->steps.clear();
+  StatusOr<ExprPtr> parsed = ParseExpression(index->path);
+  if (!parsed.ok()) return;
+  if (!RewriteExpr(parsed->get(), nullptr).ok()) return;
+  const Expr& path = **parsed;
+  if (path.kind != ExprKind::kPath || path.steps.empty()) return;
+  std::vector<SummaryStep> steps;
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    const Step& s = path.steps[i];
+    if (!s.predicates.empty()) return;
+    SummaryStep out;
+    Axis axis = s.axis;
+    const NodeTest* test = &s.test;
+    if (axis == Axis::kDescendantOrSelf &&
+        s.test.kind == NodeTest::Kind::kAnyNode) {
+      // Uncombined '//' encoding: fold into a descendant step over the
+      // following child step's test.
+      if (i + 1 >= path.steps.size()) return;
+      const Step& next = path.steps[i + 1];
+      if (next.axis != Axis::kChild || !next.predicates.empty()) return;
+      axis = Axis::kDescendant;
+      test = &next.test;
+      i++;
+    }
+    switch (axis) {
+      case Axis::kChild:
+        out.axis = SummaryStep::Axis::kChild;
+        break;
+      case Axis::kDescendant:
+        out.axis = SummaryStep::Axis::kDescendant;
+        break;
+      case Axis::kAttribute:
+        out.axis = SummaryStep::Axis::kAttribute;
+        break;
+      default:
+        return;  // not structural
+    }
+    switch (test->kind) {
+      case NodeTest::Kind::kName:
+        out.kind = XmlKind::kElement;
+        out.name = test->name;
+        break;
+      case NodeTest::Kind::kAnyName:
+        out.kind = XmlKind::kElement;
+        out.name = "*";
+        break;
+      case NodeTest::Kind::kAnyNode:
+        out.any_node = true;
+        out.name = "*";
+        break;
+      case NodeTest::Kind::kText:
+        out.kind = XmlKind::kText;
+        out.name = "";
+        break;
+      case NodeTest::Kind::kComment:
+        out.kind = XmlKind::kComment;
+        out.name = "";
+        break;
+      case NodeTest::Kind::kPi:
+        out.kind = XmlKind::kPi;
+        out.name = test->name;
+        break;
+    }
+    steps.push_back(std::move(out));
+  }
+  if (steps.empty()) return;
+  index->steps = std::move(steps);
+  index->structural = true;
+}
+
+Status ValueIndexManager::RefreshCoveredLocked(Index* index,
+                                               DocumentStore* doc) {
+  if (!index->structural) {
+    return Status::FailedPrecondition("index is not structural");
+  }
+  const uint64_t version = doc->schema()->version();
+  if (index->covered_version == version) return Status::OK();
+  std::vector<SchemaNode*> nodes = doc->summary()->Resolve(index->steps);
+  index->covered.clear();
+  index->covered.reserve(nodes.size());
+  for (const SchemaNode* sn : nodes) index->covered.push_back(sn->id);
+  std::sort(index->covered.begin(), index->covered.end());
+  index->covered_version = version;
+  return Status::OK();
+}
+
+bool ValueIndexManager::Covers(const Index& index, uint32_t schema_id) {
+  return std::binary_search(index.covered.begin(), index.covered.end(),
+                            schema_id);
+}
 
 Status ValueIndexManager::Create(const OpCtx& op, const std::string& name,
                                  const std::string& doc,
@@ -23,42 +166,75 @@ Status ValueIndexManager::Create(const OpCtx& op, const std::string& name,
   index.doc = doc;
   index.path = path_text;
   index.dirty = true;
-  SEDNA_RETURN_IF_ERROR(RebuildLocked(op, &index));
+  LowerDefinition(&index);
+  storage_->SetIndexDefinition(name, doc, path_text, 0);
+  Status built = RebuildLocked(op, &index);
+  if (!built.ok()) {
+    storage_->RemoveIndexDefinition(name);
+    return built;
+  }
   indexes_[name] = std::move(index);
-  storage_->SetIndexDefinition(name, doc, path_text);
   return Status::OK();
 }
 
-Status ValueIndexManager::Drop(const std::string& name) {
+Status ValueIndexManager::Drop(const OpCtx& op, const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (indexes_.erase(name) == 0) {
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) {
     return Status::NotFound("index '" + name + "' does not exist");
   }
+  if (it->second.meta) {
+    BtreeIndex tree(storage_->env(), it->second.meta);
+    // An aborted transaction may have rolled the tree's pages back to
+    // garbage; only walk-and-free a tree whose meta is still readable.
+    if (tree.GetStats(op).ok()) {
+      SEDNA_RETURN_IF_ERROR(tree.Destroy(op));
+    }
+  }
+  indexes_.erase(it);
   storage_->RemoveIndexDefinition(name);
   return Status::OK();
 }
 
 Status ValueIndexManager::RebuildLocked(const OpCtx& op, Index* index) {
+  StorageEnv* env = storage_->env();
+  if (index->meta) {
+    BtreeIndex old(env, index->meta);
+    if (old.GetStats(op).ok()) {
+      SEDNA_RETURN_IF_ERROR(old.Destroy(op));
+    }
+    index->meta = Xptr();
+    storage_->SetIndexMeta(index->name, 0);
+  }
   SEDNA_ASSIGN_OR_RETURN(ExprPtr path, ParseExpression(index->path));
   SEDNA_RETURN_IF_ERROR(RewriteExpr(path.get(), nullptr));
   ExecContext ctx;
   ctx.storage = storage_;
   ctx.op = op;
   SEDNA_ASSIGN_OR_RETURN(Sequence nodes, Eval(*path, ctx));
-  index->entries.clear();
+  SEDNA_ASSIGN_OR_RETURN(Xptr meta, BtreeIndex::Create(env, op));
+  BtreeIndex tree(env, meta);
   for (const Item& item : nodes) {
     if (!item.is_stored_node()) {
-      return Status::InvalidArgument(
-          "index path must select stored nodes");
+      (void)tree.Destroy(op);
+      return Status::InvalidArgument("index path must select stored nodes");
     }
     const StoredNode& n = item.stored();
     SEDNA_ASSIGN_OR_RETURN(NodeInfo info, n.doc->nodes()->Info(op, n.addr));
     SEDNA_ASSIGN_OR_RETURN(std::string key, NodeStringValue(op, item));
-    index->entries.emplace(std::move(key), info.handle);
+    SEDNA_RETURN_IF_ERROR(tree.Insert(op, key, info.handle));
   }
+  index->meta = meta;
   index->dirty = false;
+  index->covered_version = 0;  // schema may have moved while dirty
   rebuilds_++;
+  storage_->SetIndexMeta(index->name, meta.raw);
   return Status::OK();
+}
+
+Status ValueIndexManager::EnsureCleanLocked(const OpCtx& op, Index* index) {
+  if (!index->dirty && index->meta) return Status::OK();
+  return RebuildLocked(op, index);
 }
 
 StatusOr<Sequence> ValueIndexManager::Lookup(const OpCtx& op,
@@ -70,18 +246,26 @@ StatusOr<Sequence> ValueIndexManager::Lookup(const OpCtx& op,
     return Status::NotFound("index '" + name + "' does not exist");
   }
   Index& index = it->second;
-  if (index.dirty) {
-    SEDNA_RETURN_IF_ERROR(RebuildLocked(op, &index));
-  }
+  SEDNA_RETURN_IF_ERROR(EnsureCleanLocked(op, &index));
   SEDNA_ASSIGN_OR_RETURN(DocumentStore * doc,
                          storage_->GetDocument(index.doc));
+  BtreeIndex tree(storage_->env(), index.meta);
+  std::vector<Xptr> handles;
+  SEDNA_RETURN_IF_ERROR(tree.ScanEqual(op, key, &handles));
+  const bool verify = key.size() >= kBtreeMaxKeyBytes;
   Sequence out;
-  auto [begin, end] = index.entries.equal_range(key);
-  for (auto e = begin; e != end; ++e) {
+  for (Xptr handle : handles) {
     // Handles survive node moves; resolve to the current direct pointer.
-    SEDNA_ASSIGN_OR_RETURN(Xptr addr, doc->indirection()->Get(op, e->second));
+    SEDNA_ASSIGN_OR_RETURN(Xptr addr, doc->indirection()->Get(op, handle));
+    if (verify) {
+      SEDNA_ASSIGN_OR_RETURN(std::string value, NodeValueOf(op, doc, addr));
+      if (value != key) continue;  // prefix collision on a truncated key
+    }
     out.push_back(Item(StoredNode{doc, addr}));
   }
+  // index-lookup() results are document-ordered and duplicate-free, like
+  // every other node-sequence-producing operation.
+  SEDNA_RETURN_IF_ERROR(DistinctDocOrder(op, &out));
   return out;
 }
 
@@ -92,15 +276,265 @@ StatusOr<uint64_t> ValueIndexManager::EntryCount(const OpCtx& op,
   if (it == indexes_.end()) {
     return Status::NotFound("index '" + name + "' does not exist");
   }
-  if (it->second.dirty) {
-    SEDNA_RETURN_IF_ERROR(RebuildLocked(op, &it->second));
+  SEDNA_RETURN_IF_ERROR(EnsureCleanLocked(op, &it->second));
+  BtreeIndex tree(storage_->env(), it->second.meta);
+  SEDNA_ASSIGN_OR_RETURN(BtreeIndex::Stats stats, tree.GetStats(op));
+  return stats.entry_count;
+}
+
+bool ValueIndexManager::FindIndexFor(
+    const OpCtx& op, DocumentStore* doc,
+    const std::vector<uint32_t>& value_schema_ids, IndexPlan* plan) {
+  if (value_schema_ids.empty()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  bool found = false;
+  for (auto& [name, index] : indexes_) {
+    if (index.doc != doc->name() || !index.structural || index.dirty ||
+        !index.meta) {
+      continue;
+    }
+    if (!RefreshCoveredLocked(&index, doc).ok()) continue;
+    bool covers_all = true;
+    for (uint32_t id : value_schema_ids) {
+      if (!Covers(index, id)) {
+        covers_all = false;
+        break;
+      }
+    }
+    if (!covers_all) continue;
+    StatusOr<BtreeIndex::Stats> stats =
+        BtreeIndex(storage_->env(), index.meta).GetStats(op);
+    if (!stats.ok()) {
+      index.dirty = true;  // graceful degradation: rebuild on next use
+      continue;
+    }
+    uint64_t est =
+        stats->entry_count / std::max<uint64_t>(1, stats->distinct_keys);
+    if (!found || est < plan->est_rows) {
+      plan->name = name;
+      plan->entry_count = stats->entry_count;
+      plan->distinct_keys = stats->distinct_keys;
+      plan->est_rows = est;
+      found = true;
+    }
   }
-  return static_cast<uint64_t>(it->second.entries.size());
+  return found;
+}
+
+StatusOr<Sequence> ValueIndexManager::ExecuteIndexScan(
+    const OpCtx& op, const std::string& name, const std::string& key,
+    const std::vector<uint32_t>& value_schema_ids, int parent_hops) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) {
+    return Status::NotFound("index '" + name + "' does not exist");
+  }
+  Index& index = it->second;
+  SEDNA_RETURN_IF_ERROR(EnsureCleanLocked(op, &index));
+  SEDNA_ASSIGN_OR_RETURN(DocumentStore * doc,
+                         storage_->GetDocument(index.doc));
+  BtreeIndex tree(storage_->env(), index.meta);
+  std::vector<Xptr> handles;
+  SEDNA_RETURN_IF_ERROR(tree.ScanEqual(op, key, &handles));
+  const bool verify = key.size() >= kBtreeMaxKeyBytes;
+  Sequence out;
+  for (Xptr handle : handles) {
+    SEDNA_ASSIGN_OR_RETURN(NodeInfo info,
+                           doc->nodes()->InfoByHandle(op, handle));
+    // The index may cover more schema nodes than this query's predicate
+    // reaches; keep only value nodes on the query's paths.
+    if (!std::binary_search(value_schema_ids.begin(), value_schema_ids.end(),
+                            info.schema_id)) {
+      continue;
+    }
+    if (verify) {
+      SEDNA_ASSIGN_OR_RETURN(std::string value,
+                             NodeValueOf(op, doc, info.addr));
+      if (value != key) continue;
+    }
+    // The value node's schema node fixes its whole ancestor chain (the
+    // schema is a tree), so hopping up the relative path's length lands on
+    // exactly the step the predicate qualified.
+    for (int hop = 0; hop < parent_hops; ++hop) {
+      if (!info.parent_handle) {
+        return Status::Internal("index scan walked past the document root");
+      }
+      SEDNA_ASSIGN_OR_RETURN(
+          info, doc->nodes()->InfoByHandle(op, info.parent_handle));
+    }
+    out.push_back(Item(StoredNode{doc, info.addr}));
+  }
+  SEDNA_RETURN_IF_ERROR(DistinctDocOrder(op, &out));
+  return out;
+}
+
+Status ValueIndexManager::MaintainSubtreeLocked(const OpCtx& op, Index* index,
+                                                DocumentStore* doc,
+                                                Xptr root_handle,
+                                                bool insert) {
+  SEDNA_ASSIGN_OR_RETURN(Xptr root_addr,
+                         doc->indirection()->Get(op, root_handle));
+  std::vector<NodeInfo> nodes;
+  SEDNA_RETURN_IF_ERROR(CollectSubtree(op, doc, root_addr, &nodes));
+  BtreeIndex tree(storage_->env(), index->meta);
+  for (const NodeInfo& info : nodes) {
+    if (!Covers(*index, info.schema_id)) continue;
+    SEDNA_ASSIGN_OR_RETURN(std::string value, NodeValueOf(op, doc, info.addr));
+    if (insert) {
+      SEDNA_RETURN_IF_ERROR(tree.Insert(op, value, info.handle));
+    } else {
+      SEDNA_RETURN_IF_ERROR(tree.Erase(op, value, info.handle));
+    }
+  }
+  return Status::OK();
+}
+
+void ValueIndexManager::PreUpdate(const OpCtx& op, DocumentStore* doc,
+                                  Xptr subtree_handle, Xptr ancestor_handle,
+                                  PendingMaintenance* pending) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending->doc = doc;
+  for (auto& [name, index] : indexes_) {
+    if (index.doc != doc->name()) continue;
+    if (!index.structural) {
+      // Legacy fallback, scoped to this document: lazy full rebuild.
+      index.dirty = true;
+      continue;
+    }
+    if (index.dirty) continue;
+    Status s = [&]() -> Status {
+      SEDNA_RETURN_IF_ERROR(RefreshCoveredLocked(&index, doc));
+      if (subtree_handle) {
+        SEDNA_RETURN_IF_ERROR(
+            MaintainSubtreeLocked(op, &index, doc, subtree_handle,
+                                  /*insert=*/false));
+      }
+      // Remove covered ancestors under their OLD string values; PostUpdate
+      // re-adds them keyed by the post-mutation values.
+      BtreeIndex tree(storage_->env(), index.meta);
+      for (Xptr h = ancestor_handle; h;) {
+        SEDNA_ASSIGN_OR_RETURN(NodeInfo info,
+                               doc->nodes()->InfoByHandle(op, h));
+        if (Covers(index, info.schema_id)) {
+          SEDNA_ASSIGN_OR_RETURN(std::string value,
+                                 NodeValueOf(op, doc, info.addr));
+          SEDNA_RETURN_IF_ERROR(tree.Erase(op, value, h));
+          pending->ancestors.emplace_back(index.name, h);
+        }
+        h = info.parent_handle;
+      }
+      return Status::OK();
+    }();
+    if (!s.ok()) {
+      index.dirty = true;
+      maintenance_failures_++;
+    }
+  }
+}
+
+void ValueIndexManager::PostUpdate(const OpCtx& op,
+                                   const std::vector<Xptr>& new_subtrees,
+                                   PendingMaintenance* pending) {
+  std::lock_guard<std::mutex> lock(mu_);
+  DocumentStore* doc = pending->doc;
+  if (doc == nullptr) return;
+  for (auto& [name, index] : indexes_) {
+    if (index.doc != doc->name() || !index.structural || index.dirty) {
+      continue;
+    }
+    Status s = [&]() -> Status {
+      // The insert may have grown the schema; re-resolve the covered set
+      // before classifying the new nodes.
+      SEDNA_RETURN_IF_ERROR(RefreshCoveredLocked(&index, doc));
+      for (Xptr root : new_subtrees) {
+        SEDNA_RETURN_IF_ERROR(
+            MaintainSubtreeLocked(op, &index, doc, root, /*insert=*/true));
+      }
+      return Status::OK();
+    }();
+    if (!s.ok()) {
+      index.dirty = true;
+      maintenance_failures_++;
+    }
+  }
+  for (const auto& [iname, handle] : pending->ancestors) {
+    auto it = indexes_.find(iname);
+    if (it == indexes_.end() || it->second.dirty) continue;
+    Index& index = it->second;
+    Status s = [&]() -> Status {
+      SEDNA_ASSIGN_OR_RETURN(NodeInfo info,
+                             doc->nodes()->InfoByHandle(op, handle));
+      SEDNA_ASSIGN_OR_RETURN(std::string value,
+                             NodeValueOf(op, doc, info.addr));
+      BtreeIndex tree(storage_->env(), index.meta);
+      return tree.Insert(op, value, handle);
+    }();
+    if (!s.ok()) {
+      index.dirty = true;
+      maintenance_failures_++;
+    }
+  }
+  maintenance_ops_++;
+  pending->ancestors.clear();
+  pending->doc = nullptr;
+}
+
+void ValueIndexManager::InvalidateDocument(const std::string& doc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, index] : indexes_) {
+    if (index.doc == doc) index.dirty = true;
+  }
 }
 
 void ValueIndexManager::InvalidateAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, index] : indexes_) index.dirty = true;
+}
+
+Status ValueIndexManager::OnDocumentDropped(const OpCtx& op,
+                                            const std::string& doc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = indexes_.begin(); it != indexes_.end();) {
+    if (it->second.doc != doc) {
+      ++it;
+      continue;
+    }
+    if (it->second.meta) {
+      BtreeIndex tree(storage_->env(), it->second.meta);
+      if (tree.GetStats(op).ok()) {
+        SEDNA_RETURN_IF_ERROR(tree.Destroy(op));
+      }
+    }
+    storage_->RemoveIndexDefinition(it->first);
+    it = indexes_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status ValueIndexManager::Validate(const OpCtx& op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, index] : indexes_) {
+    if (index.dirty || !index.meta) continue;  // nothing durable to check
+    StatusOr<DocumentStore*> doc = storage_->GetDocument(index.doc);
+    if (!doc.ok()) {
+      return Status::Corruption("index '" + name +
+                                "' refers to missing document '" + index.doc +
+                                "'");
+    }
+    BtreeIndex tree(storage_->env(), index.meta);
+    SEDNA_RETURN_IF_ERROR(tree.Validate(op));
+    std::vector<std::pair<std::string, Xptr>> entries;
+    SEDNA_RETURN_IF_ERROR(tree.ScanAll(op, &entries));
+    for (const auto& [key, handle] : entries) {
+      Status resolved = (*doc)->indirection()->Get(op, handle).status();
+      if (!resolved.ok()) {
+        return Status::Corruption("index '" + name +
+                                  "' entry handle does not resolve: " +
+                                  resolved.message());
+      }
+    }
+  }
+  return Status::OK();
 }
 
 std::vector<std::string> ValueIndexManager::Names() const {

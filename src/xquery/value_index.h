@@ -7,10 +7,21 @@
 // descriptors, which is exactly why the paper indexes handles rather than
 // direct pointers.
 //
-// Maintenance model: an index is invalidated by any update statement and
-// rebuilt lazily on the next lookup (a scan over the defining path).
-// Definitions persist in the storage catalog; entries are rebuilt after
-// restart.
+// Entries live in a persistent B+tree (storage/btree_index.h) whose pages
+// ride the same buffer pool, version manager and checkpoint cycle as node
+// blocks, so index state survives restart without a rebuild and rolls back
+// with the transaction on abort. Structural index definitions (child /
+// attribute / descendant steps only, no predicates) are lowered to a
+// path-summary pattern; the set of schema nodes the pattern covers is what
+// drives both incremental maintenance (update statements erase and re-add
+// exactly the affected entries) and the cost-based planner (an index serves
+// a predicate when its covered set contains every schema node the
+// predicate's relative path can reach).
+//
+// Non-structural definitions (or any index whose maintenance hits an error)
+// fall back to the legacy model: a per-document dirty flag and a lazy full
+// rebuild on next use. Invalidation is scoped per document — an update to
+// doc A never dirties indexes over doc B.
 
 #ifndef SEDNA_XQUERY_VALUE_INDEX_H_
 #define SEDNA_XQUERY_VALUE_INDEX_H_
@@ -18,8 +29,11 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "storage/btree_index.h"
+#include "storage/path_summary.h"
 #include "storage/storage_engine.h"
 #include "xquery/executor.h"
 
@@ -27,38 +41,97 @@ namespace sedna {
 
 class ValueIndexManager {
  public:
-  explicit ValueIndexManager(StorageEngine* storage) : storage_(storage) {
-    for (const auto& [name, def] : storage_->index_definitions()) {
-      Index index;
-      index.name = name;
-      index.doc = def.first;
-      index.path = def.second;
-      index.dirty = true;
-      indexes_[name] = std::move(index);
-    }
-  }
+  explicit ValueIndexManager(StorageEngine* storage);
 
   /// Registers an index over the nodes selected by `path_text` (a
-  /// structural path expression) in document `doc`.
+  /// structural path expression) in document `doc` and builds its B+tree.
   Status Create(const OpCtx& op, const std::string& name,
                 const std::string& doc, const std::string& path_text);
 
-  Status Drop(const std::string& name);
+  /// Drops the index and frees its B+tree pages.
+  Status Drop(const OpCtx& op, const std::string& name);
 
-  /// Nodes whose string value equals `key` (document order not guaranteed;
-  /// callers sort if needed).
+  /// Nodes whose string value equals `key`, in document order without
+  /// duplicates (the fix for the old arbitrary-order contract).
   StatusOr<Sequence> Lookup(const OpCtx& op, const std::string& name,
                             const std::string& key);
 
-  /// Count of keys currently in the index (rebuilds if dirty).
+  /// Count of entries currently in the index (rebuilds if dirty).
   StatusOr<uint64_t> EntryCount(const OpCtx& op, const std::string& name);
 
-  /// Invalidates every index (called after any update statement commits
-  /// work; conservative and cheap — rebuilds are lazy).
+  // --- planner API ----------------------------------------------------------
+
+  /// Everything the cost-based rewriter needs to price an index scan
+  /// against a block scan. est_rows = entry_count / max(1, distinct_keys).
+  struct IndexPlan {
+    std::string name;
+    uint64_t entry_count = 0;
+    uint64_t distinct_keys = 0;
+    uint64_t est_rows = 0;
+  };
+
+  /// Finds a clean structural index over `doc` whose covered schema-node
+  /// set contains every id in `value_schema_ids` (sorted). Returns false
+  /// when no index qualifies; never triggers a rebuild.
+  bool FindIndexFor(const OpCtx& op, DocumentStore* doc,
+                    const std::vector<uint32_t>& value_schema_ids,
+                    IndexPlan* plan);
+
+  /// Runs the physical index scan: entries equal to `key`, filtered to
+  /// value nodes whose schema id is in `value_schema_ids`, each walked up
+  /// `parent_hops` parent handles to the result node, then deduplicated
+  /// into document order.
+  StatusOr<Sequence> ExecuteIndexScan(
+      const OpCtx& op, const std::string& name, const std::string& key,
+      const std::vector<uint32_t>& value_schema_ids, int parent_hops);
+
+  // --- incremental maintenance ----------------------------------------------
+  // Update statements bracket each target mutation with PreUpdate /
+  // PostUpdate. PreUpdate runs BEFORE the mutation while old string values
+  // are still computable: it erases the entries of covered nodes inside the
+  // to-be-deleted subtree and of covered ancestors (whose concatenated text
+  // value is about to change), recording the ancestors for re-keying.
+  // PostUpdate runs AFTER: it inserts entries for covered nodes in newly
+  // inserted subtrees and re-adds the recorded ancestors with their new
+  // values. Maintenance never fails the statement — any error marks the
+  // index dirty (lazy rebuild) and is counted in maintenance_failures().
+
+  struct PendingMaintenance {
+    DocumentStore* doc = nullptr;
+    std::vector<std::pair<std::string, Xptr>> ancestors;  // (index, handle)
+  };
+
+  /// `subtree_handle`: root of a subtree about to be deleted (null for pure
+  /// inserts). `ancestor_handle`: first node of the parent chain whose
+  /// string value the mutation may change (null-safe).
+  void PreUpdate(const OpCtx& op, DocumentStore* doc, Xptr subtree_handle,
+                 Xptr ancestor_handle, PendingMaintenance* pending);
+
+  /// `new_subtrees`: handles of subtree roots inserted by the mutation.
+  void PostUpdate(const OpCtx& op, const std::vector<Xptr>& new_subtrees,
+                  PendingMaintenance* pending);
+
+  // --- invalidation fallback ------------------------------------------------
+
+  /// Marks every index over `doc` dirty (lazy rebuild on next use).
+  void InvalidateDocument(const std::string& doc);
+
+  /// Marks every index dirty. Kept for coarse callers (tests, recovery
+  /// edge cases); statement execution uses the scoped variants.
   void InvalidateAll();
+
+  /// Drops every index defined over `doc`, freeing their B+trees.
+  Status OnDocumentDropped(const OpCtx& op, const std::string& doc);
+
+  /// Deep check of every clean index: B+tree structural validation plus
+  /// resolution of every stored handle through the document's indirection
+  /// table. Wired into Database::CheckConsistency.
+  Status Validate(const OpCtx& op);
 
   std::vector<std::string> Names() const;
   uint64_t rebuilds() const { return rebuilds_; }
+  uint64_t maintenance_ops() const { return maintenance_ops_; }
+  uint64_t maintenance_failures() const { return maintenance_failures_; }
 
  private:
   struct Index {
@@ -66,15 +139,38 @@ class ValueIndexManager {
     std::string doc;
     std::string path;  // statement text of the defining path
     bool dirty = true;
-    std::multimap<std::string, Xptr> entries;  // string value -> node handle
+    Xptr meta;  // B+tree meta page (null until first build)
+
+    // Structural lowering (empty + structural=false when the path has
+    // non-structural steps; such indexes always use the rebuild fallback).
+    bool structural = false;
+    std::vector<SummaryStep> steps;
+
+    // Schema nodes the pattern covers, refreshed when the schema version
+    // moves (sorted ids; binary-searchable).
+    std::vector<uint32_t> covered;
+    uint64_t covered_version = 0;
   };
 
   Status RebuildLocked(const OpCtx& op, Index* index);
+  Status EnsureCleanLocked(const OpCtx& op, Index* index);
+  /// Refreshes index->covered from the document's path summary.
+  Status RefreshCoveredLocked(Index* index, DocumentStore* doc);
+  /// Lowers index->path into SummarySteps; sets index->structural.
+  void LowerDefinition(Index* index);
+  /// Erases (old values) or inserts (new values) the covered entries of
+  /// the subtree rooted at `root_handle`.
+  Status MaintainSubtreeLocked(const OpCtx& op, Index* index,
+                               DocumentStore* doc, Xptr root_handle,
+                               bool insert);
+  static bool Covers(const Index& index, uint32_t schema_id);
 
   StorageEngine* storage_;
   mutable std::mutex mu_;
   std::map<std::string, Index> indexes_;
   uint64_t rebuilds_ = 0;
+  uint64_t maintenance_ops_ = 0;
+  uint64_t maintenance_failures_ = 0;
 };
 
 }  // namespace sedna

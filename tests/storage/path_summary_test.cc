@@ -1,0 +1,187 @@
+// Path-summary tests: inverted-lookup resolution over the descriptive
+// schema must agree with the executor's historical frontier walk, including
+// its kind-matching quirks, and track schema growth via the version stamp.
+
+#include "storage/path_summary.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace sedna {
+namespace {
+
+SummaryStep Child(std::string name,
+                  XmlKind kind = XmlKind::kElement) {
+  SummaryStep s;
+  s.axis = SummaryStep::Axis::kChild;
+  s.kind = kind;
+  s.name = std::move(name);
+  return s;
+}
+
+SummaryStep Desc(std::string name, XmlKind kind = XmlKind::kElement) {
+  SummaryStep s;
+  s.axis = SummaryStep::Axis::kDescendant;
+  s.kind = kind;
+  s.name = std::move(name);
+  return s;
+}
+
+SummaryStep Attr(std::string name) {
+  SummaryStep s;
+  s.axis = SummaryStep::Axis::kAttribute;
+  s.kind = XmlKind::kAttribute;
+  s.name = std::move(name);
+  return s;
+}
+
+SummaryStep AnyNode(SummaryStep::Axis axis) {
+  SummaryStep s;
+  s.axis = axis;
+  s.kind = XmlKind::kElement;
+  s.name = "*";
+  s.any_node = true;
+  return s;
+}
+
+/// library/(book[@id]/(title,text()) , book/author , journal/title)
+class PathSummaryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SchemaNode* root = schema_.root();
+    lib_ = schema_.GetOrAddChild(root, XmlKind::kElement, "library");
+    book_ = schema_.GetOrAddChild(lib_, XmlKind::kElement, "book");
+    id_ = schema_.GetOrAddChild(book_, XmlKind::kAttribute, "id");
+    title_ = schema_.GetOrAddChild(book_, XmlKind::kElement, "title");
+    text_ = schema_.GetOrAddChild(book_, XmlKind::kText, "");
+    author_ = schema_.GetOrAddChild(book_, XmlKind::kElement, "author");
+    journal_ = schema_.GetOrAddChild(lib_, XmlKind::kElement, "journal");
+    jtitle_ = schema_.GetOrAddChild(journal_, XmlKind::kElement, "title");
+  }
+
+  static std::vector<SchemaNode*> Sorted(std::vector<SchemaNode*> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+
+  DescriptiveSchema schema_;
+  SchemaNode* lib_ = nullptr;
+  SchemaNode* book_ = nullptr;
+  SchemaNode* id_ = nullptr;
+  SchemaNode* title_ = nullptr;
+  SchemaNode* text_ = nullptr;
+  SchemaNode* author_ = nullptr;
+  SchemaNode* journal_ = nullptr;
+  SchemaNode* jtitle_ = nullptr;
+};
+
+TEST_F(PathSummaryTest, ChildChainFromRoot) {
+  PathSummary summary(&schema_);
+  EXPECT_EQ(summary.Resolve({Child("library"), Child("book")}),
+            std::vector<SchemaNode*>{book_});
+  EXPECT_EQ(
+      summary.Resolve({Child("library"), Child("book"), Child("title")}),
+      std::vector<SchemaNode*>{title_});
+  EXPECT_TRUE(summary.Resolve({Child("nope")}).empty());
+  EXPECT_TRUE(summary.Resolve({Child("book")}).empty());  // not a root child
+}
+
+TEST_F(PathSummaryTest, DescendantFindsAllDepths) {
+  PathSummary summary(&schema_);
+  EXPECT_EQ(summary.Resolve({Desc("title")}), Sorted({title_, jtitle_}));
+  EXPECT_EQ(summary.Resolve({Child("library"), Desc("title")}),
+            Sorted({title_, jtitle_}));
+  EXPECT_EQ(summary.Resolve({Desc("book"), Child("title")}),
+            std::vector<SchemaNode*>{title_});
+  // Agreement with the schema's own descendant enumeration.
+  EXPECT_EQ(Sorted(schema_.FindDescendants(schema_.root(),
+                                           XmlKind::kElement, "title")),
+            summary.Resolve({Desc("title")}));
+}
+
+TEST_F(PathSummaryTest, AttributeAxisMatchesAttributesOnly) {
+  PathSummary summary(&schema_);
+  EXPECT_EQ(summary.Resolve({Desc("book"), Attr("id")}),
+            std::vector<SchemaNode*>{id_});
+  // child::id does not reach the attribute node (kind mismatch).
+  EXPECT_TRUE(
+      summary.Resolve({Desc("book"), Child("id")}).empty());
+}
+
+TEST_F(PathSummaryTest, WildcardName) {
+  PathSummary summary(&schema_);
+  EXPECT_EQ(summary.Resolve({Child("library"), Child("*")}),
+            Sorted({book_, journal_}));
+  // The wildcard still filters by kind: no text or attribute nodes.
+  EXPECT_EQ(summary.Resolve({Desc("book"), Child("*")}),
+            Sorted({title_, author_}));
+}
+
+TEST_F(PathSummaryTest, AnyNodeQuirkParity) {
+  PathSummary summary(&schema_);
+  // child::node() matches every non-attribute kind — text included.
+  EXPECT_EQ(summary.Resolve(
+                {Child("library"), Child("book"),
+                 AnyNode(SummaryStep::Axis::kChild)}),
+            Sorted({title_, text_, author_}));
+  // Historical frontier-walk quirk, preserved deliberately:
+  // descendant::node() matched elements only (exact-kind filter in
+  // FindDescendants), never text nodes. Results must not change with the
+  // lookup strategy.
+  std::vector<SchemaNode*> via_desc =
+      summary.Resolve({AnyNode(SummaryStep::Axis::kDescendant)});
+  EXPECT_TRUE(std::find(via_desc.begin(), via_desc.end(), text_) ==
+              via_desc.end());
+  EXPECT_EQ(via_desc,
+            Sorted({lib_, book_, title_, author_, journal_, jtitle_}));
+}
+
+TEST_F(PathSummaryTest, TextKindSteps) {
+  PathSummary summary(&schema_);
+  SummaryStep text_step;
+  text_step.axis = SummaryStep::Axis::kChild;
+  text_step.kind = XmlKind::kText;
+  text_step.name = "*";
+  EXPECT_EQ(summary.Resolve({Desc("book"), text_step}),
+            std::vector<SchemaNode*>{text_});
+}
+
+TEST_F(PathSummaryTest, ResolveFromFrontier) {
+  PathSummary summary(&schema_);
+  // Relative resolution from a mid-tree frontier — what the cost-based
+  // planner does to type a predicate's relative path.
+  EXPECT_EQ(summary.ResolveFrom({book_}, {Child("title")}),
+            std::vector<SchemaNode*>{title_});
+  EXPECT_EQ(summary.ResolveFrom({book_, journal_}, {Child("title")}),
+            Sorted({title_, jtitle_}));
+  EXPECT_EQ(summary.ResolveFrom({lib_}, {Desc("title")}),
+            Sorted({title_, jtitle_}));
+  // An empty step list is the frontier itself.
+  EXPECT_EQ(summary.ResolveFrom({book_}, {}),
+            std::vector<SchemaNode*>{book_});
+}
+
+TEST_F(PathSummaryTest, DuplicateFrontierEntriesDeduplicate) {
+  PathSummary summary(&schema_);
+  EXPECT_EQ(summary.ResolveFrom({book_, book_}, {Child("title")}),
+            std::vector<SchemaNode*>{title_});
+}
+
+TEST_F(PathSummaryTest, VersionTracksSchemaGrowth) {
+  PathSummary summary(&schema_);
+  EXPECT_EQ(summary.schema_version(), schema_.version());
+  schema_.GetOrAddChild(journal_, XmlKind::kElement, "issue");
+  EXPECT_NE(summary.schema_version(), schema_.version());
+  // A summary rebuilt over the grown schema sees the new node.
+  PathSummary fresh(&schema_);
+  EXPECT_EQ(fresh.Resolve({Desc("issue")}).size(), 1u);
+  EXPECT_TRUE(summary.Resolve({Desc("issue")}).empty());  // stale by design
+}
+
+}  // namespace
+}  // namespace sedna

@@ -1,8 +1,12 @@
 // Differential harness: every (document, query) pair is executed once
 // through the eager evaluator and then through the pull-based streaming
-// pipeline at every point of the {workers 1,4} x {batch 1,64}
-// configuration matrix — serial and morsel-parallel, single-item and
-// vectorized batches — and all serializations must be byte-identical.
+// pipeline at every point of the {workers 1,4} x {batch 1,64} x
+// {value-indexes on,off} configuration matrix — serial and
+// morsel-parallel, single-item and vectorized batches, with and without
+// the cost-based index planner — and all serializations must be
+// byte-identical. Persistent value indexes over 'big'//item and
+// 'bench'//payment make the index-candidate corpus queries genuinely
+// plan-divergent between the on/off rows.
 // The corpus folds in every query from streaming_test.cc and
 // bench_streaming.cc plus a template sweep over a zoo of generated
 // documents; the suite asserts it covers at least 200 pairs (ISSUE 4
@@ -19,6 +23,7 @@
 #include "xml/xml_parser.h"
 #include "xmlgen/generators.h"
 #include "xquery/statement.h"
+#include "xquery/value_index.h"
 
 namespace sedna {
 namespace {
@@ -125,6 +130,20 @@ class DifferentialTest : public StorageTest {
     LoadTree("rand1", *xmlgen::RandomTree(300, 1));
     LoadTree("rand2", *xmlgen::RandomTree(300, 2));
     LoadTree("rand3", *xmlgen::RandomTree(300, 3));
+
+    // Persistent value indexes over the two paths the corpus probes with
+    // equality predicates, so index-on rows actually take index plans.
+    indexes_ = std::make_unique<ValueIndexManager>(engine_.get());
+    executor_->set_index_manager(indexes_.get());
+    ASSERT_TRUE(executor_
+                    ->Execute("CREATE INDEX 'diff-item' ON doc('big')//item",
+                              ctx_)
+                    .ok());
+    ASSERT_TRUE(
+        executor_
+            ->Execute("CREATE INDEX 'diff-payment' ON doc('bench')//payment",
+                      ctx_)
+            .ok());
   }
 
   void LoadXml(const std::string& name, const std::string& xml) {
@@ -139,13 +158,16 @@ class DifferentialTest : public StorageTest {
     ASSERT_TRUE((*store)->Load(ctx_, tree).ok());
   }
 
-  // Runs `q` eagerly once, then through the streaming pipeline at every
-  // point of the {workers 1,4} x {batch 1,64} matrix, and fails unless all
+  // Runs `q` eagerly once (indexes off — the reference plan), then through
+  // the streaming pipeline at every point of the {workers 1,4} x
+  // {batch 1,64} x {value-indexes on,off} matrix, and fails unless all
   // serializations match. Returns false on any execution error or
   // mismatch (already reported via EXPECT).
   bool CheckPair(const std::string& q) {
+    RewriteOptions no_index;
+    no_index.use_value_indexes = false;
     executor_->set_streaming_enabled(false);
-    auto eager = executor_->Execute(q, ctx_);
+    auto eager = executor_->Execute(q, ctx_, no_index);
     executor_->set_streaming_enabled(true);
     EXPECT_TRUE(eager.ok()) << q << "\n  -> (eager) "
                             << eager.status().ToString();
@@ -154,19 +176,25 @@ class DifferentialTest : public StorageTest {
     bool all_match = true;
     for (uint32_t workers : {1u, 4u}) {
       for (size_t batch : {size_t{1}, size_t{64}}) {
-        executor_->set_parallel_workers(workers);
-        executor_->set_batch_size(batch);
-        auto streamed = executor_->Execute(q, ctx_);
-        EXPECT_TRUE(streamed.ok())
-            << q << " (streaming workers=" << workers << " batch=" << batch
-            << ")\n  -> " << streamed.status().ToString();
-        if (!streamed.ok()) {
-          all_match = false;
-          continue;
+        for (bool use_index : {false, true}) {
+          executor_->set_parallel_workers(workers);
+          executor_->set_batch_size(batch);
+          RewriteOptions options;
+          options.use_value_indexes = use_index;
+          auto streamed = executor_->Execute(q, ctx_, options);
+          EXPECT_TRUE(streamed.ok())
+              << q << " (streaming workers=" << workers << " batch=" << batch
+              << " index=" << use_index << ")\n  -> "
+              << streamed.status().ToString();
+          if (!streamed.ok()) {
+            all_match = false;
+            continue;
+          }
+          EXPECT_EQ(streamed->serialized, eager->serialized)
+              << q << " (workers=" << workers << " batch=" << batch
+              << " index=" << use_index << ")";
+          all_match &= streamed->serialized == eager->serialized;
         }
-        EXPECT_EQ(streamed->serialized, eager->serialized)
-            << q << " (workers=" << workers << " batch=" << batch << ")";
-        all_match &= streamed->serialized == eager->serialized;
       }
     }
     executor_->set_parallel_workers(default_workers_);
@@ -185,6 +213,7 @@ class DifferentialTest : public StorageTest {
   }
 
   std::unique_ptr<StatementExecutor> executor_;
+  std::unique_ptr<ValueIndexManager> indexes_;
   uint32_t default_workers_ = 1;
   size_t default_batch_ = kDefaultBatchSize;
 };
