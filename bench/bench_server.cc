@@ -1,0 +1,295 @@
+// E19 — network front end under load (paper Figure 1: the governor
+// multiplexing many client connections onto bounded resources).
+//
+// Scenarios, all against one server with a bounded worker pool:
+//   * closed loop: C clients, each firing the next request the moment the
+//     previous reply lands — measures protocol + scheduler overhead.
+//   * open loop: requests arrive at a fixed rate regardless of completions
+//     (the honest latency experiment: queueing delay is part of p99).
+//   * connection scale: 1000 concurrent connections multiplexed by a few
+//     driver threads — thousands of sockets, four workers.
+//
+// Output: one row per scenario with throughput and latency percentiles;
+// BENCH_bench_server.json carries the same rows plus the metrics-registry
+// snapshot (net.* counters included).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+
+namespace sedna {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ScenarioResult {
+  std::string name;
+  size_t connections = 0;
+  size_t requests = 0;
+  size_t errors = 0;
+  double seconds = 0;
+  double p50_ms = 0, p95_ms = 0, p99_ms = 0, max_ms = 0;
+
+  double throughput() const {
+    return seconds > 0 ? static_cast<double>(requests) / seconds : 0;
+  }
+};
+
+double PercentileMs(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0;
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted_ms.size()));
+  if (idx >= sorted_ms.size()) idx = sorted_ms.size() - 1;
+  return sorted_ms[idx];
+}
+
+ScenarioResult Summarize(const std::string& name, size_t connections,
+                         std::vector<double>& latencies_ms, size_t errors,
+                         double seconds) {
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  ScenarioResult r;
+  r.name = name;
+  r.connections = connections;
+  r.requests = latencies_ms.size();
+  r.errors = errors;
+  r.seconds = seconds;
+  r.p50_ms = PercentileMs(latencies_ms, 0.50);
+  r.p95_ms = PercentileMs(latencies_ms, 0.95);
+  r.p99_ms = PercentileMs(latencies_ms, 0.99);
+  r.max_ms = latencies_ms.empty() ? 0 : latencies_ms.back();
+  return r;
+}
+
+void PrintRow(const ScenarioResult& r) {
+  std::printf("%-24s %6zu %8zu %6zu %10.1f %8.3f %8.3f %8.3f %8.3f\n",
+              r.name.c_str(), r.connections, r.requests, r.errors,
+              r.throughput(), r.p50_ms, r.p95_ms, r.p99_ms, r.max_ms);
+}
+
+constexpr const char* kQuery = "doc('d')/r/v/text()";
+
+/// C clients, each its own connection and thread, back-to-back requests.
+ScenarioResult ClosedLoop(uint16_t port, size_t clients,
+                          size_t requests_each) {
+  std::mutex mu;
+  std::vector<double> all_latencies;
+  std::atomic<size_t> errors{0};
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      auto client = net::NetClient::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        errors.fetch_add(requests_each);
+        return;
+      }
+      std::vector<double> local;
+      local.reserve(requests_each);
+      for (size_t i = 0; i < requests_each; ++i) {
+        const auto t0 = Clock::now();
+        auto r = (*client)->Execute(kQuery);
+        if (r.ok()) {
+          local.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                  .count());
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+      (*client)->CloseGracefully();
+      std::lock_guard<std::mutex> lock(mu);
+      all_latencies.insert(all_latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return Summarize("closed-loop/" + std::to_string(clients), clients,
+                   all_latencies, errors.load(), seconds);
+}
+
+/// Fixed arrival rate over a pool of persistent connections; each arrival
+/// is dispatched to the next idle connection (dropped as an error if the
+/// whole pool is busy — overload shows up honestly instead of stalling the
+/// arrival clock).
+ScenarioResult OpenLoop(uint16_t port, size_t pool_size, double rate_per_sec,
+                        double duration_sec) {
+  struct PooledClient {
+    std::unique_ptr<net::NetClient> client;
+    std::atomic<bool> busy{false};
+  };
+  std::vector<PooledClient> pool(pool_size);
+  for (auto& p : pool) {
+    auto c = net::NetClient::Connect("127.0.0.1", port);
+    SEDNA_CHECK(c.ok()) << c.status().ToString();
+    p.client = std::move(*c);
+  }
+
+  std::mutex mu;
+  std::vector<double> latencies;
+  std::atomic<size_t> errors{0};
+  std::atomic<size_t> inflight{0};
+  std::vector<std::thread> workers;
+
+  const auto start = Clock::now();
+  const auto interval = std::chrono::duration<double>(1.0 / rate_per_sec);
+  const size_t total =
+      static_cast<size_t>(rate_per_sec * duration_sec);
+  for (size_t i = 0; i < total; ++i) {
+    const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                 interval * static_cast<double>(i));
+    std::this_thread::sleep_until(due);
+    PooledClient* slot = nullptr;
+    for (auto& p : pool) {
+      bool expected = false;
+      if (p.busy.compare_exchange_strong(expected, true)) {
+        slot = &p;
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      errors.fetch_add(1);  // pool saturated: the request is shed
+      continue;
+    }
+    inflight.fetch_add(1);
+    workers.emplace_back([&, slot, due] {
+      const auto t0 = Clock::now();
+      auto r = slot->client->Execute(kQuery);
+      if (r.ok()) {
+        // Latency from the scheduled arrival instant: queueing included.
+        double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - due)
+                .count();
+        std::lock_guard<std::mutex> lock(mu);
+        latencies.push_back(ms);
+      } else {
+        errors.fetch_add(1);
+      }
+      (void)t0;
+      slot->busy.store(false);
+      inflight.fetch_sub(1);
+    });
+  }
+  for (auto& t : workers) t.join();
+  double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  for (auto& p : pool) (void)p.client->CloseGracefully();
+  return Summarize("open-loop/" + std::to_string(static_cast<int>(
+                       rate_per_sec)) + "rps",
+                   pool_size, latencies, errors.load(), seconds);
+}
+
+/// The acceptance scenario: >= 1000 connections open at once, multiplexed
+/// round-robin by a handful of driver threads onto the bounded pool.
+ScenarioResult ConnectionScale(uint16_t port, size_t connections,
+                               size_t rounds, size_t driver_threads) {
+  std::vector<std::unique_ptr<net::NetClient>> clients;
+  clients.reserve(connections);
+  for (size_t i = 0; i < connections; ++i) {
+    auto c = net::NetClient::Connect("127.0.0.1", port);
+    SEDNA_CHECK(c.ok()) << "connection " << i << ": "
+                        << c.status().ToString();
+    clients.push_back(std::move(*c));
+  }
+  std::printf("  [%zu connections established]\n", connections);
+
+  std::mutex mu;
+  std::vector<double> latencies;
+  std::atomic<size_t> errors{0};
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (size_t t = 0; t < driver_threads; ++t) {
+    threads.emplace_back([&, t] {
+      std::vector<double> local;
+      for (size_t round = 0; round < rounds; ++round) {
+        for (size_t i = t; i < connections; i += driver_threads) {
+          const auto t0 = Clock::now();
+          auto r = clients[i]->Execute(kQuery);
+          if (r.ok()) {
+            local.push_back(
+                std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                    .count());
+          } else {
+            errors.fetch_add(1);
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      latencies.insert(latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  for (auto& c : clients) (void)c->CloseGracefully();
+  return Summarize("conn-scale/" + std::to_string(connections), connections,
+                   latencies, errors.load(), seconds);
+}
+
+void WriteJson(const std::vector<ScenarioResult>& results) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("SEDNA_BENCH_JSON_DIR")) dir = env;
+  std::string json_path = dir + "/BENCH_bench_server.json";
+  std::ostringstream out;
+  out << "{\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"connections\": "
+        << r.connections << ", \"requests\": " << r.requests
+        << ", \"errors\": " << r.errors << ", \"throughput_rps\": "
+        << r.throughput() << ", \"p50_ms\": " << r.p50_ms << ", \"p95_ms\": "
+        << r.p95_ms << ", \"p99_ms\": " << r.p99_ms << ", \"max_ms\": "
+        << r.max_ms << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"metrics_registry\": "
+      << MetricsRegistry::Global().SnapshotJson() << "\n}\n";
+  std::ofstream f(json_path, std::ios::trunc);
+  f << out.str();
+  std::fprintf(stderr, "JSON report: %s\n", json_path.c_str());
+}
+
+int Run() {
+  auto db = bench::MakeDatabase("e19_server");
+  {
+    auto s = db->Connect();
+    SEDNA_CHECK(s->Execute("CREATE DOCUMENT 'd'").ok());
+    SEDNA_CHECK(
+        s->Execute("UPDATE insert <r><v>42</v></r> into doc('d')").ok());
+  }
+  net::ServerOptions options;
+  options.worker_threads = 4;
+  options.max_connections = 4096;
+  auto server = net::Server::Start(db.get(), options);
+  SEDNA_CHECK(server.ok()) << server.status().ToString();
+  uint16_t port = (*server)->port();
+
+  std::printf("E19: network front end (4 workers, one event loop)\n");
+  std::printf("%-24s %6s %8s %6s %10s %8s %8s %8s %8s\n", "scenario", "conns",
+              "reqs", "errs", "req/s", "p50ms", "p95ms", "p99ms", "maxms");
+
+  std::vector<ScenarioResult> results;
+  results.push_back(ClosedLoop(port, 8, 200));
+  PrintRow(results.back());
+  results.push_back(ClosedLoop(port, 64, 50));
+  PrintRow(results.back());
+  results.push_back(OpenLoop(port, 64, 500.0, 3.0));
+  PrintRow(results.back());
+  results.push_back(ConnectionScale(port, 1000, 2, 8));
+  PrintRow(results.back());
+
+  SEDNA_CHECK((*server)->Shutdown().ok());
+  WriteJson(results);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sedna
+
+int main() { return sedna::Run(); }

@@ -1,0 +1,66 @@
+// Interactive wire-protocol client: a minimal shell for a running
+// net_server.
+//
+//   ./net_cli <port> [host]
+//
+// Each input line is one statement. Extras:
+//   \set <key> <value>   session option (timeout_ms, memory_budget, ...)
+//   \explain <stmt>      run in profile mode
+//   \quit                orderly goodbye
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "net/client.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <port> [host]\n", argv[0]);
+    return 2;
+  }
+  uint16_t port = static_cast<uint16_t>(std::atoi(argv[1]));
+  std::string host = argc > 2 ? argv[2] : "127.0.0.1";
+
+  auto client = sedna::net::NetClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s (session %llu)\n", (*client)->banner().c_str(),
+              static_cast<unsigned long long>((*client)->session_id()));
+
+  std::string line;
+  while (std::printf("sedna> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line.rfind("\\set ", 0) == 0) {
+      std::istringstream ss(line.substr(5));
+      std::string key, value;
+      if (!(ss >> key >> value)) {
+        std::printf("usage: \\set <key> <value>\n");
+        continue;
+      }
+      sedna::Status st = (*client)->SetOption(key, value);
+      std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+      continue;
+    }
+    bool explain = line.rfind("\\explain ", 0) == 0;
+    std::string stmt = explain ? line.substr(9) : line;
+    auto r = explain ? (*client)->Explain(stmt) : (*client)->Execute(stmt);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      continue;
+    }
+    if (!r->serialized.empty()) std::printf("%s\n", r->serialized.c_str());
+    if (r->kind != sedna::StatementKind::kQuery) {
+      std::printf("ok (%llu affected)\n",
+                  static_cast<unsigned long long>(r->affected));
+    }
+  }
+  (void)(*client)->CloseGracefully();
+  return 0;
+}

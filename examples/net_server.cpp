@@ -1,0 +1,62 @@
+// Standalone server: opens (or creates) a database and serves the wire
+// protocol until SIGINT/SIGTERM, then drains gracefully.
+//
+//   ./net_server [db_path [port]]
+//
+// Defaults: /tmp/sedna_example_server.sedna on an ephemeral port (printed
+// at startup). Speak to it with ./net_cli.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "db/database.h"
+#include "net/server.h"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path = argc > 1 ? argv[1] : "/tmp/sedna_example_server.sedna";
+  uint16_t port =
+      argc > 2 ? static_cast<uint16_t>(std::atoi(argv[2])) : uint16_t{0};
+
+  sedna::DatabaseOptions options;
+  options.path = path;
+  options.wal_path = path + ".wal";
+  auto db = sedna::Database::Open(options);
+  if (!db.ok()) db = sedna::Database::Create(options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "open/create %s: %s\n", path.c_str(),
+                 db.status().ToString().c_str());
+    return 1;
+  }
+
+  sedna::net::ServerOptions server_options;
+  server_options.port = port;
+  auto server = sedna::net::Server::Start(db->get(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "start server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %s on 127.0.0.1:%u (ctrl-c to drain)\n", path.c_str(),
+              (*server)->port());
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("draining...\n");
+  sedna::Status st = (*server)->Shutdown();
+  if (!st.ok()) {
+    std::fprintf(stderr, "shutdown: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("bye\n");
+  return 0;
+}

@@ -34,6 +34,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kProtocolError:
+      return "ProtocolError";
   }
   return "Unknown";
 }

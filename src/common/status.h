@@ -33,6 +33,8 @@ enum class StatusCode {
   kReadOnlyDegraded,  // database is read-only after an unrecoverable write error
   kCancelled,         // statement cancelled cooperatively by its owner
   kDeadlineExceeded,  // statement ran past its governance deadline
+  kUnavailable,       // server draining/shut down; retry against a live one
+  kProtocolError,     // malformed wire-protocol traffic from a client
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "NotFound").
@@ -88,6 +90,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status ProtocolError(std::string m) {
+    return Status(StatusCode::kProtocolError, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

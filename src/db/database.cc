@@ -299,7 +299,7 @@ StatusOr<QueryResult> Session::ExecuteIn(Transaction* txn,
   // Admission: reject (retryably) instead of piling onto the buffer pool
   // when the process is already running its statement cap.
   SEDNA_ASSIGN_OR_RETURN(Governor::StatementTicket ticket,
-                         Governor::Instance().AdmitStatement());
+                         Governor::Instance().AdmitStatement(query));
 
   executor_.set_index_manager(db_->indexes());
   executor_.set_query_context(query);
@@ -367,7 +367,10 @@ namespace {
 struct AdmissionMetrics {
   Counter* admitted;
   Counter* rejected;
+  Counter* queue_admitted;
+  Counter* queue_aborts;
   Gauge* active;
+  Gauge* queued;
 };
 
 const AdmissionMetrics& GovernorAdmissionMetrics() {
@@ -375,7 +378,10 @@ const AdmissionMetrics& GovernorAdmissionMetrics() {
     MetricsRegistry& reg = MetricsRegistry::Global();
     return AdmissionMetrics{reg.counter("governor.admitted"),
                             reg.counter("governor.rejected"),
-                            reg.gauge("governor.active_statements")};
+                            reg.counter("governor.queue_admitted"),
+                            reg.counter("governor.queue_aborts"),
+                            reg.gauge("governor.active_statements"),
+                            reg.gauge("governor.queued_statements")};
   }();
   return m;
 }
@@ -385,6 +391,8 @@ const AdmissionMetrics& GovernorAdmissionMetrics() {
 void Governor::set_max_concurrent_statements(uint32_t n) {
   std::lock_guard<std::mutex> lock(mu_);
   max_concurrent_statements_ = n;
+  // A raised (or removed) cap may unblock queued statements immediately.
+  if (!admit_queue_.empty()) admit_cv_.notify_all();
 }
 
 uint32_t Governor::max_concurrent_statements() const {
@@ -397,22 +405,85 @@ uint32_t Governor::active_statements() const {
   return active_statements_;
 }
 
-StatusOr<Governor::StatementTicket> Governor::AdmitStatement() {
-  const AdmissionMetrics& m = GovernorAdmissionMetrics();
+void Governor::set_max_queued_statements(uint32_t n) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (max_concurrent_statements_ != 0 &&
-      active_statements_ >= max_concurrent_statements_) {
+  max_queued_statements_ = n;
+}
+
+uint32_t Governor::max_queued_statements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_queued_statements_;
+}
+
+uint32_t Governor::queued_statements() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<uint32_t>(admit_queue_.size());
+}
+
+StatusOr<Governor::StatementTicket> Governor::AdmitStatement(
+    QueryContext* query) {
+  const AdmissionMetrics& m = GovernorAdmissionMetrics();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (max_concurrent_statements_ == 0 ||
+      active_statements_ < max_concurrent_statements_) {
+    active_statements_++;
+    m.admitted->Add();
+    m.active->Set(static_cast<int64_t>(active_statements_));
+    return StatementTicket(this);
+  }
+  if (max_queued_statements_ == 0 ||
+      admit_queue_.size() >= max_queued_statements_) {
     m.rejected->Add();
     return Status::ResourceExhausted(
         "statement rejected by governor admission control (" +
         std::to_string(active_statements_) + " of " +
-        std::to_string(max_concurrent_statements_) +
-        " slots in use); retry later");
+        std::to_string(max_concurrent_statements_) + " slots in use, " +
+        std::to_string(admit_queue_.size()) + " of " +
+        std::to_string(max_queued_statements_) +
+        " queue slots in use); retry later");
   }
-  active_statements_++;
-  m.admitted->Add();
-  m.active->Set(static_cast<int64_t>(active_statements_));
-  return StatementTicket(this);
+  // Bounded FIFO wait: park until the head of the queue AND a free slot
+  // line up. The wait runs in governed slices so the statement's deadline
+  // or a Cancel() (e.g. server drain) aborts it instead of waiting forever.
+  const uint64_t my_id = next_waiter_id_++;
+  admit_queue_.push_back(my_id);
+  m.queued->Set(static_cast<int64_t>(admit_queue_.size()));
+  auto leave_queue = [&] {
+    for (auto it = admit_queue_.begin(); it != admit_queue_.end(); ++it) {
+      if (*it == my_id) {
+        admit_queue_.erase(it);
+        break;
+      }
+    }
+    m.queued->Set(static_cast<int64_t>(admit_queue_.size()));
+  };
+  for (;;) {
+    if (!admit_queue_.empty() && admit_queue_.front() == my_id &&
+        (max_concurrent_statements_ == 0 ||
+         active_statements_ < max_concurrent_statements_)) {
+      admit_queue_.pop_front();
+      m.queued->Set(static_cast<int64_t>(admit_queue_.size()));
+      active_statements_++;
+      m.admitted->Add();
+      m.queue_admitted->Add();
+      m.active->Set(static_cast<int64_t>(active_statements_));
+      // Later arrivals may also be admissible (cap raised / several
+      // releases); let the next head re-check.
+      admit_cv_.notify_all();
+      return StatementTicket(this);
+    }
+    if (query != nullptr) {
+      Status st = query->Check();
+      if (!st.ok()) {
+        leave_queue();
+        m.queue_aborts->Add();
+        admit_cv_.notify_all();
+        Status abort = query->abort_status();
+        return abort.ok() ? st : abort;
+      }
+    }
+    admit_cv_.wait_for(lock, std::chrono::milliseconds(5));
+  }
 }
 
 void Governor::ReleaseStatement() {
@@ -420,6 +491,7 @@ void Governor::ReleaseStatement() {
   std::lock_guard<std::mutex> lock(mu_);
   if (active_statements_ > 0) active_statements_--;
   m.active->Set(static_cast<int64_t>(active_statements_));
+  if (!admit_queue_.empty()) admit_cv_.notify_all();
 }
 
 void Governor::StatementTicket::Release() {

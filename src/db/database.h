@@ -12,11 +12,14 @@
 #define SEDNA_DB_DATABASE_H_
 
 #include <chrono>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include <deque>
 
 #include "common/vfs.h"
 #include "storage/storage_engine.h"
@@ -200,6 +203,24 @@ class Session {
   /// governance check.
   void Cancel();
 
+  /// Cancellation token of the statement executing right now (null between
+  /// statements). Thread-safe; the network front end polls it while a
+  /// result-sink write waits on client flow control, so an out-of-band
+  /// Cancel also unblocks a statement stalled on a slow reader.
+  std::shared_ptr<CancellationToken> current_cancellation() const {
+    std::lock_guard<std::mutex> lock(cancel_mu_);
+    return current_cancel_;
+  }
+
+  /// Incremental result delivery: when set, each query-result item is
+  /// serialized and handed to the sink as the pipeline produces it, and
+  /// QueryResult::serialized stays empty — the network front end streams
+  /// chunks to the client without ever materializing the result server-side.
+  /// A non-OK status from the sink aborts the statement.
+  void set_result_sink(std::function<Status(std::string_view)> fn) {
+    executor_.set_result_sink(std::move(fn));
+  }
+
  private:
   StatusOr<QueryResult> ExecuteIn(Transaction* txn,
                                   const std::string& statement,
@@ -287,10 +308,22 @@ class Governor {
   uint32_t max_concurrent_statements() const;
   uint32_t active_statements() const;
 
-  /// Admits one statement, or rejects it with a retryable
-  /// kResourceExhausted when the cap is reached (load shedding: the client
-  /// backs off and retries instead of piling onto the buffer pool).
-  StatusOr<StatementTicket> AdmitStatement();
+  /// Statements allowed to QUEUE (bounded FIFO) when the concurrency cap is
+  /// reached, instead of bouncing immediately. 0 (default) keeps the legacy
+  /// reject-on-full behavior; the network front end sets this so a burst of
+  /// client statements waits its turn (backpressure) rather than raining
+  /// retryable errors on every client.
+  void set_max_queued_statements(uint32_t n);
+  uint32_t max_queued_statements() const;
+  uint32_t queued_statements() const;
+
+  /// Admits one statement. When the concurrency cap is reached: with the
+  /// queue disabled the statement is rejected with a retryable
+  /// kResourceExhausted (load shedding); with `set_max_queued_statements`
+  /// the caller joins a bounded FIFO and blocks until a slot frees. The
+  /// wait is governed — `query`'s deadline/cancellation abort it (and a
+  /// full queue still rejects immediately).
+  StatusOr<StatementTicket> AdmitStatement(QueryContext* query = nullptr);
 
   /// RAII admission slot for a running checkpoint. At most one checkpoint
   /// runs process-wide; a second request is rejected with a retryable
@@ -333,11 +366,15 @@ class Governor {
   void ReleaseCheckpoint();
 
   mutable std::mutex mu_;
+  std::condition_variable admit_cv_;
   uint64_t next_session_id_ = 1;
   std::map<uint64_t, bool> sessions_;
   std::map<Database*, std::string> databases_;
   uint32_t max_concurrent_statements_ = 0;
   uint32_t active_statements_ = 0;
+  uint32_t max_queued_statements_ = 0;
+  uint64_t next_waiter_id_ = 1;
+  std::deque<uint64_t> admit_queue_;  // FIFO of waiting statement ids
   bool checkpoint_active_ = false;
 };
 

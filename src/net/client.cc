@@ -1,0 +1,203 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace sedna::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<NetClient>> NetClient::Connect(
+    const std::string& host, uint16_t port, std::chrono::milliseconds timeout) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  std::unique_ptr<NetClient> client(new NetClient());
+  client->fd_ = fd;
+  client->read_timeout_ = timeout;
+
+  Status st = client->SendFrame(MessageType::kHello, EncodeHello());
+  if (!st.ok()) return st;
+  Frame frame;
+  st = client->ReadFrame(&frame);
+  if (!st.ok()) return st;
+  if (frame.type == MessageType::kError) return DecodeError(frame.payload);
+  if (frame.type != MessageType::kHelloOk) {
+    return Status::ProtocolError("expected HelloOk, got type " +
+                                 std::to_string(static_cast<unsigned>(
+                                     frame.type)));
+  }
+  SEDNA_RETURN_IF_ERROR(DecodeHelloOk(frame.payload, &client->session_id_,
+                                      &client->banner_));
+  client->read_timeout_ = std::chrono::milliseconds(30000);
+  return client;
+}
+
+NetClient::~NetClient() { Abort(); }
+
+void NetClient::Abort() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status NetClient::SendFrame(MessageType type, std::string_view payload) {
+  std::string frame;
+  AppendFrame(&frame, type, payload);
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n =
+        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status NetClient::ReadFrame(Frame* out) {
+  const auto deadline = std::chrono::steady_clock::now() + read_timeout_;
+  for (;;) {
+    size_t consumed = 0;
+    Status error;
+    DecodeResult r = DecodeFrame(inbuf_, out, &consumed, &error);
+    if (r == DecodeResult::kFrame) {
+      inbuf_.erase(0, consumed);
+      return Status::OK();
+    }
+    if (r == DecodeResult::kBad) return error;
+
+    if (fd_ < 0) return Status::Unavailable("client not connected");
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return Status::TimedOut("no reply within " +
+                             std::to_string(read_timeout_.count()) + " ms");
+    }
+    auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (rc == 0) continue;  // deadline re-checked at the top
+    char buf[64 * 1024];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Errno("recv");
+    }
+    inbuf_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+StatusOr<ClientResult> NetClient::RunStatement(MessageType type,
+                                               const std::string& statement) {
+  SEDNA_RETURN_IF_ERROR(SendFrame(type, statement));
+  ClientResult result;
+  for (;;) {
+    Frame frame;
+    SEDNA_RETURN_IF_ERROR(ReadFrame(&frame));
+    switch (frame.type) {
+      case MessageType::kResultChunk:
+        result.serialized.append(frame.payload);
+        ++result.chunks;
+        break;
+      case MessageType::kResultDone:
+        SEDNA_RETURN_IF_ERROR(DecodeResultDone(frame.payload, &result.kind,
+                                               &result.affected,
+                                               &result.peak_memory_bytes));
+        return result;
+      case MessageType::kError:
+        return DecodeError(frame.payload);
+      case MessageType::kGoodbye:
+        return Status::Unavailable("server said goodbye mid-statement");
+      default:
+        return Status::ProtocolError(
+            "unexpected reply type " +
+            std::to_string(static_cast<unsigned>(frame.type)));
+    }
+  }
+}
+
+StatusOr<ClientResult> NetClient::Execute(const std::string& statement) {
+  return RunStatement(MessageType::kExecute, statement);
+}
+
+StatusOr<ClientResult> NetClient::Explain(const std::string& statement) {
+  return RunStatement(MessageType::kExplain, statement);
+}
+
+Status NetClient::SetOption(const std::string& key, const std::string& value) {
+  SEDNA_RETURN_IF_ERROR(
+      SendFrame(MessageType::kSetOption, EncodeSetOption(key, value)));
+  Frame frame;
+  SEDNA_RETURN_IF_ERROR(ReadFrame(&frame));
+  if (frame.type == MessageType::kOptionOk) return Status::OK();
+  if (frame.type == MessageType::kError) return DecodeError(frame.payload);
+  return Status::ProtocolError("unexpected SetOption reply type " +
+                               std::to_string(static_cast<unsigned>(
+                                   frame.type)));
+}
+
+Status NetClient::Cancel() { return SendFrame(MessageType::kCancel, ""); }
+
+Status NetClient::CloseGracefully() {
+  SEDNA_RETURN_IF_ERROR(SendFrame(MessageType::kClose, ""));
+  for (;;) {
+    Frame frame;
+    Status st = ReadFrame(&frame);
+    if (!st.ok()) {
+      // The server may close right after Goodbye hits our buffer; treat a
+      // clean EOF after Close as a successful goodbye.
+      Abort();
+      return st.code() == StatusCode::kUnavailable ? Status::OK() : st;
+    }
+    if (frame.type == MessageType::kGoodbye) {
+      Abort();
+      return Status::OK();
+    }
+    // Late replies to earlier traffic (e.g. a cancel that lost the race)
+    // are drained and dropped.
+  }
+}
+
+}  // namespace sedna::net

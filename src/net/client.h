@@ -1,0 +1,93 @@
+// Blocking client for the wire protocol in net/protocol.h. One socket, one
+// outstanding request at a time (no pipelining) — the shape embedded users
+// already know: Execute returns when the final ResultDone/Error arrives,
+// with the streamed chunks reassembled.
+//
+// Thread-safety: a NetClient is single-threaded EXCEPT Cancel(), which may
+// be called from any thread while another thread is blocked inside
+// Execute/Explain — the cancel frame goes out on the (full-duplex) socket
+// under a write mutex and the in-flight call then fails with kCancelled.
+
+#ifndef SEDNA_NET_CLIENT_H_
+#define SEDNA_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "net/protocol.h"
+
+namespace sedna::net {
+
+struct ClientResult {
+  StatementKind kind = StatementKind::kQuery;
+  std::string serialized;          // reassembled ResultChunk payloads
+  uint64_t affected = 0;           // update/DDL counts
+  uint64_t peak_memory_bytes = 0;  // server-side budget high-water mark
+  size_t chunks = 0;               // ResultChunk frames received
+};
+
+class NetClient {
+ public:
+  /// Connects and completes the Hello handshake.
+  static StatusOr<std::unique_ptr<NetClient>> Connect(
+      const std::string& host, uint16_t port,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  ~NetClient();
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  uint64_t session_id() const { return session_id_; }
+  const std::string& banner() const { return banner_; }
+
+  /// Executes one statement, reassembling the chunked reply.
+  StatusOr<ClientResult> Execute(const std::string& statement);
+  /// Like Execute but the server runs the statement in profile mode; the
+  /// serialized result is the profile text.
+  StatusOr<ClientResult> Explain(const std::string& statement);
+
+  /// Sets a session option on the server (timeout_ms, memory_budget,
+  /// check_interval, parallel_workers, batch_size, cancel_at_tick).
+  Status SetOption(const std::string& key, const std::string& value);
+
+  /// Out of band, thread-safe: asks the server to cancel the statement this
+  /// session is executing right now. The blocked Execute then returns the
+  /// server's kCancelled error.
+  Status Cancel();
+
+  /// Orderly shutdown: sends Close, waits for Goodbye, closes the socket.
+  Status CloseGracefully();
+
+  /// Drops the connection on the floor (what a crashing client does).
+  void Abort();
+
+  /// Bounds every socket read inside Execute/Explain/SetOption (default
+  /// 30 s; raise it for deliberately slow statements).
+  void set_read_timeout(std::chrono::milliseconds t) { read_timeout_ = t; }
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  NetClient() = default;
+
+  Status SendFrame(MessageType type, std::string_view payload);
+  /// Blocks until one whole frame arrives (or read_timeout_ elapses).
+  Status ReadFrame(Frame* out);
+  StatusOr<ClientResult> RunStatement(MessageType type,
+                                      const std::string& statement);
+
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  std::string banner_;
+  std::string inbuf_;
+  std::mutex write_mu_;  // serializes SendFrame vs cross-thread Cancel
+  std::chrono::milliseconds read_timeout_{30000};
+};
+
+}  // namespace sedna::net
+
+#endif  // SEDNA_NET_CLIENT_H_

@@ -1,0 +1,162 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace sedna::net {
+
+bool IsClientMessageType(uint8_t type) {
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kHello:
+    case MessageType::kExecute:
+    case MessageType::kExplain:
+    case MessageType::kSetOption:
+    case MessageType::kCancel:
+    case MessageType::kClose:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void AppendFrame(std::string* dst, MessageType type,
+                 std::string_view payload) {
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  dst->push_back(static_cast<char>(type));
+  dst->append(payload.data(), payload.size());
+}
+
+DecodeResult DecodeFrame(std::string_view buf, Frame* out, size_t* consumed,
+                         Status* error) {
+  if (buf.size() < kFrameHeaderBytes) return DecodeResult::kNeedMore;
+  uint32_t len = DecodeFixed32(buf.data());
+  if (len > kMaxPayloadBytes) {
+    *error = Status::ProtocolError("frame payload length " +
+                                   std::to_string(len) + " exceeds the " +
+                                   std::to_string(kMaxPayloadBytes) +
+                                   "-byte cap");
+    return DecodeResult::kBad;
+  }
+  if (buf.size() < kFrameHeaderBytes + len) return DecodeResult::kNeedMore;
+  out->type = static_cast<MessageType>(static_cast<uint8_t>(buf[4]));
+  out->payload.assign(buf.data() + kFrameHeaderBytes, len);
+  *consumed = kFrameHeaderBytes + len;
+  return DecodeResult::kFrame;
+}
+
+std::string EncodeHello() {
+  std::string payload(kHelloMagic, kHelloMagicLen);
+  payload.push_back(static_cast<char>(kProtocolVersion));
+  return payload;
+}
+
+Status DecodeHello(std::string_view payload) {
+  if (payload.size() != kHelloMagicLen + 1 ||
+      std::memcmp(payload.data(), kHelloMagic, kHelloMagicLen) != 0) {
+    return Status::ProtocolError("malformed Hello frame");
+  }
+  uint8_t version = static_cast<uint8_t>(payload[kHelloMagicLen]);
+  if (version != kProtocolVersion) {
+    return Status::ProtocolError("unsupported protocol version " +
+                                 std::to_string(version) + " (server speaks " +
+                                 std::to_string(kProtocolVersion) + ")");
+  }
+  return Status::OK();
+}
+
+std::string EncodeHelloOk(uint64_t session_id, std::string_view banner) {
+  std::string payload;
+  PutFixed64(&payload, session_id);
+  PutLengthPrefixed(&payload, banner);
+  return payload;
+}
+
+Status DecodeHelloOk(std::string_view payload, uint64_t* session_id,
+                     std::string* banner) {
+  Decoder dec(payload);
+  std::string_view b;
+  if (!dec.GetFixed64(session_id) || !dec.GetLengthPrefixed(&b) ||
+      dec.remaining() != 0) {
+    return Status::ProtocolError("malformed HelloOk frame");
+  }
+  banner->assign(b);
+  return Status::OK();
+}
+
+std::string EncodeResultDone(StatementKind kind, uint64_t affected,
+                             uint64_t peak_memory_bytes) {
+  std::string payload;
+  payload.push_back(static_cast<char>(kind));
+  PutFixed64(&payload, affected);
+  PutFixed64(&payload, peak_memory_bytes);
+  return payload;
+}
+
+Status DecodeResultDone(std::string_view payload, StatementKind* kind,
+                        uint64_t* affected, uint64_t* peak_memory_bytes) {
+  Decoder dec(payload);
+  uint8_t kind_byte = 0;
+  if (!dec.GetRaw(&kind_byte, 1) || !dec.GetFixed64(affected) ||
+      !dec.GetFixed64(peak_memory_bytes) || dec.remaining() != 0 ||
+      kind_byte > static_cast<uint8_t>(StatementKind::kDropIndex)) {
+    return Status::ProtocolError("malformed ResultDone frame");
+  }
+  *kind = static_cast<StatementKind>(kind_byte);
+  return Status::OK();
+}
+
+std::string EncodeError(const Status& status) {
+  std::string payload;
+  PutFixed32(&payload, WireCodeFromStatus(status.code()));
+  PutLengthPrefixed(&payload, status.message());
+  return payload;
+}
+
+Status DecodeError(std::string_view payload) {
+  Decoder dec(payload);
+  uint32_t wire = 0;
+  std::string_view message;
+  if (!dec.GetFixed32(&wire) || !dec.GetLengthPrefixed(&message) ||
+      dec.remaining() != 0) {
+    return Status::ProtocolError("malformed Error frame");
+  }
+  StatusCode code = StatusCodeFromWire(wire);
+  if (code == StatusCode::kOk) {
+    return Status::ProtocolError("Error frame carried an OK code");
+  }
+  return Status(code, std::string(message));
+}
+
+std::string EncodeSetOption(std::string_view key, std::string_view value) {
+  std::string payload;
+  PutLengthPrefixed(&payload, key);
+  PutLengthPrefixed(&payload, value);
+  return payload;
+}
+
+Status DecodeSetOption(std::string_view payload, std::string* key,
+                       std::string* value) {
+  Decoder dec(payload);
+  std::string_view k, v;
+  if (!dec.GetLengthPrefixed(&k) || !dec.GetLengthPrefixed(&v) ||
+      dec.remaining() != 0) {
+    return Status::ProtocolError("malformed SetOption frame");
+  }
+  key->assign(k);
+  value->assign(v);
+  return Status::OK();
+}
+
+uint32_t WireCodeFromStatus(StatusCode code) {
+  return static_cast<uint32_t>(code);
+}
+
+StatusCode StatusCodeFromWire(uint32_t wire) {
+  if (wire > static_cast<uint32_t>(StatusCode::kProtocolError)) {
+    return StatusCode::kInternal;
+  }
+  return static_cast<StatusCode>(wire);
+}
+
+}  // namespace sedna::net

@@ -1,0 +1,118 @@
+// Wire protocol for the multi-session network front end (the paper's
+// Figure 1: many client connections multiplexed by a governor process).
+//
+// Transport: a TCP byte stream carrying length-prefixed frames:
+//
+//     [u32 payload_len, little-endian][u8 message_type][payload bytes]
+//
+// payload_len counts only the payload (the 5-byte header is excluded) and
+// is capped at kMaxPayloadBytes; a larger prefix is a protocol violation
+// and the server answers with one Error frame and drops the connection.
+//
+// Conversation: the client opens with Hello (magic + protocol version) and
+// receives HelloOk. From then on Execute / Explain / SetOption / Close
+// requests are answered strictly in request order (pipelining is allowed,
+// bounded by the server's per-connection queue). A query's reply is zero or
+// more ResultChunk frames — the serialized result, split at arbitrary byte
+// boundaries, produced by the server's streaming result sink so the full
+// result never materializes server-side — terminated by one ResultDone (or
+// one Error, possibly after chunks the client must then discard). Cancel is
+// the one out-of-band message: it is not queued and never answered; it
+// trips the CancellationToken of the statement currently executing, which
+// then fails its own pending reply with kCancelled.
+
+#ifndef SEDNA_NET_PROTOCOL_H_
+#define SEDNA_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "xquery/rewriter.h"
+
+namespace sedna::net {
+
+// Bumped when the frame layout or a payload encoding changes
+// incompatibly; the server rejects a Hello carrying any other version.
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr char kHelloMagic[] = "SEDNA";  // 5 bytes, no NUL on the wire
+inline constexpr size_t kHelloMagicLen = 5;
+
+// Hard cap on a frame payload in either direction. Inbound it bounds
+// statement text; outbound the server splits result chunks far below it.
+inline constexpr uint32_t kMaxPayloadBytes = 16u * 1024 * 1024;
+
+inline constexpr size_t kFrameHeaderBytes = 5;  // u32 length + u8 type
+
+enum class MessageType : uint8_t {
+  // client -> server
+  kHello = 0x01,      // magic + version handshake, first frame on the wire
+  kExecute = 0x02,    // payload = statement text
+  kExplain = 0x03,    // payload = statement text, runs in profile mode
+  kSetOption = 0x04,  // payload = length-prefixed key, value
+  kCancel = 0x05,     // out of band: cancel the executing statement
+  kClose = 0x06,      // orderly goodbye (queued behind earlier statements)
+  // server -> client
+  kHelloOk = 0x81,      // u64 session id + length-prefixed server banner
+  kResultChunk = 0x82,  // raw bytes of the serialized result
+  kResultDone = 0x83,   // u8 kind + u64 affected + u64 peak_memory_bytes
+  kError = 0x84,        // u32 status code + length-prefixed message
+  kOptionOk = 0x85,     // SetOption acknowledged
+  kGoodbye = 0x86,      // server is closing the connection after this frame
+};
+
+/// True for the types a client may legally send.
+bool IsClientMessageType(uint8_t type);
+
+struct Frame {
+  MessageType type = MessageType::kHello;
+  std::string payload;
+};
+
+/// Appends one encoded frame to `dst`.
+void AppendFrame(std::string* dst, MessageType type, std::string_view payload);
+
+enum class DecodeResult {
+  kFrame,     // one frame decoded and consumed from the front of the buffer
+  kNeedMore,  // the buffer holds a prefix of a frame; read more bytes
+  kBad,       // protocol violation (oversized length prefix)
+};
+
+/// Decodes the frame at the front of `buf`. On kFrame fills `out` and sets
+/// `*consumed` to the bytes to drop from the front of the buffer; on kBad
+/// fills `error` with a kProtocolError status.
+DecodeResult DecodeFrame(std::string_view buf, Frame* out, size_t* consumed,
+                         Status* error);
+
+// --- payload codecs ---------------------------------------------------------
+
+std::string EncodeHello();
+Status DecodeHello(std::string_view payload);
+
+std::string EncodeHelloOk(uint64_t session_id, std::string_view banner);
+Status DecodeHelloOk(std::string_view payload, uint64_t* session_id,
+                     std::string* banner);
+
+std::string EncodeResultDone(StatementKind kind, uint64_t affected,
+                             uint64_t peak_memory_bytes);
+Status DecodeResultDone(std::string_view payload, StatementKind* kind,
+                        uint64_t* affected, uint64_t* peak_memory_bytes);
+
+std::string EncodeError(const Status& status);
+/// Reconstructs the wire status (never OK; a malformed payload decodes to
+/// kProtocolError so the caller still surfaces an error).
+Status DecodeError(std::string_view payload);
+
+std::string EncodeSetOption(std::string_view key, std::string_view value);
+Status DecodeSetOption(std::string_view payload, std::string* key,
+                       std::string* value);
+
+/// StatusCode <-> wire integer. Unknown wire values map to kInternal so a
+/// newer server's codes still surface as errors on an older client.
+uint32_t WireCodeFromStatus(StatusCode code);
+StatusCode StatusCodeFromWire(uint32_t wire);
+
+}  // namespace sedna::net
+
+#endif  // SEDNA_NET_PROTOCOL_H_

@@ -1,0 +1,831 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+
+namespace sedna::net {
+
+namespace {
+
+constexpr std::chrono::milliseconds kGovernedSlice{5};
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// Parses a non-negative integer option value ("123"); full-string match.
+bool ParseUint(const std::string& s, uint64_t* out) {
+  if (s.empty() || s.size() > 19) return false;
+  uint64_t v = 0;
+  for (char ch : s) {
+    if (ch < '0' || ch > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(ch - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+struct Server::NetMetrics {
+  Counter* accepted;
+  Counter* refused;
+  Counter* closed;
+  Counter* bytes_read;
+  Counter* bytes_written;
+  Counter* statements;
+  Counter* statement_errors;
+  Counter* drain_rejected;
+  Counter* protocol_errors;
+  Counter* cancels;
+  Counter* options_set;
+  Counter* result_chunks;
+  Gauge* active_connections;
+  Gauge* active_statements;
+  Gauge* queued_statements;
+  Histogram* request_ns;
+
+  static const NetMetrics* Get() {
+    static const NetMetrics* m = [] {
+      MetricsRegistry& reg = MetricsRegistry::Global();
+      return new NetMetrics{reg.counter("net.connections_accepted"),
+                            reg.counter("net.connections_refused"),
+                            reg.counter("net.connections_closed"),
+                            reg.counter("net.bytes_read"),
+                            reg.counter("net.bytes_written"),
+                            reg.counter("net.statements"),
+                            reg.counter("net.statement_errors"),
+                            reg.counter("net.drain_rejected"),
+                            reg.counter("net.protocol_errors"),
+                            reg.counter("net.cancels"),
+                            reg.counter("net.options_set"),
+                            reg.counter("net.result_chunks"),
+                            reg.gauge("net.active_connections"),
+                            reg.gauge("net.active_statements"),
+                            reg.gauge("net.queued_statements"),
+                            reg.histogram("net.request_ns")};
+    }();
+    return m;
+  }
+};
+
+StatusOr<std::unique_ptr<Server>> Server::Start(Database* db,
+                                                const ServerOptions& options) {
+  std::unique_ptr<Server> server(new Server(db, options));
+  SEDNA_RETURN_IF_ERROR(server->Init());
+  return server;
+}
+
+Status Server::Init() {
+  metrics_ = NetMetrics::Get();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st = Errno("bind " + options_.host + ":" +
+                      std::to_string(options_.port));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 512) < 0) {
+    Status st = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (!SetNonBlocking(listen_fd_)) {
+    Status st = Errno("fcntl(listener, O_NONBLOCK)");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+
+  if (::pipe2(wake_pipe_, O_NONBLOCK | O_CLOEXEC) < 0) {
+    Status st = Errno("pipe2");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  uint32_t n = options_.worker_threads == 0 ? 1 : options_.worker_threads;
+  workers_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+  return Status::OK();
+}
+
+Server::~Server() {
+  if (!shutdown_started_.load(std::memory_order_acquire)) {
+    Status st = Shutdown(options_.drain_grace);
+    if (!st.ok()) {
+      SEDNA_LOG(kError) << "server shutdown failed: " << st.ToString();
+    }
+  }
+}
+
+void Server::WakeLoop() {
+  char b = 'w';
+  // EAGAIN means a wake-up is already pending — exactly what we want.
+  [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &b, 1);
+}
+
+size_t Server::active_connections() const {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  return conns_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+void Server::EventLoop() {
+  std::vector<pollfd> fds;
+  std::vector<ConnPtr> polled;
+  while (!loop_stop_.load(std::memory_order_acquire)) {
+    ReapDoomed();
+
+    const bool accepting = accepting_.load(std::memory_order_acquire);
+    fds.clear();
+    polled.clear();
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    if (accepting) fds.push_back({listen_fd_, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& [id, c] : conns_) {
+        short events = 0;
+        if (!c->reading_disabled) events |= POLLIN;
+        {
+          std::lock_guard<std::mutex> cl(c->mu);
+          if (!c->out.empty()) events |= POLLOUT;
+        }
+        fds.push_back({c->fd, events, 0});
+        polled.push_back(c);
+      }
+    }
+
+    int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      SEDNA_LOG(kError) << "poll failed: " << std::strerror(errno);
+      break;
+    }
+
+    size_t idx = 0;
+    if (fds[idx].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+    ++idx;
+    if (accepting) {
+      if (fds[idx].revents & POLLIN) AcceptNew();
+      ++idx;
+    }
+    for (size_t i = 0; i < polled.size(); ++i) {
+      const ConnPtr& c = polled[i];
+      short re = fds[idx + i].revents;
+      {
+        std::lock_guard<std::mutex> cl(c->mu);
+        if (c->closed) continue;  // reaped this round already
+      }
+      if (re & (POLLERR | POLLNVAL)) {
+        CloseConn(c);
+        continue;
+      }
+      if (re & POLLOUT) FlushWrites(c);
+      if (re & (POLLIN | POLLHUP)) HandleReadable(c);
+    }
+  }
+
+  // Loop exit: close everything still open.
+  std::vector<ConnPtr> leftover;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, c] : conns_) leftover.push_back(c);
+  }
+  for (const ConnPtr& c : leftover) CloseConn(c);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::AcceptNew() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN / transient
+    bool refuse = draining_.load(std::memory_order_acquire);
+    if (!refuse) {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      refuse = conns_.size() >= options_.max_connections;
+    }
+    if (refuse) {
+      ::close(fd);
+      metrics_->refused->Add();
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto c = std::make_shared<Conn>();
+    c->fd = fd;
+    c->session = db_->Connect();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      c->id = next_conn_id_++;
+      conns_[c->id] = c;
+      metrics_->active_connections->Set(static_cast<int64_t>(conns_.size()));
+    }
+    metrics_->accepted->Add();
+  }
+}
+
+void Server::HandleReadable(const ConnPtr& c) {
+  char buf[64 * 1024];
+  ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
+  if (n == 0) {
+    CloseConn(c);
+    return;
+  }
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    CloseConn(c);
+    return;
+  }
+  metrics_->bytes_read->Add(static_cast<uint64_t>(n));
+  c->inbuf.append(buf, static_cast<size_t>(n));
+
+  while (!c->reading_disabled) {
+    Frame frame;
+    size_t consumed = 0;
+    Status error;
+    DecodeResult r = DecodeFrame(c->inbuf, &frame, &consumed, &error);
+    if (r == DecodeResult::kNeedMore) break;
+    if (r == DecodeResult::kBad) {
+      ProtocolErrorClose(c, error);
+      return;
+    }
+    c->inbuf.erase(0, consumed);
+    HandleFrame(c, std::move(frame));
+    bool dead;
+    {
+      std::lock_guard<std::mutex> cl(c->mu);
+      dead = c->closed;
+    }
+    if (dead) return;
+  }
+}
+
+void Server::HandleFrame(const ConnPtr& c, Frame frame) {
+  if (!IsClientMessageType(static_cast<uint8_t>(frame.type))) {
+    ProtocolErrorClose(
+        c, Status::ProtocolError(
+               "unknown client message type " +
+               std::to_string(static_cast<unsigned>(frame.type))));
+    return;
+  }
+  if (!c->hello_done) {
+    if (frame.type != MessageType::kHello) {
+      ProtocolErrorClose(
+          c, Status::ProtocolError("expected Hello as the first frame"));
+      return;
+    }
+    Status st = DecodeHello(frame.payload);
+    if (!st.ok()) {
+      ProtocolErrorClose(c, st);
+      return;
+    }
+    c->hello_done = true;
+    EnqueueFromLoop(c, MessageType::kHelloOk,
+                    EncodeHelloOk(c->session->session_id(),
+                                  "sedna-repro/net 1 (pid " +
+                                      std::to_string(::getpid()) + ")"));
+    return;
+  }
+
+  switch (frame.type) {
+    case MessageType::kHello:
+      ProtocolErrorClose(c, Status::ProtocolError("duplicate Hello"));
+      return;
+    case MessageType::kCancel:
+      // Out of band: never queued, never answered. Trips the token of the
+      // statement executing right now; the statement's own reply carries
+      // kCancelled.
+      metrics_->cancels->Add();
+      c->session->Cancel();
+      return;
+    case MessageType::kExecute:
+    case MessageType::kExplain:
+    case MessageType::kSetOption:
+    case MessageType::kClose: {
+      WorkItem item;
+      item.type = frame.type;
+      item.enqueued = std::chrono::steady_clock::now();
+      item.drain_reject = draining_.load(std::memory_order_acquire);
+      if (frame.type == MessageType::kSetOption) {
+        Status st = DecodeSetOption(frame.payload, &item.text, &item.value);
+        if (!st.ok()) {
+          ProtocolErrorClose(c, st);
+          return;
+        }
+      } else {
+        item.text = std::move(frame.payload);
+      }
+      if (item.is_statement()) {
+        inflight_statements_.fetch_add(1, std::memory_order_acq_rel);
+        metrics_->queued_statements->Add(1);
+      }
+      bool overflow = false;
+      {
+        std::lock_guard<std::mutex> cl(c->mu);
+        c->pending.push_back(std::move(item));
+        overflow = c->pending.size() > options_.max_pipelined_statements;
+      }
+      if (overflow) {
+        ProtocolErrorClose(
+            c, Status::ProtocolError(
+                   "more than " +
+                   std::to_string(options_.max_pipelined_statements) +
+                   " pipelined requests"));
+        return;
+      }
+      ScheduleConn(c);
+      return;
+    }
+    default:
+      return;  // unreachable; IsClientMessageType filtered
+  }
+}
+
+void Server::ScheduleConn(const ConnPtr& c) {
+  {
+    std::lock_guard<std::mutex> cl(c->mu);
+    if (c->closed || c->scheduled || c->running || c->pending.empty()) return;
+    c->scheduled = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    ready_.push_back(c);
+  }
+  work_cv_.notify_one();
+}
+
+void Server::EnqueueFromLoop(const ConnPtr& c, MessageType type,
+                             std::string_view payload) {
+  std::string frame;
+  AppendFrame(&frame, type, payload);
+  std::lock_guard<std::mutex> cl(c->mu);
+  if (c->closed) return;
+  c->out_bytes += frame.size();
+  c->out.push_back(std::move(frame));
+  // The loop polls POLLOUT next round; no wake needed from the loop itself.
+}
+
+void Server::ProtocolErrorClose(const ConnPtr& c, const Status& error) {
+  metrics_->protocol_errors->Add();
+  EnqueueFromLoop(c, MessageType::kError, EncodeError(error));
+  c->reading_disabled = true;
+  bool flush_pending;
+  {
+    std::lock_guard<std::mutex> cl(c->mu);
+    c->close_after_flush = true;
+    flush_pending = !c->out.empty();
+  }
+  // Try to push the error out now; otherwise POLLOUT finishes the job.
+  if (flush_pending) FlushWrites(c);
+}
+
+void Server::FlushWrites(const ConnPtr& c) {
+  std::unique_lock<std::mutex> cl(c->mu);
+  if (c->closed) return;
+  while (!c->out.empty()) {
+    const std::string& front = c->out.front();
+    ssize_t n = ::send(c->fd, front.data() + c->out_offset,
+                       front.size() - c->out_offset,
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      cl.unlock();
+      CloseConn(c);
+      return;
+    }
+    metrics_->bytes_written->Add(static_cast<uint64_t>(n));
+    c->out_offset += static_cast<size_t>(n);
+    c->out_bytes -= static_cast<size_t>(n);
+    if (c->out_offset == front.size()) {
+      c->out.pop_front();
+      c->out_offset = 0;
+    }
+  }
+  if (c->out_bytes < options_.write_buffer_soft_cap) {
+    c->write_cv.notify_all();
+  }
+  bool close_now = c->out.empty() && c->close_after_flush;
+  cl.unlock();
+  if (close_now) CloseConn(c);
+}
+
+void Server::CloseConn(const ConnPtr& c) {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (conns_.erase(c->id) == 0) return;  // already closed
+    metrics_->active_connections->Set(static_cast<int64_t>(conns_.size()));
+  }
+  size_t dropped_statements = 0;
+  {
+    std::lock_guard<std::mutex> cl(c->mu);
+    c->closed = true;
+    c->out.clear();
+    c->out_bytes = 0;
+    c->out_offset = 0;
+    for (const WorkItem& item : c->pending) {
+      if (item.is_statement()) ++dropped_statements;
+    }
+    c->pending.clear();
+    c->write_cv.notify_all();
+  }
+  if (dropped_statements > 0) {
+    inflight_statements_.fetch_sub(dropped_statements,
+                                   std::memory_order_acq_rel);
+    metrics_->queued_statements->Add(
+        -static_cast<int64_t>(dropped_statements));
+  }
+  // Abort whatever the connection's session is executing; the worker's
+  // pending reply lands in the cleared (closed) queue and is dropped.
+  c->session->Cancel();
+  ::close(c->fd);
+  metrics_->closed->Add();
+}
+
+void Server::ReapDoomed() {
+  std::vector<ConnPtr> doomed;
+  {
+    std::lock_guard<std::mutex> lock(doomed_mu_);
+    doomed.swap(doomed_);
+  }
+  for (const ConnPtr& c : doomed) CloseConn(c);
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+void Server::WorkerMain() {
+  for (;;) {
+    ConnPtr c;
+    {
+      std::unique_lock<std::mutex> lock(sched_mu_);
+      work_cv_.wait(lock, [&] { return workers_stop_ || !ready_.empty(); });
+      if (ready_.empty()) {
+        if (workers_stop_) return;
+        continue;
+      }
+      c = std::move(ready_.front());
+      ready_.pop_front();
+    }
+    ProcessOne(c);
+  }
+}
+
+void Server::ProcessOne(const ConnPtr& c) {
+  WorkItem item;
+  {
+    std::lock_guard<std::mutex> cl(c->mu);
+    c->scheduled = false;
+    if (c->closed || c->running || c->pending.empty()) return;
+    item = std::move(c->pending.front());
+    c->pending.pop_front();
+    c->running = true;
+  }
+
+  switch (item.type) {
+    case MessageType::kExecute:
+    case MessageType::kExplain:
+      ExecuteStatement(c, item);
+      break;
+    case MessageType::kSetOption:
+      ApplyOption(c, item);
+      break;
+    case MessageType::kClose: {
+      std::string frame;
+      AppendFrame(&frame, MessageType::kGoodbye, "");
+      {
+        std::lock_guard<std::mutex> cl(c->mu);
+        if (!c->closed) {
+          c->out_bytes += frame.size();
+          c->out.push_back(std::move(frame));
+          c->close_after_flush = true;
+        }
+      }
+      WakeLoop();
+      break;
+    }
+    default:
+      break;
+  }
+
+  bool requeue = false;
+  {
+    std::lock_guard<std::mutex> cl(c->mu);
+    c->running = false;
+    if (!c->closed && !c->pending.empty() && !c->scheduled) {
+      c->scheduled = true;
+      requeue = true;
+    }
+  }
+  if (requeue) {
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      ready_.push_back(c);
+    }
+    work_cv_.notify_one();
+  }
+}
+
+Status Server::BlockingEnqueue(const ConnPtr& c, std::string frame) {
+  const auto stall_deadline =
+      std::chrono::steady_clock::now() + options_.write_stall_timeout;
+  std::unique_lock<std::mutex> cl(c->mu);
+  for (;;) {
+    if (c->closed || c->doomed) {
+      return Status::Unavailable("connection closed");
+    }
+    if (c->out_bytes < options_.write_buffer_soft_cap) break;
+    if (draining_hard_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("server shutting down");
+    }
+    std::shared_ptr<CancellationToken> token =
+        c->session->current_cancellation();
+    if (token != nullptr && token->cancelled()) {
+      return Status::Cancelled("statement cancelled while streaming results");
+    }
+    if (std::chrono::steady_clock::now() >= stall_deadline) {
+      // The client stopped reading; free the worker and drop the client.
+      c->doomed = true;
+      cl.unlock();
+      {
+        std::lock_guard<std::mutex> lock(doomed_mu_);
+        doomed_.push_back(c);
+      }
+      WakeLoop();
+      return Status::Unavailable("client stalled (write buffer full for " +
+                                 std::to_string(
+                                     options_.write_stall_timeout.count()) +
+                                 " ms)");
+    }
+    c->write_cv.wait_for(cl, kGovernedSlice);
+  }
+  c->out_bytes += frame.size();
+  c->out.push_back(std::move(frame));
+  cl.unlock();
+  WakeLoop();
+  return Status::OK();
+}
+
+void Server::ExecuteStatement(const ConnPtr& c, const WorkItem& item) {
+  metrics_->queued_statements->Add(-1);
+  auto finish = [&](bool error) {
+    auto elapsed = std::chrono::steady_clock::now() - item.enqueued;
+    metrics_->request_ns->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+    if (error) {
+      metrics_->statement_errors->Add();
+    } else {
+      metrics_->statements->Add();
+    }
+    inflight_statements_.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  if (item.drain_reject || draining_hard_.load(std::memory_order_acquire)) {
+    metrics_->drain_rejected->Add();
+    std::string frame;
+    AppendFrame(&frame, MessageType::kError,
+                EncodeError(Status::Unavailable(
+                    "server is draining; retry against a live server")));
+    (void)BlockingEnqueue(c, std::move(frame));
+    finish(/*error=*/true);
+    return;
+  }
+
+  metrics_->active_statements->Add(1);
+  Session* session = c->session.get();
+
+  // Streaming result sink: serialized bytes are sliced into ResultChunk
+  // frames of result_chunk_bytes and flow-controlled through the event
+  // loop, so the result never materializes server-side.
+  std::string chunk_buf;
+  Status sink_status;  // first enqueue failure, kept for classification
+  auto flush_chunks = [&](bool final_flush) -> Status {
+    size_t chunk = options_.result_chunk_bytes == 0
+                       ? 32 * 1024
+                       : options_.result_chunk_bytes;
+    while (chunk_buf.size() >= chunk || (final_flush && !chunk_buf.empty())) {
+      size_t take = std::min(chunk_buf.size(), chunk);
+      std::string frame;
+      AppendFrame(&frame, MessageType::kResultChunk,
+                  std::string_view(chunk_buf.data(), take));
+      Status st = BlockingEnqueue(c, std::move(frame));
+      if (!st.ok()) {
+        if (sink_status.ok()) sink_status = st;
+        return st;
+      }
+      metrics_->result_chunks->Add();
+      chunk_buf.erase(0, take);
+    }
+    return Status::OK();
+  };
+  session->set_result_sink([&](std::string_view piece) -> Status {
+    chunk_buf.append(piece.data(), piece.size());
+    return flush_chunks(/*final_flush=*/false);
+  });
+
+  std::string text = item.type == MessageType::kExplain
+                         ? "explain " + item.text
+                         : item.text;
+  StatusOr<QueryResult> result = session->Execute(text);
+  session->set_result_sink(nullptr);
+
+  metrics_->active_statements->Add(-1);
+
+  if (result.ok()) {
+    Status st = flush_chunks(/*final_flush=*/true);
+    if (st.ok()) {
+      std::string frame;
+      AppendFrame(&frame, MessageType::kResultDone,
+                  EncodeResultDone(result->kind, result->affected,
+                                   result->peak_memory_bytes));
+      st = BlockingEnqueue(c, std::move(frame));
+    }
+    finish(/*error=*/!st.ok());
+    return;
+  }
+
+  // Prefer the first sink failure for classification: an operator may have
+  // wrapped the enqueue error on the way out of the pipeline.
+  Status st = !sink_status.ok() ? sink_status : result.status();
+  std::string frame;
+  AppendFrame(&frame, MessageType::kError, EncodeError(st));
+  (void)BlockingEnqueue(c, std::move(frame));
+  finish(/*error=*/true);
+}
+
+void Server::ApplyOption(const ConnPtr& c, const WorkItem& item) {
+  Session* session = c->session.get();
+  const std::string& key = item.text;
+  uint64_t v = 0;
+  Status st;
+  if (!ParseUint(item.value, &v)) {
+    st = Status::InvalidArgument("option '" + key +
+                                 "' needs a non-negative integer, got '" +
+                                 item.value + "'");
+  } else if (key == "timeout_ms") {
+    session->set_statement_timeout(std::chrono::milliseconds(v));
+  } else if (key == "memory_budget") {
+    session->set_statement_memory_budget(v);
+  } else if (key == "check_interval") {
+    session->set_check_interval(static_cast<uint32_t>(v));
+  } else if (key == "parallel_workers") {
+    session->set_parallel_workers(static_cast<uint32_t>(v));
+  } else if (key == "batch_size") {
+    session->set_batch_size(static_cast<size_t>(v));
+  } else if (key == "cancel_at_tick") {
+    // Deterministic kill hook for torture tests: the session trips its own
+    // cancellation at the N-th governance tick of each statement.
+    session->set_cancel_at_tick(v);
+  } else {
+    st = Status::InvalidArgument("unknown option '" + key + "'");
+  }
+
+  std::string frame;
+  if (st.ok()) {
+    metrics_->options_set->Add();
+    AppendFrame(&frame, MessageType::kOptionOk, "");
+  } else {
+    AppendFrame(&frame, MessageType::kError, EncodeError(st));
+  }
+  (void)BlockingEnqueue(c, std::move(frame));
+}
+
+// ---------------------------------------------------------------------------
+// Drain / shutdown
+// ---------------------------------------------------------------------------
+
+Status Server::Shutdown(std::chrono::milliseconds grace) {
+  bool expected = false;
+  if (!shutdown_started_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("server already shut down");
+  }
+
+  // Phase 1: stop taking new work. The accept gate flips atomically; any
+  // statement parsed after this instant carries drain_reject and is
+  // answered with kUnavailable by the worker that reaches it (keeping the
+  // per-connection reply order intact).
+  draining_.store(true, std::memory_order_release);
+  accepting_.store(false, std::memory_order_release);
+  WakeLoop();
+
+  // Phase 2: let in-flight statements finish under the grace deadline.
+  const auto deadline = std::chrono::steady_clock::now() + grace;
+  while (inflight_statements_.load(std::memory_order_acquire) > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // Phase 3: hard abort the stragglers through governance. Every running
+  // statement observes its cancellation token at the next tick (pipeline
+  // pulls, lock waits, group-commit waits and result-sink flow control are
+  // all governed), and queued-but-unstarted statements are answered with
+  // kUnavailable by the workers.
+  if (inflight_statements_.load(std::memory_order_acquire) > 0) {
+    draining_hard_.store(true, std::memory_order_release);
+    std::vector<ConnPtr> live;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (auto& [id, c] : conns_) live.push_back(c);
+    }
+    for (const ConnPtr& c : live) c->session->Cancel();
+    while (inflight_statements_.load(std::memory_order_acquire) > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  // Phase 4: stop the workers (all statement work is done).
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    workers_stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+
+  // Phase 5: say Goodbye everywhere, give the loop a moment to flush, then
+  // stop it; its exit path closes every remaining connection.
+  std::vector<ConnPtr> live;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, c] : conns_) live.push_back(c);
+  }
+  for (const ConnPtr& c : live) {
+    std::lock_guard<std::mutex> cl(c->mu);
+    if (c->closed) continue;
+    std::string frame;
+    AppendFrame(&frame, MessageType::kGoodbye, "");
+    c->out_bytes += frame.size();
+    c->out.push_back(std::move(frame));
+    c->close_after_flush = true;
+  }
+  WakeLoop();
+  const auto flush_deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+  while (active_connections() > 0 &&
+         std::chrono::steady_clock::now() < flush_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  loop_stop_.store(true, std::memory_order_release);
+  WakeLoop();
+  loop_thread_.join();
+
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+  return Status::OK();
+}
+
+}  // namespace sedna::net

@@ -1,0 +1,218 @@
+// TCP front end: the paper's Figure 1 governor process, for real — many
+// client connections multiplexed onto a bounded worker pool.
+//
+// Architecture (DESIGN.md §13):
+//
+//   * one EVENT-LOOP thread owns every socket: non-blocking accept, reads,
+//     frame parsing and writes via poll(2). It never executes statements,
+//     so thousands of idle connections cost one pollfd each.
+//   * a bounded WORKER POOL executes statements. The scheduler is a FIFO
+//     of runnable connections; each dispatch runs exactly ONE queued item
+//     (statement / SetOption / Close) and then requeues the connection if
+//     more are pending — round-robin fairness across any number of
+//     connections on a handful of threads.
+//   * per-connection Session state carries the governance knobs (timeout,
+//     memory budget, parallel workers, ...) set via SetOption; every
+//     statement is admitted through the process-wide Governor, so the
+//     server inherits admission control (reject or bounded-FIFO queue).
+//   * results STREAM: the session's result sink slices the serialized
+//     result into ResultChunk frames and hands them to the event loop,
+//     blocking (governed) when the connection's write buffer is full —
+//     a large result never materializes server-side and a stalled client
+//     throttles only its own statement.
+//   * Cancel frames are handled out of band by the event loop: they trip
+//     the CancellationToken of the statement the connection is executing.
+//   * graceful drain (Shutdown): stop accepting, answer new statements
+//     with kUnavailable, give in-flight statements a grace period, then
+//     hard-abort the stragglers through governance (Session::Cancel), say
+//     Goodbye on every connection and tear down.
+//
+// Thread-safety map: socket fds and read buffers are touched only by the
+// event loop; per-connection queues (pending work, outbound frames) are
+// mutex-guarded; Session objects execute at most one item at a time
+// (enforced by the `running` flag) with only the thread-safe Cancel()
+// called concurrently.
+
+#ifndef SEDNA_NET_SERVER_H_
+#define SEDNA_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "db/database.h"
+#include "net/protocol.h"
+
+namespace sedna::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; the bound port is Server::port()
+  uint32_t worker_threads = 4;
+  uint32_t max_connections = 8192;  // beyond: accept + immediately close
+  // Statements a connection may pipeline before the server treats it as
+  // misbehaving (protocol error, connection dropped).
+  size_t max_pipelined_statements = 64;
+  // Result-chunk frame payload size; also the granularity of streaming.
+  size_t result_chunk_bytes = 32 * 1024;
+  // Outbound soft cap per connection: above it the producing statement
+  // blocks (flow control) instead of buffering the result server-side.
+  size_t write_buffer_soft_cap = 1 << 20;
+  // A statement blocked on a client that stops reading for this long is
+  // aborted and its connection dropped (worker-starvation guard).
+  std::chrono::milliseconds write_stall_timeout{10000};
+  // Default grace for Shutdown(): how long in-flight statements may run
+  // before the drain hard-aborts them through governance.
+  std::chrono::milliseconds drain_grace{2000};
+};
+
+class Server {
+ public:
+  /// Binds, listens and spawns the event loop + worker threads. `db` is
+  /// not owned and must outlive the server.
+  static StatusOr<std::unique_ptr<Server>> Start(Database* db,
+                                                 const ServerOptions& options);
+
+  /// Drains and joins everything (with the options' default grace) if
+  /// Shutdown was not already called.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound TCP port.
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting, reject statements arriving from now
+  /// on with kUnavailable, let in-flight statements finish for `grace`,
+  /// then hard-abort the rest via their cancellation tokens, send Goodbye
+  /// everywhere and join all threads. Idempotent; only the first call
+  /// drains.
+  Status Shutdown(std::chrono::milliseconds grace);
+  Status Shutdown() { return Shutdown(options_.drain_grace); }
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  /// Live connections (post-accept, pre-close). For tests and monitoring.
+  size_t active_connections() const;
+
+  /// Statements accepted but not yet answered (queued + executing).
+  uint64_t inflight_statements() const {
+    return inflight_statements_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct WorkItem {
+    MessageType type = MessageType::kExecute;
+    std::string text;   // statement text / option key
+    std::string value;  // option value
+    bool drain_reject = false;  // arrived after the drain began
+    std::chrono::steady_clock::time_point enqueued;
+    bool is_statement() const {
+      return type == MessageType::kExecute || type == MessageType::kExplain;
+    }
+  };
+
+  struct Conn {
+    // Immutable after accept.
+    int fd = -1;
+    uint64_t id = 0;
+    std::unique_ptr<Session> session;
+
+    // Event-loop-only state.
+    bool hello_done = false;
+    bool reading_disabled = false;  // after a protocol error
+    std::string inbuf;
+    size_t out_offset = 0;  // partial-write offset into out.front()
+
+    // Shared state (guarded by mu).
+    std::mutex mu;
+    std::condition_variable write_cv;
+    std::deque<std::string> out;  // encoded frames awaiting the socket
+    size_t out_bytes = 0;
+    bool close_after_flush = false;
+    bool closed = false;  // logically dead; loop reaps it
+    bool doomed = false;  // a worker asked the loop to close it
+    std::deque<WorkItem> pending;
+    bool running = false;    // a worker is executing an item right now
+    bool scheduled = false;  // sitting in the ready queue
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  Server(Database* db, const ServerOptions& options)
+      : db_(db), options_(options) {}
+  Status Init();
+
+  // --- event loop (loop thread only unless noted) ---------------------------
+  void EventLoop();
+  void AcceptNew();
+  void HandleReadable(const ConnPtr& c);
+  void HandleFrame(const ConnPtr& c, Frame frame);
+  void FlushWrites(const ConnPtr& c);
+  void CloseConn(const ConnPtr& c);
+  void ReapDoomed();
+  /// Loop-thread reply (HelloOk / protocol Error): no flow control.
+  void EnqueueFromLoop(const ConnPtr& c, MessageType type,
+                       std::string_view payload);
+  void ProtocolErrorClose(const ConnPtr& c, const Status& error);
+  void ScheduleConn(const ConnPtr& c);
+
+  // --- worker pool ----------------------------------------------------------
+  void WorkerMain();
+  void ProcessOne(const ConnPtr& c);
+  void ExecuteStatement(const ConnPtr& c, const WorkItem& item);
+  void ApplyOption(const ConnPtr& c, const WorkItem& item);
+  /// Flow-controlled enqueue from a worker; aborts when the connection
+  /// dies, the statement is cancelled, the drain goes hard, or the client
+  /// stalls past write_stall_timeout.
+  Status BlockingEnqueue(const ConnPtr& c, std::string frame);
+
+  void WakeLoop();
+
+  Database* db_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  uint16_t port_ = 0;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+
+  // Scheduler: FIFO of connections with runnable work.
+  std::mutex sched_mu_;
+  std::condition_variable work_cv_;
+  std::deque<ConnPtr> ready_;
+  bool workers_stop_ = false;
+
+  // Connection table: mutated by the loop, read by Shutdown/monitoring.
+  mutable std::mutex conns_mu_;
+  std::map<uint64_t, ConnPtr> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  // Workers hand connections the loop must close to this list.
+  std::mutex doomed_mu_;
+  std::vector<ConnPtr> doomed_;
+
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> draining_hard_{false};
+  std::atomic<bool> loop_stop_{false};
+  std::atomic<bool> shutdown_started_{false};
+  std::atomic<uint64_t> inflight_statements_{0};
+
+  struct NetMetrics;
+  const NetMetrics* metrics_ = nullptr;  // cached registry pointers
+};
+
+}  // namespace sedna::net
+
+#endif  // SEDNA_NET_SERVER_H_

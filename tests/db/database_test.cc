@@ -538,6 +538,112 @@ TEST_F(DatabaseTest, GovernorAdmitsOneCheckpointAtATime) {
   EXPECT_TRUE(db_->Checkpoint().ok());
 }
 
+TEST_F(DatabaseTest, GovernorRejectsOnFullWhenQueueDisabled) {
+  Governor& gov = Governor::Instance();
+  gov.set_max_concurrent_statements(1);
+  gov.set_max_queued_statements(0);  // legacy reject mode
+
+  auto first = gov.AdmitStatement();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = gov.AdmitStatement();
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(gov.queued_statements(), 0u);
+
+  first->Release();
+  auto third = gov.AdmitStatement();
+  EXPECT_TRUE(third.ok());
+  third->Release();
+  gov.set_max_concurrent_statements(0);
+}
+
+TEST_F(DatabaseTest, GovernorQueueAdmitsWaitersInFifoOrder) {
+  Governor& gov = Governor::Instance();
+  gov.set_max_concurrent_statements(1);
+  gov.set_max_queued_statements(4);
+
+  auto holder = gov.AdmitStatement();
+  ASSERT_TRUE(holder.ok());
+
+  // Two waiters join the queue; when the slot frees they must be admitted
+  // in arrival order, one at a time.
+  std::mutex order_mu;
+  std::vector<int> admitted_order;
+  std::atomic<int> queued{0};
+  auto waiter = [&](int id) {
+    // Stagger arrival so the FIFO order is deterministic.
+    while (queued.load() < id - 1) std::this_thread::yield();
+    queued.fetch_add(1);
+    auto ticket = gov.AdmitStatement();
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      admitted_order.push_back(id);
+    }
+    EXPECT_EQ(gov.active_statements(), 1u);
+    std::this_thread::sleep_for(20ms);
+    ticket->Release();
+  };
+  std::thread t1(waiter, 1);
+  while (queued.load() < 1) std::this_thread::yield();
+  // Waiter 1 is parked in the queue (slot held) before waiter 2 arrives.
+  while (gov.queued_statements() < 1) std::this_thread::yield();
+  std::thread t2(waiter, 2);
+  while (gov.queued_statements() < 2) std::this_thread::yield();
+
+  holder->Release();
+  t1.join();
+  t2.join();
+  EXPECT_EQ(admitted_order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(gov.active_statements(), 0u);
+  EXPECT_EQ(gov.queued_statements(), 0u);
+  gov.set_max_concurrent_statements(0);
+  gov.set_max_queued_statements(0);
+}
+
+TEST_F(DatabaseTest, GovernorQueueBoundAndGovernedWait) {
+  Governor& gov = Governor::Instance();
+  gov.set_max_concurrent_statements(1);
+  gov.set_max_queued_statements(1);
+
+  auto holder = gov.AdmitStatement();
+  ASSERT_TRUE(holder.ok());
+
+  // A deadline-bearing waiter parks in the queue and aborts when its
+  // governed wait expires — the slot is never freed.
+  QueryContext deadline_query;
+  deadline_query.set_deadline_after(30ms);
+  std::thread expired([&] {
+    auto ticket = gov.AdmitStatement(&deadline_query);
+    EXPECT_EQ(ticket.status().code(), StatusCode::kDeadlineExceeded)
+        << ticket.status().ToString();
+  });
+
+  // While that waiter occupies the single queue slot, the next arrival is
+  // rejected immediately (queue full), not blocked.
+  while (gov.queued_statements() < 1) std::this_thread::yield();
+  auto overflow = gov.AdmitStatement();
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+  expired.join();
+  EXPECT_EQ(gov.queued_statements(), 0u);
+
+  // Cancellation also unparks a queued waiter.
+  QueryContext cancel_query;
+  std::thread cancelled([&] {
+    auto ticket = gov.AdmitStatement(&cancel_query);
+    EXPECT_EQ(ticket.status().code(), StatusCode::kCancelled)
+        << ticket.status().ToString();
+  });
+  while (gov.queued_statements() < 1) std::this_thread::yield();
+  cancel_query.Cancel();
+  cancelled.join();
+  EXPECT_EQ(gov.queued_statements(), 0u);
+
+  holder->Release();
+  EXPECT_EQ(gov.active_statements(), 0u);
+  gov.set_max_concurrent_statements(0);
+  gov.set_max_queued_statements(0);
+}
+
 TEST_F(DatabaseTest, TransactionControlErrors) {
   auto s = db_->Connect();
   EXPECT_FALSE(s->Commit().ok());  // nothing open

@@ -1,0 +1,176 @@
+#include "net/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "common/coding.h"
+
+namespace sedna::net {
+namespace {
+
+TEST(ProtocolFrameTest, RoundTripsEveryByteValuePayload) {
+  std::string payload;
+  for (int i = 0; i < 256; ++i) payload.push_back(static_cast<char>(i));
+  std::string wire;
+  AppendFrame(&wire, MessageType::kExecute, payload);
+  ASSERT_EQ(wire.size(), kFrameHeaderBytes + payload.size());
+
+  Frame frame;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(DecodeFrame(wire, &frame, &consumed, &error), DecodeResult::kFrame);
+  EXPECT_EQ(frame.type, MessageType::kExecute);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_EQ(consumed, wire.size());
+}
+
+TEST(ProtocolFrameTest, EveryTruncationAsksForMoreBytes) {
+  std::string wire;
+  AppendFrame(&wire, MessageType::kResultChunk, "streaming bytes");
+  for (size_t n = 0; n < wire.size(); ++n) {
+    Frame frame;
+    size_t consumed = 0;
+    Status error;
+    EXPECT_EQ(DecodeFrame(std::string_view(wire.data(), n), &frame, &consumed,
+                          &error),
+              DecodeResult::kNeedMore)
+        << "prefix length " << n;
+  }
+}
+
+TEST(ProtocolFrameTest, BackToBackFramesDecodeInOrder) {
+  std::string wire;
+  AppendFrame(&wire, MessageType::kExecute, "first");
+  AppendFrame(&wire, MessageType::kCancel, "");
+  AppendFrame(&wire, MessageType::kClose, "");
+
+  std::string_view rest = wire;
+  Frame frame;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(DecodeFrame(rest, &frame, &consumed, &error), DecodeResult::kFrame);
+  EXPECT_EQ(frame.type, MessageType::kExecute);
+  EXPECT_EQ(frame.payload, "first");
+  rest.remove_prefix(consumed);
+  ASSERT_EQ(DecodeFrame(rest, &frame, &consumed, &error), DecodeResult::kFrame);
+  EXPECT_EQ(frame.type, MessageType::kCancel);
+  EXPECT_TRUE(frame.payload.empty());
+  rest.remove_prefix(consumed);
+  ASSERT_EQ(DecodeFrame(rest, &frame, &consumed, &error), DecodeResult::kFrame);
+  EXPECT_EQ(frame.type, MessageType::kClose);
+  rest.remove_prefix(consumed);
+  EXPECT_TRUE(rest.empty());
+}
+
+TEST(ProtocolFrameTest, OversizedLengthPrefixIsAProtocolError) {
+  std::string wire;
+  PutFixed32(&wire, kMaxPayloadBytes + 1);
+  wire.push_back(static_cast<char>(MessageType::kExecute));
+  Frame frame;
+  size_t consumed = 0;
+  Status error;
+  EXPECT_EQ(DecodeFrame(wire, &frame, &consumed, &error), DecodeResult::kBad);
+  EXPECT_EQ(error.code(), StatusCode::kProtocolError);
+}
+
+TEST(ProtocolFrameTest, MaxLengthPrefixRejectedWithoutWaitingForPayload) {
+  // 0xFFFFFFFF would otherwise make the reader wait for 4 GiB that will
+  // never arrive; the cap check must fire on the header alone.
+  std::string wire;
+  PutFixed32(&wire, 0xFFFFFFFFu);
+  wire.push_back(static_cast<char>(MessageType::kHello));
+  Frame frame;
+  size_t consumed = 0;
+  Status error;
+  EXPECT_EQ(DecodeFrame(wire, &frame, &consumed, &error), DecodeResult::kBad);
+}
+
+TEST(ProtocolPayloadTest, HelloRoundTrip) {
+  EXPECT_TRUE(DecodeHello(EncodeHello()).ok());
+  EXPECT_EQ(DecodeHello("SEDNA\x02").code(), StatusCode::kProtocolError);
+  EXPECT_EQ(DecodeHello("XEDNA\x01").code(), StatusCode::kProtocolError);
+  EXPECT_EQ(DecodeHello("SEDNA").code(), StatusCode::kProtocolError);
+  EXPECT_EQ(DecodeHello("").code(), StatusCode::kProtocolError);
+}
+
+TEST(ProtocolPayloadTest, HelloOkRoundTrip) {
+  std::string payload = EncodeHelloOk(42, "banner text");
+  uint64_t session_id = 0;
+  std::string banner;
+  ASSERT_TRUE(DecodeHelloOk(payload, &session_id, &banner).ok());
+  EXPECT_EQ(session_id, 42u);
+  EXPECT_EQ(banner, "banner text");
+  EXPECT_EQ(DecodeHelloOk("short", &session_id, &banner).code(),
+            StatusCode::kProtocolError);
+  EXPECT_EQ(DecodeHelloOk(payload + "x", &session_id, &banner).code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(ProtocolPayloadTest, ResultDoneRoundTrip) {
+  std::string payload =
+      EncodeResultDone(StatementKind::kUpdateInsert, 7, 123456789);
+  StatementKind kind = StatementKind::kQuery;
+  uint64_t affected = 0, peak = 0;
+  ASSERT_TRUE(DecodeResultDone(payload, &kind, &affected, &peak).ok());
+  EXPECT_EQ(kind, StatementKind::kUpdateInsert);
+  EXPECT_EQ(affected, 7u);
+  EXPECT_EQ(peak, 123456789u);
+
+  // An out-of-range kind byte must not cast into the enum.
+  std::string bad = payload;
+  bad[0] = static_cast<char>(0x7F);
+  EXPECT_EQ(DecodeResultDone(bad, &kind, &affected, &peak).code(),
+            StatusCode::kProtocolError);
+  EXPECT_EQ(DecodeResultDone("", &kind, &affected, &peak).code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(ProtocolPayloadTest, ErrorRoundTripPreservesCodeAndMessage) {
+  Status in = Status::ResourceExhausted("admission cap reached");
+  Status out = DecodeError(EncodeError(in));
+  EXPECT_EQ(out.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(out.message(), "admission cap reached");
+
+  // A wire code this build doesn't know still surfaces as an error.
+  std::string future;
+  PutFixed32(&future, 9999);
+  PutLengthPrefixed(&future, "from the future");
+  EXPECT_EQ(DecodeError(future).code(), StatusCode::kInternal);
+
+  // An Error frame claiming OK would invert control flow; reject it.
+  std::string ok_code;
+  PutFixed32(&ok_code, 0);
+  PutLengthPrefixed(&ok_code, "not actually ok");
+  EXPECT_EQ(DecodeError(ok_code).code(), StatusCode::kProtocolError);
+}
+
+TEST(ProtocolPayloadTest, SetOptionRoundTrip) {
+  std::string payload = EncodeSetOption("timeout_ms", "2500");
+  std::string key, value;
+  ASSERT_TRUE(DecodeSetOption(payload, &key, &value).ok());
+  EXPECT_EQ(key, "timeout_ms");
+  EXPECT_EQ(value, "2500");
+  EXPECT_EQ(DecodeSetOption("\x01", &key, &value).code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(ProtocolPayloadTest, ClientMessageTypePredicate) {
+  EXPECT_TRUE(IsClientMessageType(static_cast<uint8_t>(MessageType::kHello)));
+  EXPECT_TRUE(IsClientMessageType(static_cast<uint8_t>(MessageType::kCancel)));
+  EXPECT_FALSE(
+      IsClientMessageType(static_cast<uint8_t>(MessageType::kHelloOk)));
+  EXPECT_FALSE(
+      IsClientMessageType(static_cast<uint8_t>(MessageType::kResultChunk)));
+  EXPECT_FALSE(IsClientMessageType(0x00));
+  EXPECT_FALSE(IsClientMessageType(0xFF));
+}
+
+TEST(ProtocolPayloadTest, StatusCodeWireMapping) {
+  for (uint32_t code = 0;
+       code <= static_cast<uint32_t>(StatusCode::kProtocolError); ++code) {
+    EXPECT_EQ(static_cast<uint32_t>(StatusCodeFromWire(code)), code);
+  }
+  EXPECT_EQ(StatusCodeFromWire(1000), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace sedna::net

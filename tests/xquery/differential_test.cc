@@ -14,11 +14,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "db/database.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "tests/storage/storage_test_util.h"
 #include "xml/xml_parser.h"
 #include "xmlgen/generators.h"
@@ -240,6 +244,135 @@ TEST_F(DifferentialTest, StreamingMatchesEagerOnFullCorpus) {
   }
   // ISSUE 4 acceptance: the differential corpus covers >= 200 pairs.
   EXPECT_GE(pairs, 200u) << "differential corpus shrank below the bar";
+}
+
+// Loopback differential: the same corpus, but every query also crosses the
+// wire — embedded Session::Execute vs NetClient::Execute against a real
+// server on 127.0.0.1 must be byte-identical, with the result streamed in
+// deliberately tiny chunks so reassembly is exercised on every pair.
+class WireDifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "wirediff_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    DatabaseOptions options;
+    options.path = base_ + ".sedna";
+    options.wal_path = base_ + ".wal";
+    std::remove(options.path.c_str());
+    std::remove(options.wal_path.c_str());
+    auto db = Database::Create(options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+
+    std::ostringstream big;
+    big << "<root>";
+    for (int i = 1; i <= 2000; ++i) big << "<item>v" << i << "</item>";
+    big << "</root>";
+    LoadXml("big", big.str());
+    LoadXml("tiny", "<a><b>1</b><c x=\"7\">2</c><b>3</b></a>");
+    LoadXml("mixed",
+            "<m>head<e k=\"1\">alpha</e>mid<e k=\"2\"><f/>beta</e>tail</m>");
+    LoadTree("lib", *xmlgen::Library(30, 10));
+    xmlgen::AuctionParams ap;
+    ap.items = 30;
+    ap.people = 20;
+    ap.open_auctions = 15;
+    ap.closed_auctions = 8;
+    ap.description_words = 5;
+    LoadTree("bench", *xmlgen::Auction(ap));
+    LoadTree("deep", *xmlgen::DeepChain(30));
+    LoadTree("wide", *xmlgen::WideFan(200, 4));
+    LoadTree("rand1", *xmlgen::RandomTree(300, 1));
+    LoadTree("rand2", *xmlgen::RandomTree(300, 2));
+    LoadTree("rand3", *xmlgen::RandomTree(300, 3));
+
+    embedded_ = db_->Connect();
+    net::ServerOptions server_options;
+    server_options.result_chunk_bytes = 256;  // force multi-chunk replies
+    auto server = net::Server::Start(db_.get(), server_options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    server_ = std::move(*server);
+    auto client = net::NetClient::Connect("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    client_ = std::move(*client);
+  }
+
+  void TearDown() override {
+    client_.reset();
+    server_.reset();
+    embedded_.reset();
+    db_.reset();
+  }
+
+  void LoadXml(const std::string& name, const std::string& xml) {
+    auto doc = ParseXml(xml);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    LoadTree(name, **doc);
+  }
+
+  // Corpus documents load straight into the database's storage engine —
+  // the same trees the embedded differential uses; both execution paths
+  // below read them through the same engine.
+  void LoadTree(const std::string& name, const XmlNode& tree) {
+    auto store = db_->storage()->CreateDocument(ctx_, name);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    ASSERT_TRUE((*store)->Load(ctx_, tree).ok());
+  }
+
+  /// Embedded vs wire for one query; both must succeed and serialize
+  /// byte-identically.
+  bool CheckPair(const std::string& q) {
+    auto local = embedded_->Execute(q);
+    EXPECT_TRUE(local.ok()) << q << "\n  -> (embedded) "
+                            << local.status().ToString();
+    auto wire = client_->Execute(q);
+    EXPECT_TRUE(wire.ok()) << q << "\n  -> (wire) "
+                           << wire.status().ToString();
+    if (!local.ok() || !wire.ok()) return false;
+    EXPECT_EQ(wire->serialized, local->serialized) << q;
+    EXPECT_EQ(wire->kind, StatementKind::kQuery) << q;
+    return wire->serialized == local->serialized;
+  }
+
+  static std::string Instantiate(const std::string& tmpl,
+                                 const std::string& doc) {
+    std::string out = tmpl;
+    size_t pos;
+    while ((pos = out.find("%D%")) != std::string::npos) {
+      out.replace(pos, 3, doc);
+    }
+    return out;
+  }
+
+  std::string base_;
+  OpCtx ctx_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<Session> embedded_;
+  std::unique_ptr<net::Server> server_;
+  std::unique_ptr<net::NetClient> client_;
+};
+
+TEST_F(WireDifferentialTest, WireMatchesEmbeddedOnFullCorpus) {
+  const std::vector<std::string> docs = {"big",  "tiny",  "mixed", "lib",
+                                         "bench", "deep",  "wide",  "rand1",
+                                         "rand2", "rand3"};
+  size_t pairs = 0;
+  for (const std::string& doc : docs) {
+    for (const char* tmpl : kTemplates) {
+      ASSERT_TRUE(CheckPair(Instantiate(tmpl, doc)))
+          << "doc=" << doc << " template=" << tmpl;
+      ++pairs;
+    }
+  }
+  for (const char* q : kStreamingSuiteQueries) {
+    ASSERT_TRUE(CheckPair(q));
+    ++pairs;
+  }
+  for (const char* q : kBenchSuiteQueries) {
+    ASSERT_TRUE(CheckPair(q));
+    ++pairs;
+  }
+  EXPECT_GE(pairs, 200u) << "loopback differential corpus shrank";
 }
 
 // EXPLAIN must not change answers: the profiled plan's result text equals
