@@ -424,8 +424,12 @@ StatusOr<Governor::StatementTicket> Governor::AdmitStatement(
     QueryContext* query) {
   const AdmissionMetrics& m = GovernorAdmissionMetrics();
   std::unique_lock<std::mutex> lock(mu_);
-  if (max_concurrent_statements_ == 0 ||
-      active_statements_ < max_concurrent_statements_) {
+  // Fast path only when nobody is already parked: a free slot between a
+  // release and the queue head waking must go to the FIFO head, not to a
+  // newly arriving statement barging past it.
+  if (admit_queue_.empty() &&
+      (max_concurrent_statements_ == 0 ||
+       active_statements_ < max_concurrent_statements_)) {
     active_statements_++;
     m.admitted->Add();
     m.active->Set(static_cast<int64_t>(active_statements_));

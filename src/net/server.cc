@@ -229,7 +229,17 @@ void Server::EventLoop() {
         continue;
       }
       if (re & POLLOUT) FlushWrites(c);
-      if (re & (POLLIN | POLLHUP)) HandleReadable(c);
+      if (re & (POLLIN | POLLHUP)) {
+        // FlushWrites may have closed the connection (send error or
+        // close_after_flush); recv()ing then would touch a freed fd number
+        // that another thread may already have reused.
+        bool closed;
+        {
+          std::lock_guard<std::mutex> cl(c->mu);
+          closed = c->closed;
+        }
+        if (!closed) HandleReadable(c);
+      }
     }
   }
 
@@ -775,13 +785,17 @@ Status Server::Shutdown(std::chrono::milliseconds grace) {
   // kUnavailable by the workers.
   if (inflight_statements_.load(std::memory_order_acquire) > 0) {
     draining_hard_.store(true, std::memory_order_release);
-    std::vector<ConnPtr> live;
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      for (auto& [id, c] : conns_) live.push_back(c);
-    }
-    for (const ConnPtr& c : live) c->session->Cancel();
+    // Re-issue the cancels every round: a statement that was dispatched but
+    // had not yet reached BeginGoverned when a previous round fired has no
+    // token registered at that instant and would otherwise lose the cancel,
+    // blocking this drain forever on an unbounded statement.
     while (inflight_statements_.load(std::memory_order_acquire) > 0) {
+      std::vector<ConnPtr> live;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        for (auto& [id, c] : conns_) live.push_back(c);
+      }
+      for (const ConnPtr& c : live) c->session->Cancel();
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
@@ -792,7 +806,9 @@ Status Server::Shutdown(std::chrono::milliseconds grace) {
     workers_stop_ = true;
   }
   work_cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
   workers_.clear();
 
   // Phase 5: say Goodbye everywhere, give the loop a moment to flush, then
@@ -820,10 +836,13 @@ Status Server::Shutdown(std::chrono::milliseconds grace) {
   }
   loop_stop_.store(true, std::memory_order_release);
   WakeLoop();
-  loop_thread_.join();
+  // When Init() failed before spawning the loop (bad address, bind/listen
+  // or pipe2 error) the destructor still runs Shutdown(); joining a
+  // non-joinable thread would throw out of a noexcept destructor.
+  if (loop_thread_.joinable()) loop_thread_.join();
 
-  ::close(wake_pipe_[0]);
-  ::close(wake_pipe_[1]);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
   wake_pipe_[0] = wake_pipe_[1] = -1;
   return Status::OK();
 }

@@ -600,6 +600,41 @@ TEST_F(DatabaseTest, GovernorQueueAdmitsWaitersInFifoOrder) {
   gov.set_max_queued_statements(0);
 }
 
+TEST_F(DatabaseTest, GovernorNewArrivalDoesNotBargePastQueuedWaiter) {
+  Governor& gov = Governor::Instance();
+  gov.set_max_concurrent_statements(1);
+  gov.set_max_queued_statements(4);
+
+  for (int round = 0; round < 5; ++round) {
+    auto holder = gov.AdmitStatement();
+    ASSERT_TRUE(holder.ok());
+
+    std::atomic<bool> waiter_admitted{false};
+    std::thread waiter([&] {
+      auto ticket = gov.AdmitStatement();
+      EXPECT_TRUE(ticket.ok()) << ticket.status().ToString();
+      waiter_admitted.store(true);
+      if (ticket.ok()) ticket->Release();
+    });
+    while (gov.queued_statements() < 1) std::this_thread::yield();
+
+    // Release the slot and immediately try to admit. The freed slot must
+    // go to the parked FIFO head — even though the head may take a wait
+    // slice to wake, this arrival must queue behind it rather than barge,
+    // so by the time it is admitted the waiter has already run.
+    holder->Release();
+    auto late = gov.AdmitStatement();
+    ASSERT_TRUE(late.ok());
+    EXPECT_TRUE(waiter_admitted.load());
+    late->Release();
+    waiter.join();
+  }
+  EXPECT_EQ(gov.active_statements(), 0u);
+  EXPECT_EQ(gov.queued_statements(), 0u);
+  gov.set_max_concurrent_statements(0);
+  gov.set_max_queued_statements(0);
+}
+
 TEST_F(DatabaseTest, GovernorQueueBoundAndGovernedWait) {
   Governor& gov = Governor::Instance();
   gov.set_max_concurrent_statements(1);

@@ -355,6 +355,22 @@ TEST_F(ServerTest, AdmissionQueueSmoothsABurstOverTheWire) {
   EXPECT_EQ(Governor::Instance().queued_statements(), 0u);
 }
 
+TEST_F(ServerTest, FailedStartDestructsCleanly) {
+  // Init fails before any thread is spawned; destroying the half-built
+  // server must not join the never-started loop thread (std::terminate).
+  ServerOptions bad_addr;
+  bad_addr.host = "not-an-address";
+  auto server = Server::Start(db_.get(), bad_addr);
+  EXPECT_FALSE(server.ok());
+
+  // Bind conflict: fails after the listener socket exists.
+  StartServer();
+  ServerOptions clash;
+  clash.port = server_->port();
+  auto second = Server::Start(db_.get(), clash);
+  EXPECT_FALSE(second.ok());
+}
+
 TEST_F(ServerTest, ServerDestructorDrainsWithoutExplicitShutdown) {
   StartServer();
   auto client = MustConnect();
