@@ -27,6 +27,7 @@
 #include "bench/bench_util.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "net/transport.h"
 
 namespace sedna {
 namespace {
@@ -233,6 +234,69 @@ ScenarioResult ConnectionScale(uint16_t port, size_t connections,
                    latencies, errors.load(), seconds);
 }
 
+/// Client-retry resilience: the closed loop again, but every connection is
+/// routed through a FaultInjectingTransport that resets it after a fixed
+/// byte budget — so sockets die mid-frame every few requests and the
+/// clients repair with backoff + automatic retry of the idempotent reads.
+/// The row prices the fault/retry machinery against the clean closed loop;
+/// a second line reports how hard the resilience path actually worked.
+ScenarioResult RetryLoop(uint16_t port, size_t clients, size_t requests_each,
+                         uint64_t kill_after_bytes) {
+  net::TransportFaultOptions faults;
+  faults.kill_after_bytes = kill_after_bytes;
+  net::FaultInjectingTransport faulty(faults);
+
+  std::mutex mu;
+  std::vector<double> all_latencies;
+  std::atomic<size_t> errors{0};
+  std::atomic<uint64_t> reconnects{0}, retries{0}, poisonings{0};
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      net::ClientOptions copts;
+      copts.max_retries = 3;
+      copts.backoff_base = std::chrono::milliseconds(1);
+      copts.backoff_cap = std::chrono::milliseconds(8);
+      copts.backoff_seed = c + 1;
+      copts.transport = &faulty;
+      auto client = net::NetClient::Connect("127.0.0.1", port, copts);
+      if (!client.ok()) {
+        errors.fetch_add(requests_each);
+        return;
+      }
+      std::vector<double> local;
+      local.reserve(requests_each);
+      for (size_t i = 0; i < requests_each; ++i) {
+        const auto t0 = Clock::now();
+        auto r = (*client)->ExecuteRead(kQuery);
+        if (r.ok()) {
+          local.push_back(
+              std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                  .count());
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+      reconnects.fetch_add((*client)->stats().reconnects);
+      retries.fetch_add((*client)->stats().retries);
+      poisonings.fetch_add((*client)->stats().poisonings);
+      std::lock_guard<std::mutex> lock(mu);
+      all_latencies.insert(all_latencies.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  std::printf("  [retry machinery: %llu poisonings, %llu reconnects, "
+              "%llu retries, %llu sockets killed]\n",
+              static_cast<unsigned long long>(poisonings.load()),
+              static_cast<unsigned long long>(reconnects.load()),
+              static_cast<unsigned long long>(retries.load()),
+              static_cast<unsigned long long>(faulty.kills()));
+  return Summarize("retry-loop/" + std::to_string(kill_after_bytes) + "B",
+                   clients, all_latencies, errors.load(), seconds);
+}
+
 void WriteJson(const std::vector<ScenarioResult>& results) {
   std::string dir = ".";
   if (const char* env = std::getenv("SEDNA_BENCH_JSON_DIR")) dir = env;
@@ -282,6 +346,8 @@ int Run() {
   results.push_back(OpenLoop(port, 64, 500.0, 3.0));
   PrintRow(results.back());
   results.push_back(ConnectionScale(port, 1000, 2, 8));
+  PrintRow(results.back());
+  results.push_back(RetryLoop(port, 8, 200, 8192));
   PrintRow(results.back());
 
   SEDNA_CHECK((*server)->Shutdown().ok());

@@ -6,7 +6,13 @@
 // Each input line is one statement. Extras:
 //   \set <key> <value>   session option (timeout_ms, memory_budget, ...)
 //   \explain <stmt>      run in profile mode
-//   \quit                orderly goodbye
+//   \begin [ro]          open an explicit transaction (ro = read-only)
+//   \commit              commit the open transaction
+//   \abort               abort the open transaction
+//   \quit                orderly goodbye (aborts any open transaction)
+//
+// The prompt shows "sedna*>" while a transaction is open. Statements
+// outside an explicit transaction autocommit, exactly as before.
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,10 +39,25 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>((*client)->session_id()));
 
   std::string line;
-  while (std::printf("sedna> "), std::fflush(stdout),
-         std::getline(std::cin, line)) {
+  while (std::printf((*client)->in_txn() ? "sedna*> " : "sedna> "),
+         std::fflush(stdout), std::getline(std::cin, line)) {
     if (line.empty()) continue;
     if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\begin" || line == "\\begin ro") {
+      sedna::Status st = (*client)->BeginTxn(line == "\\begin ro");
+      std::printf("%s\n", st.ok() ? "ok" : st.ToString().c_str());
+      continue;
+    }
+    if (line == "\\commit") {
+      sedna::Status st = (*client)->CommitTxn();
+      std::printf("%s\n", st.ok() ? "committed" : st.ToString().c_str());
+      continue;
+    }
+    if (line == "\\abort") {
+      sedna::Status st = (*client)->AbortTxn();
+      std::printf("%s\n", st.ok() ? "aborted" : st.ToString().c_str());
+      continue;
+    }
     if (line.rfind("\\set ", 0) == 0) {
       std::istringstream ss(line.substr(5));
       std::string key, value;

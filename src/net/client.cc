@@ -1,96 +1,184 @@
 #include "net/client.h"
 
-#include <arpa/inet.h>
 #include <errno.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
+#include <thread>
 
 namespace sedna::net {
 
 namespace {
 
-Status Errno(const std::string& what) {
-  return Status::IOError(what + ": " + std::strerror(errno));
+Status TransportError(const std::string& what, int err) {
+  return Status::IOError(what + ": " + std::strerror(err));
 }
 
 }  // namespace
 
 StatusOr<std::unique_ptr<NetClient>> NetClient::Connect(
-    const std::string& host, uint16_t port, std::chrono::milliseconds timeout) {
-  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return Errno("socket");
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad server address: " + host);
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    Status st = Errno("connect " + host + ":" + std::to_string(port));
-    ::close(fd);
-    return st;
-  }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-
+    const std::string& host, uint16_t port, const ClientOptions& options) {
   std::unique_ptr<NetClient> client(new NetClient());
-  client->fd_ = fd;
-  client->read_timeout_ = timeout;
-
-  Status st = client->SendFrame(MessageType::kHello, EncodeHello());
-  if (!st.ok()) return st;
-  Frame frame;
-  st = client->ReadFrame(&frame);
-  if (!st.ok()) return st;
-  if (frame.type == MessageType::kError) return DecodeError(frame.payload);
-  if (frame.type != MessageType::kHelloOk) {
-    return Status::ProtocolError("expected HelloOk, got type " +
-                                 std::to_string(static_cast<unsigned>(
-                                     frame.type)));
-  }
-  SEDNA_RETURN_IF_ERROR(DecodeHelloOk(frame.payload, &client->session_id_,
-                                      &client->banner_));
-  client->read_timeout_ = std::chrono::milliseconds(30000);
+  client->host_ = host;
+  client->port_ = port;
+  client->options_ = options;
+  client->transport_ = options.transport != nullptr ? options.transport
+                                                    : Transport::Default();
+  client->backoff_rng_.Seed(options.backoff_seed);
+  SEDNA_RETURN_IF_ERROR(client->Reconnect());
+  // The initial connect is not a "repair"; stats count resilience events.
+  client->stats_ = ClientStats{};
   return client;
+}
+
+StatusOr<std::unique_ptr<NetClient>> NetClient::Connect(
+    const std::string& host, uint16_t port, std::chrono::milliseconds timeout) {
+  ClientOptions options;
+  options.connect_timeout = timeout;
+  return Connect(host, port, options);
 }
 
 NetClient::~NetClient() { Abort(); }
 
 void NetClient::Abort() {
   std::lock_guard<std::mutex> lock(write_mu_);
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
+  if (sock_ != nullptr) {
+    sock_->Close();
+    sock_.reset();
   }
 }
 
-Status NetClient::SendFrame(MessageType type, std::string_view payload) {
+bool NetClient::connected() const {
+  // Main-thread view; a concurrent Abort shows up at the next request.
+  return sock_ != nullptr && !poisoned_;
+}
+
+void NetClient::DropSocket() {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (sock_ != nullptr) {
+    sock_->Close();
+    sock_.reset();
+  }
+  inbuf_.clear();
+}
+
+void NetClient::Poison() {
+  DropSocket();
+  poisoned_ = true;
+  ++stats_.poisonings;
+}
+
+Status NetClient::EnsureConnected() {
+  if (sock_ != nullptr && !poisoned_) return Status::OK();
+  return Reconnect();
+}
+
+Status NetClient::Reconnect() {
+  DropSocket();
+  // The old connection's transaction (if any) was aborted server-side the
+  // moment the connection died; reflect that before talking again.
+  in_txn_ = false;
+  const bool repairing = session_id_ != 0;
+  StatusOr<std::unique_ptr<TransportSocket>> sock =
+      transport_->Connect(host_, port_);
+  if (!sock.ok()) {
+    poisoned_ = true;
+    return sock.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    sock_ = std::move(*sock);
+  }
+  poisoned_ = false;
+  Status st = Handshake();
+  if (st.ok()) {
+    // A fresh server session starts from default options; replay what this
+    // client had successfully set so retried requests run under the same
+    // governance knobs.
+    for (const auto& [key, value] : option_cache_) {
+      st = DoSetOption(key, value);
+      if (!st.ok()) break;
+    }
+  }
+  if (!st.ok()) {
+    Poison();
+    return st;
+  }
+  if (repairing) ++stats_.reconnects;
+  return Status::OK();
+}
+
+Status NetClient::Handshake() {
+  SEDNA_RETURN_IF_ERROR(SendFrame(MessageType::kHello, EncodeHello()));
+  Frame frame;
+  SEDNA_RETURN_IF_ERROR(ReadFrame(&frame, options_.connect_timeout));
+  if (frame.type == MessageType::kError) return DecodeError(frame.payload);
+  if (frame.type != MessageType::kHelloOk) {
+    return Status::ProtocolError("expected HelloOk, got type " +
+                                 std::to_string(static_cast<unsigned>(
+                                     frame.type)));
+  }
+  return DecodeHelloOk(frame.payload, &session_id_, &banner_);
+}
+
+std::chrono::milliseconds NetClient::BackoffDelay(uint32_t attempt) {
+  const uint64_t base =
+      static_cast<uint64_t>(std::max<int64_t>(1, options_.backoff_base.count()));
+  const uint64_t cap =
+      static_cast<uint64_t>(std::max<int64_t>(1, options_.backoff_cap.count()));
+  uint64_t delay = attempt >= 20 ? cap : base << attempt;
+  delay = std::min(delay, cap);
+  // Jitter into [0.5, 1.0) of the computed delay so a fleet of clients
+  // reconnecting after one server blip does not stampede in lockstep.
+  const double jitter = 0.5 + backoff_rng_.NextDouble() * 0.5;
+  return std::chrono::milliseconds(
+      std::max<uint64_t>(1, static_cast<uint64_t>(delay * jitter)));
+}
+
+void NetClient::SleepBackoff(uint32_t attempt) {
+  const auto delay = BackoffDelay(attempt);
+  stats_.backoff_ms += static_cast<uint64_t>(delay.count());
+  std::this_thread::sleep_for(delay);
+}
+
+Status NetClient::SendFrame(MessageType type, std::string_view payload,
+                            bool poison) {
   std::string frame;
   AppendFrame(&frame, type, payload);
-  std::lock_guard<std::mutex> lock(write_mu_);
-  if (fd_ < 0) return Status::Unavailable("client not connected");
+  std::shared_ptr<TransportSocket> sock;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    sock = sock_;
+  }
+  if (sock == nullptr) return Status::Unavailable("client not connected");
   size_t off = 0;
   while (off < frame.size()) {
-    ssize_t n =
-        ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    int err = 0;
+    ssize_t n = sock->Write(frame.data() + off, frame.size() - off, &err);
     if (n < 0) {
-      if (errno == EINTR) continue;
-      return Errno("send");
+      if (err == EINTR) continue;
+      if (err == EAGAIN || err == EWOULDBLOCK) {
+        // Injected delay or a genuinely full socket buffer: wait for room.
+        pollfd pfd{sock->fd(), POLLOUT, 0};
+        (void)::poll(&pfd, 1, 50);
+        continue;
+      }
+      if (poison) Poison();
+      return TransportError("send", err);
     }
     off += static_cast<size_t>(n);
   }
   return Status::OK();
 }
 
-Status NetClient::ReadFrame(Frame* out) {
-  const auto deadline = std::chrono::steady_clock::now() + read_timeout_;
+Status NetClient::ReadFrame(Frame* out, std::chrono::milliseconds timeout) {
+  std::shared_ptr<TransportSocket> sock;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    sock = sock_;
+  }
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
   for (;;) {
     size_t consumed = 0;
     Status error;
@@ -99,43 +187,59 @@ Status NetClient::ReadFrame(Frame* out) {
       inbuf_.erase(0, consumed);
       return Status::OK();
     }
-    if (r == DecodeResult::kBad) return error;
+    if (r == DecodeResult::kBad) {
+      Poison();
+      return error;
+    }
 
-    if (fd_ < 0) return Status::Unavailable("client not connected");
+    if (sock == nullptr) return Status::Unavailable("client not connected");
     auto now = std::chrono::steady_clock::now();
     if (now >= deadline) {
+      // The reply may still arrive later; reading it as the answer to the
+      // NEXT request would desynchronize the stream forever. Fail fast.
+      Poison();
       return Status::TimedOut("no reply within " +
-                             std::to_string(read_timeout_.count()) + " ms");
+                              std::to_string(timeout.count()) + " ms");
     }
     auto left =
         std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
-    pollfd pfd{fd_, POLLIN, 0};
+    pollfd pfd{sock->fd(), POLLIN, 0};
     int rc = ::poll(&pfd, 1, static_cast<int>(left.count()) + 1);
     if (rc < 0) {
       if (errno == EINTR) continue;
-      return Errno("poll");
+      int err = errno;
+      Poison();
+      return TransportError("poll", err);
     }
     if (rc == 0) continue;  // deadline re-checked at the top
     char buf[64 * 1024];
-    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    int err = 0;
+    ssize_t n = sock->Read(buf, sizeof(buf), &err);
     if (n == 0) {
+      Poison();
+      if (!inbuf_.empty()) {
+        return Status::ProtocolError("connection reset mid-frame (" +
+                                     std::to_string(inbuf_.size()) +
+                                     " bytes of a partial frame buffered)");
+      }
       return Status::Unavailable("server closed the connection");
     }
     if (n < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      return Errno("recv");
+      if (err == EINTR || err == EAGAIN || err == EWOULDBLOCK) continue;
+      Poison();
+      return TransportError("recv", err);
     }
     inbuf_.append(buf, static_cast<size_t>(n));
   }
 }
 
-StatusOr<ClientResult> NetClient::RunStatement(MessageType type,
-                                               const std::string& statement) {
+StatusOr<ClientResult> NetClient::DoStatement(MessageType type,
+                                              const std::string& statement) {
   SEDNA_RETURN_IF_ERROR(SendFrame(type, statement));
   ClientResult result;
   for (;;) {
     Frame frame;
-    SEDNA_RETURN_IF_ERROR(ReadFrame(&frame));
+    SEDNA_RETURN_IF_ERROR(ReadFrame(&frame, options_.read_timeout));
     switch (frame.type) {
       case MessageType::kResultChunk:
         result.serialized.append(frame.payload);
@@ -149,8 +253,10 @@ StatusOr<ClientResult> NetClient::RunStatement(MessageType type,
       case MessageType::kError:
         return DecodeError(frame.payload);
       case MessageType::kGoodbye:
+        Poison();
         return Status::Unavailable("server said goodbye mid-statement");
       default:
+        Poison();
         return Status::ProtocolError(
             "unexpected reply type " +
             std::to_string(static_cast<unsigned>(frame.type)));
@@ -158,33 +264,163 @@ StatusOr<ClientResult> NetClient::RunStatement(MessageType type,
   }
 }
 
+StatusOr<ClientResult> NetClient::RunStatement(MessageType type,
+                                               const std::string& statement,
+                                               bool idempotent) {
+  for (uint32_t attempt = 0;; ++attempt) {
+    const bool was_in_txn = in_txn_;
+    bool sent = false;
+    Status st = EnsureConnected();
+    if (st.ok()) {
+      sent = true;
+      StatusOr<ClientResult> result = DoStatement(type, statement);
+      if (result.ok()) return result;
+      st = result.status();
+      if (!poisoned_) return result;  // clean server-reported error
+      in_txn_ = false;  // the dead connection's transaction is aborted
+      if (was_in_txn) {
+        return Status(st.code(),
+                      st.message() +
+                          " (connection failed mid-transaction; the "
+                          "transaction was aborted server-side)");
+      }
+    }
+    // A request that was never sent is safe to re-send regardless of
+    // idempotency; one that went out re-runs only if the caller declared
+    // it idempotent — and never when it belonged to a transaction.
+    const bool can_retry = (!sent || idempotent) && !was_in_txn &&
+                           attempt < options_.max_retries;
+    if (!can_retry) return st;
+    ++stats_.retries;
+    SleepBackoff(attempt);
+  }
+}
+
 StatusOr<ClientResult> NetClient::Execute(const std::string& statement) {
-  return RunStatement(MessageType::kExecute, statement);
+  return RunStatement(MessageType::kExecute, statement, /*idempotent=*/false);
+}
+
+StatusOr<ClientResult> NetClient::ExecuteRead(const std::string& statement) {
+  return RunStatement(MessageType::kExecute, statement, /*idempotent=*/true);
 }
 
 StatusOr<ClientResult> NetClient::Explain(const std::string& statement) {
-  return RunStatement(MessageType::kExplain, statement);
+  return RunStatement(MessageType::kExplain, statement, /*idempotent=*/true);
 }
 
-Status NetClient::SetOption(const std::string& key, const std::string& value) {
+Status NetClient::DoSetOption(const std::string& key,
+                              const std::string& value) {
   SEDNA_RETURN_IF_ERROR(
       SendFrame(MessageType::kSetOption, EncodeSetOption(key, value)));
   Frame frame;
-  SEDNA_RETURN_IF_ERROR(ReadFrame(&frame));
+  SEDNA_RETURN_IF_ERROR(ReadFrame(&frame, options_.read_timeout));
   if (frame.type == MessageType::kOptionOk) return Status::OK();
   if (frame.type == MessageType::kError) return DecodeError(frame.payload);
+  Poison();
   return Status::ProtocolError("unexpected SetOption reply type " +
                                std::to_string(static_cast<unsigned>(
                                    frame.type)));
 }
 
-Status NetClient::Cancel() { return SendFrame(MessageType::kCancel, ""); }
+Status NetClient::SetOption(const std::string& key, const std::string& value) {
+  for (uint32_t attempt = 0;; ++attempt) {
+    const bool was_in_txn = in_txn_;
+    Status st = EnsureConnected();
+    if (st.ok()) {
+      st = DoSetOption(key, value);
+      if (st.ok()) {
+        option_cache_[key] = value;
+        return st;
+      }
+      if (!poisoned_) return st;  // the server rejected the option
+      in_txn_ = false;
+    }
+    const bool can_retry = !was_in_txn && attempt < options_.max_retries;
+    if (!can_retry) return st;
+    ++stats_.retries;
+    SleepBackoff(attempt);
+  }
+}
+
+Status NetClient::TxnControl(MessageType type, std::string_view payload) {
+  SEDNA_RETURN_IF_ERROR(SendFrame(type, payload));
+  Frame frame;
+  SEDNA_RETURN_IF_ERROR(ReadFrame(&frame, options_.read_timeout));
+  if (frame.type == MessageType::kTxnOk) {
+    bool in_txn = false;
+    SEDNA_RETURN_IF_ERROR(DecodeTxnOk(frame.payload, &in_txn));
+    in_txn_ = in_txn;
+    return Status::OK();
+  }
+  if (frame.type == MessageType::kError) {
+    Status st = DecodeError(frame.payload);
+    // Session::Commit/Abort close the transaction on every path (including
+    // errors) and a server-side idle abort already ended it; only a failed
+    // Begin leaves the state as it was.
+    if (type != MessageType::kBegin) in_txn_ = false;
+    return st;
+  }
+  Poison();
+  return Status::ProtocolError("unexpected transaction-control reply type " +
+                               std::to_string(static_cast<unsigned>(
+                                   frame.type)));
+}
+
+Status NetClient::BeginTxn(bool read_only) {
+  const std::string payload = EncodeBegin(read_only);
+  for (uint32_t attempt = 0;; ++attempt) {
+    Status st = EnsureConnected();
+    if (st.ok()) {
+      st = TxnControl(MessageType::kBegin, payload);
+      if (st.ok()) return st;
+      if (!poisoned_) return st;
+      // An unacknowledged Begin's transaction died with the connection, so
+      // re-sending it is safe.
+      in_txn_ = false;
+    }
+    if (attempt >= options_.max_retries) return st;
+    ++stats_.retries;
+    SleepBackoff(attempt);
+  }
+}
+
+Status NetClient::CommitTxn() {
+  Status st = EnsureConnected();
+  if (!st.ok()) return st;
+  st = TxnControl(MessageType::kCommitTxn, "");
+  if (!st.ok() && poisoned_) {
+    // The commit may or may not have landed before the connection failed.
+    // Never guess: surface the ambiguity and let the caller probe.
+    in_txn_ = false;
+    return Status(st.code(), "commit outcome unknown (connection failed "
+                             "before the acknowledgement): " +
+                                 st.message());
+  }
+  return st;
+}
+
+Status NetClient::AbortTxn() {
+  Status st = EnsureConnected();
+  if (!st.ok()) return st;
+  st = TxnControl(MessageType::kAbortTxn, "");
+  if (!st.ok() && poisoned_) {
+    // Abort-on-disconnect already did the job; the error reports only that
+    // the connection is gone.
+    in_txn_ = false;
+  }
+  return st;
+}
+
+Status NetClient::Cancel() {
+  return SendFrame(MessageType::kCancel, "", /*poison=*/false);
+}
 
 Status NetClient::CloseGracefully() {
   SEDNA_RETURN_IF_ERROR(SendFrame(MessageType::kClose, ""));
+  in_txn_ = false;  // the server aborts any open transaction on close
   for (;;) {
     Frame frame;
-    Status st = ReadFrame(&frame);
+    Status st = ReadFrame(&frame, options_.read_timeout);
     if (!st.ok()) {
       // The server may close right after Goodbye hits our buffer; treat a
       // clean EOF after Close as a successful goodbye.

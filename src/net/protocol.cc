@@ -14,6 +14,9 @@ bool IsClientMessageType(uint8_t type) {
     case MessageType::kSetOption:
     case MessageType::kCancel:
     case MessageType::kClose:
+    case MessageType::kBegin:
+    case MessageType::kCommitTxn:
+    case MessageType::kAbortTxn:
       return true;
     default:
       return false;
@@ -145,6 +148,36 @@ Status DecodeSetOption(std::string_view payload, std::string* key,
   }
   key->assign(k);
   value->assign(v);
+  return Status::OK();
+}
+
+std::string EncodeBegin(bool read_only) {
+  std::string payload;
+  payload.push_back(read_only ? 1 : 0);
+  return payload;
+}
+
+Status DecodeBegin(std::string_view payload, bool* read_only) {
+  if (payload.size() != 1 ||
+      static_cast<uint8_t>(payload[0]) > 1) {
+    return Status::ProtocolError("malformed Begin frame");
+  }
+  *read_only = payload[0] != 0;
+  return Status::OK();
+}
+
+std::string EncodeTxnOk(bool in_txn) {
+  std::string payload;
+  payload.push_back(in_txn ? 1 : 0);
+  return payload;
+}
+
+Status DecodeTxnOk(std::string_view payload, bool* in_txn) {
+  if (payload.size() != 1 ||
+      static_cast<uint8_t>(payload[0]) > 1) {
+    return Status::ProtocolError("malformed TxnOk frame");
+  }
+  *in_txn = payload[0] != 0;
   return Status::OK();
 }
 

@@ -35,7 +35,8 @@ namespace sedna::net {
 
 // Bumped when the frame layout or a payload encoding changes
 // incompatibly; the server rejects a Hello carrying any other version.
-inline constexpr uint8_t kProtocolVersion = 1;
+// v2: explicit transactions (Begin/CommitTxn/AbortTxn <-> TxnOk).
+inline constexpr uint8_t kProtocolVersion = 2;
 inline constexpr char kHelloMagic[] = "SEDNA";  // 5 bytes, no NUL on the wire
 inline constexpr size_t kHelloMagicLen = 5;
 
@@ -53,6 +54,9 @@ enum class MessageType : uint8_t {
   kSetOption = 0x04,  // payload = length-prefixed key, value
   kCancel = 0x05,     // out of band: cancel the executing statement
   kClose = 0x06,      // orderly goodbye (queued behind earlier statements)
+  kBegin = 0x07,      // open an explicit transaction; payload = u8 read_only
+  kCommitTxn = 0x08,  // commit the open transaction (empty payload)
+  kAbortTxn = 0x09,   // abort the open transaction (empty payload)
   // server -> client
   kHelloOk = 0x81,      // u64 session id + length-prefixed server banner
   kResultChunk = 0x82,  // raw bytes of the serialized result
@@ -60,6 +64,7 @@ enum class MessageType : uint8_t {
   kError = 0x84,        // u32 status code + length-prefixed message
   kOptionOk = 0x85,     // SetOption acknowledged
   kGoodbye = 0x86,      // server is closing the connection after this frame
+  kTxnOk = 0x87,        // Begin/CommitTxn/AbortTxn done; u8 in_txn after it
 };
 
 /// True for the types a client may legally send.
@@ -107,6 +112,15 @@ Status DecodeError(std::string_view payload);
 std::string EncodeSetOption(std::string_view key, std::string_view value);
 Status DecodeSetOption(std::string_view payload, std::string* key,
                        std::string* value);
+
+std::string EncodeBegin(bool read_only);
+Status DecodeBegin(std::string_view payload, bool* read_only);
+
+/// `in_txn` reports the session's transaction state after the control
+/// operation (true after Begin, false after Commit/Abort) so a client can
+/// cross-check its own view of the lifecycle.
+std::string EncodeTxnOk(bool in_txn);
+Status DecodeTxnOk(std::string_view payload, bool* in_txn);
 
 /// StatusCode <-> wire integer. Unknown wire values map to kInternal so a
 /// newer server's codes still surface as errors on an older client.

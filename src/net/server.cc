@@ -56,6 +56,13 @@ struct Server::NetMetrics {
   Counter* cancels;
   Counter* options_set;
   Counter* result_chunks;
+  Counter* txn_begins;
+  Counter* txn_commits;
+  Counter* txn_aborts;            // client-requested AbortTxn
+  Counter* txn_idle_aborts;       // aborted by the txn idle timer
+  Counter* txn_disconnect_aborts; // aborted because the connection died
+  Counter* txn_drain_aborts;      // aborted by Shutdown
+  Counter* idle_closed;           // connections reaped by the idle timer
   Gauge* active_connections;
   Gauge* active_statements;
   Gauge* queued_statements;
@@ -76,6 +83,13 @@ struct Server::NetMetrics {
                             reg.counter("net.cancels"),
                             reg.counter("net.options_set"),
                             reg.counter("net.result_chunks"),
+                            reg.counter("net.txn_begins"),
+                            reg.counter("net.txn_commits"),
+                            reg.counter("net.txn_aborts"),
+                            reg.counter("net.txn_idle_aborts"),
+                            reg.counter("net.txn_disconnect_aborts"),
+                            reg.counter("net.txn_drain_aborts"),
+                            reg.counter("net.idle_closed"),
                             reg.gauge("net.active_connections"),
                             reg.gauge("net.active_statements"),
                             reg.gauge("net.queued_statements"),
@@ -94,6 +108,8 @@ StatusOr<std::unique_ptr<Server>> Server::Start(Database* db,
 
 Status Server::Init() {
   metrics_ = NetMetrics::Get();
+  transport_ =
+      options_.transport != nullptr ? options_.transport : Transport::Default();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) return Errno("socket");
@@ -177,8 +193,15 @@ size_t Server::active_connections() const {
 void Server::EventLoop() {
   std::vector<pollfd> fds;
   std::vector<ConnPtr> polled;
+  auto last_sweep = std::chrono::steady_clock::now();
   while (!loop_stop_.load(std::memory_order_acquire)) {
     ReapDoomed();
+
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_sweep >= std::chrono::milliseconds(50)) {
+      SweepIdle(now);
+      last_sweep = now;
+    }
 
     const bool accepting = accepting_.load(std::memory_order_acquire);
     fds.clear();
@@ -194,7 +217,7 @@ void Server::EventLoop() {
           std::lock_guard<std::mutex> cl(c->mu);
           if (!c->out.empty()) events |= POLLOUT;
         }
-        fds.push_back({c->fd, events, 0});
+        fds.push_back({c->sock->fd(), events, 0});
         polled.push_back(c);
       }
     }
@@ -273,9 +296,14 @@ void Server::AcceptNew() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.so_sndbuf > 0) {
+      int sz = options_.so_sndbuf;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sz, sizeof(sz));
+    }
     auto c = std::make_shared<Conn>();
-    c->fd = fd;
+    c->sock = transport_->Adopt(fd);
     c->session = db_->Connect();
+    c->last_activity = std::chrono::steady_clock::now();
     {
       std::lock_guard<std::mutex> lock(conns_mu_);
       c->id = next_conn_id_++;
@@ -288,18 +316,23 @@ void Server::AcceptNew() {
 
 void Server::HandleReadable(const ConnPtr& c) {
   char buf[64 * 1024];
-  ssize_t n = ::recv(c->fd, buf, sizeof(buf), 0);
+  int err = 0;
+  ssize_t n = c->sock->Read(buf, sizeof(buf), &err);
   if (n == 0) {
     CloseConn(c);
     return;
   }
   if (n < 0) {
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    if (err == EAGAIN || err == EWOULDBLOCK || err == EINTR) return;
     CloseConn(c);
     return;
   }
   metrics_->bytes_read->Add(static_cast<uint64_t>(n));
   c->inbuf.append(buf, static_cast<size_t>(n));
+  {
+    std::lock_guard<std::mutex> cl(c->mu);
+    c->last_activity = std::chrono::steady_clock::now();
+  }
 
   while (!c->reading_disabled) {
     Frame frame;
@@ -363,7 +396,10 @@ void Server::HandleFrame(const ConnPtr& c, Frame frame) {
     case MessageType::kExecute:
     case MessageType::kExplain:
     case MessageType::kSetOption:
-    case MessageType::kClose: {
+    case MessageType::kClose:
+    case MessageType::kBegin:
+    case MessageType::kCommitTxn:
+    case MessageType::kAbortTxn: {
       WorkItem item;
       item.type = frame.type;
       item.enqueued = std::chrono::steady_clock::now();
@@ -374,12 +410,26 @@ void Server::HandleFrame(const ConnPtr& c, Frame frame) {
           ProtocolErrorClose(c, st);
           return;
         }
+      } else if (frame.type == MessageType::kBegin) {
+        Status st = DecodeBegin(frame.payload, &item.begin_read_only);
+        if (!st.ok()) {
+          ProtocolErrorClose(c, st);
+          return;
+        }
+      } else if (frame.type == MessageType::kCommitTxn ||
+                 frame.type == MessageType::kAbortTxn) {
+        if (!frame.payload.empty()) {
+          ProtocolErrorClose(c, Status::ProtocolError(
+                                    "transaction-control frame carries an "
+                                    "unexpected payload"));
+          return;
+        }
       } else {
         item.text = std::move(frame.payload);
       }
-      if (item.is_statement()) {
+      if (item.counts_inflight()) {
         inflight_statements_.fetch_add(1, std::memory_order_acq_rel);
-        metrics_->queued_statements->Add(1);
+        if (item.is_statement()) metrics_->queued_statements->Add(1);
       }
       bool overflow = false;
       {
@@ -446,11 +496,13 @@ void Server::FlushWrites(const ConnPtr& c) {
   if (c->closed) return;
   while (!c->out.empty()) {
     const std::string& front = c->out.front();
-    ssize_t n = ::send(c->fd, front.data() + c->out_offset,
-                       front.size() - c->out_offset,
-                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    // Non-blocking (accepted with SOCK_NONBLOCK): a full socket buffer
+    // surfaces as EAGAIN and POLLOUT finishes the job next round.
+    int err = 0;
+    ssize_t n = c->sock->Write(front.data() + c->out_offset,
+                               front.size() - c->out_offset, &err);
     if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      if (err == EAGAIN || err == EWOULDBLOCK || err == EINTR) break;
       cl.unlock();
       CloseConn(c);
       return;
@@ -478,6 +530,8 @@ void Server::CloseConn(const ConnPtr& c) {
     metrics_->active_connections->Set(static_cast<int64_t>(conns_.size()));
   }
   size_t dropped_statements = 0;
+  size_t dropped_inflight = 0;
+  bool abort_txn = false;
   {
     std::lock_guard<std::mutex> cl(c->mu);
     c->closed = true;
@@ -486,21 +540,91 @@ void Server::CloseConn(const ConnPtr& c) {
     c->out_offset = 0;
     for (const WorkItem& item : c->pending) {
       if (item.is_statement()) ++dropped_statements;
+      if (item.counts_inflight()) ++dropped_inflight;
     }
     c->pending.clear();
     c->write_cv.notify_all();
+    // Crash-honest lifecycle: a dead connection's open transaction must
+    // abort. If a worker is mid-item it observes `closed` in its epilogue
+    // (under this mutex) and aborts the orphan itself; otherwise no worker
+    // can start again (ProcessOne re-checks `closed` before setting
+    // `running`), so this thread owns the abort. Exactly one side fires.
+    abort_txn = !c->running;
+  }
+  if (dropped_inflight > 0) {
+    inflight_statements_.fetch_sub(dropped_inflight,
+                                   std::memory_order_acq_rel);
   }
   if (dropped_statements > 0) {
-    inflight_statements_.fetch_sub(dropped_statements,
-                                   std::memory_order_acq_rel);
     metrics_->queued_statements->Add(
         -static_cast<int64_t>(dropped_statements));
   }
   // Abort whatever the connection's session is executing; the worker's
   // pending reply lands in the cleared (closed) queue and is dropped.
   c->session->Cancel();
-  ::close(c->fd);
+  if (abort_txn) AbortAbandonedTxn(c);
+  c->sock->Close();
   metrics_->closed->Add();
+}
+
+void Server::AbortAbandonedTxn(const ConnPtr& c) {
+  if (!c->session->in_transaction()) return;
+  Status st = c->session->Abort();
+  if (!st.ok()) {
+    SEDNA_LOG(kError) << "abandoned-transaction abort failed: "
+                      << st.ToString();
+  }
+  if (draining_.load(std::memory_order_acquire)) {
+    metrics_->txn_drain_aborts->Add();
+  } else {
+    metrics_->txn_disconnect_aborts->Add();
+  }
+}
+
+void Server::SweepIdle(std::chrono::steady_clock::time_point now) {
+  const bool reap = options_.idle_timeout.count() > 0;
+  const bool txn_sweep = options_.txn_idle_timeout.count() > 0;
+  if (!reap && !txn_sweep) return;
+  std::vector<ConnPtr> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    snapshot.reserve(conns_.size());
+    for (auto& [id, c] : conns_) snapshot.push_back(c);
+  }
+  for (const ConnPtr& c : snapshot) {
+    bool close_it = false;
+    bool abort_txn = false;
+    {
+      std::lock_guard<std::mutex> cl(c->mu);
+      // Only truly idle connections qualify: nothing queued, nothing
+      // running. A long statement never counts as idleness.
+      if (c->closed || c->running || !c->pending.empty()) continue;
+      const auto idle = now - c->last_activity;
+      if (reap && idle >= options_.idle_timeout) {
+        close_it = true;
+      } else if (txn_sweep && idle >= options_.txn_idle_timeout &&
+                 c->session->in_transaction()) {
+        // The loop is the only frame source and no worker is active, so
+        // the session is quiescent and may be aborted from this thread.
+        // The flag makes later statements fail kAborted (never silent
+        // autocommit); resetting the clock makes the abort fire once.
+        c->txn_idle_aborted = true;
+        c->last_activity = now;
+        abort_txn = true;
+      }
+    }
+    if (close_it) {
+      metrics_->idle_closed->Add();
+      CloseConn(c);
+    } else if (abort_txn) {
+      Status st = c->session->Abort();
+      if (!st.ok()) {
+        SEDNA_LOG(kError) << "idle-transaction abort failed: "
+                          << st.ToString();
+      }
+      metrics_->txn_idle_aborts->Add();
+    }
+  }
 }
 
 void Server::ReapDoomed() {
@@ -552,6 +676,11 @@ void Server::ProcessOne(const ConnPtr& c) {
     case MessageType::kSetOption:
       ApplyOption(c, item);
       break;
+    case MessageType::kBegin:
+    case MessageType::kCommitTxn:
+    case MessageType::kAbortTxn:
+      HandleTxnControl(c, item);
+      break;
     case MessageType::kClose: {
       std::string frame;
       AppendFrame(&frame, MessageType::kGoodbye, "");
@@ -571,14 +700,21 @@ void Server::ProcessOne(const ConnPtr& c) {
   }
 
   bool requeue = false;
+  bool abort_orphan = false;
   {
     std::lock_guard<std::mutex> cl(c->mu);
     c->running = false;
-    if (!c->closed && !c->pending.empty() && !c->scheduled) {
+    c->last_activity = std::chrono::steady_clock::now();
+    if (c->closed) {
+      // CloseConn ran while this item executed and left the orphaned
+      // transaction to us (see the handoff comment there).
+      abort_orphan = true;
+    } else if (!c->pending.empty() && !c->scheduled) {
       c->scheduled = true;
       requeue = true;
     }
   }
+  if (abort_orphan) AbortAbandonedTxn(c);
   if (requeue) {
     {
       std::lock_guard<std::mutex> lock(sched_mu_);
@@ -649,6 +785,26 @@ void Server::ExecuteStatement(const ConnPtr& c, const WorkItem& item) {
     AppendFrame(&frame, MessageType::kError,
                 EncodeError(Status::Unavailable(
                     "server is draining; retry against a live server")));
+    (void)BlockingEnqueue(c, std::move(frame));
+    finish(/*error=*/true);
+    return;
+  }
+
+  bool idle_aborted;
+  {
+    std::lock_guard<std::mutex> cl(c->mu);
+    idle_aborted = c->txn_idle_aborted;
+  }
+  if (idle_aborted) {
+    // The server aborted this connection's transaction (idle timeout).
+    // Refuse statements until the client acknowledges with Begin/AbortTxn:
+    // executing them as autocommit would silently split the transaction.
+    std::string frame;
+    AppendFrame(&frame, MessageType::kError,
+                EncodeError(Status::Aborted(
+                    "transaction aborted by the server (idle past "
+                    "txn_idle_timeout); acknowledge with Begin or "
+                    "AbortTxn")));
     (void)BlockingEnqueue(c, std::move(frame));
     finish(/*error=*/true);
     return;
@@ -751,6 +907,76 @@ void Server::ApplyOption(const ConnPtr& c, const WorkItem& item) {
     AppendFrame(&frame, MessageType::kError, EncodeError(st));
   }
   (void)BlockingEnqueue(c, std::move(frame));
+}
+
+void Server::HandleTxnControl(const ConnPtr& c, const WorkItem& item) {
+  auto finish = [&] {
+    auto elapsed = std::chrono::steady_clock::now() - item.enqueued;
+    metrics_->request_ns->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+    inflight_statements_.fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  if (item.drain_reject || draining_hard_.load(std::memory_order_acquire)) {
+    // The drain epilogue aborts whatever is still open; accepting a Begin
+    // (or worse, a Commit) past this point would race it.
+    metrics_->drain_rejected->Add();
+    std::string frame;
+    AppendFrame(&frame, MessageType::kError,
+                EncodeError(Status::Unavailable(
+                    "server is draining; retry against a live server")));
+    (void)BlockingEnqueue(c, std::move(frame));
+    finish();
+    return;
+  }
+
+  Session* session = c->session.get();
+  bool idle_aborted;
+  {
+    std::lock_guard<std::mutex> cl(c->mu);
+    idle_aborted = c->txn_idle_aborted;
+    // Any transaction-control frame acknowledges the server-side abort:
+    // the client now learns the old transaction is gone.
+    c->txn_idle_aborted = false;
+  }
+
+  Status st;
+  switch (item.type) {
+    case MessageType::kBegin:
+      st = session->Begin(item.begin_read_only);
+      if (st.ok()) metrics_->txn_begins->Add();
+      break;
+    case MessageType::kCommitTxn:
+      if (idle_aborted) {
+        // Never pretend the vanished transaction's effects survived.
+        st = Status::Aborted(
+            "transaction aborted by the server (idle past "
+            "txn_idle_timeout); nothing to commit");
+      } else {
+        st = session->Commit();
+        if (st.ok()) metrics_->txn_commits->Add();
+      }
+      break;
+    default:  // kAbortTxn
+      if (idle_aborted) {
+        st = Status::OK();  // already aborted server-side; idempotent ack
+      } else {
+        st = session->Abort();
+        if (st.ok()) metrics_->txn_aborts->Add();
+      }
+      break;
+  }
+
+  std::string frame;
+  if (st.ok()) {
+    AppendFrame(&frame, MessageType::kTxnOk,
+                EncodeTxnOk(session->in_transaction()));
+  } else {
+    AppendFrame(&frame, MessageType::kError, EncodeError(st));
+  }
+  (void)BlockingEnqueue(c, std::move(frame));
+  finish();
 }
 
 // ---------------------------------------------------------------------------

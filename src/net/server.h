@@ -22,10 +22,23 @@
 //     throttles only its own statement.
 //   * Cancel frames are handled out of band by the event loop: they trip
 //     the CancellationToken of the statement the connection is executing.
+//   * explicit transactions: Begin/CommitTxn/AbortTxn frames ride the same
+//     per-connection FIFO (so they order correctly against statements) and
+//     map onto Session::Begin/Commit/Abort. The lifecycle is crash-honest:
+//     a disconnect aborts the open transaction, a transaction idle past
+//     txn_idle_timeout is aborted server-side (subsequent statements fail
+//     with kAborted until the client acknowledges via Begin/AbortTxn), and
+//     drain/shutdown aborts — never silently commits — open transactions.
+//   * connection reaping: a poll-loop timer closes connections idle past
+//     idle_timeout (half-open peers that never RST would otherwise hold a
+//     Session forever), counting net.idle_closed.
 //   * graceful drain (Shutdown): stop accepting, answer new statements
 //     with kUnavailable, give in-flight statements a grace period, then
 //     hard-abort the stragglers through governance (Session::Cancel), say
 //     Goodbye on every connection and tear down.
+//   * all socket I/O flows through the Transport seam (net/transport.h);
+//     tests inject a FaultInjectingTransport to drive short reads/writes,
+//     delays and mid-frame resets through every path above.
 //
 // Thread-safety map: socket fds and read buffers are touched only by the
 // event loop; per-connection queues (pending work, outbound frames) are
@@ -51,6 +64,7 @@
 #include "common/status.h"
 #include "db/database.h"
 #include "net/protocol.h"
+#include "net/transport.h"
 
 namespace sedna::net {
 
@@ -70,9 +84,25 @@ struct ServerOptions {
   // A statement blocked on a client that stops reading for this long is
   // aborted and its connection dropped (worker-starvation guard).
   std::chrono::milliseconds write_stall_timeout{10000};
+  // SO_SNDBUF for accepted sockets (0 = kernel default with autotuning).
+  // Setting it pins the kernel-side buffer, making back-pressure — and the
+  // write-stall guard above — deterministic instead of racing autotune.
+  int so_sndbuf = 0;
   // Default grace for Shutdown(): how long in-flight statements may run
   // before the drain hard-aborts them through governance.
   std::chrono::milliseconds drain_grace{2000};
+  // An explicit transaction idle (no frame received, nothing queued or
+  // running) for this long is aborted server-side; the connection stays
+  // up but statements fail with kAborted until the client acknowledges
+  // with Begin or AbortTxn. Zero disables.
+  std::chrono::milliseconds txn_idle_timeout{30000};
+  // A connection idle for this long is closed outright (aborting any open
+  // transaction) — reaps half-open peers that never RST. Zero disables.
+  std::chrono::milliseconds idle_timeout{0};
+  // Socket factory; null = Transport::Default(). Tests inject a
+  // FaultInjectingTransport here (accepted sockets only — the listener
+  // itself stays raw).
+  Transport* transport = nullptr;
 };
 
 class Server {
@@ -115,16 +145,24 @@ class Server {
     MessageType type = MessageType::kExecute;
     std::string text;   // statement text / option key
     std::string value;  // option value
+    bool begin_read_only = false;   // decoded Begin payload
     bool drain_reject = false;  // arrived after the drain began
     std::chrono::steady_clock::time_point enqueued;
     bool is_statement() const {
       return type == MessageType::kExecute || type == MessageType::kExplain;
     }
+    bool is_txn_control() const {
+      return type == MessageType::kBegin ||
+             type == MessageType::kCommitTxn ||
+             type == MessageType::kAbortTxn;
+    }
+    // Items the drain must wait for (or hard-abort) before workers join.
+    bool counts_inflight() const { return is_statement() || is_txn_control(); }
   };
 
   struct Conn {
     // Immutable after accept.
-    int fd = -1;
+    std::unique_ptr<TransportSocket> sock;
     uint64_t id = 0;
     std::unique_ptr<Session> session;
 
@@ -145,6 +183,13 @@ class Server {
     std::deque<WorkItem> pending;
     bool running = false;    // a worker is executing an item right now
     bool scheduled = false;  // sitting in the ready queue
+    // Last inbound byte or completed work item; drives the idle sweeps.
+    std::chrono::steady_clock::time_point last_activity;
+    // The server aborted this connection's transaction (idle timeout).
+    // Statements fail with kAborted until Begin/AbortTxn clears it, so a
+    // client that thinks it is still in the transaction can never fall
+    // through to silent autocommit.
+    bool txn_idle_aborted = false;
   };
   using ConnPtr = std::shared_ptr<Conn>;
 
@@ -160,6 +205,9 @@ class Server {
   void FlushWrites(const ConnPtr& c);
   void CloseConn(const ConnPtr& c);
   void ReapDoomed();
+  /// Aborts connections' transactions idle past txn_idle_timeout and
+  /// closes connections idle past idle_timeout (loop thread).
+  void SweepIdle(std::chrono::steady_clock::time_point now);
   /// Loop-thread reply (HelloOk / protocol Error): no flow control.
   void EnqueueFromLoop(const ConnPtr& c, MessageType type,
                        std::string_view payload);
@@ -171,6 +219,12 @@ class Server {
   void ProcessOne(const ConnPtr& c);
   void ExecuteStatement(const ConnPtr& c, const WorkItem& item);
   void ApplyOption(const ConnPtr& c, const WorkItem& item);
+  /// Begin/CommitTxn/AbortTxn mapped onto the connection's Session.
+  void HandleTxnControl(const ConnPtr& c, const WorkItem& item);
+  /// Aborts the open transaction of a connection that died or is being
+  /// drained (counted under the matching metric). Caller must hold the
+  /// running/closed handoff: the session must be quiescent.
+  void AbortAbandonedTxn(const ConnPtr& c);
   /// Flow-controlled enqueue from a worker; aborts when the connection
   /// dies, the statement is cancelled, the drain goes hard, or the client
   /// stalls past write_stall_timeout.
@@ -180,6 +234,7 @@ class Server {
 
   Database* db_;
   ServerOptions options_;
+  Transport* transport_ = nullptr;  // options_.transport or the default
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   uint16_t port_ = 0;

@@ -1,0 +1,252 @@
+#include "net/transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+
+#include "common/random.h"
+
+namespace sedna::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+class TcpSocket : public TransportSocket {
+ public:
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket() override { Close(); }
+
+  ssize_t Read(char* buf, size_t len, int* err) override {
+    ssize_t n = ::recv(fd_, buf, len, 0);
+    if (n < 0) *err = errno;
+    return n;
+  }
+
+  ssize_t Write(const char* buf, size_t len, int* err) override {
+    ssize_t n = ::send(fd_, buf, len, MSG_NOSIGNAL);
+    if (n < 0) *err = errno;
+    return n;
+  }
+
+  int fd() const override { return fd_; }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+class TcpTransport : public Transport {
+ public:
+  StatusOr<std::unique_ptr<TransportSocket>> Connect(const std::string& host,
+                                                     uint16_t port) override {
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) return Errno("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return Status::InvalidArgument("bad server address: " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      Status st = Errno("connect " + host + ":" + std::to_string(port));
+      ::close(fd);
+      return st;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return std::unique_ptr<TransportSocket>(new TcpSocket(fd));
+  }
+
+  std::unique_ptr<TransportSocket> Adopt(int fd) override {
+    return std::unique_ptr<TransportSocket>(new TcpSocket(fd));
+  }
+};
+
+}  // namespace
+
+Transport* Transport::Default() {
+  static TcpTransport* transport = new TcpTransport();
+  return transport;
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectingTransport
+// ---------------------------------------------------------------------------
+
+class FaultInjectingTransport::FaultSocket : public TransportSocket {
+ public:
+  FaultSocket(FaultInjectingTransport* owner,
+              std::unique_ptr<TransportSocket> inner, uint64_t index)
+      : owner_(owner),
+        inner_(std::move(inner)),
+        rng_(owner->options_.seed * 1000003 + index) {}
+
+  // The fault bookkeeping (rng draws, op/byte counters, kill state) is
+  // mutex-guarded because a client may Cancel() — a write — from another
+  // thread while its main thread sits in a read. The inner I/O call runs
+  // OUTSIDE the lock: holding it across a blocking read would deadlock the
+  // cancel path the lock exists to allow.
+
+  ssize_t Read(char* buf, size_t len, int* err) override {
+    const TransportFaultOptions& o = owner_->options_;
+    size_t allowed = len;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (Doomed(err, /*writing=*/false)) return -1;
+      if (o.delay_p > 0 && rng_.Bernoulli(o.delay_p)) {
+        owner_->CountFault();
+        *err = EAGAIN;
+        return -1;
+      }
+      if (o.short_read_p > 0 && len > 1 && rng_.Bernoulli(o.short_read_p)) {
+        owner_->CountFault();
+        allowed = 1 + rng_.Uniform(len - 1);
+      }
+      allowed = CapToKillBytes(allowed);
+    }
+    ssize_t n = inner_->Read(buf, allowed, err);
+    if (n > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      AccountBytes(static_cast<uint64_t>(n));
+    }
+    return n;
+  }
+
+  ssize_t Write(const char* buf, size_t len, int* err) override {
+    const TransportFaultOptions& o = owner_->options_;
+    size_t allowed = len;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (Doomed(err, /*writing=*/true)) return -1;
+      if (o.delay_p > 0 && rng_.Bernoulli(o.delay_p)) {
+        owner_->CountFault();
+        *err = EAGAIN;
+        return -1;
+      }
+      if (o.short_write_p > 0 && len > 1 && rng_.Bernoulli(o.short_write_p)) {
+        owner_->CountFault();
+        allowed = 1 + rng_.Uniform(len - 1);
+      }
+      allowed = CapToKillBytes(allowed);
+    }
+    ssize_t n = inner_->Write(buf, allowed, err);
+    if (n > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      AccountBytes(static_cast<uint64_t>(n));
+    }
+    return n;
+  }
+
+  int fd() const override { return inner_->fd(); }
+  void Close() override { inner_->Close(); }
+
+ private:
+  /// Op-count and post-kill handling. Returns true when the op must fail:
+  /// the stream was already killed (reset surfaces on every later op) or
+  /// this op is the configured kill point.
+  bool Doomed(int* err, bool writing) {
+    if (killed_) {
+      *err = writing ? EPIPE : ECONNRESET;
+      return true;
+    }
+    uint64_t op = ++ops_;
+    uint64_t kill_at = owner_->kill_at_op_.load(std::memory_order_relaxed);
+    if (kill_at != 0 && op >= kill_at) {
+      Kill();
+      *err = writing ? EPIPE : ECONNRESET;
+      return true;
+    }
+    return false;
+  }
+
+  /// Never move bytes past the kill-after-bytes boundary in one op, so the
+  /// kill lands exactly mid-frame when the boundary splits a frame.
+  size_t CapToKillBytes(size_t allowed) const {
+    uint64_t kill_bytes = owner_->options_.kill_after_bytes;
+    if (kill_bytes == 0 || bytes_ >= kill_bytes) return allowed;
+    return static_cast<size_t>(
+        std::min<uint64_t>(allowed, kill_bytes - bytes_));
+  }
+
+  void AccountBytes(uint64_t n) {
+    bytes_ += n;
+    uint64_t kill_bytes = owner_->options_.kill_after_bytes;
+    if (kill_bytes != 0 && bytes_ >= kill_bytes && !killed_) Kill();
+  }
+
+  /// Simulates this endpoint crashing: shut the stream down both ways (the
+  /// peer sees EOF, we see reset) but keep the fd open until Close() so the
+  /// descriptor number cannot be reused while still registered in a poll
+  /// set.
+  void Kill() {
+    killed_ = true;
+    owner_->CountKill();
+    if (inner_->fd() >= 0) ::shutdown(inner_->fd(), SHUT_RDWR);
+  }
+
+  FaultInjectingTransport* owner_;
+  std::unique_ptr<TransportSocket> inner_;
+  std::mutex mu_;  // guards the fault state below (see the comment above)
+  Random rng_;
+  uint64_t ops_ = 0;
+  uint64_t bytes_ = 0;
+  bool killed_ = false;
+};
+
+FaultInjectingTransport::FaultInjectingTransport(
+    const TransportFaultOptions& options, Transport* base)
+    : options_(options),
+      base_(base != nullptr ? base : Transport::Default()),
+      kill_at_op_(options.kill_at_op),
+      connects_to_fail_(options.fail_connects) {}
+
+StatusOr<std::unique_ptr<TransportSocket>> FaultInjectingTransport::Connect(
+    const std::string& host, uint16_t port) {
+  uint32_t left = connects_to_fail_.load(std::memory_order_relaxed);
+  while (left > 0) {
+    if (connects_to_fail_.compare_exchange_weak(left, left - 1)) {
+      faults_injected_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("injected connect failure (" +
+                                 std::to_string(left) + " left)");
+    }
+  }
+  SEDNA_ASSIGN_OR_RETURN(std::unique_ptr<TransportSocket> inner,
+                         base_->Connect(host, port));
+  uint64_t index = next_socket_index_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<TransportSocket>(
+      new FaultSocket(this, std::move(inner), index));
+}
+
+std::unique_ptr<TransportSocket> FaultInjectingTransport::Adopt(int fd) {
+  uint64_t index = next_socket_index_.fetch_add(1, std::memory_order_relaxed);
+  return std::unique_ptr<TransportSocket>(
+      new FaultSocket(this, base_->Adopt(fd), index));
+}
+
+void FaultInjectingTransport::CountFault() {
+  faults_injected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjectingTransport::CountKill() {
+  kills_.fetch_add(1, std::memory_order_relaxed);
+  faults_injected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace sedna::net

@@ -1,0 +1,143 @@
+// Transport seam for the network front end — the socket-level sibling of
+// common/vfs.h. Every byte the server or NetClient moves over TCP goes
+// through a TransportSocket, so tests can interpose a deterministic
+// FaultInjectingTransport and drive the wire path through the failure
+// domain the Vfs seam cannot reach: short reads and writes, delayed bytes
+// (spurious EAGAIN), mid-frame connection resets, and crash-at-op kill
+// points on either endpoint.
+//
+// The seam sits below framing: a TransportSocket is a raw byte stream with
+// POSIX-shaped Read/Write (count or -1 with an errno-style code), plus the
+// underlying fd for poll(2) registration. Blocking behaviour is a property
+// of the wrapped fd — the server adopts non-blocking accepted sockets, the
+// client connects blocking ones — so one implementation serves both sides.
+
+#ifndef SEDNA_NET_TRANSPORT_H_
+#define SEDNA_NET_TRANSPORT_H_
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+
+namespace sedna::net {
+
+/// One established byte stream. Not thread-safe; each socket is owned by
+/// one endpoint (the server's event loop or a NetClient).
+class TransportSocket {
+ public:
+  virtual ~TransportSocket() = default;
+
+  /// Mirrors recv(2): returns bytes read (>0), 0 on orderly EOF, or -1
+  /// with `*err` holding an errno value (EAGAIN/EINTR are retryable).
+  virtual ssize_t Read(char* buf, size_t len, int* err) = 0;
+
+  /// Mirrors send(2) with MSG_NOSIGNAL: returns bytes written (possibly a
+  /// prefix), or -1 with `*err` holding an errno value.
+  virtual ssize_t Write(const char* buf, size_t len, int* err) = 0;
+
+  /// The underlying descriptor, for poll(2). Stays valid until Close().
+  virtual int fd() const = 0;
+
+  /// Closes the descriptor. Idempotent; the destructor also closes.
+  virtual void Close() = 0;
+};
+
+/// Factory for transport sockets: outbound connections (client side) and
+/// adopted accepted descriptors (server side).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Connects a blocking TCP socket to host:port (TCP_NODELAY set).
+  virtual StatusOr<std::unique_ptr<TransportSocket>> Connect(
+      const std::string& host, uint16_t port) = 0;
+
+  /// Wraps an already-accepted descriptor (ownership transfers).
+  virtual std::unique_ptr<TransportSocket> Adopt(int fd) = 0;
+
+  /// Process-wide plain-TCP transport.
+  static Transport* Default();
+};
+
+// --- fault injection --------------------------------------------------------
+
+/// Deterministic fault plan, applied per socket. Probabilistic faults draw
+/// from a per-socket Random seeded with (seed, socket index in creation
+/// order), so a single-connection run replays exactly; kill points count
+/// per socket, so "die at op N" is well-defined under concurrency.
+struct TransportFaultOptions {
+  uint64_t seed = 1;
+
+  // Probabilistic storms (0 disables).
+  double short_read_p = 0;   // cap a read at 1..len-1 bytes
+  double short_write_p = 0;  // accept only a prefix of a write
+  double delay_p = 0;        // inject a spurious EAGAIN before a read/write
+
+  // Kill points (0 disables). "Dying" shuts the stream down both ways —
+  // the local endpoint sees ECONNRESET/EPIPE, the peer sees EOF — while
+  // keeping the descriptor open until Close(), so no fd-reuse hazards.
+  uint64_t kill_at_op = 0;        // die on this socket's Nth Read/Write call
+  uint64_t kill_after_bytes = 0;  // die once N bytes have crossed (mid-frame)
+
+  // Fail the first N Connect() calls with kUnavailable (transport-wide),
+  // exercising the client's reconnect backoff.
+  uint32_t fail_connects = 0;
+};
+
+/// Wraps another transport (default: Transport::Default()) and injects the
+/// faults described by TransportFaultOptions. Thread-safe: sockets carry
+/// their own state; transport-wide counters are atomic.
+class FaultInjectingTransport : public Transport {
+ public:
+  explicit FaultInjectingTransport(const TransportFaultOptions& options,
+                                   Transport* base = nullptr);
+
+  StatusOr<std::unique_ptr<TransportSocket>> Connect(const std::string& host,
+                                                     uint16_t port) override;
+  std::unique_ptr<TransportSocket> Adopt(int fd) override;
+
+  /// Re-arms (or disarms with 0) the kill-at-op point at runtime, for
+  /// existing and future sockets alike. An already-active socket whose op
+  /// counter has passed the new value dies on its next operation — "kill
+  /// whatever this connection does next" for deterministic tests.
+  void set_kill_at_op(uint64_t op) {
+    kill_at_op_.store(op, std::memory_order_relaxed);
+  }
+  /// Re-arms the injected-connect-failure budget at runtime.
+  void set_fail_connects(uint32_t n) {
+    connects_to_fail_.store(n, std::memory_order_relaxed);
+  }
+
+  uint64_t sockets_created() const {
+    return next_socket_index_.load(std::memory_order_relaxed);
+  }
+  /// Faults actually delivered (short reads/writes, delays, kills,
+  /// connect failures).
+  uint64_t faults_injected() const {
+    return faults_injected_.load(std::memory_order_relaxed);
+  }
+  uint64_t kills() const { return kills_.load(std::memory_order_relaxed); }
+
+ private:
+  class FaultSocket;
+
+  void CountFault();
+  void CountKill();
+
+  TransportFaultOptions options_;
+  Transport* base_;
+  std::atomic<uint64_t> kill_at_op_{0};  // live copy of options_.kill_at_op
+  std::atomic<uint64_t> next_socket_index_{0};
+  std::atomic<uint32_t> connects_to_fail_;
+  std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<uint64_t> kills_{0};
+};
+
+}  // namespace sedna::net
+
+#endif  // SEDNA_NET_TRANSPORT_H_

@@ -155,6 +155,13 @@ bool LockManager::Holds(uint64_t txn_id, const std::string& resource,
   return true;
 }
 
+size_t LockManager::TotalHeldLocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t held = 0;
+  for (const auto& [resource, state] : locks_) held += state.holders.size();
+  return held;
+}
+
 LockStats LockManager::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;

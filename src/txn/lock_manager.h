@@ -74,6 +74,11 @@ class LockManager {
   bool Holds(uint64_t txn_id, const std::string& resource,
              LockMode* mode = nullptr) const;
 
+  /// Total (txn, resource) grants currently held across all resources.
+  /// Zero between transactions — torture suites assert this after every
+  /// injected fault to prove no abort path leaks a lock.
+  size_t TotalHeldLocks() const;
+
   LockStats stats() const;
 
  private:

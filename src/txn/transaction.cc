@@ -118,6 +118,7 @@ StatusOr<std::unique_ptr<Transaction>> TransactionManager::Begin(
   std::unique_ptr<Transaction> txn(
       new Transaction(this, id, read_only, snapshot));
   txn->counted_updater_ = !read_only;
+  live_transactions_.fetch_add(1, std::memory_order_acq_rel);
   return txn;
 }
 
@@ -164,6 +165,7 @@ Status TransactionManager::RollbackWork(Transaction* txn) {
 Status TransactionManager::Commit(Transaction* txn, QueryContext* query) {
   if (!txn->active_) return Status::FailedPrecondition("transaction ended");
   txn->active_ = false;
+  live_transactions_.fetch_sub(1, std::memory_order_acq_rel);
   if (!txn->read_only_) {
     if (wal_ != nullptr && txn->logged_any_update_) {
       // Group commit: this may batch with concurrent committers — one
@@ -211,6 +213,7 @@ Status TransactionManager::Commit(Transaction* txn, QueryContext* query) {
 Status TransactionManager::Abort(Transaction* txn) {
   if (!txn->active_) return Status::FailedPrecondition("transaction ended");
   txn->active_ = false;
+  live_transactions_.fetch_sub(1, std::memory_order_acq_rel);
   Status result = RollbackWork(txn);
   // Whatever happened above, the transaction must leave the drain count and
   // the lock table — a wedged checkpoint or a leaked lock would outlive it.

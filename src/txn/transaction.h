@@ -146,6 +146,14 @@ class TransactionManager {
   /// (observability/tests).
   uint64_t active_updaters() const;
 
+  /// Transactions begun but not yet committed or aborted, read-only ones
+  /// included. Zero when no client holds an open transaction — the network
+  /// torture suites assert this after every injected fault to prove no
+  /// disconnect/drain path orphans a transaction.
+  uint64_t live_transactions() const {
+    return live_transactions_.load(std::memory_order_acquire);
+  }
+
  private:
   friend class Transaction;
 
@@ -175,6 +183,7 @@ class TransactionManager {
   mutable std::mutex drain_mu_;
   std::condition_variable drain_cv_;
   uint64_t active_updaters_ = 0;
+  std::atomic<uint64_t> live_transactions_{0};
   bool checkpoint_pending_ = false;
   std::mutex checkpoint_mu_;  // one checkpoint at a time
   WriteGate write_gate_;

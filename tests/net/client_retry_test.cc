@@ -1,0 +1,431 @@
+// Deterministic tests for the resilient NetClient and the wire-transaction
+// lifecycle: explicit Begin/Commit/Abort over TCP, abort-on-disconnect,
+// server-side transaction idle timeout (never silent autocommit), idle
+// connection reaping, reconnect backoff with jitter, safe automatic retry
+// of idempotent requests, the no-retry rule inside transactions, poisoned
+// connections failing fast, commit-outcome-unknown reporting, SetOption
+// replay after reconnect, and the distinct kReadOnlyDegraded wire code.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "common/metrics.h"
+#include "net/transport.h"
+#include "tests/net/net_test_util.h"
+#include "txn/transaction.h"
+
+namespace sedna::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+class WireTxnTest : public ServerFixture {
+ protected:
+  void SeedDoc() {
+    auto s = db_->Connect();
+    ASSERT_TRUE(s->Execute("CREATE DOCUMENT 'd'").ok());
+    ASSERT_TRUE(
+        s->Execute("UPDATE insert <root><v>0</v></root> into doc('d')").ok());
+  }
+
+  std::string CountMarker(const std::string& marker) {
+    auto s = db_->Connect();
+    auto r = s->Execute("count(doc('d')/root/m[text() = '" + marker + "'])");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? r->serialized : "?";
+  }
+
+  uint64_t CounterValue(const std::string& name) {
+    return MetricsRegistry::Global().counter(name)->value();
+  }
+};
+
+TEST_F(WireTxnTest, BeginCommitMakesUpdatesDurable) {
+  SeedDoc();
+  StartServer();
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+
+  EXPECT_FALSE(client->in_txn());
+  ASSERT_TRUE(client->BeginTxn().ok());
+  EXPECT_TRUE(client->in_txn());
+  ASSERT_TRUE(
+      client->Execute("UPDATE insert <m>c1</m> into doc('d')/root").ok());
+  // (No concurrent probe here: the open transaction holds the document's
+  // write lock, so a reader would block until the commit — strict 2PL.)
+  ASSERT_TRUE(client->CommitTxn().ok());
+  EXPECT_FALSE(client->in_txn());
+  EXPECT_EQ(CountMarker("c1"), "1");
+  EXPECT_TRUE(client->CloseGracefully().ok());
+}
+
+TEST_F(WireTxnTest, AbortTxnDiscardsUpdates) {
+  SeedDoc();
+  StartServer();
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(client->BeginTxn().ok());
+  ASSERT_TRUE(
+      client->Execute("UPDATE insert <m>a1</m> into doc('d')/root").ok());
+  ASSERT_TRUE(client->AbortTxn().ok());
+  EXPECT_FALSE(client->in_txn());
+  EXPECT_EQ(CountMarker("a1"), "0");
+
+  // The session is reusable: autocommit works right after the abort.
+  EXPECT_TRUE(
+      client->Execute("UPDATE insert <m>a2</m> into doc('d')/root").ok());
+  EXPECT_EQ(CountMarker("a2"), "1");
+}
+
+TEST_F(WireTxnTest, CommitWithoutBeginFailsCleanly) {
+  SeedDoc();
+  StartServer();
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  Status st = client->CommitTxn();
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.ToString();
+  st = client->AbortTxn();
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition) << st.ToString();
+  // Clean errors never poison: the connection keeps working.
+  EXPECT_FALSE(client->poisoned());
+  EXPECT_TRUE(client->ExecuteRead("doc('d')/root/v").ok());
+}
+
+TEST_F(WireTxnTest, DisconnectAbortsOpenTransaction) {
+  SeedDoc();
+  StartServer();
+  const uint64_t disconnect_aborts_before =
+      CounterValue("net.txn_disconnect_aborts");
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+
+  ASSERT_TRUE(client->BeginTxn().ok());
+  ASSERT_TRUE(
+      client->Execute("UPDATE insert <m>dd</m> into doc('d')/root").ok());
+  EXPECT_EQ(db_->txns()->live_transactions(), 1u);
+
+  client->Abort();  // crash-shaped disconnect, no AbortTxn on the wire
+  ASSERT_TRUE(WaitFor([&] { return db_->txns()->live_transactions() == 0; }));
+  ASSERT_TRUE(
+      WaitFor([&] { return db_->txns()->locks()->TotalHeldLocks() == 0; }));
+  EXPECT_GE(CounterValue("net.txn_disconnect_aborts"),
+            disconnect_aborts_before + 1);
+  EXPECT_EQ(CountMarker("dd"), "0");
+}
+
+TEST_F(WireTxnTest, TxnIdleTimeoutAbortsButNeverAutocommits) {
+  SeedDoc();
+  ServerOptions options;
+  options.txn_idle_timeout = 100ms;
+  StartServer(options);
+  const uint64_t idle_aborts_before = CounterValue("net.txn_idle_aborts");
+
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->BeginTxn().ok());
+  ASSERT_TRUE(
+      client->Execute("UPDATE insert <m>idle</m> into doc('d')/root").ok());
+
+  // Go idle past the transaction timeout; the server aborts our txn.
+  ASSERT_TRUE(WaitFor([&] { return db_->txns()->live_transactions() == 0; }));
+  EXPECT_GE(CounterValue("net.txn_idle_aborts"), idle_aborts_before + 1);
+
+  // Statements must now fail kAborted — running them as autocommit would
+  // silently split the transaction the client thinks it is still in.
+  auto r = client->Execute("UPDATE insert <m>split</m> into doc('d')/root");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted) << r.status().ToString();
+  EXPECT_FALSE(client->poisoned());  // clean reply, connection healthy
+
+  // Committing the vanished transaction must fail too, with kAborted.
+  Status st = client->CommitTxn();
+  EXPECT_EQ(st.code(), StatusCode::kAborted) << st.ToString();
+  EXPECT_FALSE(client->in_txn());
+  EXPECT_EQ(CountMarker("idle"), "0");
+  EXPECT_EQ(CountMarker("split"), "0");
+
+  // Acknowledged: a fresh Begin works and the session is clean again.
+  ASSERT_TRUE(client->BeginTxn().ok());
+  ASSERT_TRUE(
+      client->Execute("UPDATE insert <m>fresh</m> into doc('d')/root").ok());
+  ASSERT_TRUE(client->CommitTxn().ok());
+  EXPECT_EQ(CountMarker("fresh"), "1");
+}
+
+TEST_F(WireTxnTest, AbortTxnAcknowledgesIdleAbortIdempotently) {
+  SeedDoc();
+  ServerOptions options;
+  options.txn_idle_timeout = 100ms;
+  StartServer(options);
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->BeginTxn().ok());
+  ASSERT_TRUE(WaitFor([&] { return db_->txns()->live_transactions() == 0; }));
+  // AbortTxn after the server already aborted: idempotent success.
+  EXPECT_TRUE(client->AbortTxn().ok());
+  EXPECT_FALSE(client->in_txn());
+  EXPECT_TRUE(client->ExecuteRead("doc('d')/root/v").ok());
+}
+
+TEST_F(WireTxnTest, IdleConnectionsAreReaped) {
+  SeedDoc();
+  ServerOptions options;
+  options.idle_timeout = 100ms;
+  StartServer(options);
+  const uint64_t idle_closed_before = CounterValue("net.idle_closed");
+
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(server_->active_connections(), 1u);
+  // A half-open peer never sends another byte; the sweep reaps it.
+  ASSERT_TRUE(WaitFor([&] { return server_->active_connections() == 0; }));
+  EXPECT_GE(CounterValue("net.idle_closed"), idle_closed_before + 1);
+
+  // An ACTIVE connection is not reaped: traffic resets the idle clock.
+  auto busy = MustConnect();
+  ASSERT_NE(busy, nullptr);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(busy->ExecuteRead("doc('d')/root/v").ok());
+    std::this_thread::sleep_for(40ms);
+  }
+  EXPECT_EQ(server_->active_connections(), 1u);
+}
+
+TEST_F(WireTxnTest, DrainAbortsOpenTransactions) {
+  SeedDoc();
+  StartServer();
+  const uint64_t drain_aborts_before = CounterValue("net.txn_drain_aborts");
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->BeginTxn().ok());
+  ASSERT_TRUE(
+      client->Execute("UPDATE insert <m>drain</m> into doc('d')/root").ok());
+
+  // Shutdown with the transaction open: abort, never silently commit.
+  ASSERT_TRUE(server_->Shutdown(500ms).ok());
+  EXPECT_EQ(db_->txns()->live_transactions(), 0u);
+  EXPECT_EQ(db_->txns()->locks()->TotalHeldLocks(), 0u);
+  EXPECT_GE(CounterValue("net.txn_drain_aborts") +
+                CounterValue("net.txn_disconnect_aborts"),
+            drain_aborts_before + 1);
+  server_.reset();
+  EXPECT_EQ(CountMarker("drain"), "0");
+}
+
+TEST_F(WireTxnTest, ReadOnlyDegradedCrossesTheWire) {
+  SeedDoc();
+  StartServer();
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+
+  db_->EnterDegradedMode(Status::IOError("injected: page write failed"));
+  // Updates fail with the exact degraded code — not a generic IOError —
+  // so clients can tell "this server is read-only" from "this broke".
+  auto r = client->Execute("UPDATE insert <m>x</m> into doc('d')/root");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kReadOnlyDegraded)
+      << r.status().ToString();
+  EXPECT_FALSE(client->poisoned());
+  // Reads keep flowing on the same connection.
+  EXPECT_TRUE(client->ExecuteRead("doc('d')/root/v").ok());
+}
+
+// --- retry / backoff / poisoning -------------------------------------------
+
+class ClientRetryTest : public WireTxnTest {};
+
+TEST_F(ClientRetryTest, ReconnectsThroughInjectedConnectFailures) {
+  SeedDoc();
+  StartServer();
+
+  TransportFaultOptions faults;  // no faults at construction
+  FaultInjectingTransport faulty(faults);
+  ClientOptions copts;
+  copts.max_retries = 3;
+  copts.backoff_base = 2ms;
+  copts.backoff_cap = 10ms;
+  copts.transport = &faulty;
+  auto client = NetClient::Connect("127.0.0.1", server_->port(), copts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // Drop the socket, then make the next 2 connect attempts fail: the
+  // request was never sent, so the client may retry it — reconnecting
+  // with backoff until the transport lets it through.
+  (*client)->Abort();
+  faulty.set_fail_connects(2);
+  auto r = (*client)->ExecuteRead("doc('d')/root/v");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*client)->stats().retries, 2u);
+  EXPECT_EQ((*client)->stats().reconnects, 1u);
+  EXPECT_GE((*client)->stats().backoff_ms, 2u);  // base, jittered >= 50%
+  EXPECT_FALSE((*client)->poisoned());
+}
+
+TEST_F(ClientRetryTest, NoRetryBudgetFailsFast) {
+  SeedDoc();
+  StartServer();
+  TransportFaultOptions faults;
+  FaultInjectingTransport faulty(faults);
+  ClientOptions copts;
+  copts.max_retries = 0;
+  copts.transport = &faulty;
+  auto client = NetClient::Connect("127.0.0.1", server_->port(), copts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  (*client)->Abort();
+  faulty.set_fail_connects(1);
+  auto r = (*client)->ExecuteRead("doc('d')/root/v");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ((*client)->stats().retries, 0u);
+  // The failure is sticky until a request repairs the connection.
+  EXPECT_TRUE((*client)->poisoned());
+  EXPECT_TRUE((*client)->ExecuteRead("doc('d')/root/v").ok());
+  EXPECT_FALSE((*client)->poisoned());
+}
+
+TEST_F(ClientRetryTest, SurvivesPeriodicMidFrameResets) {
+  SeedDoc();
+  StartServer();
+  // Every client socket dies after 600 bytes — mid-frame, wherever that
+  // lands. With retries armed, a long sequence of idempotent reads keeps
+  // succeeding across the resets.
+  TransportFaultOptions faults;
+  faults.kill_after_bytes = 600;
+  FaultInjectingTransport faulty(faults);
+  ClientOptions copts;
+  copts.max_retries = 2;
+  copts.backoff_base = 1ms;
+  copts.backoff_cap = 4ms;
+  copts.transport = &faulty;
+  auto client = NetClient::Connect("127.0.0.1", server_->port(), copts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  for (int i = 0; i < 20; ++i) {
+    auto r = (*client)->ExecuteRead("doc('d')/root/v/text()");
+    ASSERT_TRUE(r.ok()) << "read " << i << ": " << r.status().ToString();
+    EXPECT_EQ(r->serialized, "0");
+  }
+  EXPECT_GE((*client)->stats().poisonings, 1u);
+  EXPECT_GE((*client)->stats().retries, 1u);
+  EXPECT_GE(faulty.kills(), 1u);
+}
+
+TEST_F(ClientRetryTest, NeverRetriesInsideATransaction) {
+  SeedDoc();
+  StartServer();
+  TransportFaultOptions faults;
+  FaultInjectingTransport faulty(faults);
+  ClientOptions copts;
+  copts.max_retries = 3;
+  copts.backoff_base = 1ms;
+  copts.transport = &faulty;
+  auto client = NetClient::Connect("127.0.0.1", server_->port(), copts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  ASSERT_TRUE((*client)->BeginTxn().ok());
+  ASSERT_TRUE(
+      (*client)->Execute("UPDATE insert <m>nr</m> into doc('d')/root").ok());
+
+  // Kill the connection on its next operation. Even the idempotent read
+  // must NOT be retried: its transaction died with the connection, and
+  // silently re-running it on a fresh session would split the txn.
+  faulty.set_kill_at_op(1);
+  auto r = (*client)->ExecuteRead("doc('d')/root/v");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ((*client)->stats().retries, 0u);
+  EXPECT_TRUE((*client)->poisoned());
+  EXPECT_FALSE((*client)->in_txn());
+  EXPECT_NE(r.status().message().find("transaction"), std::string::npos)
+      << r.status().ToString();
+
+  faulty.set_kill_at_op(0);
+  // The transaction's update is gone (abort-on-disconnect).
+  ASSERT_TRUE(WaitFor([&] { return db_->txns()->live_transactions() == 0; }));
+  EXPECT_EQ(CountMarker("nr"), "0");
+  // The next request repairs the connection.
+  EXPECT_TRUE((*client)->ExecuteRead("doc('d')/root/v").ok());
+}
+
+TEST_F(ClientRetryTest, CommitOutcomeUnknownOnTransportFailure) {
+  SeedDoc();
+  StartServer();
+  TransportFaultOptions faults;
+  FaultInjectingTransport faulty(faults);
+  ClientOptions copts;
+  copts.max_retries = 3;
+  copts.backoff_base = 1ms;
+  copts.transport = &faulty;
+  auto client = NetClient::Connect("127.0.0.1", server_->port(), copts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  ASSERT_TRUE((*client)->BeginTxn().ok());
+  ASSERT_TRUE(
+      (*client)->Execute("UPDATE insert <m>cu</m> into doc('d')/root").ok());
+
+  faulty.set_kill_at_op(1);  // the commit frame never reaches the server
+  Status st = (*client)->CommitTxn();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("outcome unknown"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ((*client)->stats().retries, 0u);  // commits are never retried
+  EXPECT_FALSE((*client)->in_txn());
+
+  faulty.set_kill_at_op(0);
+  // Probing resolves the ambiguity: this commit never made it.
+  EXPECT_EQ(CountMarker("cu"), "0");
+}
+
+TEST_F(ClientRetryTest, ReplaysSessionOptionsAfterReconnect) {
+  SeedDoc();
+  StartServer();
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+
+  const uint64_t options_before =
+      MetricsRegistry::Global().counter("net.options_set")->value();
+  ASSERT_TRUE(client->SetOption("check_interval", "1").ok());
+  ASSERT_TRUE(client->SetOption("batch_size", "64").ok());
+  ASSERT_EQ(
+      MetricsRegistry::Global().counter("net.options_set")->value(),
+      options_before + 2);
+
+  // Force a repair; the fresh server session must get both options again.
+  client->Abort();
+  ASSERT_TRUE(client->Reconnect().ok());
+  EXPECT_EQ(
+      MetricsRegistry::Global().counter("net.options_set")->value(),
+      options_before + 4);
+  EXPECT_TRUE(client->ExecuteRead("doc('d')/root/v").ok());
+}
+
+TEST_F(ClientRetryTest, BackoffGrowsAndStaysJittered) {
+  SeedDoc();
+  StartServer();
+  TransportFaultOptions faults;
+  FaultInjectingTransport faulty(faults);
+  ClientOptions copts;
+  copts.max_retries = 4;
+  copts.backoff_base = 8ms;
+  copts.backoff_cap = 32ms;
+  copts.backoff_seed = 7;
+  copts.transport = &faulty;
+  auto client = NetClient::Connect("127.0.0.1", server_->port(), copts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  (*client)->Abort();
+  faulty.set_fail_connects(4);
+  ASSERT_TRUE((*client)->ExecuteRead("doc('d')/root/v").ok());
+  EXPECT_EQ((*client)->stats().retries, 4u);
+  // 4 sleeps of 8, 16, 32, 32 ms jittered into [0.5, 1.0): total within
+  // [44, 88) — proves both the exponential growth and the cap.
+  EXPECT_GE((*client)->stats().backoff_ms, 44u);
+  EXPECT_LT((*client)->stats().backoff_ms, 88u);
+}
+
+}  // namespace
+}  // namespace sedna::net

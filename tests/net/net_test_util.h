@@ -80,9 +80,15 @@ class ServerFixture : public ::testing::Test {
 /// Raw TCP connection that sends arbitrary bytes — the adversarial client.
 class RawConn {
  public:
-  static RawConn Open(uint16_t port) {
+  /// `rcvbuf` > 0 clamps SO_RCVBUF before connect (shrinking the TCP
+  /// window a non-reading peer advertises, so back-pressure tests stall
+  /// on kilobytes instead of the kernel's autotuned megabytes).
+  static RawConn Open(uint16_t port, int rcvbuf = 0) {
     RawConn c;
     c.fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (rcvbuf > 0) {
+      ::setsockopt(c.fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);

@@ -86,8 +86,10 @@ TEST(ProtocolFrameTest, MaxLengthPrefixRejectedWithoutWaitingForPayload) {
 
 TEST(ProtocolPayloadTest, HelloRoundTrip) {
   EXPECT_TRUE(DecodeHello(EncodeHello()).ok());
-  EXPECT_EQ(DecodeHello("SEDNA\x02").code(), StatusCode::kProtocolError);
-  EXPECT_EQ(DecodeHello("XEDNA\x01").code(), StatusCode::kProtocolError);
+  // v1 predates explicit transactions; the v2 server refuses it.
+  EXPECT_EQ(DecodeHello("SEDNA\x01").code(), StatusCode::kProtocolError);
+  EXPECT_EQ(DecodeHello("SEDNA\x03").code(), StatusCode::kProtocolError);
+  EXPECT_EQ(DecodeHello("XEDNA\x02").code(), StatusCode::kProtocolError);
   EXPECT_EQ(DecodeHello("SEDNA").code(), StatusCode::kProtocolError);
   EXPECT_EQ(DecodeHello("").code(), StatusCode::kProtocolError);
 }
@@ -153,9 +155,38 @@ TEST(ProtocolPayloadTest, SetOptionRoundTrip) {
             StatusCode::kProtocolError);
 }
 
+TEST(ProtocolPayloadTest, BeginRoundTrip) {
+  bool read_only = true;
+  ASSERT_TRUE(DecodeBegin(EncodeBegin(false), &read_only).ok());
+  EXPECT_FALSE(read_only);
+  ASSERT_TRUE(DecodeBegin(EncodeBegin(true), &read_only).ok());
+  EXPECT_TRUE(read_only);
+  EXPECT_EQ(DecodeBegin("", &read_only).code(), StatusCode::kProtocolError);
+  EXPECT_EQ(DecodeBegin("\x02", &read_only).code(),
+            StatusCode::kProtocolError);
+  EXPECT_EQ(DecodeBegin(std::string("\x01\x00", 2), &read_only).code(),
+            StatusCode::kProtocolError);
+}
+
+TEST(ProtocolPayloadTest, TxnOkRoundTrip) {
+  bool in_txn = false;
+  ASSERT_TRUE(DecodeTxnOk(EncodeTxnOk(true), &in_txn).ok());
+  EXPECT_TRUE(in_txn);
+  ASSERT_TRUE(DecodeTxnOk(EncodeTxnOk(false), &in_txn).ok());
+  EXPECT_FALSE(in_txn);
+  EXPECT_EQ(DecodeTxnOk("", &in_txn).code(), StatusCode::kProtocolError);
+  EXPECT_EQ(DecodeTxnOk("\x07", &in_txn).code(), StatusCode::kProtocolError);
+}
+
 TEST(ProtocolPayloadTest, ClientMessageTypePredicate) {
   EXPECT_TRUE(IsClientMessageType(static_cast<uint8_t>(MessageType::kHello)));
   EXPECT_TRUE(IsClientMessageType(static_cast<uint8_t>(MessageType::kCancel)));
+  EXPECT_TRUE(IsClientMessageType(static_cast<uint8_t>(MessageType::kBegin)));
+  EXPECT_TRUE(
+      IsClientMessageType(static_cast<uint8_t>(MessageType::kCommitTxn)));
+  EXPECT_TRUE(
+      IsClientMessageType(static_cast<uint8_t>(MessageType::kAbortTxn)));
+  EXPECT_FALSE(IsClientMessageType(static_cast<uint8_t>(MessageType::kTxnOk)));
   EXPECT_FALSE(
       IsClientMessageType(static_cast<uint8_t>(MessageType::kHelloOk)));
   EXPECT_FALSE(

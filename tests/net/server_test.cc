@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/coding.h"
 #include "net/client.h"
 #include "tests/net/net_test_util.h"
 
@@ -353,6 +354,94 @@ TEST_F(ServerTest, AdmissionQueueSmoothsABurstOverTheWire) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(Governor::Instance().active_statements(), 0u);
   EXPECT_EQ(Governor::Instance().queued_statements(), 0u);
+}
+
+TEST_F(ServerTest, WriteStallTimeoutDoomsANonReadingClient) {
+  ServerOptions options;
+  options.result_chunk_bytes = 512;
+  options.write_buffer_soft_cap = 2048;
+  options.write_stall_timeout = 300ms;
+  options.so_sndbuf = 4096;  // pin the kernel buffer: no autotune escape
+  StartServer(options);
+
+  // A result far larger than the soft cap plus the (pinned) kernel
+  // buffers, so the producing statement must block on flow control.
+  auto seeder = db_->Connect();
+  ASSERT_TRUE(seeder->Execute("CREATE DOCUMENT 'big'").ok());
+  std::string tree = "<r>";
+  for (int i = 0; i < 30000; ++i) {
+    tree += "<item><v>" + std::to_string(i) + "</v></item>";
+  }
+  tree += "</r>";
+  ASSERT_TRUE(
+      seeder->Execute("UPDATE insert " + tree + " into doc('big')").ok());
+
+  RawConn raw = RawConn::Open(server_->port(), /*rcvbuf=*/4096);
+  ASSERT_TRUE(raw.ok());
+  std::string wire;
+  AppendFrame(&wire, MessageType::kHello, EncodeHello());
+  AppendFrame(&wire, MessageType::kExecute, "doc('big')/r/item");
+  raw.Send(wire);
+
+  // Never read a byte. The statement fills the cap, stalls past the
+  // timeout, and the server dooms it: statement aborted, connection
+  // dropped, worker freed — no permanently wedged worker thread.
+  EXPECT_TRUE(
+      WaitFor([&] { return server_->active_connections() == 0; }, 15000ms));
+  EXPECT_TRUE(WaitFor([&] { return server_->inflight_statements() == 0; }));
+  EXPECT_EQ(PinnedFrames(), 0u);
+
+  // The freed worker serves the next client normally.
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  EXPECT_EQ(MustExec(client.get(), "count(doc('big')/r/item)"), "30000");
+}
+
+TEST_F(ServerTest, ExactPayloadCapIsAcceptedCleanly) {
+  StartServer();
+  auto seeder = db_->Connect();
+  ASSERT_TRUE(seeder->Execute("CREATE DOCUMENT 'cap'").ok());
+  ASSERT_TRUE(
+      seeder->Execute("UPDATE insert <r><v>5</v></r> into doc('cap')").ok());
+
+  auto client = MustConnect();
+  ASSERT_NE(client, nullptr);
+  // A statement padded to exactly kMaxPayloadBytes: the largest legal
+  // frame must go through the normal path, not the oversize rejection.
+  std::string stmt = "doc('cap')/r/v/text()";
+  stmt.resize(kMaxPayloadBytes, ' ');
+  auto r = client->Execute(stmt);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->serialized, "5");
+  EXPECT_TRUE(client->CloseGracefully().ok());
+}
+
+TEST_F(ServerTest, PayloadCapPlusOneGetsOneErrorFrameThenClose) {
+  StartServer();
+  RawConn raw = RawConn::Open(server_->port());
+  ASSERT_TRUE(raw.ok());
+  std::string wire;
+  AppendFrame(&wire, MessageType::kHello, EncodeHello());
+  // A header claiming cap+1 bytes; the server must reject on the header
+  // alone instead of waiting for a payload that will never arrive.
+  PutFixed32(&wire, kMaxPayloadBytes + 1);
+  wire.push_back(static_cast<char>(MessageType::kExecute));
+  raw.Send(wire);
+
+  std::string reply = raw.ReadUntilClosed();
+  std::string_view rest = reply;
+  Frame frame;
+  size_t consumed = 0;
+  Status error;
+  ASSERT_EQ(DecodeFrame(rest, &frame, &consumed, &error), DecodeResult::kFrame);
+  EXPECT_EQ(frame.type, MessageType::kHelloOk);
+  rest.remove_prefix(consumed);
+  ASSERT_EQ(DecodeFrame(rest, &frame, &consumed, &error), DecodeResult::kFrame);
+  EXPECT_EQ(frame.type, MessageType::kError);
+  EXPECT_EQ(DecodeError(frame.payload).code(), StatusCode::kProtocolError);
+  rest.remove_prefix(consumed);
+  EXPECT_TRUE(rest.empty()) << "exactly one Error frame, then the close";
+  EXPECT_TRUE(WaitFor([&] { return server_->active_connections() == 0; }));
 }
 
 TEST_F(ServerTest, FailedStartDestructsCleanly) {
